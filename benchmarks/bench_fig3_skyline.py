@@ -1,0 +1,74 @@
+"""Figure 3 — skyline selection over the 25 EDTS baselines.
+
+For each query distribution (data, Gaussian, real) all 25 baselines simplify
+the same database at a fixed budget; every baseline is scored on the five
+query tasks and the non-dominated (skyline) set is reported — the paper's
+method for picking which baselines Figures 4-6 compare against.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import SETTINGS, make_evaluator
+from repro.baselines import all_baselines, simplify_database, skyline
+from repro.data import synthetic_database
+from repro.eval import ALL_TASKS
+
+#: One shared database for all three distributions (paper: ~1.5M-point DB).
+_SETTING = SETTINGS["chengdu"]
+_RATIO = 0.06
+_DISTRIBUTIONS = ("data", "gaussian", "real")
+
+
+@pytest.fixture(scope="module")
+def fig3_db():
+    return synthetic_database(
+        "chengdu", n_trajectories=120, points_scale=0.7, seed=7
+    )
+
+
+def _run_skyline(db, rlts_policies, distribution):
+    evaluator = make_evaluator(db, _SETTING, distribution=distribution, seed=0)
+    scores: dict[str, list[float]] = {}
+    for spec in all_baselines():
+        simplified = simplify_database(
+            db, _RATIO, spec, rlts_policy=rlts_policies.get(spec.measure)
+        )
+        per_task = evaluator.evaluate(simplified)
+        scores[spec.name] = [per_task[t] for t in ALL_TASKS]
+    return scores, skyline(scores)
+
+
+@pytest.mark.parametrize("distribution", _DISTRIBUTIONS)
+def bench_fig3_skyline(benchmark, fig3_db, rlts_policies, distribution):
+    scores, selected = benchmark.pedantic(
+        _run_skyline,
+        args=(fig3_db, rlts_policies, distribution),
+        rounds=1,
+        iterations=1,
+    )
+
+    print(f"\n=== Figure 3 ({distribution} distribution): 25 baselines x 5 tasks ===")
+    header = "baseline".ljust(22) + "".join(t.rjust(12) for t in ALL_TASKS)
+    print(header)
+    print("-" * len(header))
+    for name, values in sorted(scores.items()):
+        marker = " *" if name in selected else "  "
+        print(
+            name.ljust(20)
+            + marker
+            + "".join(f"{v:>12.4f}" for v in values)
+        )
+    print(f"skyline ({len(selected)}): {', '.join(sorted(selected))}")
+
+    assert 1 <= len(selected) <= 25
+    # Every skyline member must be undominated by construction; sanity-check
+    # one: no other method beats it on every task.
+    champion = selected[0]
+    for other, values in scores.items():
+        if other == champion:
+            continue
+        assert not all(
+            v > c for v, c in zip(values, scores[champion])
+        ), f"{other} dominates {champion}"

@@ -1,0 +1,26 @@
+"""Figure 5 — comparison with the skyline on T-Drive.
+
+Same protocol as Figure 4 on the T-Drive profile (sparse ~177s taxi
+sampling): data distribution (a-e) and Gaussian distribution (f-j).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import SETTINGS, print_comparison, run_comparison
+
+
+@pytest.mark.parametrize("distribution", ["data", "gaussian"])
+def bench_fig5_tdrive(benchmark, tdrive_bench_db, rlts_policies, distribution):
+    ratios, series = benchmark.pedantic(
+        run_comparison,
+        args=(tdrive_bench_db, SETTINGS["tdrive"], distribution, rlts_policies),
+        rounds=1,
+        iterations=1,
+    )
+    print_comparison(f"Figure 5 T-Drive ({distribution})", ratios, series)
+
+    for task, rows in series.items():
+        for method, values in rows.items():
+            assert all(0.0 <= v <= 1.0 for v in values), (task, method)

@@ -1,0 +1,27 @@
+"""Figure 6 — comparison with the skyline on Chengdu (real distribution).
+
+The paper evaluates Chengdu under its "real" query distribution (queries
+near ride-hailing pickup/dropoff hotspots) against the two skyline
+baselines Top-Down(W,PED) and Top-Down(E,SAD), sweeping 2%-20% budgets.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import SETTINGS, print_comparison, run_comparison
+
+
+def bench_fig6_chengdu(benchmark, chengdu_bench_db, rlts_policies):
+    ratios, series = benchmark.pedantic(
+        run_comparison,
+        args=(chengdu_bench_db, SETTINGS["chengdu"], "real", rlts_policies),
+        rounds=1,
+        iterations=1,
+    )
+    print_comparison("Figure 6 Chengdu (real)", ratios, series)
+
+    for task, rows in series.items():
+        for method, values in rows.items():
+            assert all(0.0 <= v <= 1.0 for v in values), (task, method)
+    # Range accuracy improves from the tightest to the loosest budget.
+    for method, values in series["range"].items():
+        assert values[-1] >= values[0] - 0.05, method

@@ -1,0 +1,164 @@
+"""Extension bench — index ablations.
+
+Two questions the paper leaves open:
+
+1. *Partitioning tree* (Section I: "we leave other indexes, e.g., kd-tree,
+   for future exploration"): does RL4QDTS behave differently over the
+   median-split kd-tree than over the midpoint-split octree?
+2. *Query accelerator*: grid vs. STR R-tree vs. no index for the range-query
+   evaluation loop that dominates training (reward) cost.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from benchmarks.conftest import (
+    SETTINGS,
+    inference_workload,
+    make_evaluator,
+    make_workload_factory,
+)
+from repro.core import RL4QDTS, RL4QDTSConfig
+from repro.eval import ExperimentTable
+from repro.index import GridIndex, RTree
+from repro.queries import range_query
+from repro.workloads import RangeQueryWorkload
+
+_RATIO = 0.045
+_ROLLOUTS = 3
+
+
+def _run_tree_comparison(db):
+    setting = SETTINGS["geolife"]
+    evaluator = make_evaluator(db, setting, distribution="data", seed=0)
+    factory = make_workload_factory("data", setting, db, 200)
+    rows = {}
+    for index in ("octree", "kdtree"):
+        config = RL4QDTSConfig(
+            index=index,
+            start_level=6,
+            end_level=9,
+            delta=10,
+            n_training_queries=200,
+            n_inference_queries=1000,
+            episodes=4,
+            n_train_databases=2,
+            train_db_size=80,
+            train_budget_ratio=_RATIO,
+            seed=0,
+        )
+        start = time.perf_counter()
+        model = RL4QDTS.train(db, config=config, workload_factory=factory)
+        train_time = time.perf_counter() - start
+        annotation = inference_workload(model, db, setting, "data")
+        f1s = []
+        start = time.perf_counter()
+        for rollout in range(_ROLLOUTS):
+            simplified = model.simplify(
+                db, budget_ratio=_RATIO, seed=100 + rollout, workload=annotation
+            )
+            f1s.append(evaluator.evaluate(simplified, ("range",))["range"])
+        simplify_time = (time.perf_counter() - start) / _ROLLOUTS
+        rows[index] = (
+            float(np.mean(f1s)),
+            float(np.std(f1s)),
+            train_time,
+            simplify_time,
+        )
+    return rows
+
+
+def bench_tree_index_variants(benchmark, geolife_bench_db):
+    rows = benchmark.pedantic(
+        _run_tree_comparison, args=(geolife_bench_db,), rounds=1, iterations=1
+    )
+    table = ExperimentTable(
+        "Index ablation: RL4QDTS over octree vs kd-tree (Geolife profile, "
+        f"r={_RATIO:.1%})",
+        ["index", "range F1", "std", "train (s)", "simplify (s)"],
+    )
+    for index, (mean, std, train_s, simp_s) in rows.items():
+        table.add_row(index, mean, std, train_s, simp_s)
+    table.print()
+
+    # Both trees must produce usable policies; neither should collapse.
+    for index, (mean, _, _, _) in rows.items():
+        assert mean > 0.2, f"{index} policy collapsed"
+
+
+def _run_accelerator_comparison(db):
+    # Selective queries (a few percent of the region per axis) are where
+    # candidate pruning matters; the default data-scaled extent on this
+    # profile covers most trajectories and every strategy degenerates to
+    # verification cost.
+    spans = db.bounding_box.spans
+    workload = RangeQueryWorkload.from_data_distribution(
+        db, 300, seed=5,
+        spatial_extent=0.05 * max(spans[0], spans[1]),
+        temporal_extent=0.1 * spans[2],
+    )
+    timings = {}
+    results = {}
+    candidates = {}
+
+    start = time.perf_counter()
+    grid = GridIndex(db)
+    build_grid = time.perf_counter() - start
+    start = time.perf_counter()
+    results["grid"] = [range_query(db, q, grid) for q in workload]
+    timings["grid"] = (build_grid, time.perf_counter() - start)
+    candidates["grid"] = float(
+        np.mean([len(grid.candidate_trajectories(q.box)) for q in workload])
+    )
+
+    start = time.perf_counter()
+    rtree = RTree(db, fanout=16)
+    build_rtree = time.perf_counter() - start
+    start = time.perf_counter()
+    results["rtree"] = [
+        {
+            tid
+            for tid in rtree.candidate_trajectories(q.box)
+            if q.box.contains_points(db[tid].points).any()
+        }
+        for q in workload
+    ]
+    timings["rtree"] = (build_rtree, time.perf_counter() - start)
+    candidates["rtree"] = float(
+        np.mean([len(rtree.candidate_trajectories(q.box)) for q in workload])
+    )
+
+    start = time.perf_counter()
+    results["scan"] = [range_query(db, q) for q in workload]
+    timings["scan"] = (0.0, time.perf_counter() - start)
+    candidates["scan"] = float(len(db))
+
+    assert results["grid"] == results["rtree"] == results["scan"]
+    return timings, candidates
+
+
+def bench_query_accelerators(benchmark, chengdu_bench_db):
+    timings, candidates = benchmark.pedantic(
+        _run_accelerator_comparison,
+        args=(chengdu_bench_db,),
+        rounds=1,
+        iterations=1,
+    )
+    table = ExperimentTable(
+        "Range-query accelerators (Chengdu profile, 300 selective queries)",
+        ["index", "build (s)", "query (s)", "mean candidates"],
+    )
+    for name, (build_s, query_s) in timings.items():
+        table.add_row(name, build_s, query_s, candidates[name])
+    table.print()
+
+    # Accelerators must prune hard (the robust signal) and not lose to the
+    # scan by more than timing noise.
+    n = candidates["scan"]
+    assert candidates["grid"] < 0.5 * n
+    assert candidates["rtree"] < 0.5 * n
+    assert timings["grid"][1] < 1.5 * timings["scan"][1]
+    assert timings["rtree"][1] < 1.5 * timings["scan"][1]

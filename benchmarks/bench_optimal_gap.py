@@ -1,0 +1,94 @@
+"""Extension bench — how far from optimal are the practical heuristics?
+
+The paper dismisses exact EDTS algorithms as impractical (cubic time;
+Section II) and benchmarks heuristics only. With the exact DP from
+:mod:`repro.baselines.optimal` we can quantify what that practicality costs:
+the per-trajectory error gap of Top-Down / Bottom-Up / RLTS+ against the
+true optimum, and the wall-clock ratio that justifies the paper's choice.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.baselines import (
+    RLTSPolicy,
+    bottom_up,
+    optimal_min_error,
+    rlts_simplify,
+    top_down,
+)
+from repro.data import synthetic_database
+from repro.errors import trajectory_error
+from repro.eval import ExperimentTable, summarize
+
+_BUDGET_RATIO = 0.15
+_MEASURE = "sed"
+
+
+def _run_gap_study():
+    db = synthetic_database(
+        "chengdu", n_trajectories=30, points_scale=0.5, seed=3
+    )
+    rlts_policy = RLTSPolicy(_MEASURE, seed=0).train(
+        db, n_trajectories=5, episodes=1, seed=0
+    )
+    heuristics = {
+        "Top-Down": lambda t, b: top_down(t, b, _MEASURE),
+        "Bottom-Up": lambda t, b: bottom_up(t, b, _MEASURE),
+        "RLTS+": lambda t, b: rlts_simplify(t, b, _MEASURE, rlts_policy),
+    }
+    ratios: dict[str, list[float]] = {name: [] for name in heuristics}
+    times: dict[str, float] = {name: 0.0 for name in heuristics}
+    optimal_time = 0.0
+    for traj in db:
+        budget = max(3, int(round(_BUDGET_RATIO * len(traj))))
+        start = time.perf_counter()
+        best = optimal_min_error(traj, budget, _MEASURE)
+        optimal_time += time.perf_counter() - start
+        for name, fn in heuristics.items():
+            start = time.perf_counter()
+            kept = fn(traj, budget)
+            times[name] += time.perf_counter() - start
+            err = trajectory_error(traj, kept, measure=_MEASURE)
+            # Gap ratio: 1.0 = optimal; guard the lossless-optimum case.
+            if best.error < 1e-12:
+                ratios[name].append(1.0 if err < 1e-9 else np.inf)
+            else:
+                ratios[name].append(err / best.error)
+    finite = {
+        name: [v for v in values if np.isfinite(v)]
+        for name, values in ratios.items()
+    }
+    return finite, times, optimal_time
+
+
+def bench_optimal_gap(benchmark):
+    finite, times, optimal_time = benchmark.pedantic(
+        _run_gap_study, rounds=1, iterations=1
+    )
+    table = ExperimentTable(
+        f"Optimality gap of EDTS heuristics (SED, r={_BUDGET_RATIO:.0%}, "
+        "Chengdu profile, 30 trajectories)",
+        ["method", "error / optimal (mean)", "worst", "time vs optimal"],
+    )
+    for name, values in finite.items():
+        summary = summarize(values)
+        table.add_row(
+            name, summary.mean, max(values), times[name] / optimal_time
+        )
+    table.print()
+    print(f"exact DP total time: {optimal_time:.2f}s")
+
+    for name, values in finite.items():
+        arr = np.asarray(values)
+        # Sanity: heuristics can never beat the optimum...
+        assert (arr >= 1.0 - 1e-9).all(), f"{name} beat the optimum"
+        # ...and the classical heuristics stay within a small constant of it
+        # on realistic data (the reason the paper can use them as baselines).
+        assert arr.mean() < 3.0, f"{name} gap unexpectedly large"
+    # The DP must be far slower than any heuristic — the paper's stated
+    # reason for excluding exact solvers.
+    assert all(t < optimal_time for t in times.values())

@@ -1,0 +1,128 @@
+"""Parameter studies (paper, Section V-B(5-8); details in its tech report).
+
+Sweeps the four hyper-parameters the paper studies:
+
+* ``S``  — Agent-Cube start level,
+* ``E``  — Agent-Cube end (max traversal) level,
+* ``K``  — Agent-Point candidate count,
+* ``k``  — kNN result size (an evaluation knob, not a model knob).
+
+Each sweep trains/rolls out on the Geolife profile and reports range-query
+F1 (kNN-k reports the kNN-EDR F1), mirroring the paper's finding that
+moderate S/E and K=2 are the sweet spot and that accuracy rises with k.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import (
+    SETTINGS,
+    inference_workload,
+    make_evaluator,
+    make_workload_factory,
+)
+from repro.core import RL4QDTS, RL4QDTSConfig
+from repro.eval import QueryAccuracyEvaluator, QuerySuiteConfig
+
+_RATIO = 0.045
+_S_VALUES = (4, 5, 6, 7)
+_E_VALUES = (7, 8, 9)
+_K_VALUES = (1, 2, 4)
+_KNN_KS = (1, 3, 5, 7)
+
+
+def _train_and_score(db, setting, evaluator, **config_overrides) -> float:
+    params = dict(
+        start_level=6,
+        end_level=9,
+        delta=10,
+        n_training_queries=200,
+        n_inference_queries=800,
+        episodes=3,
+        n_train_databases=2,
+        train_db_size=80,
+        train_budget_ratio=_RATIO,
+        seed=0,
+    )
+    params.update(config_overrides)
+    # Keep the level pair consistent when one side is swept.
+    if params["end_level"] < params["start_level"]:
+        params["end_level"] = params["start_level"] + 2
+    config = RL4QDTSConfig(**params)
+    factory = make_workload_factory("data", setting, db, 200)
+    model = RL4QDTS.train(db, config=config, workload_factory=factory)
+    annotation = inference_workload(model, db, setting, "data")
+    simplified = model.simplify(
+        db, budget_ratio=_RATIO, seed=1, workload=annotation
+    )
+    return evaluator.evaluate(simplified, ("range",))["range"]
+
+
+def _run_model_param_sweeps(db):
+    setting = SETTINGS["geolife"]
+    evaluator = make_evaluator(db, setting, distribution="data", seed=0)
+    results = {
+        "S (start level)": {
+            s: _train_and_score(db, setting, evaluator, start_level=s)
+            for s in _S_VALUES
+        },
+        "E (end level)": {
+            e: _train_and_score(db, setting, evaluator, end_level=e)
+            for e in _E_VALUES
+        },
+        "K (candidates)": {
+            k: _train_and_score(db, setting, evaluator, k_candidates=k)
+            for k in _K_VALUES
+        },
+    }
+    return results
+
+
+def bench_param_study_model(benchmark, geolife_bench_db):
+    results = benchmark.pedantic(
+        _run_model_param_sweeps, args=(geolife_bench_db,), rounds=1, iterations=1
+    )
+    for param, values in results.items():
+        print(f"\n=== Parameter study: {param} (range F1 at r={_RATIO:.1%}) ===")
+        print("  ".join(f"{k}={v:.4f}" for k, v in values.items()))
+    print("paper: moderate S/E best; K=2 the effectiveness/efficiency sweet spot")
+
+    for param, values in results.items():
+        assert all(0.0 <= v <= 1.0 for v in values.values()), param
+
+
+def _run_knn_k_sweep(db):
+    setting = SETTINGS["geolife"]
+    factory = make_workload_factory("data", setting, db, 200)
+    config = RL4QDTSConfig(
+        start_level=6, end_level=9, delta=10, n_training_queries=200,
+        n_inference_queries=800, episodes=3, n_train_databases=2,
+        train_db_size=80, train_budget_ratio=_RATIO, seed=0,
+    )
+    model = RL4QDTS.train(db, config=config, workload_factory=factory)
+    annotation = inference_workload(model, db, setting, "data")
+    simplified = model.simplify(db, budget_ratio=_RATIO, seed=1, workload=annotation)
+    scores = {}
+    for k in _KNN_KS:
+        evaluator = QueryAccuracyEvaluator(
+            db,
+            QuerySuiteConfig(n_knn_queries=6, k=k, clustering_subset=4, seed=0),
+        )
+        per_task = evaluator.evaluate(simplified, ("knn_edr", "knn_t2vec"))
+        scores[k] = (per_task["knn_edr"], per_task["knn_t2vec"])
+    return scores
+
+
+def bench_param_study_knn_k(benchmark, geolife_bench_db):
+    scores = benchmark.pedantic(
+        _run_knn_k_sweep, args=(geolife_bench_db,), rounds=1, iterations=1
+    )
+    print("\n=== Parameter study: kNN k (F1 of kNN queries) ===")
+    print("k".ljust(6) + "knn_edr".rjust(10) + "knn_t2vec".rjust(12))
+    for k, (edr, t2v) in scores.items():
+        print(str(k).ljust(6) + f"{edr:.4f}".rjust(10) + f"{t2v:.4f}".rjust(12))
+    print("paper: effectiveness improves as k increases")
+
+    ks = sorted(scores)
+    # Larger k makes the task more forgiving on average (paper's trend);
+    # allow small non-monotonicity at this scale.
+    assert scores[ks[-1]][0] >= scores[ks[0]][0] - 0.15

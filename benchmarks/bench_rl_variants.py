@@ -1,0 +1,82 @@
+"""Extension bench — RL learner ablation (DQN / Double-DQN / REINFORCE).
+
+The paper trains both agents with vanilla DQN and notes that "other RL
+algorithms such as policy gradient can also be used" (Section IV-C). This
+bench swaps the learner while holding everything else fixed: same octree,
+same MDPs, same shared Δ-window rewards, same training workloads.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from benchmarks.conftest import (
+    SETTINGS,
+    inference_workload,
+    make_evaluator,
+    make_workload_factory,
+)
+from repro.core import RL4QDTS, RL4QDTSConfig
+from repro.eval import ExperimentTable
+from repro.rl import DQNConfig
+
+_RATIO = 0.045
+_ROLLOUTS = 3
+
+_VARIANTS = {
+    "DQN (paper)": {"learner": "dqn", "dqn": DQNConfig()},
+    "Double DQN": {"learner": "dqn", "dqn": DQNConfig(double_dqn=True)},
+    "REINFORCE": {"learner": "reinforce", "dqn": DQNConfig()},
+}
+
+
+def _run_learner_comparison(db):
+    setting = SETTINGS["geolife"]
+    evaluator = make_evaluator(db, setting, distribution="data", seed=0)
+    factory = make_workload_factory("data", setting, db, 200)
+    rows = {}
+    for name, overrides in _VARIANTS.items():
+        config = RL4QDTSConfig(
+            start_level=6,
+            end_level=9,
+            delta=10,
+            n_training_queries=200,
+            n_inference_queries=1000,
+            episodes=4,
+            n_train_databases=2,
+            train_db_size=80,
+            train_budget_ratio=_RATIO,
+            seed=0,
+            **overrides,
+        )
+        start = time.perf_counter()
+        model = RL4QDTS.train(db, config=config, workload_factory=factory)
+        train_time = time.perf_counter() - start
+        annotation = inference_workload(model, db, setting, "data")
+        f1s = []
+        for rollout in range(_ROLLOUTS):
+            simplified = model.simplify(
+                db, budget_ratio=_RATIO, seed=100 + rollout, workload=annotation
+            )
+            f1s.append(evaluator.evaluate(simplified, ("range",))["range"])
+        rows[name] = (float(np.mean(f1s)), float(np.std(f1s)), train_time)
+    return rows
+
+
+def bench_rl_learner_variants(benchmark, geolife_bench_db):
+    rows = benchmark.pedantic(
+        _run_learner_comparison, args=(geolife_bench_db,), rounds=1, iterations=1
+    )
+    table = ExperimentTable(
+        f"RL learner ablation (Geolife profile, range query, r={_RATIO:.1%})",
+        ["learner", "range F1", "std", "train (s)"],
+    )
+    for name, (mean, std, train_s) in rows.items():
+        table.add_row(name, mean, std, train_s)
+    table.print()
+
+    # All three learners must produce usable (non-collapsed) policies.
+    for name, (mean, _, _) in rows.items():
+        assert mean > 0.2, f"{name} collapsed"

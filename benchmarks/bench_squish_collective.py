@@ -1,0 +1,93 @@
+"""Extension bench — collective budgets in the streaming setting.
+
+The paper's Issue 1 (uniform compression ratio) motivates collective
+simplification: trajectories of different complexity deserve different
+ratios. This bench tests whether the argument carries over to the *online*
+family by comparing per-trajectory SQUISH ("E": each trajectory gets
+``r * |T|`` buffer slots) against the global-buffer variant
+(``squish_database``, "W": all trajectories compete for one ``r * N``
+buffer) on a database that is half simple lines, half complex zigzags.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import squish, squish_database
+from repro.data import Trajectory, TrajectoryDatabase
+from repro.errors import trajectory_error
+from repro.eval import ExperimentTable
+
+_RATIO = 0.15
+_N_EACH = 20
+_LENGTH = 80
+
+
+def _mixed_db() -> tuple[TrajectoryDatabase, set[int], set[int]]:
+    """Half near-straight commutes, half erratic zigzags, interleaved in time."""
+    rng = np.random.default_rng(4)
+    trajs = []
+    simple_ids, complex_ids = set(), set()
+    t0 = 0.0
+    for i in range(2 * _N_EACH):
+        t = t0 + np.arange(_LENGTH, dtype=float)
+        if i % 2 == 0:
+            xs = np.linspace(0, 100, _LENGTH) + rng.normal(0, 0.05, _LENGTH)
+            ys = 0.5 * xs + rng.normal(0, 0.05, _LENGTH)
+            simple_ids.add(i)
+        else:
+            xs = np.cumsum(rng.normal(0, 3.0, _LENGTH))
+            ys = np.cumsum(rng.normal(0, 3.0, _LENGTH))
+            complex_ids.add(i)
+        trajs.append(Trajectory(np.column_stack([xs, ys, t]), traj_id=i))
+        t0 += 0.37  # interleave lifespans
+    return TrajectoryDatabase(trajs), simple_ids, complex_ids
+
+
+def _run_study():
+    db, simple_ids, complex_ids = _mixed_db()
+    budget_total = db.budget_for_ratio(_RATIO)
+
+    kept_e = {
+        t.traj_id: squish(t, max(2, int(_RATIO * len(t)))) for t in db
+    }
+    kept_w = squish_database(db, budget_total)
+
+    def summarize(kept):
+        simple_pts = [len(kept[i]) for i in simple_ids]
+        complex_pts = [len(kept[i]) for i in complex_ids]
+        errors = [
+            trajectory_error(db[tid], idxs, measure="sed")
+            for tid, idxs in kept.items()
+        ]
+        return (
+            float(np.mean(simple_pts)),
+            float(np.mean(complex_pts)),
+            float(np.mean(errors)),
+            float(np.max(errors)),
+            sum(len(v) for v in kept.values()),
+        )
+
+    return {"SQUISH (E)": summarize(kept_e), "SQUISH (W)": summarize(kept_w)}
+
+
+def bench_squish_collective(benchmark):
+    rows = benchmark.pedantic(_run_study, rounds=1, iterations=1)
+    table = ExperimentTable(
+        f"Collective vs per-trajectory streaming budgets (r={_RATIO:.0%}, "
+        "half lines / half zigzags)",
+        ["variant", "pts/simple traj", "pts/complex traj",
+         "mean SED", "worst SED", "total points"],
+    )
+    for name, (simple, complex_, mean_err, worst, total) in rows.items():
+        table.add_row(name, simple, complex_, mean_err, worst, total)
+    table.print()
+
+    e_simple, e_complex = rows["SQUISH (E)"][0], rows["SQUISH (E)"][1]
+    w_simple, w_complex = rows["SQUISH (W)"][0], rows["SQUISH (W)"][1]
+    # "E" spends the same on both halves (uniform ratio, equal lengths)...
+    assert abs(e_simple - e_complex) < 1.0
+    # ..."W" shifts budget from simple to complex trajectories (Issue 1)...
+    assert w_complex > w_simple + 2.0
+    # ...which buys a lower mean error at the same total budget.
+    assert rows["SQUISH (W)"][2] < rows["SQUISH (E)"][2]

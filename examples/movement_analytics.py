@@ -1,0 +1,93 @@
+"""Scenario: movement analytics on a simplified database.
+
+The paper's motivation for supporting *multiple* query operators from one
+simplified database: an urban-mobility team stores a single compressed copy
+of its GPS archive and runs similarity search, kNN retrieval, and TRACLUS
+corridor clustering against it.
+
+This example simplifies a database once with RL4QDTS (trained on range
+queries only — the paper's transfer claim) and then exercises all the other
+operators on the result, comparing each answer with the answer on the
+original data.
+
+Run with::
+
+    python examples/movement_analytics.py
+"""
+
+from __future__ import annotations
+
+from repro import RL4QDTS, synthetic_database
+from repro.core import RL4QDTSConfig
+from repro.data.stats import spatial_scale
+from repro.queries import (
+    T2VecEmbedder,
+    knn_query,
+    similarity_query,
+    traclus_cluster,
+)
+from repro.queries.clustering import TraclusConfig
+from repro.queries.metrics import clustering_f1, f1_score
+
+
+def main() -> None:
+    db = synthetic_database("geolife", n_trajectories=80, points_scale=0.1, seed=11)
+    scale = spatial_scale(db)
+    print(f"database: {len(db)} trajectories, {db.total_points} points")
+
+    # Simplify ONCE (trained on range queries only), keep 8% of points.
+    config = RL4QDTSConfig(
+        start_level=6, end_level=9, delta=10,
+        n_training_queries=100, n_inference_queries=500,
+        episodes=3, n_train_databases=2, train_db_size=50,
+        train_budget_ratio=0.08, seed=0,
+    )
+    model = RL4QDTS.train(db, config=config)
+    simplified = model.simplify(db, budget_ratio=0.08, seed=1)
+    print(f"simplified to {simplified.total_points} points "
+          f"({simplified.total_points / db.total_points:.1%})\n")
+
+    # --- kNN retrieval: "find rides similar to this one" -------------------
+    query_traj = db[5]
+    k = 5
+    knn_orig = knn_query(db, query_traj, k, measure="edr", eps=0.1 * scale)
+    knn_simp = knn_query(simplified, query_traj, k, measure="edr", eps=0.1 * scale)
+    print(f"kNN (EDR, k={k}) on original:   {knn_orig}")
+    print(f"kNN (EDR, k={k}) on simplified: {knn_simp}")
+    print(f"agreement: {f1_score(set(knn_orig), set(knn_simp)):.2f}\n")
+
+    # Learned-similarity retrieval via the t2vec-style embedding, trained on
+    # the original archive and applied to both databases.
+    embedder = T2VecEmbedder(resolution=20, dim=16, epochs=2, seed=0).fit(db)
+    t2v_orig = knn_query(db, query_traj, k, measure="t2vec", embedder=embedder)
+    t2v_simp = knn_query(simplified, query_traj, k, measure="t2vec", embedder=embedder)
+    print(f"kNN (t2vec) agreement: {f1_score(set(t2v_orig), set(t2v_simp)):.2f}\n")
+
+    # --- Companion detection: who moved together with trajectory 5? --------
+    # The threshold must exceed the simplification deformation, or even the
+    # query trajectory's own simplified version stops matching.
+    delta = 0.3 * scale
+    sim_orig = similarity_query(db, query_traj, delta)
+    sim_simp = similarity_query(simplified, query_traj, delta)
+    print(f"similarity query (delta={delta:.0f}m):")
+    print(f"  original matches:   {sorted(sim_orig)}")
+    print(f"  simplified matches: {sorted(sim_simp)}")
+    print(f"  agreement: {f1_score(sim_orig, sim_simp):.2f}\n")
+
+    # --- Corridor clustering (TRACLUS) on a subset --------------------------
+    subset_ids = list(range(30))
+    traclus_config = TraclusConfig(eps=0.08 * scale, min_lns=3)
+    clusters_orig = traclus_cluster(db.subset(subset_ids), traclus_config).clusters
+    clusters_simp = traclus_cluster(
+        simplified.subset(subset_ids), traclus_config
+    ).clusters
+    print(f"TRACLUS corridors on original:   {len(clusters_orig)} clusters")
+    print(f"TRACLUS corridors on simplified: {len(clusters_simp)} clusters")
+    print(
+        "pair-level agreement: "
+        f"{clustering_f1(clusters_orig, clusters_simp):.2f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""Quickstart: simplify a trajectory database while preserving query accuracy.
+
+This walks through the full RL4QDTS pipeline on a small synthetic database:
+
+1. generate a Geolife-like trajectory database,
+2. train the two cooperative agents on range-query workloads,
+3. simplify the database to 5% of its points,
+4. compare query accuracy against an error-driven baseline.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import RL4QDTS, synthetic_database
+from repro.baselines import get_baseline, simplify_database
+from repro.core import RL4QDTSConfig
+from repro.data import dataset_statistics
+from repro.eval import QueryAccuracyEvaluator, QuerySuiteConfig
+
+
+def main() -> None:
+    # 1. A scaled-down Geolife-profile database: ~100 trajectories of
+    #    pedestrian/vehicle movement with 1-5s sampling.
+    db = synthetic_database("geolife", n_trajectories=100, points_scale=0.1, seed=7)
+    stats = dataset_statistics(db)
+    print(f"database: {len(db)} trajectories, {db.total_points} points")
+    print(f"mean sampling interval: {stats.mean_sampling_interval:.1f}s, "
+          f"mean segment: {stats.mean_segment_length:.1f}m")
+
+    # 2. Train RL4QDTS. The config below is sized for a quick demo; see
+    #    benchmarks/conftest.py for the benchmark-scale settings.
+    config = RL4QDTSConfig(
+        start_level=6,
+        end_level=9,
+        delta=10,
+        n_training_queries=100,
+        n_inference_queries=500,
+        episodes=3,
+        n_train_databases=2,
+        train_db_size=60,
+        train_budget_ratio=0.05,
+        seed=0,
+    )
+    print("\ntraining RL4QDTS (two cooperative DQN agents)...")
+    model = RL4QDTS.train(db, config=config)
+    print(f"trained: best diff over training = {model.history.best_diff:.3f}")
+
+    # 3. Simplify to 5% of the original points — one collective budget for
+    #    the whole database, not a per-trajectory ratio.
+    ratio = 0.05
+    simplified = model.simplify(db, budget_ratio=ratio, seed=1)
+    print(f"\nsimplified: {db.total_points} -> {simplified.total_points} points "
+          f"({simplified.total_points / db.total_points:.1%})")
+
+    # 4. How well do queries still work? Compare against Bottom-Up(E,SED),
+    #    a classic error-driven baseline given the same budget.
+    evaluator = QueryAccuracyEvaluator(
+        db, QuerySuiteConfig(n_range_queries=100, clustering_subset=12, seed=0)
+    )
+    baseline = simplify_database(db, ratio, get_baseline("Bottom-Up(E,SED)"))
+
+    print("\nquery accuracy (F1 against results on the original database):")
+    print(f"{'task':<14}{'RL4QDTS':>10}{'Bottom-Up(E,SED)':>20}")
+    rl_scores = evaluator.evaluate(simplified)
+    bu_scores = evaluator.evaluate(baseline)
+    for task in rl_scores:
+        print(f"{task:<14}{rl_scores[task]:>10.3f}{bu_scores[task]:>20.3f}")
+
+    # 5. Models persist to a single .npz file.
+    model.save("/tmp/rl4qdts_quickstart.npz")
+    print("\nmodel saved to /tmp/rl4qdts_quickstart.npz "
+          "(reload with RL4QDTS.load)")
+
+
+if __name__ == "__main__":
+    main()

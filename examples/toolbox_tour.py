@@ -1,0 +1,64 @@
+"""Tour of the supporting toolbox: viz, error-bounded mode, joins.
+
+Beyond the paper's core pipeline the library ships a few practitioner
+conveniences:
+
+* ASCII rendering of datasets and simplifications (no plotting stack),
+* error-bounded simplification (fix a quality target instead of a size),
+* trajectory distance joins ("which pairs ever came close?").
+
+Run with::
+
+    python examples/toolbox_tour.py
+"""
+
+from __future__ import annotations
+
+from repro import synthetic_database
+from repro.baselines import error_bounded_simplify, top_down
+from repro.data.stats import spatial_scale
+from repro.errors import trajectory_error
+from repro.queries import distance_join
+from repro.viz import render_comparison, render_density
+
+
+def main() -> None:
+    db = synthetic_database("chengdu", n_trajectories=60, points_scale=0.6, seed=9)
+    scale = spatial_scale(db)
+
+    # --- where is the data? --------------------------------------------------
+    print("spatial density of the database (hotspot structure visible):\n")
+    print(render_density(db, width=60, height=16))
+
+    # --- error-bounded simplification ---------------------------------------
+    traj = db[0]
+    tolerance = 0.05 * scale
+    kept = error_bounded_simplify(traj, tolerance, "sed")
+    print(
+        f"\nerror-bounded mode: {len(traj)} -> {len(kept)} points with "
+        f"SED <= {tolerance:.0f} m "
+        f"(achieved {trajectory_error(traj, kept, 'sed'):.0f} m)"
+    )
+
+    # --- budgeted simplification, visual check ------------------------------
+    budget = max(6, len(traj) // 8)
+    simplified = traj.subsample(top_down(traj, budget, "sed"))
+    print(f"\nbudgeted Top-Down to {budget} points "
+          "('.' original, '#' kept):\n")
+    print(render_comparison(traj, simplified, width=60, height=14))
+
+    # --- who travelled together? --------------------------------------------
+    # Joins need temporal overlap, so use the T-Drive profile: multi-hour
+    # taxi shifts overlap heavily in time.
+    taxis = synthetic_database("tdrive", n_trajectories=40, points_scale=0.08,
+                               seed=2)
+    delta = 0.15 * spatial_scale(taxis)
+    pairs = distance_join(taxis, delta, mode="ever")
+    print(f"\ndistance join on {len(taxis)} taxi shifts "
+          f"(ever within {delta:.0f} m): {len(pairs)} pairs")
+    closest = sorted(tuple(sorted(p)) for p in pairs)[:5]
+    print(f"first pairs: {closest}")
+
+
+if __name__ == "__main__":
+    main()

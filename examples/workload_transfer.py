@@ -1,0 +1,97 @@
+"""Workload transfer: what happens when the query distribution shifts?
+
+The paper's transferability test (Fig. 9) trains RL4QDTS under one query
+distribution and evaluates it under others. This example reproduces that
+scenario end to end with the workload toolbox:
+
+1. train under a Gaussian workload centred mid-region,
+2. persist the training workload to JSON (as a production system would),
+3. evaluate the simplified database under shifted Gaussians, a Zipf
+   hotspot workload, and a mixture — without retraining.
+
+Run with::
+
+    python examples/workload_transfer.py
+"""
+
+from __future__ import annotations
+
+from repro.baselines import get_baseline, simplify_database
+from repro.core import RL4QDTS, RL4QDTSConfig
+from repro.eval import ExperimentTable
+from repro.queries import f1_score
+from repro.workloads import RangeQueryWorkload
+
+
+def workload_f1(db, simplified, workload) -> float:
+    """Mean F1 of a workload's results on the simplified database."""
+    truths = workload.evaluate(db)
+    results = workload.evaluate(simplified)
+    return sum(f1_score(t, r) for t, r in zip(truths, results)) / len(workload)
+
+
+def main() -> None:
+    from repro.data import synthetic_database
+
+    db = synthetic_database("geolife", n_trajectories=80, points_scale=0.08, seed=3)
+    ratio = 0.08
+
+    # 1. Train under Gaussian(0.5, 0.2) queries — the paper's setup.
+    train_factory = lambda d, seed: RangeQueryWorkload.from_gaussian(  # noqa: E731
+        d, 150, mu=0.5, sigma=0.2, seed=seed
+    )
+    config = RL4QDTSConfig(
+        start_level=6, end_level=9, delta=10,
+        n_training_queries=150, n_inference_queries=600,
+        episodes=3, n_train_databases=2, train_db_size=50,
+        train_budget_ratio=ratio, seed=0,
+    )
+    print("training under Gaussian(mu=0.5, sigma=0.2) queries...")
+    model = RL4QDTS.train(db, config=config, workload_factory=train_factory)
+
+    # 2. Persist the annotation workload; a deployment would reload it when
+    #    simplifying new data snapshots.
+    annotation = train_factory(db, 999)
+    annotation.save("/tmp/training_workload.json")
+    annotation = RangeQueryWorkload.load("/tmp/training_workload.json")
+    simplified = model.simplify(db, budget_ratio=ratio, workload=annotation, seed=1)
+    baseline = simplify_database(db, ratio, get_baseline("Bottom-Up(E,SED)"))
+
+    # 3. Evaluate under distributions the model never saw.
+    test_workloads = {
+        "Gaussian mu=0.5 (training)": RangeQueryWorkload.from_gaussian(
+            db, 100, mu=0.5, sigma=0.2, seed=42
+        ),
+        "Gaussian mu=0.8 (shifted)": RangeQueryWorkload.from_gaussian(
+            db, 100, mu=0.8, sigma=0.2, seed=42
+        ),
+        "Gaussian sigma=0.6 (spread)": RangeQueryWorkload.from_gaussian(
+            db, 100, mu=0.5, sigma=0.6, seed=42
+        ),
+        "Zipf a=4 (hotspots)": RangeQueryWorkload.from_zipf(
+            db, 100, a=4.0, seed=42
+        ),
+        "mixture data+uniform": RangeQueryWorkload.from_mixture(
+            db, 100, {"data": 0.6, "uniform": 0.4}, seed=42
+        ),
+    }
+
+    table = ExperimentTable(
+        f"Transfer under query-distribution shift (range F1, r={ratio:.0%})",
+        ["test workload", "RL4QDTS", "Bottom-Up(E,SED)"],
+    )
+    for name, workload in test_workloads.items():
+        table.add_row(
+            name,
+            workload_f1(db, simplified, workload),
+            workload_f1(db, baseline, workload),
+        )
+    table.print()
+    print("\nmoderate Gaussian shifts transfer because the policy encodes the "
+          "data's spatio-temporal structure, not the training queries (paper, "
+          "Section V-B(12)); drastic shifts (Zipf, mixtures) favour the "
+          "error-driven baseline at this demo scale — see EXPERIMENTS.md.")
+
+
+if __name__ == "__main__":
+    main()

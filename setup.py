@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The environment ships an older setuptools without the ``wheel`` package, so
+PEP 660 editable installs (``pip install -e .``) cannot build an editable
+wheel offline. ``python setup.py develop`` (or ``pip install -e .`` on a
+newer toolchain) installs the package identically; all metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

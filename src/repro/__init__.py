@@ -1,0 +1,101 @@
+"""RL4QDTS: query-accuracy-driven collective trajectory simplification.
+
+This package reproduces the system described in "Collectively Simplifying
+Trajectories in a Database: A Query Accuracy Driven Approach" (ICDE 2024).
+It provides:
+
+* a numpy-backed trajectory data model and synthetic dataset generators
+  (:mod:`repro.data`),
+* the four classical simplification error measures SED / PED / DAD / SAD
+  (:mod:`repro.errors`),
+* spatio-temporal indexes — octree, kd-tree, grid, STR R-tree, temporal
+  interval index (:mod:`repro.index`),
+* range / kNN / similarity / clustering query operators together with the
+  F1-based quality measures used by the paper (:mod:`repro.queries`),
+* query workload generators over several spatial distributions
+  (:mod:`repro.workloads`),
+* a from-scratch numpy DQN stack and the two cooperative agents, Agent-Cube
+  and Agent-Point (:mod:`repro.rl`),
+* the RL4QDTS algorithm itself (:mod:`repro.core`),
+* the paper's 25 error-driven baselines with "E" and "W" adaptations
+  (:mod:`repro.baselines`), and
+* the evaluation harness regenerating every table and figure
+  (:mod:`repro.eval`).
+
+Quickstart::
+
+    from repro import synthetic_database, RL4QDTS, RangeQueryWorkload
+
+    db = synthetic_database("geolife", n_trajectories=50, seed=7)
+    workload = RangeQueryWorkload.from_data_distribution(db, n_queries=40, seed=7)
+    simplifier = RL4QDTS.train(db, workload, budget_ratio=0.05, seed=7)
+    simplified = simplifier.simplify(db, budget_ratio=0.05)
+"""
+
+from repro.data import (
+    Trajectory,
+    TrajectoryDatabase,
+    BoundingBox,
+    synthetic_database,
+    DATASET_PROFILES,
+)
+from repro.errors import sed_error, ped_error, dad_error, sad_error, trajectory_error
+from repro.index import Octree, KDTree, GridIndex, RTree, TemporalIndex
+from repro.queries import (
+    RangeQuery,
+    range_query,
+    knn_query,
+    similarity_query,
+    traclus_cluster,
+    f1_score,
+)
+from repro.workloads import RangeQueryWorkload
+from repro.core import RL4QDTS, RL4QDTSConfig
+from repro.baselines import (
+    top_down,
+    bottom_up,
+    span_search,
+    simplify_database,
+    BaselineSpec,
+    all_baselines,
+    greedy_qdts,
+    optimal_min_error,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Trajectory",
+    "TrajectoryDatabase",
+    "BoundingBox",
+    "synthetic_database",
+    "DATASET_PROFILES",
+    "sed_error",
+    "ped_error",
+    "dad_error",
+    "sad_error",
+    "trajectory_error",
+    "Octree",
+    "KDTree",
+    "GridIndex",
+    "RTree",
+    "TemporalIndex",
+    "RangeQuery",
+    "range_query",
+    "knn_query",
+    "similarity_query",
+    "traclus_cluster",
+    "f1_score",
+    "RangeQueryWorkload",
+    "RL4QDTS",
+    "RL4QDTSConfig",
+    "top_down",
+    "bottom_up",
+    "span_search",
+    "simplify_database",
+    "BaselineSpec",
+    "all_baselines",
+    "greedy_qdts",
+    "optimal_min_error",
+    "__version__",
+]

@@ -1,0 +1,75 @@
+"""Error-driven trajectory simplification baselines (paper, Section V-A).
+
+The paper compares RL4QDTS against 25 adaptations of four EDTS algorithms:
+
+* **Top-Down** (Douglas-Peucker style insertion under a budget),
+* **Bottom-Up** (iterative lowest-error point dropping),
+* **RLTS+** (reinforcement-learned bottom-up dropping),
+* **Span-Search** (direction-preserving simplification, DAD only),
+
+each combined with an error measure (SED / PED / DAD / SAD) and one of two
+database adaptations: **"E"** simplifies each trajectory separately with a
+proportional budget; **"W"** treats the whole database as one pool and
+inserts / drops points globally.
+"""
+
+from repro.baselines.topdown import top_down, top_down_database
+from repro.baselines.bottomup import bottom_up, bottom_up_database
+from repro.baselines.span_search import span_search
+from repro.baselines.rlts import RLTSPolicy, rlts_simplify, rlts_simplify_database
+from repro.baselines.registry import (
+    BaselineSpec,
+    all_baselines,
+    simplify_database,
+    get_baseline,
+)
+from repro.baselines.skyline import skyline
+from repro.baselines.online import squish, dead_reckoning, squish_database
+from repro.baselines.error_bounded import (
+    error_bounded_simplify,
+    error_bounded_simplify_database,
+)
+from repro.baselines.uniform import (
+    uniform_simplify,
+    random_simplify,
+    uniform_simplify_database,
+    random_simplify_database,
+)
+from repro.baselines.greedy_qdts import greedy_qdts, greedy_qdts_ratio
+from repro.baselines.optimal import (
+    OptimalResult,
+    optimal_min_error,
+    optimal_min_size,
+    optimal_min_error_database,
+)
+
+__all__ = [
+    "top_down",
+    "top_down_database",
+    "bottom_up",
+    "bottom_up_database",
+    "span_search",
+    "RLTSPolicy",
+    "rlts_simplify",
+    "rlts_simplify_database",
+    "BaselineSpec",
+    "all_baselines",
+    "simplify_database",
+    "get_baseline",
+    "skyline",
+    "squish",
+    "dead_reckoning",
+    "squish_database",
+    "error_bounded_simplify",
+    "error_bounded_simplify_database",
+    "uniform_simplify",
+    "random_simplify",
+    "uniform_simplify_database",
+    "random_simplify_database",
+    "greedy_qdts",
+    "greedy_qdts_ratio",
+    "OptimalResult",
+    "optimal_min_error",
+    "optimal_min_size",
+    "optimal_min_error_database",
+]

@@ -1,0 +1,120 @@
+"""Bottom-Up simplification (Marteau & Ménier style budgeted dropping).
+
+Starts from the full trajectory and repeatedly *drops* the interior point
+whose removal introduces the smallest error — the error of the merged anchor
+segment between the point's kept neighbours — until the budget is met. Both
+the per-trajectory ("E") and the whole-database ("W") adaptations are
+provided; "W" keeps one global candidate heap so over-sampled trajectories
+shed points first.
+
+The heaps use lazy invalidation: dropping a point re-scores only its two
+neighbours, and stale heap entries are skipped via per-point version stamps.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.data.database import TrajectoryDatabase
+from repro.data.trajectory import Trajectory
+from repro.errors.segment import segment_error
+
+
+class _LinkedTrajectory:
+    """Doubly-linked kept-point structure for one trajectory."""
+
+    __slots__ = ("points", "prev", "next", "alive", "version", "n_kept")
+
+    def __init__(self, points: np.ndarray) -> None:
+        n = len(points)
+        self.points = points
+        self.prev = np.arange(-1, n - 1)
+        self.next = np.arange(1, n + 1)
+        self.alive = np.ones(n, dtype=bool)
+        self.version = np.zeros(n, dtype=int)
+        self.n_kept = n
+
+    def drop_error(self, idx: int, measure: str) -> float:
+        return segment_error(
+            self.points, int(self.prev[idx]), int(self.next[idx]), measure
+        )
+
+    def drop(self, idx: int) -> tuple[int, int]:
+        """Remove ``idx``; returns its (former) neighbours for re-scoring."""
+        left, right = int(self.prev[idx]), int(self.next[idx])
+        self.next[left] = right
+        self.prev[right] = left
+        self.alive[idx] = False
+        self.n_kept -= 1
+        self.version[left] += 1
+        self.version[right] += 1
+        return left, right
+
+    def kept_indices(self) -> list[int]:
+        return [int(i) for i in np.flatnonzero(self.alive)]
+
+    def is_interior(self, idx: int) -> bool:
+        return self.alive[idx] and 0 < idx < len(self.points) - 1
+
+
+def bottom_up(
+    trajectory: Trajectory | np.ndarray,
+    budget: int,
+    measure: str = "sed",
+) -> list[int]:
+    """Kept indices for one trajectory simplified down to ``budget`` points."""
+    points = (
+        trajectory.points if isinstance(trajectory, Trajectory) else trajectory
+    )
+    if budget < 2:
+        raise ValueError("budget must keep at least the two endpoints")
+    linked = _LinkedTrajectory(points)
+    if budget >= linked.n_kept:
+        return list(range(len(points)))
+    heap: list[tuple[float, int, int]] = []  # (error, version, idx)
+    for idx in range(1, len(points) - 1):
+        heapq.heappush(heap, (linked.drop_error(idx, measure), 0, idx))
+    while linked.n_kept > budget and heap:
+        error, version, idx = heapq.heappop(heap)
+        if not linked.is_interior(idx) or version != linked.version[idx]:
+            continue
+        left, right = linked.drop(idx)
+        for nb in (left, right):
+            if linked.is_interior(nb):
+                heapq.heappush(
+                    heap,
+                    (linked.drop_error(nb, measure), int(linked.version[nb]), nb),
+                )
+    return linked.kept_indices()
+
+
+def bottom_up_database(
+    db: TrajectoryDatabase,
+    budget: int,
+    measure: str = "sed",
+) -> list[list[int]]:
+    """The "W" adaptation: drop globally cheapest points across the database."""
+    if budget < 2 * len(db):
+        raise ValueError("budget cannot cover 2 endpoints per trajectory")
+    linked = [_LinkedTrajectory(t.points) for t in db]
+    total = sum(l.n_kept for l in linked)
+    heap: list[tuple[float, int, int, int]] = []  # (error, version, tid, idx)
+    for tid, l in enumerate(linked):
+        for idx in range(1, len(l.points) - 1):
+            heapq.heappush(heap, (l.drop_error(idx, measure), 0, tid, idx))
+    while total > budget and heap:
+        error, version, tid, idx = heapq.heappop(heap)
+        l = linked[tid]
+        if not l.is_interior(idx) or version != l.version[idx]:
+            continue
+        left, right = l.drop(idx)
+        total -= 1
+        for nb in (left, right):
+            if l.is_interior(nb):
+                heapq.heappush(
+                    heap,
+                    (l.drop_error(nb, measure), int(l.version[nb]), tid, nb),
+                )
+    return [l.kept_indices() for l in linked]

@@ -1,0 +1,55 @@
+"""Error-bounded simplification (the dual EDTS problem).
+
+The paper's problem family fixes a *size* budget and minimizes error; the
+dual family (its Related Work, "Other Types of Trajectory Simplification")
+fixes an *error tolerance* and minimizes size. The one-pass greedy below is
+the classical batch algorithm for it: extend each anchor segment while its
+error stays within the tolerance, cut one point before the first violation.
+
+The greedy is also the feasibility oracle inside
+:mod:`repro.baselines.span_search`; exposing it publicly lets users simplify
+to a quality target instead of a storage target.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.span_search import _greedy_simplify
+from repro.data.database import TrajectoryDatabase
+from repro.data.trajectory import Trajectory
+from repro.errors.measures import MEASURES
+
+
+def error_bounded_simplify(
+    trajectory: Trajectory | np.ndarray,
+    tolerance: float,
+    measure: str = "sed",
+) -> list[int]:
+    """Fewest kept indices whose simplification error stays within tolerance.
+
+    The result is the greedy one-pass approximation (optimal algorithms are
+    cubic; see the paper's Related Work). Every simplified segment's error
+    under ``measure`` is at most ``tolerance``.
+    """
+    if tolerance < 0:
+        raise ValueError("tolerance must be non-negative")
+    if measure not in MEASURES:
+        raise ValueError(
+            f"unknown measure {measure!r}; choose from {sorted(MEASURES)}"
+        )
+    points = (
+        trajectory.points if isinstance(trajectory, Trajectory) else trajectory
+    )
+    return _greedy_simplify(points, tolerance, measure)
+
+
+def error_bounded_simplify_database(
+    db: TrajectoryDatabase,
+    tolerance: float,
+    measure: str = "sed",
+) -> TrajectoryDatabase:
+    """Apply :func:`error_bounded_simplify` to every trajectory."""
+    return db.map_simplify(
+        lambda t: error_bounded_simplify(t, tolerance, measure)
+    )

@@ -1,0 +1,190 @@
+"""GreedyQDTS: query-aware greedy insertion without reinforcement learning.
+
+RL4QDTS's core bet is that *learning* where to spend budget beats both
+error-driven heuristics and naive strategies. The natural non-learning
+comparator is plain greedy maximization of the QDTS objective itself:
+starting from the endpoints-only database, repeatedly insert the point whose
+insertion most increases the mean range-query F1 on a training workload
+(Eq. 3), then fill any budget that query coverage cannot use.
+
+This is weighted maximum coverage: inserting point ``p`` of trajectory
+``tid`` adds ``tid`` to the result set of every workload query whose box
+contains ``p``, and the F1 delta of each affected query is computable in
+O(1) from its count state. Marginal gains are maintained CELF-style: a
+max-heap of stale gains with exact recomputation on pop (entries are marked
+dirty when one of their queries changes), so each step costs ~O(log N) pops
+instead of a full re-scan.
+
+GreedyQDTS is *workload-optimal in hindsight* for the training queries but,
+unlike RL4QDTS, has no generalization mechanism: it covers the sampled
+training boxes exactly and spends nothing on the distribution around them.
+The benchmark (``benchmarks/bench_greedy_qdts.py``) measures how much that
+matters on held-out queries.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.data.database import TrajectoryDatabase
+from repro.data.simplification import SimplificationState
+from repro.workloads.generators import RangeQueryWorkload
+
+
+class _QueryCounters:
+    """Per-query F1 bookkeeping from set-size counters."""
+
+    __slots__ = ("truth", "in_result", "overlap", "size")
+
+    def __init__(self, truth: set[int]) -> None:
+        self.truth = truth
+        self.in_result: set[int] = set()
+        self.overlap = 0
+        self.size = 0
+
+    def f1(self) -> float:
+        if not self.truth and not self.in_result:
+            return 1.0
+        if self.overlap == 0:
+            return 0.0
+        p = self.overlap / self.size
+        r = self.overlap / len(self.truth) if self.truth else 0.0
+        if p + r == 0.0:
+            return 0.0
+        return 2.0 * p * r / (p + r)
+
+    def gain_of(self, traj_id: int) -> float:
+        """F1 delta if ``traj_id`` joined this query's result set."""
+        if traj_id in self.in_result:
+            return 0.0
+        before = self.f1()
+        self.size += 1
+        hit = traj_id in self.truth
+        if hit:
+            self.overlap += 1
+        after = self.f1()
+        self.size -= 1
+        if hit:
+            self.overlap -= 1
+        return after - before
+
+    def add(self, traj_id: int) -> None:
+        if traj_id in self.in_result:
+            return
+        self.in_result.add(traj_id)
+        self.size += 1
+        if traj_id in self.truth:
+            self.overlap += 1
+
+
+def greedy_qdts(
+    db: TrajectoryDatabase,
+    budget: int,
+    workload: RangeQueryWorkload,
+    rng: np.random.Generator | None = None,
+) -> TrajectoryDatabase:
+    """Greedy query-coverage simplification of ``db`` to ``budget`` points.
+
+    Parameters
+    ----------
+    db:
+        Database to simplify.
+    budget:
+        Total points to keep (at least two per trajectory).
+    workload:
+        The training range queries whose mean F1 the greedy maximizes; its
+        ground truth is evaluated on ``db``.
+    rng:
+        Source of randomness for spending leftover budget on points that no
+        query can use (defaults to a fixed seed).
+    """
+    if budget < 2 * len(db):
+        raise ValueError(
+            f"budget {budget} cannot cover 2 endpoints per trajectory"
+        )
+    rng = rng or np.random.default_rng(0)
+    state = SimplificationState(db)
+
+    counters = [
+        _QueryCounters(truth) for truth in workload.evaluate(db)
+    ]
+    lo = np.array([[b.xmin, b.ymin, b.tmin] for b in workload.boxes])
+    hi = np.array([[b.xmax, b.ymax, b.tmax] for b in workload.boxes])
+    n_queries = len(counters)
+
+    # Endpoints enter first and count toward query results.
+    for traj in db:
+        for point in (traj.points[0], traj.points[-1]):
+            inside = np.flatnonzero(
+                (point >= lo).all(axis=1) & (point <= hi).all(axis=1)
+            )
+            for qi in inside:
+                counters[qi].add(traj.traj_id)
+
+    # Candidate pool: interior points inside at least one query box.
+    point_queries: dict[tuple[int, int], np.ndarray] = {}
+    for traj in db:
+        interior = traj.points[1:-1]
+        if len(interior) == 0:
+            continue
+        # (n_pts, n_queries) containment, chunked per trajectory.
+        inside = (
+            (interior[:, None, :] >= lo[None, :, :]).all(axis=2)
+            & (interior[:, None, :] <= hi[None, :, :]).all(axis=2)
+        )
+        for offset in np.flatnonzero(inside.any(axis=1)):
+            key = (traj.traj_id, int(offset) + 1)
+            point_queries[key] = np.flatnonzero(inside[offset])
+
+    def gain(key: tuple[int, int]) -> float:
+        tid = key[0]
+        return sum(counters[qi].gain_of(tid) for qi in point_queries[key])
+
+    heap: list[tuple[float, int, int]] = [
+        (-gain(key), key[0], key[1]) for key in point_queries
+    ]
+    heapq.heapify(heap)
+
+    # CELF loop: stale gains can only be too optimistic for this objective's
+    # positive part, so re-evaluating the top and comparing against the next
+    # stale value yields the exact argmax whenever gains have not increased.
+    while state.total_kept < budget and heap:
+        neg_stale, tid, idx = heapq.heappop(heap)
+        if state.is_kept(tid, idx):
+            continue
+        fresh = gain((tid, idx))
+        if fresh <= 0.0:
+            continue  # cannot help any query anymore
+        if heap and -heap[0][0] > fresh + 1e-15:
+            heapq.heappush(heap, (-fresh, tid, idx))
+            continue
+        state.insert(tid, idx)
+        for qi in point_queries[(tid, idx)]:
+            counters[qi].add(tid)
+
+    # Spend whatever coverage could not use on uniformly random points, so
+    # the returned database honours the budget like every other method.
+    leftovers = [
+        (t.traj_id, i)
+        for t in db
+        for i in range(1, len(t) - 1)
+        if not state.is_kept(t.traj_id, i)
+    ]
+    rng.shuffle(leftovers)
+    for tid, idx in leftovers:
+        if state.total_kept >= budget:
+            break
+        state.insert(tid, idx)
+    return state.materialize()
+
+
+def greedy_qdts_ratio(
+    db: TrajectoryDatabase,
+    ratio: float,
+    workload: RangeQueryWorkload,
+    rng: np.random.Generator | None = None,
+) -> TrajectoryDatabase:
+    """:func:`greedy_qdts` with the budget given as a compression ratio."""
+    return greedy_qdts(db, db.budget_for_ratio(ratio), workload, rng)

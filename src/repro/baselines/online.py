@@ -1,0 +1,229 @@
+"""Online (streaming) simplification algorithms.
+
+The paper's related work covers a second EDTS family: *online* algorithms
+that see points one at a time and may not revisit dropped ones. Two classics
+are provided as extensions so the batch methods have streaming counterparts:
+
+* **SQUISH** (Muckell et al., 2011): a bounded buffer of kept points with a
+  priority queue — when the buffer overflows, the point whose removal adds
+  the least SED is dropped and its error is *bequeathed* to its neighbours
+  (so repeatedly squeezed regions grow resistant to further dropping).
+* **Dead reckoning** (Potamias et al., SSDBM'06): keep a point only when the
+  position predicted by linear extrapolation from the last kept point drifts
+  beyond a threshold — an error-bounded online filter.
+
+Both consume the point stream strictly left to right.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.data.trajectory import Trajectory
+from repro.errors.measures import sed_point_errors
+
+
+def _sed_of_middle(points: np.ndarray, left: int, mid: int, right: int) -> float:
+    """SED of point ``mid`` against the segment ``left -> right``."""
+    errors = sed_point_errors(points[[left, mid, right]], 0, 2)
+    return float(errors[0]) if len(errors) else 0.0
+
+
+def squish(
+    trajectory: Trajectory | np.ndarray,
+    budget: int,
+) -> list[int]:
+    """SQUISH: streaming simplification with a size-``budget`` buffer.
+
+    Returns the kept indices (always includes both endpoints). Matches the
+    original algorithm: priorities accumulate bequeathed error, so the
+    output is order-dependent in exactly the way a streaming consumer
+    experiences.
+    """
+    points = (
+        trajectory.points if isinstance(trajectory, Trajectory) else trajectory
+    )
+    n = len(points)
+    if budget < 2:
+        raise ValueError("budget must keep at least the two endpoints")
+    if budget >= n:
+        return list(range(n))
+
+    # Doubly-linked buffer over original indices.
+    prev: dict[int, int] = {}
+    nxt: dict[int, int] = {}
+    priority: dict[int, float] = {}
+    version: dict[int, int] = {}
+    heap: list[tuple[float, int, int]] = []
+    buffered: list[int] = []
+
+    def push(idx: int) -> None:
+        version[idx] = version.get(idx, 0) + 1
+        heapq.heappush(heap, (priority[idx], version[idx], idx))
+
+    def set_priority(idx: int, value: float) -> None:
+        priority[idx] = value
+        push(idx)
+
+    def recompute(idx: int) -> None:
+        if idx in prev and idx in nxt:
+            base = _sed_of_middle(points, prev[idx], idx, nxt[idx])
+            set_priority(idx, bequeathed.get(idx, 0.0) + base)
+
+    bequeathed: dict[int, float] = {}
+    for i in range(n):
+        buffered.append(i)
+        if len(buffered) >= 2:
+            prev[i] = buffered[-2]
+            nxt[buffered[-2]] = i
+        if len(buffered) >= 3:
+            recompute(buffered[-2])
+        if len(buffered) > budget:
+            # Pop the lowest-priority interior point (endpoints immortal).
+            while True:
+                value, ver, idx = heapq.heappop(heap)
+                if (
+                    idx in prev
+                    and idx in nxt
+                    and version.get(idx) == ver
+                ):
+                    break
+            left, right = prev.pop(idx), nxt.pop(idx)
+            nxt[left] = right
+            prev[right] = left
+            buffered.remove(idx)
+            # Bequeath the removed point's priority to its neighbours.
+            for nb in (left, right):
+                bequeathed[nb] = bequeathed.get(nb, 0.0) + value
+                recompute(nb)
+    return sorted(buffered)
+
+
+def dead_reckoning(
+    trajectory: Trajectory | np.ndarray,
+    threshold: float,
+) -> list[int]:
+    """Keep a point when linear extrapolation drifts beyond ``threshold``.
+
+    The predictor extrapolates from the last kept point with the velocity
+    observed at keep time; a point whose actual position deviates more than
+    ``threshold`` from the prediction is kept and the predictor restarts.
+    The final point is always kept.
+    """
+    points = (
+        trajectory.points if isinstance(trajectory, Trajectory) else trajectory
+    )
+    if threshold < 0:
+        raise ValueError("threshold must be non-negative")
+    n = len(points)
+    kept = [0]
+    anchor = points[0]
+    if n > 1:
+        dt0 = max(points[1, 2] - points[0, 2], 1e-9)
+        velocity = (points[1, :2] - points[0, :2]) / dt0
+    else:
+        velocity = np.zeros(2)
+    for i in range(1, n - 1):
+        elapsed = points[i, 2] - anchor[2]
+        predicted = anchor[:2] + velocity * elapsed
+        if np.linalg.norm(points[i, :2] - predicted) > threshold:
+            kept.append(i)
+            anchor = points[i]
+            dt = max(points[i + 1, 2] - points[i, 2], 1e-9)
+            velocity = (points[i + 1, :2] - points[i, :2]) / dt
+    kept.append(n - 1)
+    return kept
+
+
+def squish_database(
+    db,
+    budget: int,
+) -> dict[int, list[int]]:
+    """Whole-database SQUISH: one shared buffer across all trajectories.
+
+    The streaming analogue of the paper's "W" adaptations: points from all
+    trajectories arrive interleaved in *timestamp order* (a fleet's combined
+    telemetry feed) and compete for one global buffer of ``budget`` points.
+    Eviction picks the globally lowest-priority interior point, so simple
+    trajectories are squeezed harder than complex ones — the collective
+    behaviour that per-trajectory budgets cannot express.
+
+    Returns the kept indices per trajectory id. Endpoints (each
+    trajectory's first point and its latest-seen point) are never evicted,
+    so ``budget`` must be at least ``2 * len(db)``.
+    """
+    n_total = db.total_points
+    if budget < 2 * len(db):
+        raise ValueError(
+            f"budget {budget} cannot cover 2 endpoints per trajectory"
+        )
+    if budget >= n_total:
+        return {t.traj_id: list(range(len(t))) for t in db}
+
+    # Interleave all points by timestamp (ties broken by trajectory id).
+    stream = sorted(
+        (float(t.points[i, 2]), t.traj_id, i)
+        for t in db
+        for i in range(len(t))
+    )
+
+    prev: dict[tuple[int, int], tuple[int, int]] = {}
+    nxt: dict[tuple[int, int], tuple[int, int]] = {}
+    priority: dict[tuple[int, int], float] = {}
+    version: dict[tuple[int, int], int] = {}
+    bequeathed: dict[tuple[int, int], float] = {}
+    heap: list[tuple[float, int, int, int]] = []
+    buffered: set[tuple[int, int]] = set()
+    last_seen: dict[int, tuple[int, int]] = {}
+
+    def push(key: tuple[int, int]) -> None:
+        version[key] = version.get(key, 0) + 1
+        heapq.heappush(heap, (priority[key], version[key], key[0], key[1]))
+
+    def recompute(key: tuple[int, int]) -> None:
+        if key in prev and key in nxt and nxt[key] != key:
+            tid = key[0]
+            points = db[tid].points
+            base = _sed_of_middle(points, prev[key][1], key[1], nxt[key][1])
+            priority[key] = bequeathed.get(key, 0.0) + base
+            push(key)
+
+    def evict_one() -> None:
+        while True:
+            value, ver, tid, idx = heapq.heappop(heap)
+            key = (tid, idx)
+            if (
+                key in buffered
+                and key in prev
+                and key in nxt
+                and version.get(key) == ver
+                and last_seen[tid] != key
+                and idx != 0
+            ):
+                break
+        left, right = prev.pop(key), nxt.pop(key)
+        nxt[left] = right
+        prev[right] = left
+        buffered.discard(key)
+        for nb in (left, right):
+            bequeathed[nb] = bequeathed.get(nb, 0.0) + value
+            recompute(nb)
+
+    for _, tid, idx in stream:
+        key = (tid, idx)
+        buffered.add(key)
+        if tid in last_seen:
+            previous = last_seen[tid]
+            prev[key] = previous
+            nxt[previous] = key
+            recompute(previous)
+        last_seen[tid] = key
+        if len(buffered) > budget:
+            evict_one()
+
+    kept: dict[int, list[int]] = {t.traj_id: [] for t in db}
+    for tid, idx in buffered:
+        kept[tid].append(idx)
+    return {tid: sorted(idxs) for tid, idxs in kept.items()}

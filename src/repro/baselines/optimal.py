@@ -1,0 +1,220 @@
+"""Optimal error-driven simplification by dynamic programming.
+
+The paper (Section II) notes that exact EDTS algorithms exist — dynamic
+programming or binary search over candidate errors, following Chan & Chin
+(1996) and Bellman (1961) — but are cubic-time and therefore impractical at
+database scale. We implement them anyway, for two purposes:
+
+* as a **test oracle**: the heuristic baselines (Top-Down, Bottom-Up, RLTS+)
+  can never beat the optimum, which gives a strong correctness invariant for
+  the whole baseline stack, and
+* as a **quality-gap benchmark** (``benchmarks/bench_optimal_gap.py``):
+  how far from optimal are the practical heuristics on small inputs?
+
+Two dual problems are solved exactly:
+
+* :func:`optimal_min_error` — the EDTS problem itself: keep at most ``W``
+  points (including both endpoints) minimizing the trajectory error
+  (Eqs. 1-2) under a chosen measure;
+* :func:`optimal_min_size` — the error-bounded dual: keep as few points as
+  possible such that the trajectory error stays within a tolerance.
+
+Both run in O(n^2) segment-error evaluations; with O(n)-time per-segment
+errors this is the cubic behaviour the paper describes. Use on short
+trajectories only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.database import TrajectoryDatabase
+from repro.data.trajectory import Trajectory
+from repro.errors.segment import segment_error
+
+
+@dataclass(frozen=True, slots=True)
+class OptimalResult:
+    """The kept indices and the (optimal) resulting trajectory error."""
+
+    indices: tuple[int, ...]
+    error: float
+
+
+class _PairCostCache:
+    """Lazily evaluated segment errors ``eps(p_s p_e)`` for one trajectory."""
+
+    __slots__ = ("points", "measure", "_cache")
+
+    def __init__(self, points: np.ndarray, measure: str) -> None:
+        self.points = points
+        self.measure = measure
+        self._cache: dict[tuple[int, int], float] = {}
+
+    def cost(self, s: int, e: int) -> float:
+        key = (s, e)
+        value = self._cache.get(key)
+        if value is None:
+            value = segment_error(self.points, s, e, self.measure)
+            self._cache[key] = value
+        return value
+
+
+def _validate(points: np.ndarray, budget: int | None) -> int:
+    n = len(points)
+    if n < 2:
+        raise ValueError("need at least 2 points")
+    if budget is not None:
+        if budget < 2:
+            raise ValueError(f"budget must be >= 2, got {budget}")
+        return min(budget, n)
+    return n
+
+
+def optimal_min_error(
+    trajectory: Trajectory | np.ndarray,
+    budget: int,
+    measure: str = "sed",
+) -> OptimalResult:
+    """Minimum achievable trajectory error keeping at most ``budget`` points.
+
+    Implements the min-max dynamic program
+
+    ``E[j][k] = min_{i < j} max(E[i][k-1], eps(p_i p_j))``
+
+    where ``E[j][k]`` is the best error of a simplification of the prefix
+    ``p_0..p_j`` that keeps exactly ``k`` points and ends at ``p_j``. The
+    answer is ``E[n-1][budget]`` and the kept indices are recovered by
+    backtracking.
+
+    Parameters
+    ----------
+    trajectory:
+        A :class:`~repro.data.Trajectory` or raw ``(n, 3)`` array.
+    budget:
+        Maximum number of kept points (>= 2); endpoints always count.
+    measure:
+        One of ``"sed"``, ``"ped"``, ``"dad"``, ``"sad"``.
+    """
+    points = (
+        trajectory.points if isinstance(trajectory, Trajectory) else
+        np.asarray(trajectory, dtype=float)
+    )
+    budget = _validate(points, budget)
+    n = len(points)
+    if budget >= n:
+        return OptimalResult(tuple(range(n)), 0.0)
+    costs = _PairCostCache(points, measure)
+
+    inf = float("inf")
+    # best[j] at round k: optimal error ending at j with exactly k kept points.
+    best = np.full(n, inf)
+    best[0] = 0.0
+    parent = np.full((budget + 1, n), -1, dtype=int)
+    for k in range(2, budget + 1):
+        nxt = np.full(n, inf)
+        # j can be at most n-1; ending index needs k-1 predecessors.
+        for j in range(k - 1, n):
+            best_val = inf
+            best_i = -1
+            for i in range(k - 2, j):
+                prev = best[i]
+                if prev >= best_val:
+                    continue
+                value = max(prev, costs.cost(i, j))
+                if value < best_val:
+                    best_val = value
+                    best_i = i
+            nxt[j] = best_val
+            parent[k, j] = best_i
+        best = nxt
+        if best[n - 1] == 0.0:
+            budget = k  # already lossless with fewer points
+            break
+
+    indices = [n - 1]
+    k, j = budget, n - 1
+    while parent[k, j] >= 0:
+        j = int(parent[k, j])
+        indices.append(j)
+        k -= 1
+    indices.reverse()
+    if indices[0] != 0:  # pragma: no cover - DP guarantees this
+        raise AssertionError("backtracking did not reach the first point")
+    return OptimalResult(tuple(indices), float(best[n - 1]))
+
+
+def optimal_min_size(
+    trajectory: Trajectory | np.ndarray,
+    tolerance: float,
+    measure: str = "sed",
+) -> OptimalResult:
+    """Fewest kept points whose trajectory error is within ``tolerance``.
+
+    Breadth-first search over the DAG whose edge ``(i, j)`` exists when
+    ``eps(p_i p_j) <= tolerance``: the shortest path from point 0 to point
+    ``n - 1`` (in hops) is a minimum-size feasible simplification (Bellman's
+    formulation of the error-bounded dual).
+    """
+    if tolerance < 0:
+        raise ValueError("tolerance must be non-negative")
+    points = (
+        trajectory.points if isinstance(trajectory, Trajectory) else
+        np.asarray(trajectory, dtype=float)
+    )
+    _validate(points, None)
+    n = len(points)
+    costs = _PairCostCache(points, measure)
+
+    parent = np.full(n, -1, dtype=int)
+    visited = np.zeros(n, dtype=bool)
+    visited[0] = True
+    frontier = [0]
+    while frontier and not visited[n - 1]:
+        next_frontier: list[int] = []
+        for i in frontier:
+            # Scan farthest-first so long feasible jumps are claimed early.
+            for j in range(n - 1, i, -1):
+                if visited[j]:
+                    continue
+                if costs.cost(i, j) <= tolerance:
+                    visited[j] = True
+                    parent[j] = i
+                    next_frontier.append(j)
+        frontier = next_frontier
+    if not visited[n - 1]:  # pragma: no cover - (i, i+1) edges cost 0
+        raise AssertionError("the endpoint is always reachable")
+
+    indices = [n - 1]
+    j = n - 1
+    while parent[j] >= 0:
+        j = int(parent[j])
+        indices.append(j)
+    indices.reverse()
+    error = max(
+        (costs.cost(s, e) for s, e in zip(indices, indices[1:])), default=0.0
+    )
+    return OptimalResult(tuple(indices), float(error))
+
+
+def optimal_min_error_database(
+    db: TrajectoryDatabase,
+    ratio: float,
+    measure: str = "sed",
+) -> TrajectoryDatabase:
+    """Per-trajectory optimal simplification with a uniform ratio.
+
+    Each trajectory gets the proportional budget ``max(2, round(ratio * n))``
+    (the "E" adaptation of the paper's baselines, but with the exact solver).
+    Cubic per trajectory — intended for small benchmark databases only.
+    """
+    if not 0.0 < ratio <= 1.0:
+        raise ValueError(f"ratio must be in (0, 1], got {ratio}")
+
+    def simplify(traj: Trajectory) -> list[int]:
+        budget = max(2, int(round(ratio * len(traj))))
+        return list(optimal_min_error(traj, budget, measure).indices)
+
+    return db.map_simplify(simplify)

@@ -1,0 +1,129 @@
+"""The paper's 25 baselines and the database-level simplification driver.
+
+Each baseline is a :class:`BaselineSpec` of (algorithm, error measure,
+adaptation). The "E" adaptation simplifies every trajectory separately with
+the proportional budget ``max(2, round(r * |T|))``; the "W" adaptation pools
+the whole database (Section V-A). Span-Search exists only as "(E, DAD)",
+giving 3 algorithms x 4 measures x 2 adaptations + 1 = 25 baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.bottomup import bottom_up, bottom_up_database
+from repro.baselines.rlts import (
+    RLTSPolicy,
+    rlts_simplify,
+    rlts_simplify_database,
+)
+from repro.baselines.span_search import span_search
+from repro.baselines.topdown import top_down, top_down_database
+from repro.data.database import TrajectoryDatabase
+from repro.errors.measures import MEASURES
+
+_ALGORITHMS = ("topdown", "bottomup", "rlts")
+_DISPLAY = {
+    "topdown": "Top-Down",
+    "bottomup": "Bottom-Up",
+    "rlts": "RLTS+",
+    "spansearch": "Span-Search",
+}
+
+
+@dataclass(frozen=True, slots=True)
+class BaselineSpec:
+    """One baseline: algorithm x error measure x adaptation."""
+
+    algorithm: str
+    measure: str
+    adaptation: str  # "E" (each trajectory) or "W" (whole database)
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in (*_ALGORITHMS, "spansearch"):
+            raise ValueError(f"unknown algorithm {self.algorithm!r}")
+        if self.measure not in MEASURES:
+            raise ValueError(f"unknown measure {self.measure!r}")
+        if self.adaptation not in ("E", "W"):
+            raise ValueError(f"adaptation must be 'E' or 'W'")
+        if self.algorithm == "spansearch" and self.adaptation == "W":
+            raise ValueError("Span-Search has no 'W' adaptation")
+
+    @property
+    def name(self) -> str:
+        """Paper-style display name, e.g. ``Top-Down(E,PED)``."""
+        if self.algorithm == "spansearch":
+            return "Span-Search"
+        return f"{_DISPLAY[self.algorithm]}({self.adaptation},{self.measure.upper()})"
+
+
+def all_baselines() -> list[BaselineSpec]:
+    """The paper's 25 baselines."""
+    specs = [
+        BaselineSpec(algorithm, measure, adaptation)
+        for algorithm in _ALGORITHMS
+        for measure in sorted(MEASURES)
+        for adaptation in ("E", "W")
+    ]
+    specs.append(BaselineSpec("spansearch", "dad", "E"))
+    return specs
+
+
+def get_baseline(name: str) -> BaselineSpec:
+    """Look a baseline up by its display name (e.g. ``"Bottom-Up(E,SED)"``)."""
+    for spec in all_baselines():
+        if spec.name == name:
+            return spec
+    raise KeyError(f"unknown baseline {name!r}")
+
+
+def _per_trajectory_budget(n_points: int, ratio: float) -> int:
+    # Floor semantics keep the summed "E" budgets within the global budget
+    # r * N (the paper's "at most r * N points"); the floor of 2 endpoints
+    # is the same feasibility floor every simplifier gets.
+    return max(2, int(ratio * n_points))
+
+
+def simplify_database(
+    db: TrajectoryDatabase,
+    ratio: float,
+    spec: BaselineSpec,
+    rlts_policy: RLTSPolicy | None = None,
+) -> TrajectoryDatabase:
+    """Simplify ``db`` to compression ratio ``ratio`` with one baseline.
+
+    ``rlts_policy`` supplies a trained RLTS+ policy; when omitted an
+    untrained (randomly initialized) policy is used, which still runs but
+    behaves near-randomly among the J cheapest candidates.
+    """
+    if not 0.0 < ratio <= 1.0:
+        raise ValueError(f"compression ratio must be in (0, 1], got {ratio}")
+    budget_total = db.budget_for_ratio(ratio)
+
+    if spec.adaptation == "E":
+        if spec.algorithm == "topdown":
+            fn = lambda t, b: top_down(t, b, spec.measure)  # noqa: E731
+        elif spec.algorithm == "bottomup":
+            fn = lambda t, b: bottom_up(t, b, spec.measure)  # noqa: E731
+        elif spec.algorithm == "rlts":
+            policy = rlts_policy or RLTSPolicy(spec.measure)
+            fn = lambda t, b: rlts_simplify(t, b, spec.measure, policy)  # noqa: E731
+        else:
+            fn = lambda t, b: span_search(t, b, spec.measure)  # noqa: E731
+        return db.map_simplify(
+            lambda t: fn(t, _per_trajectory_budget(len(t), ratio))
+        )
+
+    # "W" adaptation: the whole database as one pool.
+    if spec.algorithm == "topdown":
+        kept = top_down_database(db, budget_total, spec.measure)
+    elif spec.algorithm == "bottomup":
+        kept = bottom_up_database(db, budget_total, spec.measure)
+    elif spec.algorithm == "rlts":
+        policy = rlts_policy or RLTSPolicy(spec.measure)
+        kept = rlts_simplify_database(db, budget_total, spec.measure, policy)
+    else:  # pragma: no cover - rejected in __post_init__
+        raise AssertionError("Span-Search has no 'W' adaptation")
+    return TrajectoryDatabase(
+        [t.subsample(kept[t.traj_id]) for t in db.trajectories]
+    )

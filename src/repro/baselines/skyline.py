@@ -1,0 +1,38 @@
+"""Skyline (Pareto) selection of baselines (paper, Figure 3).
+
+The paper first scores all 25 baselines on the five query tasks and keeps
+only the *skyline*: the methods not dominated on every task by some other
+method. RL4QDTS is then compared against the skyline only.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """True when ``a`` is >= ``b`` everywhere and > somewhere (higher better)."""
+    if len(a) != len(b):
+        raise ValueError("score vectors must have equal length")
+    at_least_as_good = all(x >= y for x, y in zip(a, b))
+    strictly_better = any(x > y for x, y in zip(a, b))
+    return at_least_as_good and strictly_better
+
+
+def skyline(scores: Mapping[str, Sequence[float]]) -> list[str]:
+    """Names of the non-dominated methods (insertion order preserved).
+
+    ``scores`` maps a method name to its per-task score vector; every vector
+    must have the same length and higher scores are better.
+    """
+    names = list(scores)
+    result = []
+    for name in names:
+        dominated = any(
+            dominates(scores[other], scores[name])
+            for other in names
+            if other != name
+        )
+        if not dominated:
+            result.append(name)
+    return result

@@ -1,0 +1,119 @@
+"""Top-Down simplification (Hershberger & Snoeyink's budgeted Douglas-Peucker).
+
+Starts from the endpoints and repeatedly *inserts* the point with the largest
+error under the chosen measure until the budget is reached (paper, Section
+II). Both the per-trajectory ("E") and the whole-database ("W") adaptations
+are provided; the "W" variant maintains one global priority queue over the
+segments of every trajectory, so complex trajectories absorb more budget.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.data.database import TrajectoryDatabase
+from repro.data.trajectory import Trajectory
+from repro.errors.measures import (
+    dad_segment_errors,
+    ped_point_errors,
+    sad_segment_errors,
+    sed_point_errors,
+)
+
+_POINT_ERROR_FNS = {"sed": sed_point_errors, "ped": ped_point_errors}
+_SEGMENT_ERROR_FNS = {"dad": dad_segment_errors, "sad": sad_segment_errors}
+
+
+def split_point(
+    points: np.ndarray, s: int, e: int, measure: str
+) -> tuple[float, int]:
+    """The worst error inside anchor ``(s, e)`` and the index to split at.
+
+    For point-based measures (SED / PED) the split is the worst interior
+    point. For segment-based measures (DAD / SAD) the worst constituent
+    segment is located and the split lands on an interior endpoint of it.
+    """
+    if e - s < 2:
+        return 0.0, -1
+    if measure in _POINT_ERROR_FNS:
+        errors = _POINT_ERROR_FNS[measure](points, s, e)
+        offset = int(np.argmax(errors))
+        return float(errors[offset]), s + 1 + offset
+    if measure in _SEGMENT_ERROR_FNS:
+        errors = _SEGMENT_ERROR_FNS[measure](points, s, e)
+        seg = int(np.argmax(errors))  # segment (s + seg, s + seg + 1)
+        idx = s + seg if seg > 0 else s + 1
+        return float(errors[seg]), min(max(idx, s + 1), e - 1)
+    raise ValueError(f"unknown measure {measure!r}")
+
+
+def top_down(
+    trajectory: Trajectory | np.ndarray,
+    budget: int,
+    measure: str = "sed",
+) -> list[int]:
+    """Kept indices for one trajectory simplified to ``budget`` points."""
+    points = (
+        trajectory.points if isinstance(trajectory, Trajectory) else trajectory
+    )
+    n = len(points)
+    if budget < 2:
+        raise ValueError("budget must keep at least the two endpoints")
+    kept = [0, n - 1]
+    if budget >= n:
+        return list(range(n))
+    # Max-heap of (negated error, tie-break, s, e, split index).
+    heap: list[tuple[float, int, int, int, int]] = []
+    counter = 0
+
+    def push(s: int, e: int) -> None:
+        nonlocal counter
+        error, idx = split_point(points, s, e, measure)
+        if idx >= 0:
+            heapq.heappush(heap, (-error, counter, s, e, idx))
+            counter += 1
+
+    push(0, n - 1)
+    while len(kept) < budget and heap:
+        _, _, s, e, idx = heapq.heappop(heap)
+        kept.append(idx)
+        push(s, idx)
+        push(idx, e)
+    return sorted(kept)
+
+
+def top_down_database(
+    db: TrajectoryDatabase,
+    budget: int,
+    measure: str = "sed",
+) -> list[list[int]]:
+    """The "W" adaptation: insert globally worst points across the database.
+
+    Returns the kept-index list per trajectory; total kept points equal
+    ``budget`` (floored at two endpoints per trajectory).
+    """
+    if budget < 2 * len(db):
+        raise ValueError("budget cannot cover 2 endpoints per trajectory")
+    kept: list[list[int]] = [[0, len(t) - 1] for t in db]
+    total = 2 * len(db)
+    heap: list[tuple[float, int, int, int, int, int]] = []
+    counter = 0
+
+    def push(tid: int, s: int, e: int) -> None:
+        nonlocal counter
+        error, idx = split_point(db[tid].points, s, e, measure)
+        if idx >= 0:
+            heapq.heappush(heap, (-error, counter, tid, s, e, idx))
+            counter += 1
+
+    for traj in db:
+        push(traj.traj_id, 0, len(traj) - 1)
+    while total < budget and heap:
+        _, _, tid, s, e, idx = heapq.heappop(heap)
+        kept[tid].append(idx)
+        total += 1
+        push(tid, s, idx)
+        push(tid, idx, e)
+    return [sorted(k) for k in kept]

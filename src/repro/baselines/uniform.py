@@ -1,0 +1,75 @@
+"""Budget-matched naive simplifiers used as sanity floors.
+
+Neither appears in the paper's baseline list — every published EDTS method
+beats them — but they anchor the benchmark results: any method worth its
+complexity must clear both.
+
+* :func:`uniform_simplify` keeps every k-th point (systematic sampling),
+  which is what a practitioner gets from naive down-sampling.
+* :func:`random_simplify` keeps a uniformly random subset of interior
+  points.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.database import TrajectoryDatabase
+from repro.data.trajectory import Trajectory
+
+
+def uniform_simplify(
+    trajectory: Trajectory | np.ndarray, budget: int
+) -> list[int]:
+    """Keep ``budget`` points at (approximately) regular index spacing."""
+    points = (
+        trajectory.points if isinstance(trajectory, Trajectory) else trajectory
+    )
+    n = len(points)
+    if budget < 2:
+        raise ValueError("budget must keep at least the two endpoints")
+    if budget >= n:
+        return list(range(n))
+    kept = np.unique(np.round(np.linspace(0, n - 1, budget)).astype(int))
+    return [int(i) for i in kept]
+
+
+def random_simplify(
+    trajectory: Trajectory | np.ndarray,
+    budget: int,
+    rng: np.random.Generator,
+) -> list[int]:
+    """Keep the endpoints plus a random subset of interior points."""
+    points = (
+        trajectory.points if isinstance(trajectory, Trajectory) else trajectory
+    )
+    n = len(points)
+    if budget < 2:
+        raise ValueError("budget must keep at least the two endpoints")
+    if budget >= n:
+        return list(range(n))
+    interior = rng.choice(np.arange(1, n - 1), size=budget - 2, replace=False)
+    return sorted({0, n - 1, *(int(i) for i in interior)})
+
+
+def uniform_simplify_database(
+    db: TrajectoryDatabase, ratio: float
+) -> TrajectoryDatabase:
+    """Systematic down-sampling of every trajectory at the same ratio."""
+    if not 0.0 < ratio <= 1.0:
+        raise ValueError(f"compression ratio must be in (0, 1], got {ratio}")
+    return db.map_simplify(
+        lambda t: uniform_simplify(t, max(2, int(ratio * len(t))))
+    )
+
+
+def random_simplify_database(
+    db: TrajectoryDatabase, ratio: float, seed: int | None = None
+) -> TrajectoryDatabase:
+    """Random down-sampling of every trajectory at the same ratio."""
+    if not 0.0 < ratio <= 1.0:
+        raise ValueError(f"compression ratio must be in (0, 1], got {ratio}")
+    rng = np.random.default_rng(seed)
+    return db.map_simplify(
+        lambda t: random_simplify(t, max(2, int(ratio * len(t))), rng)
+    )

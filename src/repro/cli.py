@@ -1,0 +1,235 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands cover the full pipeline so the library is usable without writing
+code:
+
+* ``generate``  — write a synthetic profile database to .npz/.csv
+* ``stats``     — print Table-I style statistics of a database
+* ``simplify``  — simplify a database with RL4QDTS or any named baseline
+* ``evaluate``  — score a simplified database against its original on the
+  five query tasks
+* ``baselines`` — list the 25 baseline names
+* ``encode``    — pack a database into the delta-varint binary codec
+* ``decode``    — unpack a codec blob back into .npz/.csv/.geojson
+* ``workload``  — generate a range-query workload and save it as JSON
+
+Example::
+
+    python -m repro generate --profile chengdu -n 100 --out db.npz
+    python -m repro simplify --db db.npz --ratio 0.05 --method RL4QDTS \
+        --out small.npz
+    python -m repro evaluate --original db.npz --simplified small.npz
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.baselines import all_baselines, get_baseline, simplify_database
+from repro.core import RL4QDTS, RL4QDTSConfig
+from repro.data import (
+    dataset_statistics,
+    load_database,
+    save_database,
+    synthetic_database,
+)
+from repro.eval import ALL_TASKS, QueryAccuracyEvaluator, QuerySuiteConfig
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    db = synthetic_database(
+        args.profile,
+        n_trajectories=args.n_trajectories,
+        points_scale=args.points_scale,
+        seed=args.seed,
+    )
+    save_database(db, args.out)
+    print(f"wrote {db} to {args.out}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    db = load_database(args.db)
+    for key, value in dataset_statistics(db).as_row().items():
+        print(f"{key:<26}{value}")
+    return 0
+
+
+def _cmd_baselines(_args: argparse.Namespace) -> int:
+    for spec in all_baselines():
+        print(spec.name)
+    return 0
+
+
+def _cmd_simplify(args: argparse.Namespace) -> int:
+    db = load_database(args.db)
+    if args.method == "RL4QDTS":
+        if args.model:
+            model = RL4QDTS.load(args.model)
+        else:
+            print("training RL4QDTS (pass --model to reuse a trained one)...")
+            model = RL4QDTS.train(
+                db,
+                config=RL4QDTSConfig(
+                    train_budget_ratio=args.ratio, seed=args.seed
+                ),
+            )
+            if args.save_model:
+                model.save(args.save_model)
+                print(f"saved trained model to {args.save_model}")
+        simplified = model.simplify(db, budget_ratio=args.ratio, seed=args.seed)
+    else:
+        spec = get_baseline(args.method)
+        simplified = simplify_database(db, args.ratio, spec)
+    save_database(simplified, args.out)
+    print(
+        f"{db.total_points} -> {simplified.total_points} points "
+        f"({simplified.total_points / db.total_points:.2%}); wrote {args.out}"
+    )
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    original = load_database(args.original)
+    simplified = load_database(args.simplified)
+    evaluator = QueryAccuracyEvaluator(
+        original,
+        QuerySuiteConfig(
+            n_range_queries=args.n_queries,
+            clustering_subset=min(20, len(original)),
+            seed=args.seed,
+        ),
+    )
+    tasks = tuple(args.tasks) if args.tasks else ALL_TASKS
+    scores = evaluator.evaluate(simplified, tasks)
+    for task, value in scores.items():
+        print(f"{task:<12}F1 = {value:.4f}")
+    return 0
+
+
+def _cmd_encode(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.data import CodecConfig, encode_database, storage_report
+
+    db = load_database(args.db)
+    config = CodecConfig(quantum_xy=args.quantum_xy, quantum_t=args.quantum_t)
+    Path(args.out).write_bytes(encode_database(db, config))
+    report = storage_report(db, config)
+    print(
+        f"{report.n_points} points: {report.raw_bytes} raw bytes -> "
+        f"{report.encoded_bytes} encoded ({report.bytes_per_point:.2f} "
+        f"bytes/point, {report.compression_factor:.1f}x)"
+    )
+    return 0
+
+
+def _cmd_decode(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.data import decode_database
+
+    db = decode_database(Path(args.blob).read_bytes())
+    save_database(db, args.out)
+    print(f"decoded {db} to {args.out}")
+    return 0
+
+
+def _cmd_workload(args: argparse.Namespace) -> int:
+    from repro.workloads import RangeQueryWorkload
+
+    db = load_database(args.db)
+    kwargs = {}
+    if args.distribution == "gaussian":
+        kwargs = {"mu": args.mu, "sigma": args.sigma}
+    elif args.distribution == "zipf":
+        kwargs = {"a": args.zipf_a}
+    workload = RangeQueryWorkload.generate(
+        args.distribution, db, args.n_queries, seed=args.seed, **kwargs
+    )
+    workload.save(args.out)
+    print(f"wrote {len(workload)} {args.distribution} queries to {args.out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Query-accuracy-driven trajectory database simplification "
+        "(RL4QDTS, ICDE 2024 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="generate a synthetic database")
+    p.add_argument("--profile", default="geolife",
+                   choices=["geolife", "tdrive", "chengdu", "osm"])
+    p.add_argument("-n", "--n-trajectories", type=int, default=100)
+    p.add_argument("--points-scale", type=float, default=0.1)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", required=True, help=".npz or .csv path")
+    p.set_defaults(func=_cmd_generate)
+
+    p = sub.add_parser("stats", help="print dataset statistics")
+    p.add_argument("--db", required=True)
+    p.set_defaults(func=_cmd_stats)
+
+    p = sub.add_parser("baselines", help="list the 25 baseline names")
+    p.set_defaults(func=_cmd_baselines)
+
+    p = sub.add_parser("simplify", help="simplify a database")
+    p.add_argument("--db", required=True)
+    p.add_argument("--ratio", type=float, required=True,
+                   help="compression ratio r in (0, 1]")
+    p.add_argument("--method", default="RL4QDTS",
+                   help='"RL4QDTS" or a baseline name, e.g. "Bottom-Up(E,SED)"')
+    p.add_argument("--model", help="load a trained RL4QDTS model (.npz)")
+    p.add_argument("--save-model", help="save the trained model here")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", required=True)
+    p.set_defaults(func=_cmd_simplify)
+
+    p = sub.add_parser("evaluate", help="score a simplified database")
+    p.add_argument("--original", required=True)
+    p.add_argument("--simplified", required=True)
+    p.add_argument("--n-queries", type=int, default=100)
+    p.add_argument("--tasks", nargs="*", choices=list(ALL_TASKS))
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_evaluate)
+
+    p = sub.add_parser("encode", help="pack a database with the binary codec")
+    p.add_argument("--db", required=True)
+    p.add_argument("--out", required=True, help="output blob path")
+    p.add_argument("--quantum-xy", type=float, default=0.01,
+                   help="spatial resolution (coordinate units)")
+    p.add_argument("--quantum-t", type=float, default=0.01,
+                   help="temporal resolution (time units)")
+    p.set_defaults(func=_cmd_encode)
+
+    p = sub.add_parser("decode", help="unpack a codec blob")
+    p.add_argument("--blob", required=True)
+    p.add_argument("--out", required=True, help=".npz/.csv/.geojson path")
+    p.set_defaults(func=_cmd_decode)
+
+    p = sub.add_parser("workload", help="generate a range-query workload")
+    p.add_argument("--db", required=True)
+    p.add_argument("--distribution", default="data",
+                   choices=["data", "gaussian", "zipf", "real", "uniform"])
+    p.add_argument("-n", "--n-queries", type=int, default=100)
+    p.add_argument("--mu", type=float, default=0.5)
+    p.add_argument("--sigma", type=float, default=0.25)
+    p.add_argument("--zipf-a", type=float, default=4.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", required=True, help="output JSON path")
+    p.set_defaults(func=_cmd_workload)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

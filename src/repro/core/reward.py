@@ -1,0 +1,99 @@
+"""Incremental reward evaluation (paper, Eq. 10).
+
+The reward of the cooperating agents is the decrease of
+``diff(Q(D), Q(D'))`` — the query-result difference between the original and
+the simplified database — over a window of ``delta`` insertions. We define
+``diff`` as ``1 - mean F1`` over the training workload of range queries.
+
+Re-running the whole workload after every window is what the paper does
+conceptually; this evaluator exploits that *insertions only ever grow range
+results* (a trajectory matches once any kept point falls in the box) to
+maintain every query's precision/recall counters in ``O(#queries)`` per
+inserted point, so training rewards are exact yet cheap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.database import TrajectoryDatabase
+from repro.data.simplification import SimplificationState
+from repro.index.grid import GridIndex
+from repro.queries.metrics import f1_score
+from repro.queries.range_query import range_query
+from repro.workloads.generators import RangeQueryWorkload
+
+
+class IncrementalRangeEvaluator:
+    """Maintains per-query result sets of the evolving simplified database."""
+
+    def __init__(
+        self,
+        db: TrajectoryDatabase,
+        workload: RangeQueryWorkload,
+        grid: GridIndex | None = None,
+    ) -> None:
+        if len(workload) == 0:
+            raise ValueError("workload must contain at least one query")
+        self.db = db
+        self.workload = workload
+        self._boxes = workload.boxes
+        # Box bounds as two (Q, 3) matrices for vectorized containment.
+        self._lo = np.array([[b.xmin, b.ymin, b.tmin] for b in self._boxes])
+        self._hi = np.array([[b.xmax, b.ymax, b.tmax] for b in self._boxes])
+        grid = grid if grid is not None else GridIndex(db)
+        self._truth: list[set[int]] = [
+            range_query(db, q, grid) for q in workload
+        ]
+        self._results: list[set[int]] = [set() for _ in workload]
+
+    # ------------------------------------------------------------------- state
+    def reset(self, state: SimplificationState) -> None:
+        """Recompute result sets from scratch for the given kept points."""
+        self._results = [set() for _ in self.workload]
+        kept_points = []
+        owners = []
+        for traj in state.database:
+            kept = state.kept_indices(traj.traj_id)
+            kept_points.append(traj.points[kept])
+            owners.append(np.full(len(kept), traj.traj_id, dtype=int))
+        points = np.concatenate(kept_points)
+        owner_arr = np.concatenate(owners)
+        # One vectorized pass per query over all currently kept points.
+        for qi in range(len(self._boxes)):
+            inside = (
+                (points >= self._lo[qi]).all(axis=1)
+                & (points <= self._hi[qi]).all(axis=1)
+            )
+            if inside.any():
+                self._results[qi].update(np.unique(owner_arr[inside]).tolist())
+
+    def notify_insert(self, traj_id: int, point: np.ndarray) -> None:
+        """Record that ``point`` of ``traj_id`` entered the simplified database."""
+        point = np.asarray(point, dtype=float)
+        hits = np.flatnonzero(
+            (point >= self._lo).all(axis=1) & (point <= self._hi).all(axis=1)
+        )
+        for qi in hits:
+            self._results[qi].add(traj_id)
+
+    # ----------------------------------------------------------------- scoring
+    def mean_f1(self) -> float:
+        """Mean F1 of the current simplified results against the truth."""
+        scores = [
+            f1_score(truth, result)
+            for truth, result in zip(self._truth, self._results)
+        ]
+        return float(np.mean(scores))
+
+    def diff(self) -> float:
+        """``diff(Q(D), Q(D'))`` as used in Eq. 10 (lower is better)."""
+        return 1.0 - self.mean_f1()
+
+    @property
+    def truth(self) -> list[set[int]]:
+        return [set(s) for s in self._truth]
+
+    @property
+    def results(self) -> list[set[int]]:
+        return [set(s) for s in self._results]

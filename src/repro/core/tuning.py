@@ -1,0 +1,122 @@
+"""Hyper-parameter sweeps for RL4QDTS.
+
+The paper tunes ``S``, ``E``, ``K``, and ``Δ`` empirically (Section V-B,
+parameter study). This module packages that workflow: declare a grid over
+:class:`~repro.core.config.RL4QDTSConfig` fields, train + evaluate each
+combination on a held-out workload, and get back a ranked result list. The
+parameter-study benchmark builds on it, and downstream users can tune on
+their own data with a few lines.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, replace
+
+from repro.core.config import RL4QDTSConfig
+from repro.core.rl4qdts import RL4QDTS
+from repro.data.database import TrajectoryDatabase
+from repro.queries.metrics import f1_score
+from repro.workloads.generators import RangeQueryWorkload
+
+
+@dataclass(frozen=True, slots=True)
+class TrialResult:
+    """Outcome of one hyper-parameter combination."""
+
+    overrides: dict
+    f1: float
+    train_seconds: float
+    simplify_seconds: float
+
+    def __str__(self) -> str:
+        params = ", ".join(f"{k}={v}" for k, v in self.overrides.items())
+        return f"F1={self.f1:.3f} ({params})"
+
+
+def evaluate_model(
+    model: RL4QDTS,
+    db: TrajectoryDatabase,
+    test_workload: RangeQueryWorkload,
+    budget_ratio: float,
+    seed: int = 0,
+) -> tuple[float, float]:
+    """Mean range-query F1 of a model's simplification, plus its wall time.
+
+    The test workload is evaluated on the original database for ground
+    truth and on the simplified database for the prediction (Eq. 3).
+    """
+    start = time.perf_counter()
+    simplified = model.simplify(db, budget_ratio=budget_ratio, seed=seed)
+    elapsed = time.perf_counter() - start
+    truths = test_workload.evaluate(db)
+    results = test_workload.evaluate(simplified)
+    f1 = sum(f1_score(t, r) for t, r in zip(truths, results)) / len(test_workload)
+    return f1, elapsed
+
+
+def grid_search(
+    db: TrajectoryDatabase,
+    param_grid: dict[str, list],
+    base_config: RL4QDTSConfig | None = None,
+    budget_ratio: float = 0.05,
+    test_workload: RangeQueryWorkload | None = None,
+    n_test_queries: int = 100,
+    seed: int = 0,
+    train_kwargs: dict | None = None,
+) -> list[TrialResult]:
+    """Train and score every combination of ``param_grid``; best first.
+
+    Parameters
+    ----------
+    db:
+        Database to tune on (training samples sub-databases from it; the
+        final evaluation simplifies all of it).
+    param_grid:
+        Mapping of :class:`RL4QDTSConfig` field names to candidate values,
+        e.g. ``{"start_level": [4, 6], "delta": [10, 25]}``.
+    base_config:
+        Config the overrides are applied to; defaults to
+        :class:`RL4QDTSConfig()`.
+    budget_ratio:
+        Compression ratio used for the evaluation rollout.
+    test_workload:
+        Held-out range queries for scoring. Defaults to a data-distribution
+        workload that none of the trials trains on (seeded separately).
+    n_test_queries:
+        Size of the default test workload.
+    seed:
+        Base seed; trial ``i`` trains with ``seed + i`` so trials are
+        independent but reproducible.
+    train_kwargs:
+        Extra keyword arguments forwarded to :meth:`RL4QDTS.train`.
+    """
+    if not param_grid:
+        raise ValueError("param_grid must contain at least one parameter")
+    base_config = base_config or RL4QDTSConfig()
+    unknown = set(param_grid) - set(RL4QDTSConfig.__dataclass_fields__)
+    if unknown:
+        raise ValueError(f"unknown config fields: {sorted(unknown)}")
+    if test_workload is None:
+        test_workload = RangeQueryWorkload.from_data_distribution(
+            db, n_test_queries, seed=seed + 987_654
+        )
+    train_kwargs = train_kwargs or {}
+
+    names = list(param_grid)
+    results: list[TrialResult] = []
+    for i, combo in enumerate(itertools.product(*param_grid.values())):
+        overrides = dict(zip(names, combo))
+        config = replace(base_config, **overrides, seed=seed + i)
+        start = time.perf_counter()
+        model = RL4QDTS.train(db, config=config, **train_kwargs)
+        train_seconds = time.perf_counter() - start
+        f1, simplify_seconds = evaluate_model(
+            model, db, test_workload, budget_ratio, seed=seed + i
+        )
+        results.append(
+            TrialResult(overrides, f1, train_seconds, simplify_seconds)
+        )
+    results.sort(key=lambda r: -r.f1)
+    return results

@@ -1,0 +1,63 @@
+"""Trajectory data model, synthetic dataset generators, and I/O."""
+
+from repro.data.bbox import BoundingBox
+from repro.data.trajectory import Trajectory
+from repro.data.database import TrajectoryDatabase
+from repro.data.simplification import SimplificationState
+from repro.data.stats import DatasetStatistics, dataset_statistics
+from repro.data.synthetic import (
+    DATASET_PROFILES,
+    DatasetProfile,
+    synthetic_database,
+)
+from repro.data.io import save_database, load_database
+from repro.data.codec import (
+    CodecConfig,
+    StorageReport,
+    encode_database,
+    decode_database,
+    encode_trajectory,
+    decode_trajectory,
+    storage_report,
+)
+from repro.data.staypoints import (
+    StayPoint,
+    detect_stay_points,
+    stay_aware_simplify,
+    stay_aware_simplify_database,
+    stay_statistics,
+)
+from repro.data.transforms import (
+    add_gps_noise,
+    resample_regular,
+    drop_points_randomly,
+)
+
+__all__ = [
+    "BoundingBox",
+    "Trajectory",
+    "TrajectoryDatabase",
+    "SimplificationState",
+    "DatasetStatistics",
+    "dataset_statistics",
+    "DATASET_PROFILES",
+    "DatasetProfile",
+    "synthetic_database",
+    "save_database",
+    "add_gps_noise",
+    "resample_regular",
+    "drop_points_randomly",
+    "load_database",
+    "CodecConfig",
+    "StorageReport",
+    "encode_database",
+    "decode_database",
+    "encode_trajectory",
+    "decode_trajectory",
+    "storage_report",
+    "StayPoint",
+    "detect_stay_points",
+    "stay_aware_simplify",
+    "stay_aware_simplify_database",
+    "stay_statistics",
+]

@@ -1,0 +1,103 @@
+"""The :class:`TrajectoryDatabase` container.
+
+A database ``D`` is an ordered collection of :class:`~repro.data.Trajectory`
+objects. ``N`` denotes the total number of points across all trajectories
+(paper, Section III-A); the storage budget of the QDTS problem is expressed
+as ``W = r * N`` for a compression ratio ``r``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.data.bbox import BoundingBox
+from repro.data.trajectory import Trajectory
+
+
+class TrajectoryDatabase:
+    """An ordered, id-addressable set of trajectories.
+
+    Trajectory ids are re-assigned to the position in the database so that
+    ``db[traj.traj_id] is traj`` always holds. This keeps cross-references
+    from indexes, query results, and simplification states trivially stable.
+    """
+
+    __slots__ = ("trajectories", "_bbox", "_total_points")
+
+    def __init__(self, trajectories: Iterable[Trajectory]) -> None:
+        self.trajectories: list[Trajectory] = [
+            Trajectory(t.points, traj_id=i) if t.traj_id != i else t
+            for i, t in enumerate(trajectories)
+        ]
+        if not self.trajectories:
+            raise ValueError("a database needs at least one trajectory")
+        self._bbox: BoundingBox | None = None
+        self._total_points: int | None = None
+
+    # ------------------------------------------------------------------ basics
+    def __len__(self) -> int:
+        return len(self.trajectories)
+
+    def __iter__(self) -> Iterator[Trajectory]:
+        return iter(self.trajectories)
+
+    def __getitem__(self, traj_id: int) -> Trajectory:
+        return self.trajectories[traj_id]
+
+    def __repr__(self) -> str:
+        return f"TrajectoryDatabase(M={len(self)}, N={self.total_points})"
+
+    @property
+    def total_points(self) -> int:
+        """``N``: the total number of points across all trajectories."""
+        if self._total_points is None:
+            self._total_points = sum(len(t) for t in self.trajectories)
+        return self._total_points
+
+    @property
+    def bounding_box(self) -> BoundingBox:
+        if self._bbox is None:
+            box = self.trajectories[0].bounding_box
+            for t in self.trajectories[1:]:
+                box = box.union(t.bounding_box)
+            self._bbox = box
+        return self._bbox
+
+    # --------------------------------------------------------------- utilities
+    def budget_for_ratio(self, ratio: float) -> int:
+        """The point budget ``W = ratio * N``, floored at two points per trajectory.
+
+        Simplified trajectories always keep their endpoints, so any feasible
+        budget is at least ``2 * M``.
+        """
+        if not 0.0 < ratio <= 1.0:
+            raise ValueError(f"compression ratio must be in (0, 1], got {ratio}")
+        return max(int(round(ratio * self.total_points)), 2 * len(self))
+
+    def all_points(self) -> np.ndarray:
+        """All points stacked into one ``(N, 3)`` array (database order)."""
+        return np.concatenate([t.points for t in self.trajectories], axis=0)
+
+    def point_ownership(self) -> np.ndarray:
+        """``(N,)`` trajectory id per row of :meth:`all_points`."""
+        return np.concatenate(
+            [np.full(len(t), t.traj_id, dtype=int) for t in self.trajectories]
+        )
+
+    def subset(self, traj_ids: Sequence[int]) -> "TrajectoryDatabase":
+        """A new database over the given trajectory ids (re-numbered)."""
+        return TrajectoryDatabase([self.trajectories[i] for i in traj_ids])
+
+    def sample(self, n: int, rng: np.random.Generator) -> "TrajectoryDatabase":
+        """A uniformly sampled sub-database of ``n`` trajectories."""
+        n = min(n, len(self))
+        ids = rng.choice(len(self), size=n, replace=False)
+        return self.subset(sorted(int(i) for i in ids))
+
+    def map_simplify(self, simplify_fn) -> "TrajectoryDatabase":
+        """Apply ``simplify_fn(traj) -> kept_indices`` to every trajectory."""
+        return TrajectoryDatabase(
+            [t.subsample(simplify_fn(t)) for t in self.trajectories]
+        )

@@ -1,0 +1,141 @@
+"""Persistence for trajectory databases.
+
+Three formats are supported:
+
+* **NPZ** (preferred): the ragged point arrays are stored as one concatenated
+  ``(N, 3)`` matrix plus prefix offsets — compact and loads in one shot.
+* **CSV**: ``traj_id,x,y,t`` rows, for interoperability with external tools.
+* **GeoJSON**: one LineString feature per trajectory with timestamps in a
+  ``times`` property, the layout GIS tools (QGIS, kepler.gl) expect.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.database import TrajectoryDatabase
+from repro.data.trajectory import Trajectory
+
+
+def save_database(db: TrajectoryDatabase, path: str | Path) -> None:
+    """Save a database; the format is chosen from the file suffix (.npz/.csv)."""
+    path = Path(path)
+    if path.suffix == ".npz":
+        _save_npz(db, path)
+    elif path.suffix == ".csv":
+        _save_csv(db, path)
+    elif path.suffix == ".geojson":
+        _save_geojson(db, path)
+    else:
+        raise ValueError(
+            f"unsupported suffix {path.suffix!r}; use .npz, .csv, or .geojson"
+        )
+
+
+def load_database(path: str | Path) -> TrajectoryDatabase:
+    """Load a database saved by :func:`save_database`."""
+    path = Path(path)
+    if path.suffix == ".npz":
+        return _load_npz(path)
+    if path.suffix == ".csv":
+        return _load_csv(path)
+    if path.suffix == ".geojson":
+        return _load_geojson(path)
+    raise ValueError(
+        f"unsupported suffix {path.suffix!r}; use .npz, .csv, or .geojson"
+    )
+
+
+def _save_npz(db: TrajectoryDatabase, path: Path) -> None:
+    points = db.all_points()
+    lengths = np.array([len(t) for t in db], dtype=np.int64)
+    offsets = np.concatenate([[0], np.cumsum(lengths)])
+    np.savez_compressed(path, points=points, offsets=offsets)
+
+
+def _load_npz(path: Path) -> TrajectoryDatabase:
+    with np.load(path) as data:
+        points = data["points"]
+        offsets = data["offsets"]
+    trajectories = [
+        Trajectory(points[offsets[i] : offsets[i + 1]], traj_id=i)
+        for i in range(len(offsets) - 1)
+    ]
+    return TrajectoryDatabase(trajectories)
+
+
+def _save_csv(db: TrajectoryDatabase, path: Path) -> None:
+    with open(path, "w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(["traj_id", "x", "y", "t"])
+        for traj in db:
+            for x, y, t in traj.points:
+                # repr(float(...)) round-trips full float64 precision.
+                writer.writerow(
+                    [traj.traj_id, repr(float(x)), repr(float(y)), repr(float(t))]
+                )
+
+
+def _load_csv(path: Path) -> TrajectoryDatabase:
+    rows_by_id: dict[int, list[tuple[float, float, float]]] = {}
+    with open(path, newline="") as f:
+        reader = csv.DictReader(f)
+        for row in reader:
+            rows_by_id.setdefault(int(row["traj_id"]), []).append(
+                (float(row["x"]), float(row["y"]), float(row["t"]))
+            )
+    trajectories = [
+        Trajectory(np.array(rows_by_id[tid]), traj_id=i)
+        for i, tid in enumerate(sorted(rows_by_id))
+    ]
+    return TrajectoryDatabase(trajectories)
+
+
+def _save_geojson(db: TrajectoryDatabase, path: Path) -> None:
+    features = []
+    for traj in db:
+        features.append(
+            {
+                "type": "Feature",
+                "geometry": {
+                    "type": "LineString",
+                    "coordinates": [
+                        [float(x), float(y)] for x, y in traj.xy
+                    ],
+                },
+                "properties": {
+                    "traj_id": traj.traj_id,
+                    "times": [float(t) for t in traj.times],
+                },
+            }
+        )
+    payload = {"type": "FeatureCollection", "features": features}
+    path.write_text(json.dumps(payload))
+
+
+def _load_geojson(path: Path) -> TrajectoryDatabase:
+    payload = json.loads(path.read_text())
+    if payload.get("type") != "FeatureCollection":
+        raise ValueError("expected a GeoJSON FeatureCollection")
+    trajectories = []
+    for i, feature in enumerate(payload["features"]):
+        geometry = feature.get("geometry", {})
+        if geometry.get("type") != "LineString":
+            raise ValueError(
+                f"feature {i}: only LineString trajectories are supported"
+            )
+        coords = np.asarray(geometry["coordinates"], dtype=float)
+        times = np.asarray(feature.get("properties", {}).get("times"), dtype=float)
+        if times.shape != (len(coords),):
+            raise ValueError(
+                f"feature {i}: 'times' property must list one timestamp "
+                "per coordinate"
+            )
+        trajectories.append(
+            Trajectory(np.column_stack([coords, times]), traj_id=i)
+        )
+    return TrajectoryDatabase(trajectories)

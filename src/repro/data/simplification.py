@@ -1,0 +1,129 @@
+"""Mutable simplification state over a trajectory database.
+
+Collective simplifiers (RL4QDTS and the "W" baseline adaptations) repeatedly
+insert points into — or drop points from — a *simplified view* of the whole
+database. :class:`SimplificationState` maintains, per trajectory, the sorted
+list of kept point indices so that:
+
+* inserting / dropping a point is ``O(m)`` worst case but ``O(log m)`` to
+  locate (via :mod:`bisect`), where ``m`` is the number of kept points, and
+* the *anchor segment* of any original point (the simplified segment that
+  currently approximates it; paper, Section III-A) is found in ``O(log m)``.
+
+Endpoints of every trajectory are always kept, matching the problem
+definition.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right, insort
+
+from repro.data.database import TrajectoryDatabase
+
+
+class SimplificationState:
+    """Per-trajectory kept-index bookkeeping for collective simplification."""
+
+    __slots__ = ("database", "kept", "_total_kept")
+
+    def __init__(self, database: TrajectoryDatabase, start_full: bool = False) -> None:
+        self.database = database
+        if start_full:
+            self.kept: list[list[int]] = [
+                list(range(len(t))) for t in database.trajectories
+            ]
+        else:
+            self.kept = [[0, len(t) - 1] for t in database.trajectories]
+        self._total_kept = sum(len(k) for k in self.kept)
+
+    # ------------------------------------------------------------------ counts
+    @property
+    def total_kept(self) -> int:
+        """The current size of the simplified database in points."""
+        return self._total_kept
+
+    def kept_count(self, traj_id: int) -> int:
+        return len(self.kept[traj_id])
+
+    def compression_ratio(self) -> float:
+        return self._total_kept / self.database.total_points
+
+    # -------------------------------------------------------------- membership
+    def is_kept(self, traj_id: int, index: int) -> bool:
+        kept = self.kept[traj_id]
+        pos = bisect_left(kept, index)
+        return pos < len(kept) and kept[pos] == index
+
+    def kept_indices(self, traj_id: int) -> list[int]:
+        """The sorted kept indices of one trajectory (a defensive copy)."""
+        return list(self.kept[traj_id])
+
+    def anchor_segment(self, traj_id: int, index: int) -> tuple[int, int]:
+        """The kept indices ``(left, right)`` bracketing ``index``.
+
+        For a kept interior point the anchors are its kept neighbours on both
+        sides; for a dropped point they delimit the simplified segment that
+        currently approximates it.
+        """
+        kept = self.kept[traj_id]
+        pos = bisect_right(kept, index)
+        if pos == 0:
+            return kept[0], kept[1]
+        if pos == len(kept):
+            return kept[-2], kept[-1]
+        left = kept[pos - 1]
+        if left == index:
+            # Kept point: bracket with both kept neighbours.
+            if pos == 1:
+                return kept[0], kept[1]
+            return kept[pos - 2], kept[pos]
+        return left, kept[pos]
+
+    # ------------------------------------------------------------------ updates
+    def insert(self, traj_id: int, index: int) -> None:
+        """Keep original point ``index`` of trajectory ``traj_id``."""
+        kept = self.kept[traj_id]
+        pos = bisect_left(kept, index)
+        if pos < len(kept) and kept[pos] == index:
+            raise ValueError(f"point {index} of trajectory {traj_id} already kept")
+        if not 0 <= index < len(self.database[traj_id]):
+            raise IndexError(f"point index {index} out of range")
+        kept.insert(pos, index)
+        self._total_kept += 1
+
+    def drop(self, traj_id: int, index: int) -> None:
+        """Drop a kept interior point (endpoints cannot be dropped)."""
+        kept = self.kept[traj_id]
+        pos = bisect_left(kept, index)
+        if pos >= len(kept) or kept[pos] != index:
+            raise ValueError(f"point {index} of trajectory {traj_id} is not kept")
+        if index == 0 or index == len(self.database[traj_id]) - 1:
+            raise ValueError("cannot drop a trajectory endpoint")
+        kept.pop(pos)
+        self._total_kept -= 1
+
+    # ------------------------------------------------------------- realization
+    def materialize(self) -> TrajectoryDatabase:
+        """Build the simplified :class:`TrajectoryDatabase` D' from this state."""
+        return TrajectoryDatabase(
+            [
+                t.subsample(self.kept[t.traj_id])
+                for t in self.database.trajectories
+            ]
+        )
+
+    def copy(self) -> "SimplificationState":
+        clone = SimplificationState.__new__(SimplificationState)
+        clone.database = self.database
+        clone.kept = [list(k) for k in self.kept]
+        clone._total_kept = self._total_kept
+        return clone
+
+
+def insort_unique(sorted_list: list[int], value: int) -> bool:
+    """Insert ``value`` into ``sorted_list`` if absent; return True if inserted."""
+    pos = bisect_left(sorted_list, value)
+    if pos < len(sorted_list) and sorted_list[pos] == value:
+        return False
+    insort(sorted_list, value)
+    return True

@@ -1,0 +1,63 @@
+"""Dataset statistics mirroring Table I of the paper."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.database import TrajectoryDatabase
+
+
+@dataclass(frozen=True, slots=True)
+class DatasetStatistics:
+    """The per-dataset statistics the paper reports (Table I)."""
+
+    n_trajectories: int
+    total_points: int
+    avg_points_per_trajectory: float
+    min_sampling_interval: float
+    max_sampling_interval: float
+    mean_sampling_interval: float
+    mean_segment_length: float
+
+    def as_row(self) -> dict[str, float]:
+        """A flat dict suitable for printing a Table-I-style row."""
+        return {
+            "# of trajectories": self.n_trajectories,
+            "Total # of points": self.total_points,
+            "Ave. # of pts per traj": round(self.avg_points_per_trajectory, 1),
+            "Sampling rate (s)": round(self.mean_sampling_interval, 2),
+            "Average length (m)": round(self.mean_segment_length, 2),
+        }
+
+
+def spatial_scale(db: TrajectoryDatabase) -> float:
+    """The database's characteristic trajectory scale.
+
+    Defined as the median trajectory spatial diameter (the larger side of a
+    trajectory's bounding box). Query extents and similarity thresholds
+    default to fractions of this scale so that evaluation selectivity is
+    preserved across dataset profiles and scaling factors — mirroring how
+    the paper's 2km query boxes relate to its city-scale trajectories.
+    """
+    diameters = []
+    for traj in db:
+        box = traj.bounding_box
+        diameters.append(max(box.xmax - box.xmin, box.ymax - box.ymin))
+    return float(np.median(diameters))
+
+
+def dataset_statistics(db: TrajectoryDatabase) -> DatasetStatistics:
+    """Compute Table-I statistics for a database."""
+    intervals = np.concatenate([t.sampling_intervals() for t in db])
+    seg_lengths = np.concatenate([t.segment_lengths() for t in db])
+    return DatasetStatistics(
+        n_trajectories=len(db),
+        total_points=db.total_points,
+        avg_points_per_trajectory=db.total_points / len(db),
+        min_sampling_interval=float(intervals.min()),
+        max_sampling_interval=float(intervals.max()),
+        mean_sampling_interval=float(intervals.mean()),
+        mean_segment_length=float(seg_lengths.mean()),
+    )

@@ -1,0 +1,247 @@
+"""Synthetic scaled-down analogues of the paper's four datasets.
+
+The paper evaluates on Geolife, T-Drive, Chengdu (DiDi), and OSM — real GPS
+corpora that are not redistributable offline. This module substitutes them
+with generators whose *statistics match Table I at a reduced scale*:
+
+==========  ==============  ==========  =================  ===============
+profile     pts/trajectory  sampling    avg segment (m)    movement model
+==========  ==============  ==========  =================  ===============
+geolife     ~1412 (scaled)  1s – 5s     ~10                walk + stay-points
+tdrive      ~1713 (scaled)  ~177s       ~623               sparse taxi cruising
+chengdu     ~178  (scaled)  2s – 4s     ~25                short ride-hailing trips
+osm         ~5675 (scaled)  ~53.5s      ~180               long mixed-mode traces
+==========  ==============  ==========  =================  ===============
+
+Trajectories are correlated random walks: a heading that drifts slowly
+(persistence), a per-profile step-length distribution, trip origins drawn
+from a mixture of spatial hotspots (which produces the skew that the paper's
+"real distribution" query workload exploits), and — for the geolife profile —
+stay-point episodes during which the object barely moves, creating the runs
+of droppable points that motivate simplification in the paper's introduction.
+
+All generators take an explicit seed and are fully deterministic.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.database import TrajectoryDatabase
+from repro.data.trajectory import Trajectory
+
+
+@dataclass(frozen=True, slots=True)
+class DatasetProfile:
+    """Statistical profile of one of the paper's datasets (Table I)."""
+
+    name: str
+    full_n_trajectories: int
+    full_mean_points: float
+    sampling_interval: tuple[float, float]  # (min, max) seconds
+    mean_segment_length: float  # metres
+    extent: float  # side of the square region, metres
+    heading_persistence: float  # std-dev of per-step heading change (radians)
+    stay_point_prob: float  # probability of entering a stay episode per step
+    n_hotspots: int
+    hotspot_weight: float  # fraction of trips starting at a hotspot
+
+    def scaled_points(self, scale: float) -> float:
+        """Mean points per trajectory after scaling, floored at 8."""
+        return max(8.0, self.full_mean_points * scale)
+
+
+DATASET_PROFILES: dict[str, DatasetProfile] = {
+    "geolife": DatasetProfile(
+        name="geolife",
+        full_n_trajectories=17_621,
+        full_mean_points=1_412,
+        sampling_interval=(1.0, 5.0),
+        mean_segment_length=9.96,
+        extent=8_000.0,
+        heading_persistence=0.35,
+        stay_point_prob=0.02,
+        n_hotspots=4,
+        hotspot_weight=0.85,
+    ),
+    "tdrive": DatasetProfile(
+        name="tdrive",
+        full_n_trajectories=10_359,
+        full_mean_points=1_713,
+        sampling_interval=(150.0, 204.0),
+        mean_segment_length=623.0,
+        extent=50_000.0,
+        heading_persistence=0.55,
+        stay_point_prob=0.01,
+        n_hotspots=6,
+        hotspot_weight=0.8,
+    ),
+    "chengdu": DatasetProfile(
+        name="chengdu",
+        full_n_trajectories=179_756,
+        full_mean_points=178,
+        sampling_interval=(2.0, 4.0),
+        mean_segment_length=25.0,
+        extent=6_000.0,
+        heading_persistence=0.25,
+        stay_point_prob=0.005,
+        n_hotspots=8,
+        hotspot_weight=0.85,
+    ),
+    "osm": DatasetProfile(
+        name="osm",
+        full_n_trajectories=513_380,
+        full_mean_points=5_675,
+        sampling_interval=(40.0, 67.0),
+        mean_segment_length=180.0,
+        extent=80_000.0,
+        heading_persistence=0.45,
+        stay_point_prob=0.01,
+        n_hotspots=10,
+        hotspot_weight=0.6,
+    ),
+}
+
+#: Time horizon (seconds) over which trip start times are spread — one week,
+#: matching the 7-day temporal window the paper uses for queries.
+TIME_HORIZON = 7 * 24 * 3600.0
+
+
+def _hotspots(profile: DatasetProfile, rng: np.random.Generator) -> np.ndarray:
+    """Hotspot centres, deterministic per profile (independent of trip draws).
+
+    Uses crc32 rather than ``hash`` because Python string hashing is salted
+    per process, which would silently change the dataset between runs.
+    """
+    hotspot_rng = np.random.default_rng(zlib.crc32(profile.name.encode()))
+    return hotspot_rng.uniform(
+        0.15 * profile.extent, 0.85 * profile.extent, size=(profile.n_hotspots, 2)
+    )
+
+
+def _trip_origin(
+    profile: DatasetProfile, hotspots: np.ndarray, rng: np.random.Generator
+) -> np.ndarray:
+    if rng.random() < profile.hotspot_weight:
+        centre = hotspots[rng.integers(len(hotspots))]
+        return rng.normal(centre, 0.02 * profile.extent, size=2)
+    return rng.uniform(0.0, profile.extent, size=2)
+
+
+def _wrap_angle(angle: float) -> float:
+    """Wrap an angle difference into ``[-pi, pi]``."""
+    return (angle + np.pi) % (2.0 * np.pi) - np.pi
+
+
+def _generate_trajectory(
+    profile: DatasetProfile,
+    n_points: int,
+    hotspots: np.ndarray,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """One trip-structured trace: directed movement between destinations.
+
+    Real GPS trajectories are trips, not diffusive random walks: the object
+    heads toward a destination (with heading noise and turns), arrives, and —
+    for long traces — continues to the next destination. This keeps a
+    trajectory's spatial diameter proportional to its path length, which is
+    what makes range queries selective *within* a trajectory and therefore
+    makes simplification quality observable (see the paper's Section I
+    motivation). Stay-point episodes inject the runs of droppable points the
+    simplification literature exploits.
+    """
+    # Sampling-rate heterogeneity: each trace has its own base interval drawn
+    # from the profile's range (a 1s Geolife logger vs a 5s one), with small
+    # per-step jitter. Heterogeneous rates are exactly what makes uniform
+    # per-trajectory compression ratios sub-optimal (paper, Issue 1).
+    lo, hi = profile.sampling_interval
+    base_interval = rng.uniform(lo, hi)
+    dts = base_interval * rng.uniform(0.85, 1.15, size=n_points - 1)
+    times = np.empty(n_points)
+    times[0] = rng.uniform(0.0, TIME_HORIZON)
+    times[1:] = times[0] + np.cumsum(dts)
+
+    # Complexity heterogeneity: some objects drive straight, others wander.
+    turn_noise = profile.heading_persistence * rng.uniform(0.5, 1.8)
+
+    xy = np.empty((n_points, 2))
+    xy[0] = _trip_origin(profile, hotspots, rng)
+    destination = _trip_origin(profile, hotspots, rng)
+    heading = rng.uniform(0.0, 2.0 * np.pi)
+    # Step length = speed x sampling interval, with log-normal speeds around
+    # the profile's implied mean speed. An oversampled (short-interval) trace
+    # therefore has proportionally shorter, more redundant segments — while
+    # the profile's *mean* segment length stays on target (Table I).
+    mean_interval = 0.5 * (lo + hi)
+    mean_speed = profile.mean_segment_length / mean_interval
+    sigma = 0.6
+    mu = np.log(mean_speed) - 0.5 * sigma**2
+    arrival_radius = 4.0 * mean_speed * base_interval
+    staying = 0  # remaining steps of the current stay episode
+    for i in range(1, n_points):
+        here = xy[i - 1]
+        if np.linalg.norm(destination - here) < arrival_radius:
+            destination = _trip_origin(profile, hotspots, rng)
+        if staying > 0:
+            staying -= 1
+            step = rng.uniform(0.0, 0.5)  # GPS jitter while stationary
+        else:
+            if rng.random() < profile.stay_point_prob:
+                staying = int(rng.integers(5, 30))
+                step = rng.uniform(0.0, 0.5)
+            else:
+                step = rng.lognormal(mu, sigma) * dts[i - 1]
+        # Steer toward the destination, with per-profile heading noise.
+        target = np.arctan2(destination[1] - here[1], destination[0] - here[0])
+        heading += 0.4 * _wrap_angle(target - heading)
+        heading += rng.normal(0.0, turn_noise)
+        candidate = here + step * np.array([np.cos(heading), np.sin(heading)])
+        xy[i] = np.clip(candidate, 0.0, profile.extent)
+    return np.column_stack([xy, times])
+
+
+def synthetic_database(
+    profile: str | DatasetProfile,
+    n_trajectories: int = 100,
+    points_scale: float = 0.1,
+    seed: int | None = None,
+) -> TrajectoryDatabase:
+    """Generate a scaled-down database following one of the paper's profiles.
+
+    Parameters
+    ----------
+    profile:
+        A profile name (``"geolife"``, ``"tdrive"``, ``"chengdu"``, ``"osm"``)
+        or a :class:`DatasetProfile`.
+    n_trajectories:
+        Number of trajectories to generate.
+    points_scale:
+        Multiplier applied to the profile's full mean points per trajectory.
+        The default ``0.1`` turns Geolife's ~1412 points into ~141.
+    seed:
+        Seed for the deterministic generator.
+    """
+    if isinstance(profile, str):
+        try:
+            profile = DATASET_PROFILES[profile]
+        except KeyError:
+            raise ValueError(
+                f"unknown profile {profile!r}; choose from {sorted(DATASET_PROFILES)}"
+            ) from None
+    if n_trajectories < 1:
+        raise ValueError("need at least one trajectory")
+    rng = np.random.default_rng(seed)
+    hotspots = _hotspots(profile, rng)
+    mean_pts = profile.scaled_points(points_scale)
+    trajectories = []
+    for i in range(n_trajectories):
+        # Point counts vary around the mean (log-normal, as real corpora do).
+        n_points = int(
+            np.clip(rng.lognormal(np.log(mean_pts), 0.35), 8, 12 * mean_pts)
+        )
+        pts = _generate_trajectory(profile, n_points, hotspots, rng)
+        trajectories.append(Trajectory(pts, traj_id=i))
+    return TrajectoryDatabase(trajectories)

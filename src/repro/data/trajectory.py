@@ -1,0 +1,156 @@
+"""The :class:`Trajectory` data model.
+
+A trajectory is a sequence of time-stamped points ``p_i = (x_i, y_i, t_i)``
+with strictly increasing timestamps (paper, Section III-A). Points are stored
+as one contiguous ``(n, 3)`` float64 array so that the error measures in
+:mod:`repro.errors` can operate vectorized over index ranges.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.data.bbox import BoundingBox
+
+
+class Trajectory:
+    """An immutable sequence of ``(x, y, t)`` points.
+
+    Parameters
+    ----------
+    points:
+        ``(n, 3)`` array-like with columns x, y, t. ``n >= 2`` and the t
+        column must be strictly increasing.
+    traj_id:
+        Identifier of the trajectory within its database. Defaults to ``-1``
+        for free-standing trajectories; :class:`repro.data.TrajectoryDatabase`
+        re-assigns ids on construction.
+    """
+
+    __slots__ = ("points", "traj_id", "_bbox")
+
+    def __init__(self, points: np.ndarray | Sequence, traj_id: int = -1) -> None:
+        arr = np.asarray(points, dtype=float)
+        if arr.ndim != 2 or arr.shape[1] != 3:
+            raise ValueError(f"expected an (n, 3) array, got shape {arr.shape}")
+        if len(arr) < 2:
+            raise ValueError("a trajectory needs at least 2 points")
+        if not np.all(np.diff(arr[:, 2]) > 0):
+            raise ValueError("timestamps must be strictly increasing")
+        arr = np.ascontiguousarray(arr)
+        arr.setflags(write=False)
+        self.points = arr
+        self.traj_id = int(traj_id)
+        self._bbox: BoundingBox | None = None
+
+    # ------------------------------------------------------------------ basics
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        return iter(self.points)
+
+    def __getitem__(self, index):
+        return self.points[index]
+
+    def __repr__(self) -> str:
+        return f"Trajectory(id={self.traj_id}, n={len(self)})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Trajectory):
+            return NotImplemented
+        return self.traj_id == other.traj_id and np.array_equal(
+            self.points, other.points
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.traj_id, len(self.points), self.points.tobytes()))
+
+    # ------------------------------------------------------------- projections
+    @property
+    def xy(self) -> np.ndarray:
+        """The ``(n, 2)`` spatial coordinates."""
+        return self.points[:, :2]
+
+    @property
+    def times(self) -> np.ndarray:
+        """The ``(n,)`` timestamps."""
+        return self.points[:, 2]
+
+    @property
+    def duration(self) -> float:
+        return float(self.points[-1, 2] - self.points[0, 2])
+
+    @property
+    def bounding_box(self) -> BoundingBox:
+        if self._bbox is None:
+            self._bbox = BoundingBox.from_points(self.points)
+        return self._bbox
+
+    def segment_lengths(self) -> np.ndarray:
+        """Euclidean lengths of the ``n - 1`` consecutive segments."""
+        return np.linalg.norm(np.diff(self.xy, axis=0), axis=1)
+
+    def path_length(self) -> float:
+        return float(self.segment_lengths().sum())
+
+    def sampling_intervals(self) -> np.ndarray:
+        """Time gaps between consecutive points."""
+        return np.diff(self.times)
+
+    # ------------------------------------------------------------ manipulation
+    def subsample(self, indices: Sequence[int]) -> "Trajectory":
+        """The simplified trajectory keeping only ``indices`` (sorted, unique).
+
+        The first and last original points must be kept, matching the problem
+        definition (``s_1 = 1`` and ``s_m = n``).
+        """
+        idx = np.asarray(sorted(set(int(i) for i in indices)), dtype=int)
+        if len(idx) < 2 or idx[0] != 0 or idx[-1] != len(self) - 1:
+            raise ValueError(
+                "a simplification must keep the first and last points "
+                f"(got indices {idx.tolist()} for length {len(self)})"
+            )
+        return Trajectory(self.points[idx], traj_id=self.traj_id)
+
+    def slice_time(self, t_start: float, t_end: float) -> np.ndarray:
+        """Points whose timestamp falls in ``[t_start, t_end]`` (may be empty)."""
+        t = self.times
+        mask = (t >= t_start) & (t <= t_end)
+        return self.points[mask]
+
+    def position_at(self, t: float) -> np.ndarray:
+        """Linearly interpolated ``(x, y)`` location at time ``t``.
+
+        Times outside the trajectory's span clamp to the endpoints. This is
+        the synchronized position used by SED and by the similarity query.
+        """
+        times = self.times
+        if t <= times[0]:
+            return self.points[0, :2].copy()
+        if t >= times[-1]:
+            return self.points[-1, :2].copy()
+        j = int(np.searchsorted(times, t, side="right")) - 1
+        j = min(j, len(self) - 2)
+        t0, t1 = times[j], times[j + 1]
+        frac = 0.0 if t1 == t0 else (t - t0) / (t1 - t0)
+        return self.points[j, :2] + frac * (self.points[j + 1, :2] - self.points[j, :2])
+
+    def positions_at(self, ts: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`position_at` for an array of times -> ``(k, 2)``."""
+        ts = np.asarray(ts, dtype=float)
+        x = np.interp(ts, self.times, self.points[:, 0])
+        y = np.interp(ts, self.times, self.points[:, 1])
+        return np.column_stack([x, y])
+
+    def reversed_spatially(self) -> "Trajectory":
+        """The same route traversed in the opposite spatial order.
+
+        Timestamps are kept increasing (re-used in order); useful for building
+        direction-sensitive test fixtures.
+        """
+        pts = self.points.copy()
+        pts[:, :2] = pts[::-1, :2]
+        return Trajectory(pts, traj_id=self.traj_id)

@@ -1,0 +1,75 @@
+"""Database transforms: noise injection and resampling.
+
+Used for failure-injection testing (how robust are the simplifiers to GPS
+noise?) and for building controlled sampling-rate experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.database import TrajectoryDatabase
+from repro.data.trajectory import Trajectory
+
+
+def add_gps_noise(
+    db: TrajectoryDatabase,
+    sigma: float,
+    seed: int | None = None,
+) -> TrajectoryDatabase:
+    """A copy of ``db`` with i.i.d. Gaussian noise on the spatial coordinates.
+
+    Timestamps are untouched (GPS clocks are far more accurate than fixes).
+    """
+    if sigma < 0:
+        raise ValueError("sigma must be non-negative")
+    rng = np.random.default_rng(seed)
+    noisy = []
+    for traj in db:
+        pts = traj.points.copy()
+        pts[:, :2] += rng.normal(0.0, sigma, size=(len(pts), 2))
+        noisy.append(Trajectory(pts, traj_id=traj.traj_id))
+    return TrajectoryDatabase(noisy)
+
+
+def resample_regular(
+    trajectory: Trajectory,
+    interval: float,
+) -> Trajectory:
+    """Linearly resample a trajectory onto a regular time grid.
+
+    The first and last original timestamps are preserved; interior positions
+    are interpolated. Useful for building uniform-rate variants of
+    heterogeneous data.
+    """
+    if interval <= 0:
+        raise ValueError("interval must be positive")
+    t0, t1 = float(trajectory.times[0]), float(trajectory.times[-1])
+    times = np.arange(t0, t1, interval)
+    if len(times) == 0 or times[-1] < t1:
+        times = np.append(times, t1)
+    if len(times) < 2:
+        times = np.array([t0, t1])
+    positions = trajectory.positions_at(times)
+    return Trajectory(
+        np.column_stack([positions, times]), traj_id=trajectory.traj_id
+    )
+
+
+def drop_points_randomly(
+    db: TrajectoryDatabase,
+    drop_fraction: float,
+    seed: int | None = None,
+) -> TrajectoryDatabase:
+    """Simulate sensor dropouts: remove a random fraction of interior points."""
+    if not 0.0 <= drop_fraction < 1.0:
+        raise ValueError("drop_fraction must be in [0, 1)")
+    rng = np.random.default_rng(seed)
+
+    def keep(traj: Trajectory) -> list[int]:
+        n = len(traj)
+        interior = np.arange(1, n - 1)
+        mask = rng.random(len(interior)) >= drop_fraction
+        return sorted({0, n - 1, *(int(i) for i in interior[mask])})
+
+    return db.map_simplify(keep)

@@ -1,0 +1,49 @@
+"""Trajectory simplification error measures (paper, Section III-A).
+
+Four per-point error notions from the literature are provided, each measuring
+how badly an *anchor segment* ``p_s p_e`` approximates the original points it
+replaces:
+
+* **SED** — Synchronized Euclidean Distance: distance between the original
+  point and the time-synchronized position on the anchor segment.
+* **PED** — Perpendicular Euclidean Distance: distance from the original
+  point to the anchor line.
+* **DAD** — Direction-Aware Distance: angular difference between original
+  movement directions and the anchor direction.
+* **SAD** — Speed-Aware Distance: difference between original segment speeds
+  and the anchor's average speed.
+
+The error of a simplified segment is the maximum over the points (segments)
+it anchors (Eq. 1); the error of a simplified trajectory is the maximum over
+its segments (Eq. 2).
+"""
+
+from repro.errors.measures import (
+    MEASURES,
+    sed_error,
+    ped_error,
+    dad_error,
+    sad_error,
+    sed_point_errors,
+    ped_point_errors,
+    dad_segment_errors,
+    sad_segment_errors,
+    synchronized_positions,
+)
+from repro.errors.segment import segment_error, trajectory_error, database_errors
+
+__all__ = [
+    "MEASURES",
+    "sed_error",
+    "ped_error",
+    "dad_error",
+    "sad_error",
+    "sed_point_errors",
+    "ped_point_errors",
+    "dad_segment_errors",
+    "sad_segment_errors",
+    "synchronized_positions",
+    "segment_error",
+    "trajectory_error",
+    "database_errors",
+]

@@ -1,0 +1,135 @@
+"""Vectorized implementations of SED, PED, DAD, and SAD.
+
+All functions take the full ``(n, 3)`` point matrix of one trajectory plus
+the anchor indices ``s < e`` and evaluate the error of the anchor segment
+``p_s p_e`` over everything it replaces (Eq. 1): interior *points*
+``p_{s+1} .. p_{e-1}`` for SED/PED, constituent *segments*
+``p_s p_{s+1} .. p_{e-1} p_e`` for DAD/SAD.
+
+Degenerate geometry conventions (documented because real GPS data hits them):
+
+* zero-duration anchors synchronize everything to the anchor start;
+* zero-length anchors measure PED as plain Euclidean distance to the start;
+* zero-length original segments carry no direction, so their DAD is 0;
+* a zero-length anchor under DAD is maximally wrong (``pi``) for any moving
+  original segment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_EPS = 1e-12
+
+
+def synchronized_positions(points: np.ndarray, s: int, e: int) -> np.ndarray:
+    """Time-synchronized ``(x, y)`` on the anchor ``p_s p_e`` for interior points.
+
+    Returns an ``(e - s - 1, 2)`` array: for each original interior point, the
+    location that the simplified trajectory would report at that timestamp.
+    """
+    a, b = points[s], points[e]
+    interior = points[s + 1 : e]
+    dt = b[2] - a[2]
+    if dt <= _EPS:
+        return np.tile(a[:2], (len(interior), 1))
+    frac = (interior[:, 2] - a[2]) / dt
+    return a[:2] + frac[:, None] * (b[:2] - a[:2])
+
+
+def sed_point_errors(points: np.ndarray, s: int, e: int) -> np.ndarray:
+    """Per-interior-point SED for the anchor ``p_s p_e``."""
+    if e - s < 2:
+        return np.empty(0)
+    sync = synchronized_positions(points, s, e)
+    return np.linalg.norm(points[s + 1 : e, :2] - sync, axis=1)
+
+
+def sed_error(points: np.ndarray, s: int, e: int) -> float:
+    """SED of the anchor segment ``p_s p_e`` (Eq. 1 instantiated with SED)."""
+    errs = sed_point_errors(points, s, e)
+    return float(errs.max()) if len(errs) else 0.0
+
+
+def ped_point_errors(points: np.ndarray, s: int, e: int) -> np.ndarray:
+    """Per-interior-point perpendicular distance to the anchor line."""
+    if e - s < 2:
+        return np.empty(0)
+    a = points[s, :2]
+    b = points[e, :2]
+    interior = points[s + 1 : e, :2]
+    ab = b - a
+    norm_ab = np.linalg.norm(ab)
+    if norm_ab <= _EPS:
+        return np.linalg.norm(interior - a, axis=1)
+    # |cross product| / |ab| gives the distance to the infinite line.
+    diff = interior - a
+    cross = np.abs(diff[:, 0] * ab[1] - diff[:, 1] * ab[0])
+    return cross / norm_ab
+
+
+def ped_error(points: np.ndarray, s: int, e: int) -> float:
+    """PED of the anchor segment ``p_s p_e``."""
+    errs = ped_point_errors(points, s, e)
+    return float(errs.max()) if len(errs) else 0.0
+
+
+def _angular_distance(angles_a: np.ndarray, angle_b: float) -> np.ndarray:
+    """Absolute angle difference wrapped to ``[0, pi]``."""
+    diff = np.abs(angles_a - angle_b) % (2.0 * np.pi)
+    return np.minimum(diff, 2.0 * np.pi - diff)
+
+
+def dad_segment_errors(points: np.ndarray, s: int, e: int) -> np.ndarray:
+    """Per-original-segment direction error against the anchor direction."""
+    if e - s < 2:
+        return np.empty(0)
+    deltas = np.diff(points[s : e + 1, :2], axis=0)
+    lengths = np.linalg.norm(deltas, axis=1)
+    anchor = points[e, :2] - points[s, :2]
+    anchor_len = np.linalg.norm(anchor)
+    moving = lengths > _EPS
+    errors = np.zeros(len(deltas))
+    if anchor_len <= _EPS:
+        errors[moving] = np.pi  # undirected anchor cannot represent movement
+        return errors
+    anchor_angle = float(np.arctan2(anchor[1], anchor[0]))
+    seg_angles = np.arctan2(deltas[moving, 1], deltas[moving, 0])
+    errors[moving] = _angular_distance(seg_angles, anchor_angle)
+    return errors
+
+
+def dad_error(points: np.ndarray, s: int, e: int) -> float:
+    """DAD of the anchor segment ``p_s p_e`` (radians, in ``[0, pi]``)."""
+    errs = dad_segment_errors(points, s, e)
+    return float(errs.max()) if len(errs) else 0.0
+
+
+def sad_segment_errors(points: np.ndarray, s: int, e: int) -> np.ndarray:
+    """Per-original-segment speed error against the anchor's average speed."""
+    if e - s < 2:
+        return np.empty(0)
+    seg = points[s : e + 1]
+    deltas = np.diff(seg[:, :2], axis=0)
+    dts = np.diff(seg[:, 2])
+    speeds = np.linalg.norm(deltas, axis=1) / np.maximum(dts, _EPS)
+    anchor_dt = points[e, 2] - points[s, 2]
+    anchor_speed = (
+        np.linalg.norm(points[e, :2] - points[s, :2]) / max(anchor_dt, _EPS)
+    )
+    return np.abs(speeds - anchor_speed)
+
+
+def sad_error(points: np.ndarray, s: int, e: int) -> float:
+    """SAD of the anchor segment ``p_s p_e`` (metres / second)."""
+    errs = sad_segment_errors(points, s, e)
+    return float(errs.max()) if len(errs) else 0.0
+
+
+#: Registry of segment-error functions by measure name.
+MEASURES = {
+    "sed": sed_error,
+    "ped": ped_error,
+    "dad": dad_error,
+    "sad": sad_error,
+}

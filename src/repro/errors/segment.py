@@ -1,0 +1,86 @@
+"""Segment- and trajectory-level error aggregation (Eqs. 1-2)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.database import TrajectoryDatabase
+from repro.data.trajectory import Trajectory
+from repro.errors.measures import MEASURES
+
+
+def segment_error(points: np.ndarray, s: int, e: int, measure: str = "sed") -> float:
+    """Error of the anchor segment ``p_s p_e`` under the chosen measure (Eq. 1)."""
+    try:
+        fn = MEASURES[measure]
+    except KeyError:
+        raise ValueError(
+            f"unknown measure {measure!r}; choose from {sorted(MEASURES)}"
+        ) from None
+    if not 0 <= s < e < len(points):
+        raise ValueError(f"invalid anchor indices s={s}, e={e} for n={len(points)}")
+    return fn(points, s, e)
+
+
+def trajectory_error(
+    trajectory: Trajectory | np.ndarray,
+    kept_indices: Sequence[int],
+    measure: str = "sed",
+) -> float:
+    """Error of a simplified trajectory: max over its simplified segments (Eq. 2).
+
+    Parameters
+    ----------
+    trajectory:
+        The *original* trajectory (or its ``(n, 3)`` point matrix).
+    kept_indices:
+        Sorted indices of the kept points; must include 0 and ``n - 1``.
+    measure:
+        One of ``"sed"``, ``"ped"``, ``"dad"``, ``"sad"``.
+    """
+    points = trajectory.points if isinstance(trajectory, Trajectory) else trajectory
+    kept = sorted(set(int(i) for i in kept_indices))
+    if not kept or kept[0] != 0 or kept[-1] != len(points) - 1:
+        raise ValueError("kept indices must include both endpoints")
+    worst = 0.0
+    for s, e in zip(kept, kept[1:]):
+        worst = max(worst, segment_error(points, s, e, measure))
+    return worst
+
+
+def database_errors(
+    original: TrajectoryDatabase,
+    simplified: TrajectoryDatabase,
+    measure: str = "sed",
+) -> np.ndarray:
+    """Per-trajectory errors of a simplified database against the original.
+
+    The simplified database must contain, per trajectory, a subsequence of
+    the original's points (as produced by every simplifier in this package).
+    """
+    if len(original) != len(simplified):
+        raise ValueError("databases must have the same number of trajectories")
+    errors = np.empty(len(original))
+    for i, (orig, simp) in enumerate(zip(original, simplified)):
+        kept = _recover_indices(orig, simp)
+        errors[i] = trajectory_error(orig, kept, measure)
+    return errors
+
+
+def _recover_indices(original: Trajectory, simplified: Trajectory) -> list[int]:
+    """Map each simplified point back to its index in the original trajectory.
+
+    Matches on the timestamp, which is unique within a trajectory because
+    timestamps are strictly increasing.
+    """
+    positions = np.searchsorted(original.times, simplified.times)
+    if (positions >= len(original.times)).any() or not np.array_equal(
+        original.times[np.minimum(positions, len(original.times) - 1)],
+        simplified.times,
+    ):
+        raise ValueError(
+            "simplified trajectory is not a subsequence of the original"
+        )
+    return [int(i) for i in positions]

@@ -1,0 +1,31 @@
+"""Evaluation harness: query-accuracy F1 over the paper's five query tasks."""
+
+from repro.eval.harness import QuerySuiteConfig, QueryAccuracyEvaluator, ALL_TASKS
+from repro.eval.deformation import mean_sed_deformation, query_deformation
+from repro.eval.stats import Summary, summarize, sign_test, bootstrap_diff_ci
+from repro.eval.report import ExperimentTable, series_table, format_cell
+from repro.eval.experiments import (
+    MethodResult,
+    compare_methods,
+    baseline_method,
+    rl4qdts_method,
+)
+
+__all__ = [
+    "QuerySuiteConfig",
+    "QueryAccuracyEvaluator",
+    "ALL_TASKS",
+    "mean_sed_deformation",
+    "query_deformation",
+    "MethodResult",
+    "compare_methods",
+    "baseline_method",
+    "rl4qdts_method",
+    "Summary",
+    "summarize",
+    "sign_test",
+    "bootstrap_diff_ci",
+    "ExperimentTable",
+    "series_table",
+    "format_cell",
+]

@@ -1,0 +1,75 @@
+"""Deformation study (paper, Figure 7).
+
+For each range query, the trajectories it returns on the *original* database
+are collected and their SED deformation — the trajectory error between the
+original and its simplified version — is averaged. A query-aware simplifier
+keeps the trajectories that queries actually touch better preserved, so its
+deformation curve sits below the error-driven baselines even though those
+baselines optimize SED globally.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.database import TrajectoryDatabase
+from repro.data.trajectory import Trajectory
+from repro.errors.measures import sed_point_errors
+from repro.errors.segment import _recover_indices, trajectory_error
+from repro.workloads.generators import RangeQueryWorkload
+
+
+def mean_sed_deformation(original: Trajectory, simplified: Trajectory) -> float:
+    """Average per-point SED of a simplified trajectory against its original.
+
+    Unlike the simplification *error* (the max over segments, Eq. 2), the
+    deformation averages the synchronized deviation over every original
+    point — "how far does the simplified trajectory sit from the original on
+    average", the quantity Figure 7 plots.
+    """
+    kept = _recover_indices(original, simplified)
+    deviations: list[np.ndarray] = []
+    for s, e in zip(kept, kept[1:]):
+        if e - s >= 2:
+            deviations.append(sed_point_errors(original.points, s, e))
+    if not deviations:
+        return 0.0
+    total = np.concatenate(deviations)
+    return float(total.sum() / len(original))
+
+
+def query_deformation(
+    original: TrajectoryDatabase,
+    simplified: TrajectoryDatabase,
+    workload: RangeQueryWorkload,
+    measure: str = "sed",
+) -> float:
+    """Mean per-query deformation of the trajectories returned by queries.
+
+    ``measure="sed"`` (the figure's setting) uses the average per-point SED
+    (:func:`mean_sed_deformation`); other measures fall back to the max-based
+    trajectory error. Queries returning nothing on the original database
+    contribute zero.
+    """
+    if len(original) != len(simplified):
+        raise ValueError("databases must have the same number of trajectories")
+    error_cache: dict[int, float] = {}
+
+    def deformation_of(tid: int) -> float:
+        if tid not in error_cache:
+            if measure == "sed":
+                error_cache[tid] = mean_sed_deformation(
+                    original[tid], simplified[tid]
+                )
+            else:
+                kept = _recover_indices(original[tid], simplified[tid])
+                error_cache[tid] = trajectory_error(original[tid], kept, measure)
+        return error_cache[tid]
+
+    per_query: list[float] = []
+    for result in workload.evaluate(original):
+        if not result:
+            per_query.append(0.0)
+            continue
+        per_query.append(float(np.mean([deformation_of(tid) for tid in result])))
+    return float(np.mean(per_query))

@@ -1,0 +1,252 @@
+"""Query-accuracy evaluation over the paper's five query tasks.
+
+Given an original database ``D``, an evaluator precomputes ground-truth
+results for a fixed set of queries of each task; :meth:`evaluate` then runs
+the same queries on a simplified database ``D'`` and reports the mean
+F1-score per task (paper, Section III-B):
+
+* ``range``      — range queries from a workload distribution,
+* ``knn_edr``    — kNN under EDR,
+* ``knn_t2vec``  — kNN under the learned embedding similarity,
+* ``similarity`` — synchronized-distance threshold queries,
+* ``clustering`` — TRACLUS pair-counting F1 (on a trajectory subset, since
+  segment grouping is quadratic).
+
+The evaluator is built once per experiment and reused across methods and
+compression ratios so all methods face identical queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.database import TrajectoryDatabase
+from repro.data.stats import spatial_scale
+from repro.queries.clustering import TraclusConfig, traclus_cluster
+from repro.queries.knn import knn_query
+from repro.queries.metrics import clustering_f1, f1_score
+from repro.queries.similarity import similarity_query
+from repro.queries.t2vec import T2VecEmbedder
+from repro.workloads.generators import RangeQueryWorkload
+
+ALL_TASKS = ("range", "knn_edr", "knn_t2vec", "similarity", "clustering")
+
+
+@dataclass(frozen=True, slots=True)
+class QuerySuiteConfig:
+    """Sizes and thresholds of the evaluation query suite.
+
+    ``None`` thresholds are derived from the database's spatial extent at
+    evaluator construction (mirroring the paper's dataset-relative query
+    parameters: 2km boxes, 2km EDR threshold, 5km similarity threshold on a
+    ~50km city).
+    """
+
+    n_range_queries: int = 50
+    range_distribution: str = "data"
+    n_knn_queries: int = 8
+    k: int = 3
+    edr_eps: float | None = None
+    n_similarity_queries: int = 8
+    similarity_delta: float | None = None
+    clustering_subset: int = 25
+    traclus_eps: float | None = None
+    traclus_min_lns: int = 3
+    seed: int = 0
+
+
+class QueryAccuracyEvaluator:
+    """Precomputed ground truth + per-task F1 scoring of simplified databases."""
+
+    def __init__(
+        self,
+        db: TrajectoryDatabase,
+        config: QuerySuiteConfig | None = None,
+        workload: RangeQueryWorkload | None = None,
+    ) -> None:
+        self.db = db
+        self.config = config or QuerySuiteConfig()
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        # Thresholds default to fractions of the characteristic trajectory
+        # scale so selectivity survives dataset re-scaling (see
+        # repro.data.stats.spatial_scale).
+        scale = spatial_scale(db)
+        self.edr_eps = cfg.edr_eps if cfg.edr_eps is not None else 0.10 * scale
+        self.similarity_delta = (
+            cfg.similarity_delta
+            if cfg.similarity_delta is not None
+            else 0.15 * scale
+        )
+        traclus_eps = (
+            cfg.traclus_eps if cfg.traclus_eps is not None else 0.08 * scale
+        )
+        self.traclus_config = TraclusConfig(
+            eps=traclus_eps, min_lns=cfg.traclus_min_lns
+        )
+
+        # --- range queries -------------------------------------------------
+        self.workload = workload or RangeQueryWorkload.generate(
+            cfg.range_distribution, db, cfg.n_range_queries, seed=cfg.seed
+        )
+        self._range_truth = self.workload.evaluate(db)
+
+        # --- kNN queries (shared query trajectories for both measures) -----
+        n_knn = min(cfg.n_knn_queries, len(db))
+        self._knn_query_ids = [
+            int(i) for i in rng.choice(len(db), size=n_knn, replace=False)
+        ]
+        self._knn_windows = [
+            self._central_window(db[qid]) for qid in self._knn_query_ids
+        ]
+        self.embedder = T2VecEmbedder(seed=cfg.seed).fit(db)
+        self._knn_edr_truth = [
+            knn_query(db, db[qid], cfg.k, window, "edr", eps=self.edr_eps)
+            for qid, window in zip(self._knn_query_ids, self._knn_windows)
+        ]
+        self._knn_t2vec_truth = [
+            knn_query(db, db[qid], cfg.k, window, "t2vec", embedder=self.embedder)
+            for qid, window in zip(self._knn_query_ids, self._knn_windows)
+        ]
+
+        # --- similarity queries --------------------------------------------
+        n_sim = min(cfg.n_similarity_queries, len(db))
+        self._sim_query_ids = [
+            int(i) for i in rng.choice(len(db), size=n_sim, replace=False)
+        ]
+        self._sim_truth = [
+            similarity_query(db, db[qid], self.similarity_delta)
+            for qid in self._sim_query_ids
+        ]
+
+        # --- clustering ------------------------------------------------------
+        n_cluster = min(cfg.clustering_subset, len(db))
+        self._cluster_ids = sorted(
+            int(i) for i in rng.choice(len(db), size=n_cluster, replace=False)
+        )
+        truth_subset = db.subset(self._cluster_ids)
+        self._cluster_truth = traclus_cluster(
+            truth_subset, self.traclus_config
+        ).clusters
+
+    @staticmethod
+    def _central_window(trajectory) -> tuple[float, float]:
+        """The middle half of the query trajectory's time span."""
+        t0, t1 = float(trajectory.times[0]), float(trajectory.times[-1])
+        quarter = 0.25 * (t1 - t0)
+        return (t0 + quarter, t1 - quarter)
+
+    # ------------------------------------------------------------------ scoring
+    def evaluate(
+        self,
+        simplified: TrajectoryDatabase,
+        tasks: tuple[str, ...] = ALL_TASKS,
+    ) -> dict[str, float]:
+        """Mean F1 per task of ``simplified`` against the original's truth.
+
+        kNN and similarity queries keep using the *original* query
+        trajectories (queries arrive from outside; only the database is
+        simplified), matching the paper's setup.
+        """
+        if len(simplified) != len(self.db):
+            raise ValueError("simplified database must match the original's size")
+        scores: dict[str, float] = {}
+        for task in tasks:
+            if task == "range":
+                results = self.workload.evaluate(simplified)
+                scores[task] = float(
+                    np.mean(
+                        [f1_score(t, r) for t, r in zip(self._range_truth, results)]
+                    )
+                )
+            elif task == "knn_edr":
+                scores[task] = self._score_knn(simplified, "edr")
+            elif task == "knn_t2vec":
+                scores[task] = self._score_knn(simplified, "t2vec")
+            elif task == "similarity":
+                f1s = []
+                for qid, truth in zip(self._sim_query_ids, self._sim_truth):
+                    result = similarity_query(
+                        simplified, self.db[qid], self.similarity_delta
+                    )
+                    f1s.append(f1_score(truth, result))
+                scores[task] = float(np.mean(f1s))
+            elif task == "clustering":
+                subset = simplified.subset(self._cluster_ids)
+                predicted = traclus_cluster(subset, self.traclus_config).clusters
+                scores[task] = clustering_f1(self._cluster_truth, predicted)
+            else:
+                raise ValueError(f"unknown task {task!r}; choose from {ALL_TASKS}")
+        return scores
+
+    def evaluate_extended(
+        self, simplified: TrajectoryDatabase
+    ) -> dict[str, float]:
+        """Alternative quality metrics beyond the paper's F1 (Eq. 3).
+
+        Returns:
+
+        * ``range_jaccard``   — mean intersection-over-union of range results;
+        * ``knn_edr_tau``     — mean Kendall tau of the kNN *rankings* under
+          EDR (F1 ignores order; tau detects rank scrambling);
+        * ``clustering_ari``  — adjusted Rand index of the TRACLUS partition;
+        * ``heatmap``         — histogram intersection of spatial density.
+
+        Used by the metric-sensitivity benchmark to confirm that method
+        orderings are not an artifact of the F1 choice.
+        """
+        if len(simplified) != len(self.db):
+            raise ValueError("simplified database must match the original's size")
+        from repro.queries.aggregate import heatmap_f1
+        from repro.queries.metrics import (
+            adjusted_rand_index,
+            jaccard,
+            kendall_tau,
+        )
+
+        results = self.workload.evaluate(simplified)
+        range_jaccard = float(
+            np.mean([jaccard(t, r) for t, r in zip(self._range_truth, results)])
+        )
+
+        taus = []
+        for qid, window, truth in zip(
+            self._knn_query_ids, self._knn_windows, self._knn_edr_truth
+        ):
+            result = knn_query(
+                simplified, self.db[qid], self.config.k, window, "edr",
+                eps=self.edr_eps,
+            )
+            taus.append(kendall_tau(truth, result))
+        knn_tau = float(np.mean(taus)) if taus else 0.0
+
+        subset = simplified.subset(self._cluster_ids)
+        predicted = traclus_cluster(subset, self.traclus_config).clusters
+        ari = adjusted_rand_index(self._cluster_truth, predicted)
+
+        return {
+            "range_jaccard": range_jaccard,
+            "knn_edr_tau": knn_tau,
+            "clustering_ari": float(ari),
+            "heatmap": heatmap_f1(self.db, simplified),
+        }
+
+    def _score_knn(self, simplified: TrajectoryDatabase, measure: str) -> float:
+        truths = self._knn_edr_truth if measure == "edr" else self._knn_t2vec_truth
+        f1s = []
+        for qid, window, truth in zip(
+            self._knn_query_ids, self._knn_windows, truths
+        ):
+            result = knn_query(
+                simplified,
+                self.db[qid],
+                self.config.k,
+                window,
+                measure,
+                eps=self.edr_eps,
+                embedder=self.embedder,
+            )
+            f1s.append(f1_score(set(truth), set(result)))
+        return float(np.mean(f1s))

@@ -1,0 +1,114 @@
+"""Statistical summaries for experiment results.
+
+The paper reports averages and standard deviations over 50 runs of the
+(stochastic) RL4QDTS inference (Section V-A). This module provides those
+summaries plus bootstrap confidence intervals and a paired sign test, so
+benchmark output can state not only *who wins* but how confidently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import comb
+
+import numpy as np
+
+
+@dataclass(frozen=True, slots=True)
+class Summary:
+    """Location and spread of one metric over repeated runs."""
+
+    mean: float
+    std: float
+    n: int
+    ci_low: float
+    ci_high: float
+
+    def __str__(self) -> str:
+        return f"{self.mean:.3f} ± {self.std:.3f} (n={self.n})"
+
+
+def summarize(
+    values,
+    confidence: float = 0.95,
+    n_bootstrap: int = 2000,
+    seed: int = 0,
+) -> Summary:
+    """Mean, sample std, and a bootstrap percentile CI of the mean.
+
+    Parameters
+    ----------
+    values:
+        The per-run metric values (at least one).
+    confidence:
+        Two-sided confidence level of the interval.
+    n_bootstrap:
+        Bootstrap resamples; 2000 is plenty for 95% percentile intervals.
+    seed:
+        Resampling seed (results are deterministic given it).
+    """
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("need at least one value")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    mean = float(arr.mean())
+    std = float(arr.std(ddof=1)) if arr.size > 1 else 0.0
+    if arr.size == 1:
+        return Summary(mean, 0.0, 1, mean, mean)
+    rng = np.random.default_rng(seed)
+    samples = rng.choice(arr, size=(n_bootstrap, arr.size), replace=True)
+    means = samples.mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    lo, hi = np.quantile(means, [alpha, 1.0 - alpha])
+    return Summary(mean, std, int(arr.size), float(lo), float(hi))
+
+
+def sign_test(a, b) -> float:
+    """Two-sided paired sign test p-value for metric series ``a`` vs ``b``.
+
+    Ties are discarded (the standard treatment). A small p-value indicates
+    the two methods genuinely differ across paired runs; with few pairs the
+    test is conservative.
+    """
+    a = np.asarray(list(a), dtype=float)
+    b = np.asarray(list(b), dtype=float)
+    if a.shape != b.shape:
+        raise ValueError("paired series must have equal length")
+    diffs = a - b
+    wins = int((diffs > 0).sum())
+    losses = int((diffs < 0).sum())
+    n = wins + losses
+    if n == 0:
+        return 1.0
+    k = min(wins, losses)
+    # Two-sided binomial tail under p = 1/2.
+    tail = sum(comb(n, i) for i in range(k + 1)) / 2.0**n
+    return float(min(1.0, 2.0 * tail))
+
+
+def bootstrap_diff_ci(
+    a,
+    b,
+    confidence: float = 0.95,
+    n_bootstrap: int = 2000,
+    seed: int = 0,
+) -> tuple[float, float]:
+    """Bootstrap CI of ``mean(a) - mean(b)`` for *paired* runs.
+
+    Resamples pairs, so run-to-run correlation (same seeds, same databases)
+    is respected. The interval excluding zero is evidence of a real gap.
+    """
+    a = np.asarray(list(a), dtype=float)
+    b = np.asarray(list(b), dtype=float)
+    if a.shape != b.shape or a.size == 0:
+        raise ValueError("paired series must be equally sized and non-empty")
+    diffs = a - b
+    if diffs.size == 1:
+        return float(diffs[0]), float(diffs[0])
+    rng = np.random.default_rng(seed)
+    samples = rng.choice(diffs, size=(n_bootstrap, diffs.size), replace=True)
+    means = samples.mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    lo, hi = np.quantile(means, [alpha, 1.0 - alpha])
+    return float(lo), float(hi)

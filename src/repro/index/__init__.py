@@ -1,0 +1,32 @@
+"""Spatio-temporal indexes.
+
+* :class:`Octree` — the midpoint-split cube tree RL4QDTS uses (Section IV);
+* :class:`KDTree` — the median-split alternative the paper leaves as future
+  work, interchangeable with the octree;
+* :class:`GridIndex` — a uniform grid accelerating range queries;
+* :class:`RTree` — an STR bulk-loaded R-tree over trajectory bounding boxes,
+  an alternative range-query accelerator;
+* :class:`TemporalIndex` — sorted-lifespan interval index pruning the
+  time-window tests of kNN / similarity queries.
+"""
+
+from repro.index.common import CubeNode, CubeTree
+from repro.index.octree import Octree, OctreeNode
+from repro.index.kdtree import KDTree
+from repro.index.grid import GridIndex
+from repro.index.rtree import RTree
+from repro.index.temporal import TemporalIndex
+
+TREE_INDEXES = {"octree": Octree, "kdtree": KDTree}
+
+__all__ = [
+    "CubeNode",
+    "CubeTree",
+    "Octree",
+    "OctreeNode",
+    "KDTree",
+    "GridIndex",
+    "RTree",
+    "TemporalIndex",
+    "TREE_INDEXES",
+]

@@ -1,0 +1,80 @@
+"""A uniform spatio-temporal grid index.
+
+Used to accelerate repeated range queries during reward evaluation (training
+runs hundreds of queries every ``delta`` insertions) and as the tokenizer
+substrate of the t2vec-style embedding (:mod:`repro.queries.t2vec`).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro.data.bbox import BoundingBox
+from repro.data.database import TrajectoryDatabase
+
+
+class GridIndex:
+    """Uniform grid over (x, y, t) mapping cells to trajectory ids.
+
+    Parameters
+    ----------
+    database:
+        The database to index.
+    resolution:
+        Number of cells per axis, ``(nx, ny, nt)``.
+    """
+
+    def __init__(
+        self,
+        database: TrajectoryDatabase,
+        resolution: tuple[int, int, int] = (32, 32, 16),
+    ) -> None:
+        if any(r < 1 for r in resolution):
+            raise ValueError("resolution must be positive along every axis")
+        self.database = database
+        self.resolution = resolution
+        box = database.bounding_box
+        self._origin = np.array([box.xmin, box.ymin, box.tmin])
+        spans = np.array(box.spans)
+        spans[spans <= 0] = 1.0
+        self._cell_size = spans / np.array(resolution, dtype=float)
+        self._cells: dict[tuple[int, int, int], set[int]] = defaultdict(set)
+        for traj in database:
+            cells = self.cells_of(traj.points)
+            for cell in set(map(tuple, cells)):
+                self._cells[cell].add(traj.traj_id)
+
+    def cells_of(self, points: np.ndarray) -> np.ndarray:
+        """``(n, 3)`` integer cell coordinates for each point (clipped in-range)."""
+        rel = (np.asarray(points, dtype=float) - self._origin) / self._cell_size
+        cells = np.floor(rel).astype(int)
+        return np.clip(cells, 0, np.array(self.resolution) - 1)
+
+    def cell_of(self, x: float, y: float, t: float) -> tuple[int, int, int]:
+        cell = self.cells_of(np.array([[x, y, t]]))[0]
+        return (int(cell[0]), int(cell[1]), int(cell[2]))
+
+    def candidate_trajectories(self, box: BoundingBox) -> set[int]:
+        """Ids of trajectories with a point in some cell overlapping ``box``.
+
+        A superset of the exact range-query answer; callers verify candidates
+        against actual points.
+        """
+        lo = self.cells_of(np.array([[box.xmin, box.ymin, box.tmin]]))[0]
+        hi = self.cells_of(np.array([[box.xmax, box.ymax, box.tmax]]))[0]
+        result: set[int] = set()
+        for cx in range(lo[0], hi[0] + 1):
+            for cy in range(lo[1], hi[1] + 1):
+                for ct in range(lo[2], hi[2] + 1):
+                    ids = self._cells.get((cx, cy, ct))
+                    if ids:
+                        result |= ids
+        return result
+
+    def occupied_cells(self) -> list[tuple[int, int, int]]:
+        return list(self._cells)
+
+    def __len__(self) -> int:
+        return len(self._cells)

@@ -1,0 +1,91 @@
+"""A median-split spatio-temporal kd-tree (the paper's future-work index).
+
+The paper adopts the octree "for its simplicity and leave[s] other indexes,
+e.g., kd-tree, for future exploration" (Section I). This module explores it:
+a kd-tree that cycles through the x, y, and t axes with *median* splits,
+exposed through the same 8-way node interface as the octree so that
+Agent-Cube's MDP is unchanged.
+
+Each exposed node groups three consecutive binary median splits:
+
+1. split the node's points at their median x into low/high halves,
+2. split each half at its own median y,
+3. split each quarter at its own median t.
+
+The resulting 8 buckets use the shared bit convention (bit 0 = upper x,
+bit 1 = upper y, bit 2 = upper t) and their boxes tile the parent cube
+exactly (each child inherits the split planes of its own branch).
+
+Compared to the octree's midpoint splits, median splits adapt to data skew:
+children carry balanced point mass, so dense hotspots are resolved at
+shallower levels. The trade-off is that cube shapes follow the data, which
+changes how the query distribution spreads over children — the effect on
+RL4QDTS is measured in ``benchmarks/bench_index_variants.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.bbox import BoundingBox
+from repro.index.common import CubeNode, CubeTree
+
+#: Fraction of a span used to nudge a degenerate median off the boundary.
+_EPS = 1e-12
+
+
+def _median_split(values: np.ndarray, lo: float, hi: float) -> float:
+    """A split plane inside ``(lo, hi)`` near the median of ``values``.
+
+    The median of heavily duplicated values can coincide with ``lo`` (making
+    the lower half empty) — nudge it into the interior so both sides remain
+    valid boxes; the empty side simply yields a ``None`` child.
+    """
+    med = float(np.median(values))
+    if not lo < med < hi:
+        med = 0.5 * (lo + hi)
+    span = hi - lo
+    return min(max(med, lo + _EPS * span), hi - _EPS * span)
+
+
+class KDTree(CubeTree):
+    """8-way kd-tree (x/y/t median splits) over a trajectory database."""
+
+    def _split_masks_and_boxes(
+        self, node: CubeNode, points: np.ndarray
+    ) -> tuple[np.ndarray, tuple[BoundingBox, ...]]:
+        box = node.box
+        octant = np.zeros(len(points), dtype=int)
+
+        x_split = _median_split(points[:, 0], box.xmin, box.xmax)
+        x_hi = points[:, 0] >= x_split
+        octant |= x_hi.astype(int)
+
+        # Per-x-branch y medians, then per-(x, y)-branch t medians.
+        y_splits = [box.ymin, box.ymin]  # placeholder, filled below
+        t_splits = [[box.tmin] * 2 for _ in range(2)]
+        for xb in (0, 1):
+            x_mask = x_hi if xb else ~x_hi
+            y_values = points[x_mask, 1] if x_mask.any() else points[:, 1]
+            y_split = _median_split(y_values, box.ymin, box.ymax)
+            y_splits[xb] = y_split
+            y_hi = points[:, 1] >= y_split
+            octant |= ((x_mask & y_hi).astype(int) << 1)
+            for yb in (0, 1):
+                quadrant = x_mask & (y_hi if yb else ~y_hi)
+                t_values = points[quadrant, 2] if quadrant.any() else points[:, 2]
+                t_split = _median_split(t_values, box.tmin, box.tmax)
+                t_splits[xb][yb] = t_split
+                t_hi = points[:, 2] >= t_split
+                octant |= ((quadrant & t_hi).astype(int) << 2)
+
+        boxes = []
+        for k in range(8):
+            xb, yb, tb = k & 1, (k >> 1) & 1, (k >> 2) & 1
+            xlo, xhi = (box.xmin, x_split) if not xb else (x_split, box.xmax)
+            y_split = y_splits[xb]
+            ylo, yhi = (box.ymin, y_split) if not yb else (y_split, box.ymax)
+            t_split = t_splits[xb][yb]
+            tlo, thi = (box.tmin, t_split) if not tb else (t_split, box.tmax)
+            boxes.append(BoundingBox(xlo, xhi, ylo, yhi, tlo, thi))
+        return octant, tuple(boxes)

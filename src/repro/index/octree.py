@@ -1,0 +1,50 @@
+"""The spatio-temporal octree (paper, Section IV).
+
+RL4QDTS partitions the database into *spatio-temporal cubes* by recursively
+splitting the 2D-space x 1D-time bounding box into 8 octants. The tree gives
+Agent-Cube cubes of adaptive resolution: the root is the whole database and
+each level halves every dimension.
+
+Each node records:
+
+* ``n_points`` — number of points inside its cube,
+* ``n_trajectories`` (``M_B`` in the paper) — number of *distinct*
+  trajectories with at least one point inside,
+* ``n_queries`` (``Q_B``) — number of training-workload queries whose box
+  intersects the cube (filled in by :meth:`Octree.annotate_queries`).
+
+Points (``(traj_id, point_index)`` pairs) are stored at leaves only;
+:meth:`Octree.collect_points` gathers the points under any internal node.
+
+Levels are 1-based to match the paper's ``B^j_i`` notation (the root is at
+level 1). Octant child ``k`` (0-based) uses bit 0 for the x half, bit 1 for
+y, and bit 2 for t.
+
+Traversal, statistics, and sampling are shared with the kd-tree variant via
+:class:`repro.index.common.CubeTree`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.bbox import BoundingBox
+from repro.index.common import CubeNode, CubeTree
+
+#: Back-compat alias: octree nodes are plain cube-tree nodes.
+OctreeNode = CubeNode
+
+
+class Octree(CubeTree):
+    """Midpoint-split octree over all points of a trajectory database."""
+
+    def _split_masks_and_boxes(
+        self, node: CubeNode, points: np.ndarray
+    ) -> tuple[np.ndarray, tuple[BoundingBox, ...]]:
+        cx, cy, ct = node.box.center
+        octant = (
+            (points[:, 0] >= cx).astype(int)
+            | ((points[:, 1] >= cy).astype(int) << 1)
+            | ((points[:, 2] >= ct).astype(int) << 2)
+        )
+        return octant, node.box.split8()

@@ -1,0 +1,178 @@
+"""An STR bulk-loaded R-tree over trajectory bounding boxes.
+
+Range queries (Section III-B) must find trajectories with at least one point
+in a query box. The uniform :class:`~repro.index.grid.GridIndex` does this
+with cell buckets; an R-tree does it with a hierarchy of nested bounding
+boxes and behaves better when trajectory extents vary wildly (long
+inter-city trips next to short local ones), because a trajectory appears
+exactly once instead of in every overlapped cell.
+
+The tree is bulk-loaded with the Sort-Tile-Recursive (STR) packing
+algorithm: leaf rectangles are sorted into an x-major / y-intermediate /
+t-minor tiling so that each node packs ``fanout`` spatially-close children.
+The tree is static — databases are simplified offline, so there is no
+insert/delete path.
+
+Each leaf rectangle is one trajectory's spatio-temporal bounding box. A box
+intersection is a *candidate* — callers verify actual point membership, the
+same contract as :meth:`GridIndex.candidate_trajectories`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.bbox import BoundingBox
+from repro.data.database import TrajectoryDatabase
+
+
+@dataclass(slots=True)
+class RTreeNode:
+    """One R-tree node.
+
+    Internal nodes hold child nodes; leaves hold ``(traj_id, mbr)`` entries
+    so that search can test each trajectory's own bounding rectangle, as in
+    a classical R-tree.
+    """
+
+    box: BoundingBox
+    children: list["RTreeNode"] | None = None
+    entries: list[tuple[int, BoundingBox]] | None = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.children is None
+
+    @property
+    def traj_ids(self) -> list[int] | None:
+        """Trajectory ids of a leaf's entries (None for internal nodes)."""
+        if self.entries is None:
+            return None
+        return [tid for tid, _ in self.entries]
+
+
+def _union_boxes(boxes: list[BoundingBox]) -> BoundingBox:
+    out = boxes[0]
+    for box in boxes[1:]:
+        out = out.union(box)
+    return out
+
+
+class RTree:
+    """Static STR-packed R-tree over per-trajectory bounding boxes.
+
+    Parameters
+    ----------
+    database:
+        The database to index.
+    fanout:
+        Maximum children per node (>= 2). Typical disk R-trees use large
+        fanouts; in memory a moderate fanout keeps the tree shallow without
+        degenerating into a linear scan.
+    """
+
+    def __init__(self, database: TrajectoryDatabase, fanout: int = 16) -> None:
+        if fanout < 2:
+            raise ValueError("fanout must be >= 2")
+        self.database = database
+        self.fanout = fanout
+        leaves = self._pack_leaves()
+        self.root = self._pack_upwards(leaves)
+
+    # ------------------------------------------------------------------- build
+    def _pack_leaves(self) -> list[RTreeNode]:
+        """STR tiling of trajectory boxes into leaf nodes of ``fanout`` each."""
+        boxes = [t.bounding_box for t in self.database]
+        ids = np.arange(len(boxes))
+        centers = np.array([b.center for b in boxes])
+        n = len(boxes)
+        n_leaves = int(np.ceil(n / self.fanout))
+        # STR: sort by x-center into vertical slabs, each slab by y into
+        # columns, each column by t; consecutive runs of `fanout` become
+        # leaves.
+        slab_count = max(1, int(np.ceil(n_leaves ** (1.0 / 3.0))))
+        per_slab = int(np.ceil(n / slab_count))
+        order_x = np.argsort(centers[:, 0], kind="stable")
+        leaves: list[RTreeNode] = []
+        for s in range(0, n, per_slab):
+            slab = order_x[s : s + per_slab]
+            col_count = max(1, int(np.ceil(np.sqrt(len(slab) / self.fanout))))
+            per_col = int(np.ceil(len(slab) / col_count))
+            order_y = slab[np.argsort(centers[slab, 1], kind="stable")]
+            for c in range(0, len(order_y), per_col):
+                col = order_y[c : c + per_col]
+                order_t = col[np.argsort(centers[col, 2], kind="stable")]
+                for r in range(0, len(order_t), self.fanout):
+                    run = order_t[r : r + self.fanout]
+                    run_boxes = [boxes[i] for i in run]
+                    leaves.append(
+                        RTreeNode(
+                            box=_union_boxes(run_boxes),
+                            entries=[
+                                (int(ids[i]), boxes[i]) for i in run
+                            ],
+                        )
+                    )
+        return leaves
+
+    def _pack_upwards(self, nodes: list[RTreeNode]) -> RTreeNode:
+        """Group nodes level by level (by x-center) until one root remains."""
+        while len(nodes) > 1:
+            centers = np.array([n.box.center for n in nodes])
+            order = np.argsort(centers[:, 0], kind="stable")
+            grouped: list[RTreeNode] = []
+            for s in range(0, len(nodes), self.fanout):
+                members = [nodes[i] for i in order[s : s + self.fanout]]
+                grouped.append(
+                    RTreeNode(
+                        box=_union_boxes([m.box for m in members]),
+                        children=members,
+                    )
+                )
+            nodes = grouped
+        return nodes[0]
+
+    # ------------------------------------------------------------------ search
+    def candidate_trajectories(self, box: BoundingBox) -> set[int]:
+        """Trajectory ids whose bounding box intersects ``box``.
+
+        Exactly the trajectories whose MBR intersects the query — a superset
+        of the true range-query result; callers verify point membership (the
+        same contract as the grid index).
+        """
+        result: set[int] = set()
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if not node.box.intersects(box):
+                continue
+            if node.is_leaf:
+                result.update(
+                    tid for tid, mbr in node.entries if mbr.intersects(box)
+                )
+            else:
+                stack.extend(node.children)
+        return result
+
+    # ------------------------------------------------------------- diagnostics
+    def height(self) -> int:
+        """Number of levels (1 for a single-leaf tree)."""
+        h, node = 1, self.root
+        while not node.is_leaf:
+            node = node.children[0]
+            h += 1
+        return h
+
+    def node_count(self) -> int:
+        count, stack = 0, [self.root]
+        while stack:
+            node = stack.pop()
+            count += 1
+            if not node.is_leaf:
+                stack.extend(node.children)
+        return count
+
+    def __len__(self) -> int:
+        return len(self.database)

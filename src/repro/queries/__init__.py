@@ -1,0 +1,60 @@
+"""Trajectory query operators and quality measures (paper, Section III-B).
+
+Four query types are supported, matching the paper's evaluation:
+
+* :func:`range_query` — spatio-temporal box containment,
+* :func:`knn_query` — k nearest trajectories under EDR or a learned
+  (t2vec-style) similarity,
+* :func:`similarity_query` — synchronized-distance threshold match,
+* :func:`traclus_cluster` — TRACLUS partition-and-group clustering.
+
+Query accuracy of a simplified database is measured with the F1-score of its
+results against the original database's results (:mod:`repro.queries.metrics`).
+"""
+
+from repro.queries.range_query import RangeQuery, range_query, range_query_batch
+from repro.queries.edr import edr_distance
+from repro.queries.t2vec import T2VecEmbedder
+from repro.queries.knn import knn_query
+from repro.queries.similarity import similarity_query
+from repro.queries.join import distance_join
+from repro.queries.clustering import traclus_cluster, TraclusConfig
+from repro.queries.aggregate import (
+    count_query,
+    density_histogram,
+    histogram_similarity,
+    heatmap_f1,
+)
+from repro.queries.metrics import (
+    precision_recall_f1,
+    f1_score,
+    clustering_pairs,
+    clustering_f1,
+    jaccard,
+    kendall_tau,
+    adjusted_rand_index,
+)
+
+__all__ = [
+    "RangeQuery",
+    "range_query",
+    "range_query_batch",
+    "edr_distance",
+    "T2VecEmbedder",
+    "knn_query",
+    "similarity_query",
+    "distance_join",
+    "traclus_cluster",
+    "TraclusConfig",
+    "precision_recall_f1",
+    "f1_score",
+    "clustering_pairs",
+    "clustering_f1",
+    "jaccard",
+    "kendall_tau",
+    "adjusted_rand_index",
+    "count_query",
+    "density_histogram",
+    "histogram_similarity",
+    "heatmap_f1",
+]

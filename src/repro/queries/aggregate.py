@@ -1,0 +1,122 @@
+"""Aggregate (heatmap / count) queries over trajectory databases.
+
+The paper's Remarks (Section III-B) note the simplified database should
+support "range query, kNN query, similarity query, clustering, and possibly
+others". Density aggregates are the most common "other" in trajectory
+analytics — every fleet dashboard renders a heatmap — and they stress
+simplification differently from the four paper queries: dropping points in
+a cell *directly* lowers its count even when the trajectory set returned by
+range queries is unchanged.
+
+Two aggregate flavours are provided:
+
+* :func:`count_query` — point count inside a spatio-temporal box;
+* :func:`density_histogram` — the spatial heatmap: per-cell point counts
+  over a uniform grid.
+
+Quality of a simplified database's aggregates is measured against the
+original with :func:`histogram_similarity` (the histogram intersection, the
+standard heatmap-overlap score in ``[0, 1]``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.bbox import BoundingBox
+from repro.data.database import TrajectoryDatabase
+
+
+def count_query(db: TrajectoryDatabase, box: BoundingBox) -> int:
+    """Number of points of ``db`` inside the spatio-temporal ``box``."""
+    total = 0
+    for traj in db:
+        if not box.intersects(traj.bounding_box):
+            continue
+        total += int(box.contains_points(traj.points).sum())
+    return total
+
+
+def density_histogram(
+    db: TrajectoryDatabase,
+    grid: int = 32,
+    box: BoundingBox | None = None,
+    normalize: bool = False,
+) -> np.ndarray:
+    """Spatial point-density histogram of shape ``(grid, grid)``.
+
+    Parameters
+    ----------
+    db:
+        The database to rasterize.
+    grid:
+        Cells per spatial axis.
+    box:
+        Raster region; defaults to the database's bounding box. Points
+        outside are ignored, which makes histograms of a simplified database
+        comparable when rasterized over the *original* database's box.
+    normalize:
+        Scale the histogram to sum to 1 (a distribution rather than counts).
+    """
+    if grid < 1:
+        raise ValueError("grid must be >= 1")
+    box = box or db.bounding_box
+    sx = max(box.xmax - box.xmin, 1e-12)
+    sy = max(box.ymax - box.ymin, 1e-12)
+    hist = np.zeros((grid, grid))
+    for traj in db:
+        xy = traj.xy
+        inside = (
+            (xy[:, 0] >= box.xmin)
+            & (xy[:, 0] <= box.xmax)
+            & (xy[:, 1] >= box.ymin)
+            & (xy[:, 1] <= box.ymax)
+        )
+        pts = xy[inside]
+        if len(pts) == 0:
+            continue
+        ix = np.minimum(((pts[:, 0] - box.xmin) / sx * grid).astype(int), grid - 1)
+        iy = np.minimum(((pts[:, 1] - box.ymin) / sy * grid).astype(int), grid - 1)
+        np.add.at(hist, (ix, iy), 1.0)
+    if normalize:
+        total = hist.sum()
+        if total > 0:
+            hist /= total
+    return hist
+
+
+def histogram_similarity(truth: np.ndarray, predicted: np.ndarray) -> float:
+    """Histogram intersection of two density rasters, in ``[0, 1]``.
+
+    Both rasters are normalized to distributions first, so a uniformly
+    down-sampled database (fewer points, same shape) scores high — it is the
+    *shape* of the heatmap that analytics consumers care about. Two empty
+    rasters agree perfectly.
+    """
+    truth = np.asarray(truth, dtype=float)
+    predicted = np.asarray(predicted, dtype=float)
+    if truth.shape != predicted.shape:
+        raise ValueError("histograms must have the same shape")
+    t_sum, p_sum = truth.sum(), predicted.sum()
+    if t_sum == 0 and p_sum == 0:
+        return 1.0
+    if t_sum == 0 or p_sum == 0:
+        return 0.0
+    return float(np.minimum(truth / t_sum, predicted / p_sum).sum())
+
+
+def heatmap_f1(
+    original: TrajectoryDatabase,
+    simplified: TrajectoryDatabase,
+    grid: int = 32,
+) -> float:
+    """Heatmap preservation score of a simplified database.
+
+    Rasterizes both databases over the *original*'s bounding box and returns
+    their histogram intersection.
+    """
+    box = original.bounding_box
+    return histogram_similarity(
+        density_histogram(original, grid, box),
+        density_histogram(simplified, grid, box),
+    )

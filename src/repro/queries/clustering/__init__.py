@@ -1,0 +1,26 @@
+"""TRACLUS partition-and-group trajectory clustering (Lee et al., SIGMOD'07).
+
+The paper's clustering query runs TRACLUS: each trajectory is partitioned
+into characteristic line segments via MDL, segments are grouped with a
+density-based (DBSCAN-style) pass under a three-component segment distance,
+and the clustering quality measure is the pair-counting F1 over trajectories
+co-appearing in a cluster.
+"""
+
+from repro.queries.clustering.distances import segment_distance
+from repro.queries.clustering.partition import mdl_partition
+from repro.queries.clustering.group import dbscan_segments
+from repro.queries.clustering.traclus import (
+    TraclusConfig,
+    TraclusResult,
+    traclus_cluster,
+)
+
+__all__ = [
+    "segment_distance",
+    "mdl_partition",
+    "dbscan_segments",
+    "TraclusConfig",
+    "TraclusResult",
+    "traclus_cluster",
+]

@@ -1,0 +1,111 @@
+"""MDL-based approximate trajectory partitioning (TRACLUS phase 1).
+
+A trajectory is reduced to *characteristic points*: the subsequence whose
+connecting segments best trade off conciseness (``L(H)``: the description
+length of the segments kept) against preciseness (``L(D|H)``: how far the
+kept segments stray from the original movement). The approximate algorithm
+scans forward, extending the current characteristic segment while
+``MDL_par <= MDL_nopar`` and cutting one point earlier as soon as the
+partitioned encoding becomes more expensive (Lee et al., SIGMOD'07, Alg. 2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.trajectory import Trajectory
+
+_EPS = 1e-12
+
+
+def _log2_safe(value: float) -> float:
+    """``log2(value)`` clamped below at 0 (distances under 1 unit cost nothing)."""
+    return float(np.log2(max(value, 1.0)))
+
+
+def _encoding_cost(xy: np.ndarray, start: int, end: int) -> float:
+    """``L(D|H)``: per-segment log-costs against the candidate anchor.
+
+    Following the TRACLUS formulation, every original segment contributes
+    ``log2(d_perp) + log2(d_theta)`` against the characteristic segment
+    ``xy[start] -> xy[end]`` (distances clamped below at 1 unit so perfectly
+    matching segments cost nothing).
+    """
+    anchor = xy[end] - xy[start]
+    anchor_len = float(np.linalg.norm(anchor))
+    total = 0.0
+    for i in range(start, end):
+        seg = xy[i + 1] - xy[i]
+        seg_len = float(np.linalg.norm(seg))
+        if anchor_len <= _EPS:
+            total += _log2_safe(seg_len) * 2.0
+            continue
+        # Perpendicular Lehmer-mean distance of the sub-segment's endpoints.
+        d1 = _point_line_distance(xy[i], xy[start], anchor, anchor_len)
+        d2 = _point_line_distance(xy[i + 1], xy[start], anchor, anchor_len)
+        s = d1 + d2
+        d_perp = 0.0 if s <= _EPS else (d1 * d1 + d2 * d2) / s
+        d_theta = 0.0
+        if seg_len > _EPS:
+            cos_theta = float(seg @ anchor) / (seg_len * anchor_len)
+            cos_theta = max(-1.0, min(1.0, cos_theta))
+            theta = float(np.arccos(cos_theta))
+            d_theta = seg_len * (np.sin(theta) if theta <= np.pi / 2 else 1.0)
+        total += _log2_safe(d_perp) + _log2_safe(d_theta)
+    return total
+
+
+def _point_line_distance(
+    point: np.ndarray, start: np.ndarray, direction: np.ndarray, length: float
+) -> float:
+    diff = point - start
+    return abs(float(diff[0] * direction[1] - diff[1] * direction[0])) / length
+
+
+def _mdl_par(xy: np.ndarray, start: int, end: int) -> float:
+    """MDL cost of encoding ``xy[start:end+1]`` with one characteristic segment."""
+    l_h = _log2_safe(float(np.linalg.norm(xy[end] - xy[start])))
+    return l_h + _encoding_cost(xy, start, end)
+
+
+def _mdl_nopar(xy: np.ndarray, start: int, end: int) -> float:
+    """MDL cost of keeping every original segment (``L(D|H) = 0``)."""
+    lengths = np.linalg.norm(np.diff(xy[start : end + 1], axis=0), axis=1)
+    return float(sum(_log2_safe(l) for l in lengths))
+
+
+def mdl_partition(trajectory: Trajectory) -> list[int]:
+    """Indices of the characteristic points of a trajectory (incl. endpoints)."""
+    xy = trajectory.xy
+    n = len(xy)
+    characteristic = [0]
+    start = 0
+    length = 1
+    while start + length < n:
+        current = start + length
+        if _mdl_par(xy, start, current) > _mdl_nopar(xy, start, current):
+            characteristic.append(current - 1 if current - 1 > start else current)
+            start = characteristic[-1]
+            length = 1
+        else:
+            length += 1
+    if characteristic[-1] != n - 1:
+        characteristic.append(n - 1)
+    return characteristic
+
+
+def characteristic_segments(
+    trajectory: Trajectory,
+) -> tuple[np.ndarray, list[tuple[int, int]]]:
+    """Characteristic segments of one trajectory.
+
+    Returns ``(segments, spans)`` where ``segments`` is ``(m, 2, 2)`` endpoint
+    pairs and ``spans`` the corresponding original index ranges.
+    """
+    idx = mdl_partition(trajectory)
+    xy = trajectory.xy
+    segments = np.stack(
+        [np.stack([xy[s], xy[e]]) for s, e in zip(idx, idx[1:])]
+    )
+    spans = list(zip(idx, idx[1:]))
+    return segments, spans

@@ -1,0 +1,100 @@
+"""kNN trajectory queries (paper, Section III-B).
+
+Given a query trajectory ``Tq`` and a time window ``[ts, te]``, a kNN query
+returns the ``k`` database trajectories whose window restriction is most
+similar to ``Tq``'s window restriction under a dissimilarity measure
+``theta``. The paper instantiates ``theta`` with EDR (non-learning) and
+t2vec (learning-based); both are supported here, plus arbitrary callables.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.data.database import TrajectoryDatabase
+from repro.data.trajectory import Trajectory
+from repro.queries.edr import edr_distance
+from repro.queries.t2vec import T2VecEmbedder
+
+
+def _window_restriction(
+    trajectory: Trajectory, t_start: float, t_end: float
+) -> Trajectory | None:
+    """The sub-trajectory inside ``[t_start, t_end]`` or None if < 2 points."""
+    points = trajectory.slice_time(t_start, t_end)
+    if len(points) < 2:
+        return None
+    return Trajectory(points, traj_id=trajectory.traj_id)
+
+
+def knn_query(
+    db: TrajectoryDatabase,
+    query: Trajectory,
+    k: int,
+    time_window: tuple[float, float] | None = None,
+    measure: str | Callable[[Trajectory, Trajectory], float] = "edr",
+    eps: float = 2000.0,
+    embedder: T2VecEmbedder | None = None,
+    temporal_index=None,
+) -> list[int]:
+    """The ids of the ``k`` most similar trajectories (most similar first).
+
+    Parameters
+    ----------
+    db:
+        Database to search.
+    query:
+        The query trajectory ``Tq``.
+    k:
+        Result size.
+    time_window:
+        ``(ts, te)``; defaults to the query trajectory's own time span.
+        Trajectories with fewer than two points inside the window rank last.
+    measure:
+        ``"edr"``, ``"t2vec"``, or a callable ``(Tq', Ti') -> float``.
+    eps:
+        EDR matching threshold (used when ``measure == "edr"``).
+    embedder:
+        A fitted :class:`T2VecEmbedder` (required when ``measure == "t2vec"``).
+    temporal_index:
+        Optional :class:`~repro.index.temporal.TemporalIndex` over ``db``;
+        trajectories whose lifespan misses the window skip the (possibly
+        expensive) dissimilarity computation and rank last directly.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if time_window is None:
+        time_window = (float(query.times[0]), float(query.times[-1]))
+    ts, te = time_window
+    if measure == "edr":
+        theta = lambda a, b: edr_distance(a, b, eps)  # noqa: E731
+    elif measure == "t2vec":
+        if embedder is None or not embedder.is_fitted:
+            raise ValueError("measure='t2vec' needs a fitted embedder")
+        theta = embedder.distance
+    elif callable(measure):
+        theta = measure
+    else:
+        raise ValueError(f"unknown measure {measure!r}")
+
+    query_window = _window_restriction(query, ts, te)
+    alive = (
+        temporal_index.overlapping(ts, te)
+        if temporal_index is not None
+        else None
+    )
+    distances: list[tuple[float, int]] = []
+    for traj in db:
+        if alive is not None and traj.traj_id not in alive:
+            distances.append((np.inf, traj.traj_id))
+            continue
+        restricted = _window_restriction(traj, ts, te)
+        if restricted is None or query_window is None:
+            distances.append((np.inf, traj.traj_id))
+        else:
+            distances.append((theta(query_window, restricted), traj.traj_id))
+    # Sort by distance, breaking ties by id for determinism.
+    distances.sort()
+    return [tid for _, tid in distances[:k]]

@@ -1,0 +1,156 @@
+"""Query-accuracy quality measures (paper, Eq. 3).
+
+Results on the original database are the ground truth ``Ro``; results on the
+simplified database are the prediction ``Rs``. Quality is the F1-score of
+``Rs`` against ``Ro``. For kNN queries (``|Ro| = |Rs| = k``) precision,
+recall, and F1 coincide. Clustering quality is the pair-counting F1 over the
+trajectory pairs that share a cluster.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+def precision_recall_f1(
+    truth: set, predicted: set
+) -> tuple[float, float, float]:
+    """``(precision, recall, F1)`` of ``predicted`` against ``truth``.
+
+    Edge cases follow the usual convention: two empty sets agree perfectly
+    (all three scores 1); one-sided emptiness scores 0.
+    """
+    if not truth and not predicted:
+        return 1.0, 1.0, 1.0
+    overlap = len(truth & predicted)
+    precision = overlap / len(predicted) if predicted else 0.0
+    recall = overlap / len(truth) if truth else 0.0
+    if precision + recall == 0.0:
+        return precision, recall, 0.0
+    return precision, recall, 2.0 * precision * recall / (precision + recall)
+
+
+def f1_score(truth: set, predicted: set) -> float:
+    """F1 of ``predicted`` against ``truth`` (Eq. 3)."""
+    return precision_recall_f1(truth, predicted)[2]
+
+
+def mean_f1(truths: Iterable[set], predictions: Iterable[set]) -> float:
+    """Average F1 over a workload of (truth, prediction) result pairs."""
+    scores = [f1_score(t, p) for t, p in zip(truths, predictions, strict=True)]
+    if not scores:
+        raise ValueError("empty workload")
+    return sum(scores) / len(scores)
+
+
+def clustering_pairs(clusters: Iterable[Iterable[int]]) -> set[frozenset[int]]:
+    """Unordered id pairs co-appearing in at least one cluster."""
+    pairs: set[frozenset[int]] = set()
+    for members in clusters:
+        ids = sorted(set(members))
+        for i, a in enumerate(ids):
+            for b in ids[i + 1 :]:
+                pairs.add(frozenset((a, b)))
+    return pairs
+
+
+def clustering_f1(
+    truth_clusters: Iterable[Iterable[int]],
+    predicted_clusters: Iterable[Iterable[int]],
+) -> float:
+    """Pair-counting F1 between two clusterings (paper, Section III-B)."""
+    return f1_score(
+        clustering_pairs(truth_clusters), clustering_pairs(predicted_clusters)
+    )
+
+
+# --------------------------------------------------------------------------
+# Additional measures beyond the paper's F1 (used by extension benchmarks to
+# confirm that conclusions are not an artifact of the F1 choice).
+# --------------------------------------------------------------------------
+
+
+def jaccard(truth: set, predicted: set) -> float:
+    """Intersection-over-union of two result sets (1 when both empty)."""
+    if not truth and not predicted:
+        return 1.0
+    return len(truth & predicted) / len(truth | predicted)
+
+
+def kendall_tau(truth_ranking: list, predicted_ranking: list) -> float:
+    """Kendall's tau-a between two rankings of the same item set.
+
+    Rankings are ordered id lists (e.g. kNN results by increasing distance).
+    Items present in only one ranking are ignored; ties cannot occur in a
+    ranking. Returns a value in ``[-1, 1]``; 1 for identical orders, -1 for
+    reversed. Degenerate overlaps (< 2 shared items) score 0.
+    """
+    common = set(truth_ranking) & set(predicted_ranking)
+    if len(common) < 2:
+        return 0.0
+    pos_a = {item: i for i, item in enumerate(truth_ranking) if item in common}
+    pos_b = {
+        item: i for i, item in enumerate(predicted_ranking) if item in common
+    }
+    items = sorted(common, key=pos_a.get)
+    concordant = discordant = 0
+    for i, x in enumerate(items):
+        for y in items[i + 1 :]:
+            if pos_b[x] < pos_b[y]:
+                concordant += 1
+            else:
+                discordant += 1
+    total = concordant + discordant
+    return (concordant - discordant) / total
+
+
+def _labels_from_clusters(
+    clusters: Iterable[Iterable[int]],
+) -> dict[int, int]:
+    labels: dict[int, int] = {}
+    for label, members in enumerate(clusters):
+        for member in members:
+            labels[member] = label
+    return labels
+
+
+def adjusted_rand_index(
+    truth_clusters: Iterable[Iterable[int]],
+    predicted_clusters: Iterable[Iterable[int]],
+) -> float:
+    """Adjusted Rand index between two clusterings (chance-corrected).
+
+    Items appearing in both clusterings are compared; each item's label is
+    its last containing cluster. Returns 1 for identical partitions, ~0 for
+    independent ones. Degenerate cases (fewer than 2 shared items, or both
+    partitions trivial) return 1.0 when the partitions agree and 0.0
+    otherwise.
+    """
+    truth_labels = _labels_from_clusters(truth_clusters)
+    pred_labels = _labels_from_clusters(predicted_clusters)
+    items = sorted(set(truth_labels) & set(pred_labels))
+    n = len(items)
+    if n < 2:
+        return 1.0
+    # Contingency table.
+    table: dict[tuple[int, int], int] = {}
+    for item in items:
+        key = (truth_labels[item], pred_labels[item])
+        table[key] = table.get(key, 0) + 1
+    a_sums: dict[int, int] = {}
+    b_sums: dict[int, int] = {}
+    for (a, b), count in table.items():
+        a_sums[a] = a_sums.get(a, 0) + count
+        b_sums[b] = b_sums.get(b, 0) + count
+
+    def comb2(x: int) -> float:
+        return x * (x - 1) / 2.0
+
+    index = sum(comb2(c) for c in table.values())
+    sum_a = sum(comb2(c) for c in a_sums.values())
+    sum_b = sum(comb2(c) for c in b_sums.values())
+    expected = sum_a * sum_b / comb2(n)
+    max_index = 0.5 * (sum_a + sum_b)
+    if max_index == expected:
+        return 1.0 if index == expected else 0.0
+    return (index - expected) / (max_index - expected)

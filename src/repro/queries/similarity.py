@@ -1,0 +1,77 @@
+"""Similarity (threshold) queries (paper, Section III-B).
+
+Given a query trajectory ``Tq``, a time window ``[ts, te]``, and a distance
+threshold ``delta``, the query returns every trajectory that stays within
+Euclidean distance ``delta`` of ``Tq`` *at every instant of the window*
+(a continuous spatio-temporal join predicate; Chen & Patel, SIGSPATIAL'09).
+
+Positions at arbitrary instants are linearly interpolated along segments —
+which is exactly where simplification bites: dropping points moves the
+interpolated positions, so a trajectory that satisfied the predicate on the
+original database may fail it on the simplified one (or vice versa).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.database import TrajectoryDatabase
+from repro.data.trajectory import Trajectory
+
+
+def similarity_query(
+    db: TrajectoryDatabase,
+    query: Trajectory,
+    delta: float,
+    time_window: tuple[float, float] | None = None,
+    n_checkpoints: int = 32,
+    temporal_index=None,
+) -> set[int]:
+    """Ids of trajectories within ``delta`` of the query across the window.
+
+    Parameters
+    ----------
+    db:
+        Database to search.
+    query:
+        The query trajectory ``Tq``.
+    delta:
+        Synchronized-distance threshold.
+    time_window:
+        ``(ts, te)``; defaults to the query's own span. Trajectories whose
+        time span does not overlap the window cannot match.
+    n_checkpoints:
+        The continuous predicate is checked at this many evenly spaced
+        instants plus the query's own sample times inside the window.
+    temporal_index:
+        Optional :class:`~repro.index.temporal.TemporalIndex` over ``db``;
+        prunes the lifespan-overlap test instead of scanning every
+        trajectory.
+    """
+    if delta < 0:
+        raise ValueError("delta must be non-negative")
+    if time_window is None:
+        time_window = (float(query.times[0]), float(query.times[-1]))
+    ts, te = time_window
+    if te < ts:
+        raise ValueError("empty time window")
+    checkpoints = np.union1d(
+        np.linspace(ts, te, n_checkpoints),
+        query.times[(query.times >= ts) & (query.times <= te)],
+    )
+    if len(checkpoints) == 0:
+        return set()
+    query_positions = query.positions_at(checkpoints)
+    if temporal_index is not None:
+        candidates = [db[tid] for tid in sorted(temporal_index.overlapping(ts, te))]
+    else:
+        candidates = [
+            t for t in db if not (t.times[-1] < ts or t.times[0] > te)
+        ]
+    result: set[int] = set()
+    for traj in candidates:
+        positions = traj.positions_at(checkpoints)
+        gaps = np.linalg.norm(positions - query_positions, axis=1)
+        if bool((gaps <= delta).all()):
+            result.add(traj.traj_id)
+    return result

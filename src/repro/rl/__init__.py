@@ -1,0 +1,24 @@
+"""Reinforcement learning substrate: numpy MLPs, replay memory, and DQN.
+
+The paper's agents are deliberately tiny — two-layer feedforward networks
+with 25 tanh hidden units, batch normalization, Adam, and classic DQN with
+replay memory and an ε-greedy behaviour policy (Mnih et al., 2013). This
+package implements that stack from scratch on numpy, with explicit backprop;
+no deep-learning framework is required.
+"""
+
+from repro.rl.networks import QNetwork
+from repro.rl.replay import ReplayMemory, Transition
+from repro.rl.dqn import DQNAgent, DQNConfig
+from repro.rl.policy_gradient import REINFORCEAgent, REINFORCEConfig, masked_softmax
+
+__all__ = [
+    "QNetwork",
+    "ReplayMemory",
+    "Transition",
+    "DQNAgent",
+    "DQNConfig",
+    "REINFORCEAgent",
+    "REINFORCEConfig",
+    "masked_softmax",
+]

@@ -1,0 +1,184 @@
+"""REINFORCE (Monte-Carlo policy gradient) as a drop-in learner.
+
+The paper uses DQN but notes that "other RL algorithms such as policy
+gradient can also be used for continuous state MDPs" (Section IV-C). This
+module implements that alternative: a softmax policy over the same two-layer
+network, trained with REINFORCE and a running-mean reward baseline.
+
+:class:`REINFORCEAgent` implements the same protocol as
+:class:`~repro.rl.dqn.DQNAgent` (``act`` / ``remember`` / ``learn`` /
+``decay_epsilon`` / parameter accessors), so the shared episode runner in
+:mod:`repro.core.rollout` and :class:`repro.core.RL4QDTS` drive it unchanged
+— select ``RL4QDTSConfig(learner="reinforce")``.
+
+RL4QDTS's reward structure suits REINFORCE naturally: the shared Δ-window
+reward (Eq. 10) *is* the return credited to every transition of the window,
+so no bootstrapping is required. Each ``learn()`` call consumes the buffered
+window, takes one policy-gradient step, and clears the buffer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.rl.networks import QNetwork
+from repro.rl.replay import Transition
+
+
+@dataclass(frozen=True, slots=True)
+class REINFORCEConfig:
+    """Hyper-parameters of the policy-gradient learner."""
+
+    hidden: int = 25
+    lr: float = 0.01
+    #: Exponential decay factor of the running-mean reward baseline.
+    baseline_momentum: float = 0.9
+    #: Entropy bonus weight; a small positive value delays premature
+    #: determinism on the tiny action spaces of the two agents.
+    entropy_weight: float = 0.01
+    #: Minimum buffered transitions before a policy step is taken.
+    min_batch: int = 8
+
+
+def masked_softmax(logits: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """Softmax over valid actions only; invalid entries get probability 0."""
+    z = np.where(mask, logits, -np.inf)
+    z = z - z.max(axis=-1, keepdims=True)
+    exp = np.exp(z, where=np.isfinite(z), out=np.zeros_like(z))
+    total = exp.sum(axis=-1, keepdims=True)
+    return exp / np.maximum(total, 1e-300)
+
+
+class REINFORCEAgent:
+    """Softmax-policy agent trained with REINFORCE plus a reward baseline.
+
+    Parameters
+    ----------
+    state_dim, n_actions:
+        Dimensions of the MDP.
+    config:
+        Hyper-parameters; :class:`~repro.rl.dqn.DQNConfig` instances are
+        also accepted (the shared fields ``hidden`` / ``lr`` are used) so
+        that :class:`repro.core.RL4QDTS` can pass one config object to
+        either learner.
+    seed:
+        Seed for weight init and action sampling.
+    """
+
+    def __init__(
+        self,
+        state_dim: int,
+        n_actions: int,
+        config: REINFORCEConfig | object | None = None,
+        seed: int = 0,
+    ) -> None:
+        if config is None:
+            config = REINFORCEConfig()
+        elif not isinstance(config, REINFORCEConfig):
+            config = REINFORCEConfig(
+                hidden=getattr(config, "hidden", 25),
+                lr=getattr(config, "lr", 0.01),
+            )
+        self.config = config
+        self.state_dim = state_dim
+        self.n_actions = n_actions
+        self.policy_net = QNetwork(
+            state_dim, n_actions, config.hidden, config.lr, seed=seed
+        )
+        self._baseline = 0.0
+        self._baseline_initialized = False
+        self._buffer: list[Transition] = []
+        self._rng = np.random.default_rng(seed)
+        #: Mirrors DQNAgent's attribute so diagnostics can read it; the
+        #: stochastic policy explores by itself, so this stays at zero.
+        self.epsilon = 0.0
+
+    # ------------------------------------------------------------------ acting
+    def act(
+        self,
+        state: np.ndarray,
+        mask: np.ndarray | None = None,
+        greedy: bool = False,
+    ) -> int:
+        """Sample from (or argmax over) the masked softmax policy."""
+        mask = (
+            np.ones(self.n_actions, dtype=bool)
+            if mask is None
+            else np.asarray(mask, dtype=bool)
+        )
+        if not mask.any():
+            raise ValueError("no valid action available")
+        logits = self.policy_net.predict(state)[0]
+        probs = masked_softmax(logits, mask)
+        if greedy:
+            return int(np.argmax(probs))
+        return int(self._rng.choice(self.n_actions, p=probs))
+
+    # ---------------------------------------------------------------- learning
+    def remember(self, transition: Transition) -> None:
+        self._buffer.append(transition)
+
+    def learn(self) -> float | None:
+        """One policy-gradient step over the buffered window; returns the loss.
+
+        Returns None (and keeps buffering) below ``config.min_batch``
+        transitions. The window reward of each transition is its Monte-Carlo
+        return; the advantage subtracts a running-mean baseline.
+        """
+        if len(self._buffer) < self.config.min_batch:
+            return None
+        batch = self._buffer
+        self._buffer = []
+
+        states = np.stack([t.state for t in batch])
+        actions = np.array([t.action for t in batch], dtype=int)
+        rewards = np.array([t.reward for t in batch], dtype=float)
+        masks = np.stack(
+            [
+                t.mask if t.mask is not None else np.ones(self.n_actions, bool)
+                for t in batch
+            ]
+        )
+
+        mean_reward = float(rewards.mean())
+        if not self._baseline_initialized:
+            self._baseline = mean_reward
+            self._baseline_initialized = True
+        else:
+            m = self.config.baseline_momentum
+            self._baseline = m * self._baseline + (1.0 - m) * mean_reward
+        advantages = rewards - self._baseline
+
+        cache = self.policy_net._forward_train(states)
+        logits = cache["q"]
+        probs = masked_softmax(logits, masks)
+        n = len(batch)
+        one_hot = np.zeros_like(probs)
+        one_hot[np.arange(n), actions] = 1.0
+
+        # d/dlogits of -advantage * log pi(a|s) = advantage * (pi - onehot),
+        # plus the entropy bonus gradient, both restricted to valid actions.
+        d_logits = advantages[:, None] * (probs - one_hot)
+        if self.config.entropy_weight > 0.0:
+            log_probs = np.log(np.maximum(probs, 1e-12))
+            entropy_grad = probs * (
+                log_probs + 1.0 - (probs * log_probs).sum(axis=1, keepdims=True)
+            )
+            d_logits += self.config.entropy_weight * entropy_grad
+        d_logits = np.where(masks, d_logits, 0.0) / n
+        self.policy_net._backward(cache, d_logits)
+
+        picked = np.log(np.maximum(probs[np.arange(n), actions], 1e-12))
+        return float(-(advantages * picked).mean())
+
+    def decay_epsilon(self) -> None:
+        """No-op: the stochastic policy handles its own exploration."""
+
+    # ------------------------------------------------------------- persistence
+    def get_parameters(self) -> dict:
+        return self.policy_net.get_parameters()
+
+    def set_parameters(self, params: dict) -> None:
+        self.policy_net.set_parameters(params)

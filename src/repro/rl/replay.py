@@ -1,0 +1,64 @@
+"""Experience replay memory (Mnih et al., 2013).
+
+Transitions carry an explicit *valid-action mask* for the next state because
+both agents have state-dependent action spaces: Agent-Cube may only descend
+into non-empty children, and Agent-Point may only pick one of the candidates
+actually present in the cube. The Bellman backup maxes over valid actions
+only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True, slots=True)
+class Transition:
+    """One (s, a, r, s', done) tuple with the next state's action mask.
+
+    ``mask`` is the valid-action mask of the *current* state ``s``. DQN does
+    not need it (only the Bellman backup over ``s'`` is masked), but the
+    policy-gradient learner normalizes its softmax over valid actions only;
+    it defaults to None for callers that never feed a policy-gradient agent.
+    """
+
+    state: np.ndarray
+    action: int
+    reward: float
+    next_state: np.ndarray
+    next_mask: np.ndarray  # bool, True where the action is valid in s'
+    done: bool
+    mask: np.ndarray | None = None  # bool, True where valid in s
+
+
+class ReplayMemory:
+    """A bounded FIFO buffer of transitions with uniform sampling."""
+
+    def __init__(self, capacity: int = 2000) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._buffer: list[Transition] = []
+        self._next = 0
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def push(self, transition: Transition) -> None:
+        if len(self._buffer) < self.capacity:
+            self._buffer.append(transition)
+        else:
+            self._buffer[self._next] = transition
+        self._next = (self._next + 1) % self.capacity
+
+    def sample(self, batch_size: int, rng: np.random.Generator) -> list[Transition]:
+        """Uniform sample without replacement (capped at the buffer size)."""
+        batch_size = min(batch_size, len(self._buffer))
+        indices = rng.choice(len(self._buffer), size=batch_size, replace=False)
+        return [self._buffer[i] for i in indices]
+
+    def clear(self) -> None:
+        self._buffer.clear()
+        self._next = 0

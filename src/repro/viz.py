@@ -1,0 +1,164 @@
+"""Terminal (ASCII) visualization helpers.
+
+No plotting stack is assumed; these render spatial density and trajectories
+as character rasters — enough to eyeball a synthetic dataset, a workload's
+spatial skew, or the before/after of a simplification from a shell.
+
+Example::
+
+    >>> from repro import synthetic_database
+    >>> from repro.viz import render_density
+    >>> print(render_density(synthetic_database("chengdu", 50, seed=1)))
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.bbox import BoundingBox
+from repro.data.database import TrajectoryDatabase
+from repro.data.trajectory import Trajectory
+
+#: Density ramp from empty to saturated.
+_RAMP = " .:-=+*#%@"
+
+
+def _raster(
+    points_xy: np.ndarray,
+    box: BoundingBox,
+    width: int,
+    height: int,
+) -> np.ndarray:
+    """Histogram an (n, 2) point set into a (height, width) count grid."""
+    sx = max(box.xmax - box.xmin, 1e-9)
+    sy = max(box.ymax - box.ymin, 1e-9)
+    cols = np.clip(
+        ((points_xy[:, 0] - box.xmin) / sx * width).astype(int), 0, width - 1
+    )
+    rows = np.clip(
+        ((points_xy[:, 1] - box.ymin) / sy * height).astype(int), 0, height - 1
+    )
+    grid = np.zeros((height, width), dtype=int)
+    np.add.at(grid, (rows, cols), 1)
+    return grid
+
+
+def _grid_to_text(grid: np.ndarray) -> str:
+    peak = grid.max()
+    if peak == 0:
+        return "\n".join(" " * grid.shape[1] for _ in range(grid.shape[0]))
+    levels = np.ceil(grid / peak * (len(_RAMP) - 1)).astype(int)
+    # Row 0 is the bottom of the map; print top-down.
+    lines = ["".join(_RAMP[v] for v in row) for row in levels[::-1]]
+    return "\n".join(lines)
+
+
+def render_density(
+    db: TrajectoryDatabase,
+    width: int = 64,
+    height: int = 24,
+) -> str:
+    """An ASCII heat map of the database's spatial point density."""
+    if width < 1 or height < 1:
+        raise ValueError("raster dimensions must be positive")
+    grid = _raster(db.all_points()[:, :2], db.bounding_box, width, height)
+    return _grid_to_text(grid)
+
+
+def render_trajectory(
+    trajectory: Trajectory,
+    width: int = 64,
+    height: int = 24,
+    box: BoundingBox | None = None,
+) -> str:
+    """An ASCII rendering of one trajectory's route.
+
+    ``S`` marks the start, ``E`` the end, ``o`` the sampled points.
+    """
+    if width < 1 or height < 1:
+        raise ValueError("raster dimensions must be positive")
+    box = box or trajectory.bounding_box
+    sx = max(box.xmax - box.xmin, 1e-9)
+    sy = max(box.ymax - box.ymin, 1e-9)
+    canvas = [[" "] * width for _ in range(height)]
+
+    def cell(x: float, y: float) -> tuple[int, int]:
+        col = int(np.clip((x - box.xmin) / sx * width, 0, width - 1))
+        row = int(np.clip((y - box.ymin) / sy * height, 0, height - 1))
+        return height - 1 - row, col
+
+    for x, y in trajectory.xy:
+        r, c = cell(x, y)
+        canvas[r][c] = "o"
+    r, c = cell(*trajectory.xy[0])
+    canvas[r][c] = "S"
+    r, c = cell(*trajectory.xy[-1])
+    canvas[r][c] = "E"
+    return "\n".join("".join(row) for row in canvas)
+
+
+def render_comparison(
+    original: Trajectory,
+    simplified: Trajectory,
+    width: int = 64,
+    height: int = 24,
+) -> str:
+    """Original (``.``) and simplified (``#``) overlaid in one raster."""
+    box = original.bounding_box
+    sx = max(box.xmax - box.xmin, 1e-9)
+    sy = max(box.ymax - box.ymin, 1e-9)
+    canvas = [[" "] * width for _ in range(height)]
+
+    def put(x: float, y: float, char: str) -> None:
+        col = int(np.clip((x - box.xmin) / sx * width, 0, width - 1))
+        row = int(np.clip((y - box.ymin) / sy * height, 0, height - 1))
+        canvas[height - 1 - row][col] = char
+
+    for x, y in original.xy:
+        put(x, y, ".")
+    for x, y in simplified.xy:
+        put(x, y, "#")
+    return "\n".join("".join(row) for row in canvas)
+
+
+def render_density_loss(
+    original: TrajectoryDatabase,
+    simplified: TrajectoryDatabase,
+    width: int = 64,
+    height: int = 24,
+) -> str:
+    """Where did the density go? ``-`` marks cells that lost relative mass.
+
+    Both databases are rasterized over the original's bounding box and
+    normalized to distributions; cells whose share dropped by more than half
+    a ramp step render as ``-``, cells that gained render as ``+``, stable
+    cells show the original density ramp. This is the picture that explains
+    a QDTS result: a good simplifier loses density where no queries land.
+    """
+    if width < 1 or height < 1:
+        raise ValueError("raster dimensions must be positive")
+    box = original.bounding_box
+    grid_o = _raster(original.all_points()[:, :2], box, width, height).astype(float)
+    grid_s = _raster(simplified.all_points()[:, :2], box, width, height).astype(float)
+    if grid_o.sum() > 0:
+        grid_o /= grid_o.sum()
+    if grid_s.sum() > 0:
+        grid_s /= grid_s.sum()
+    peak = grid_o.max()
+    if peak == 0:
+        return "\n".join(" " * width for _ in range(height))
+    levels = np.ceil(grid_o / peak * (len(_RAMP) - 1)).astype(int)
+    step = peak / (len(_RAMP) - 1)
+    delta = grid_s - grid_o
+    lines = []
+    for r in range(height - 1, -1, -1):
+        chars = []
+        for c in range(width):
+            if delta[r, c] < -0.5 * step:
+                chars.append("-")
+            elif delta[r, c] > 0.5 * step:
+                chars.append("+")
+            else:
+                chars.append(_RAMP[levels[r, c]])
+        lines.append("".join(chars))
+    return "\n".join(lines)

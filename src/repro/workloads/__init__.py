@@ -1,0 +1,5 @@
+"""Range-query workload generators over several spatial distributions."""
+
+from repro.workloads.generators import RangeQueryWorkload
+
+__all__ = ["RangeQueryWorkload"]

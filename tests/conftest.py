@@ -1,0 +1,69 @@
+"""Shared fixtures for the test suite.
+
+Fixtures are deliberately small (tens of trajectories, hundreds of points)
+so the full suite stays fast; the benchmark harness exercises realistic
+scales.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import Trajectory, TrajectoryDatabase, synthetic_database
+from repro.workloads import RangeQueryWorkload
+
+
+def make_trajectory(n: int = 10, seed: int = 0, traj_id: int = 0) -> Trajectory:
+    """A random but valid trajectory of ``n`` points."""
+    rng = np.random.default_rng(seed)
+    xy = rng.uniform(0.0, 100.0, size=(n, 2))
+    t = np.cumsum(rng.uniform(1.0, 5.0, size=n))
+    return Trajectory(np.column_stack([xy, t]), traj_id=traj_id)
+
+
+@pytest.fixture
+def straight_line_trajectory() -> Trajectory:
+    """Ten collinear, regularly sampled points along y = x."""
+    xs = np.arange(10.0)
+    points = np.column_stack([xs, xs, xs])
+    return Trajectory(points)
+
+
+@pytest.fixture
+def zigzag_trajectory() -> Trajectory:
+    """A trajectory with alternating sharp detours (hard to simplify)."""
+    n = 20
+    xs = np.arange(float(n))
+    ys = np.where(np.arange(n) % 2 == 0, 0.0, 10.0)
+    return Trajectory(np.column_stack([xs, ys, xs]))
+
+
+@pytest.fixture
+def random_trajectory() -> Trajectory:
+    return make_trajectory(n=30, seed=42)
+
+
+@pytest.fixture
+def small_db() -> TrajectoryDatabase:
+    """A deterministic 12-trajectory database."""
+    return TrajectoryDatabase(
+        [make_trajectory(n=10 + 2 * i, seed=i, traj_id=i) for i in range(12)]
+    )
+
+
+@pytest.fixture(scope="session")
+def geolife_db() -> TrajectoryDatabase:
+    """A session-wide synthetic Geolife-profile database."""
+    return synthetic_database("geolife", n_trajectories=25, points_scale=0.04, seed=11)
+
+
+@pytest.fixture(scope="session")
+def chengdu_db() -> TrajectoryDatabase:
+    """A session-wide synthetic Chengdu-profile database."""
+    return synthetic_database("chengdu", n_trajectories=40, points_scale=0.4, seed=13)
+
+
+@pytest.fixture
+def small_workload(small_db) -> RangeQueryWorkload:
+    return RangeQueryWorkload.from_data_distribution(small_db, 15, seed=5)

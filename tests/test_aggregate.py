@@ -1,0 +1,145 @@
+"""Tests for aggregate (count / heatmap) queries."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import uniform_simplify_database
+from repro.data import BoundingBox, Trajectory, TrajectoryDatabase
+from repro.queries import (
+    count_query,
+    density_histogram,
+    heatmap_f1,
+    histogram_similarity,
+)
+from tests.conftest import make_trajectory
+
+
+class TestCountQuery:
+    def test_whole_region_counts_everything(self, small_db):
+        assert count_query(small_db, small_db.bounding_box) == (
+            small_db.total_points
+        )
+
+    def test_empty_region(self, small_db):
+        box = small_db.bounding_box
+        far = BoundingBox(
+            box.xmax + 1, box.xmax + 2, box.ymax + 1, box.ymax + 2,
+            box.tmax + 1, box.tmax + 2,
+        )
+        assert count_query(small_db, far) == 0
+
+    def test_matches_brute_force(self, small_db):
+        rng = np.random.default_rng(0)
+        points = small_db.all_points()
+        for _ in range(10):
+            c = points[int(rng.integers(len(points)))]
+            box = BoundingBox(c[0] - 15, c[0] + 15, c[1] - 15, c[1] + 15,
+                              c[2] - 10, c[2] + 10)
+            expected = int(box.contains_points(points).sum())
+            assert count_query(small_db, box) == expected
+
+    def test_simplification_reduces_counts(self, small_db):
+        simplified = uniform_simplify_database(small_db, 0.3)
+        box = small_db.bounding_box
+        assert count_query(simplified, box) < count_query(small_db, box)
+
+
+class TestDensityHistogram:
+    def test_total_mass_equals_points(self, small_db):
+        hist = density_histogram(small_db, grid=16)
+        assert hist.sum() == small_db.total_points
+
+    def test_normalized_sums_to_one(self, small_db):
+        hist = density_histogram(small_db, grid=16, normalize=True)
+        assert hist.sum() == pytest.approx(1.0)
+
+    def test_shape(self, small_db):
+        assert density_histogram(small_db, grid=7).shape == (7, 7)
+
+    def test_rejects_bad_grid(self, small_db):
+        with pytest.raises(ValueError):
+            density_histogram(small_db, grid=0)
+
+    def test_external_box_ignores_outside_points(self, small_db):
+        box = small_db.bounding_box
+        shrunk = BoundingBox(
+            box.xmin, box.center[0], box.ymin, box.center[1], box.tmin, box.tmax
+        )
+        hist = density_histogram(small_db, grid=8, box=shrunk)
+        assert hist.sum() <= small_db.total_points
+
+    def test_point_lands_in_correct_cell(self):
+        # Two points at known positions in a unit box.
+        points = np.array([[0.1, 0.1, 0.0], [0.9, 0.9, 1.0]])
+        db = TrajectoryDatabase([Trajectory(points)])
+        box = BoundingBox(0, 1, 0, 1, 0, 1)
+        hist = density_histogram(db, grid=2, box=box)
+        assert hist[0, 0] == 1
+        assert hist[1, 1] == 1
+
+
+class TestHistogramSimilarity:
+    def test_identical(self, small_db):
+        h = density_histogram(small_db, grid=8)
+        assert histogram_similarity(h, h) == pytest.approx(1.0)
+
+    def test_disjoint(self):
+        a = np.zeros((4, 4))
+        b = np.zeros((4, 4))
+        a[0, 0] = 5
+        b[3, 3] = 5
+        assert histogram_similarity(a, b) == 0.0
+
+    def test_scale_invariance(self, small_db):
+        """Uniform thinning preserves the (normalized) heatmap shape."""
+        h = density_histogram(small_db, grid=8)
+        assert histogram_similarity(h, 0.25 * h) == pytest.approx(1.0)
+
+    def test_both_empty(self):
+        z = np.zeros((3, 3))
+        assert histogram_similarity(z, z) == 1.0
+
+    def test_one_empty(self):
+        a = np.zeros((3, 3))
+        b = np.ones((3, 3))
+        assert histogram_similarity(a, b) == 0.0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            histogram_similarity(np.zeros((2, 2)), np.zeros((3, 3)))
+
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=25, deadline=None)
+    def test_property_bounded_and_symmetric(self, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.random((6, 6))
+        b = rng.random((6, 6))
+        s = histogram_similarity(a, b)
+        assert 0.0 <= s <= 1.0
+        assert s == pytest.approx(histogram_similarity(b, a))
+
+
+class TestHeatmapF1:
+    def test_identity(self, small_db):
+        assert heatmap_f1(small_db, small_db) == pytest.approx(1.0)
+
+    def test_simplification_degrades_gracefully(self, small_db):
+        light = uniform_simplify_database(small_db, 0.8)
+        heavy = uniform_simplify_database(small_db, 0.1)
+        s_light = heatmap_f1(small_db, light)
+        s_heavy = heatmap_f1(small_db, heavy)
+        assert 0.0 < s_heavy <= s_light <= 1.0
+
+    def test_uses_original_box(self, small_db):
+        """A simplified database with a smaller extent must still compare."""
+        db = TrajectoryDatabase(
+            [make_trajectory(n=30, seed=1), make_trajectory(n=30, seed=2)]
+        )
+        # Keep only endpoints: extent shrinks to the endpoints' hull.
+        endpoints = db.map_simplify(lambda t: [0, len(t) - 1])
+        score = heatmap_f1(db, endpoints)
+        assert 0.0 <= score < 1.0

@@ -1,0 +1,332 @@
+"""Tests for the EDTS baselines: Top-Down, Bottom-Up, Span-Search, RLTS+."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import (
+    BaselineSpec,
+    RLTSPolicy,
+    all_baselines,
+    bottom_up,
+    bottom_up_database,
+    get_baseline,
+    rlts_simplify,
+    rlts_simplify_database,
+    simplify_database,
+    span_search,
+    skyline,
+    top_down,
+    top_down_database,
+)
+from repro.errors import trajectory_error
+from tests.conftest import make_trajectory
+
+
+def assert_valid_simplification(kept, n, budget):
+    assert kept[0] == 0 and kept[-1] == n - 1
+    assert kept == sorted(set(kept))
+    assert len(kept) <= max(budget, 2)
+
+
+class TestTopDown:
+    def test_budget_respected(self, random_trajectory):
+        for budget in (2, 5, 12):
+            kept = top_down(random_trajectory, budget)
+            assert_valid_simplification(kept, len(random_trajectory), budget)
+            assert len(kept) == budget
+
+    def test_budget_too_small_rejected(self, random_trajectory):
+        with pytest.raises(ValueError):
+            top_down(random_trajectory, 1)
+
+    def test_budget_above_length_keeps_all(self, random_trajectory):
+        kept = top_down(random_trajectory, 1000)
+        assert kept == list(range(len(random_trajectory)))
+
+    def test_picks_worst_detour_first(self, zigzag_trajectory):
+        """With budget 3 the kept interior point is a maximal-error point."""
+        kept = top_down(zigzag_trajectory, 3, measure="sed")
+        interior = kept[1]
+        pts = zigzag_trajectory.points
+        from repro.errors.measures import sed_point_errors
+
+        errors = sed_point_errors(pts, 0, len(pts) - 1)
+        assert errors[interior - 1] == pytest.approx(errors.max())
+
+    @pytest.mark.parametrize("measure", ["sed", "ped", "dad", "sad"])
+    def test_all_measures_supported(self, random_trajectory, measure):
+        kept = top_down(random_trajectory, 6, measure=measure)
+        assert len(kept) == 6
+
+    def test_error_trends_down_with_budget(self):
+        """SED refinement is not pointwise monotone (re-synchronization can
+        transiently raise the max), but on average more budget means less
+        error."""
+        budgets = (3, 8, 20)
+        mean_errors = []
+        for budget in budgets:
+            errs = [
+                trajectory_error(
+                    make_trajectory(n=25, seed=s),
+                    top_down(make_trajectory(n=25, seed=s), budget),
+                )
+                for s in range(15)
+            ]
+            mean_errors.append(np.mean(errs))
+        assert mean_errors[0] > mean_errors[1] > mean_errors[2]
+
+    def test_full_budget_zero_error(self, random_trajectory):
+        kept = top_down(random_trajectory, len(random_trajectory))
+        assert trajectory_error(random_trajectory, kept) == 0.0
+
+    def test_database_variant_total_budget(self, small_db):
+        budget = small_db.budget_for_ratio(0.4)
+        kept = top_down_database(small_db, budget)
+        assert sum(len(k) for k in kept) == budget
+
+    def test_database_variant_rejects_tiny_budget(self, small_db):
+        with pytest.raises(ValueError):
+            top_down_database(small_db, 2 * len(small_db) - 1)
+
+    def test_database_variant_favors_complex_trajectories(self, small_db):
+        budget = small_db.budget_for_ratio(0.5)
+        kept = top_down_database(small_db, budget)
+        # Global insertion: allocation varies across trajectories.
+        counts = [len(k) for k in kept]
+        assert max(counts) > min(counts)
+
+
+class TestBottomUp:
+    def test_budget_respected(self, random_trajectory):
+        for budget in (2, 5, 12):
+            kept = bottom_up(random_trajectory, budget)
+            assert len(kept) == budget
+            assert_valid_simplification(kept, len(random_trajectory), budget)
+
+    def test_budget_too_small_rejected(self, random_trajectory):
+        with pytest.raises(ValueError):
+            bottom_up(random_trajectory, 0)
+
+    def test_budget_above_length_keeps_all(self, random_trajectory):
+        assert bottom_up(random_trajectory, 999) == list(
+            range(len(random_trajectory))
+        )
+
+    def test_drops_collinear_points_first(self):
+        # Points 1..3 are collinear detail; point 4 is a sharp corner.
+        pts = np.array(
+            [[0, 0, 0], [1, 0, 1], [2, 0, 2], [3, 0, 3], [4, 5, 4], [5, 0, 5]],
+            dtype=float,
+        )
+        kept = bottom_up(pts, 3, measure="sed")
+        assert 4 in kept  # the corner survives
+
+    @pytest.mark.parametrize("measure", ["sed", "ped", "dad", "sad"])
+    def test_all_measures_supported(self, random_trajectory, measure):
+        assert len(bottom_up(random_trajectory, 6, measure=measure)) == 6
+
+    def test_database_variant_total_budget(self, small_db):
+        budget = small_db.budget_for_ratio(0.4)
+        kept = bottom_up_database(small_db, budget)
+        assert sum(len(k) for k in kept) == budget
+
+    def test_database_variant_sheds_redundant_first(self):
+        """A heavily oversampled straight line loses points before a sparse
+        zigzag does (the collective-budget motivation of the paper)."""
+        from repro.data import Trajectory, TrajectoryDatabase
+
+        straight = Trajectory(
+            np.column_stack(
+                [np.linspace(0, 10, 40), np.zeros(40), np.arange(40.0)]
+            ),
+            traj_id=0,
+        )
+        n = 20
+        zig = Trajectory(
+            np.column_stack(
+                [
+                    np.arange(float(n)),
+                    np.where(np.arange(n) % 2 == 0, 0.0, 8.0),
+                    np.arange(float(n)),
+                ]
+            ),
+            traj_id=1,
+        )
+        db = TrajectoryDatabase([straight, zig])
+        kept = bottom_up_database(db, 30, measure="sed")
+        assert len(kept[1]) > len(kept[0])
+
+
+class TestSpanSearch:
+    def test_budget_respected(self, random_trajectory):
+        for budget in (2, 6, 15):
+            kept = span_search(random_trajectory, budget)
+            assert len(kept) <= budget
+            assert kept[0] == 0 and kept[-1] == len(random_trajectory) - 1
+
+    def test_budget_above_length_keeps_all(self, random_trajectory):
+        assert span_search(random_trajectory, 999) == list(
+            range(len(random_trajectory))
+        )
+
+    def test_rejects_tiny_budget(self, random_trajectory):
+        with pytest.raises(ValueError):
+            span_search(random_trajectory, 1)
+
+    def test_straight_line_needs_only_endpoints(self, straight_line_trajectory):
+        kept = span_search(straight_line_trajectory, 5, measure="dad")
+        assert kept == [0, len(straight_line_trajectory) - 1]
+
+    def test_error_shrinks_with_budget(self, zigzag_trajectory):
+        coarse = span_search(zigzag_trajectory, 4, measure="dad")
+        fine = span_search(zigzag_trajectory, 12, measure="dad")
+        err_coarse = trajectory_error(zigzag_trajectory, coarse, "dad")
+        err_fine = trajectory_error(zigzag_trajectory, fine, "dad")
+        assert err_fine <= err_coarse + 1e-9
+
+    def test_non_dad_measures_accepted(self, random_trajectory):
+        kept = span_search(random_trajectory, 8, measure="sed")
+        assert len(kept) <= 8
+
+
+class TestRLTS:
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            RLTSPolicy(j_candidates=0)
+
+    def test_untrained_policy_simplifies(self, random_trajectory):
+        policy = RLTSPolicy("sed", seed=0)
+        kept = rlts_simplify(random_trajectory, 6, "sed", policy)
+        assert len(kept) == 6
+        assert_valid_simplification(kept, len(random_trajectory), 6)
+
+    def test_training_runs_and_flags(self, small_db):
+        policy = RLTSPolicy("sed", seed=0)
+        policy.train(small_db, n_trajectories=3, episodes=1, seed=0)
+        assert policy.trained
+        assert len(policy.agent.memory) > 0
+
+    def test_state_normalization(self):
+        policy = RLTSPolicy("sed", j_candidates=3)
+        state = policy.state_of(np.array([2.0, 4.0]))
+        assert state.shape == (3,)
+        assert state[2] == 0.0
+        assert state[0] == pytest.approx(2.0 / 3.0)
+
+    def test_database_variant_total_budget(self, small_db):
+        policy = RLTSPolicy("sed", seed=0)
+        budget = small_db.budget_for_ratio(0.4)
+        kept = rlts_simplify_database(small_db, budget, "sed", policy)
+        assert sum(len(k) for k in kept) == budget
+
+
+class TestRegistry:
+    def test_twenty_five_baselines(self):
+        specs = all_baselines()
+        assert len(specs) == 25
+        names = [s.name for s in specs]
+        assert len(set(names)) == 25
+        assert "Span-Search" in names
+        assert "Top-Down(E,PED)" in names
+        assert "Bottom-Up(W,SAD)" in names
+        assert "RLTS+(W,SED)" in names
+
+    def test_get_baseline_by_name(self):
+        spec = get_baseline("Bottom-Up(E,SED)")
+        assert spec.algorithm == "bottomup"
+        assert spec.measure == "sed"
+        assert spec.adaptation == "E"
+        with pytest.raises(KeyError):
+            get_baseline("Middle-Out(E,SED)")
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            BaselineSpec("quicksort", "sed", "E")
+        with pytest.raises(ValueError):
+            BaselineSpec("topdown", "l2", "E")
+        with pytest.raises(ValueError):
+            BaselineSpec("topdown", "sed", "X")
+        with pytest.raises(ValueError):
+            BaselineSpec("spansearch", "dad", "W")
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "Top-Down(E,SED)",
+            "Top-Down(W,PED)",
+            "Bottom-Up(E,DAD)",
+            "Bottom-Up(W,SED)",
+            "RLTS+(E,SED)",
+            "Span-Search",
+        ],
+    )
+    def test_simplify_database_within_budget(self, small_db, name):
+        spec = get_baseline(name)
+        ratio = 0.4
+        simplified = simplify_database(small_db, ratio, spec)
+        assert len(simplified) == len(small_db)
+        # Global budget never exceeded (up to the 2-endpoint floor).
+        floor = 2 * len(small_db)
+        assert simplified.total_points <= max(
+            small_db.budget_for_ratio(ratio), floor
+        )
+
+    def test_simplify_database_rejects_bad_ratio(self, small_db):
+        with pytest.raises(ValueError):
+            simplify_database(small_db, 0.0, get_baseline("Span-Search"))
+
+    def test_e_adaptation_uniform_w_adaptation_not(self, small_db):
+        spec_e = get_baseline("Top-Down(E,SED)")
+        spec_w = get_baseline("Top-Down(W,SED)")
+        simp_e = simplify_database(small_db, 0.5, spec_e)
+        simp_w = simplify_database(small_db, 0.5, spec_w)
+        ratios_e = [len(s) / len(o) for s, o in zip(simp_e, small_db)]
+        ratios_w = [len(s) / len(o) for s, o in zip(simp_w, small_db)]
+        assert np.std(ratios_w) > np.std(ratios_e)
+
+
+class TestSkyline:
+    def test_dominated_removed(self):
+        scores = {
+            "a": [0.9, 0.9],
+            "b": [0.5, 0.5],  # dominated by a
+            "c": [0.95, 0.4],  # wins task 0
+        }
+        assert skyline(scores) == ["a", "c"]
+
+    def test_identical_scores_all_kept(self):
+        scores = {"a": [0.5, 0.5], "b": [0.5, 0.5]}
+        assert skyline(scores) == ["a", "b"]
+
+    def test_single_method(self):
+        assert skyline({"a": [0.1]}) == ["a"]
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            skyline({"a": [0.1, 0.2], "b": [0.3]})
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 200), budget=st.integers(2, 20))
+def test_topdown_bottomup_produce_valid_simplifications(seed, budget):
+    traj = make_trajectory(n=25, seed=seed)
+    for algorithm in (top_down, bottom_up):
+        kept = algorithm(traj, budget)
+        assert kept[0] == 0 and kept[-1] == 24
+        assert len(kept) == min(budget, 25)
+        assert kept == sorted(set(kept))
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 100))
+def test_straight_lines_simplify_losslessly(seed):
+    """Any budget on a constant-velocity trajectory has zero error."""
+    rng = np.random.default_rng(seed)
+    n = 20
+    direction = rng.normal(size=2)
+    ts = np.arange(float(n))
+    pts = np.column_stack([np.outer(ts, direction), ts])
+    for algorithm in (top_down, bottom_up):
+        kept = algorithm(pts, 4, "sed")
+        assert trajectory_error(pts, kept, "sed") == pytest.approx(0.0, abs=1e-9)

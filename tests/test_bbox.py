@@ -1,0 +1,119 @@
+"""Unit tests for the spatio-temporal bounding box."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.data import BoundingBox
+
+coord = st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False)
+
+
+def make_box(xmin=0.0, xmax=10.0, ymin=0.0, ymax=10.0, tmin=0.0, tmax=10.0):
+    return BoundingBox(xmin, xmax, ymin, ymax, tmin, tmax)
+
+
+class TestConstruction:
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            BoundingBox(1.0, 0.0, 0.0, 1.0, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            BoundingBox(0.0, 1.0, 1.0, 0.0, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            BoundingBox(0.0, 1.0, 0.0, 1.0, 1.0, 0.0)
+
+    def test_zero_volume_allowed(self):
+        box = BoundingBox(1.0, 1.0, 2.0, 2.0, 3.0, 3.0)
+        assert box.volume == 0.0
+        assert box.contains_point(1.0, 2.0, 3.0)
+
+    def test_from_points(self):
+        pts = np.array([[0.0, 5.0, 1.0], [2.0, 3.0, 4.0], [1.0, 9.0, 2.0]])
+        box = BoundingBox.from_points(pts)
+        assert box == BoundingBox(0.0, 2.0, 3.0, 9.0, 1.0, 4.0)
+
+    def test_from_points_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            BoundingBox.from_points(np.empty((0, 3)))
+        with pytest.raises(ValueError):
+            BoundingBox.from_points(np.zeros((3, 2)))
+
+
+class TestGeometry:
+    def test_center_and_spans(self):
+        box = make_box()
+        assert box.center == (5.0, 5.0, 5.0)
+        assert box.spans == (10.0, 10.0, 10.0)
+        assert box.volume == 1000.0
+
+    def test_contains_point_boundaries_inclusive(self):
+        box = make_box()
+        assert box.contains_point(0.0, 0.0, 0.0)
+        assert box.contains_point(10.0, 10.0, 10.0)
+        assert not box.contains_point(10.0001, 5.0, 5.0)
+
+    def test_contains_points_vectorized_matches_scalar(self):
+        box = make_box()
+        rng = np.random.default_rng(3)
+        pts = rng.uniform(-2.0, 12.0, size=(50, 3))
+        mask = box.contains_points(pts)
+        for p, m in zip(pts, mask):
+            assert m == box.contains_point(*p)
+
+    def test_intersects_symmetric(self):
+        a = make_box()
+        b = make_box(xmin=9.0, xmax=20.0)
+        c = make_box(xmin=10.5, xmax=20.0)
+        assert a.intersects(b) and b.intersects(a)
+        assert not a.intersects(c) and not c.intersects(a)
+
+    def test_touching_boxes_intersect(self):
+        a = make_box()
+        b = make_box(xmin=10.0, xmax=20.0)
+        assert a.intersects(b)
+
+    def test_contains_box(self):
+        outer = make_box()
+        inner = make_box(xmin=1.0, xmax=9.0, ymin=1.0, ymax=9.0, tmin=1.0, tmax=9.0)
+        assert outer.contains_box(inner)
+        assert not inner.contains_box(outer)
+        assert outer.contains_box(outer)
+
+    def test_union(self):
+        a = make_box(xmax=5.0)
+        b = make_box(xmin=3.0, xmax=12.0, tmin=-1.0)
+        u = a.union(b)
+        assert u.xmin == 0.0 and u.xmax == 12.0 and u.tmin == -1.0
+
+    def test_expanded(self):
+        box = make_box().expanded(1.0, 2.0, 3.0)
+        assert box.xmin == -1.0 and box.xmax == 11.0
+        assert box.ymin == -2.0 and box.ymax == 12.0
+        assert box.tmin == -3.0 and box.tmax == 13.0
+
+
+class TestSplit8:
+    def test_split_tiles_the_box(self):
+        box = make_box()
+        octants = box.split8()
+        assert len(octants) == 8
+        assert sum(o.volume for o in octants) == pytest.approx(box.volume)
+
+    def test_split_octant_order_matches_bit_convention(self):
+        box = make_box()
+        octants = box.split8()
+        # Octant 0: low halves everywhere; octant 7: high halves everywhere.
+        assert octants[0].xmax == 5.0 and octants[0].ymax == 5.0
+        assert octants[7].xmin == 5.0 and octants[7].tmin == 5.0
+        # Bit 0 = x, bit 1 = y, bit 2 = t.
+        assert octants[1].xmin == 5.0 and octants[1].ymax == 5.0
+        assert octants[2].ymin == 5.0 and octants[2].xmax == 5.0
+        assert octants[4].tmin == 5.0 and octants[4].xmax == 5.0
+
+    @given(
+        x=coord, y=coord, t=coord,
+    )
+    def test_every_point_lands_in_some_octant(self, x, y, t):
+        box = make_box(-1e6 - 1, 1e6 + 1, -1e6 - 1, 1e6 + 1, -1e6 - 1, 1e6 + 1)
+        hits = [o for o in box.split8() if o.contains_point(x, y, t)]
+        assert len(hits) >= 1

@@ -1,0 +1,108 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.data import load_database
+
+
+@pytest.fixture
+def db_file(tmp_path):
+    path = tmp_path / "db.npz"
+    code = main(
+        [
+            "generate",
+            "--profile", "chengdu",
+            "-n", "10",
+            "--points-scale", "0.2",
+            "--seed", "3",
+            "--out", str(path),
+        ]
+    )
+    assert code == 0
+    return path
+
+
+class TestGenerate:
+    def test_creates_loadable_database(self, db_file):
+        db = load_database(db_file)
+        assert len(db) == 10
+
+    def test_csv_output(self, tmp_path):
+        path = tmp_path / "db.csv"
+        assert main(["generate", "-n", "3", "--out", str(path)]) == 0
+        assert len(load_database(path)) == 3
+
+
+class TestStats:
+    def test_prints_statistics(self, db_file, capsys):
+        assert main(["stats", "--db", str(db_file)]) == 0
+        out = capsys.readouterr().out
+        assert "# of trajectories" in out
+        assert "10" in out
+
+
+class TestBaselines:
+    def test_lists_25(self, capsys):
+        assert main(["baselines"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 25
+        assert "Span-Search" in lines
+
+
+class TestSimplify:
+    def test_baseline_method(self, db_file, tmp_path):
+        out = tmp_path / "small.npz"
+        code = main(
+            [
+                "simplify",
+                "--db", str(db_file),
+                "--ratio", "0.3",
+                "--method", "Bottom-Up(E,SED)",
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        original = load_database(db_file)
+        simplified = load_database(out)
+        assert simplified.total_points < original.total_points
+
+    def test_unknown_method_raises(self, db_file, tmp_path):
+        with pytest.raises(KeyError):
+            main(
+                [
+                    "simplify",
+                    "--db", str(db_file),
+                    "--ratio", "0.3",
+                    "--method", "Middle-Out",
+                    "--out", str(tmp_path / "x.npz"),
+                ]
+            )
+
+
+class TestEvaluate:
+    def test_scores_tasks(self, db_file, tmp_path, capsys):
+        out = tmp_path / "small.npz"
+        main(
+            [
+                "simplify",
+                "--db", str(db_file),
+                "--ratio", "0.5",
+                "--method", "Top-Down(E,SED)",
+                "--out", str(out),
+            ]
+        )
+        capsys.readouterr()
+        code = main(
+            [
+                "evaluate",
+                "--original", str(db_file),
+                "--simplified", str(out),
+                "--n-queries", "10",
+                "--tasks", "range", "similarity",
+            ]
+        )
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "range" in text and "similarity" in text
+        assert "F1" in text

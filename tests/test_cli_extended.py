@@ -1,0 +1,75 @@
+"""Tests for the encode / decode / workload CLI subcommands."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.data import load_database, save_database
+from repro.workloads import RangeQueryWorkload
+
+
+@pytest.fixture
+def db_path(small_db, tmp_path):
+    path = tmp_path / "db.npz"
+    save_database(small_db, path)
+    return path
+
+
+class TestEncodeDecodeCommands:
+    def test_encode_then_decode_roundtrip(self, small_db, db_path, tmp_path, capsys):
+        blob = tmp_path / "db.bin"
+        assert main([
+            "encode", "--db", str(db_path), "--out", str(blob),
+            "--quantum-xy", "0.0001", "--quantum-t", "0.0001",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "bytes/point" in out
+        assert blob.stat().st_size > 0
+
+        restored_path = tmp_path / "restored.npz"
+        assert main([
+            "decode", "--blob", str(blob), "--out", str(restored_path),
+        ]) == 0
+        restored = load_database(restored_path)
+        assert restored.total_points == small_db.total_points
+        for orig, back in zip(small_db, restored):
+            assert np.abs(orig.points - back.points).max() < 1e-3
+
+    def test_decode_to_geojson(self, db_path, tmp_path):
+        blob = tmp_path / "db.bin"
+        main(["encode", "--db", str(db_path), "--out", str(blob)])
+        out = tmp_path / "db.geojson"
+        assert main(["decode", "--blob", str(blob), "--out", str(out)]) == 0
+        assert out.read_text().startswith('{"type": "FeatureCollection"')
+
+
+class TestWorkloadCommand:
+    @pytest.mark.parametrize("distribution", ["data", "uniform", "gaussian", "zipf"])
+    def test_generates_and_saves(self, db_path, tmp_path, distribution, capsys):
+        out = tmp_path / "wl.json"
+        assert main([
+            "workload", "--db", str(db_path),
+            "--distribution", distribution,
+            "-n", "15", "--seed", "3", "--out", str(out),
+        ]) == 0
+        workload = RangeQueryWorkload.load(out)
+        assert len(workload) == 15
+        assert workload.distribution == distribution
+
+    def test_gaussian_params_forwarded(self, db_path, tmp_path):
+        out = tmp_path / "wl.json"
+        main([
+            "workload", "--db", str(db_path), "--distribution", "gaussian",
+            "--mu", "0.8", "--sigma", "0.1", "-n", "10", "--out", str(out),
+        ])
+        workload = RangeQueryWorkload.load(out)
+        assert workload.params["mu"] == 0.8
+
+    def test_rejects_unknown_distribution(self, db_path, tmp_path):
+        with pytest.raises(SystemExit):
+            main([
+                "workload", "--db", str(db_path),
+                "--distribution", "cauchy", "--out", str(tmp_path / "x.json"),
+            ])

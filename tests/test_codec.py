@@ -1,0 +1,176 @@
+"""Tests for the binary trajectory storage codec."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    CodecConfig,
+    Trajectory,
+    decode_database,
+    decode_trajectory,
+    encode_database,
+    encode_trajectory,
+    storage_report,
+)
+from repro.data.codec import (
+    RAW_POINT_BYTES,
+    read_varint,
+    write_varint,
+    zigzag_decode,
+    zigzag_encode,
+)
+from tests.conftest import make_trajectory
+
+FINE = CodecConfig(quantum_xy=1e-4, quantum_t=1e-4)
+
+
+class TestVarint:
+    @pytest.mark.parametrize(
+        "value", [0, 1, 127, 128, 255, 300, 2**14, 2**21 - 1, 2**32, 2**63]
+    )
+    def test_roundtrip(self, value):
+        out = bytearray()
+        write_varint(out, value)
+        decoded, pos = read_varint(bytes(out), 0)
+        assert decoded == value
+        assert pos == len(out)
+
+    def test_small_values_take_one_byte(self):
+        out = bytearray()
+        write_varint(out, 100)
+        assert len(out) == 1
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            write_varint(bytearray(), -1)
+
+    def test_truncated_stream_raises(self):
+        out = bytearray()
+        write_varint(out, 2**20)
+        with pytest.raises(ValueError):
+            read_varint(bytes(out[:-1]), 0)
+
+    @given(values=st.lists(st.integers(0, 2**40), min_size=1, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_property_sequence_roundtrip(self, values):
+        out = bytearray()
+        for v in values:
+            write_varint(out, v)
+        data = bytes(out)
+        pos = 0
+        decoded = []
+        for _ in values:
+            v, pos = read_varint(data, pos)
+            decoded.append(v)
+        assert decoded == values
+        assert pos == len(data)
+
+
+class TestZigzag:
+    def test_known_mapping(self):
+        assert zigzag_encode(np.array([0, -1, 1, -2, 2])).tolist() == [
+            0, 1, 2, 3, 4,
+        ]
+
+    @given(
+        values=st.lists(
+            st.integers(-(2**40), 2**40), min_size=1, max_size=50
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_roundtrip(self, values):
+        arr = np.array(values, dtype=np.int64)
+        assert np.array_equal(zigzag_decode(zigzag_encode(arr)), arr)
+
+
+class TestTrajectoryCodec:
+    def test_roundtrip_within_quantum(self):
+        traj = make_trajectory(n=50, seed=0)
+        blob = encode_trajectory(traj, FINE)
+        decoded, pos = decode_trajectory(blob, FINE)
+        assert pos == len(blob)
+        assert len(decoded) == len(traj)
+        assert np.abs(decoded.points[:, :2] - traj.points[:, :2]).max() <= (
+            FINE.quantum_xy / 2 + 1e-12
+        )
+        assert np.abs(decoded.times - traj.times).max() <= (
+            FINE.quantum_t / 2 + 1e-12
+        )
+
+    def test_beats_raw_storage_on_smooth_data(self):
+        """Dense, slowly moving data compresses far below 24 bytes/point."""
+        t = np.arange(500.0)
+        points = np.column_stack([t * 0.5, t * 0.3, t])
+        traj = Trajectory(points)
+        blob = encode_trajectory(traj, CodecConfig(0.01, 0.5))
+        assert len(blob) < RAW_POINT_BYTES * len(traj) / 4
+
+    def test_coarse_time_quantum_breaks_monotonicity(self):
+        """Sub-interval time quanta are required; coarser ones must raise."""
+        points = np.column_stack([np.arange(5.0), np.arange(5.0), np.arange(5.0)])
+        traj = Trajectory(points)
+        coarse = CodecConfig(quantum_xy=0.01, quantum_t=10.0)
+        blob = encode_trajectory(traj, coarse)
+        with pytest.raises(ValueError):
+            decode_trajectory(blob, coarse)
+
+    @given(seed=st.integers(0, 10_000), n=st.integers(2, 60))
+    @settings(max_examples=40, deadline=None)
+    def test_property_roundtrip(self, seed, n):
+        traj = make_trajectory(n=n, seed=seed)
+        blob = encode_trajectory(traj, FINE)
+        decoded, _ = decode_trajectory(blob, FINE)
+        assert np.abs(decoded.points - traj.points).max() <= 5e-5 + 1e-12
+
+
+class TestDatabaseCodec:
+    def test_roundtrip(self, small_db):
+        blob = encode_database(small_db, FINE)
+        decoded = decode_database(blob)
+        assert len(decoded) == len(small_db)
+        assert decoded.total_points == small_db.total_points
+        for orig, dec in zip(small_db, decoded):
+            assert np.abs(dec.points - orig.points).max() <= 5e-5 + 1e-12
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            decode_database(b"NOPE" + b"\x00" * 40)
+
+    def test_rejects_trailing_bytes(self, small_db):
+        blob = encode_database(small_db, FINE)
+        with pytest.raises(ValueError):
+            decode_database(blob + b"\x00")
+
+    def test_quanta_stored_in_header(self, small_db):
+        config = CodecConfig(quantum_xy=0.5, quantum_t=0.25)
+        blob = encode_database(small_db, config)
+        decoded = decode_database(blob)
+        # Half-quantum max error certifies the header's quanta were used.
+        for orig, dec in zip(small_db, decoded):
+            assert np.abs(dec.points[:, :2] - orig.points[:, :2]).max() <= 0.25 + 1e-9
+
+
+class TestStorageReport:
+    def test_fields(self, small_db):
+        report = storage_report(small_db, FINE)
+        assert report.n_points == small_db.total_points
+        assert report.raw_bytes == RAW_POINT_BYTES * small_db.total_points
+        assert 0 < report.encoded_bytes
+        assert report.bytes_per_point == pytest.approx(
+            report.encoded_bytes / report.n_points
+        )
+
+    def test_simplification_shrinks_storage(self, small_db):
+        from repro.baselines import uniform_simplify_database
+
+        simplified = uniform_simplify_database(small_db, 0.3)
+        full = storage_report(small_db, FINE)
+        small = storage_report(simplified, FINE)
+        assert small.encoded_bytes < full.encoded_bytes
+
+    def test_default_config(self, small_db):
+        assert storage_report(small_db).encoded_bytes > 0

@@ -1,0 +1,147 @@
+"""Unit tests for TrajectoryDatabase and SimplificationState."""
+
+import numpy as np
+import pytest
+
+from repro.data import SimplificationState, TrajectoryDatabase
+from tests.conftest import make_trajectory
+
+
+class TestDatabase:
+    def test_ids_reassigned_to_positions(self):
+        db = TrajectoryDatabase(
+            [make_trajectory(traj_id=7), make_trajectory(traj_id=7)]
+        )
+        assert [t.traj_id for t in db] == [0, 1]
+        assert db[1] is db.trajectories[1]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            TrajectoryDatabase([])
+
+    def test_total_points(self, small_db):
+        assert small_db.total_points == sum(len(t) for t in small_db)
+
+    def test_bounding_box_covers_everything(self, small_db):
+        box = small_db.bounding_box
+        for t in small_db:
+            assert box.contains_points(t.points).all()
+
+    def test_budget_for_ratio(self, small_db):
+        n = small_db.total_points
+        assert small_db.budget_for_ratio(1.0) == n
+        assert small_db.budget_for_ratio(0.5) == round(0.5 * n)
+        # Tiny ratios floor at two endpoints per trajectory.
+        assert small_db.budget_for_ratio(1e-9) == 2 * len(small_db)
+
+    def test_budget_rejects_bad_ratio(self, small_db):
+        with pytest.raises(ValueError):
+            small_db.budget_for_ratio(0.0)
+        with pytest.raises(ValueError):
+            small_db.budget_for_ratio(1.5)
+
+    def test_all_points_and_ownership_aligned(self, small_db):
+        pts = small_db.all_points()
+        owners = small_db.point_ownership()
+        assert len(pts) == len(owners) == small_db.total_points
+        # Spot-check: the rows owned by trajectory 3 are exactly its points.
+        assert np.array_equal(pts[owners == 3], small_db[3].points)
+
+    def test_subset_renumbers(self, small_db):
+        sub = small_db.subset([2, 5, 7])
+        assert len(sub) == 3
+        assert [t.traj_id for t in sub] == [0, 1, 2]
+        assert np.array_equal(sub[1].points, small_db[5].points)
+
+    def test_sample_deterministic(self, small_db):
+        a = small_db.sample(5, np.random.default_rng(0))
+        b = small_db.sample(5, np.random.default_rng(0))
+        assert [len(t) for t in a] == [len(t) for t in b]
+
+    def test_sample_caps_at_size(self, small_db):
+        assert len(small_db.sample(1000, np.random.default_rng(0))) == len(small_db)
+
+    def test_map_simplify(self, small_db):
+        simplified = small_db.map_simplify(lambda t: [0, len(t) - 1])
+        assert simplified.total_points == 2 * len(small_db)
+
+
+class TestSimplificationState:
+    def test_initial_endpoints_only(self, small_db):
+        state = SimplificationState(small_db)
+        assert state.total_kept == 2 * len(small_db)
+        assert state.kept_indices(0) == [0, len(small_db[0]) - 1]
+
+    def test_start_full(self, small_db):
+        state = SimplificationState(small_db, start_full=True)
+        assert state.total_kept == small_db.total_points
+
+    def test_insert_and_membership(self, small_db):
+        state = SimplificationState(small_db)
+        assert not state.is_kept(0, 3)
+        state.insert(0, 3)
+        assert state.is_kept(0, 3)
+        assert state.total_kept == 2 * len(small_db) + 1
+
+    def test_double_insert_rejected(self, small_db):
+        state = SimplificationState(small_db)
+        state.insert(0, 3)
+        with pytest.raises(ValueError):
+            state.insert(0, 3)
+
+    def test_insert_out_of_range_rejected(self, small_db):
+        state = SimplificationState(small_db)
+        with pytest.raises(IndexError):
+            state.insert(0, len(small_db[0]) + 5)
+
+    def test_drop(self, small_db):
+        state = SimplificationState(small_db, start_full=True)
+        state.drop(0, 3)
+        assert not state.is_kept(0, 3)
+        assert state.total_kept == small_db.total_points - 1
+
+    def test_drop_endpoint_rejected(self, small_db):
+        state = SimplificationState(small_db, start_full=True)
+        with pytest.raises(ValueError):
+            state.drop(0, 0)
+        with pytest.raises(ValueError):
+            state.drop(0, len(small_db[0]) - 1)
+
+    def test_drop_unkept_rejected(self, small_db):
+        state = SimplificationState(small_db)
+        with pytest.raises(ValueError):
+            state.drop(0, 3)
+
+    def test_anchor_segment_for_dropped_point(self, small_db):
+        state = SimplificationState(small_db)
+        n = len(small_db[0])
+        assert state.anchor_segment(0, n // 2) == (0, n - 1)
+        state.insert(0, 4)
+        assert state.anchor_segment(0, 2) == (0, 4)
+        assert state.anchor_segment(0, 6) == (4, n - 1)
+
+    def test_anchor_segment_for_kept_interior_point(self, small_db):
+        state = SimplificationState(small_db)
+        n = len(small_db[0])
+        state.insert(0, 4)
+        # A kept interior point is bracketed by its kept neighbours.
+        assert state.anchor_segment(0, 4) == (0, n - 1)
+
+    def test_compression_ratio(self, small_db):
+        state = SimplificationState(small_db)
+        expected = 2 * len(small_db) / small_db.total_points
+        assert state.compression_ratio() == pytest.approx(expected)
+
+    def test_materialize_contains_kept_points(self, small_db):
+        state = SimplificationState(small_db)
+        state.insert(0, 5)
+        simp = state.materialize()
+        assert len(simp[0]) == 3
+        assert np.array_equal(simp[0].points[1], small_db[0].points[5])
+
+    def test_copy_is_independent(self, small_db):
+        state = SimplificationState(small_db)
+        clone = state.copy()
+        state.insert(0, 5)
+        assert not clone.is_kept(0, 5)
+        assert clone.total_kept == state.total_kept - 1

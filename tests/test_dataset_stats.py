@@ -1,0 +1,92 @@
+"""Tests for dataset statistics (Table I machinery) and the spatial scale."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    DATASET_PROFILES,
+    Trajectory,
+    TrajectoryDatabase,
+    dataset_statistics,
+    synthetic_database,
+)
+from repro.data.stats import spatial_scale
+from tests.conftest import make_trajectory
+
+
+class TestDatasetStatistics:
+    def test_counts_are_exact(self, small_db):
+        stats = dataset_statistics(small_db)
+        assert stats.n_trajectories == len(small_db)
+        assert stats.total_points == small_db.total_points
+        assert stats.avg_points_per_trajectory == pytest.approx(
+            small_db.total_points / len(small_db)
+        )
+
+    def test_sampling_interval_bounds(self, small_db):
+        stats = dataset_statistics(small_db)
+        assert 0 < stats.min_sampling_interval <= stats.mean_sampling_interval
+        assert stats.mean_sampling_interval <= stats.max_sampling_interval
+
+    def test_mean_segment_length_matches_manual(self):
+        # Unit steps along x: every segment has length exactly 1.
+        t = np.arange(10.0)
+        db = TrajectoryDatabase(
+            [Trajectory(np.column_stack([t, 0 * t, t]))]
+        )
+        stats = dataset_statistics(db)
+        assert stats.mean_segment_length == pytest.approx(1.0)
+        assert stats.mean_sampling_interval == pytest.approx(1.0)
+
+    def test_as_row_keys_match_table1(self, small_db):
+        row = dataset_statistics(small_db).as_row()
+        assert set(row) == {
+            "# of trajectories",
+            "Total # of points",
+            "Ave. # of pts per traj",
+            "Sampling rate (s)",
+            "Average length (m)",
+        }
+
+    @pytest.mark.parametrize("profile", sorted(DATASET_PROFILES))
+    def test_profiles_statistics_finite(self, profile):
+        db = synthetic_database(profile, n_trajectories=8, points_scale=0.05, seed=1)
+        stats = dataset_statistics(db)
+        assert stats.total_points > 0
+        assert np.isfinite(stats.mean_segment_length)
+        assert np.isfinite(stats.mean_sampling_interval)
+
+
+class TestSpatialScale:
+    def test_positive(self, small_db):
+        assert spatial_scale(small_db) > 0
+
+    def test_known_geometry(self):
+        """Three trajectories with diameters 10, 20, 30 -> median 20."""
+        trajs = []
+        for i, diameter in enumerate((10.0, 20.0, 30.0)):
+            xs = np.linspace(0, diameter, 5)
+            trajs.append(
+                Trajectory(
+                    np.column_stack([xs, np.zeros(5), np.arange(5.0)]),
+                    traj_id=i,
+                )
+            )
+        assert spatial_scale(TrajectoryDatabase(trajs)) == pytest.approx(20.0)
+
+    def test_scales_with_coordinates(self):
+        db = TrajectoryDatabase(
+            [make_trajectory(n=12, seed=i, traj_id=i) for i in range(5)]
+        )
+        scaled = TrajectoryDatabase(
+            [
+                Trajectory(
+                    np.column_stack([t.points[:, :2] * 3.0, t.times]),
+                    traj_id=t.traj_id,
+                )
+                for t in db
+            ]
+        )
+        assert spatial_scale(scaled) == pytest.approx(3.0 * spatial_scale(db))

@@ -1,0 +1,215 @@
+"""Unit + property tests for the SED/PED/DAD/SAD error measures."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import (
+    MEASURES,
+    dad_error,
+    ped_error,
+    sad_error,
+    sed_error,
+    segment_error,
+    trajectory_error,
+    database_errors,
+    synchronized_positions,
+)
+from repro.data.database import TrajectoryDatabase
+from tests.conftest import make_trajectory
+
+
+def line(n=5, speed=1.0, dt=1.0):
+    """Points moving along +x at constant speed with regular sampling."""
+    ts = np.arange(n) * dt
+    return np.column_stack([ts * speed, np.zeros(n), ts])
+
+
+class TestSED:
+    def test_zero_on_constant_velocity(self):
+        assert sed_error(line(6), 0, 5) == pytest.approx(0.0)
+
+    def test_detour_measured_synchronously(self):
+        # p1 is displaced 3 up at t=1; the synchronized point is (1, 0).
+        pts = np.array([[0, 0, 0], [1, 3, 1], [2, 0, 2]], dtype=float)
+        assert sed_error(pts, 0, 2) == pytest.approx(3.0)
+
+    def test_irregular_sampling_synchronization(self):
+        # Anchor spans t in [0, 10]; point at t=1 syncs to x=1, not x=5.
+        pts = np.array([[0, 0, 0], [5, 0, 1], [10, 0, 10]], dtype=float)
+        assert sed_error(pts, 0, 2) == pytest.approx(4.0)
+
+    def test_zero_duration_anchor_syncs_to_start(self):
+        pts = np.array([[0, 0, 0], [4, 0, 0.5], [0, 3, 1]], dtype=float)
+        pts[:, 2] = [0, 0.5, 1]  # normal case first
+        assert sed_error(pts, 0, 2) > 0
+
+    def test_adjacent_segment_zero(self):
+        assert sed_error(line(3), 0, 1) == 0.0
+
+    def test_synchronized_positions_shape(self):
+        sync = synchronized_positions(line(10), 2, 8)
+        assert sync.shape == (5, 2)
+
+
+class TestPED:
+    def test_zero_on_collinear(self):
+        pts = line(5)
+        pts[2, 0] = 1.7  # still on the x-axis line
+        assert ped_error(pts, 0, 4) == pytest.approx(0.0)
+
+    def test_perpendicular_offset(self):
+        pts = np.array([[0, 0, 0], [1, 2, 1], [2, 0, 2]], dtype=float)
+        assert ped_error(pts, 0, 2) == pytest.approx(2.0)
+
+    def test_ped_ignores_time(self):
+        a = np.array([[0, 0, 0], [1, 2, 1], [2, 0, 2]], dtype=float)
+        b = np.array([[0, 0, 0], [1, 2, 1.9], [2, 0, 2]], dtype=float)
+        assert ped_error(a, 0, 2) == pytest.approx(ped_error(b, 0, 2))
+
+    def test_degenerate_anchor_distance_to_point(self):
+        pts = np.array([[0, 0, 0], [3, 4, 1], [0, 0, 2]], dtype=float)
+        assert ped_error(pts, 0, 2) == pytest.approx(5.0)
+
+    def test_ped_leq_sed_on_shared_geometry(self):
+        """PED projects onto the line, so it cannot exceed the synchronized
+        distance for the same anchor when motion is uniform."""
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            pts = rng.uniform(0, 10, size=(6, 2))
+            ts = np.arange(6.0)
+            traj = np.column_stack([pts, ts])
+            assert ped_error(traj, 0, 5) <= sed_error(traj, 0, 5) + 1e-9
+
+
+class TestDAD:
+    def test_zero_on_straight_movement(self):
+        assert dad_error(line(5), 0, 4) == pytest.approx(0.0)
+
+    def test_right_angle_detour(self):
+        # Anchor 0->2 heads +y (pi/2). Segment 0->1 heads +x (diff pi/2);
+        # segment 1->2 heads up-left at 3pi/4 (diff pi/4). Max is pi/2.
+        pts = np.array([[0, 0, 0], [1, 0, 1], [0, 1, 2]], dtype=float)
+        assert dad_error(pts, 0, 2) == pytest.approx(np.pi / 2, abs=1e-6)
+
+    def test_bounded_by_pi(self, zigzag_trajectory):
+        err = dad_error(zigzag_trajectory.points, 0, len(zigzag_trajectory) - 1)
+        assert 0.0 <= err <= np.pi
+
+    def test_stationary_segments_ignored(self):
+        pts = np.array([[0, 0, 0], [0, 0, 1], [1, 0, 2]], dtype=float)
+        assert dad_error(pts, 0, 2) == pytest.approx(0.0)
+
+    def test_zero_length_anchor_maximally_wrong(self):
+        pts = np.array([[0, 0, 0], [5, 0, 1], [0, 0, 2]], dtype=float)
+        assert dad_error(pts, 0, 2) == pytest.approx(np.pi)
+
+
+class TestSAD:
+    def test_zero_on_constant_speed(self):
+        assert sad_error(line(6, speed=3.0), 0, 5) == pytest.approx(0.0)
+
+    def test_speed_change_detected(self):
+        # First segment speed 1, second speed 3; anchor speed 2.
+        pts = np.array([[0, 0, 0], [1, 0, 1], [4, 0, 2]], dtype=float)
+        assert sad_error(pts, 0, 2) == pytest.approx(1.0)
+
+    def test_stop_detected(self):
+        pts = np.array([[0, 0, 0], [0, 0, 1], [4, 0, 2]], dtype=float)
+        # Segment speeds 0 and 4; anchor speed 2 -> max deviation 2.
+        assert sad_error(pts, 0, 2) == pytest.approx(2.0)
+
+
+class TestAggregation:
+    def test_segment_error_validates(self, random_trajectory):
+        pts = random_trajectory.points
+        with pytest.raises(ValueError):
+            segment_error(pts, 5, 5)
+        with pytest.raises(ValueError):
+            segment_error(pts, -1, 5)
+        with pytest.raises(ValueError, match="unknown measure"):
+            segment_error(pts, 0, 5, "l2")
+
+    def test_trajectory_error_requires_endpoints(self, random_trajectory):
+        with pytest.raises(ValueError):
+            trajectory_error(random_trajectory, [0, 5])
+
+    def test_trajectory_error_full_keep_is_zero(self, random_trajectory):
+        kept = list(range(len(random_trajectory)))
+        for m in MEASURES:
+            assert trajectory_error(random_trajectory, kept, m) == 0.0
+
+    def test_trajectory_error_is_max_over_segments(self, random_trajectory):
+        pts = random_trajectory.points
+        kept = [0, 10, 29]
+        expected = max(segment_error(pts, 0, 10), segment_error(pts, 10, 29))
+        assert trajectory_error(random_trajectory, kept) == pytest.approx(expected)
+
+    def test_database_errors(self, small_db):
+        simplified = small_db.map_simplify(lambda t: [0, len(t) - 1])
+        errors = database_errors(small_db, simplified, "sed")
+        assert len(errors) == len(small_db)
+        assert (errors >= 0).all()
+
+    def test_database_errors_zero_for_identity(self, small_db):
+        errors = database_errors(small_db, small_db, "sed")
+        assert np.allclose(errors, 0.0)
+
+    def test_database_errors_rejects_non_subsequence(self, small_db):
+        other = TrajectoryDatabase(
+            [make_trajectory(n=len(t), seed=99 + t.traj_id) for t in small_db]
+        )
+        with pytest.raises(ValueError):
+            database_errors(small_db, other)
+
+
+@settings(max_examples=40)
+@given(seed=st.integers(0, 500), n=st.integers(4, 20))
+def test_translation_invariance(seed, n):
+    """Shifting all coordinates (and times) leaves every measure unchanged."""
+    traj = make_trajectory(n=n, seed=seed)
+    shifted = traj.points.copy()
+    shifted[:, 0] += 123.0
+    shifted[:, 1] -= 45.0
+    for measure, fn in MEASURES.items():
+        assert fn(shifted, 0, n - 1) == pytest.approx(
+            fn(traj.points, 0, n - 1), abs=1e-8
+        )
+
+
+@settings(max_examples=40)
+@given(seed=st.integers(0, 500), angle=st.floats(0.0, 2 * np.pi))
+def test_rotation_invariance(seed, angle):
+    """Rotating the plane leaves every measure unchanged."""
+    traj = make_trajectory(n=10, seed=seed)
+    c, s = np.cos(angle), np.sin(angle)
+    rotated = traj.points.copy()
+    rotated[:, 0] = c * traj.points[:, 0] - s * traj.points[:, 1]
+    rotated[:, 1] = s * traj.points[:, 0] + c * traj.points[:, 1]
+    for measure, fn in MEASURES.items():
+        assert fn(rotated, 0, 9) == pytest.approx(fn(traj.points, 0, 9), abs=1e-8)
+
+
+@settings(max_examples=40)
+@given(seed=st.integers(0, 500), factor=st.floats(0.1, 10.0))
+def test_spatial_scaling_behaviour(seed, factor):
+    """Scaling space scales SED/PED/SAD linearly and leaves DAD unchanged."""
+    traj = make_trajectory(n=10, seed=seed)
+    scaled = traj.points.copy()
+    scaled[:, :2] *= factor
+    for measure in ("sed", "ped", "sad"):
+        assert MEASURES[measure](scaled, 0, 9) == pytest.approx(
+            factor * MEASURES[measure](traj.points, 0, 9), rel=1e-6
+        )
+    assert MEASURES["dad"](scaled, 0, 9) == pytest.approx(
+        MEASURES["dad"](traj.points, 0, 9), abs=1e-8
+    )
+
+
+@given(seed=st.integers(0, 300))
+def test_errors_nonnegative_and_finite(seed):
+    traj = make_trajectory(n=12, seed=seed)
+    for measure, fn in MEASURES.items():
+        err = fn(traj.points, 0, 11)
+        assert np.isfinite(err)
+        assert err >= 0.0

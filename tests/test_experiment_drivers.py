@@ -1,0 +1,97 @@
+"""Tests for the experiment drivers shared by the benchmark harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import get_baseline, uniform_simplify_database
+from repro.eval import (
+    MethodResult,
+    QueryAccuracyEvaluator,
+    QuerySuiteConfig,
+    baseline_method,
+    compare_methods,
+)
+from repro.eval.experiments import format_results_table
+
+
+@pytest.fixture
+def evaluator(small_db):
+    return QueryAccuracyEvaluator(
+        small_db,
+        QuerySuiteConfig(
+            n_range_queries=8,
+            n_knn_queries=3,
+            n_similarity_queries=3,
+            clustering_subset=6,
+            seed=0,
+        ),
+    )
+
+
+@pytest.fixture
+def methods():
+    return {
+        "Top-Down(E,SED)": baseline_method(get_baseline("Top-Down(E,SED)")),
+        "uniform": lambda db, ratio: uniform_simplify_database(db, ratio),
+    }
+
+
+class TestCompareMethods:
+    def test_one_row_per_method_ratio_pair(self, small_db, evaluator, methods):
+        results = compare_methods(
+            small_db, methods, (0.3, 0.6), evaluator, tasks=("range",)
+        )
+        assert len(results) == 4
+        assert {(r.method, r.ratio) for r in results} == {
+            ("Top-Down(E,SED)", 0.3),
+            ("Top-Down(E,SED)", 0.6),
+            ("uniform", 0.3),
+            ("uniform", 0.6),
+        }
+
+    def test_scores_cover_requested_tasks(self, small_db, evaluator, methods):
+        results = compare_methods(
+            small_db, methods, (0.5,), evaluator,
+            tasks=("range", "similarity"),
+        )
+        for r in results:
+            assert set(r.scores) == {"range", "similarity"}
+            assert all(0.0 <= v <= 1.0 for v in r.scores.values())
+            assert r.simplify_seconds > 0.0
+
+    def test_accuracy_monotone_in_ratio_for_uniform(
+        self, small_db, evaluator, methods
+    ):
+        results = compare_methods(
+            small_db, {"uniform": methods["uniform"]},
+            (0.2, 0.8), evaluator, tasks=("range",),
+        )
+        by_ratio = {r.ratio: r.scores["range"] for r in results}
+        assert by_ratio[0.8] >= by_ratio[0.2] - 0.05
+
+    def test_as_row_flattening(self):
+        r = MethodResult("m", 0.1, {"range": 0.5}, 1.234)
+        row = r.as_row()
+        assert row == {
+            "method": "m", "ratio": 0.1, "range": 0.5, "time_s": 1.234,
+        }
+
+
+class TestFormatResultsTable:
+    def test_contains_all_rows_and_headers(self, small_db, evaluator, methods):
+        results = compare_methods(
+            small_db, methods, (0.4,), evaluator, tasks=("range",)
+        )
+        text = format_results_table(results, tasks=("range",))
+        lines = text.splitlines()
+        assert "method" in lines[0] and "range" in lines[0]
+        assert len(lines) == 2 + len(results)
+        assert any("uniform" in line for line in lines)
+
+    def test_missing_task_renders_nan(self):
+        text = format_results_table(
+            [MethodResult("m", 0.1, {"range": 0.5}, 0.0)],
+            tasks=("range", "similarity"),
+        )
+        assert "nan" in text

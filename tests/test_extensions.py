@@ -1,0 +1,160 @@
+"""Tests for the extension modules: join, error-bounded mode, ASCII viz."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    error_bounded_simplify,
+    error_bounded_simplify_database,
+)
+from repro.data import Trajectory, TrajectoryDatabase
+from repro.errors import trajectory_error
+from repro.queries import distance_join
+from repro.viz import render_comparison, render_density, render_trajectory
+
+
+def traj(x0, y0, n=8, traj_id=0, t0=0.0):
+    xs = x0 + np.arange(float(n))
+    ts = t0 + np.arange(float(n))
+    return Trajectory(np.column_stack([xs, np.full(n, y0), ts]), traj_id=traj_id)
+
+
+class TestDistanceJoin:
+    def test_close_pair_found(self):
+        db = TrajectoryDatabase([traj(0, 0), traj(0, 1, traj_id=1)])
+        pairs = distance_join(db, delta=2.0)
+        assert pairs == {frozenset((0, 1))}
+
+    def test_far_pair_excluded(self):
+        db = TrajectoryDatabase([traj(0, 0), traj(0, 100, traj_id=1)])
+        assert distance_join(db, delta=2.0) == set()
+
+    def test_disjoint_times_excluded(self):
+        db = TrajectoryDatabase([traj(0, 0), traj(0, 0, t0=1000.0, traj_id=1)])
+        assert distance_join(db, delta=5.0) == set()
+
+    def test_always_stricter_than_ever(self):
+        # b drifts away from a over time: "ever" matches, "always" does not.
+        a = traj(0, 0, n=10)
+        pts = np.column_stack(
+            [np.arange(10.0), np.linspace(0, 30, 10), np.arange(10.0)]
+        )
+        b = Trajectory(pts, traj_id=1)
+        db = TrajectoryDatabase([a, b])
+        assert distance_join(db, delta=5.0, mode="ever") == {frozenset((0, 1))}
+        assert distance_join(db, delta=5.0, mode="always") == set()
+
+    def test_binary_join(self):
+        left = TrajectoryDatabase([traj(0, 0)])
+        right = TrajectoryDatabase([traj(0, 1)])
+        pairs = distance_join(left, delta=2.0, other=right)
+        assert pairs == {frozenset((0,))} or pairs == {frozenset((0, 0))}
+
+    def test_validation(self):
+        db = TrajectoryDatabase([traj(0, 0)])
+        with pytest.raises(ValueError):
+            distance_join(db, delta=-1.0)
+        with pytest.raises(ValueError):
+            distance_join(db, delta=1.0, mode="sometimes")
+
+    def test_join_preserved_under_mild_simplification(self, geolife_db):
+        """Dropping redundant points keeps most 'ever' join pairs."""
+        delta = 200.0
+        full_pairs = distance_join(geolife_db, delta)
+        light = geolife_db.map_simplify(
+            lambda t: sorted({0, len(t) - 1, *range(0, len(t), 2)})
+        )
+        light_pairs = distance_join(light, delta)
+        if full_pairs:
+            overlap = len(full_pairs & light_pairs) / len(full_pairs)
+            assert overlap >= 0.5
+
+
+class TestErrorBounded:
+    def test_tolerance_respected(self, random_trajectory):
+        for tolerance in (1.0, 5.0, 20.0):
+            kept = error_bounded_simplify(random_trajectory, tolerance, "sed")
+            assert trajectory_error(random_trajectory, kept, "sed") <= tolerance
+
+    def test_zero_tolerance_keeps_detours(self, zigzag_trajectory):
+        kept = error_bounded_simplify(zigzag_trajectory, 0.0, "sed")
+        assert trajectory_error(zigzag_trajectory, kept, "sed") == 0.0
+
+    def test_looser_tolerance_keeps_fewer(self, random_trajectory):
+        tight = error_bounded_simplify(random_trajectory, 1.0)
+        loose = error_bounded_simplify(random_trajectory, 50.0)
+        assert len(loose) <= len(tight)
+
+    def test_straight_line_collapses(self, straight_line_trajectory):
+        kept = error_bounded_simplify(straight_line_trajectory, 0.01)
+        assert kept == [0, len(straight_line_trajectory) - 1]
+
+    def test_validation(self, random_trajectory):
+        with pytest.raises(ValueError):
+            error_bounded_simplify(random_trajectory, -1.0)
+        with pytest.raises(ValueError):
+            error_bounded_simplify(random_trajectory, 1.0, "l2")
+
+    def test_database_variant(self, small_db):
+        simplified = error_bounded_simplify_database(small_db, 10.0, "sed")
+        assert len(simplified) == len(small_db)
+        from repro.errors import database_errors
+
+        assert (database_errors(small_db, simplified, "sed") <= 10.0 + 1e-9).all()
+
+
+class TestViz:
+    def test_density_dimensions(self, small_db):
+        text = render_density(small_db, width=40, height=10)
+        lines = text.splitlines()
+        assert len(lines) == 10
+        assert all(len(line) == 40 for line in lines)
+        assert any(ch != " " for line in lines for ch in line)
+
+    def test_trajectory_markers(self, random_trajectory):
+        text = render_trajectory(random_trajectory, width=30, height=10)
+        assert "S" in text and "E" in text
+
+    def test_comparison_overlay(self, random_trajectory):
+        simplified = random_trajectory.subsample([0, len(random_trajectory) - 1])
+        text = render_comparison(random_trajectory, simplified)
+        assert "#" in text and "." in text
+
+    def test_bad_dimensions_rejected(self, small_db):
+        with pytest.raises(ValueError):
+            render_density(small_db, width=0)
+        with pytest.raises(ValueError):
+            render_trajectory(small_db[0], height=0)
+
+
+class TestRenderDensityLoss:
+    def test_dimensions_and_charset(self, small_db):
+        from repro.baselines import uniform_simplify_database
+        from repro.viz import render_density_loss
+
+        simplified = uniform_simplify_database(small_db, 0.2)
+        text = render_density_loss(small_db, simplified, width=30, height=8)
+        lines = text.splitlines()
+        assert len(lines) == 8
+        assert all(len(line) == 30 for line in lines)
+
+    def test_identity_has_no_loss_markers(self, small_db):
+        from repro.viz import render_density_loss
+
+        text = render_density_loss(small_db, small_db, width=30, height=8)
+        assert "-" not in text and "+" not in text
+
+    def test_heavy_simplification_shows_loss(self, small_db):
+        from repro.viz import render_density_loss
+
+        endpoints = small_db.map_simplify(lambda t: [0, len(t) - 1])
+        text = render_density_loss(small_db, endpoints, width=40, height=12)
+        assert "-" in text
+
+    def test_rejects_bad_dimensions(self, small_db):
+        import pytest as _pytest
+
+        from repro.viz import render_density_loss
+
+        with _pytest.raises(ValueError):
+            render_density_loss(small_db, small_db, width=0)

@@ -1,0 +1,82 @@
+"""Tests for GeoJSON trajectory persistence."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.data import load_database, save_database
+
+
+class TestGeoJSONRoundtrip:
+    def test_roundtrip(self, small_db, tmp_path):
+        path = tmp_path / "db.geojson"
+        save_database(small_db, path)
+        restored = load_database(path)
+        assert len(restored) == len(small_db)
+        for orig, back in zip(small_db, restored):
+            assert np.allclose(orig.points, back.points)
+
+    def test_valid_geojson_structure(self, small_db, tmp_path):
+        path = tmp_path / "db.geojson"
+        save_database(small_db, path)
+        payload = json.loads(path.read_text())
+        assert payload["type"] == "FeatureCollection"
+        assert len(payload["features"]) == len(small_db)
+        feature = payload["features"][0]
+        assert feature["geometry"]["type"] == "LineString"
+        assert len(feature["geometry"]["coordinates"]) == len(small_db[0])
+        assert len(feature["properties"]["times"]) == len(small_db[0])
+
+    def test_rejects_non_collection(self, tmp_path):
+        path = tmp_path / "bad.geojson"
+        path.write_text(json.dumps({"type": "Feature"}))
+        with pytest.raises(ValueError):
+            load_database(path)
+
+    def test_rejects_non_linestring(self, tmp_path):
+        path = tmp_path / "bad.geojson"
+        path.write_text(
+            json.dumps(
+                {
+                    "type": "FeatureCollection",
+                    "features": [
+                        {
+                            "type": "Feature",
+                            "geometry": {"type": "Point", "coordinates": [0, 0]},
+                            "properties": {"times": [0.0]},
+                        }
+                    ],
+                }
+            )
+        )
+        with pytest.raises(ValueError):
+            load_database(path)
+
+    def test_rejects_missing_times(self, tmp_path):
+        path = tmp_path / "bad.geojson"
+        path.write_text(
+            json.dumps(
+                {
+                    "type": "FeatureCollection",
+                    "features": [
+                        {
+                            "type": "Feature",
+                            "geometry": {
+                                "type": "LineString",
+                                "coordinates": [[0, 0], [1, 1]],
+                            },
+                            "properties": {},
+                        }
+                    ],
+                }
+            )
+        )
+        with pytest.raises(ValueError):
+            load_database(path)
+
+    def test_unknown_suffix_still_rejected(self, small_db, tmp_path):
+        with pytest.raises(ValueError):
+            save_database(small_db, tmp_path / "db.parquet")

@@ -1,0 +1,114 @@
+"""Tests for the non-learning greedy QDTS baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import greedy_qdts, greedy_qdts_ratio
+from repro.data import Trajectory, TrajectoryDatabase
+from repro.queries import f1_score
+from repro.workloads import RangeQueryWorkload
+from tests.conftest import make_trajectory
+
+
+def workload_f1(db, simplified, workload) -> float:
+    truths = workload.evaluate(db)
+    results = workload.evaluate(simplified)
+    return sum(f1_score(t, r) for t, r in zip(truths, results)) / len(workload)
+
+
+class TestGreedyQDTS:
+    def test_budget_respected(self, small_db, small_workload):
+        budget = small_db.budget_for_ratio(0.4)
+        simplified = greedy_qdts(small_db, budget, small_workload)
+        assert simplified.total_points == budget
+
+    def test_rejects_infeasible_budget(self, small_db, small_workload):
+        with pytest.raises(ValueError):
+            greedy_qdts(small_db, 2 * len(small_db) - 1, small_workload)
+
+    def test_perfect_on_training_workload_with_enough_budget(
+        self, small_db, small_workload
+    ):
+        """Enough budget for coverage ⇒ training queries answer exactly."""
+        simplified = greedy_qdts_ratio(small_db, 0.6, small_workload)
+        assert workload_f1(small_db, simplified, small_workload) == 1.0
+
+    def test_beats_uniform_on_training_workload(self, small_db, small_workload):
+        from repro.baselines import uniform_simplify_database
+
+        ratio = 0.25
+        greedy = greedy_qdts_ratio(small_db, ratio, small_workload)
+        uniform = uniform_simplify_database(small_db, ratio)
+        assert workload_f1(small_db, greedy, small_workload) >= workload_f1(
+            small_db, uniform, small_workload
+        )
+
+    def test_spends_leftover_budget(self, small_db):
+        """A workload that needs few points still honours the full budget."""
+        # One tiny query around a single known point.
+        centre = small_db[0].points[1]
+        workload = RangeQueryWorkload.from_centres(
+            centre[None, :], 1.0, 1.0
+        )
+        budget = small_db.budget_for_ratio(0.5)
+        simplified = greedy_qdts(small_db, budget, workload)
+        assert simplified.total_points == budget
+
+    def test_prefers_point_covering_more_queries(self):
+        """One point inside two query boxes beats two single-box points."""
+        # Trajectory passing through (0,0) .. (10,10); queries overlap at (5,5).
+        t = np.arange(5.0)
+        points = np.column_stack([t * 2.5, t * 2.5, t])
+        db = TrajectoryDatabase([Trajectory(points)])
+        shared = points[2]  # (5, 5, 2)
+        workload = RangeQueryWorkload.from_centres(
+            np.stack([shared, shared]), 2.0, 2.0
+        )
+        simplified = greedy_qdts(db, 3, workload)
+        kept_rows = {tuple(r) for r in simplified[0].points}
+        assert tuple(shared) in kept_rows
+
+    def test_deterministic_given_rng(self, small_db, small_workload):
+        a = greedy_qdts_ratio(
+            small_db, 0.3, small_workload, rng=np.random.default_rng(1)
+        )
+        b = greedy_qdts_ratio(
+            small_db, 0.3, small_workload, rng=np.random.default_rng(1)
+        )
+        for ta, tb in zip(a, b):
+            assert np.array_equal(ta.points, tb.points)
+
+    def test_endpoints_always_present(self, small_db, small_workload):
+        simplified = greedy_qdts_ratio(small_db, 0.3, small_workload)
+        for orig, simp in zip(small_db, simplified):
+            assert np.array_equal(simp.points[0], orig.points[0])
+            assert np.array_equal(simp.points[-1], orig.points[-1])
+
+    def test_matches_exhaustive_single_insertion(self):
+        """With budget for exactly one extra point, greedy picks the point
+        whose insertion maximizes workload F1 (verified exhaustively)."""
+        db = TrajectoryDatabase(
+            [make_trajectory(n=8, seed=s, traj_id=s) for s in range(3)]
+        )
+        workload = RangeQueryWorkload.from_data_distribution(db, 6, seed=4)
+        budget = 2 * len(db) + 1
+        greedy = greedy_qdts(db, budget, workload, rng=np.random.default_rng(0))
+        greedy_score = workload_f1(db, greedy, workload)
+
+        best = 0.0
+        for traj in db:
+            for idx in range(1, len(traj) - 1):
+                candidate = TrajectoryDatabase(
+                    [
+                        t.subsample(
+                            [0, idx, len(t) - 1]
+                            if t.traj_id == traj.traj_id
+                            else [0, len(t) - 1]
+                        )
+                        for t in db
+                    ]
+                )
+                best = max(best, workload_f1(db, candidate, workload))
+        assert greedy_score >= best - 1e-9

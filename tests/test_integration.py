@@ -1,0 +1,152 @@
+"""End-to-end integration tests crossing module boundaries.
+
+These exercise the full pipeline the benchmarks run: generate data ->
+train RL4QDTS -> simplify -> evaluate against baselines — at miniature
+scale, asserting structural properties rather than absolute scores.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    RL4QDTS,
+    RangeQueryWorkload,
+    all_baselines,
+    simplify_database,
+    synthetic_database,
+)
+from repro.baselines import RLTSPolicy, get_baseline, skyline
+from repro.core import RL4QDTSConfig
+from repro.eval import QueryAccuracyEvaluator, QuerySuiteConfig, query_deformation
+
+
+@pytest.fixture(scope="module")
+def pipeline_db():
+    return synthetic_database("chengdu", n_trajectories=30, points_scale=0.5, seed=21)
+
+
+@pytest.fixture(scope="module")
+def pipeline_evaluator(pipeline_db):
+    return QueryAccuracyEvaluator(
+        pipeline_db,
+        QuerySuiteConfig(
+            n_range_queries=25,
+            n_knn_queries=4,
+            n_similarity_queries=4,
+            clustering_subset=8,
+            seed=2,
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def pipeline_model(pipeline_db):
+    config = RL4QDTSConfig(
+        start_level=4,
+        end_level=7,
+        delta=10,
+        n_training_queries=40,
+        n_inference_queries=80,
+        episodes=2,
+        n_train_databases=1,
+        train_db_size=15,
+        train_budget_ratio=0.1,
+        seed=4,
+    )
+    return RL4QDTS.train(pipeline_db, config=config)
+
+
+class TestFullPipeline:
+    def test_rl4qdts_end_to_end(self, pipeline_db, pipeline_model, pipeline_evaluator):
+        simplified = pipeline_model.simplify(pipeline_db, budget_ratio=0.15, seed=9)
+        assert simplified.total_points == pipeline_db.budget_for_ratio(0.15)
+        scores = pipeline_evaluator.evaluate(simplified)
+        assert all(0.0 <= v <= 1.0 for v in scores.values())
+        # A 15% budget should comfortably beat the endpoints-only floor.
+        floor = pipeline_db.map_simplify(lambda t: [0, len(t) - 1])
+        floor_scores = pipeline_evaluator.evaluate(floor, ("range",))
+        assert scores["range"] >= floor_scores["range"] - 1e-9
+
+    def test_all_25_baselines_run_at_miniature_scale(self, pipeline_db):
+        policy = RLTSPolicy("sed", seed=0)
+        budget = pipeline_db.budget_for_ratio(0.2)
+        for spec in all_baselines():
+            simplified = simplify_database(
+                pipeline_db, 0.2, spec, rlts_policy=policy
+            )
+            assert len(simplified) == len(pipeline_db)
+            assert simplified.total_points <= max(budget, 2 * len(pipeline_db))
+
+    def test_skyline_pipeline(self, pipeline_db, pipeline_evaluator):
+        """Score a few baselines on two tasks and select the skyline."""
+        names = ["Top-Down(E,SED)", "Bottom-Up(E,SED)", "Top-Down(E,PED)"]
+        scores = {}
+        for name in names:
+            simplified = simplify_database(pipeline_db, 0.1, get_baseline(name))
+            per_task = pipeline_evaluator.evaluate(
+                simplified, ("range", "similarity")
+            )
+            scores[name] = [per_task["range"], per_task["similarity"]]
+        selected = skyline(scores)
+        assert 1 <= len(selected) <= len(names)
+
+    def test_deformation_decreases_with_budget(self, pipeline_db):
+        wl = RangeQueryWorkload.from_data_distribution(pipeline_db, 15, seed=3)
+        spec = get_baseline("Bottom-Up(E,SED)")
+        light = simplify_database(pipeline_db, 0.5, spec)
+        heavy = simplify_database(pipeline_db, 0.05, spec)
+        assert query_deformation(pipeline_db, light, wl) <= query_deformation(
+            pipeline_db, heavy, wl
+        )
+
+    def test_more_budget_helps_rl4qdts(self, pipeline_db, pipeline_model, pipeline_evaluator):
+        small = pipeline_model.simplify(pipeline_db, budget_ratio=0.05, seed=9)
+        large = pipeline_model.simplify(pipeline_db, budget_ratio=0.4, seed=9)
+        f1_small = pipeline_evaluator.evaluate(small, ("range",))["range"]
+        f1_large = pipeline_evaluator.evaluate(large, ("range",))["range"]
+        assert f1_large >= f1_small - 0.02
+
+    def test_workload_knowledge_is_never_harmful(
+        self, pipeline_db, pipeline_model, pipeline_evaluator
+    ):
+        """Annotating with the evaluation workload itself (perfect knowledge)
+        should do at least as well as a fresh sample, up to noise."""
+        known = pipeline_model.simplify(
+            pipeline_db,
+            budget_ratio=0.1,
+            seed=9,
+            workload=pipeline_evaluator.workload,
+        )
+        blind = pipeline_model.simplify(pipeline_db, budget_ratio=0.1, seed=9)
+        f1_known = pipeline_evaluator.evaluate(known, ("range",))["range"]
+        f1_blind = pipeline_evaluator.evaluate(blind, ("range",))["range"]
+        assert f1_known >= f1_blind - 0.15
+
+    def test_model_roundtrip_through_disk(self, pipeline_db, pipeline_model, tmp_path):
+        path = tmp_path / "model.npz"
+        pipeline_model.save(path)
+        loaded = RL4QDTS.load(path)
+        a = pipeline_model.simplify(pipeline_db, budget_ratio=0.1, seed=5)
+        b = loaded.simplify(pipeline_db, budget_ratio=0.1, seed=5)
+        for ta, tb in zip(a, b):
+            assert np.array_equal(ta.points, tb.points)
+
+
+class TestCrossProfileSmoke:
+    @pytest.mark.parametrize("profile", ["geolife", "tdrive", "osm"])
+    def test_other_profiles_run_through_pipeline(self, profile):
+        db = synthetic_database(profile, n_trajectories=10, points_scale=0.02, seed=3)
+        spec = get_baseline("Top-Down(E,SED)")
+        simplified = simplify_database(db, 0.3, spec)
+        evaluator = QueryAccuracyEvaluator(
+            db,
+            QuerySuiteConfig(
+                n_range_queries=8,
+                n_knn_queries=2,
+                n_similarity_queries=2,
+                clustering_subset=4,
+                seed=1,
+            ),
+        )
+        scores = evaluator.evaluate(simplified, ("range", "knn_edr"))
+        assert all(0.0 <= v <= 1.0 for v in scores.values())

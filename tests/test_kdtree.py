@@ -1,0 +1,185 @@
+"""Tests for the kd-tree index and the tree-index invariants both trees share."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import RL4QDTS, RL4QDTSConfig
+from repro.data import Trajectory, TrajectoryDatabase
+from repro.index import KDTree, Octree, TREE_INDEXES
+from repro.workloads import RangeQueryWorkload
+from tests.conftest import make_trajectory
+
+
+@pytest.fixture(params=["octree", "kdtree"])
+def tree(request, small_db):
+    return TREE_INDEXES[request.param](small_db, max_depth=6, leaf_capacity=8)
+
+
+class TestSharedTreeInvariants:
+    def test_root_counts(self, tree, small_db):
+        assert tree.root.n_points == small_db.total_points
+        assert tree.root.n_trajectories == len(small_db)
+        assert tree.root.level == 1
+
+    def test_collect_points_is_complete(self, tree, small_db):
+        entries = tree.collect_points(tree.root)
+        assert len(entries) == small_db.total_points
+        assert len(set(entries)) == len(entries)
+        for tid, idx in entries:
+            assert 0 <= idx < len(small_db[tid])
+
+    def test_children_partition_parent(self, tree):
+        for node in tree.iter_nodes():
+            if node.is_leaf:
+                continue
+            child_points = sum(
+                c.n_points for c in node.children if c is not None
+            )
+            assert child_points == node.n_points
+
+    def test_child_boxes_tile_parent(self, tree):
+        for node in tree.iter_nodes():
+            if node.is_leaf:
+                continue
+            volume = sum(
+                c.box.volume for c in node.children if c is not None
+            )
+            assert volume <= node.box.volume + 1e-6 * node.box.volume
+            for child in node.children:
+                if child is not None:
+                    assert node.box.contains_box(child.box)
+
+    def test_points_inside_their_node_box(self, tree, small_db):
+        for node in tree.iter_nodes():
+            if not node.is_leaf:
+                continue
+            for tid, idx in node.entries:
+                x, y, t = small_db[tid].points[idx]
+                assert node.box.contains_point(x, y, t)
+
+    def test_level_listing_tiles_data(self, tree, small_db):
+        for level in (1, 2, 3, 4):
+            total = sum(n.n_points for n in tree.nodes_at_level(level))
+            assert total == small_db.total_points
+
+    def test_max_depth_respected(self, tree):
+        assert tree.depth() <= tree.max_depth
+
+    def test_annotate_queries_root_counts_all(self, tree, small_db):
+        workload = RangeQueryWorkload.from_data_distribution(small_db, 9, seed=3)
+        tree.annotate_queries(workload.boxes)
+        # Every query centre is a data point, so every box intersects the root.
+        assert tree.root.n_queries == 9
+
+    def test_annotate_queries_child_monotone(self, tree, small_db):
+        workload = RangeQueryWorkload.from_data_distribution(small_db, 9, seed=3)
+        tree.annotate_queries(workload.boxes)
+        for node in tree.iter_nodes():
+            if node.is_leaf:
+                continue
+            for child in node.children:
+                if child is not None:
+                    assert child.n_queries <= node.n_queries
+
+    def test_child_fractions_shape_and_range(self, tree):
+        for node in tree.iter_nodes():
+            state = tree.child_fractions(node)
+            assert state.shape == (16,)
+            assert (state >= 0.0).all() and (state <= 1.0).all()
+
+    def test_sample_node_levels(self, tree):
+        rng = np.random.default_rng(0)
+        for by in ("queries", "points"):
+            node = tree.sample_node_at_level(3, rng, by=by)
+            assert node.level <= 3
+
+    def test_sample_rejects_unknown_weight(self, tree):
+        with pytest.raises(ValueError):
+            tree.sample_node_at_level(2, np.random.default_rng(0), by="mass")
+
+    def test_invalid_parameters(self, small_db):
+        for cls in TREE_INDEXES.values():
+            with pytest.raises(ValueError):
+                cls(small_db, max_depth=0)
+            with pytest.raises(ValueError):
+                cls(small_db, leaf_capacity=0)
+
+
+class TestKDTreeSpecifics:
+    def test_balanced_split_on_skewed_data(self):
+        """Median splits keep sibling point masses comparable on skewed data."""
+        rng = np.random.default_rng(7)
+        # 95% of points in a tiny corner hotspot, 5% spread out.
+        hot = rng.normal(0.05, 0.01, size=(950, 2))
+        cold = rng.uniform(0.0, 1.0, size=(50, 2))
+        xy = np.vstack([hot, cold])
+        t = np.arange(1000.0)
+        trajs = [
+            Trajectory(np.column_stack([xy[i : i + 100], t[i : i + 100]]))
+            for i in range(0, 1000, 100)
+        ]
+        db = TrajectoryDatabase(trajs)
+        kd = KDTree(db, max_depth=3, leaf_capacity=8)
+        oct_ = Octree(db, max_depth=3, leaf_capacity=8)
+
+        def imbalance(tree):
+            node = tree.root
+            counts = [c.n_points for c in node.children if c is not None]
+            return max(counts) / max(1, min(counts)) if len(counts) > 1 else np.inf
+
+        assert imbalance(kd) <= imbalance(oct_)
+
+    def test_kdtree_boxes_differ_from_octree(self, small_db):
+        kd = KDTree(small_db, max_depth=4, leaf_capacity=4)
+        oct_ = Octree(small_db, max_depth=4, leaf_capacity=4)
+        kd_boxes = {n.box for n in kd.iter_nodes() if n.level == 2}
+        oct_boxes = {n.box for n in oct_.iter_nodes() if n.level == 2}
+        assert kd_boxes != oct_boxes
+
+    def test_identical_points_terminate(self):
+        """Fully duplicated coordinates must not recurse forever."""
+        points = np.column_stack(
+            [np.full(50, 1.0), np.full(50, 2.0), np.arange(50.0)]
+        )
+        db = TrajectoryDatabase([Trajectory(points)])
+        kd = KDTree(db, max_depth=5, leaf_capacity=4)
+        assert kd.depth() <= 5
+        assert len(kd.collect_points(kd.root)) == 50
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_property_partition(self, seed):
+        db = TrajectoryDatabase(
+            [make_trajectory(n=20, seed=seed + i, traj_id=i) for i in range(4)]
+        )
+        kd = KDTree(db, max_depth=5, leaf_capacity=4)
+        entries = kd.collect_points(kd.root)
+        assert len(entries) == db.total_points
+        assert len(set(entries)) == len(entries)
+
+
+class TestRL4QDTSWithKDTree:
+    def test_end_to_end_simplification(self, small_db):
+        config = RL4QDTSConfig(
+            index="kdtree",
+            start_level=2,
+            end_level=4,
+            delta=10,
+            n_training_queries=10,
+            n_inference_queries=20,
+            episodes=1,
+            n_train_databases=1,
+            train_db_size=8,
+        )
+        model = RL4QDTS.train(small_db, config=config)
+        simplified = model.simplify(small_db, budget_ratio=0.5)
+        assert simplified.total_points <= small_db.budget_for_ratio(0.5)
+        assert len(simplified) == len(small_db)
+
+    def test_config_rejects_unknown_index(self):
+        with pytest.raises(ValueError):
+            RL4QDTSConfig(index="rtree")

@@ -1,0 +1,129 @@
+"""Tests for the extension quality metrics (Jaccard, Kendall tau, ARI)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.queries import (
+    adjusted_rand_index,
+    f1_score,
+    jaccard,
+    kendall_tau,
+)
+
+
+class TestJaccard:
+    def test_identical(self):
+        assert jaccard({1, 2, 3}, {1, 2, 3}) == 1.0
+
+    def test_disjoint(self):
+        assert jaccard({1, 2}, {3, 4}) == 0.0
+
+    def test_partial(self):
+        assert jaccard({1, 2, 3}, {2, 3, 4}) == pytest.approx(0.5)
+
+    def test_both_empty(self):
+        assert jaccard(set(), set()) == 1.0
+
+    def test_one_empty(self):
+        assert jaccard({1}, set()) == 0.0
+
+    @given(
+        a=st.sets(st.integers(0, 30), max_size=15),
+        b=st.sets(st.integers(0, 30), max_size=15),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_bounds_and_f1_relation(self, a, b):
+        j = jaccard(a, b)
+        assert 0.0 <= j <= 1.0
+        # F1 = 2J / (1 + J), so F1 and Jaccard are monotone-equivalent.
+        assert f1_score(a, b) == pytest.approx(2 * j / (1 + j))
+
+    def test_symmetry(self):
+        assert jaccard({1, 2}, {2, 3}) == jaccard({2, 3}, {1, 2})
+
+
+class TestKendallTau:
+    def test_identical_rankings(self):
+        assert kendall_tau([1, 2, 3, 4], [1, 2, 3, 4]) == 1.0
+
+    def test_reversed_rankings(self):
+        assert kendall_tau([1, 2, 3, 4], [4, 3, 2, 1]) == -1.0
+
+    def test_one_swap(self):
+        # 1 discordant of 6 pairs: (6-2*1)/6.
+        assert kendall_tau([1, 2, 3, 4], [2, 1, 3, 4]) == pytest.approx(4 / 6)
+
+    def test_partial_overlap_ignores_missing(self):
+        tau = kendall_tau([1, 2, 3, 99], [1, 2, 3, 42])
+        assert tau == 1.0
+
+    def test_too_small_overlap_scores_zero(self):
+        assert kendall_tau([1, 2], [3, 4]) == 0.0
+        assert kendall_tau([1, 2], [1, 5]) == 0.0
+
+    @given(perm_seed=st.integers(0, 1000), n=st.integers(2, 12))
+    @settings(max_examples=40, deadline=None)
+    def test_property_bounds_and_antisymmetry(self, perm_seed, n):
+        rng = np.random.default_rng(perm_seed)
+        truth = list(range(n))
+        pred = list(rng.permutation(n))
+        tau = kendall_tau(truth, pred)
+        assert -1.0 <= tau <= 1.0
+        assert kendall_tau(truth, pred[::-1]) == pytest.approx(-tau)
+
+
+class TestAdjustedRandIndex:
+    def test_identical_partitions(self):
+        clusters = [[1, 2, 3], [4, 5], [6]]
+        assert adjusted_rand_index(clusters, clusters) == 1.0
+
+    def test_label_permutation_invariant(self):
+        a = [[1, 2], [3, 4]]
+        b = [[3, 4], [1, 2]]
+        assert adjusted_rand_index(a, b) == 1.0
+
+    def test_total_disagreement_is_low(self):
+        a = [[1, 2], [3, 4]]
+        b = [[1, 3], [2, 4]]
+        assert adjusted_rand_index(a, b) < 0.01
+
+    def test_near_zero_for_random_partitions(self):
+        rng = np.random.default_rng(0)
+        values = []
+        for _ in range(30):
+            labels_a = rng.integers(0, 3, size=60)
+            labels_b = rng.integers(0, 3, size=60)
+            a = [list(np.flatnonzero(labels_a == k)) for k in range(3)]
+            b = [list(np.flatnonzero(labels_b == k)) for k in range(3)]
+            values.append(adjusted_rand_index(a, b))
+        assert abs(float(np.mean(values))) < 0.05
+
+    def test_ignores_items_missing_from_one_side(self):
+        a = [[1, 2, 3]]
+        b = [[1, 2], [99]]
+        # Shared items {1, 2} are co-clustered in both.
+        assert adjusted_rand_index(a, b) == 1.0
+
+    def test_degenerate_overlap(self):
+        assert adjusted_rand_index([[1]], [[1]]) == 1.0
+        assert adjusted_rand_index([[1]], [[2]]) == 1.0  # no shared pairs
+
+    def test_single_cluster_everywhere(self):
+        a = [[1, 2, 3, 4]]
+        assert adjusted_rand_index(a, a) == 1.0
+
+    @given(seed=st.integers(0, 500), n=st.integers(4, 20))
+    @settings(max_examples=30, deadline=None)
+    def test_property_self_similarity(self, seed, n):
+        rng = np.random.default_rng(seed)
+        labels = rng.integers(0, 4, size=n)
+        clusters = [
+            list(np.flatnonzero(labels == k))
+            for k in range(4)
+            if (labels == k).any()
+        ]
+        assert adjusted_rand_index(clusters, clusters) == pytest.approx(1.0)

@@ -1,0 +1,141 @@
+"""Tests for the online simplifiers (SQUISH, dead reckoning) and transforms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import dead_reckoning, squish
+from repro.data import (
+    Trajectory,
+    add_gps_noise,
+    drop_points_randomly,
+    resample_regular,
+)
+from repro.errors import trajectory_error
+from tests.conftest import make_trajectory
+
+
+class TestSquish:
+    def test_budget_respected(self, random_trajectory):
+        for budget in (2, 5, 12):
+            kept = squish(random_trajectory, budget)
+            assert len(kept) == budget
+            assert kept[0] == 0 and kept[-1] == len(random_trajectory) - 1
+
+    def test_budget_above_length_keeps_all(self, random_trajectory):
+        assert squish(random_trajectory, 999) == list(
+            range(len(random_trajectory))
+        )
+
+    def test_tiny_budget_rejected(self, random_trajectory):
+        with pytest.raises(ValueError):
+            squish(random_trajectory, 1)
+
+    def test_straight_line_zero_error(self, straight_line_trajectory):
+        kept = squish(straight_line_trajectory, 4)
+        assert trajectory_error(
+            straight_line_trajectory, kept, "sed"
+        ) == pytest.approx(0.0, abs=1e-9)
+
+    def test_keeps_prominent_corner(self):
+        pts = np.array(
+            [[0, 0, 0], [1, 0, 1], [2, 0, 2], [3, 50, 3], [4, 0, 4], [5, 0, 5]],
+            dtype=float,
+        )
+        kept = squish(pts, 4)
+        assert 3 in kept
+
+    def test_streaming_quality_close_to_batch(self, random_trajectory):
+        """SQUISH can't beat offline Bottom-Up, but stays in its ballpark."""
+        from repro.baselines import bottom_up
+
+        budget = 8
+        online_err = trajectory_error(
+            random_trajectory, squish(random_trajectory, budget), "sed"
+        )
+        batch_err = trajectory_error(
+            random_trajectory, bottom_up(random_trajectory, budget, "sed"), "sed"
+        )
+        assert online_err <= 5.0 * batch_err + 1e-9
+
+
+class TestDeadReckoning:
+    def test_endpoints_always_kept(self, random_trajectory):
+        kept = dead_reckoning(random_trajectory, 1e12)
+        assert kept == [0, len(random_trajectory) - 1]
+
+    def test_zero_threshold_keeps_deviating_points(self, zigzag_trajectory):
+        kept = dead_reckoning(zigzag_trajectory, 0.0)
+        assert len(kept) > len(zigzag_trajectory) // 2
+
+    def test_constant_velocity_collapses(self, straight_line_trajectory):
+        kept = dead_reckoning(straight_line_trajectory, 0.1)
+        assert kept == [0, len(straight_line_trajectory) - 1]
+
+    def test_threshold_monotone(self, random_trajectory):
+        loose = dead_reckoning(random_trajectory, 50.0)
+        tight = dead_reckoning(random_trajectory, 5.0)
+        assert len(loose) <= len(tight)
+
+    def test_negative_threshold_rejected(self, random_trajectory):
+        with pytest.raises(ValueError):
+            dead_reckoning(random_trajectory, -1.0)
+
+
+class TestTransforms:
+    def test_noise_changes_positions_not_times(self, small_db):
+        noisy = add_gps_noise(small_db, sigma=5.0, seed=0)
+        assert len(noisy) == len(small_db)
+        for clean, dirty in zip(small_db, noisy):
+            assert np.array_equal(clean.times, dirty.times)
+            assert not np.allclose(clean.xy, dirty.xy)
+
+    def test_zero_sigma_identity(self, small_db):
+        noisy = add_gps_noise(small_db, sigma=0.0, seed=0)
+        for clean, dirty in zip(small_db, noisy):
+            assert np.allclose(clean.points, dirty.points)
+
+    def test_negative_sigma_rejected(self, small_db):
+        with pytest.raises(ValueError):
+            add_gps_noise(small_db, sigma=-1.0)
+
+    def test_resample_regular_grid(self):
+        t = Trajectory([[0, 0, 0], [10, 0, 10]])
+        resampled = resample_regular(t, 2.0)
+        assert np.allclose(np.diff(resampled.times), 2.0)
+        # Interpolated positions sit on the segment.
+        assert np.allclose(resampled.points[:, 1], 0.0)
+        assert np.allclose(resampled.points[:, 0], resampled.times)
+
+    def test_resample_preserves_span(self, random_trajectory):
+        resampled = resample_regular(random_trajectory, 3.0)
+        assert resampled.times[0] == random_trajectory.times[0]
+        assert resampled.times[-1] == random_trajectory.times[-1]
+
+    def test_resample_bad_interval(self, random_trajectory):
+        with pytest.raises(ValueError):
+            resample_regular(random_trajectory, 0.0)
+
+    def test_drop_points_randomly(self, small_db):
+        dropped = drop_points_randomly(small_db, 0.5, seed=1)
+        assert dropped.total_points < small_db.total_points
+        # Endpoints always survive.
+        for orig, new in zip(small_db, dropped):
+            assert np.array_equal(new.points[0], orig.points[0])
+            assert np.array_equal(new.points[-1], orig.points[-1])
+
+    def test_drop_fraction_validated(self, small_db):
+        with pytest.raises(ValueError):
+            drop_points_randomly(small_db, 1.0)
+        with pytest.raises(ValueError):
+            drop_points_randomly(small_db, -0.1)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 200), budget=st.integers(2, 15))
+def test_squish_always_valid(seed, budget):
+    traj = make_trajectory(n=20, seed=seed)
+    kept = squish(traj, budget)
+    assert kept[0] == 0 and kept[-1] == 19
+    assert kept == sorted(set(kept))
+    assert len(kept) == min(budget, 20)

@@ -1,0 +1,212 @@
+"""Tests for the exact DP simplifiers — and, through them, the heuristics.
+
+The optimal solvers double as oracles: no budget-respecting heuristic may
+achieve a lower trajectory error than :func:`optimal_min_error`, and no
+tolerance-respecting simplifier may keep fewer points than
+:func:`optimal_min_size`.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    bottom_up,
+    error_bounded_simplify,
+    optimal_min_error,
+    optimal_min_error_database,
+    optimal_min_size,
+    top_down,
+)
+from repro.data import Trajectory
+from repro.errors import trajectory_error
+from tests.conftest import make_trajectory
+
+MEASURES = ("sed", "ped", "dad", "sad")
+
+
+def brute_force_min_error(traj: Trajectory, budget: int, measure: str) -> float:
+    """Exhaustive minimum over all simplifications with exactly <= budget points."""
+    n = len(traj)
+    interior = range(1, n - 1)
+    best = float("inf")
+    for m in range(0, budget - 1):
+        for combo in itertools.combinations(interior, m):
+            idx = [0, *combo, n - 1]
+            err = trajectory_error(traj, idx, measure=measure)
+            best = min(best, err)
+    return best
+
+
+class TestOptimalMinError:
+    @pytest.mark.parametrize("measure", MEASURES)
+    def test_matches_brute_force(self, measure):
+        traj = make_trajectory(n=9, seed=3)
+        for budget in (2, 3, 4, 5):
+            result = optimal_min_error(traj, budget, measure)
+            expected = brute_force_min_error(traj, budget, measure)
+            assert result.error == pytest.approx(expected, abs=1e-9)
+
+    def test_budget_two_keeps_endpoints_only(self, random_trajectory):
+        result = optimal_min_error(random_trajectory, 2)
+        assert result.indices == (0, len(random_trajectory) - 1)
+
+    def test_full_budget_is_lossless(self, random_trajectory):
+        n = len(random_trajectory)
+        result = optimal_min_error(random_trajectory, n)
+        assert result.indices == tuple(range(n))
+        assert result.error == 0.0
+
+    def test_budget_above_length_clamps(self, random_trajectory):
+        result = optimal_min_error(random_trajectory, 10_000)
+        assert result.error == 0.0
+
+    def test_error_decreases_with_budget(self):
+        traj = make_trajectory(n=20, seed=7)
+        errors = [optimal_min_error(traj, b).error for b in range(2, 12)]
+        assert all(a >= b - 1e-12 for a, b in zip(errors, errors[1:]))
+
+    def test_straight_line_is_free(self, straight_line_trajectory):
+        result = optimal_min_error(straight_line_trajectory, 2)
+        assert result.error == pytest.approx(0.0, abs=1e-9)
+
+    def test_indices_sorted_with_endpoints(self):
+        traj = make_trajectory(n=15, seed=1)
+        result = optimal_min_error(traj, 5)
+        idx = result.indices
+        assert idx[0] == 0 and idx[-1] == len(traj) - 1
+        assert list(idx) == sorted(set(idx))
+        assert len(idx) <= 5
+
+    def test_reported_error_matches_recomputation(self):
+        traj = make_trajectory(n=18, seed=9)
+        for measure in MEASURES:
+            result = optimal_min_error(traj, 5, measure)
+            recomputed = trajectory_error(
+                traj, result.indices, measure=measure
+            )
+            assert result.error == pytest.approx(recomputed, abs=1e-9)
+
+    def test_rejects_tiny_budget(self, random_trajectory):
+        with pytest.raises(ValueError):
+            optimal_min_error(random_trajectory, 1)
+
+    def test_accepts_raw_array(self):
+        traj = make_trajectory(n=10, seed=2)
+        from_array = optimal_min_error(traj.points, 4)
+        from_traj = optimal_min_error(traj, 4)
+        assert from_array == from_traj
+
+
+class TestHeuristicsNeverBeatOptimal:
+    @pytest.mark.parametrize("measure", ("sed", "ped"))
+    @pytest.mark.parametrize("seed", range(5))
+    def test_top_down_and_bottom_up(self, measure, seed):
+        traj = make_trajectory(n=16, seed=seed)
+        budget = 5
+        optimal = optimal_min_error(traj, budget, measure).error
+        for heuristic in (top_down, bottom_up):
+            idx = heuristic(traj, budget, measure=measure)
+            err = trajectory_error(traj, idx, measure=measure)
+            assert err >= optimal - 1e-9
+
+    @given(seed=st.integers(0, 10_000), budget=st.integers(2, 8))
+    @settings(max_examples=25, deadline=None)
+    def test_property_top_down_dominated(self, seed, budget):
+        traj = make_trajectory(n=12, seed=seed)
+        optimal = optimal_min_error(traj, budget, "sed").error
+        idx = top_down(traj, budget, measure="sed")
+        err = trajectory_error(traj, idx, measure="sed")
+        assert err >= optimal - 1e-9
+
+
+class TestOptimalMinSize:
+    def test_zero_tolerance_on_noisy_data_keeps_everything(self):
+        traj = make_trajectory(n=12, seed=4)
+        result = optimal_min_size(traj, 0.0)
+        assert result.indices == tuple(range(len(traj)))
+
+    def test_straight_line_collapses_to_endpoints(self, straight_line_trajectory):
+        result = optimal_min_size(straight_line_trajectory, 1e-9)
+        assert result.indices == (0, len(straight_line_trajectory) - 1)
+
+    def test_result_respects_tolerance(self):
+        traj = make_trajectory(n=25, seed=6)
+        for tol in (0.5, 2.0, 10.0, 100.0):
+            result = optimal_min_size(traj, tol)
+            assert result.error <= tol + 1e-9
+
+    def test_size_decreases_with_tolerance(self):
+        traj = make_trajectory(n=25, seed=8)
+        sizes = [len(optimal_min_size(traj, tol).indices) for tol in (0.1, 1, 10, 1e4)]
+        assert all(a >= b for a, b in zip(sizes, sizes[1:]))
+        assert sizes[-1] == 2
+
+    def test_greedy_error_bounded_never_smaller(self):
+        for seed in range(5):
+            traj = make_trajectory(n=20, seed=seed)
+            for tol in (1.0, 5.0, 20.0):
+                greedy = error_bounded_simplify(traj, tol, measure="sed")
+                exact = optimal_min_size(traj, tol, "sed")
+                assert len(greedy) >= len(exact.indices)
+
+    def test_duality_with_min_error(self):
+        """min_error at the optimal size cannot exceed the tolerance used."""
+        traj = make_trajectory(n=15, seed=10)
+        tol = 3.0
+        size = len(optimal_min_size(traj, tol).indices)
+        err = optimal_min_error(traj, size).error
+        assert err <= tol + 1e-9
+
+    def test_rejects_negative_tolerance(self, random_trajectory):
+        with pytest.raises(ValueError):
+            optimal_min_size(random_trajectory, -1.0)
+
+    @given(tol=st.floats(0.01, 50.0), seed=st.integers(0, 500))
+    @settings(max_examples=25, deadline=None)
+    def test_property_minimality_via_min_error(self, tol, seed):
+        """One fewer point than the optimum must violate the tolerance."""
+        traj = make_trajectory(n=14, seed=seed)
+        exact = optimal_min_size(traj, tol, "sed")
+        m = len(exact.indices)
+        if m > 2:
+            err_smaller = optimal_min_error(traj, m - 1, "sed").error
+            assert err_smaller > tol
+
+
+class TestOptimalDatabase:
+    def test_ratio_and_structure(self, small_db):
+        simplified = optimal_min_error_database(small_db, 0.4)
+        assert len(simplified) == len(small_db)
+        assert simplified.total_points <= small_db.total_points
+        for orig, simp in zip(small_db, simplified):
+            assert len(simp) <= max(2, int(round(0.4 * len(orig))))
+            assert np.array_equal(simp.points[0], orig.points[0])
+            assert np.array_equal(simp.points[-1], orig.points[-1])
+
+    def test_ratio_one_is_identity(self, small_db):
+        simplified = optimal_min_error_database(small_db, 1.0)
+        assert simplified.total_points == small_db.total_points
+
+    def test_rejects_bad_ratio(self, small_db):
+        with pytest.raises(ValueError):
+            optimal_min_error_database(small_db, 0.0)
+
+    def test_beats_every_heuristic_per_trajectory(self, small_db):
+        from repro.baselines import simplify_database, get_baseline
+
+        ratio = 0.3
+        optimal = optimal_min_error_database(small_db, ratio, "sed")
+        spec = get_baseline("Top-Down(E,SED)")
+        heuristic = simplify_database(small_db, ratio, spec)
+        from repro.errors.segment import _recover_indices
+
+        for orig, opt, heur in zip(small_db, optimal, heuristic):
+            e_opt = trajectory_error(orig, _recover_indices(orig, opt), measure="sed")
+            e_heur = trajectory_error(orig, _recover_indices(orig, heur), measure="sed")
+            assert e_opt <= e_heur + 1e-9

@@ -1,0 +1,222 @@
+"""Tests for the REINFORCE learner and the Double-DQN target variant."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core import RL4QDTS, RL4QDTSConfig
+from repro.rl import (
+    DQNAgent,
+    DQNConfig,
+    REINFORCEAgent,
+    REINFORCEConfig,
+    Transition,
+    masked_softmax,
+)
+
+
+class TestMaskedSoftmax:
+    def test_sums_to_one_over_valid(self):
+        logits = np.array([1.0, 2.0, 3.0, 4.0])
+        mask = np.array([True, False, True, True])
+        probs = masked_softmax(logits, mask)
+        assert probs[1] == 0.0
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_single_valid_action_gets_all_mass(self):
+        probs = masked_softmax(np.zeros(5), np.eye(5, dtype=bool)[2])
+        assert probs[2] == pytest.approx(1.0)
+
+    def test_batch_shape(self):
+        logits = np.zeros((4, 3))
+        mask = np.ones((4, 3), dtype=bool)
+        probs = masked_softmax(logits, mask)
+        assert probs.shape == (4, 3)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_extreme_logits_stable(self):
+        probs = masked_softmax(
+            np.array([1e5, -1e5, 0.0]), np.ones(3, dtype=bool)
+        )
+        assert np.isfinite(probs).all()
+        assert probs[0] == pytest.approx(1.0)
+
+    @given(
+        logits=arrays(
+            float, 6, elements=st.floats(-50, 50, allow_nan=False)
+        ),
+        mask_bits=st.integers(1, 63),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_valid_distribution(self, logits, mask_bits):
+        mask = np.array([(mask_bits >> i) & 1 == 1 for i in range(6)])
+        probs = masked_softmax(logits, mask)
+        assert probs.sum() == pytest.approx(1.0)
+        assert (probs[~mask] == 0.0).all()
+        assert (probs >= 0.0).all()
+
+
+def _make_bandit_transitions(agent, rng, n=64, good_action=1, n_actions=3):
+    """Contextual-free bandit: action `good_action` always pays 1, others 0."""
+    out = []
+    for _ in range(n):
+        state = rng.normal(size=agent.state_dim)
+        action = agent.act(state, np.ones(n_actions, dtype=bool))
+        reward = 1.0 if action == good_action else 0.0
+        out.append(
+            Transition(
+                state, action, reward, state,
+                np.ones(n_actions, dtype=bool), True,
+                np.ones(n_actions, dtype=bool),
+            )
+        )
+    return out
+
+
+class TestREINFORCEAgent:
+    def test_act_respects_mask(self):
+        agent = REINFORCEAgent(4, 3, seed=0)
+        mask = np.array([False, True, False])
+        for _ in range(20):
+            assert agent.act(np.zeros(4), mask) == 1
+
+    def test_act_raises_on_empty_mask(self):
+        agent = REINFORCEAgent(4, 3, seed=0)
+        with pytest.raises(ValueError):
+            agent.act(np.zeros(4), np.zeros(3, dtype=bool))
+
+    def test_greedy_act_deterministic(self):
+        agent = REINFORCEAgent(4, 3, seed=0)
+        state = np.arange(4.0)
+        actions = {agent.act(state, greedy=True) for _ in range(10)}
+        assert len(actions) == 1
+
+    def test_learn_defers_below_min_batch(self):
+        agent = REINFORCEAgent(4, 3, REINFORCEConfig(min_batch=8), seed=0)
+        agent.remember(
+            Transition(np.zeros(4), 0, 1.0, np.zeros(4), np.ones(3, bool), True)
+        )
+        assert agent.learn() is None
+
+    def test_learns_a_bandit(self):
+        """The policy should concentrate on the rewarded action."""
+        rng = np.random.default_rng(1)
+        agent = REINFORCEAgent(
+            4, 3, REINFORCEConfig(lr=0.05, entropy_weight=0.0), seed=1
+        )
+        for _ in range(60):
+            for tr in _make_bandit_transitions(agent, rng, n=16):
+                agent.remember(tr)
+            agent.learn()
+        picks = [
+            agent.act(rng.normal(size=4), greedy=True) for _ in range(20)
+        ]
+        assert np.mean([p == 1 for p in picks]) >= 0.9
+
+    def test_accepts_dqn_config(self):
+        agent = REINFORCEAgent(4, 3, DQNConfig(hidden=10, lr=0.005), seed=0)
+        assert agent.config.hidden == 10
+        assert agent.config.lr == 0.005
+
+    def test_parameters_roundtrip(self):
+        a = REINFORCEAgent(4, 3, seed=0)
+        b = REINFORCEAgent(4, 3, seed=99)
+        b.set_parameters(a.get_parameters())
+        state = np.arange(4.0)
+        assert np.allclose(
+            a.policy_net.predict(state), b.policy_net.predict(state)
+        )
+
+    def test_transitions_without_mask_default_to_full(self):
+        agent = REINFORCEAgent(2, 2, REINFORCEConfig(min_batch=4), seed=0)
+        for i in range(4):
+            agent.remember(
+                Transition(
+                    np.zeros(2), i % 2, 1.0, np.zeros(2), np.ones(2, bool), True
+                )
+            )
+        assert agent.learn() is not None
+
+    def test_decay_epsilon_is_noop(self):
+        agent = REINFORCEAgent(4, 3, seed=0)
+        agent.decay_epsilon()
+        assert agent.epsilon == 0.0
+
+
+class TestDoubleDQN:
+    def test_flag_changes_learning_but_stays_finite(self):
+        rng = np.random.default_rng(0)
+
+        def run(double):
+            agent = DQNAgent(
+                4, 3,
+                DQNConfig(batch_size=8, learn_start=8, double_dqn=double),
+                seed=0,
+            )
+            for tr in _make_bandit_transitions(agent, rng, n=32):
+                agent.remember(tr)
+            losses = [agent.learn() for _ in range(20)]
+            return [loss for loss in losses if loss is not None]
+
+        losses_single = run(False)
+        losses_double = run(True)
+        assert losses_single and losses_double
+        assert all(np.isfinite(losses_single))
+        assert all(np.isfinite(losses_double))
+
+    def test_double_dqn_solves_bandit(self):
+        rng = np.random.default_rng(3)
+        agent = DQNAgent(
+            4, 3,
+            DQNConfig(batch_size=16, learn_start=16, double_dqn=True,
+                      epsilon_decay=0.9),
+            seed=3,
+        )
+        for _ in range(40):
+            for tr in _make_bandit_transitions(agent, rng, n=8):
+                agent.remember(tr)
+            agent.learn()
+            agent.decay_epsilon()
+        picks = [
+            agent.act(rng.normal(size=4), greedy=True) for _ in range(20)
+        ]
+        assert np.mean([p == 1 for p in picks]) >= 0.9
+
+
+class TestRL4QDTSWithREINFORCE:
+    @pytest.fixture(scope="class")
+    def tiny_config(self):
+        return RL4QDTSConfig(
+            learner="reinforce",
+            start_level=2,
+            end_level=4,
+            delta=10,
+            n_training_queries=10,
+            n_inference_queries=20,
+            episodes=1,
+            n_train_databases=1,
+            train_db_size=8,
+        )
+
+    def test_end_to_end(self, small_db, tiny_config):
+        model = RL4QDTS.train(small_db, config=tiny_config)
+        simplified = model.simplify(small_db, budget_ratio=0.5)
+        assert simplified.total_points <= small_db.budget_for_ratio(0.5)
+
+    def test_save_load_roundtrip(self, small_db, tiny_config, tmp_path):
+        model = RL4QDTS.train(small_db, config=tiny_config)
+        path = tmp_path / "reinforce.npz"
+        model.save(path)
+        loaded = RL4QDTS.load(path)
+        assert isinstance(loaded.cube_agent, REINFORCEAgent)
+        a = model.simplify(small_db, budget_ratio=0.5, seed=7)
+        b = loaded.simplify(small_db, budget_ratio=0.5, seed=7)
+        assert a.total_points == b.total_points
+
+    def test_config_rejects_unknown_learner(self):
+        with pytest.raises(ValueError):
+            RL4QDTSConfig(learner="ppo")

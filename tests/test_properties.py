@@ -1,0 +1,102 @@
+"""Hypothesis property tests on the core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data import SimplificationState, TrajectoryDatabase
+from repro.index import Octree
+from repro.queries.edr import edr_distance
+from repro.queries.metrics import f1_score, precision_recall_f1
+from tests.conftest import make_trajectory
+
+
+def random_db(seed: int, n_trajectories: int) -> TrajectoryDatabase:
+    return TrajectoryDatabase(
+        [
+            make_trajectory(n=5 + (seed + i) % 12, seed=seed + i, traj_id=i)
+            for i in range(n_trajectories)
+        ]
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 200), n=st.integers(1, 6), data=st.data())
+def test_simplification_state_invariants_under_random_ops(seed, n, data):
+    """Random insert/drop sequences preserve the structural invariants."""
+    db = random_db(seed, n)
+    state = SimplificationState(db)
+    rng = np.random.default_rng(seed)
+    for _ in range(30):
+        tid = int(rng.integers(n))
+        traj_len = len(db[tid])
+        interior = list(range(1, traj_len - 1))
+        if not interior:
+            continue
+        idx = int(rng.choice(interior))
+        if state.is_kept(tid, idx):
+            state.drop(tid, idx)
+        else:
+            state.insert(tid, idx)
+        kept = state.kept[tid]
+        # Invariants: sorted, unique, endpoints present, count consistent.
+        assert kept == sorted(set(kept))
+        assert kept[0] == 0 and kept[-1] == traj_len - 1
+    assert state.total_kept == sum(len(k) for k in state.kept)
+    # Materialization round-trips the kept points.
+    simplified = state.materialize()
+    for traj in simplified:
+        assert len(traj) == state.kept_count(traj.traj_id)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(0, 100),
+    n=st.integers(1, 8),
+    max_depth=st.integers(2, 6),
+    leaf_capacity=st.integers(1, 16),
+)
+def test_octree_partitions_points_exactly(seed, n, max_depth, leaf_capacity):
+    """Every point lands in exactly one leaf regardless of tree shape."""
+    db = random_db(seed, n)
+    tree = Octree(db, max_depth=max_depth, leaf_capacity=leaf_capacity)
+    entries = tree.collect_points(tree.root)
+    assert len(entries) == db.total_points
+    assert len(set(entries)) == db.total_points
+    assert tree.depth() <= max_depth
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 300), eps=st.floats(0.1, 100.0))
+def test_edr_metric_like_properties(seed, eps):
+    a = make_trajectory(n=6 + seed % 5, seed=seed)
+    b = make_trajectory(n=4 + seed % 7, seed=seed + 1)
+    d_ab = edr_distance(a, b, eps)
+    # Symmetry, identity, bounds.
+    assert d_ab == edr_distance(b, a, eps)
+    assert edr_distance(a, a, eps) == 0.0
+    assert 0.0 <= d_ab <= max(len(a), len(b))
+
+
+@settings(max_examples=50)
+@given(
+    truth=st.sets(st.integers(0, 20), max_size=10),
+    predicted=st.sets(st.integers(0, 20), max_size=10),
+)
+def test_f1_bounds_and_symmetry_of_equal_sets(truth, predicted):
+    p, r, f1 = precision_recall_f1(truth, predicted)
+    assert 0.0 <= p <= 1.0 and 0.0 <= r <= 1.0 and 0.0 <= f1 <= 1.0
+    if truth == predicted:
+        assert f1 == 1.0
+    # F1 is symmetric in its arguments.
+    assert f1 == pytest.approx(f1_score(predicted, truth))
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 200), keep_every=st.integers(2, 6))
+def test_subsample_preserves_point_identity(seed, keep_every):
+    traj = make_trajectory(n=20, seed=seed)
+    indices = sorted({0, 19, *range(0, 20, keep_every)})
+    simplified = traj.subsample(indices)
+    for out_row, original_index in zip(simplified.points, indices):
+        assert np.array_equal(out_row, traj.points[original_index])

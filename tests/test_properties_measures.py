@@ -1,0 +1,168 @@
+"""Hypothesis property tests on error measures and simplifier contracts.
+
+These pin down the geometric invariants the error measures must satisfy
+(translation invariance, scaling behaviour, ordering relations) and the
+structural contract every simplifier in the package shares (sorted unique
+kept indices, endpoints present, budget respected).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    bottom_up,
+    dead_reckoning,
+    error_bounded_simplify,
+    optimal_min_error,
+    squish,
+    top_down,
+    uniform_simplify,
+)
+from repro.data import Trajectory
+from repro.errors import trajectory_error
+from repro.errors.measures import (
+    dad_error,
+    ped_error,
+    ped_point_errors,
+    sad_error,
+    sed_error,
+    sed_point_errors,
+)
+from tests.conftest import make_trajectory
+
+MEASURES = ("sed", "ped", "dad", "sad")
+
+
+def translated(traj: Trajectory, dx: float, dy: float) -> Trajectory:
+    pts = traj.points.copy()
+    pts[:, 0] += dx
+    pts[:, 1] += dy
+    return Trajectory(pts, traj_id=traj.traj_id)
+
+
+def scaled(traj: Trajectory, factor: float) -> Trajectory:
+    pts = traj.points.copy()
+    pts[:, :2] *= factor
+    return Trajectory(pts, traj_id=traj.traj_id)
+
+
+class TestGeometricInvariants:
+    @given(
+        seed=st.integers(0, 500),
+        dx=st.floats(-1e4, 1e4),
+        dy=st.floats(-1e4, 1e4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_translation_invariance(self, seed, dx, dy):
+        traj = make_trajectory(n=12, seed=seed)
+        moved = translated(traj, dx, dy)
+        s, e = 0, len(traj) - 1
+        for fn in (sed_error, ped_error, dad_error):
+            assert fn(moved.points, s, e) == pytest.approx(
+                fn(traj.points, s, e), rel=1e-6, abs=1e-6
+            )
+
+    @given(seed=st.integers(0, 500), factor=st.floats(0.1, 100.0))
+    @settings(max_examples=40, deadline=None)
+    def test_distance_measures_scale_linearly(self, seed, factor):
+        traj = make_trajectory(n=12, seed=seed)
+        grown = scaled(traj, factor)
+        s, e = 0, len(traj) - 1
+        for fn in (sed_error, ped_error):
+            assert fn(grown.points, s, e) == pytest.approx(
+                factor * fn(traj.points, s, e), rel=1e-6, abs=1e-9
+            )
+
+    @given(seed=st.integers(0, 500), factor=st.floats(0.1, 100.0))
+    @settings(max_examples=40, deadline=None)
+    def test_direction_measure_scale_invariant(self, seed, factor):
+        """DAD compares angles, so uniform scaling must not change it."""
+        traj = make_trajectory(n=12, seed=seed)
+        grown = scaled(traj, factor)
+        s, e = 0, len(traj) - 1
+        assert dad_error(grown.points, s, e) == pytest.approx(
+            dad_error(traj.points, s, e), rel=1e-6, abs=1e-9
+        )
+
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=40, deadline=None)
+    def test_ped_never_exceeds_sed(self, seed):
+        """The perpendicular foot is the closest chord point; the
+        synchronized point is some chord point — so PED <= SED pointwise."""
+        traj = make_trajectory(n=15, seed=seed)
+        s, e = 0, len(traj) - 1
+        ped = ped_point_errors(traj.points, s, e)
+        sed = sed_point_errors(traj.points, s, e)
+        assert (ped <= sed + 1e-9).all()
+
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=30, deadline=None)
+    def test_all_measures_non_negative(self, seed):
+        traj = make_trajectory(n=10, seed=seed)
+        s, e = 0, len(traj) - 1
+        for fn in (sed_error, ped_error, dad_error, sad_error):
+            assert fn(traj.points, s, e) >= 0.0
+
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=30, deadline=None)
+    def test_direct_segment_has_zero_error(self, seed):
+        """A segment spanning two adjacent points approximates nothing."""
+        traj = make_trajectory(n=10, seed=seed)
+        for measure in MEASURES:
+            assert trajectory_error(
+                traj, list(range(len(traj))), measure=measure
+            ) == pytest.approx(0.0, abs=1e-12)
+
+
+SIMPLIFIERS = {
+    "top_down": lambda t, b: top_down(t, b),
+    "bottom_up": lambda t, b: bottom_up(t, b),
+    "squish": lambda t, b: squish(t, b),
+    "optimal": lambda t, b: list(optimal_min_error(t, b).indices),
+    "uniform": lambda t, b: uniform_simplify(t, b),
+}
+
+
+class TestSimplifierContract:
+    @pytest.mark.parametrize("name", sorted(SIMPLIFIERS))
+    @given(seed=st.integers(0, 300), budget=st.integers(2, 12))
+    @settings(max_examples=20, deadline=None)
+    def test_budgeted_contract(self, name, seed, budget):
+        traj = make_trajectory(n=14, seed=seed)
+        kept = SIMPLIFIERS[name](traj, budget)
+        assert kept[0] == 0 and kept[-1] == len(traj) - 1
+        assert kept == sorted(set(kept))
+        assert len(kept) <= max(budget, 2)
+        traj.subsample(kept)  # must be a valid simplification
+
+    @given(seed=st.integers(0, 300), tol=st.floats(0.1, 200.0))
+    @settings(max_examples=25, deadline=None)
+    def test_error_bounded_contract(self, seed, tol):
+        traj = make_trajectory(n=14, seed=seed)
+        for simplifier in (error_bounded_simplify, dead_reckoning):
+            kept = simplifier(traj, tol)
+            assert kept[0] == 0 and kept[-1] == len(traj) - 1
+            assert kept == sorted(set(kept))
+        # error_bounded additionally guarantees the SED bound.
+        kept = error_bounded_simplify(traj, tol)
+        assert trajectory_error(traj, kept, measure="sed") <= tol + 1e-9
+
+
+class TestTreeEquivalence:
+    @given(seed=st.integers(0, 200), depth=st.integers(2, 5))
+    @settings(max_examples=20, deadline=None)
+    def test_octree_and_kdtree_index_identical_point_sets(self, seed, depth):
+        from repro.data import TrajectoryDatabase
+        from repro.index import KDTree, Octree
+
+        db = TrajectoryDatabase(
+            [make_trajectory(n=12, seed=seed + i, traj_id=i) for i in range(4)]
+        )
+        oct_ = Octree(db, max_depth=depth, leaf_capacity=4)
+        kd = KDTree(db, max_depth=depth, leaf_capacity=4)
+        assert sorted(oct_.collect_points(oct_.root)) == sorted(
+            kd.collect_points(kd.root)
+        )

@@ -1,0 +1,254 @@
+"""Unit tests for range / kNN / similarity queries and the F1 measures."""
+
+import numpy as np
+import pytest
+
+from repro.data import Trajectory, TrajectoryDatabase
+from repro.queries import (
+    RangeQuery,
+    edr_distance,
+    f1_score,
+    knn_query,
+    precision_recall_f1,
+    range_query,
+    similarity_query,
+    T2VecEmbedder,
+)
+from repro.queries.metrics import clustering_f1, clustering_pairs, mean_f1
+from tests.conftest import make_trajectory
+
+
+def traj_at(x0, y0, n=5, traj_id=0, t0=0.0, step=1.0):
+    """A short trajectory starting at (x0, y0) moving +x."""
+    xs = x0 + np.arange(n) * step
+    ts = t0 + np.arange(n)
+    return Trajectory(np.column_stack([xs, np.full(n, y0), ts]), traj_id=traj_id)
+
+
+@pytest.fixture
+def three_traj_db():
+    return TrajectoryDatabase(
+        [traj_at(0, 0), traj_at(100, 0, traj_id=1), traj_at(0, 100, traj_id=2)]
+    )
+
+
+class TestRangeQuery:
+    def test_matches_point_inside(self, three_traj_db):
+        q = RangeQuery.from_bounds(-1, 1, -1, 1, -1, 10)
+        assert range_query(three_traj_db, q) == {0}
+
+    def test_point_semantics_segment_crossing_does_not_match(self):
+        # A trajectory jumping across the box with no sampled point inside.
+        t = Trajectory([[-10, 0, 0], [10, 0, 1]])
+        db = TrajectoryDatabase([t])
+        q = RangeQuery.from_bounds(-1, 1, -1, 1, 0, 1)
+        assert range_query(db, q) == set()
+
+    def test_temporal_dimension_filters(self, three_traj_db):
+        q = RangeQuery.from_bounds(-1, 10, -1, 1, 100, 200)
+        assert range_query(three_traj_db, q) == set()
+
+    def test_around_constructor(self):
+        q = RangeQuery.around(5.0, 5.0, 5.0, 2.0, 4.0)
+        b = q.box
+        assert (b.xmin, b.xmax) == (4.0, 6.0)
+        assert (b.tmin, b.tmax) == (3.0, 7.0)
+
+    def test_simplification_only_loses_matches(self, small_db, small_workload):
+        """Precision of range queries on a subsampled database is always 1."""
+        simplified = small_db.map_simplify(lambda t: [0, len(t) - 1])
+        for q in small_workload:
+            full = range_query(small_db, q)
+            simp = range_query(simplified, q)
+            assert simp <= full
+
+
+class TestEDR:
+    def test_identical_zero(self):
+        t = traj_at(0, 0)
+        assert edr_distance(t, t, eps=0.1) == 0.0
+
+    def test_completely_different(self):
+        a = traj_at(0, 0, n=4)
+        b = traj_at(1000, 1000, n=4)
+        assert edr_distance(a, b, eps=1.0) == 4.0
+
+    def test_one_substitution(self):
+        a = np.array([[0, 0, 0], [1, 0, 1], [2, 0, 2]], dtype=float)
+        b = a.copy()
+        b[1, :2] = [50, 50]
+        assert edr_distance(a, b, eps=0.5) == 1.0
+
+    def test_length_mismatch_costs_insertions(self):
+        a = traj_at(0, 0, n=6)
+        b = traj_at(0, 0, n=4)  # prefix-matching
+        assert edr_distance(a, b, eps=0.1) == 2.0
+
+    def test_symmetry(self):
+        a = make_trajectory(n=8, seed=1)
+        b = make_trajectory(n=11, seed=2)
+        assert edr_distance(a, b, 5.0) == edr_distance(b, a, 5.0)
+
+    def test_triangle_like_bound(self):
+        """EDR is bounded by max(len_a, len_b)."""
+        a = make_trajectory(n=8, seed=1)
+        b = make_trajectory(n=11, seed=2)
+        assert edr_distance(a, b, 5.0) <= 11.0
+
+
+class TestKNN:
+    def test_self_is_nearest(self, small_db):
+        q = small_db[3]
+        result = knn_query(small_db, q, k=1, measure="edr", eps=1.0)
+        assert result == [3]
+
+    def test_k_results_returned(self, small_db):
+        result = knn_query(small_db, small_db[0], k=4, measure="edr", eps=10.0)
+        assert len(result) == 4
+        assert len(set(result)) == 4
+
+    def test_invalid_k(self, small_db):
+        with pytest.raises(ValueError):
+            knn_query(small_db, small_db[0], k=0)
+
+    def test_unknown_measure(self, small_db):
+        with pytest.raises(ValueError):
+            knn_query(small_db, small_db[0], k=1, measure="dtw")
+
+    def test_t2vec_requires_fitted_embedder(self, small_db):
+        with pytest.raises(ValueError):
+            knn_query(small_db, small_db[0], k=1, measure="t2vec")
+
+    def test_t2vec_self_nearest(self, small_db):
+        emb = T2VecEmbedder(resolution=8, dim=8, epochs=1, seed=0).fit(small_db)
+        result = knn_query(small_db, small_db[2], k=1, measure="t2vec", embedder=emb)
+        assert result == [2]
+
+    def test_callable_measure(self, three_traj_db):
+        # Distance by trajectory id parity: even ids are "close" to T0.
+        def theta(a, b):
+            return abs(a.traj_id - b.traj_id)
+
+        result = knn_query(three_traj_db, three_traj_db[0], k=2, measure=theta)
+        assert result == [0, 1]
+
+    def test_time_window_excludes_disjoint(self, three_traj_db):
+        shifted = TrajectoryDatabase(
+            [
+                traj_at(0, 0),
+                traj_at(0, 0, t0=1000.0, traj_id=1),
+            ]
+        )
+        result = knn_query(
+            shifted, shifted[0], k=2, time_window=(0.0, 10.0), measure="edr",
+            eps=1.0,
+        )
+        # T1 has no points in the window, so it ranks last.
+        assert result[0] == 0
+
+
+class TestSimilarity:
+    def test_self_always_matches(self, small_db):
+        for qid in (0, 4):
+            result = similarity_query(small_db, small_db[qid], delta=1e-6)
+            assert qid in result
+
+    def test_parallel_trajectories_within_delta(self):
+        a = traj_at(0, 0, n=10)
+        b = traj_at(0, 3, n=10, traj_id=1)  # same motion, 3 units north
+        db = TrajectoryDatabase([a, b])
+        assert similarity_query(db, a, delta=3.5) == {0, 1}
+        assert similarity_query(db, a, delta=2.0) == {0}
+
+    def test_negative_delta_rejected(self, small_db):
+        with pytest.raises(ValueError):
+            similarity_query(small_db, small_db[0], delta=-1.0)
+
+    def test_non_overlapping_time_excluded(self):
+        a = traj_at(0, 0, n=10)
+        b = traj_at(0, 0, n=10, t0=1e6, traj_id=1)
+        db = TrajectoryDatabase([a, b])
+        assert similarity_query(db, a, delta=1e9) == {0}
+
+    def test_empty_window_rejected(self, small_db):
+        with pytest.raises(ValueError):
+            similarity_query(small_db, small_db[0], 1.0, time_window=(10.0, 0.0))
+
+
+class TestMetrics:
+    def test_perfect(self):
+        assert precision_recall_f1({1, 2}, {1, 2}) == (1.0, 1.0, 1.0)
+
+    def test_both_empty_is_perfect(self):
+        assert f1_score(set(), set()) == 1.0
+
+    def test_one_sided_empty_is_zero(self):
+        assert f1_score({1}, set()) == 0.0
+        assert f1_score(set(), {1}) == 0.0
+
+    def test_partial_overlap(self):
+        p, r, f1 = precision_recall_f1({1, 2, 3, 4}, {3, 4, 5})
+        assert p == pytest.approx(2 / 3)
+        assert r == pytest.approx(0.5)
+        assert f1 == pytest.approx(2 * (2 / 3) * 0.5 / (2 / 3 + 0.5))
+
+    def test_knn_precision_equals_recall(self):
+        truth, predicted = {1, 2, 3}, {2, 3, 4}
+        p, r, _ = precision_recall_f1(truth, predicted)
+        assert p == r  # equal-size sets
+
+    def test_mean_f1_requires_nonempty(self):
+        with pytest.raises(ValueError):
+            mean_f1([], [])
+
+    def test_mean_f1_strict_zip(self):
+        with pytest.raises(ValueError):
+            mean_f1([{1}], [{1}, {2}])
+
+    def test_clustering_pairs(self):
+        pairs = clustering_pairs([[1, 2, 3], [3, 4]])
+        assert pairs == {
+            frozenset((1, 2)),
+            frozenset((1, 3)),
+            frozenset((2, 3)),
+            frozenset((3, 4)),
+        }
+
+    def test_clustering_f1_identical(self):
+        clusters = [[1, 2], [3, 4, 5]]
+        assert clustering_f1(clusters, clusters) == 1.0
+
+    def test_clustering_f1_disjoint(self):
+        assert clustering_f1([[1, 2]], [[3, 4]]) == 0.0
+
+
+class TestT2Vec:
+    def test_unfitted_embed_raises(self, small_db):
+        emb = T2VecEmbedder()
+        with pytest.raises(RuntimeError):
+            emb.embed(small_db[0])
+        with pytest.raises(RuntimeError):
+            emb.tokens_of(small_db[0])
+
+    def test_fit_is_deterministic(self, small_db):
+        a = T2VecEmbedder(resolution=8, dim=8, epochs=1, seed=3).fit(small_db)
+        b = T2VecEmbedder(resolution=8, dim=8, epochs=1, seed=3).fit(small_db)
+        assert np.allclose(a.embed(small_db[0]), b.embed(small_db[0]))
+
+    def test_tokens_merge_consecutive_duplicates(self, small_db):
+        emb = T2VecEmbedder(resolution=4).fit(small_db)
+        tokens = emb.tokens_of(small_db[0])
+        assert all(x != y for x, y in zip(tokens, tokens[1:]))
+
+    def test_distance_zero_to_self(self, small_db):
+        emb = T2VecEmbedder(resolution=8, dim=8, epochs=1).fit(small_db)
+        assert emb.distance(small_db[0], small_db[0]) == 0.0
+
+    def test_simplified_trajectory_stays_close(self, geolife_db):
+        """Dropping on-route points barely moves the embedding; the whole
+        point of a learned cell-sequence measure."""
+        emb = T2VecEmbedder(resolution=12, dim=8, epochs=1, seed=0).fit(geolife_db)
+        t = geolife_db[0]
+        light = t.subsample(sorted({0, len(t) - 1} | set(range(0, len(t), 2))))
+        heavy = t.subsample([0, len(t) - 1])
+        assert emb.distance(t, light) <= emb.distance(t, heavy) + 1e-9

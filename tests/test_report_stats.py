@@ -1,0 +1,217 @@
+"""Tests for experiment statistics and report tables."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval import (
+    ExperimentTable,
+    Summary,
+    bootstrap_diff_ci,
+    format_cell,
+    series_table,
+    sign_test,
+    summarize,
+)
+
+
+class TestSummarize:
+    def test_basic_fields(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s.mean == pytest.approx(2.0)
+        assert s.std == pytest.approx(1.0)
+        assert s.n == 3
+        assert s.ci_low <= s.mean <= s.ci_high
+
+    def test_single_value(self):
+        s = summarize([5.0])
+        assert s == Summary(5.0, 0.0, 1, 5.0, 5.0)
+
+    def test_constant_series_has_degenerate_ci(self):
+        s = summarize([2.0] * 10)
+        assert s.ci_low == pytest.approx(2.0)
+        assert s.ci_high == pytest.approx(2.0)
+        assert s.std == 0.0
+
+    def test_deterministic_given_seed(self):
+        values = np.random.default_rng(0).normal(size=30)
+        assert summarize(values, seed=4) == summarize(values, seed=4)
+
+    def test_str(self):
+        assert "±" in str(summarize([1.0, 2.0]))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_bad_confidence_raises(self):
+        with pytest.raises(ValueError):
+            summarize([1.0, 2.0], confidence=1.5)
+
+    @given(
+        values=st.lists(st.floats(-100, 100), min_size=2, max_size=40),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_ci_contains_mean(self, values):
+        s = summarize(values)
+        assert s.ci_low - 1e-9 <= s.mean <= s.ci_high + 1e-9
+
+    def test_wider_confidence_wider_interval(self):
+        values = np.random.default_rng(1).normal(size=50)
+        narrow = summarize(values, confidence=0.5)
+        wide = summarize(values, confidence=0.99)
+        assert (wide.ci_high - wide.ci_low) >= (narrow.ci_high - narrow.ci_low)
+
+
+class TestSignTest:
+    def test_identical_series(self):
+        assert sign_test([1, 2, 3], [1, 2, 3]) == 1.0
+
+    def test_unanimous_difference_is_significant(self):
+        a = np.arange(12.0) + 1.0
+        assert sign_test(a, np.zeros(12)) < 0.01
+
+    def test_balanced_wins_not_significant(self):
+        a = [1.0, 0.0, 1.0, 0.0]
+        b = [0.0, 1.0, 0.0, 1.0]
+        assert sign_test(a, b) == 1.0
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(2)
+        a, b = rng.normal(size=15), rng.normal(size=15)
+        assert sign_test(a, b) == pytest.approx(sign_test(b, a))
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            sign_test([1.0], [1.0, 2.0])
+
+    def test_p_value_in_unit_interval(self):
+        rng = np.random.default_rng(3)
+        for _ in range(10):
+            p = sign_test(rng.normal(size=9), rng.normal(size=9))
+            assert 0.0 <= p <= 1.0
+
+
+class TestBootstrapDiff:
+    def test_clear_gap_excludes_zero(self):
+        rng = np.random.default_rng(4)
+        a = rng.normal(1.0, 0.1, size=30)
+        b = rng.normal(0.0, 0.1, size=30)
+        lo, hi = bootstrap_diff_ci(a, b)
+        assert lo > 0.0
+
+    def test_no_gap_includes_zero(self):
+        rng = np.random.default_rng(5)
+        a = rng.normal(0.0, 1.0, size=30)
+        lo, hi = bootstrap_diff_ci(a, a + rng.normal(0.0, 1e-6, size=30))
+        assert lo <= 0.0 <= hi or abs(lo) < 1e-3
+
+    def test_single_pair(self):
+        assert bootstrap_diff_ci([3.0], [1.0]) == (2.0, 2.0)
+
+    def test_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            bootstrap_diff_ci([1.0, 2.0], [1.0])
+
+
+class TestFormatCell:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (0.5, "0.5"),
+            (0, "0"),
+            (0.0, "0"),
+            (123456.0, "1.235e+05"),
+            (1e-5, "1.000e-05"),
+            ("abc", "abc"),
+            (True, "True"),
+            (None, "None"),
+            (7, "7"),
+        ],
+    )
+    def test_formats(self, value, expected):
+        assert format_cell(value) == expected
+
+    def test_nan(self):
+        assert format_cell(float("nan")) == "nan"
+
+
+class TestExperimentTable:
+    def make(self):
+        t = ExperimentTable("Demo", ["method", "f1", "time"])
+        t.add_row("RL4QDTS", 0.733, 61.11)
+        t.add_row(method="Top-Down", f1=0.61, time=50.3)
+        return t
+
+    def test_len_and_rows(self):
+        t = self.make()
+        assert len(t) == 2
+        assert t.rows[0][0] == "RL4QDTS"
+
+    def test_named_row_order_independent(self):
+        t = ExperimentTable("x", ["a", "b"])
+        t.add_row(b=2, a=1)
+        assert t.rows == [[1, 2]]
+
+    def test_add_row_validation(self):
+        t = ExperimentTable("x", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row(1)
+        with pytest.raises(ValueError):
+            t.add_row(1, 2, 3)
+        with pytest.raises(ValueError):
+            t.add_row(a=1, c=2)
+        with pytest.raises(ValueError):
+            t.add_row(1, b=2)
+
+    def test_render_text_aligned(self):
+        text = self.make().render_text()
+        lines = text.splitlines()
+        assert lines[0] == "Demo"
+        assert "method" in lines[1]
+        assert len({len(line) for line in lines[2:3]}) == 1
+
+    def test_render_markdown(self):
+        md = self.make().render_markdown()
+        assert md.startswith("**Demo**")
+        assert "| method | f1 | time |" in md
+        assert md.splitlines()[3] == "|---|---|---|"
+
+    def test_render_csv_roundtrip(self):
+        import csv as _csv
+        import io
+
+        rows = list(_csv.reader(io.StringIO(self.make().render_csv())))
+        assert rows[0] == ["method", "f1", "time"]
+        assert rows[1][0] == "RL4QDTS"
+
+    def test_save_files(self, tmp_path):
+        t = self.make()
+        t.save_csv(tmp_path / "t.csv")
+        t.save_markdown(tmp_path / "t.md")
+        assert (tmp_path / "t.csv").read_text().startswith("method")
+        assert (tmp_path / "t.md").read_text().startswith("**Demo**")
+
+    def test_print(self, capsys):
+        self.make().print()
+        out = capsys.readouterr().out
+        assert "RL4QDTS" in out
+
+
+class TestSeriesTable:
+    def test_figure_shape(self):
+        t = series_table(
+            "Fig 4(a)",
+            "ratio",
+            [0.0025, 0.005],
+            {"RL4QDTS": [0.7, 0.8], "Top-Down": [0.6, 0.7]},
+        )
+        assert t.columns == ["ratio", "RL4QDTS", "Top-Down"]
+        assert t.rows == [[0.0025, 0.7, 0.6], [0.005, 0.8, 0.7]]
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            series_table("x", "r", [1, 2], {"m": [0.1]})

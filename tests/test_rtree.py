@@ -1,0 +1,133 @@
+"""Tests for the STR-packed R-tree range-query accelerator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import BoundingBox, TrajectoryDatabase
+from repro.index import GridIndex, RTree
+from repro.queries import range_query
+from repro.workloads import RangeQueryWorkload
+from tests.conftest import make_trajectory
+
+
+def brute_force_candidates(db, box):
+    return {
+        t.traj_id for t in db if t.bounding_box.intersects(box)
+    }
+
+
+class TestRTreeStructure:
+    def test_single_trajectory(self):
+        db = TrajectoryDatabase([make_trajectory(n=10)])
+        tree = RTree(db)
+        assert tree.height() == 1
+        assert tree.node_count() == 1
+        assert len(tree) == 1
+
+    def test_root_box_covers_database(self, small_db):
+        tree = RTree(small_db)
+        assert tree.root.box.contains_box(small_db.bounding_box)
+
+    def test_every_trajectory_indexed_once(self, small_db):
+        tree = RTree(small_db, fanout=3)
+        seen: list[int] = []
+        stack = [tree.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                seen.extend(node.traj_ids)
+            else:
+                stack.extend(node.children)
+        assert sorted(seen) == list(range(len(small_db)))
+
+    def test_children_within_parent_box(self, small_db):
+        tree = RTree(small_db, fanout=3)
+        stack = [tree.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                continue
+            for child in node.children:
+                assert node.box.contains_box(child.box)
+                stack.append(child)
+
+    def test_fanout_respected(self, small_db):
+        fanout = 3
+        tree = RTree(small_db, fanout=fanout)
+        stack = [tree.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                assert 1 <= len(node.traj_ids) <= fanout
+            else:
+                assert 1 <= len(node.children) <= fanout
+                stack.extend(node.children)
+
+    def test_height_grows_logarithmically(self):
+        db = TrajectoryDatabase(
+            [make_trajectory(n=5, seed=i, traj_id=i) for i in range(100)]
+        )
+        tree = RTree(db, fanout=4)
+        # 100 leaves at fanout 4: ceil(log4(25)) + 1 levels, certainly < 8.
+        assert 2 <= tree.height() < 8
+
+    def test_rejects_tiny_fanout(self, small_db):
+        with pytest.raises(ValueError):
+            RTree(small_db, fanout=1)
+
+
+class TestRTreeSearch:
+    def test_candidates_are_superset_of_truth(self, small_db):
+        tree = RTree(small_db, fanout=4)
+        workload = RangeQueryWorkload.from_data_distribution(small_db, 20, seed=1)
+        for query in workload:
+            truth = brute_force_candidates(small_db, query.box)
+            assert tree.candidate_trajectories(query.box) == truth
+
+    def test_whole_region_returns_everything(self, small_db):
+        tree = RTree(small_db)
+        assert tree.candidate_trajectories(small_db.bounding_box) == set(
+            range(len(small_db))
+        )
+
+    def test_empty_region_returns_nothing(self, small_db):
+        tree = RTree(small_db)
+        box = small_db.bounding_box
+        far = BoundingBox(
+            box.xmax + 10, box.xmax + 20, box.ymax + 10, box.ymax + 20,
+            box.tmax + 10, box.tmax + 20,
+        )
+        assert tree.candidate_trajectories(far) == set()
+
+    def test_agrees_with_grid_pruning(self, small_db):
+        """Both accelerators must produce identical final query results."""
+        tree = RTree(small_db, fanout=4)
+        grid = GridIndex(small_db)
+        workload = RangeQueryWorkload.from_data_distribution(small_db, 15, seed=2)
+        for query in workload:
+            from_rtree = {
+                tid
+                for tid in tree.candidate_trajectories(query.box)
+                if query.box.contains_points(small_db[tid].points).any()
+            }
+            assert from_rtree == range_query(small_db, query, grid)
+
+    @given(seed=st.integers(0, 2000), fanout=st.integers(2, 12))
+    @settings(max_examples=25, deadline=None)
+    def test_property_exact_candidates(self, seed, fanout):
+        rng = np.random.default_rng(seed)
+        db = TrajectoryDatabase(
+            [make_trajectory(n=8, seed=seed + i, traj_id=i) for i in range(12)]
+        )
+        tree = RTree(db, fanout=fanout)
+        centre = db.all_points()[int(rng.integers(db.total_points))]
+        box = BoundingBox(
+            centre[0] - 20, centre[0] + 20,
+            centre[1] - 20, centre[1] + 20,
+            centre[2] - 10, centre[2] + 10,
+        )
+        assert tree.candidate_trajectories(box) == brute_force_candidates(db, box)

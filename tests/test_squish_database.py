@@ -1,0 +1,96 @@
+"""Tests for the whole-database streaming SQUISH ("W" adaptation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import squish_database
+from repro.data import Trajectory, TrajectoryDatabase
+from tests.conftest import make_trajectory
+
+
+def overlapping_db(n=5, points=20):
+    """Trajectories whose timestamps genuinely interleave."""
+    trajs = []
+    for i in range(n):
+        rng = np.random.default_rng(i)
+        xy = rng.uniform(0, 100, size=(points, 2))
+        t = np.sort(rng.uniform(0, 100, size=points))
+        t += np.arange(points) * 1e-6  # strictly increasing
+        trajs.append(Trajectory(np.column_stack([xy, t]), traj_id=i))
+    return TrajectoryDatabase(trajs)
+
+
+class TestSquishDatabase:
+    def test_budget_respected(self):
+        db = overlapping_db()
+        budget = 30
+        kept = squish_database(db, budget)
+        assert sum(len(v) for v in kept.values()) <= budget
+
+    def test_endpoints_always_kept(self):
+        db = overlapping_db()
+        kept = squish_database(db, 25)
+        for traj in db:
+            idxs = kept[traj.traj_id]
+            assert idxs[0] == 0
+            assert idxs[-1] == len(traj) - 1
+
+    def test_valid_subsamples(self):
+        db = overlapping_db()
+        kept = squish_database(db, 40)
+        simplified = TrajectoryDatabase(
+            [t.subsample(kept[t.traj_id]) for t in db]
+        )
+        assert simplified.total_points <= 40
+
+    def test_generous_budget_is_identity(self):
+        db = overlapping_db()
+        kept = squish_database(db, db.total_points)
+        for traj in db:
+            assert kept[traj.traj_id] == list(range(len(traj)))
+
+    def test_rejects_infeasible_budget(self):
+        db = overlapping_db(n=5)
+        with pytest.raises(ValueError):
+            squish_database(db, 2 * len(db) - 1)
+
+    def test_unequal_compression_across_trajectories(self):
+        """A straight line competes against a zigzag: the global buffer
+        squeezes the line much harder (the collective behaviour)."""
+        n = 40
+        t = np.arange(float(n))
+        line = Trajectory(np.column_stack([t, t * 0.0, t]), traj_id=0)
+        zig = Trajectory(
+            np.column_stack(
+                [t, np.where(np.arange(n) % 2 == 0, 0.0, 50.0), t + 0.5]
+            ),
+            traj_id=1,
+        )
+        db = TrajectoryDatabase([line, zig])
+        kept = squish_database(db, 30)
+        assert len(kept[1]) > len(kept[0])
+
+    def test_minimum_budget_leaves_endpoints(self):
+        db = overlapping_db(n=4, points=10)
+        kept = squish_database(db, 2 * len(db))
+        total = sum(len(v) for v in kept.values())
+        assert total <= 2 * len(db) + len(db)  # near-endpoint-only
+
+    @given(seed=st.integers(0, 300), budget_frac=st.floats(0.3, 0.9))
+    @settings(max_examples=20, deadline=None)
+    def test_property_contract(self, seed, budget_frac):
+        db = TrajectoryDatabase(
+            [make_trajectory(n=12, seed=seed + i, traj_id=i) for i in range(4)]
+        )
+        budget = max(2 * len(db), int(budget_frac * db.total_points))
+        kept = squish_database(db, budget)
+        assert set(kept) == set(range(len(db)))
+        assert sum(len(v) for v in kept.values()) <= budget
+        for traj in db:
+            idxs = kept[traj.traj_id]
+            assert idxs == sorted(set(idxs))
+            assert idxs[0] == 0 and idxs[-1] == len(traj) - 1

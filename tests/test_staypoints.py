@@ -1,0 +1,156 @@
+"""Tests for stay-point detection and stay-aware compression."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    Trajectory,
+    TrajectoryDatabase,
+    detect_stay_points,
+    stay_aware_simplify,
+    stay_aware_simplify_database,
+    stay_statistics,
+)
+from tests.conftest import make_trajectory
+
+
+def trajectory_with_stop(stop_len=10, move_len=5, jitter=0.0, seed=0):
+    """Move right, stop (with optional jitter), move right again."""
+    rng = np.random.default_rng(seed)
+    xs = list(np.arange(move_len, dtype=float))
+    ys = [0.0] * move_len
+    stop_x = xs[-1]
+    for _ in range(stop_len):
+        xs.append(stop_x + rng.normal(0, jitter))
+        ys.append(rng.normal(0, jitter))
+    for i in range(1, move_len + 1):
+        xs.append(stop_x + i)
+        ys.append(0.0)
+    t = np.arange(len(xs), dtype=float)
+    return Trajectory(np.column_stack([xs, ys, t]))
+
+
+class TestDetectStayPoints:
+    def test_finds_the_stop(self):
+        traj = trajectory_with_stop(stop_len=10, move_len=5)
+        stays = detect_stay_points(traj, radius=0.5, min_duration=3.0)
+        assert len(stays) == 1
+        stay = stays[0]
+        assert stay.start_index == 4  # the last approach point anchors it
+        assert stay.n_points >= 10
+        assert stay.duration >= 3.0
+
+    def test_moving_trajectory_has_no_stays(self):
+        xs = np.arange(20.0)
+        traj = Trajectory(np.column_stack([xs, xs, xs]))
+        assert detect_stay_points(traj, radius=0.5, min_duration=2.0) == []
+
+    def test_jittered_stop_still_detected(self):
+        traj = trajectory_with_stop(stop_len=12, jitter=0.05, seed=1)
+        stays = detect_stay_points(traj, radius=0.5, min_duration=3.0)
+        assert len(stays) == 1
+
+    def test_short_pause_below_min_duration_ignored(self):
+        traj = trajectory_with_stop(stop_len=2, move_len=5)
+        assert detect_stay_points(traj, radius=0.5, min_duration=5.0) == []
+
+    def test_two_separate_stops(self):
+        parts = []
+        x = 0.0
+        t = 0.0
+        rows = []
+        for phase in ("move", "stop", "move", "stop", "move"):
+            steps = 5 if phase == "move" else 8
+            for _ in range(steps):
+                if phase == "move":
+                    x += 1.0
+                rows.append((x, 0.0, t))
+                t += 1.0
+        traj = Trajectory(np.array(rows))
+        stays = detect_stay_points(traj, radius=0.25, min_duration=4.0)
+        assert len(stays) == 2
+        assert stays[0].end_index < stays[1].start_index
+
+    def test_centroid_near_stop_location(self):
+        traj = trajectory_with_stop(stop_len=10, move_len=5)
+        stay = detect_stay_points(traj, radius=0.5, min_duration=3.0)[0]
+        assert stay.x == pytest.approx(4.0, abs=0.5)
+        assert stay.y == pytest.approx(0.0, abs=0.5)
+
+    def test_rejects_negative_parameters(self, random_trajectory):
+        with pytest.raises(ValueError):
+            detect_stay_points(random_trajectory, -1.0, 1.0)
+        with pytest.raises(ValueError):
+            detect_stay_points(random_trajectory, 1.0, -1.0)
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_property_episodes_disjoint_and_ordered(self, seed):
+        traj = make_trajectory(n=40, seed=seed)
+        stays = detect_stay_points(traj, radius=30.0, min_duration=5.0)
+        for a, b in zip(stays, stays[1:]):
+            assert a.end_index < b.start_index
+        for stay in stays:
+            assert 0 <= stay.start_index < stay.end_index < len(traj)
+            assert stay.duration >= 5.0
+
+
+class TestStayAwareSimplify:
+    def test_collapses_the_stop(self):
+        traj = trajectory_with_stop(stop_len=10, move_len=5)
+        kept = stay_aware_simplify(traj, radius=0.5, min_duration=3.0)
+        # All movement points kept; the 10-point stop keeps only 2.
+        assert len(kept) <= len(traj) - 8
+        assert kept[0] == 0 and kept[-1] == len(traj) - 1
+
+    def test_keeps_everything_when_no_stays(self):
+        xs = np.arange(15.0)
+        traj = Trajectory(np.column_stack([xs, xs, xs]))
+        kept = stay_aware_simplify(traj, radius=0.1, min_duration=2.0)
+        assert kept == list(range(15))
+
+    def test_valid_subsample(self, random_trajectory):
+        kept = stay_aware_simplify(random_trajectory, 30.0, 5.0)
+        simplified = random_trajectory.subsample(kept)  # must not raise
+        assert len(simplified) == len(kept)
+
+    def test_low_error_at_stop(self):
+        """Collapsing a true stop costs almost nothing in SED."""
+        from repro.errors import trajectory_error
+
+        traj = trajectory_with_stop(stop_len=10, jitter=0.02, seed=3)
+        kept = stay_aware_simplify(traj, radius=0.5, min_duration=3.0)
+        assert trajectory_error(traj, kept, measure="sed") < 0.5
+
+
+class TestDatabaseAndStats:
+    def test_database_wrapper(self):
+        db = TrajectoryDatabase(
+            [trajectory_with_stop(seed=i) for i in range(4)]
+        )
+        simplified = stay_aware_simplify_database(db, 0.5, 3.0)
+        assert simplified.total_points < db.total_points
+        assert len(simplified) == len(db)
+
+    def test_statistics_fields(self):
+        db = TrajectoryDatabase(
+            [trajectory_with_stop(seed=i) for i in range(4)]
+        )
+        stats = stay_statistics(db, 0.5, 3.0)
+        assert stats["n_stays"] == 4.0
+        assert 0.0 < stats["stay_point_fraction"] < 1.0
+        assert stats["mean_dwell"] > 0.0
+
+    def test_statistics_on_moving_data(self):
+        xs = np.arange(20.0)
+        db = TrajectoryDatabase([Trajectory(np.column_stack([xs, xs, xs]))])
+        stats = stay_statistics(db, 0.1, 2.0)
+        assert stats == {
+            "n_stays": 0.0,
+            "stay_point_fraction": 0.0,
+            "mean_dwell": 0.0,
+        }

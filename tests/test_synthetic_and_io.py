@@ -1,0 +1,126 @@
+"""Tests for the synthetic dataset generators, statistics, and persistence."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    DATASET_PROFILES,
+    dataset_statistics,
+    load_database,
+    save_database,
+    synthetic_database,
+)
+from repro.data.stats import spatial_scale
+
+
+class TestProfiles:
+    def test_all_four_paper_datasets_present(self):
+        assert set(DATASET_PROFILES) == {"geolife", "tdrive", "chengdu", "osm"}
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError, match="unknown profile"):
+            synthetic_database("porto", n_trajectories=3)
+
+    def test_zero_trajectories_rejected(self):
+        with pytest.raises(ValueError):
+            synthetic_database("geolife", n_trajectories=0)
+
+
+class TestGeneration:
+    def test_deterministic_across_processes_and_calls(self):
+        a = synthetic_database("geolife", n_trajectories=5, seed=3)
+        b = synthetic_database("geolife", n_trajectories=5, seed=3)
+        for ta, tb in zip(a, b):
+            assert np.array_equal(ta.points, tb.points)
+
+    def test_different_seeds_differ(self):
+        a = synthetic_database("geolife", n_trajectories=5, seed=3)
+        b = synthetic_database("geolife", n_trajectories=5, seed=4)
+        assert not np.array_equal(a[0].points, b[0].points)
+
+    def test_points_scale_controls_length(self):
+        small = synthetic_database("chengdu", n_trajectories=20, points_scale=0.2, seed=1)
+        large = synthetic_database("chengdu", n_trajectories=20, points_scale=1.0, seed=1)
+        assert large.total_points > 2 * small.total_points
+
+    @pytest.mark.parametrize("name", sorted(DATASET_PROFILES))
+    def test_statistics_match_profile(self, name):
+        profile = DATASET_PROFILES[name]
+        db = synthetic_database(name, n_trajectories=30, points_scale=0.15, seed=2)
+        stats = dataset_statistics(db)
+        lo, hi = profile.sampling_interval
+        # Mean sampling interval stays within the profile's declared range
+        # (15% tolerance for the per-step jitter).
+        assert lo * 0.85 <= stats.mean_sampling_interval <= hi * 1.15
+        # Mean segment length lands near the profile (stay points pull the
+        # geolife mean down, so the band is generous).
+        assert (
+            0.3 * profile.mean_segment_length
+            <= stats.mean_segment_length
+            <= 2.0 * profile.mean_segment_length
+        )
+
+    def test_trajectories_stay_in_extent(self):
+        profile = DATASET_PROFILES["chengdu"]
+        db = synthetic_database("chengdu", n_trajectories=10, seed=5)
+        box = db.bounding_box
+        assert box.xmin >= 0.0 and box.xmax <= profile.extent
+        assert box.ymin >= 0.0 and box.ymax <= profile.extent
+
+    def test_trajectories_are_directed_not_diffusive(self):
+        """Trip structure: diameter should be a sizable fraction of path length."""
+        db = synthetic_database("chengdu", n_trajectories=20, points_scale=0.5, seed=8)
+        ratios = []
+        for t in db:
+            box = t.bounding_box
+            diameter = max(box.xmax - box.xmin, box.ymax - box.ymin)
+            ratios.append(diameter / max(t.path_length(), 1e-9))
+        assert np.median(ratios) > 0.15
+
+    def test_heterogeneous_sampling_rates(self):
+        """Different trajectories get different base sampling intervals."""
+        db = synthetic_database("geolife", n_trajectories=30, seed=9)
+        means = [float(t.sampling_intervals().mean()) for t in db]
+        assert max(means) > 2.0 * min(means)
+
+
+class TestStatistics:
+    def test_table1_row_keys(self, small_db):
+        row = dataset_statistics(small_db).as_row()
+        assert "# of trajectories" in row
+        assert "Total # of points" in row
+        assert row["# of trajectories"] == len(small_db)
+
+    def test_spatial_scale_positive(self, geolife_db):
+        assert spatial_scale(geolife_db) > 0.0
+
+    def test_spatial_scale_is_median_diameter(self, small_db):
+        diameters = []
+        for t in small_db:
+            box = t.bounding_box
+            diameters.append(max(box.xmax - box.xmin, box.ymax - box.ymin))
+        assert spatial_scale(small_db) == pytest.approx(np.median(diameters))
+
+
+class TestIO:
+    def test_npz_roundtrip(self, small_db, tmp_path):
+        path = tmp_path / "db.npz"
+        save_database(small_db, path)
+        loaded = load_database(path)
+        assert len(loaded) == len(small_db)
+        for a, b in zip(loaded, small_db):
+            assert np.array_equal(a.points, b.points)
+
+    def test_csv_roundtrip(self, small_db, tmp_path):
+        path = tmp_path / "db.csv"
+        save_database(small_db, path)
+        loaded = load_database(path)
+        assert len(loaded) == len(small_db)
+        for a, b in zip(loaded, small_db):
+            assert np.allclose(a.points, b.points)
+
+    def test_unknown_suffix_rejected(self, small_db, tmp_path):
+        with pytest.raises(ValueError):
+            save_database(small_db, tmp_path / "db.parquet")
+        with pytest.raises(ValueError):
+            load_database(tmp_path / "db.parquet")

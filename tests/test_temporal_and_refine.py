@@ -1,0 +1,204 @@
+"""Tests for the temporal interval index and progressive refinement."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import uniform_simplify_database
+from repro.core import RL4QDTS, RL4QDTSConfig
+from repro.data import Trajectory, TrajectoryDatabase
+from repro.index import TemporalIndex
+from repro.queries import similarity_query
+from tests.conftest import make_trajectory
+
+
+def staggered_db(n=10, lifespan=10.0, step=5.0):
+    """Trajectories with lifespans [i*step, i*step + lifespan]."""
+    trajs = []
+    for i in range(n):
+        t = np.linspace(i * step, i * step + lifespan, 6)
+        xy = np.full((6, 2), float(i))
+        trajs.append(Trajectory(np.column_stack([xy, t]), traj_id=i))
+    return TrajectoryDatabase(trajs)
+
+
+class TestTemporalIndex:
+    def test_overlap_matches_brute_force(self, small_db):
+        index = TemporalIndex(small_db)
+        rng = np.random.default_rng(0)
+        lo, hi = index.span()
+        for _ in range(25):
+            a, b = sorted(rng.uniform(lo - 5, hi + 5, size=2))
+            expected = {
+                t.traj_id
+                for t in small_db
+                if t.times[0] <= b and t.times[-1] >= a
+            }
+            assert index.overlapping(a, b) == expected
+
+    def test_staggered_windows(self):
+        db = staggered_db(n=10, lifespan=10.0, step=5.0)
+        index = TemporalIndex(db)
+        # Window [12, 13] overlaps lifespans [5,15], [10,20] only... and [0,10]? no: 10 < 12.
+        assert index.overlapping(12.0, 13.0) == {1, 2}
+
+    def test_alive_at(self):
+        db = staggered_db(n=4, lifespan=10.0, step=5.0)
+        index = TemporalIndex(db)
+        assert index.alive_at(0.0) == {0}
+        assert index.alive_at(7.0) == {0, 1}
+
+    def test_whole_span_returns_everything(self, small_db):
+        index = TemporalIndex(small_db)
+        assert index.overlapping(*index.span()) == set(range(len(small_db)))
+
+    def test_disjoint_window_returns_nothing(self, small_db):
+        index = TemporalIndex(small_db)
+        _, hi = index.span()
+        assert index.overlapping(hi + 1, hi + 2) == set()
+
+    def test_empty_window_raises(self, small_db):
+        with pytest.raises(ValueError):
+            TemporalIndex(small_db).overlapping(2.0, 1.0)
+
+    def test_len(self, small_db):
+        assert len(TemporalIndex(small_db)) == len(small_db)
+
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=25, deadline=None)
+    def test_property_equals_brute_force(self, seed):
+        rng = np.random.default_rng(seed)
+        db = TrajectoryDatabase(
+            [make_trajectory(n=8, seed=seed + i, traj_id=i) for i in range(8)]
+        )
+        index = TemporalIndex(db)
+        lo, hi = index.span()
+        a, b = sorted(rng.uniform(lo, hi, size=2))
+        expected = {
+            t.traj_id for t in db if t.times[0] <= b and t.times[-1] >= a
+        }
+        assert index.overlapping(a, b) == expected
+
+    def test_similarity_query_with_index_identical(self, small_db):
+        index = TemporalIndex(small_db)
+        query = small_db[0]
+        window = (float(query.times[2]), float(query.times[-2]))
+        without = similarity_query(small_db, query, delta=80.0, time_window=window)
+        with_index = similarity_query(
+            small_db, query, delta=80.0, time_window=window,
+            temporal_index=index,
+        )
+        assert without == with_index
+
+
+class TestProgressiveRefinement:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        from repro.data import TrajectoryDatabase
+        from tests.conftest import make_trajectory
+
+        db = TrajectoryDatabase(
+            [make_trajectory(n=14 + 2 * i, seed=i, traj_id=i) for i in range(10)]
+        )
+        config = RL4QDTSConfig(
+            start_level=2,
+            end_level=4,
+            delta=10,
+            n_training_queries=10,
+            n_inference_queries=20,
+            episodes=1,
+            n_train_databases=1,
+            train_db_size=8,
+        )
+        model = RL4QDTS.train(db, config=config)
+        return db, model
+
+    def test_refine_grows_to_budget(self, setup):
+        db, model = setup
+        coarse = model.simplify(db, budget_ratio=0.3, seed=1)
+        refined = model.refine(db, coarse, budget_ratio=0.6, seed=2)
+        assert refined.total_points == db.budget_for_ratio(0.6)
+
+    def test_refine_retains_existing_points(self, setup):
+        db, model = setup
+        coarse = model.simplify(db, budget_ratio=0.3, seed=1)
+        refined = model.refine(db, coarse, budget_ratio=0.6, seed=2)
+        for orig, small, big in zip(db, coarse, refined):
+            small_rows = {tuple(r) for r in small.points}
+            big_rows = {tuple(r) for r in big.points}
+            assert small_rows <= big_rows
+            orig_rows = {tuple(r) for r in orig.points}
+            assert big_rows <= orig_rows
+
+    def test_refine_from_foreign_simplifier(self, setup):
+        """Refinement works from any subsequence simplification."""
+        db, model = setup
+        coarse = uniform_simplify_database(db, 0.25)
+        refined = model.refine(db, coarse, budget_ratio=0.5, seed=3)
+        assert refined.total_points == db.budget_for_ratio(0.5)
+
+    def test_refine_rejects_shrinking_budget(self, setup):
+        db, model = setup
+        coarse = model.simplify(db, budget_ratio=0.5, seed=1)
+        with pytest.raises(ValueError):
+            model.refine(db, coarse, budget_ratio=0.2)
+
+    def test_refine_requires_single_budget_argument(self, setup):
+        db, model = setup
+        coarse = model.simplify(db, budget_ratio=0.3, seed=1)
+        with pytest.raises(ValueError):
+            model.refine(db, coarse)
+        with pytest.raises(ValueError):
+            model.refine(db, coarse, budget_ratio=0.5, budget=100)
+
+    def test_refined_at_least_as_accurate(self, setup):
+        """More budget on top of the same base cannot hurt range accuracy."""
+        from repro.workloads import RangeQueryWorkload
+        from repro.queries import f1_score
+
+        db, model = setup
+        workload = RangeQueryWorkload.from_data_distribution(db, 20, seed=9)
+        coarse = model.simplify(db, budget_ratio=0.3, seed=1)
+        refined = model.refine(db, coarse, budget_ratio=0.7, seed=2)
+        truths = workload.evaluate(db)
+
+        def score(simplified):
+            results = workload.evaluate(simplified)
+            return sum(
+                f1_score(t, r) for t, r in zip(truths, results)
+            ) / len(workload)
+
+        assert score(refined) >= score(coarse) - 0.05
+
+
+class TestEnvLoadKept:
+    def test_load_kept_restores_state(self, small_db):
+        from repro.core import QDTSEnvironment
+        from repro.workloads import RangeQueryWorkload
+
+        config = RL4QDTSConfig(start_level=2, end_level=4)
+        workload = RangeQueryWorkload.from_data_distribution(small_db, 10, seed=0)
+        env = QDTSEnvironment(
+            small_db, workload, config, np.random.default_rng(0)
+        )
+        kept = [[0, len(t) // 2, len(t) - 1] for t in small_db]
+        env.load_kept(kept)
+        assert env.state.total_kept == 3 * len(small_db)
+        for tid, lst in enumerate(kept):
+            for idx in lst:
+                assert env.state.is_kept(tid, idx)
+
+    def test_load_kept_validates_length(self, small_db):
+        from repro.core import QDTSEnvironment
+        from repro.workloads import RangeQueryWorkload
+
+        config = RL4QDTSConfig(start_level=2, end_level=4)
+        workload = RangeQueryWorkload.from_data_distribution(small_db, 5, seed=0)
+        env = QDTSEnvironment(
+            small_db, workload, config, np.random.default_rng(0)
+        )
+        with pytest.raises(ValueError):
+            env.load_kept([[0, 1]])

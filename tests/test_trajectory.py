@@ -1,0 +1,135 @@
+"""Unit tests for the Trajectory data model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.data import Trajectory
+from tests.conftest import make_trajectory
+
+
+class TestConstruction:
+    def test_valid(self):
+        t = Trajectory([[0, 0, 0], [1, 1, 1], [2, 0, 2]])
+        assert len(t) == 3
+        assert t.traj_id == -1
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            Trajectory([[0, 0, 0]])
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(ValueError):
+            Trajectory([[0, 0], [1, 1]])
+
+    def test_non_increasing_time_rejected(self):
+        with pytest.raises(ValueError):
+            Trajectory([[0, 0, 1], [1, 1, 1]])
+        with pytest.raises(ValueError):
+            Trajectory([[0, 0, 2], [1, 1, 1]])
+
+    def test_points_are_immutable(self):
+        t = make_trajectory()
+        with pytest.raises(ValueError):
+            t.points[0, 0] = 99.0
+
+    def test_equality_and_hash(self):
+        a = Trajectory([[0, 0, 0], [1, 1, 1]], traj_id=3)
+        b = Trajectory([[0, 0, 0], [1, 1, 1]], traj_id=3)
+        c = Trajectory([[0, 0, 0], [1, 2, 1]], traj_id=3)
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+
+class TestProjections:
+    def test_xy_times_shapes(self):
+        t = make_trajectory(n=7)
+        assert t.xy.shape == (7, 2)
+        assert t.times.shape == (7,)
+
+    def test_duration(self):
+        t = Trajectory([[0, 0, 2.0], [1, 1, 7.5]])
+        assert t.duration == pytest.approx(5.5)
+
+    def test_segment_and_path_lengths(self, straight_line_trajectory):
+        lengths = straight_line_trajectory.segment_lengths()
+        assert len(lengths) == 9
+        assert np.allclose(lengths, np.sqrt(2.0))
+        assert straight_line_trajectory.path_length() == pytest.approx(9 * np.sqrt(2))
+
+    def test_sampling_intervals(self):
+        t = Trajectory([[0, 0, 0], [1, 1, 2], [2, 2, 3]])
+        assert np.allclose(t.sampling_intervals(), [2.0, 1.0])
+
+    def test_bounding_box_cached_and_correct(self, random_trajectory):
+        box = random_trajectory.bounding_box
+        assert box is random_trajectory.bounding_box  # cached object
+        assert box.contains_points(random_trajectory.points).all()
+
+
+class TestSubsample:
+    def test_keeps_selected_points(self, random_trajectory):
+        simp = random_trajectory.subsample([0, 5, 10, 29])
+        assert len(simp) == 4
+        assert np.array_equal(simp.points[1], random_trajectory.points[5])
+
+    def test_duplicates_collapsed(self, random_trajectory):
+        simp = random_trajectory.subsample([0, 5, 5, 29])
+        assert len(simp) == 3
+
+    def test_endpoints_required(self, random_trajectory):
+        with pytest.raises(ValueError):
+            random_trajectory.subsample([1, 5, 29])
+        with pytest.raises(ValueError):
+            random_trajectory.subsample([0, 5, 28])
+
+    def test_preserves_traj_id(self):
+        t = make_trajectory(traj_id=9)
+        assert t.subsample([0, len(t) - 1]).traj_id == 9
+
+
+class TestInterpolation:
+    def test_position_at_sample_times(self, straight_line_trajectory):
+        t = straight_line_trajectory
+        for i in range(len(t)):
+            assert np.allclose(t.position_at(t.times[i]), t.points[i, :2])
+
+    def test_position_at_midpoint(self):
+        t = Trajectory([[0, 0, 0], [10, 20, 10]])
+        assert np.allclose(t.position_at(5.0), [5.0, 10.0])
+
+    def test_position_clamps_outside_span(self):
+        t = Trajectory([[0, 0, 0], [10, 20, 10]])
+        assert np.allclose(t.position_at(-5.0), [0.0, 0.0])
+        assert np.allclose(t.position_at(50.0), [10.0, 20.0])
+
+    def test_positions_at_matches_scalar(self, random_trajectory):
+        ts = np.linspace(
+            random_trajectory.times[0] - 1, random_trajectory.times[-1] + 1, 40
+        )
+        batch = random_trajectory.positions_at(ts)
+        for i, time in enumerate(ts):
+            assert np.allclose(batch[i], random_trajectory.position_at(time))
+
+    def test_slice_time(self, straight_line_trajectory):
+        sliced = straight_line_trajectory.slice_time(2.0, 5.0)
+        assert len(sliced) == 4
+        assert sliced[0, 2] == 2.0 and sliced[-1, 2] == 5.0
+
+    def test_slice_time_empty(self, straight_line_trajectory):
+        assert len(straight_line_trajectory.slice_time(100.0, 200.0)) == 0
+
+
+@given(n=st.integers(2, 50), seed=st.integers(0, 1000))
+def test_subsample_endpoints_always_valid(n, seed):
+    t = make_trajectory(n=n, seed=seed)
+    simp = t.subsample([0, n - 1])
+    assert len(simp) == 2
+    assert np.array_equal(simp.points[0], t.points[0])
+    assert np.array_equal(simp.points[-1], t.points[-1])
+
+
+def test_reversed_spatially(straight_line_trajectory):
+    rev = straight_line_trajectory.reversed_spatially()
+    assert np.allclose(rev.xy, straight_line_trajectory.xy[::-1])
+    assert np.array_equal(rev.times, straight_line_trajectory.times)

@@ -1,0 +1,90 @@
+"""Tests for the naive uniform/random down-sampling floors."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    random_simplify,
+    random_simplify_database,
+    uniform_simplify,
+    uniform_simplify_database,
+)
+from tests.conftest import make_trajectory
+
+
+class TestUniform:
+    def test_budget_and_endpoints(self, random_trajectory):
+        kept = uniform_simplify(random_trajectory, 7)
+        assert len(kept) == 7
+        assert kept[0] == 0 and kept[-1] == len(random_trajectory) - 1
+
+    def test_even_spacing(self):
+        traj = make_trajectory(n=21)
+        kept = uniform_simplify(traj, 5)
+        assert kept == [0, 5, 10, 15, 20]
+
+    def test_budget_above_length(self, random_trajectory):
+        assert uniform_simplify(random_trajectory, 999) == list(
+            range(len(random_trajectory))
+        )
+
+    def test_tiny_budget_rejected(self, random_trajectory):
+        with pytest.raises(ValueError):
+            uniform_simplify(random_trajectory, 1)
+
+    def test_database_variant(self, small_db):
+        simplified = uniform_simplify_database(small_db, 0.3)
+        assert len(simplified) == len(small_db)
+        assert simplified.total_points < small_db.total_points
+
+
+class TestRandom:
+    def test_budget_and_endpoints(self, random_trajectory):
+        rng = np.random.default_rng(0)
+        kept = random_simplify(random_trajectory, 7, rng)
+        assert len(kept) == 7
+        assert kept[0] == 0 and kept[-1] == len(random_trajectory) - 1
+        assert kept == sorted(set(kept))
+
+    def test_deterministic_by_seed(self, small_db):
+        a = random_simplify_database(small_db, 0.3, seed=5)
+        b = random_simplify_database(small_db, 0.3, seed=5)
+        for ta, tb in zip(a, b):
+            assert np.array_equal(ta.points, tb.points)
+
+    def test_different_seeds_differ(self, small_db):
+        a = random_simplify_database(small_db, 0.3, seed=5)
+        b = random_simplify_database(small_db, 0.3, seed=6)
+        assert any(
+            not np.array_equal(ta.points, tb.points) for ta, tb in zip(a, b)
+        )
+
+    def test_bad_ratio_rejected(self, small_db):
+        with pytest.raises(ValueError):
+            random_simplify_database(small_db, 0.0)
+        with pytest.raises(ValueError):
+            uniform_simplify_database(small_db, 1.5)
+
+
+class TestPointFeatureOption:
+    def test_vt_ranking_changes_candidates(self, small_db):
+        from repro.core.features import cube_point_state
+        from repro.data import SimplificationState
+
+        state = SimplificationState(small_db)
+        entries = [
+            (tid, i)
+            for tid in range(len(small_db))
+            for i in range(1, len(small_db[tid]) - 1)
+        ]
+        vec_s, cand_s, _ = cube_point_state(state, entries, 3, rank_by="vs")
+        vec_t, cand_t, _ = cube_point_state(state, entries, 3, rank_by="vt")
+        # v_t ordering sorts by the second feature column.
+        vts = vec_t[1::2][: len(cand_t)]
+        assert (np.diff(vts) <= 1e-12).all()
+
+    def test_invalid_feature_rejected(self):
+        from repro.core import RL4QDTSConfig
+
+        with pytest.raises(ValueError):
+            RL4QDTSConfig(point_feature="va")

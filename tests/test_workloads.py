@@ -1,0 +1,109 @@
+"""Unit tests for the range-query workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import RangeQueryWorkload
+
+
+class TestConstruction:
+    def test_from_centres(self, small_db):
+        centres = small_db.all_points()[:5]
+        wl = RangeQueryWorkload.from_centres(centres, 2.0, 4.0)
+        assert len(wl) == 5
+        for q, c in zip(wl, centres):
+            assert q.box.contains_point(*c)
+
+    def test_generate_dispatch(self, small_db):
+        for dist in ("data", "gaussian", "zipf", "real"):
+            wl = RangeQueryWorkload.generate(dist, small_db, 6, seed=1)
+            assert len(wl) == 6
+            assert wl.distribution == dist
+
+    def test_generate_unknown(self, small_db):
+        with pytest.raises(ValueError, match="unknown distribution"):
+            RangeQueryWorkload.generate("pareto", small_db, 5)
+
+
+class TestDistributions:
+    def test_data_centres_on_points(self, small_db):
+        wl = RangeQueryWorkload.from_data_distribution(
+            small_db, 20, spatial_extent=1e-6, temporal_extent=1e-6, seed=2
+        )
+        # With a vanishing extent every query still contains its centre point,
+        # so every query matches at least one trajectory.
+        results = wl.evaluate(small_db)
+        assert all(len(r) >= 1 for r in results)
+
+    def test_gaussian_centres_cluster_near_mu(self, small_db):
+        box = small_db.bounding_box
+        wl = RangeQueryWorkload.from_gaussian(
+            small_db, 200, mu=0.5, sigma=0.05, seed=3
+        )
+        xs = np.array([q.box.center[0] for q in wl])
+        mid = 0.5 * (box.xmin + box.xmax)
+        span = box.xmax - box.xmin
+        assert abs(xs.mean() - mid) < 0.05 * span
+
+    def test_gaussian_clips_to_region(self, small_db):
+        wl = RangeQueryWorkload.from_gaussian(small_db, 100, mu=2.0, sigma=0.01, seed=1)
+        box = small_db.bounding_box
+        for q in wl:
+            cx = q.box.center[0]
+            assert box.xmin - 1e-6 <= cx <= box.xmax + 1e-6
+
+    def test_zipf_concentrates_with_large_exponent(self, geolife_db):
+        flat = RangeQueryWorkload.from_zipf(geolife_db, 150, a=1.5, seed=4)
+        sharp = RangeQueryWorkload.from_zipf(geolife_db, 150, a=8.0, seed=4)
+
+        def spread(wl):
+            centres = np.array([q.box.center[:2] for q in wl])
+            return centres.std(axis=0).sum()
+
+        assert spread(sharp) <= spread(flat)
+
+    def test_zipf_rejects_small_exponent(self, small_db):
+        with pytest.raises(ValueError):
+            RangeQueryWorkload.from_zipf(small_db, 5, a=1.0)
+
+    def test_real_centres_near_endpoints(self, small_db):
+        wl = RangeQueryWorkload.from_real_distribution(
+            small_db, 50, jitter=0.0, seed=5
+        )
+        endpoints = np.concatenate(
+            [np.stack([t.points[0, :2], t.points[-1, :2]]) for t in small_db]
+        )
+        for q in wl:
+            centre = np.array(q.box.center[:2])
+            gaps = np.linalg.norm(endpoints - centre, axis=1)
+            assert gaps.min() < 1e-6
+
+
+class TestBehaviour:
+    def test_deterministic_by_seed(self, small_db):
+        a = RangeQueryWorkload.from_data_distribution(small_db, 10, seed=7)
+        b = RangeQueryWorkload.from_data_distribution(small_db, 10, seed=7)
+        assert a.boxes == b.boxes
+
+    def test_evaluate_returns_per_query_sets(self, small_db, small_workload):
+        results = small_workload.evaluate(small_db)
+        assert len(results) == len(small_workload)
+        assert all(isinstance(r, set) for r in results)
+
+    def test_split(self, small_workload):
+        left, right = small_workload.split(0.4, seed=1)
+        assert len(left) + len(right) == len(small_workload)
+        assert len(left) == round(0.4 * len(small_workload))
+
+    def test_split_rejects_bad_fraction(self, small_workload):
+        with pytest.raises(ValueError):
+            small_workload.split(0.0)
+        with pytest.raises(ValueError):
+            small_workload.split(1.0)
+
+    def test_default_extents_relative_to_scale(self, geolife_db):
+        from repro.data.stats import spatial_scale
+
+        wl = RangeQueryWorkload.from_data_distribution(geolife_db, 5, seed=0)
+        extent = wl[0].box.xmax - wl[0].box.xmin
+        assert extent == pytest.approx(0.3 * spatial_scale(geolife_db), rel=1e-6)

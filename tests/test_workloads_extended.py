@@ -1,0 +1,110 @@
+"""Tests for the uniform / mixture workloads and workload serialization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads import RangeQueryWorkload
+
+
+class TestUniformWorkload:
+    def test_generate_dispatch(self, small_db):
+        wl = RangeQueryWorkload.generate("uniform", small_db, 12, seed=0)
+        assert len(wl) == 12
+        assert wl.distribution == "uniform"
+
+    def test_centres_inside_region(self, small_db):
+        wl = RangeQueryWorkload.from_uniform(small_db, 30, seed=1)
+        box = small_db.bounding_box
+        for query in wl:
+            cx, cy, ct = query.box.center
+            assert box.xmin <= cx <= box.xmax
+            assert box.ymin <= cy <= box.ymax
+            assert box.tmin <= ct <= box.tmax
+
+    def test_seeded_determinism(self, small_db):
+        a = RangeQueryWorkload.from_uniform(small_db, 10, seed=3)
+        b = RangeQueryWorkload.from_uniform(small_db, 10, seed=3)
+        assert a.boxes == b.boxes
+
+    def test_covers_region_more_evenly_than_data(self, small_db):
+        """Uniform centres spread over the box; data centres follow points."""
+        uniform = RangeQueryWorkload.from_uniform(small_db, 200, seed=5)
+        box = small_db.bounding_box
+        xs = np.array([q.box.center[0] for q in uniform])
+        # Mean near the box centre and good spread across the x-range.
+        assert abs(xs.mean() - box.center[0]) < 0.1 * (box.xmax - box.xmin)
+
+
+class TestMixtureWorkload:
+    def test_counts_sum_exactly(self, small_db):
+        wl = RangeQueryWorkload.from_mixture(
+            small_db, 10, {"data": 0.7, "uniform": 0.3}, seed=0
+        )
+        assert len(wl) == 10
+        assert wl.distribution == "mixture"
+
+    def test_single_component(self, small_db):
+        wl = RangeQueryWorkload.from_mixture(small_db, 7, {"data": 1.0}, seed=0)
+        assert len(wl) == 7
+
+    def test_component_params_forwarded(self, small_db):
+        wl = RangeQueryWorkload.from_mixture(
+            small_db,
+            8,
+            {"gaussian": 1.0},
+            seed=0,
+            component_params={"gaussian": {"mu": 0.9, "sigma": 0.05}},
+        )
+        box = small_db.bounding_box
+        xs = np.array([q.box.center[0] for q in wl])
+        rel = (xs - box.xmin) / (box.xmax - box.xmin)
+        assert rel.mean() > 0.7  # concentrated near the top of the range
+
+    def test_zero_weight_component_skipped(self, small_db):
+        wl = RangeQueryWorkload.from_mixture(
+            small_db, 6, {"data": 1.0, "uniform": 0.0}, seed=0
+        )
+        assert len(wl) == 6
+
+    def test_rejects_empty_and_negative(self, small_db):
+        with pytest.raises(ValueError):
+            RangeQueryWorkload.from_mixture(small_db, 5, {})
+        with pytest.raises(ValueError):
+            RangeQueryWorkload.from_mixture(small_db, 5, {"data": -1.0})
+
+    @pytest.mark.parametrize("n", [1, 3, 11, 50])
+    def test_exact_count_across_roundings(self, small_db, n):
+        wl = RangeQueryWorkload.from_mixture(
+            small_db, n, {"data": 1.0, "uniform": 1.0, "gaussian": 1.0}, seed=2
+        )
+        assert len(wl) == n
+
+
+class TestWorkloadSerialization:
+    def test_json_roundtrip(self, small_db):
+        wl = RangeQueryWorkload.from_gaussian(small_db, 9, mu=0.4, seed=7)
+        restored = RangeQueryWorkload.from_json(wl.to_json())
+        assert restored.distribution == wl.distribution
+        assert restored.boxes == wl.boxes
+        assert restored.params["mu"] == 0.4
+
+    def test_file_roundtrip(self, small_db, tmp_path):
+        wl = RangeQueryWorkload.from_data_distribution(small_db, 5, seed=1)
+        path = tmp_path / "wl.json"
+        wl.save(path)
+        restored = RangeQueryWorkload.load(path)
+        assert restored.boxes == wl.boxes
+
+    def test_restored_workload_evaluates_identically(self, small_db):
+        wl = RangeQueryWorkload.from_data_distribution(small_db, 8, seed=2)
+        restored = RangeQueryWorkload.from_json(wl.to_json())
+        assert wl.evaluate(small_db) == restored.evaluate(small_db)
+
+    def test_mixture_params_survive(self, small_db):
+        wl = RangeQueryWorkload.from_mixture(
+            small_db, 4, {"data": 1.0}, seed=3
+        )
+        restored = RangeQueryWorkload.from_json(wl.to_json())
+        assert restored.params["components"] == {"data": 1.0}
