@@ -1,0 +1,154 @@
+"""Batch QueryEngine vs the per-query reference path.
+
+The training loop evaluates its whole range-query workload on every reward
+window, and the evaluation harness re-runs the same workload per simplified
+database — so workload evaluation throughput bounds both. This bench times
+three execution modes over the same workload:
+
+* ``per-query``   — ``range_query_batch``: the trajectory-walking reference;
+* ``engine cold`` — engine construction (flat matrices + grid) + evaluation;
+* ``engine warm`` — a built engine with the result memo cleared each run
+  (the steady-state cost of evaluating a *new* database state);
+* ``engine memo`` — re-evaluating an unchanged state (a cache hit).
+
+The engine must return results identical to the reference and (at default
+scale) beat it by >= 5x warm.
+
+Run standalone::
+
+    python benchmarks/bench_query_engine.py            # default scale
+    python benchmarks/bench_query_engine.py --smoke    # tiny CI smoke run
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.data import synthetic_database
+from repro.queries.engine import QueryEngine
+from repro.queries.range_query import range_query_batch
+from repro.workloads import RangeQueryWorkload
+
+#: Default scale: the acceptance scenario — 100 range queries over a
+#: 200-trajectory synthetic database.
+DEFAULT_TRAJECTORIES = 200
+DEFAULT_QUERIES = 100
+
+
+def _setup(n_trajectories: int, n_queries: int, seed: int = 7):
+    db = synthetic_database(
+        "geolife", n_trajectories=n_trajectories, points_scale=0.1, seed=seed
+    )
+    workload = RangeQueryWorkload.from_data_distribution(db, n_queries, seed=seed)
+    return db, workload
+
+
+def _best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_comparison(
+    n_trajectories: int = DEFAULT_TRAJECTORIES,
+    n_queries: int = DEFAULT_QUERIES,
+    repeats: int = 3,
+) -> dict[str, float]:
+    """Time all modes; returns seconds per mode (plus the warm speedup)."""
+    db, workload = _setup(n_trajectories, n_queries)
+    queries = list(workload.queries)
+
+    engine = QueryEngine(db)
+    reference = range_query_batch(db, queries)
+    assert engine.evaluate(workload) == reference, "engine diverged from reference"
+
+    t_naive = _best_of(lambda: range_query_batch(db, queries), repeats)
+
+    def cold():
+        QueryEngine(db).evaluate(workload)
+
+    t_cold = _best_of(cold, repeats)
+
+    def warm():
+        engine.clear_cache()
+        engine.evaluate(workload)
+
+    t_warm = _best_of(warm, repeats)
+    t_memo = _best_of(lambda: engine.evaluate(workload), repeats)
+
+    return {
+        "per-query": t_naive,
+        "engine cold": t_cold,
+        "engine warm": t_warm,
+        "engine memo": t_memo,
+        "speedup (warm)": t_naive / max(t_warm, 1e-12),
+    }
+
+
+def _report(results: dict[str, float], n_trajectories: int, n_queries: int) -> None:
+    print(
+        f"\n=== Batch QueryEngine vs per-query loop "
+        f"({n_trajectories} trajectories, {n_queries} range queries) ==="
+    )
+    for name, value in results.items():
+        if name.startswith("speedup"):
+            print(f"{name:<16}{value:>10.1f}x")
+        else:
+            print(f"{name:<16}{value * 1000:>10.3f} ms")
+
+
+def bench_query_engine(benchmark):
+    """pytest-benchmark entry: steady-state engine evaluation."""
+    db, workload = _setup(DEFAULT_TRAJECTORIES, DEFAULT_QUERIES)
+    engine = QueryEngine(db)
+    reference = range_query_batch(db, list(workload.queries))
+
+    def warm():
+        engine.clear_cache()
+        return engine.evaluate(workload)
+
+    assert benchmark(warm) == reference
+    results = run_comparison()
+    _report(results, DEFAULT_TRAJECTORIES, DEFAULT_QUERIES)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny database + workload; checks correctness, skips the speedup bar",
+    )
+    parser.add_argument("--trajectories", type=int, default=DEFAULT_TRAJECTORIES)
+    parser.add_argument("--queries", type=int, default=DEFAULT_QUERIES)
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=5.0,
+        help="fail unless the warm engine beats the per-query loop by this factor",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        n_trajectories, n_queries = 20, 10
+    else:
+        n_trajectories, n_queries = args.trajectories, args.queries
+    results = run_comparison(n_trajectories, n_queries)
+    _report(results, n_trajectories, n_queries)
+    if not args.smoke and results["speedup (warm)"] < args.min_speedup:
+        print(
+            f"FAIL: warm speedup {results['speedup (warm)']:.1f}x is below "
+            f"the {args.min_speedup:.1f}x bar"
+        )
+        return 1
+    print("ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

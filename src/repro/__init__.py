@@ -12,6 +12,10 @@ It provides:
   interval index (:mod:`repro.index`),
 * range / kNN / similarity / clustering query operators together with the
   F1-based quality measures used by the paper (:mod:`repro.queries`),
+* a vectorized batch :class:`~repro.queries.engine.QueryEngine` evaluating
+  whole range-query workloads in columnar passes over the database's flat
+  point matrix, with per-state memoization — the training-reward and
+  evaluation hot path (:mod:`repro.queries.engine`),
 * query workload generators over several spatial distributions
   (:mod:`repro.workloads`),
 * a from-scratch numpy DQN stack and the two cooperative agents, Agent-Cube
@@ -43,6 +47,7 @@ from repro.errors import sed_error, ped_error, dad_error, sad_error, trajectory_
 from repro.index import Octree, KDTree, GridIndex, RTree, TemporalIndex
 from repro.queries import (
     RangeQuery,
+    QueryEngine,
     range_query,
     knn_query,
     similarity_query,
@@ -81,6 +86,7 @@ __all__ = [
     "RTree",
     "TemporalIndex",
     "RangeQuery",
+    "QueryEngine",
     "range_query",
     "knn_query",
     "similarity_query",

@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.data.database import TrajectoryDatabase
 from repro.data.simplification import SimplificationState
+from repro.queries.engine import QueryEngine
 from repro.workloads.generators import RangeQueryWorkload
 
 
@@ -107,36 +108,39 @@ def greedy_qdts(
     rng = rng or np.random.default_rng(0)
     state = SimplificationState(db)
 
-    counters = [
-        _QueryCounters(truth) for truth in workload.evaluate(db)
-    ]
+    engine = QueryEngine.for_database(db)
+    counters = [_QueryCounters(truth) for truth in engine.evaluate(workload)]
     lo = np.array([[b.xmin, b.ymin, b.tmin] for b in workload.boxes])
     hi = np.array([[b.xmax, b.ymax, b.tmax] for b in workload.boxes])
     n_queries = len(counters)
 
-    # Endpoints enter first and count toward query results.
-    for traj in db:
-        for point in (traj.points[0], traj.points[-1]):
-            inside = np.flatnonzero(
-                (point >= lo).all(axis=1) & (point <= hi).all(axis=1)
-            )
-            for qi in inside:
-                counters[qi].add(traj.traj_id)
-
-    # Candidate pool: interior points inside at least one query box.
+    # One point-vs-query containment sweep over the flat point matrix,
+    # chunked to bound the (chunk, n_queries) intermediate. Endpoint rows
+    # enter the counters directly (they are always kept); interior rows
+    # inside at least one box form the candidate pool.
+    points = db.point_matrix()
+    offsets = db.point_offsets()
+    owners = db.point_ownership()
+    is_endpoint = np.zeros(len(points), dtype=bool)
+    is_endpoint[offsets[:-1]] = True
+    is_endpoint[offsets[1:] - 1] = True
     point_queries: dict[tuple[int, int], np.ndarray] = {}
-    for traj in db:
-        interior = traj.points[1:-1]
-        if len(interior) == 0:
-            continue
-        # (n_pts, n_queries) containment, chunked per trajectory.
+    chunk = max(1, 262144 // max(n_queries, 1))
+    for start in range(0, len(points), chunk):
+        block = points[start : start + chunk]
         inside = (
-            (interior[:, None, :] >= lo[None, :, :]).all(axis=2)
-            & (interior[:, None, :] <= hi[None, :, :]).all(axis=2)
-        )
-        for offset in np.flatnonzero(inside.any(axis=1)):
-            key = (traj.traj_id, int(offset) + 1)
-            point_queries[key] = np.flatnonzero(inside[offset])
+            (block[:, None, :] >= lo[None, :, :])
+            & (block[:, None, :] <= hi[None, :, :])
+        ).all(axis=2)
+        for local in np.flatnonzero(inside.any(axis=1)):
+            row = start + int(local)
+            tid = int(owners[row])
+            hits = np.flatnonzero(inside[local])
+            if is_endpoint[row]:
+                for qi in hits:
+                    counters[qi].add(tid)
+            else:
+                point_queries[(tid, row - int(offsets[tid]))] = hits
 
     def gain(key: tuple[int, int]) -> float:
         tid = key[0]

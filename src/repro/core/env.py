@@ -178,6 +178,10 @@ class QDTSEnvironment:
         """Current ``diff(Q(D), Q(D'))`` — 1 minus the workload's mean F1."""
         return self.evaluator.diff()
 
+    def exact_diff(self) -> float:
+        """``diff`` recomputed from scratch via the batch query engine."""
+        return self.evaluator.exact_diff(self.state)
+
     @property
     def budget_used(self) -> int:
         return self.state.total_kept

@@ -19,8 +19,8 @@ import numpy as np
 from repro.data.database import TrajectoryDatabase
 from repro.data.simplification import SimplificationState
 from repro.index.grid import GridIndex
+from repro.queries.engine import QueryEngine
 from repro.queries.metrics import f1_score
-from repro.queries.range_query import range_query
 from repro.workloads.generators import RangeQueryWorkload
 
 
@@ -41,32 +41,19 @@ class IncrementalRangeEvaluator:
         # Box bounds as two (Q, 3) matrices for vectorized containment.
         self._lo = np.array([[b.xmin, b.ymin, b.tmin] for b in self._boxes])
         self._hi = np.array([[b.xmax, b.ymax, b.tmax] for b in self._boxes])
-        grid = grid if grid is not None else GridIndex(db)
-        self._truth: list[set[int]] = [
-            range_query(db, q, grid) for q in workload
-        ]
+        # Ground truth and episode resets both run through the shared batch
+        # engine; its memo makes repeated env construction over the same
+        # database + workload (e.g. ratio sweeps) a cache hit. An explicit
+        # ``grid`` is accepted for API compatibility but no longer changes
+        # the result — the engine is exact whatever pruning geometry it uses.
+        self._engine = QueryEngine.for_database(db)
+        self._truth: list[set[int]] = self._engine.evaluate(workload)
         self._results: list[set[int]] = [set() for _ in workload]
 
     # ------------------------------------------------------------------- state
     def reset(self, state: SimplificationState) -> None:
         """Recompute result sets from scratch for the given kept points."""
-        self._results = [set() for _ in self.workload]
-        kept_points = []
-        owners = []
-        for traj in state.database:
-            kept = state.kept_indices(traj.traj_id)
-            kept_points.append(traj.points[kept])
-            owners.append(np.full(len(kept), traj.traj_id, dtype=int))
-        points = np.concatenate(kept_points)
-        owner_arr = np.concatenate(owners)
-        # One vectorized pass per query over all currently kept points.
-        for qi in range(len(self._boxes)):
-            inside = (
-                (points >= self._lo[qi]).all(axis=1)
-                & (points <= self._hi[qi]).all(axis=1)
-            )
-            if inside.any():
-                self._results[qi].update(np.unique(owner_arr[inside]).tolist())
+        self._results = self._engine.evaluate_state(self.workload, state)
 
     def notify_insert(self, traj_id: int, point: np.ndarray) -> None:
         """Record that ``point`` of ``traj_id`` entered the simplified database."""
@@ -89,6 +76,20 @@ class IncrementalRangeEvaluator:
     def diff(self) -> float:
         """``diff(Q(D), Q(D'))`` as used in Eq. 10 (lower is better)."""
         return 1.0 - self.mean_f1()
+
+    def exact_diff(self, state: SimplificationState) -> float:
+        """``diff`` recomputed from scratch through the batch engine.
+
+        An audit of the incremental counters: evaluates the whole workload on
+        ``state`` directly and scores it against the truth, bypassing
+        :meth:`notify_insert` bookkeeping entirely.
+        """
+        results = self._engine.evaluate_state(self.workload, state)
+        scores = [
+            f1_score(truth, result)
+            for truth, result in zip(self._truth, results)
+        ]
+        return 1.0 - float(np.mean(scores))
 
     @property
     def truth(self) -> list[set[int]]:

@@ -66,6 +66,7 @@ def run_episode(
     use_agent_point: bool = True,
     max_cube_retries: int = 5,
     reset: bool = True,
+    exact_final_diff: bool = False,
 ) -> RolloutStats:
     """Run one full simplification episode; returns its statistics.
 
@@ -74,6 +75,9 @@ def run_episode(
     transitions and performs DQN updates at each reward window.
     ``reset=False`` continues from the environment's current simplification
     state instead of the endpoints-only database (progressive refinement).
+    ``exact_final_diff=True`` recomputes the reported ``final_diff`` from
+    scratch through the batch query engine instead of trusting the
+    incremental counters — an audit hook for tests and debugging.
     """
     if reset:
         env.reset()
@@ -149,7 +153,7 @@ def run_episode(
             diff_prev = diff_now
             window_inserts = 0
 
-    stats.final_diff = env.diff()
+    stats.final_diff = env.exact_diff() if exact_final_diff else env.diff()
     return stats
 
 

@@ -24,7 +24,14 @@ class TrajectoryDatabase:
     from indexes, query results, and simplification states trivially stable.
     """
 
-    __slots__ = ("trajectories", "_bbox", "_total_points")
+    __slots__ = (
+        "trajectories",
+        "_bbox",
+        "_total_points",
+        "_point_matrix",
+        "_point_offsets",
+        "__weakref__",
+    )
 
     def __init__(self, trajectories: Iterable[Trajectory]) -> None:
         self.trajectories: list[Trajectory] = [
@@ -35,6 +42,8 @@ class TrajectoryDatabase:
             raise ValueError("a database needs at least one trajectory")
         self._bbox: BoundingBox | None = None
         self._total_points: int | None = None
+        self._point_matrix: np.ndarray | None = None
+        self._point_offsets: np.ndarray | None = None
 
     # ------------------------------------------------------------------ basics
     def __len__(self) -> int:
@@ -77,13 +86,50 @@ class TrajectoryDatabase:
         return max(int(round(ratio * self.total_points)), 2 * len(self))
 
     def all_points(self) -> np.ndarray:
-        """All points stacked into one ``(N, 3)`` array (database order)."""
-        return np.concatenate([t.points for t in self.trajectories], axis=0)
+        """All points stacked into one ``(N, 3)`` array (database order).
+
+        Alias of :meth:`point_matrix`; the returned array is cached and
+        read-only — copy before mutating.
+        """
+        return self.point_matrix()
+
+    def point_matrix(self) -> np.ndarray:
+        """The cached, read-only ``(N, 3)`` point matrix (database order).
+
+        Row ``i`` of trajectory ``tid`` lives at global row
+        ``point_offsets()[tid] + i``; batch query execution
+        (:class:`repro.queries.engine.QueryEngine`) runs containment tests
+        directly over this matrix instead of walking trajectories.
+        """
+        if self._point_matrix is None:
+            flat = np.concatenate([t.points for t in self.trajectories], axis=0)
+            flat.setflags(write=False)
+            self._point_matrix = flat
+        return self._point_matrix
+
+    def point_offsets(self) -> np.ndarray:
+        """Cached ``(M + 1,)`` row offsets into :meth:`point_matrix`.
+
+        Trajectory ``tid`` owns rows ``offsets[tid]:offsets[tid + 1]``.
+        """
+        if self._point_offsets is None:
+            counts = np.fromiter(
+                (len(t) for t in self.trajectories),
+                dtype=np.int64,
+                count=len(self.trajectories),
+            )
+            offsets = np.zeros(len(self.trajectories) + 1, dtype=np.int64)
+            np.cumsum(counts, out=offsets[1:])
+            offsets.setflags(write=False)
+            self._point_offsets = offsets
+        return self._point_offsets
 
     def point_ownership(self) -> np.ndarray:
         """``(N,)`` trajectory id per row of :meth:`all_points`."""
-        return np.concatenate(
-            [np.full(len(t), t.traj_id, dtype=int) for t in self.trajectories]
+        offsets = self.point_offsets()
+        return np.repeat(
+            np.arange(len(self.trajectories), dtype=np.int64),
+            np.diff(offsets),
         )
 
     def subset(self, traj_ids: Sequence[int]) -> "TrajectoryDatabase":

@@ -25,6 +25,7 @@ import numpy as np
 from repro.data.database import TrajectoryDatabase
 from repro.data.stats import spatial_scale
 from repro.queries.clustering import TraclusConfig, traclus_cluster
+from repro.queries.engine import QueryEngine
 from repro.queries.knn import knn_query
 from repro.queries.metrics import clustering_f1, f1_score
 from repro.queries.similarity import similarity_query
@@ -91,7 +92,7 @@ class QueryAccuracyEvaluator:
         self.workload = workload or RangeQueryWorkload.generate(
             cfg.range_distribution, db, cfg.n_range_queries, seed=cfg.seed
         )
-        self._range_truth = self.workload.evaluate(db)
+        self._range_truth = QueryEngine.for_database(db).evaluate(self.workload)
 
         # --- kNN queries (shared query trajectories for both measures) -----
         n_knn = min(cfg.n_knn_queries, len(db))
@@ -155,7 +156,12 @@ class QueryAccuracyEvaluator:
         scores: dict[str, float] = {}
         for task in tasks:
             if task == "range":
-                results = self.workload.evaluate(simplified)
+                # The shared engine memoizes per (database, workload):
+                # scoring the same simplified database again — e.g. in
+                # evaluate_extended — reuses these results.
+                results = QueryEngine.for_database(simplified).evaluate(
+                    self.workload
+                )
                 scores[task] = float(
                     np.mean(
                         [f1_score(t, r) for t, r in zip(self._range_truth, results)]
@@ -206,7 +212,7 @@ class QueryAccuracyEvaluator:
             kendall_tau,
         )
 
-        results = self.workload.evaluate(simplified)
+        results = QueryEngine.for_database(simplified).evaluate(self.workload)
         range_jaccard = float(
             np.mean([jaccard(t, r) for t, r in zip(self._range_truth, results)])
         )

@@ -15,6 +15,21 @@ from repro.data.bbox import BoundingBox
 from repro.data.database import TrajectoryDatabase
 
 
+def grid_geometry(
+    box: BoundingBox, resolution: tuple[int, int, int]
+) -> tuple[np.ndarray, np.ndarray]:
+    """``(origin, cell_size)`` of a uniform grid over ``box``.
+
+    Shared by :class:`GridIndex` and the batch query engine
+    (:mod:`repro.queries.engine`) so both assign points to identical cells.
+    Zero-span axes get a unit span so the division is well defined.
+    """
+    origin = np.array([box.xmin, box.ymin, box.tmin])
+    spans = np.array(box.spans)
+    spans[spans <= 0] = 1.0
+    return origin, spans / np.array(resolution, dtype=float)
+
+
 class GridIndex:
     """Uniform grid over (x, y, t) mapping cells to trajectory ids.
 
@@ -36,15 +51,17 @@ class GridIndex:
         self.database = database
         self.resolution = resolution
         box = database.bounding_box
-        self._origin = np.array([box.xmin, box.ymin, box.tmin])
-        spans = np.array(box.spans)
-        spans[spans <= 0] = 1.0
-        self._cell_size = spans / np.array(resolution, dtype=float)
+        self._extent = box
+        self._origin, self._cell_size = grid_geometry(box, resolution)
         self._cells: dict[tuple[int, int, int], set[int]] = defaultdict(set)
         for traj in database:
             cells = self.cells_of(traj.points)
-            for cell in set(map(tuple, cells)):
+            for cell in map(tuple, np.unique(cells, axis=0)):
                 self._cells[cell].add(traj.traj_id)
+        # Flat occupied-cell arrays: candidate lookup scans these with one
+        # vectorized comparison instead of enumerating the cell range.
+        self._cell_keys = np.array(list(self._cells), dtype=int).reshape(-1, 3)
+        self._cell_sets = list(self._cells.values())
 
     def cells_of(self, points: np.ndarray) -> np.ndarray:
         """``(n, 3)`` integer cell coordinates for each point (clipped in-range)."""
@@ -60,17 +77,27 @@ class GridIndex:
         """Ids of trajectories with a point in some cell overlapping ``box``.
 
         A superset of the exact range-query answer; callers verify candidates
-        against actual points.
+        against actual points. A box disjoint from the indexed extent has no
+        candidates — without the explicit intersection test the clipped cell
+        coordinates would snap an out-of-extent box onto border cells and
+        return spurious candidates.
         """
-        lo = self.cells_of(np.array([[box.xmin, box.ymin, box.tmin]]))[0]
-        hi = self.cells_of(np.array([[box.xmax, box.ymax, box.tmax]]))[0]
+        if len(self._cell_keys) == 0 or not box.intersects(self._extent):
+            return set()
+        corners = self.cells_of(
+            np.array(
+                [
+                    [box.xmin, box.ymin, box.tmin],
+                    [box.xmax, box.ymax, box.tmax],
+                ]
+            )
+        )
+        hit = ((self._cell_keys >= corners[0]) & (self._cell_keys <= corners[1])).all(
+            axis=1
+        )
         result: set[int] = set()
-        for cx in range(lo[0], hi[0] + 1):
-            for cy in range(lo[1], hi[1] + 1):
-                for ct in range(lo[2], hi[2] + 1):
-                    ids = self._cells.get((cx, cy, ct))
-                    if ids:
-                        result |= ids
+        for i in np.flatnonzero(hit):
+            result |= self._cell_sets[i]
         return result
 
     def occupied_cells(self) -> list[tuple[int, int, int]]:

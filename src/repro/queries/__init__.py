@@ -3,6 +3,8 @@
 Four query types are supported, matching the paper's evaluation:
 
 * :func:`range_query` — spatio-temporal box containment,
+* :class:`QueryEngine` — vectorized, memoizing batch execution of whole
+  range-query workloads (the training / evaluation hot path),
 * :func:`knn_query` — k nearest trajectories under EDR or a learned
   (t2vec-style) similarity,
 * :func:`similarity_query` — synchronized-distance threshold match,
@@ -13,6 +15,7 @@ results against the original database's results (:mod:`repro.queries.metrics`).
 """
 
 from repro.queries.range_query import RangeQuery, range_query, range_query_batch
+from repro.queries.engine import QueryEngine
 from repro.queries.edr import edr_distance
 from repro.queries.t2vec import T2VecEmbedder
 from repro.queries.knn import knn_query
@@ -39,6 +42,7 @@ __all__ = [
     "RangeQuery",
     "range_query",
     "range_query_batch",
+    "QueryEngine",
     "edr_distance",
     "T2VecEmbedder",
     "knn_query",

@@ -1,0 +1,333 @@
+"""Columnar batch execution of range-query workloads.
+
+Training evaluates hundreds of range queries after every ``delta``
+insertions (the reward of Eq. 3 over the workload), and the evaluation
+harness re-runs the same workload on every simplified database it scores.
+The per-query path (:func:`repro.queries.range_query.range_query`) walks the
+database trajectory by trajectory in Python — correct, but the wrong shape
+for a hot path.
+
+:class:`QueryEngine` treats the *workload* as the unit of execution:
+
+* the database is flattened once into the cached ``(N, 3)`` point matrix and
+  per-trajectory offset array (:meth:`TrajectoryDatabase.point_matrix` /
+  :meth:`~TrajectoryDatabase.point_offsets`), then sorted by uniform grid
+  cell into a CSR layout (cell -> contiguous point rows);
+* a whole workload is answered in a fixed number of vectorized passes:
+  query-box cell ranges, a (queries x cells) overlap matrix, one gather of
+  all candidate rows, one broadcasted containment test, and one
+  ``np.unique`` over (query, trajectory) hit pairs — no per-query Python
+  work beyond building the final result sets;
+* whole-workload results are memoized, keyed on the query boxes and (for
+  simplified-state evaluation) the kept-row fingerprint, so re-scoring the
+  same database state against the same workload is a dictionary lookup.
+
+The per-query functions remain the reference implementation the engine is
+property-tested against (``tests/test_query_engine.py``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Iterable
+from weakref import WeakKeyDictionary, ref
+
+import numpy as np
+
+from repro.data.bbox import BoundingBox
+from repro.data.database import TrajectoryDatabase
+from repro.index.grid import GridIndex, grid_geometry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (workloads -> queries)
+    from repro.data.simplification import SimplificationState
+    from repro.workloads.generators import RangeQueryWorkload
+
+#: Process-wide engine reuse: one engine per live database object, so
+#: repeated scoring of the same (simplified) database shares the columnar
+#: layout and the result memo.
+_ENGINES: "WeakKeyDictionary[TrajectoryDatabase, QueryEngine]" = WeakKeyDictionary()
+
+#: Candidate rows expanded per pass: bounds the working-set memory for
+#: worst-case (whole-extent) boxes without throttling typical selective
+#: workloads, which fit in a single pass.
+_ROW_BUDGET = 1 << 19
+
+
+def _workload_bounds(queries: Iterable) -> tuple[np.ndarray, np.ndarray]:
+    """Stacked ``(Q, 3)`` lower/upper bound matrices of the query boxes."""
+    boxes = [q.box if hasattr(q, "box") else q for q in queries]
+    if not boxes:
+        return np.empty((0, 3)), np.empty((0, 3))
+    lo = np.array([[b.xmin, b.ymin, b.tmin] for b in boxes], dtype=float)
+    hi = np.array([[b.xmax, b.ymax, b.tmax] for b in boxes], dtype=float)
+    return lo, hi
+
+
+class QueryEngine:
+    """Vectorized, memoizing range-query workload evaluator for one database.
+
+    Parameters
+    ----------
+    db:
+        The database all evaluations run against.
+    grid:
+        Optional :class:`GridIndex` whose cell geometry the engine adopts
+        (results are identical either way; this only aligns pruning cells).
+    resolution:
+        Grid resolution when no index is supplied.
+    max_cached_results:
+        Number of whole-workload result lists kept in the LRU memo.
+    """
+
+    def __init__(
+        self,
+        db: TrajectoryDatabase,
+        grid: GridIndex | None = None,
+        resolution: tuple[int, int, int] = (32, 32, 16),
+        max_cached_results: int = 16,
+    ) -> None:
+        # Only a weak reference to the database: the engine snapshots all
+        # data it needs, and a strong reference would pin every database in
+        # the process-wide _ENGINES WeakKeyDictionary forever (a value that
+        # strongly references its key never expires).
+        self._db_ref = ref(db)
+        self._n_traj = len(db)
+        self._offsets = db.point_offsets()
+        self._extent = db.bounding_box
+        self.resolution = grid.resolution if grid is not None else resolution
+        if min(self.resolution) < 1 or max(self.resolution) >= 2**15:
+            # Cell coordinates are stored as int16; larger axes would wrap
+            # silently and drop results.
+            raise ValueError(
+                f"resolution axes must be in [1, {2**15 - 1}], "
+                f"got {self.resolution}"
+            )
+        if grid is not None:
+            self._origin, self._cell_size = grid._origin, grid._cell_size
+        else:
+            self._origin, self._cell_size = grid_geometry(self._extent, resolution)
+        points = db.point_matrix()
+        owners = db.point_ownership()
+        # CSR layout: points sorted by composite cell id; each occupied cell
+        # owns a contiguous row range of the sorted columns. Coordinates are
+        # stored column-contiguous so the hot path runs on 1-D takes and
+        # comparisons instead of (rows, 3) fancy indexing.
+        nx, ny, nt = self.resolution
+        cells = np.clip(
+            np.floor((points - self._origin) / self._cell_size).astype(np.int64),
+            0,
+            np.array(self.resolution) - 1,
+        )
+        cell_ids = (cells[:, 0] * ny + cells[:, 1]) * nt + cells[:, 2]
+        self._order = np.argsort(cell_ids, kind="stable")
+        sorted_points = points[self._order]
+        self._px = np.ascontiguousarray(sorted_points[:, 0])
+        self._py = np.ascontiguousarray(sorted_points[:, 1])
+        self._pt = np.ascontiguousarray(sorted_points[:, 2])
+        self._owners = owners[self._order].astype(np.int32)
+        sorted_ids = cell_ids[self._order]
+        unique_ids, starts = np.unique(sorted_ids, return_index=True)
+        self._cell_starts = starts.astype(np.int32)
+        self._cell_counts = np.diff(np.append(starts, len(points))).astype(np.int32)
+        # Per-axis coordinates of each occupied cell, for the overlap test
+        # (int16: resolutions are far below 2**15 cells per axis).
+        self._cell_x = (unique_ids // (ny * nt)).astype(np.int16)
+        self._cell_y = ((unique_ids // nt) % ny).astype(np.int16)
+        self._cell_t = (unique_ids % nt).astype(np.int16)
+        self._max_cached = max_cached_results
+        self._cache: OrderedDict[tuple, tuple[frozenset[int], ...]] = OrderedDict()
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    @property
+    def db(self) -> TrajectoryDatabase | None:
+        """The engine's database, or None once it has been garbage-collected."""
+        return self._db_ref()
+
+    @classmethod
+    def for_database(cls, db: TrajectoryDatabase, **kwargs) -> "QueryEngine":
+        """The shared engine of ``db`` (created on first use, then reused).
+
+        Keyed weakly on the database object: engines die with their database,
+        and every consumer scoring the same database state hits the same
+        memo. ``kwargs`` configure the engine only on first creation; later
+        calls return the existing engine unchanged — construct
+        :class:`QueryEngine` directly for a private configuration.
+        """
+        engine = _ENGINES.get(db)
+        if engine is None:
+            engine = cls(db, **kwargs)
+            _ENGINES[db] = engine
+        return engine
+
+    # ---------------------------------------------------------------- execution
+    def evaluate(self, workload: "RangeQueryWorkload | Iterable") -> list[set[int]]:
+        """Result sets of every query of ``workload`` on the database.
+
+        Identical to ``[range_query(db, q) for q in workload]`` but executed
+        as batched vectorized passes, and memoized on the query boxes.
+        """
+        lo, hi = _workload_bounds(workload)
+        key = ("full", lo.tobytes(), hi.tobytes())
+        cached = self._lookup(key)
+        if cached is not None:
+            return cached
+        results = self._evaluate_bounds(lo, hi)
+        self._store(key, results)
+        return results
+
+    def evaluate_state(
+        self, workload: "RangeQueryWorkload | Iterable", state: "SimplificationState"
+    ) -> list[set[int]]:
+        """Evaluate ``workload`` on the simplified view described by ``state``.
+
+        Equivalent to materializing the state and running every query on the
+        resulting database, without building any trajectory objects. Memoized
+        on (workload, kept rows), so re-evaluating an unchanged state — e.g.
+        the endpoints-only reset at the start of every training episode — is
+        a cache hit.
+        """
+        if state.database is not self._db_ref():
+            raise ValueError("state does not belong to this engine's database")
+        rows = self.state_rows(state)
+        lo, hi = _workload_bounds(workload)
+        # Rows can be as large as the database; key on a fixed-size digest
+        # instead of the raw bytes so the LRU holds no point-scale payloads.
+        digest = hashlib.blake2b(rows.tobytes(), digest_size=16).digest()
+        key = ("state", lo.tobytes(), hi.tobytes(), digest)
+        cached = self._lookup(key)
+        if cached is not None:
+            return cached
+        kept = np.zeros(len(self._px), dtype=bool)
+        kept[rows] = True
+        results = self._evaluate_bounds(lo, hi, kept_sorted=kept[self._order])
+        self._store(key, results)
+        return results
+
+    def state_rows(self, state: "SimplificationState") -> np.ndarray:
+        """Global point-matrix rows kept by ``state`` (sorted, int64)."""
+        offsets = self._offsets
+        return np.concatenate(
+            [
+                offsets[tid] + np.asarray(kept, dtype=np.int64)
+                for tid, kept in enumerate(state.kept)
+            ]
+        )
+
+    def _evaluate_bounds(
+        self,
+        lo: np.ndarray,
+        hi: np.ndarray,
+        kept_sorted: np.ndarray | None = None,
+    ) -> list[set[int]]:
+        n_queries = len(lo)
+        results: list[set[int]] = [set() for _ in range(n_queries)]
+        if n_queries == 0:
+            return results
+        extent = self._extent
+        extent_lo = np.array([extent.xmin, extent.ymin, extent.tmin])
+        extent_hi = np.array([extent.xmax, extent.ymax, extent.tmax])
+        # Boxes disjoint from the extent have empty results; excluding them
+        # here also keeps the clipped cell ranges below from snapping
+        # out-of-extent boxes onto border cells.
+        alive = ~((hi < extent_lo).any(axis=1) | (lo > extent_hi).any(axis=1))
+        res = np.array(self.resolution) - 1
+        lo_cells = np.clip(
+            np.floor((lo - self._origin) / self._cell_size).astype(np.int64), 0, res
+        ).astype(np.int16)
+        hi_cells = np.clip(
+            np.floor((hi - self._origin) / self._cell_size).astype(np.int64), 0, res
+        ).astype(np.int16)
+        # One (queries, occupied-cells) overlap matrix for the whole workload.
+        overlap = (
+            (self._cell_x >= lo_cells[:, 0:1])
+            & (self._cell_x <= hi_cells[:, 0:1])
+            & (self._cell_y >= lo_cells[:, 1:2])
+            & (self._cell_y <= hi_cells[:, 1:2])
+            & (self._cell_t >= lo_cells[:, 2:3])
+            & (self._cell_t <= hi_cells[:, 2:3])
+        )
+        overlap[~alive] = False
+        flat = np.flatnonzero(overlap)
+        if len(flat) == 0:
+            return results
+        q_idx = (flat // overlap.shape[1]).astype(np.int32)
+        c_idx = flat % overlap.shape[1]
+        lengths = self._cell_counts[c_idx]
+        pair_ends = np.cumsum(lengths, dtype=np.int64)
+        # Column-contiguous per-axis bounds for the 1-D takes below.
+        qlo = [np.ascontiguousarray(lo[:, a]) for a in range(3)]
+        qhi = [np.ascontiguousarray(hi[:, a]) for a in range(3)]
+        axes = (self._px, self._py, self._pt)
+        hit_pairs: list[np.ndarray] = []
+        n_traj = self._n_traj
+        pair_start = 0
+        while pair_start < len(q_idx):
+            # Expand (query, cell) pairs into candidate rows ("multi-arange"
+            # over the CSR ranges), at most ~_ROW_BUDGET rows per pass.
+            done = pair_ends[pair_start - 1] if pair_start else 0
+            pair_stop = int(
+                np.searchsorted(pair_ends, done + _ROW_BUDGET, side="left") + 1
+            )
+            pairs = slice(pair_start, min(pair_stop, len(q_idx)))
+            sub_lengths = lengths[pairs]
+            sub_ends = np.cumsum(sub_lengths, dtype=np.int64)
+            total = int(sub_ends[-1])
+            # rows = for each pair, cell_start + 0..length-1, flattened: one
+            # repeat of the rebased starts plus a single arange.
+            base = self._cell_starts[c_idx[pairs]] - (sub_ends - sub_lengths).astype(
+                np.int32
+            )
+            rows = np.repeat(base, sub_lengths) + np.arange(total, dtype=np.int32)
+            row_query = np.repeat(q_idx[pairs], sub_lengths)
+            inside: np.ndarray | None = None
+            for axis, alo, ahi in zip(axes, qlo, qhi):
+                coord = axis.take(rows)
+                test = (coord >= alo.take(row_query)) & (coord <= ahi.take(row_query))
+                inside = test if inside is None else inside & test
+            if kept_sorted is not None:
+                inside &= kept_sorted[rows]
+            hits = row_query[inside].astype(np.int64) * n_traj + self._owners.take(
+                rows[inside]
+            )
+            if len(hits):
+                # Owners are contiguous inside each (query, cell) segment, so
+                # adjacent dedup removes most duplicates before the sort-based
+                # unique below.
+                keep = np.empty(len(hits), dtype=bool)
+                keep[0] = True
+                np.not_equal(hits[1:], hits[:-1], out=keep[1:])
+                hit_pairs.append(hits[keep])
+            pair_start = pairs.stop
+        if not hit_pairs:
+            return results
+        # Unique (query, trajectory) pairs -> result sets.
+        unique = np.unique(np.concatenate(hit_pairs))
+        hit_queries = unique // n_traj
+        hit_owners = unique % n_traj
+        bounds = np.searchsorted(hit_queries, np.arange(n_queries + 1))
+        for qi in range(n_queries):
+            s, e = bounds[qi], bounds[qi + 1]
+            if e > s:
+                results[qi] = set(hit_owners[s:e].tolist())
+        return results
+
+    # -------------------------------------------------------------------- memo
+    def _lookup(self, key: tuple) -> list[set[int]] | None:
+        cached = self._cache.get(key)
+        if cached is None:
+            self.cache_misses += 1
+            return None
+        self._cache.move_to_end(key)
+        self.cache_hits += 1
+        return [set(s) for s in cached]
+
+    def _store(self, key: tuple, results: list[set[int]]) -> None:
+        self._cache[key] = tuple(frozenset(s) for s in results)
+        while len(self._cache) > self._max_cached:
+            self._cache.popitem(last=False)
+
+    def clear_cache(self) -> None:
+        """Drop all memoized results (hit/miss counters are kept)."""
+        self._cache.clear()

@@ -52,6 +52,10 @@ def knn_query(
     time_window:
         ``(ts, te)``; defaults to the query trajectory's own time span.
         Trajectories with fewer than two points inside the window rank last.
+        If the *query's own* window restriction has fewer than two points the
+        query is degenerate — no trajectory can be meaningfully ranked — and
+        the result is the empty list (previously the ``k`` lowest trajectory
+        ids were returned silently, every distance being infinite).
     measure:
         ``"edr"``, ``"t2vec"``, or a callable ``(Tq', Ti') -> float``.
     eps:
@@ -80,6 +84,11 @@ def knn_query(
         raise ValueError(f"unknown measure {measure!r}")
 
     query_window = _window_restriction(query, ts, te)
+    if query_window is None:
+        # Degenerate query: its own window restriction cannot be compared to
+        # anything, so every distance would be infinite and the "k nearest"
+        # would just be the k lowest ids. Return the documented empty result.
+        return []
     alive = (
         temporal_index.overlapping(ts, te)
         if temporal_index is not None
@@ -91,7 +100,7 @@ def knn_query(
             distances.append((np.inf, traj.traj_id))
             continue
         restricted = _window_restriction(traj, ts, te)
-        if restricted is None or query_window is None:
+        if restricted is None:
             distances.append((np.inf, traj.traj_id))
         else:
             distances.append((theta(query_window, restricted), traj.traj_id))

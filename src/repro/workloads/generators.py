@@ -321,10 +321,20 @@ class RangeQueryWorkload:
 
     # ---------------------------------------------------------------- evaluate
     def evaluate(self, db: TrajectoryDatabase, grid=None) -> list[set[int]]:
-        """Result sets of every query on ``db``."""
-        from repro.queries.range_query import range_query
+        """Result sets of every query on ``db``.
 
-        return [range_query(db, q, grid) for q in self.queries]
+        Routed through the database's shared
+        :class:`~repro.queries.engine.QueryEngine` (vectorized + memoized);
+        passing an explicit ``grid`` falls back to the per-query reference
+        path with that index.
+        """
+        if grid is not None:
+            from repro.queries.range_query import range_query
+
+            return [range_query(db, q, grid) for q in self.queries]
+        from repro.queries.engine import QueryEngine
+
+        return QueryEngine.for_database(db).evaluate(self)
 
     # ------------------------------------------------------------ persistence
     def to_json(self) -> str:

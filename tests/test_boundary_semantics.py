@@ -1,0 +1,129 @@
+"""Closed-box boundary semantics and out-of-extent query regressions.
+
+Boxes are closed on every face: a point exactly on ``xmax`` / ``ymax`` /
+``tmax`` is inside. These tests pin that convention consistently across
+:meth:`BoundingBox.contains_points`, :func:`range_query` (naive, grid, and
+engine paths), :class:`GridIndex` candidate pruning, and
+:func:`density_histogram` binning.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import BoundingBox, Trajectory, TrajectoryDatabase
+from repro.index import GridIndex
+from repro.queries import QueryEngine, RangeQuery, density_histogram, range_query
+from repro.workloads import RangeQueryWorkload
+
+
+@pytest.fixture
+def edge_db() -> TrajectoryDatabase:
+    """Two trajectories; trajectory 1 ends exactly at the extent's max corner."""
+    inner = Trajectory(
+        np.array([[1.0, 1.0, 0.0], [2.0, 2.0, 1.0], [3.0, 3.0, 2.0]]), traj_id=0
+    )
+    edge = Trajectory(
+        np.array([[5.0, 5.0, 5.0], [10.0, 10.0, 10.0]]), traj_id=1
+    )
+    return TrajectoryDatabase([inner, edge])
+
+
+#: A box whose max faces pass exactly through the extent corner (10, 10, 10).
+CORNER_BOX = BoundingBox(9.5, 10.0, 9.5, 10.0, 9.5, 10.0)
+
+
+class TestClosedBoxBoundaries:
+    def test_contains_points_includes_max_faces(self):
+        box = BoundingBox(0.0, 1.0, 0.0, 1.0, 0.0, 1.0)
+        on_faces = np.array(
+            [[1.0, 0.5, 0.5], [0.5, 1.0, 0.5], [0.5, 0.5, 1.0], [1.0, 1.0, 1.0]]
+        )
+        beyond = np.array([[1.0 + 1e-9, 0.5, 0.5]])
+        assert box.contains_points(on_faces).all()
+        assert not box.contains_points(beyond).any()
+
+    def test_range_query_includes_boundary_point_on_all_paths(self, edge_db):
+        query = RangeQuery(CORNER_BOX)
+        grid = GridIndex(edge_db)
+        naive = range_query(edge_db, query)
+        with_grid = range_query(edge_db, query, grid)
+        engine = QueryEngine(edge_db).evaluate([query])[0]
+        assert naive == with_grid == engine == {1}
+
+    def test_grid_candidates_include_boundary_point(self, edge_db):
+        grid = GridIndex(edge_db)
+        assert 1 in grid.candidate_trajectories(CORNER_BOX)
+
+    def test_density_histogram_counts_max_edge_points(self, edge_db):
+        hist = density_histogram(edge_db, grid=4)
+        # Every point is binned — including (10, 10), exactly on xmax/ymax,
+        # which lands in the last cell instead of falling off the raster.
+        assert hist.sum() == edge_db.total_points
+        assert hist[-1, -1] >= 1
+
+
+class TestOutOfExtentQueries:
+    def test_grid_disjoint_box_has_no_candidates(self):
+        """Regression: clipped corners used to snap onto border cells.
+
+        A box fully disjoint from unit-cube data — e.g. (10..11)^3 — returned
+        the border-cell occupants (typically ``{0}``) instead of nothing.
+        """
+        rng = np.random.default_rng(0)
+        trajs = [
+            Trajectory(
+                np.column_stack(
+                    [rng.random(6), rng.random(6), np.sort(rng.random(6))]
+                ),
+                traj_id=i,
+            )
+            for i in range(4)
+        ]
+        db = TrajectoryDatabase(trajs)
+        grid = GridIndex(db)
+        far = BoundingBox(10.0, 11.0, 10.0, 11.0, 10.0, 11.0)
+        assert grid.candidate_trajectories(far) == set()
+        assert range_query(db, RangeQuery(far), grid) == set()
+
+    def test_partially_overlapping_box_still_prunes_correctly(self, edge_db):
+        # Sticking out beyond the extent on every max face must not lose the
+        # boundary trajectory.
+        box = BoundingBox(9.5, 20.0, 9.5, 20.0, 9.5, 20.0)
+        grid = GridIndex(edge_db)
+        assert range_query(edge_db, RangeQuery(box), grid) == {1}
+
+    def test_engine_matches_naive_for_straddling_workload(self, edge_db):
+        box = edge_db.bounding_box
+        centres = np.array(
+            [
+                [box.xmax, box.ymax, box.tmax],  # straddles the max corner
+                [box.xmax + 100.0, box.ymax + 100.0, box.tmax + 100.0],  # far out
+                [box.xmin, box.ymin, box.tmin],  # straddles the min corner
+            ]
+        )
+        workload = RangeQueryWorkload.from_centres(
+            centres, spatial_extent=2.0, temporal_extent=2.0
+        )
+        engine_results = QueryEngine(edge_db).evaluate(workload)
+        naive = [range_query(edge_db, q) for q in workload]
+        assert engine_results == naive
+        assert engine_results[1] == set()
+
+
+class TestDegenerateKnnQuery:
+    def test_degenerate_query_window_returns_empty(self, small_db):
+        from repro.queries import knn_query
+
+        query = small_db[0]
+        # A window strictly before the query's first sample leaves < 2 points.
+        t0 = float(query.times[0])
+        result = knn_query(
+            small_db, query, k=3, time_window=(t0 - 100.0, t0 - 50.0)
+        )
+        assert result == []
+
+    def test_healthy_window_still_ranks(self, small_db):
+        from repro.queries import knn_query
+
+        result = knn_query(small_db, small_db[0], k=3, eps=10.0)
+        assert len(result) == 3

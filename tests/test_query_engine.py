@@ -1,0 +1,220 @@
+"""Tests for the vectorized batch query engine and the columnar DB layer.
+
+The engine's contract is exact equivalence with the per-query reference path
+(:func:`repro.queries.range_query.range_query`); the property tests here
+assert it over randomized databases, workload distributions, and simplified
+states.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    IncrementalRangeEvaluator,
+    QDTSEnvironment,
+    RL4QDTSConfig,
+    run_episode,
+)
+from repro.data import SimplificationState, TrajectoryDatabase
+from repro.queries import QueryEngine, range_query_batch
+from repro.workloads import RangeQueryWorkload
+from tests.conftest import make_trajectory
+from tests.test_core import make_agents
+
+
+def random_db(seed: int, n_trajectories: int = 8) -> TrajectoryDatabase:
+    return TrajectoryDatabase(
+        [
+            make_trajectory(n=4 + (seed + i) % 10, seed=seed + i, traj_id=i)
+            for i in range(n_trajectories)
+        ]
+    )
+
+
+def random_state(db: TrajectoryDatabase, seed: int) -> SimplificationState:
+    state = SimplificationState(db)
+    rng = np.random.default_rng(seed)
+    for _ in range(40):
+        tid = int(rng.integers(len(db)))
+        if len(db[tid]) <= 2:
+            continue
+        idx = int(rng.integers(1, len(db[tid]) - 1))
+        if not state.is_kept(tid, idx):
+            state.insert(tid, idx)
+    return state
+
+
+class TestColumnarDatabase:
+    def test_point_matrix_matches_trajectories(self, small_db):
+        matrix = small_db.point_matrix()
+        offsets = small_db.point_offsets()
+        assert matrix.shape == (small_db.total_points, 3)
+        assert offsets.shape == (len(small_db) + 1,)
+        assert offsets[0] == 0 and offsets[-1] == small_db.total_points
+        for traj in small_db:
+            rows = matrix[offsets[traj.traj_id] : offsets[traj.traj_id + 1]]
+            np.testing.assert_array_equal(rows, traj.points)
+
+    def test_matrix_is_cached_and_read_only(self, small_db):
+        matrix = small_db.point_matrix()
+        assert small_db.point_matrix() is matrix
+        assert small_db.all_points() is matrix
+        assert not matrix.flags.writeable
+        with pytest.raises(ValueError):
+            matrix[0, 0] = 1.0
+
+    def test_ownership_matches_offsets(self, small_db):
+        owners = small_db.point_ownership()
+        offsets = small_db.point_offsets()
+        for tid in range(len(small_db)):
+            assert (owners[offsets[tid] : offsets[tid + 1]] == tid).all()
+
+
+class TestQueryEngineEquivalence:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(0, 100),
+        n=st.integers(2, 10),
+        n_queries=st.integers(1, 12),
+        distribution=st.sampled_from(["data", "uniform", "gaussian", "zipf"]),
+    )
+    def test_matches_per_query_reference(self, seed, n, n_queries, distribution):
+        db = random_db(seed, n)
+        workload = RangeQueryWorkload.generate(
+            distribution, db, n_queries, seed=seed + 1
+        )
+        engine = QueryEngine(db)
+        assert engine.evaluate(workload) == range_query_batch(
+            db, list(workload.queries)
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 100))
+    def test_state_evaluation_matches_materialized(self, seed):
+        db = random_db(seed)
+        state = random_state(db, seed + 7)
+        workload = RangeQueryWorkload.from_data_distribution(db, 10, seed=seed)
+        engine = QueryEngine(db)
+        assert engine.evaluate_state(workload, state) == range_query_batch(
+            state.materialize(), list(workload.queries)
+        )
+
+    def test_disjoint_workload_is_empty(self, small_db):
+        box = small_db.bounding_box
+        far = RangeQueryWorkload.from_centres(
+            np.array([[box.xmax + 1000.0, box.ymax + 1000.0, box.tmax + 1000.0]]),
+            spatial_extent=5.0,
+            temporal_extent=5.0,
+        )
+        assert QueryEngine(small_db).evaluate(far) == [set()]
+
+    def test_workload_evaluate_routes_through_engine(self, small_db, small_workload):
+        assert small_workload.evaluate(small_db) == range_query_batch(
+            small_db, list(small_workload.queries)
+        )
+
+    def test_rejects_oversized_resolution(self, small_db):
+        # Cell coordinates are int16 internally; axes >= 2**15 must raise
+        # instead of wrapping and silently dropping results.
+        with pytest.raises(ValueError):
+            QueryEngine(small_db, resolution=(2**15, 4, 4))
+        with pytest.raises(ValueError):
+            QueryEngine(small_db, resolution=(0, 4, 4))
+
+    def test_rejects_foreign_state(self, small_db):
+        other = random_db(3)
+        with pytest.raises(ValueError):
+            QueryEngine(small_db).evaluate_state(
+                RangeQueryWorkload.from_data_distribution(small_db, 3, seed=0),
+                SimplificationState(other),
+            )
+
+
+class TestQueryEngineMemoization:
+    def test_repeat_evaluation_hits_cache(self, small_db, small_workload):
+        engine = QueryEngine(small_db)
+        first = engine.evaluate(small_workload)
+        assert engine.cache_hits == 0
+        second = engine.evaluate(small_workload)
+        assert engine.cache_hits == 1
+        assert first == second
+
+    def test_cached_results_are_isolated(self, small_db, small_workload):
+        engine = QueryEngine(small_db)
+        first = engine.evaluate(small_workload)
+        first[0].add(10**9)  # corrupting a returned set must not poison the memo
+        assert 10**9 not in engine.evaluate(small_workload)[0]
+
+    def test_lru_eviction(self, small_db):
+        engine = QueryEngine(small_db, max_cached_results=2)
+        for seed in range(4):
+            engine.evaluate(
+                RangeQueryWorkload.from_data_distribution(small_db, 3, seed=seed)
+            )
+        assert len(engine._cache) == 2
+
+    def test_for_database_is_shared_and_weak(self, small_db):
+        assert QueryEngine.for_database(small_db) is QueryEngine.for_database(
+            small_db
+        )
+        db = random_db(5)
+        engine = QueryEngine.for_database(db)
+        assert engine is QueryEngine.for_database(db)
+
+    def test_engine_cache_releases_dead_databases(self, small_workload):
+        """Engines must not pin their databases in the process-wide cache."""
+        import gc
+        import weakref
+
+        from repro.queries.engine import _ENGINES
+
+        before = len(_ENGINES)
+        db = random_db(11)
+        QueryEngine.for_database(db).evaluate(small_workload)
+        watcher = weakref.ref(db)
+        del db
+        gc.collect()
+        assert watcher() is None
+        assert len(_ENGINES) <= before
+
+    def test_state_reset_is_cached_across_episodes(self, small_db, small_workload):
+        engine = QueryEngine(small_db)
+        state = SimplificationState(small_db)
+        engine.evaluate_state(small_workload, state)
+        misses = engine.cache_misses
+        engine.evaluate_state(small_workload, SimplificationState(small_db))
+        assert engine.cache_misses == misses
+        assert engine.cache_hits >= 1
+
+
+class TestIncrementalEvaluatorAudit:
+    def test_incremental_counters_match_engine(self, small_db, small_workload):
+        evaluator = IncrementalRangeEvaluator(small_db, small_workload)
+        state = SimplificationState(small_db)
+        evaluator.reset(state)
+        rng = np.random.default_rng(1)
+        for _ in range(30):
+            tid = int(rng.integers(len(small_db)))
+            idx = int(rng.integers(1, len(small_db[tid]) - 1))
+            if state.is_kept(tid, idx):
+                continue
+            state.insert(tid, idx)
+            evaluator.notify_insert(tid, small_db[tid].points[idx])
+        assert evaluator.diff() == pytest.approx(evaluator.exact_diff(state))
+
+    def test_rollout_exact_final_diff_matches_incremental(
+        self, small_db, small_workload
+    ):
+        config = RL4QDTSConfig(start_level=2, end_level=4, delta=5, leaf_capacity=4)
+        cube, point = make_agents(config)
+        budget = 2 * len(small_db) + 12
+        env = QDTSEnvironment(
+            small_db, small_workload, config, np.random.default_rng(0)
+        )
+        stats = run_episode(env, cube, point, budget, greedy=True)
+        assert env.exact_diff() == pytest.approx(stats.final_diff)
+        audited = run_episode(
+            env, cube, point, budget, greedy=True, exact_final_diff=True
+        )
+        assert audited.final_diff == pytest.approx(env.diff())
