@@ -1,23 +1,28 @@
-"""Batch QueryEngine vs the per-query reference path.
+"""Batch QueryEngine vs the per-query reference paths.
 
 The training loop evaluates its whole range-query workload on every reward
-window, and the evaluation harness re-runs the same workload per simplified
-database — so workload evaluation throughput bounds both. This bench times
-three execution modes over the same workload:
+window, and the evaluation harness re-runs the same workload — plus kNN and
+aggregate queries — per simplified database, so batched execution
+throughput bounds both. Three benchmark sections, each asserting exact
+equivalence with its per-query reference before timing:
 
-* ``per-query``   — ``range_query_batch``: the trajectory-walking reference;
-* ``engine cold`` — engine construction (flat matrices + grid) + evaluation;
-* ``engine warm`` — a built engine with the result memo cleared each run
-  (the steady-state cost of evaluating a *new* database state);
-* ``engine memo`` — re-evaluating an unchanged state (a cache hit).
+* ``range``     — workload evaluation: the trajectory-walking
+  ``range_query_batch`` vs the engine cold (construction + evaluation),
+  warm (memo cleared each run), and memo (cache hit) modes;
+* ``knn``       — the harness kNN scoring path: a ``knn_query`` loop over
+  central-window queries vs ``knn_query_batch`` (CSR candidate generation
+  + candidate-vectorized EDR);
+* ``aggregate`` — per-box point counts and the density heatmap: the
+  per-trajectory scans vs ``QueryEngine.count`` / ``.histogram``.
 
-The engine must return results identical to the reference and (at default
-scale) beat it by >= 5x warm.
+At default scale the engine must beat the references by >= 5x (range warm)
+and >= 3x (kNN batch).
 
 Run standalone::
 
     python benchmarks/bench_query_engine.py            # default scale
     python benchmarks/bench_query_engine.py --smoke    # tiny CI smoke run
+    python benchmarks/bench_query_engine.py --section knn
 """
 
 from __future__ import annotations
@@ -26,15 +31,23 @@ import argparse
 import sys
 import time
 
+import numpy as np
+
 from repro.data import synthetic_database
+from repro.data.stats import spatial_scale
+from repro.queries.aggregate import count_query_scan, density_histogram_scan
 from repro.queries.engine import QueryEngine
+from repro.queries.knn import knn_query, knn_query_batch
 from repro.queries.range_query import range_query_batch
 from repro.workloads import RangeQueryWorkload
 
 #: Default scale: the acceptance scenario — 100 range queries over a
-#: 200-trajectory synthetic database.
+#: 200-trajectory synthetic database (8 kNN queries, 64 aggregate boxes).
 DEFAULT_TRAJECTORIES = 200
 DEFAULT_QUERIES = 100
+DEFAULT_KNN_QUERIES = 8
+DEFAULT_AGG_BOXES = 64
+SECTIONS = ("range", "knn", "aggregate")
 
 
 def _setup(n_trajectories: int, n_queries: int, seed: int = 7):
@@ -90,11 +103,108 @@ def run_comparison(
     }
 
 
-def _report(results: dict[str, float], n_trajectories: int, n_queries: int) -> None:
-    print(
-        f"\n=== Batch QueryEngine vs per-query loop "
-        f"({n_trajectories} trajectories, {n_queries} range queries) ==="
+def run_knn_comparison(
+    n_trajectories: int = DEFAULT_TRAJECTORIES,
+    n_queries: int = DEFAULT_KNN_QUERIES,
+    repeats: int = 3,
+) -> dict[str, float]:
+    """Time the harness kNN scoring path: per-query loop vs batch engine.
+
+    Mirrors :class:`repro.eval.harness.QueryAccuracyEvaluator`: central
+    middle-half windows over sampled query trajectories, EDR at the
+    dataset-relative threshold. The batch path must return results
+    identical to the loop.
+    """
+    from repro.eval.harness import QueryAccuracyEvaluator
+
+    db, _ = _setup(n_trajectories, 1)
+    eps = 0.10 * spatial_scale(db)
+    rng = np.random.default_rng(13)
+    qids = [int(i) for i in rng.choice(len(db), size=n_queries, replace=False)]
+    queries = [db[qid] for qid in qids]
+    windows = [QueryAccuracyEvaluator._central_window(q) for q in queries]
+
+    engine = QueryEngine(db)
+    reference = [
+        knn_query(db, q, 3, w, "edr", eps=eps) for q, w in zip(queries, windows)
+    ]
+    batched = knn_query_batch(db, queries, 3, windows, "edr", eps=eps, engine=engine)
+    assert batched == reference, "batch kNN diverged from the per-query loop"
+
+    t_loop = _best_of(
+        lambda: [
+            knn_query(db, q, 3, w, "edr", eps=eps)
+            for q, w in zip(queries, windows)
+        ],
+        repeats,
     )
+
+    def batch():
+        engine.clear_cache()
+        knn_query_batch(db, queries, 3, windows, "edr", eps=eps, engine=engine)
+
+    t_batch = _best_of(batch, repeats)
+    t_memo = _best_of(
+        lambda: knn_query_batch(
+            db, queries, 3, windows, "edr", eps=eps, engine=engine
+        ),
+        repeats,
+    )
+    return {
+        "per-query": t_loop,
+        "engine batch": t_batch,
+        "candidate memo": t_memo,
+        "speedup (batch)": t_loop / max(t_batch, 1e-12),
+    }
+
+
+def run_aggregate_comparison(
+    n_trajectories: int = DEFAULT_TRAJECTORIES,
+    n_boxes: int = DEFAULT_AGG_BOXES,
+    grid: int = 32,
+    repeats: int = 3,
+) -> dict[str, float]:
+    """Time batched counts + histogram vs the per-trajectory scans."""
+    db, workload = _setup(n_trajectories, n_boxes)
+    boxes = workload.boxes
+
+    engine = QueryEngine(db)
+    reference_counts = [count_query_scan(db, b) for b in boxes]
+    assert engine.count(boxes).tolist() == reference_counts, (
+        "engine counts diverged from the scan"
+    )
+    assert np.array_equal(
+        engine.histogram(grid), density_histogram_scan(db, grid)
+    ), "engine histogram diverged from the scan"
+
+    t_count_scan = _best_of(
+        lambda: [count_query_scan(db, b) for b in boxes], repeats
+    )
+
+    def count_batch():
+        engine.clear_cache()
+        engine.count(boxes)
+
+    t_count_batch = _best_of(count_batch, repeats)
+    t_hist_scan = _best_of(lambda: density_histogram_scan(db, grid), repeats)
+
+    def hist_batch():
+        engine.clear_cache()
+        engine.histogram(grid)
+
+    t_hist_batch = _best_of(hist_batch, repeats)
+    return {
+        "count scan": t_count_scan,
+        "count batch": t_count_batch,
+        "hist scan": t_hist_scan,
+        "hist batch": t_hist_batch,
+        "speedup (count)": t_count_scan / max(t_count_batch, 1e-12),
+        "speedup (hist)": t_hist_scan / max(t_hist_batch, 1e-12),
+    }
+
+
+def _report(results: dict[str, float], header: str) -> None:
+    print(f"\n=== {header} ===")
     for name, value in results.items():
         if name.startswith("speedup"):
             print(f"{name:<16}{value:>10.1f}x")
@@ -114,7 +224,11 @@ def bench_query_engine(benchmark):
 
     assert benchmark(warm) == reference
     results = run_comparison()
-    _report(results, DEFAULT_TRAJECTORIES, DEFAULT_QUERIES)
+    _report(
+        results,
+        f"Batch QueryEngine vs per-query loop ({DEFAULT_TRAJECTORIES} "
+        f"trajectories, {DEFAULT_QUERIES} range queries)",
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -122,29 +236,76 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--smoke",
         action="store_true",
-        help="tiny database + workload; checks correctness, skips the speedup bar",
+        help="tiny database + workload; checks correctness, skips the speedup bars",
+    )
+    parser.add_argument(
+        "--section",
+        choices=SECTIONS + ("all",),
+        default="all",
+        help="which benchmark section(s) to run",
     )
     parser.add_argument("--trajectories", type=int, default=DEFAULT_TRAJECTORIES)
     parser.add_argument("--queries", type=int, default=DEFAULT_QUERIES)
+    parser.add_argument("--knn-queries", type=int, default=DEFAULT_KNN_QUERIES)
+    parser.add_argument("--agg-boxes", type=int, default=DEFAULT_AGG_BOXES)
     parser.add_argument(
         "--min-speedup",
         type=float,
         default=5.0,
-        help="fail unless the warm engine beats the per-query loop by this factor",
+        help="fail unless the warm engine beats the per-query range loop by this",
+    )
+    parser.add_argument(
+        "--min-knn-speedup",
+        type=float,
+        default=3.0,
+        help="fail unless batch kNN beats the per-query loop by this factor",
     )
     args = parser.parse_args(argv)
 
     if args.smoke:
         n_trajectories, n_queries = 20, 10
+        n_knn, n_boxes = 4, 8
     else:
         n_trajectories, n_queries = args.trajectories, args.queries
-    results = run_comparison(n_trajectories, n_queries)
-    _report(results, n_trajectories, n_queries)
-    if not args.smoke and results["speedup (warm)"] < args.min_speedup:
-        print(
-            f"FAIL: warm speedup {results['speedup (warm)']:.1f}x is below "
-            f"the {args.min_speedup:.1f}x bar"
+        n_knn, n_boxes = args.knn_queries, args.agg_boxes
+    sections = SECTIONS if args.section == "all" else (args.section,)
+    failures: list[str] = []
+
+    if "range" in sections:
+        results = run_comparison(n_trajectories, n_queries)
+        _report(
+            results,
+            f"Batch QueryEngine vs per-query loop ({n_trajectories} "
+            f"trajectories, {n_queries} range queries)",
         )
+        if not args.smoke and results["speedup (warm)"] < args.min_speedup:
+            failures.append(
+                f"range: warm speedup {results['speedup (warm)']:.1f}x is "
+                f"below the {args.min_speedup:.1f}x bar"
+            )
+    if "knn" in sections:
+        results = run_knn_comparison(n_trajectories, n_knn)
+        _report(
+            results,
+            f"Batch kNN (harness scoring path) vs knn_query loop "
+            f"({n_trajectories} trajectories, {n_knn} kNN queries, EDR)",
+        )
+        if not args.smoke and results["speedup (batch)"] < args.min_knn_speedup:
+            failures.append(
+                f"knn: batch speedup {results['speedup (batch)']:.1f}x is "
+                f"below the {args.min_knn_speedup:.1f}x bar"
+            )
+    if "aggregate" in sections:
+        results = run_aggregate_comparison(n_trajectories, n_boxes)
+        _report(
+            results,
+            f"Batch aggregates vs per-trajectory scans ({n_trajectories} "
+            f"trajectories, {n_boxes} count boxes, 32x32 heatmap)",
+        )
+
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    if failures:
         return 1
     print("ok")
     return 0

@@ -50,6 +50,7 @@ from repro.queries import (
     QueryEngine,
     range_query,
     knn_query,
+    knn_query_batch,
     similarity_query,
     traclus_cluster,
     f1_score,
@@ -89,6 +90,7 @@ __all__ = [
     "QueryEngine",
     "range_query",
     "knn_query",
+    "knn_query_batch",
     "similarity_query",
     "traclus_cluster",
     "f1_score",

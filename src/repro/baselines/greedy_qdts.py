@@ -110,37 +110,27 @@ def greedy_qdts(
 
     engine = QueryEngine.for_database(db)
     counters = [_QueryCounters(truth) for truth in engine.evaluate(workload)]
-    lo = np.array([[b.xmin, b.ymin, b.tmin] for b in workload.boxes])
-    hi = np.array([[b.xmax, b.ymax, b.tmax] for b in workload.boxes])
-    n_queries = len(counters)
 
-    # One point-vs-query containment sweep over the flat point matrix,
-    # chunked to bound the (chunk, n_queries) intermediate. Endpoint rows
-    # enter the counters directly (they are always kept); interior rows
-    # inside at least one box form the candidate pool.
-    points = db.point_matrix()
+    # All (point, query) containment pairs from one batched CSR sweep of the
+    # engine. Endpoint rows enter the counters directly (they are always
+    # kept); interior rows inside at least one box form the candidate pool.
     offsets = db.point_offsets()
     owners = db.point_ownership()
-    is_endpoint = np.zeros(len(points), dtype=bool)
+    is_endpoint = np.zeros(db.total_points, dtype=bool)
     is_endpoint[offsets[:-1]] = True
     is_endpoint[offsets[1:] - 1] = True
     point_queries: dict[tuple[int, int], np.ndarray] = {}
-    chunk = max(1, 262144 // max(n_queries, 1))
-    for start in range(0, len(points), chunk):
-        block = points[start : start + chunk]
-        inside = (
-            (block[:, None, :] >= lo[None, :, :])
-            & (block[:, None, :] <= hi[None, :, :])
-        ).all(axis=2)
-        for local in np.flatnonzero(inside.any(axis=1)):
-            row = start + int(local)
-            tid = int(owners[row])
-            hits = np.flatnonzero(inside[local])
-            if is_endpoint[row]:
-                for qi in hits:
-                    counters[qi].add(tid)
-            else:
-                point_queries[(tid, row - int(offsets[tid]))] = hits
+    member_rows, member_queries = engine.point_memberships(workload.boxes)
+    unique_rows, row_starts = np.unique(member_rows, return_index=True)
+    row_bounds = np.append(row_starts, len(member_rows))
+    for row, start, stop in zip(unique_rows, row_bounds[:-1], row_bounds[1:]):
+        tid = int(owners[row])
+        hits = member_queries[start:stop]
+        if is_endpoint[row]:
+            for qi in hits:
+                counters[qi].add(tid)
+        else:
+            point_queries[(tid, int(row) - int(offsets[tid]))] = hits
 
     def gain(key: tuple[int, int]) -> float:
         tid = key[0]

@@ -9,7 +9,11 @@ Re-running the whole workload after every window is what the paper does
 conceptually; this evaluator exploits that *insertions only ever grow range
 results* (a trajectory matches once any kept point falls in the box) to
 maintain every query's precision/recall counters in ``O(#queries)`` per
-inserted point, so training rewards are exact yet cheap.
+inserted point, so training rewards are exact yet cheap. The bookkeeping
+itself lives in the batch engine's incremental view
+(:meth:`repro.queries.engine.QueryEngine.incremental_view`): truth, episode
+resets, and live result sets all share the engine's memoized result store,
+so this evaluator keeps no parallel per-query sets of its own.
 """
 
 from __future__ import annotations
@@ -25,7 +29,7 @@ from repro.workloads.generators import RangeQueryWorkload
 
 
 class IncrementalRangeEvaluator:
-    """Maintains per-query result sets of the evolving simplified database."""
+    """Scores the evolving simplified database through the engine's view."""
 
     def __init__(
         self,
@@ -37,10 +41,6 @@ class IncrementalRangeEvaluator:
             raise ValueError("workload must contain at least one query")
         self.db = db
         self.workload = workload
-        self._boxes = workload.boxes
-        # Box bounds as two (Q, 3) matrices for vectorized containment.
-        self._lo = np.array([[b.xmin, b.ymin, b.tmin] for b in self._boxes])
-        self._hi = np.array([[b.xmax, b.ymax, b.tmax] for b in self._boxes])
         # Ground truth and episode resets both run through the shared batch
         # engine; its memo makes repeated env construction over the same
         # database + workload (e.g. ratio sweeps) a cache hit. An explicit
@@ -48,28 +48,23 @@ class IncrementalRangeEvaluator:
         # the result — the engine is exact whatever pruning geometry it uses.
         self._engine = QueryEngine.for_database(db)
         self._truth: list[set[int]] = self._engine.evaluate(workload)
-        self._results: list[set[int]] = [set() for _ in workload]
+        self._view = self._engine.incremental_view(workload)
 
     # ------------------------------------------------------------------- state
     def reset(self, state: SimplificationState) -> None:
         """Recompute result sets from scratch for the given kept points."""
-        self._results = self._engine.evaluate_state(self.workload, state)
+        self._view.reset(state)
 
     def notify_insert(self, traj_id: int, point: np.ndarray) -> None:
         """Record that ``point`` of ``traj_id`` entered the simplified database."""
-        point = np.asarray(point, dtype=float)
-        hits = np.flatnonzero(
-            (point >= self._lo).all(axis=1) & (point <= self._hi).all(axis=1)
-        )
-        for qi in hits:
-            self._results[qi].add(traj_id)
+        self._view.notify_insert(traj_id, point)
 
     # ----------------------------------------------------------------- scoring
     def mean_f1(self) -> float:
         """Mean F1 of the current simplified results against the truth."""
         scores = [
             f1_score(truth, result)
-            for truth, result in zip(self._truth, self._results)
+            for truth, result in zip(self._truth, self._view.result_sets)
         ]
         return float(np.mean(scores))
 
@@ -97,4 +92,4 @@ class IncrementalRangeEvaluator:
 
     @property
     def results(self) -> list[set[int]]:
-        return [set(s) for s in self._results]
+        return self._view.results

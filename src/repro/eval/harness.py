@@ -26,7 +26,7 @@ from repro.data.database import TrajectoryDatabase
 from repro.data.stats import spatial_scale
 from repro.queries.clustering import TraclusConfig, traclus_cluster
 from repro.queries.engine import QueryEngine
-from repro.queries.knn import knn_query
+from repro.queries.knn import knn_query_batch
 from repro.queries.metrics import clustering_f1, f1_score
 from repro.queries.similarity import similarity_query
 from repro.queries.t2vec import T2VecEmbedder
@@ -95,22 +95,31 @@ class QueryAccuracyEvaluator:
         self._range_truth = QueryEngine.for_database(db).evaluate(self.workload)
 
         # --- kNN queries (shared query trajectories for both measures) -----
-        n_knn = min(cfg.n_knn_queries, len(db))
+        # Only trajectories whose central window still contains at least two
+        # of their own samples make valid queries: a degenerate window makes
+        # knn_query return [] for truth and every method's F1 trivially
+        # compares empty sets (e.g. 2-point trajectories, whose middle half
+        # contains neither endpoint). Such trajectories are skipped at suite
+        # construction rather than scored as vacuous perfect agreement.
+        eligible = [
+            tid for tid in range(len(db)) if self._valid_knn_query(db[tid])
+        ]
+        n_knn = min(cfg.n_knn_queries, len(eligible))
         self._knn_query_ids = [
-            int(i) for i in rng.choice(len(db), size=n_knn, replace=False)
+            int(i) for i in rng.choice(eligible, size=n_knn, replace=False)
         ]
         self._knn_windows = [
             self._central_window(db[qid]) for qid in self._knn_query_ids
         ]
         self.embedder = T2VecEmbedder(seed=cfg.seed).fit(db)
-        self._knn_edr_truth = [
-            knn_query(db, db[qid], cfg.k, window, "edr", eps=self.edr_eps)
-            for qid, window in zip(self._knn_query_ids, self._knn_windows)
-        ]
-        self._knn_t2vec_truth = [
-            knn_query(db, db[qid], cfg.k, window, "t2vec", embedder=self.embedder)
-            for qid, window in zip(self._knn_query_ids, self._knn_windows)
-        ]
+        knn_queries = [db[qid] for qid in self._knn_query_ids]
+        self._knn_edr_truth = knn_query_batch(
+            db, knn_queries, cfg.k, self._knn_windows, "edr", eps=self.edr_eps
+        )
+        self._knn_t2vec_truth = knn_query_batch(
+            db, knn_queries, cfg.k, self._knn_windows, "t2vec",
+            embedder=self.embedder,
+        )
 
         # --- similarity queries --------------------------------------------
         n_sim = min(cfg.n_similarity_queries, len(db))
@@ -138,6 +147,20 @@ class QueryAccuracyEvaluator:
         t0, t1 = float(trajectory.times[0]), float(trajectory.times[-1])
         quarter = 0.25 * (t1 - t0)
         return (t0 + quarter, t1 - quarter)
+
+    @classmethod
+    def _valid_knn_query(cls, trajectory) -> bool:
+        """Whether the trajectory's central window makes a scoreable query.
+
+        Requires a positive window span and at least two of the
+        trajectory's own samples inside it — otherwise the query's window
+        restriction is degenerate and its truth is the empty list.
+        """
+        ts, te = cls._central_window(trajectory)
+        if te <= ts:
+            return False
+        times = trajectory.times
+        return int(((times >= ts) & (times <= te)).sum()) >= 2
 
     # ------------------------------------------------------------------ scoring
     def evaluate(
@@ -217,16 +240,20 @@ class QueryAccuracyEvaluator:
             np.mean([jaccard(t, r) for t, r in zip(self._range_truth, results)])
         )
 
-        taus = []
-        for qid, window, truth in zip(
-            self._knn_query_ids, self._knn_windows, self._knn_edr_truth
-        ):
-            result = knn_query(
-                simplified, self.db[qid], self.config.k, window, "edr",
-                eps=self.edr_eps,
-            )
-            taus.append(kendall_tau(truth, result))
-        knn_tau = float(np.mean(taus)) if taus else 0.0
+        results = knn_query_batch(
+            simplified,
+            [self.db[qid] for qid in self._knn_query_ids],
+            self.config.k,
+            self._knn_windows,
+            "edr",
+            eps=self.edr_eps,
+        )
+        taus = [
+            kendall_tau(truth, result)
+            for truth, result in zip(self._knn_edr_truth, results)
+        ]
+        # An empty suite is vacuous perfect agreement, matching _score_knn.
+        knn_tau = float(np.mean(taus)) if taus else 1.0
 
         subset = simplified.subset(self._cluster_ids)
         predicted = traclus_cluster(subset, self.traclus_config).clusters
@@ -236,23 +263,27 @@ class QueryAccuracyEvaluator:
             "range_jaccard": range_jaccard,
             "knn_edr_tau": knn_tau,
             "clustering_ari": float(ari),
+            # heatmap_f1 rasterizes both databases through their shared
+            # engines (one memoized binning pass each).
             "heatmap": heatmap_f1(self.db, simplified),
         }
 
     def _score_knn(self, simplified: TrajectoryDatabase, measure: str) -> float:
+        """Mean kNN F1 over the suite, batched through the shared engine."""
         truths = self._knn_edr_truth if measure == "edr" else self._knn_t2vec_truth
-        f1s = []
-        for qid, window, truth in zip(
-            self._knn_query_ids, self._knn_windows, truths
-        ):
-            result = knn_query(
-                simplified,
-                self.db[qid],
-                self.config.k,
-                window,
-                measure,
-                eps=self.edr_eps,
-                embedder=self.embedder,
-            )
-            f1s.append(f1_score(set(truth), set(result)))
-        return float(np.mean(f1s))
+        results = knn_query_batch(
+            simplified,
+            [self.db[qid] for qid in self._knn_query_ids],
+            self.config.k,
+            self._knn_windows,
+            measure,
+            eps=self.edr_eps,
+            embedder=self.embedder,
+        )
+        f1s = [
+            f1_score(set(truth), set(result))
+            for truth, result in zip(truths, results)
+        ]
+        # An empty suite (no eligible query trajectories) scores as vacuous
+        # perfect agreement rather than NaN.
+        return float(np.mean(f1s)) if f1s else 1.0

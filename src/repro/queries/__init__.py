@@ -15,16 +15,18 @@ results against the original database's results (:mod:`repro.queries.metrics`).
 """
 
 from repro.queries.range_query import RangeQuery, range_query, range_query_batch
-from repro.queries.engine import QueryEngine
-from repro.queries.edr import edr_distance
+from repro.queries.engine import IncrementalWorkloadView, QueryEngine
+from repro.queries.edr import edr_distance, edr_distances_one_to_many
 from repro.queries.t2vec import T2VecEmbedder
-from repro.queries.knn import knn_query
+from repro.queries.knn import knn_query, knn_query_batch
 from repro.queries.similarity import similarity_query
 from repro.queries.join import distance_join
 from repro.queries.clustering import traclus_cluster, TraclusConfig
 from repro.queries.aggregate import (
     count_query,
+    count_query_scan,
     density_histogram,
+    density_histogram_scan,
     histogram_similarity,
     heatmap_f1,
 )
@@ -43,9 +45,12 @@ __all__ = [
     "range_query",
     "range_query_batch",
     "QueryEngine",
+    "IncrementalWorkloadView",
     "edr_distance",
+    "edr_distances_one_to_many",
     "T2VecEmbedder",
     "knn_query",
+    "knn_query_batch",
     "similarity_query",
     "distance_join",
     "traclus_cluster",
@@ -58,7 +63,9 @@ __all__ = [
     "kendall_tau",
     "adjusted_rand_index",
     "count_query",
+    "count_query_scan",
     "density_histogram",
+    "density_histogram_scan",
     "histogram_similarity",
     "heatmap_f1",
 ]

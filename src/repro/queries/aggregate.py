@@ -17,6 +17,14 @@ Two aggregate flavours are provided:
 Quality of a simplified database's aggregates is measured against the
 original with :func:`histogram_similarity` (the histogram intersection, the
 standard heatmap-overlap score in ``[0, 1]``).
+
+Both aggregates execute through the database's shared batch engine
+(:class:`repro.queries.engine.QueryEngine`): counts run as one CSR cell
+sweep over all boxes, histograms as one vectorized binning pass over the
+sorted coordinate columns, and repeated aggregation of the same database is
+a memo hit. The original per-trajectory loops are kept as
+:func:`count_query_scan` / :func:`density_histogram_scan` — the reference
+implementations the engine paths are property-tested against.
 """
 
 from __future__ import annotations
@@ -25,10 +33,25 @@ import numpy as np
 
 from repro.data.bbox import BoundingBox
 from repro.data.database import TrajectoryDatabase
+from repro.queries.engine import QueryEngine
 
 
-def count_query(db: TrajectoryDatabase, box: BoundingBox) -> int:
-    """Number of points of ``db`` inside the spatio-temporal ``box``."""
+def count_query(
+    db: TrajectoryDatabase, box: BoundingBox, engine: QueryEngine | None = None
+) -> int:
+    """Number of points of ``db`` inside the spatio-temporal ``box``.
+
+    Executes through the shared batch engine (build many boxes and call
+    :meth:`QueryEngine.count` directly to amortize over a workload);
+    ``engine`` optionally supplies a private engine instead of the
+    database's shared one.
+    """
+    engine = engine or QueryEngine.for_database(db)
+    return int(engine.count([box])[0])
+
+
+def count_query_scan(db: TrajectoryDatabase, box: BoundingBox) -> int:
+    """Reference per-trajectory implementation of :func:`count_query`."""
     total = 0
     for traj in db:
         if not box.intersects(traj.bounding_box):
@@ -42,6 +65,7 @@ def density_histogram(
     grid: int = 32,
     box: BoundingBox | None = None,
     normalize: bool = False,
+    engine: QueryEngine | None = None,
 ) -> np.ndarray:
     """Spatial point-density histogram of shape ``(grid, grid)``.
 
@@ -54,10 +78,25 @@ def density_histogram(
     box:
         Raster region; defaults to the database's bounding box. Points
         outside are ignored, which makes histograms of a simplified database
-        comparable when rasterized over the *original* database's box.
+        comparable when rasterized over the *original* database's box. Only
+        the spatial extent of the box is used.
     normalize:
         Scale the histogram to sum to 1 (a distribution rather than counts).
+    engine:
+        Optional private :class:`QueryEngine`; defaults to the database's
+        shared engine (one binning pass, memoized per ``(grid, box)``).
     """
+    engine = engine or QueryEngine.for_database(db)
+    return engine.histogram(grid, box, normalize)
+
+
+def density_histogram_scan(
+    db: TrajectoryDatabase,
+    grid: int = 32,
+    box: BoundingBox | None = None,
+    normalize: bool = False,
+) -> np.ndarray:
+    """Reference per-trajectory implementation of :func:`density_histogram`."""
     if grid < 1:
         raise ValueError("grid must be >= 1")
     box = box or db.bounding_box

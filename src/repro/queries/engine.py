@@ -1,28 +1,51 @@
-"""Columnar batch execution of range-query workloads.
+"""Columnar batch execution for the whole query suite.
 
 Training evaluates hundreds of range queries after every ``delta``
 insertions (the reward of Eq. 3 over the workload), and the evaluation
-harness re-runs the same workload on every simplified database it scores.
-The per-query path (:func:`repro.queries.range_query.range_query`) walks the
+harness re-runs the same workload — plus kNN, similarity, and aggregate
+queries — on every simplified database it scores. The per-query paths
+(:func:`repro.queries.range_query.range_query` and friends) walk the
 database trajectory by trajectory in Python — correct, but the wrong shape
 for a hot path.
 
-:class:`QueryEngine` treats the *workload* as the unit of execution:
+:class:`QueryEngine` treats the *workload* as the unit of execution. The
+database is flattened once into the cached ``(N, 3)`` point matrix and
+per-trajectory offset array (:meth:`TrajectoryDatabase.point_matrix` /
+:meth:`~TrajectoryDatabase.point_offsets`), then sorted by uniform grid
+cell into a CSR layout (cell -> contiguous point rows). On top of that
+layout the engine offers four batched execution paths:
 
-* the database is flattened once into the cached ``(N, 3)`` point matrix and
-  per-trajectory offset array (:meth:`TrajectoryDatabase.point_matrix` /
-  :meth:`~TrajectoryDatabase.point_offsets`), then sorted by uniform grid
-  cell into a CSR layout (cell -> contiguous point rows);
-* a whole workload is answered in a fixed number of vectorized passes:
-  query-box cell ranges, a (queries x cells) overlap matrix, one gather of
-  all candidate rows, one broadcasted containment test, and one
-  ``np.unique`` over (query, trajectory) hit pairs — no per-query Python
-  work beyond building the final result sets;
-* whole-workload results are memoized, keyed on the query boxes and (for
-  simplified-state evaluation) the kept-row fingerprint, so re-scoring the
-  same database state against the same workload is a dictionary lookup.
+* **Range workloads** (:meth:`QueryEngine.evaluate` /
+  :meth:`~QueryEngine.evaluate_state`) — a whole workload is answered in a
+  fixed number of vectorized passes: query-box cell ranges, a
+  (queries x cells) overlap matrix, one gather of all candidate rows, one
+  broadcasted containment test, and one ``np.unique`` over
+  (query, trajectory) hit pairs.
+* **Aggregates** (:meth:`~QueryEngine.count` /
+  :meth:`~QueryEngine.histogram`) — per-box point counts and the spatial
+  density heatmap computed from the same CSR sweep / the sorted coordinate
+  columns in one pass; :mod:`repro.queries.aggregate` routes through these.
+* **kNN candidate generation** (:meth:`~QueryEngine.knn_candidates`) — for
+  each kNN time window, the ids of trajectories with enough points inside
+  the window to be comparable at all. Only these require the expensive
+  EDR / t2vec distance computations (:func:`repro.queries.knn.knn_query_batch`);
+  everything else is provably incomparable (infinite distance) and is
+  excluded up front. The filter is exact — kNN comparability depends only
+  on the temporal axis, so pruning whole time-slab cell ranges loses
+  nothing.
+* **Incremental updates** (:meth:`~QueryEngine.incremental_view`) — a live
+  per-query result-set view maintained under single-point insertions
+  (``notify_insert``), with episode resets served from the engine's memo.
+  The training evaluator (:class:`repro.core.reward.IncrementalRangeEvaluator`)
+  is a thin wrapper over this view, so training and evaluation share one
+  memoized result store.
 
-The per-query functions remain the reference implementation the engine is
+Whole-workload results of every path are memoized in one LRU, keyed on the
+query parameters and (for simplified-state evaluation) the kept-row
+fingerprint, so re-scoring the same database state against the same
+workload is a dictionary lookup.
+
+The per-query functions remain the reference implementations the engine is
 property-tested against (``tests/test_query_engine.py``).
 """
 
@@ -136,7 +159,10 @@ class QueryEngine:
         self._cell_y = ((unique_ids // nt) % ny).astype(np.int16)
         self._cell_t = (unique_ids % nt).astype(np.int16)
         self._max_cached = max_cached_results
-        self._cache: OrderedDict[tuple, tuple[frozenset[int], ...]] = OrderedDict()
+        # One LRU for every execution path; values are immutable canonical
+        # payloads (tuples of frozensets for result sets, read-only arrays
+        # for counts / histograms / candidate lists).
+        self._cache: OrderedDict[tuple, object] = OrderedDict()
         self.cache_hits = 0
         self.cache_misses = 0
 
@@ -170,11 +196,11 @@ class QueryEngine:
         """
         lo, hi = _workload_bounds(workload)
         key = ("full", lo.tobytes(), hi.tobytes())
-        cached = self._lookup(key)
+        cached = self._cache_get(key)
         if cached is not None:
-            return cached
+            return [set(s) for s in cached]
         results = self._evaluate_bounds(lo, hi)
-        self._store(key, results)
+        self._cache_put(key, tuple(frozenset(s) for s in results))
         return results
 
     def evaluate_state(
@@ -196,14 +222,192 @@ class QueryEngine:
         # instead of the raw bytes so the LRU holds no point-scale payloads.
         digest = hashlib.blake2b(rows.tobytes(), digest_size=16).digest()
         key = ("state", lo.tobytes(), hi.tobytes(), digest)
-        cached = self._lookup(key)
+        cached = self._cache_get(key)
         if cached is not None:
-            return cached
+            return [set(s) for s in cached]
         kept = np.zeros(len(self._px), dtype=bool)
         kept[rows] = True
         results = self._evaluate_bounds(lo, hi, kept_sorted=kept[self._order])
-        self._store(key, results)
+        self._cache_put(key, tuple(frozenset(s) for s in results))
         return results
+
+    # --------------------------------------------------------------- aggregates
+    def count(self, boxes: Iterable) -> np.ndarray:
+        """Point counts inside each box, as an ``(Q,)`` int64 array.
+
+        Identical to ``[count_query_scan(db, b) for b in boxes]``
+        (:mod:`repro.queries.aggregate`) but computed in one batched CSR
+        sweep over all boxes, and memoized on the box bounds.
+        """
+        lo, hi = _workload_bounds(boxes)
+        key = ("count", lo.tobytes(), hi.tobytes())
+        cached = self._cache_get(key)
+        if cached is not None:
+            return cached.copy()
+        counts = np.zeros(len(lo), dtype=np.int64)
+        for rows, row_query, inside in self._candidate_passes(lo, hi):
+            # Each point lives in exactly one cell, so (query, row) pairs are
+            # unique and a bincount over query ids is an exact tally.
+            counts += np.bincount(
+                row_query[inside], minlength=len(lo)
+            ).astype(np.int64)
+        counts.setflags(write=False)
+        self._cache_put(key, counts)
+        return counts.copy()
+
+    def histogram(
+        self,
+        grid: int = 32,
+        box: BoundingBox | None = None,
+        normalize: bool = False,
+    ) -> np.ndarray:
+        """Spatial point-density histogram of shape ``(grid, grid)``.
+
+        Identical to :func:`repro.queries.aggregate.density_histogram_scan`
+        over the engine's database, but binned in one vectorized pass over
+        the sorted coordinate columns. ``box`` restricts (spatially) which
+        points are rasterized and defaults to the database's bounding box;
+        its temporal extent is ignored, matching the reference.
+        """
+        if grid < 1:
+            raise ValueError("grid must be >= 1")
+        box = box or self._extent
+        key = (
+            "hist", grid, box.xmin, box.xmax, box.ymin, box.ymax, normalize,
+        )
+        cached = self._cache_get(key)
+        if cached is not None:
+            return cached.copy()
+        sx = max(box.xmax - box.xmin, 1e-12)
+        sy = max(box.ymax - box.ymin, 1e-12)
+        inside = (
+            (self._px >= box.xmin)
+            & (self._px <= box.xmax)
+            & (self._py >= box.ymin)
+            & (self._py <= box.ymax)
+        )
+        x = self._px[inside]
+        y = self._py[inside]
+        # Same binning arithmetic as the reference scan (truncation toward
+        # zero; the closing edge folds into the last cell).
+        ix = np.minimum(((x - box.xmin) / sx * grid).astype(int), grid - 1)
+        iy = np.minimum(((y - box.ymin) / sy * grid).astype(int), grid - 1)
+        hist = (
+            np.bincount(ix * grid + iy, minlength=grid * grid)
+            .astype(float)
+            .reshape(grid, grid)
+        )
+        if normalize:
+            total = hist.sum()
+            if total > 0:
+                hist /= total
+        hist.setflags(write=False)
+        self._cache_put(key, hist)
+        return hist.copy()
+
+    # ----------------------------------------------------------- kNN candidates
+    def knn_candidates(
+        self,
+        windows: Iterable[tuple[float, float]],
+        min_points: int = 2,
+    ) -> list[np.ndarray]:
+        """Per-window ids of trajectories comparable under a kNN query.
+
+        For each time window ``(ts, te)`` returns the sorted ids of
+        trajectories with at least ``min_points`` points whose timestamp
+        falls inside ``[ts, te]`` — exactly the trajectories whose window
+        restriction :func:`repro.queries.knn.knn_query` can rank; every
+        other trajectory's distance is infinite by construction. The filter
+        is computed by pruning the CSR layout to the cell ranges overlapping
+        each window's time slab (cells straddling the slab boundary are
+        included and resolved by the exact per-point test), then counting
+        surviving points per owner.
+
+        Exactness: kNN comparability depends only on the temporal axis, so
+        this is a true filter, not a heuristic — spatially distant
+        trajectories still receive finite (large) EDR / t2vec distances in
+        the reference and may legitimately enter a result when little else
+        overlaps the window.
+        """
+        win = np.asarray(list(windows), dtype=float).reshape(-1, 2)
+        key = ("knn_candidates", win.tobytes(), min_points)
+        cached = self._cache_get(key)
+        if cached is not None:
+            return [c.copy() for c in cached]
+        n_traj = self._n_traj
+        extent = self._extent
+        # Reuse the 3-axis sweep with the spatial axes opened to the extent:
+        # only the temporal bounds select anything, and in-extent points
+        # trivially pass the spatial containment test.
+        lo = np.column_stack(
+            [
+                np.full(len(win), extent.xmin),
+                np.full(len(win), extent.ymin),
+                win[:, 0],
+            ]
+        )
+        hi = np.column_stack(
+            [
+                np.full(len(win), extent.xmax),
+                np.full(len(win), extent.ymax),
+                win[:, 1],
+            ]
+        )
+        # (windows x trajectories) survivor counts; kNN workloads are small
+        # (tens of windows), so the dense tally stays tiny next to the
+        # point columns.
+        counts = np.zeros(len(win) * n_traj, dtype=np.int64)
+        for rows, row_query, inside in self._candidate_passes(lo, hi):
+            idx = row_query[inside].astype(np.int64) * n_traj + self._owners.take(
+                rows[inside]
+            )
+            counts += np.bincount(idx, minlength=len(counts))
+        per_window = counts.reshape(len(win), n_traj)
+        results = [np.flatnonzero(row >= min_points) for row in per_window]
+        for arr in results:
+            arr.setflags(write=False)
+        self._cache_put(key, tuple(results))
+        return [c.copy() for c in results]
+
+    # -------------------------------------------------------- point memberships
+    def point_memberships(self, boxes: Iterable) -> tuple[np.ndarray, np.ndarray]:
+        """All (point row, box index) containment pairs of the database.
+
+        Returns two aligned arrays ``(rows, box_idx)``: ``rows`` are global
+        rows of :meth:`TrajectoryDatabase.point_matrix` (original database
+        order) and ``box_idx`` the indices of the boxes containing that
+        point, sorted by row then box. One batched CSR sweep replaces the
+        per-consumer chunked point-vs-box loops (the greedy QDTS baseline's
+        coverage setup runs through this).
+        """
+        lo, hi = _workload_bounds(boxes)
+        parts_r: list[np.ndarray] = []
+        parts_q: list[np.ndarray] = []
+        for rows, row_query, inside in self._candidate_passes(lo, hi):
+            parts_r.append(self._order[rows[inside]])
+            parts_q.append(row_query[inside].astype(np.int64))
+        if not parts_r:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty.copy()
+        flat_rows = np.concatenate(parts_r)
+        flat_boxes = np.concatenate(parts_q)
+        order = np.lexsort((flat_boxes, flat_rows))
+        return flat_rows[order], flat_boxes[order]
+
+    # --------------------------------------------------------- incremental view
+    def incremental_view(
+        self, workload: "RangeQueryWorkload | Iterable"
+    ) -> "IncrementalWorkloadView":
+        """A live result-set view of ``workload`` under point insertions.
+
+        The view's :meth:`~IncrementalWorkloadView.reset` is served through
+        the engine's memo (so repeated episode resets over the same state
+        are cache hits) and :meth:`~IncrementalWorkloadView.notify_insert`
+        maintains the per-query result sets in ``O(#queries)`` per inserted
+        point. This is the shared store behind
+        :class:`repro.core.reward.IncrementalRangeEvaluator`.
+        """
+        return IncrementalWorkloadView(self, workload)
 
     def state_rows(self, state: "SimplificationState") -> np.ndarray:
         """Global point-matrix rows kept by ``state`` (sorted, int64)."""
@@ -215,16 +419,18 @@ class QueryEngine:
             ]
         )
 
-    def _evaluate_bounds(
-        self,
-        lo: np.ndarray,
-        hi: np.ndarray,
-        kept_sorted: np.ndarray | None = None,
-    ) -> list[set[int]]:
+    def _candidate_passes(self, lo: np.ndarray, hi: np.ndarray):
+        """Chunked candidate expansion shared by all batched execution paths.
+
+        Yields ``(rows, row_query, inside)`` per pass: ``rows`` index the
+        sorted point columns, ``row_query`` is the query index owning each
+        row, and ``inside`` the exact box-containment mask. Each point
+        belongs to exactly one cell, so a (query, row) pair is yielded at
+        most once across all passes.
+        """
         n_queries = len(lo)
-        results: list[set[int]] = [set() for _ in range(n_queries)]
         if n_queries == 0:
-            return results
+            return
         extent = self._extent
         extent_lo = np.array([extent.xmin, extent.ymin, extent.tmin])
         extent_hi = np.array([extent.xmax, extent.ymax, extent.tmax])
@@ -251,7 +457,7 @@ class QueryEngine:
         overlap[~alive] = False
         flat = np.flatnonzero(overlap)
         if len(flat) == 0:
-            return results
+            return
         q_idx = (flat // overlap.shape[1]).astype(np.int32)
         c_idx = flat % overlap.shape[1]
         lengths = self._cell_counts[c_idx]
@@ -260,8 +466,6 @@ class QueryEngine:
         qlo = [np.ascontiguousarray(lo[:, a]) for a in range(3)]
         qhi = [np.ascontiguousarray(hi[:, a]) for a in range(3)]
         axes = (self._px, self._py, self._pt)
-        hit_pairs: list[np.ndarray] = []
-        n_traj = self._n_traj
         pair_start = 0
         while pair_start < len(q_idx):
             # Expand (query, cell) pairs into candidate rows ("multi-arange"
@@ -286,8 +490,22 @@ class QueryEngine:
                 coord = axis.take(rows)
                 test = (coord >= alo.take(row_query)) & (coord <= ahi.take(row_query))
                 inside = test if inside is None else inside & test
+            yield rows, row_query, inside
+            pair_start = pairs.stop
+
+    def _evaluate_bounds(
+        self,
+        lo: np.ndarray,
+        hi: np.ndarray,
+        kept_sorted: np.ndarray | None = None,
+    ) -> list[set[int]]:
+        n_queries = len(lo)
+        results: list[set[int]] = [set() for _ in range(n_queries)]
+        n_traj = self._n_traj
+        hit_pairs: list[np.ndarray] = []
+        for rows, row_query, inside in self._candidate_passes(lo, hi):
             if kept_sorted is not None:
-                inside &= kept_sorted[rows]
+                inside = inside & kept_sorted[rows]
             hits = row_query[inside].astype(np.int64) * n_traj + self._owners.take(
                 rows[inside]
             )
@@ -299,7 +517,6 @@ class QueryEngine:
                 keep[0] = True
                 np.not_equal(hits[1:], hits[:-1], out=keep[1:])
                 hit_pairs.append(hits[keep])
-            pair_start = pairs.stop
         if not hit_pairs:
             return results
         # Unique (query, trajectory) pairs -> result sets.
@@ -314,20 +531,80 @@ class QueryEngine:
         return results
 
     # -------------------------------------------------------------------- memo
-    def _lookup(self, key: tuple) -> list[set[int]] | None:
+    def _cache_get(self, key: tuple):
+        """The canonical cached payload of ``key``, or None (counts a miss).
+
+        Payloads are immutable canonical forms (tuples of frozensets,
+        read-only arrays); callers materialize fresh copies so corrupting a
+        returned result cannot poison the memo.
+        """
         cached = self._cache.get(key)
         if cached is None:
             self.cache_misses += 1
             return None
         self._cache.move_to_end(key)
         self.cache_hits += 1
-        return [set(s) for s in cached]
+        return cached
 
-    def _store(self, key: tuple, results: list[set[int]]) -> None:
-        self._cache[key] = tuple(frozenset(s) for s in results)
+    def _cache_put(self, key: tuple, payload) -> None:
+        self._cache[key] = payload
         while len(self._cache) > self._max_cached:
             self._cache.popitem(last=False)
 
     def clear_cache(self) -> None:
         """Drop all memoized results (hit/miss counters are kept)."""
         self._cache.clear()
+
+
+class IncrementalWorkloadView:
+    """Live per-query result sets of one workload under point insertions.
+
+    Range results only ever *grow* under insertion (a trajectory matches a
+    query once any kept point falls in its box), so the view maintains each
+    query's result set exactly in ``O(#queries)`` per inserted point. Full
+    recomputation (:meth:`reset`) runs through the owning engine's batched,
+    memoized state evaluation — the training evaluator and any other
+    consumer of the same engine therefore share one result store.
+
+    Obtain views via :meth:`QueryEngine.incremental_view`.
+    """
+
+    __slots__ = ("engine", "workload", "_lo", "_hi", "_results")
+
+    def __init__(
+        self, engine: QueryEngine, workload: "RangeQueryWorkload | Iterable"
+    ) -> None:
+        self.engine = engine
+        # The workload is iterated once per reset as well as here; a one-shot
+        # iterable would yield zero queries on every later pass, so
+        # materialize it unless it is re-iterable already.
+        queries = list(workload)
+        self.workload = workload if hasattr(workload, "__len__") else queries
+        self._lo, self._hi = _workload_bounds(queries)
+        self._results: list[set[int]] = [set() for _ in range(len(self._lo))]
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def reset(self, state: "SimplificationState") -> None:
+        """Recompute all result sets for ``state`` (memoized in the engine)."""
+        self._results = self.engine.evaluate_state(self.workload, state)
+
+    def notify_insert(self, traj_id: int, point: np.ndarray) -> None:
+        """Record that ``point`` of ``traj_id`` entered the simplified view."""
+        point = np.asarray(point, dtype=float)
+        hits = np.flatnonzero(
+            (point >= self._lo).all(axis=1) & (point <= self._hi).all(axis=1)
+        )
+        for qi in hits:
+            self._results[qi].add(traj_id)
+
+    @property
+    def result_sets(self) -> list[set[int]]:
+        """The live result sets (no copy — mutate only via notify_insert)."""
+        return self._results
+
+    @property
+    def results(self) -> list[set[int]]:
+        """Defensive copies of the current result sets."""
+        return [set(s) for s in self._results]

@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.data.database import TrajectoryDatabase
 from repro.data.trajectory import Trajectory
-from repro.queries.edr import edr_distance
+from repro.queries.edr import edr_distance, edr_distances_pairs
 from repro.queries.t2vec import T2VecEmbedder
 
 
@@ -27,6 +27,35 @@ def _window_restriction(
     if len(points) < 2:
         return None
     return Trajectory(points, traj_id=trajectory.traj_id)
+
+
+def _resolve_measure(
+    measure: str | Callable[[Trajectory, Trajectory], float],
+    eps: float,
+    embedder: T2VecEmbedder | None,
+) -> Callable[[Trajectory, Trajectory], float]:
+    """The dissimilarity callable behind a ``measure`` specification."""
+    if measure == "edr":
+        return lambda a, b: edr_distance(a, b, eps)
+    if measure == "t2vec":
+        if embedder is None or not embedder.is_fitted:
+            raise ValueError("measure='t2vec' needs a fitted embedder")
+        return embedder.distance
+    if callable(measure):
+        return measure
+    raise ValueError(f"unknown measure {measure!r}")
+
+
+def _top_k_comparable(distances: list[tuple[float, int]], k: int) -> list[int]:
+    """The ``k`` nearest *comparable* ids from (distance, id) pairs.
+
+    Entries with a non-finite distance are incomparable — the trajectory has
+    no usable window restriction — and are truncated from the tail rather
+    than padding the result with junk ids, so the returned list may be
+    shorter than ``k``.
+    """
+    distances.sort()
+    return [tid for d, tid in distances[:k] if np.isfinite(d)]
 
 
 def knn_query(
@@ -51,11 +80,16 @@ def knn_query(
         Result size.
     time_window:
         ``(ts, te)``; defaults to the query trajectory's own time span.
-        Trajectories with fewer than two points inside the window rank last.
-        If the *query's own* window restriction has fewer than two points the
-        query is degenerate — no trajectory can be meaningfully ranked — and
-        the result is the empty list (previously the ``k`` lowest trajectory
-        ids were returned silently, every distance being infinite).
+        Trajectories with fewer than two points inside the window are
+        incomparable (infinite distance) and are *excluded* from the result
+        rather than padding it — when fewer than ``k`` trajectories have a
+        usable window restriction the result is genuinely shorter than
+        ``k`` (previously the tail was silently filled with
+        infinite-distance trajectory ids in id order, which the evaluation
+        harness then scored as real hits/misses). If the *query's own*
+        window restriction has fewer than two points the query is
+        degenerate — no trajectory can be meaningfully ranked — and the
+        result is the empty list.
     measure:
         ``"edr"``, ``"t2vec"``, or a callable ``(Tq', Ti') -> float``.
     eps:
@@ -72,16 +106,7 @@ def knn_query(
     if time_window is None:
         time_window = (float(query.times[0]), float(query.times[-1]))
     ts, te = time_window
-    if measure == "edr":
-        theta = lambda a, b: edr_distance(a, b, eps)  # noqa: E731
-    elif measure == "t2vec":
-        if embedder is None or not embedder.is_fitted:
-            raise ValueError("measure='t2vec' needs a fitted embedder")
-        theta = embedder.distance
-    elif callable(measure):
-        theta = measure
-    else:
-        raise ValueError(f"unknown measure {measure!r}")
+    theta = _resolve_measure(measure, eps, embedder)
 
     query_window = _window_restriction(query, ts, te)
     if query_window is None:
@@ -104,6 +129,95 @@ def knn_query(
             distances.append((np.inf, traj.traj_id))
         else:
             distances.append((theta(query_window, restricted), traj.traj_id))
-    # Sort by distance, breaking ties by id for determinism.
-    distances.sort()
-    return [tid for _, tid in distances[:k]]
+    # Sort by distance (ties by id for determinism) and truncate the
+    # incomparable tail instead of padding with junk ids.
+    return _top_k_comparable(distances, k)
+
+
+def knn_query_batch(
+    db: TrajectoryDatabase,
+    queries: list[Trajectory],
+    k: int,
+    time_windows: list[tuple[float, float] | None] | None = None,
+    measure: str | Callable[[Trajectory, Trajectory], float] = "edr",
+    eps: float = 2000.0,
+    embedder: T2VecEmbedder | None = None,
+    engine=None,
+) -> list[list[int]]:
+    """Batched :func:`knn_query` over many query trajectories.
+
+    Produces results identical to
+    ``[knn_query(db, q, k, w, measure, ...) for q, w in zip(queries,
+    time_windows)]`` (the property-tested reference), but executed through
+    the shared batch engine:
+
+    * candidate generation runs once for all windows over the engine's CSR
+      cell layout (:meth:`repro.queries.engine.QueryEngine.knn_candidates`)
+      — the per-query reference instead scans every trajectory of the
+      database per query to discover which ones even have a usable window
+      restriction;
+    * EDR distances for each query are computed with the candidate axis
+      vectorized (:func:`repro.queries.edr.edr_distances_one_to_many`)
+      instead of one rolling DP per candidate.
+
+    This is the evaluation harness's kNN scoring path
+    (:class:`repro.eval.harness.QueryAccuracyEvaluator`).
+
+    Parameters mirror :func:`knn_query`; ``time_windows`` may be None (every
+    query uses its own time span) or contain None entries. ``engine``
+    optionally supplies a private :class:`QueryEngine`; by default the
+    database's shared engine is used, so repeated scoring of the same
+    database state hits its candidate memo.
+    """
+    from repro.queries.engine import QueryEngine
+
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    theta = _resolve_measure(measure, eps, embedder)
+    if time_windows is None:
+        time_windows = [None] * len(queries)
+    if len(time_windows) != len(queries):
+        raise ValueError("queries and time_windows must have the same length")
+    windows = [
+        w if w is not None else (float(q.times[0]), float(q.times[-1]))
+        for q, w in zip(queries, time_windows)
+    ]
+    if not queries:
+        return []
+    if engine is None:
+        engine = QueryEngine.for_database(db)
+    candidates = engine.knn_candidates(windows)
+    # Window restrictions exist only for the candidates (exactly the
+    # trajectories with a usable restriction, so none is None) — the
+    # reference instead slices every trajectory of the database per query.
+    query_windows = [
+        _window_restriction(q, ts, te) for q, (ts, te) in zip(queries, windows)
+    ]
+    restrictions = [
+        [_window_restriction(db[int(tid)], ts, te) for tid in cand]
+        if qw is not None
+        else []
+        for qw, (ts, te), cand in zip(query_windows, windows, candidates)
+    ]
+    if measure == "edr":
+        # One DP over all (query, candidate) pairs of the whole batch.
+        flat = edr_distances_pairs(
+            [qw for qw, rs in zip(query_windows, restrictions) for _ in rs],
+            [r for rs in restrictions for r in rs],
+            eps,
+        )
+        splits = np.cumsum([len(rs) for rs in restrictions])[:-1]
+        per_query = np.split(flat, splits)
+    else:
+        per_query = [
+            [theta(qw, r) for r in rs]
+            for qw, rs in zip(query_windows, restrictions)
+        ]
+    results: list[list[int]] = []
+    for qw, cand, dists in zip(query_windows, candidates, per_query):
+        if qw is None:
+            results.append([])
+            continue
+        pairs = [(float(d), int(tid)) for d, tid in zip(dists, cand)]
+        results.append(_top_k_comparable(pairs, k))
+    return results

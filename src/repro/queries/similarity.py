@@ -9,6 +9,15 @@ Positions at arbitrary instants are linearly interpolated along segments —
 which is exactly where simplification bites: dropping points moves the
 interpolated positions, so a trajectory that satisfied the predicate on the
 original database may fail it on the simplified one (or vice versa).
+
+Semantics at the window edges: the predicate is evaluated only at instants
+where *both* the query and the candidate exist — checkpoints are clipped to
+the intersection of the window with both lifespans. Outside its lifespan a
+trajectory has no position (``positions_at`` would merely clamp to the
+parked endpoint, an extrapolation artifact that previously let a parked
+endpoint satisfy — or break — the predicate at instants where the
+trajectory did not exist). A candidate that shares no instant with the
+query inside the window has nothing to compare and does not match.
 """
 
 from __future__ import annotations
@@ -42,7 +51,11 @@ def similarity_query(
         time span does not overlap the window cannot match.
     n_checkpoints:
         The continuous predicate is checked at this many evenly spaced
-        instants plus the query's own sample times inside the window.
+        instants plus the query's own sample times inside the window; for
+        each candidate only the checkpoints inside the intersection of the
+        window with both the query's and the candidate's lifespans count
+        (see the module docstring), so neither trajectory is ever evaluated
+        via clamped-endpoint extrapolation outside its lifespan.
     temporal_index:
         Optional :class:`~repro.index.temporal.TemporalIndex` over ``db``;
         prunes the lifespan-overlap test instead of scanning every
@@ -68,10 +81,21 @@ def similarity_query(
         candidates = [
             t for t in db if not (t.times[-1] < ts or t.times[0] > te)
         ]
+    # The query itself only exists on its own lifespan; checkpoints outside
+    # it would compare candidates against a clamped (parked) query endpoint.
+    query_alive = (checkpoints >= query.times[0]) & (checkpoints <= query.times[-1])
     result: set[int] = set()
     for traj in candidates:
-        positions = traj.positions_at(checkpoints)
-        gaps = np.linalg.norm(positions - query_positions, axis=1)
+        comparable = (
+            query_alive
+            & (checkpoints >= traj.times[0])
+            & (checkpoints <= traj.times[-1])
+        )
+        if not comparable.any():
+            # No instant inside the window where both trajectories exist.
+            continue
+        positions = traj.positions_at(checkpoints[comparable])
+        gaps = np.linalg.norm(positions - query_positions[comparable], axis=1)
         if bool((gaps <= delta).all()):
             result.add(traj.traj_id)
     return result

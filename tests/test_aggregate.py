@@ -10,8 +10,11 @@ from hypothesis import strategies as st
 from repro.baselines import uniform_simplify_database
 from repro.data import BoundingBox, Trajectory, TrajectoryDatabase
 from repro.queries import (
+    QueryEngine,
     count_query,
+    count_query_scan,
     density_histogram,
+    density_histogram_scan,
     heatmap_f1,
     histogram_similarity,
 )
@@ -47,6 +50,51 @@ class TestCountQuery:
         box = small_db.bounding_box
         assert count_query(simplified, box) < count_query(small_db, box)
 
+    @given(seed=st.integers(0, 300))
+    @settings(max_examples=30, deadline=None)
+    def test_engine_route_matches_scan_on_random_boxes(self, seed):
+        """count_query (engine-batched) == the per-trajectory reference scan,
+        including boxes disjoint from the extent (the PR 1 out-of-extent
+        regression scenario)."""
+        rng = np.random.default_rng(seed)
+        db = TrajectoryDatabase(
+            [
+                make_trajectory(n=4 + (seed + i) % 9, seed=seed + i, traj_id=i)
+                for i in range(6)
+            ]
+        )
+        extent = db.bounding_box
+        span = max(extent.spans)
+        for _ in range(5):
+            centre = rng.uniform(-0.5 * span, 1.5 * span, size=3) + np.array(
+                [extent.xmin, extent.ymin, extent.tmin]
+            )
+            sides = rng.uniform(0.05 * span, 0.8 * span, size=3)
+            box = BoundingBox(
+                centre[0] - sides[0], centre[0] + sides[0],
+                centre[1] - sides[1], centre[1] + sides[1],
+                centre[2] - sides[2], centre[2] + sides[2],
+            )
+            assert count_query(db, box) == count_query_scan(db, box)
+
+    def test_engine_batched_counts_match_scan_batchwise(self, small_db):
+        box = small_db.bounding_box
+        boxes = [
+            box,
+            BoundingBox(
+                box.xmax + 5, box.xmax + 6, box.ymin, box.ymax, box.tmin,
+                box.tmax,
+            ),
+            BoundingBox(
+                box.xmin, box.center[0], box.ymin, box.center[1], box.tmin,
+                box.tmax,
+            ),
+        ]
+        engine = QueryEngine(small_db)
+        assert engine.count(boxes).tolist() == [
+            count_query_scan(small_db, b) for b in boxes
+        ]
+
 
 class TestDensityHistogram:
     def test_total_mass_equals_points(self, small_db):
@@ -81,6 +129,41 @@ class TestDensityHistogram:
         assert hist[0, 0] == 1
         assert hist[1, 1] == 1
 
+    def test_cell_edge_assignment(self):
+        """Interior cell edges belong to the upper cell; the closing edge of
+        the raster folds into the last cell."""
+        points = np.array(
+            [
+                [0.0, 0.0, 0.0],   # lower corner -> cell (0, 0)
+                [0.5, 0.5, 1.0],   # interior edge -> upper cell (1, 1)
+                [1.0, 1.0, 2.0],   # closing edge -> clamped to (1, 1)
+                [0.5, 0.0, 3.0],   # mixed: edge on x only -> (1, 0)
+            ]
+        )
+        db = TrajectoryDatabase([Trajectory(points)])
+        box = BoundingBox(0, 1, 0, 1, 0, 3)
+        expected = np.array([[1.0, 0.0], [1.0, 2.0]])
+        np.testing.assert_array_equal(
+            density_histogram(db, grid=2, box=box), expected
+        )
+        np.testing.assert_array_equal(
+            density_histogram_scan(db, grid=2, box=box), expected
+        )
+
+    @given(seed=st.integers(0, 300), grid=st.integers(1, 12))
+    @settings(max_examples=25, deadline=None)
+    def test_engine_route_matches_scan(self, seed, grid):
+        db = TrajectoryDatabase(
+            [make_trajectory(n=5 + i, seed=seed + i, traj_id=i) for i in range(4)]
+        )
+        np.testing.assert_array_equal(
+            density_histogram(db, grid=grid), density_histogram_scan(db, grid=grid)
+        )
+        np.testing.assert_array_equal(
+            density_histogram(db, grid=grid, normalize=True),
+            density_histogram_scan(db, grid=grid, normalize=True),
+        )
+
 
 class TestHistogramSimilarity:
     def test_identical(self, small_db):
@@ -111,6 +194,32 @@ class TestHistogramSimilarity:
     def test_shape_mismatch_raises(self):
         with pytest.raises(ValueError):
             histogram_similarity(np.zeros((2, 2)), np.zeros((3, 3)))
+
+    def test_normalization_is_internal(self):
+        """Inputs are normalized inside: pre-normalizing must not change the
+        score, whatever the raw totals."""
+        rng = np.random.default_rng(3)
+        a = 1e9 * rng.random((5, 5))
+        b = 1e-9 * rng.random((5, 5))
+        raw = histogram_similarity(a, b)
+        assert raw == pytest.approx(
+            histogram_similarity(a / a.sum(), b / b.sum())
+        )
+        assert 0.0 < raw < 1.0
+
+    def test_single_cell_mass(self):
+        a = np.zeros((3, 3))
+        a[1, 1] = 7.0
+        assert histogram_similarity(a, a * 123.0) == pytest.approx(1.0)
+
+    def test_empty_vs_normalized_empty(self):
+        """A zero histogram cannot be normalized; one-sided zero is 0.0 and
+        two-sided zero is perfect agreement, regardless of the other side's
+        scale."""
+        z = np.zeros((4, 4))
+        tiny = np.full((4, 4), 1e-300)
+        assert histogram_similarity(z, tiny) == 0.0
+        assert histogram_similarity(tiny, tiny) == pytest.approx(1.0)
 
     @given(seed=st.integers(0, 500))
     @settings(max_examples=25, deadline=None)

@@ -30,6 +30,60 @@ def evaluator(geolife_db):
     return QueryAccuracyEvaluator(geolife_db, config)
 
 
+class TestKnnSuiteGuard:
+    def test_degenerate_central_windows_are_skipped(self):
+        """2-point trajectories (middle half contains no sample) must not be
+        chosen as kNN query trajectories: their truth would be the empty
+        list and every method's F1 a vacuous empty-set comparison."""
+        from repro.data import Trajectory, TrajectoryDatabase
+        from tests.conftest import make_trajectory
+
+        def two_point(seed, traj_id):
+            t = make_trajectory(n=10, seed=seed, traj_id=traj_id)
+            return Trajectory(t.points[[0, -1]], traj_id=traj_id)
+
+        # Half the database is unusable as a kNN query.
+        db = TrajectoryDatabase(
+            [make_trajectory(n=12, seed=i, traj_id=i) for i in range(6)]
+            + [two_point(100 + i, 6 + i) for i in range(6)]
+        )
+        config = QuerySuiteConfig(
+            n_range_queries=5, n_knn_queries=12, n_similarity_queries=2,
+            clustering_subset=4, seed=0,
+        )
+        evaluator = QueryAccuracyEvaluator(db, config)
+        assert evaluator._knn_query_ids  # some eligible queries exist
+        assert all(qid < 6 for qid in evaluator._knn_query_ids)
+        assert all(truth for truth in evaluator._knn_edr_truth)
+        # And the suite still scores cleanly end to end.
+        scores = evaluator.evaluate(db, tasks=("knn_edr",))
+        assert scores["knn_edr"] == pytest.approx(1.0)
+
+    def test_all_degenerate_scores_vacuous_perfect(self):
+        """A database with no eligible query trajectory yields an empty kNN
+        suite that scores 1.0 instead of NaN."""
+        from repro.data import Trajectory, TrajectoryDatabase
+        from tests.conftest import make_trajectory
+
+        db = TrajectoryDatabase(
+            [
+                Trajectory(
+                    make_trajectory(n=10, seed=i).points[[0, -1]], traj_id=i
+                )
+                for i in range(5)
+            ]
+        )
+        config = QuerySuiteConfig(
+            n_range_queries=5, n_knn_queries=4, n_similarity_queries=2,
+            clustering_subset=3, seed=0,
+        )
+        evaluator = QueryAccuracyEvaluator(db, config)
+        assert evaluator._knn_query_ids == []
+        scores = evaluator.evaluate(db, tasks=("knn_edr", "knn_t2vec"))
+        assert scores["knn_edr"] == 1.0
+        assert scores["knn_t2vec"] == 1.0
+
+
 class TestEvaluator:
     def test_identity_scores_one_on_all_tasks(self, geolife_db, evaluator):
         scores = evaluator.evaluate(geolife_db)

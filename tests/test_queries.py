@@ -7,6 +7,7 @@ from repro.data import Trajectory, TrajectoryDatabase
 from repro.queries import (
     RangeQuery,
     edr_distance,
+    edr_distances_one_to_many,
     f1_score,
     knn_query,
     precision_recall_f1,
@@ -14,6 +15,7 @@ from repro.queries import (
     similarity_query,
     T2VecEmbedder,
 )
+from repro.queries.edr import edr_distances_pairs
 from repro.queries.metrics import clustering_f1, clustering_pairs, mean_f1
 from tests.conftest import make_trajectory
 
@@ -143,8 +145,72 @@ class TestKNN:
             shifted, shifted[0], k=2, time_window=(0.0, 10.0), measure="edr",
             eps=1.0,
         )
-        # T1 has no points in the window, so it ranks last.
-        assert result[0] == 0
+        # T1 has no points in the window: it is incomparable and truncated
+        # rather than padded in after the real result.
+        assert result == [0]
+
+    def test_unreachable_trajectories_are_truncated_not_padded(self):
+        """Regression: fewer than k comparable trajectories -> shorter result.
+
+        Previously the k lowest incomparable (infinite-distance) trajectory
+        ids filled the tail, and the harness scored those junk ids as real
+        F1 hits/misses.
+        """
+        db = TrajectoryDatabase(
+            [traj_at(0, 0)]
+            + [traj_at(5, 5, t0=1000.0 * (i + 1), traj_id=i + 1) for i in range(4)]
+        )
+        result = knn_query(
+            db, db[0], k=3, time_window=(0.0, 10.0), measure="edr", eps=1.0
+        )
+        assert result == [0]  # not [0, 1, 2]
+
+    def test_window_with_no_comparable_trajectory_is_empty(self):
+        db = TrajectoryDatabase([traj_at(0, 0), traj_at(1, 1, traj_id=1)])
+        assert (
+            knn_query(db, db[0], k=2, time_window=(500.0, 510.0), eps=1.0) == []
+        )
+
+
+class TestEdrBatch:
+    def test_pairs_match_reference(self):
+        rng = np.random.default_rng(0)
+        for trial in range(15):
+            n_pairs = int(rng.integers(1, 7))
+            a_list = [
+                make_trajectory(n=int(rng.integers(2, 16)), seed=trial * 20 + j)
+                for j in range(n_pairs)
+            ]
+            b_list = [
+                make_trajectory(
+                    n=int(rng.integers(2, 16)), seed=900 + trial * 20 + j
+                )
+                for j in range(n_pairs)
+            ]
+            eps = float(rng.uniform(1.0, 80.0))
+            expected = [
+                edr_distance(a, b, eps) for a, b in zip(a_list, b_list)
+            ]
+            assert edr_distances_pairs(a_list, b_list, eps).tolist() == expected
+
+    def test_one_to_many_matches_reference(self):
+        query = make_trajectory(n=9, seed=3)
+        candidates = [make_trajectory(n=4 + j, seed=50 + j) for j in range(5)]
+        assert edr_distances_one_to_many(query, candidates, 10.0).tolist() == [
+            edr_distance(query, c, 10.0) for c in candidates
+        ]
+
+    def test_empty_inputs(self):
+        assert len(edr_distances_pairs([], [], 1.0)) == 0
+        with pytest.raises(ValueError):
+            edr_distances_pairs([make_trajectory()], [], 1.0)
+
+    def test_zero_length_sides(self):
+        a = make_trajectory(n=5, seed=1)
+        empty = np.empty((0, 3))
+        assert edr_distances_pairs([a], [empty], 1.0).tolist() == [5.0]
+        assert edr_distances_pairs([empty], [a], 1.0).tolist() == [5.0]
+        assert edr_distances_pairs([empty], [empty], 1.0).tolist() == [0.0]
 
 
 class TestSimilarity:
@@ -173,6 +239,54 @@ class TestSimilarity:
     def test_empty_window_rejected(self, small_db):
         with pytest.raises(ValueError):
             similarity_query(small_db, small_db[0], 1.0, time_window=(10.0, 0.0))
+
+    def test_partial_lifespan_candidate_not_extrapolated(self):
+        """Regression: the predicate only counts instants where both exist.
+
+        The candidate tracks the query exactly while it is alive (t in
+        [0, 4]) and then ends; previously its parked endpoint was
+        extrapolated across the rest of the window, where the query has
+        moved far away, and the candidate wrongly failed the predicate.
+        """
+        query = traj_at(0, 0, n=20)  # alive t in [0, 19], moving +x
+        partial = traj_at(0, 0, n=5, traj_id=1)  # identical until t=4
+        db = TrajectoryDatabase([query, partial])
+        assert similarity_query(db, db[0], delta=0.5) == {0, 1}
+
+    def test_parked_endpoints_cannot_satisfy_predicate(self):
+        """The dual failure: two trajectories that never coexist must not
+        match even when both overlap the window and their parked endpoints
+        sit on top of each other — there is no instant where the predicate
+        is actually about two existing trajectories."""
+        query = traj_at(0, 0, n=5, step=0.0)  # parked at (0,0), t in [0,4]
+        late = traj_at(0, 0, n=5, step=0.0, t0=6.0, traj_id=1)  # t in [6,10]
+        db = TrajectoryDatabase([query, late])
+        # Both lifespans intersect the window, their endpoint extrapolations
+        # coincide everywhere, yet they share no instant.
+        assert similarity_query(
+            db, db[0], delta=1e6, time_window=(0.0, 10.0)
+        ) == {0}
+
+    def test_window_beyond_query_lifespan_not_extrapolated(self):
+        """Checkpoints outside the query's own lifespan are excluded too."""
+        query = traj_at(0, 0, n=5)  # alive t in [0, 4]
+        # Matches the query while it exists, then wanders far away.
+        wanderer = Trajectory(
+            np.column_stack(
+                [
+                    np.concatenate([np.arange(5.0), np.full(5, 1e6)]),
+                    np.zeros(10),
+                    np.arange(10.0),
+                ]
+            ),
+            traj_id=1,
+        )
+        db = TrajectoryDatabase([query, wanderer])
+        # Window extends past the query's life; instants beyond t=4 have no
+        # query position and must not be scored against its parked endpoint.
+        assert similarity_query(
+            db, db[0], delta=0.5, time_window=(0.0, 9.0)
+        ) == {0, 1}
 
 
 class TestMetrics:

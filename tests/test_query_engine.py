@@ -17,7 +17,15 @@ from repro.core import (
     run_episode,
 )
 from repro.data import SimplificationState, TrajectoryDatabase
-from repro.queries import QueryEngine, range_query_batch
+from repro.queries import (
+    QueryEngine,
+    T2VecEmbedder,
+    count_query_scan,
+    density_histogram_scan,
+    knn_query,
+    knn_query_batch,
+    range_query_batch,
+)
 from repro.workloads import RangeQueryWorkload
 from tests.conftest import make_trajectory
 from tests.test_core import make_agents
@@ -186,6 +194,242 @@ class TestQueryEngineMemoization:
         engine.evaluate_state(small_workload, SimplificationState(small_db))
         assert engine.cache_misses == misses
         assert engine.cache_hits >= 1
+
+
+def _central_window(trajectory) -> tuple[float, float]:
+    """The harness's middle-half kNN window (single source of truth)."""
+    from repro.eval.harness import QueryAccuracyEvaluator
+
+    return QueryAccuracyEvaluator._central_window(trajectory)
+
+
+class TestEngineAggregates:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 100), n_boxes=st.integers(1, 10))
+    def test_count_matches_scan(self, seed, n_boxes):
+        db = random_db(seed)
+        workload = RangeQueryWorkload.from_data_distribution(
+            db, n_boxes, seed=seed + 3
+        )
+        engine = QueryEngine(db)
+        assert engine.count(workload.boxes).tolist() == [
+            count_query_scan(db, b) for b in workload.boxes
+        ]
+
+    def test_count_disjoint_box_is_zero(self, small_db):
+        # PR 1 regression scenario: boxes beyond the extent must not snap
+        # onto border cells.
+        box = small_db.bounding_box
+        from repro.data import BoundingBox
+
+        far = BoundingBox(
+            box.xmax + 10, box.xmax + 20, box.ymax + 10, box.ymax + 20,
+            box.tmax + 10, box.tmax + 20,
+        )
+        engine = QueryEngine(small_db)
+        assert engine.count([far]).tolist() == [0]
+        assert engine.count([far, box]).tolist() == [
+            0, small_db.total_points,
+        ]
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 100), grid=st.integers(1, 9))
+    def test_histogram_matches_scan(self, seed, grid):
+        db = random_db(seed)
+        engine = QueryEngine(db)
+        np.testing.assert_array_equal(
+            engine.histogram(grid), density_histogram_scan(db, grid)
+        )
+
+    def test_histogram_normalized_and_boxed(self, small_db):
+        box = small_db.bounding_box
+        from repro.data import BoundingBox
+
+        shrunk = BoundingBox(
+            box.xmin, box.center[0], box.ymin, box.center[1], box.tmin, box.tmax
+        )
+        engine = QueryEngine(small_db)
+        np.testing.assert_array_equal(
+            engine.histogram(8, shrunk, normalize=True),
+            density_histogram_scan(small_db, 8, shrunk, normalize=True),
+        )
+
+    def test_aggregates_are_memoized(self, small_db):
+        engine = QueryEngine(small_db)
+        boxes = [small_db.bounding_box]
+        first = engine.count(boxes)
+        hits = engine.cache_hits
+        second = engine.count(boxes)
+        assert engine.cache_hits == hits + 1
+        assert first.tolist() == second.tolist()
+        engine.histogram(8)
+        hits = engine.cache_hits
+        engine.histogram(8)
+        assert engine.cache_hits == hits + 1
+
+    def test_cached_histogram_is_isolated(self, small_db):
+        engine = QueryEngine(small_db)
+        hist = engine.histogram(4)
+        hist[0, 0] = -1.0  # corrupting a returned array must not poison the memo
+        assert engine.histogram(4)[0, 0] != -1.0
+
+
+class TestKnnCandidates:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 120), n_windows=st.integers(1, 6))
+    def test_matches_window_restriction_filter(self, seed, n_windows):
+        db = random_db(seed)
+        rng = np.random.default_rng(seed + 1)
+        span = db.bounding_box
+        windows = []
+        for _ in range(n_windows):
+            a, b = sorted(rng.uniform(span.tmin - 5, span.tmax + 5, size=2))
+            windows.append((float(a), float(b)))
+        engine = QueryEngine(db)
+        for (ts, te), cand in zip(windows, engine.knn_candidates(windows)):
+            expected = [
+                t.traj_id for t in db if len(t.slice_time(ts, te)) >= 2
+            ]
+            assert cand.tolist() == expected
+
+    def test_min_points_threshold(self, small_db):
+        span = small_db.bounding_box
+        engine = QueryEngine(small_db)
+        window = (span.tmin, span.tmax)
+        loose = engine.knn_candidates([window], min_points=1)[0]
+        strict = engine.knn_candidates([window], min_points=10**6)[0]
+        assert loose.tolist() == list(range(len(small_db)))
+        assert strict.tolist() == []
+
+    def test_disjoint_window_has_no_candidates(self, small_db):
+        span = small_db.bounding_box
+        engine = QueryEngine(small_db)
+        cand = engine.knn_candidates([(span.tmax + 100, span.tmax + 200)])
+        assert cand[0].tolist() == []
+
+
+class TestBatchKnn:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(0, 100),
+        k=st.integers(1, 5),
+        eps=st.floats(1.0, 60.0),
+    )
+    def test_edr_matches_per_query_reference(self, seed, k, eps):
+        db = random_db(seed, n_trajectories=10)
+        rng = np.random.default_rng(seed)
+        qids = [int(i) for i in rng.choice(len(db), size=4, replace=False)]
+        windows = [_central_window(db[qid]) for qid in qids]
+        batched = knn_query_batch(
+            db, [db[qid] for qid in qids], k, windows, "edr", eps=eps
+        )
+        reference = [
+            knn_query(db, db[qid], k, window, "edr", eps=eps)
+            for qid, window in zip(qids, windows)
+        ]
+        assert batched == reference
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 60))
+    def test_callable_measure_matches_reference(self, seed):
+        db = random_db(seed)
+
+        def theta(a, b):
+            return float(abs(len(a) - len(b)))
+
+        qids = [0, 3]
+        windows = [_central_window(db[qid]) for qid in qids]
+        assert knn_query_batch(
+            db, [db[qid] for qid in qids], 3, windows, theta
+        ) == [
+            knn_query(db, db[qid], 3, window, theta)
+            for qid, window in zip(qids, windows)
+        ]
+
+    def test_t2vec_matches_reference(self, small_db):
+        emb = T2VecEmbedder(resolution=8, dim=8, epochs=1, seed=0).fit(small_db)
+        qids = [1, 5]
+        windows = [_central_window(small_db[qid]) for qid in qids]
+        assert knn_query_batch(
+            small_db, [small_db[qid] for qid in qids], 2, windows, "t2vec",
+            embedder=emb,
+        ) == [
+            knn_query(
+                small_db, small_db[qid], 2, window, "t2vec", embedder=emb
+            )
+            for qid, window in zip(qids, windows)
+        ]
+
+    def test_default_windows_match_reference(self, small_db):
+        qids = [0, 2]
+        assert knn_query_batch(
+            small_db, [small_db[qid] for qid in qids], 3, None, "edr", eps=5.0
+        ) == [
+            knn_query(small_db, small_db[qid], 3, None, "edr", eps=5.0)
+            for qid in qids
+        ]
+
+    def test_rejects_bad_arguments(self, small_db):
+        with pytest.raises(ValueError):
+            knn_query_batch(small_db, [small_db[0]], 0, None, "edr")
+        with pytest.raises(ValueError):
+            knn_query_batch(small_db, [small_db[0]], 1, [(0.0, 1.0)] * 2)
+        with pytest.raises(ValueError):
+            knn_query_batch(small_db, [small_db[0]], 1, None, "dtw")
+
+
+class TestPointMemberships:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 100), n_boxes=st.integers(1, 8))
+    def test_matches_brute_force(self, seed, n_boxes):
+        db = random_db(seed)
+        workload = RangeQueryWorkload.from_data_distribution(
+            db, n_boxes, seed=seed + 5
+        )
+        rows, box_idx = QueryEngine(db).point_memberships(workload.boxes)
+        points = db.point_matrix()
+        expected = sorted(
+            (row, qi)
+            for qi, box in enumerate(workload.boxes)
+            for row in np.flatnonzero(box.contains_points(points))
+        )
+        assert list(zip(rows.tolist(), box_idx.tolist())) == expected
+
+    def test_empty_workload(self, small_db):
+        rows, box_idx = QueryEngine(small_db).point_memberships([])
+        assert len(rows) == 0 and len(box_idx) == 0
+
+
+class TestIncrementalView:
+    def test_view_matches_from_scratch_evaluation(self, small_db, small_workload):
+        engine = QueryEngine(small_db)
+        view = engine.incremental_view(small_workload)
+        state = SimplificationState(small_db)
+        view.reset(state)
+        rng = np.random.default_rng(5)
+        for _ in range(25):
+            tid = int(rng.integers(len(small_db)))
+            idx = int(rng.integers(1, len(small_db[tid]) - 1))
+            if state.is_kept(tid, idx):
+                continue
+            state.insert(tid, idx)
+            view.notify_insert(tid, small_db[tid].points[idx])
+        assert view.result_sets == engine.evaluate_state(small_workload, state)
+
+    def test_view_results_are_copies(self, small_db, small_workload):
+        view = QueryEngine(small_db).incremental_view(small_workload)
+        copies = view.results
+        copies[0].add(10**9)
+        assert 10**9 not in view.result_sets[0]
+
+    def test_evaluator_shares_engine_store(self, small_db, small_workload):
+        """Two evaluators over one database reuse the shared engine's memo."""
+        first = IncrementalRangeEvaluator(small_db, small_workload)
+        engine = QueryEngine.for_database(small_db)
+        hits = engine.cache_hits
+        second = IncrementalRangeEvaluator(small_db, small_workload)
+        assert second._engine is engine and first._engine is engine
+        assert engine.cache_hits > hits  # truth evaluation was a cache hit
 
 
 class TestIncrementalEvaluatorAudit:
