@@ -1,0 +1,232 @@
+"""Sharded QueryService vs the single-process QueryEngine.
+
+Serving is only worth its indirection if fan-out buys wall-clock time, so
+this benchmark reports the shard-count scaling curve: the same request mix
+(a range workload, per-box counts, the density heatmap, an EDR kNN suite,
+and a similarity suite) answered by one engine, then by the service at
+K = 1, 2, 4, ... shards under both executors. Before any timing, every service configuration
+must return results bit-identical to the single-engine path — the
+acceptance gate of the subsystem; scaling numbers for wrong answers are
+meaningless.
+
+Expectations, not assertions, for the curve itself: the serial executor
+tracks the single engine (same work, small fan-out overhead); the process
+executor overlaps shards across cores, so it needs (a) more than one core
+and (b) per-request compute that dwarfs the pipe round-trips before K > 1
+beats the single engine. The report prints the visible core count — on a
+single-core box the whole process column measures pure fan-out overhead.
+
+Run standalone::
+
+    python benchmarks/bench_service.py            # default scale
+    python benchmarks/bench_service.py --smoke    # tiny CI smoke run
+    python benchmarks/bench_service.py --shards 1 2 4 8
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro.data import synthetic_database
+from repro.data.stats import spatial_scale
+from repro.eval.harness import QueryAccuracyEvaluator
+from repro.queries.engine import QueryEngine
+from repro.queries.knn import knn_query_batch
+from repro.service import QueryService
+from repro.workloads import RangeQueryWorkload
+
+DEFAULT_TRAJECTORIES = 200
+DEFAULT_QUERIES = 100
+DEFAULT_KNN_QUERIES = 8
+DEFAULT_SHARDS = (1, 2, 4)
+
+
+def _setup(n_trajectories: int, n_queries: int, n_knn: int, seed: int = 7):
+    db = synthetic_database(
+        "geolife", n_trajectories=n_trajectories, points_scale=0.1, seed=seed
+    )
+    workload = RangeQueryWorkload.from_data_distribution(db, n_queries, seed=seed)
+    rng = np.random.default_rng(seed)
+    qids = [int(i) for i in rng.choice(len(db), size=n_knn, replace=False)]
+    queries = [db[q] for q in qids]
+    windows = [QueryAccuracyEvaluator._central_window(q) for q in queries]
+    eps = 0.10 * spatial_scale(db)
+    delta = 0.15 * spatial_scale(db)
+    return db, workload, queries, windows, eps, delta
+
+
+def _best_of(fn, repeats: int, setup=None) -> float:
+    """Best wall-clock of ``repeats`` runs; ``setup`` runs outside the timer."""
+    best = float("inf")
+    for _ in range(repeats):
+        if setup is not None:
+            setup()
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _clear_caches(service_or_engine, single: bool) -> None:
+    """Deep cache clear (request LRU *and* engine memos on both sides).
+
+    Run OUTSIDE the timed region: the service's deep clear is a K-worker
+    broadcast round-trip while the engine's is a local dict clear, so
+    timing it would bias the curve against the service.
+    """
+    if single:
+        service_or_engine.clear_cache()
+    else:
+        service_or_engine.clear_cache(deep=True)
+
+
+def _request_mix(
+    service_or_engine, workload, queries, windows, eps, delta, single: bool
+):
+    """The benchmark's request mix on either execution path.
+
+    Callers clear caches first (see :func:`_clear_caches`), so this times
+    warm batched execution, not memo lookups.
+    """
+    if single:
+        engine = service_or_engine
+        return (
+            engine.evaluate(workload),
+            engine.count(workload.boxes),
+            engine.histogram(32),
+            knn_query_batch(
+                engine.db, queries, 3, windows, "edr", eps=eps, engine=engine
+            ),
+            engine.similarity(queries, delta),
+        )
+    service = service_or_engine
+    return (
+        service.range(workload).result_sets,
+        service.count(workload.boxes).counts,
+        service.histogram(32).histogram,
+        service.knn(queries, 3, windows, eps=eps).neighbors,
+        service.similarity(queries, delta).result_sets,
+    )
+
+
+def run_scaling(
+    n_trajectories: int = DEFAULT_TRAJECTORIES,
+    n_queries: int = DEFAULT_QUERIES,
+    n_knn: int = DEFAULT_KNN_QUERIES,
+    shard_counts: tuple[int, ...] = DEFAULT_SHARDS,
+    repeats: int = 3,
+    executors: tuple[str, ...] = ("serial", "process"),
+) -> dict[str, float]:
+    """Time the request mix per configuration; parity is asserted first."""
+    db, workload, queries, windows, eps, delta = _setup(
+        n_trajectories, n_queries, n_knn
+    )
+    engine = QueryEngine(db)
+    _clear_caches(engine, single=True)
+    reference = _request_mix(
+        engine, workload, queries, windows, eps, delta, single=True
+    )
+
+    results: dict[str, float] = {}
+    results["single engine"] = _best_of(
+        lambda: _request_mix(
+            engine, workload, queries, windows, eps, delta, single=True
+        ),
+        repeats,
+        setup=lambda: _clear_caches(engine, single=True),
+    )
+    for executor in executors:
+        for k in shard_counts:
+            with QueryService(
+                db, n_shards=k, partitioner="hash", executor=executor
+            ) as service:
+                _clear_caches(service, single=False)
+                mix = _request_mix(
+                    service, workload, queries, windows, eps, delta, single=False
+                )
+                assert mix[0] == reference[0], f"range diverged ({executor}, K={k})"
+                assert np.array_equal(mix[1], reference[1]), (
+                    f"count diverged ({executor}, K={k})"
+                )
+                assert np.array_equal(mix[2], reference[2]), (
+                    f"histogram diverged ({executor}, K={k})"
+                )
+                assert mix[3] == reference[3], f"kNN diverged ({executor}, K={k})"
+                assert mix[4] == reference[4], (
+                    f"similarity diverged ({executor}, K={k})"
+                )
+                results[f"{executor} K={k}"] = _best_of(
+                    lambda: _request_mix(
+                        service, workload, queries, windows, eps, delta,
+                        single=False,
+                    ),
+                    repeats,
+                    setup=lambda: _clear_caches(service, single=False),
+                )
+    return results
+
+
+def _report(results: dict[str, float], header: str) -> None:
+    import os
+
+    print(f"\n=== {header} ===")
+    print(f"visible CPU cores: {os.cpu_count()}")
+    base = results["single engine"]
+    for name, seconds in results.items():
+        rel = base / max(seconds, 1e-12)
+        print(f"{name:<16}{seconds * 1000:>10.3f} ms   ({rel:4.2f}x vs single)")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny database + workload; checks exact parity, skips speed bars",
+    )
+    parser.add_argument("--trajectories", type=int, default=DEFAULT_TRAJECTORIES)
+    parser.add_argument("--queries", type=int, default=DEFAULT_QUERIES)
+    parser.add_argument("--knn-queries", type=int, default=DEFAULT_KNN_QUERIES)
+    parser.add_argument(
+        "--shards", type=int, nargs="+", default=list(DEFAULT_SHARDS)
+    )
+    parser.add_argument(
+        "--executors", nargs="+", default=["serial", "process"],
+        choices=["serial", "process"],
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        n_trajectories, n_queries, n_knn = 20, 10, 4
+        shard_counts: tuple[int, ...] = (1, 2)
+        repeats = 1
+    else:
+        n_trajectories, n_queries = args.trajectories, args.queries
+        n_knn = args.knn_queries
+        shard_counts = tuple(args.shards)
+        repeats = 3
+
+    results = run_scaling(
+        n_trajectories,
+        n_queries,
+        n_knn,
+        shard_counts,
+        repeats,
+        tuple(args.executors),
+    )
+    _report(
+        results,
+        f"QueryService scaling ({n_trajectories} trajectories, "
+        f"{n_queries} range + {n_knn} kNN queries, shard counts "
+        f"{list(shard_counts)})",
+    )
+    print("ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,9 +22,13 @@ It provides:
   and Agent-Point (:mod:`repro.rl`),
 * the RL4QDTS algorithm itself (:mod:`repro.core`),
 * the paper's 25 error-driven baselines with "E" and "W" adaptations
-  (:mod:`repro.baselines`), and
+  (:mod:`repro.baselines`),
 * the evaluation harness regenerating every table and figure
-  (:mod:`repro.eval`).
+  (:mod:`repro.eval`), and
+* the sharded online query service — K-shard scatter/gather over per-shard
+  engines (serial or one worker process per shard), streaming ingestion
+  without rebuilds, and a typed request layer with caching and stats
+  (:mod:`repro.service`).
 
 Quickstart::
 
@@ -44,7 +48,14 @@ from repro.data import (
     DATASET_PROFILES,
 )
 from repro.errors import sed_error, ped_error, dad_error, sad_error, trajectory_error
-from repro.index import Octree, KDTree, GridIndex, RTree, TemporalIndex
+from repro.index import (
+    Octree,
+    KDTree,
+    GridIndex,
+    RTree,
+    TemporalIndex,
+    adaptive_resolution,
+)
 from repro.queries import (
     RangeQuery,
     QueryEngine,
@@ -52,11 +63,13 @@ from repro.queries import (
     knn_query,
     knn_query_batch,
     similarity_query,
+    similarity_query_batch,
     traclus_cluster,
     f1_score,
 )
 from repro.workloads import RangeQueryWorkload
 from repro.core import RL4QDTS, RL4QDTSConfig
+from repro.service import QueryService, ShardManager
 from repro.baselines import (
     top_down,
     bottom_up,
@@ -84,6 +97,7 @@ __all__ = [
     "Octree",
     "KDTree",
     "GridIndex",
+    "adaptive_resolution",
     "RTree",
     "TemporalIndex",
     "RangeQuery",
@@ -92,8 +106,11 @@ __all__ = [
     "knn_query",
     "knn_query_batch",
     "similarity_query",
+    "similarity_query_batch",
     "traclus_cluster",
     "f1_score",
+    "QueryService",
+    "ShardManager",
     "RangeQueryWorkload",
     "RL4QDTS",
     "RL4QDTSConfig",

@@ -12,6 +12,11 @@ code:
 * ``encode``    — pack a database into the delta-varint binary codec
 * ``decode``    — unpack a codec blob back into .npz/.csv/.geojson
 * ``workload``  — generate a range-query workload and save it as JSON
+* ``serve``     — run the sharded query service over a JSONL request file
+  (range / count / histogram / kNN / similarity requests plus streaming
+  ``ingest`` of additional database files), printing responses and
+  latency/cache statistics
+* ``query``     — one-shot sharded query against a database
 
 Example::
 
@@ -153,6 +158,166 @@ def _cmd_workload(args: argparse.Namespace) -> int:
     return 0
 
 
+def _request_boxes(req: dict):
+    """Boxes of a JSONL range/count request: inline bounds or a workload file."""
+    from repro.data.bbox import BoundingBox
+    from repro.workloads import RangeQueryWorkload
+
+    if "workload" in req:
+        return RangeQueryWorkload.load(req["workload"]).boxes
+    return [BoundingBox(*bounds) for bounds in req["boxes"]]
+
+
+def _serve_request(service, req: dict) -> dict:
+    """Execute one JSONL request against a QueryService; JSON-safe response."""
+    op = req["op"]
+    if op == "range":
+        response = service.range(_request_boxes(req))
+        body = {"results": [sorted(s) for s in response.result_sets]}
+    elif op == "count":
+        response = service.count(_request_boxes(req))
+        body = {"counts": response.counts.tolist()}
+    elif op == "histogram":
+        response = service.histogram(
+            grid=int(req.get("grid", 32)), normalize=bool(req.get("normalize", False))
+        )
+        body = {
+            "histogram": response.histogram.tolist(),
+            "total": float(response.histogram.sum()),
+        }
+    elif op == "knn":
+        queries = [service.manager.trajectory(int(i)) for i in req["ids"]]
+        response = service.knn(
+            queries, int(req.get("k", 3)), eps=float(req.get("eps", 2000.0))
+        )
+        body = {"neighbors": response.neighbors}
+    elif op == "similarity":
+        queries = [service.manager.trajectory(int(i)) for i in req["ids"]]
+        response = service.similarity(queries, float(req["delta"]))
+        body = {"results": [sorted(s) for s in response.result_sets]}
+    elif op == "ingest":
+        added = service.ingest(list(load_database(req["db"])))
+        return {"op": op, "added": added, "epoch": service.manager.epoch}
+    else:
+        raise ValueError(f"unknown request op {op!r}")
+    return {
+        "op": op,
+        "epoch": response.epoch,
+        "cached": response.cached,
+        "latency_ms": round(1000.0 * response.latency_s, 3),
+        **body,
+    }
+
+
+def _make_service(args):
+    from repro.service import QueryService
+
+    db = load_database(args.db)
+    return QueryService(
+        db,
+        n_shards=args.shards,
+        partitioner=args.partitioner,
+        executor=args.executor,
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    service = _make_service(args)
+    try:
+        info = service.describe()
+        print(
+            f"serving {info['trajectories']} trajectories / {info['points']} "
+            f"points across {info['n_shards']} shards "
+            f"({info['partitioner']} partitioning, {info['executor']} executor)"
+        )
+        failures = 0
+        if args.requests:
+            # Responses stream out as they are produced, and a failing
+            # request yields an error response line instead of discarding
+            # the work already done on earlier lines.
+            sink = open(args.out, "w") if args.out else None
+            n_responses = 0
+            try:
+                for line in Path(args.requests).read_text().splitlines():
+                    line = line.strip()
+                    if not line or line.startswith("#"):
+                        continue
+                    try:
+                        response = _serve_request(service, json.loads(line))
+                    except Exception as exc:
+                        failures += 1
+                        response = {
+                            "error": f"{type(exc).__name__}: {exc}",
+                            "request": line,
+                        }
+                    text = json.dumps(response)
+                    n_responses += 1
+                    if sink is not None:
+                        sink.write(text + "\n")
+                        sink.flush()
+                    else:
+                        print(text)
+            finally:
+                if sink is not None:
+                    sink.close()
+            if args.out:
+                print(f"wrote {n_responses} responses to {args.out}")
+        if args.stats:
+            for key, value in service.stats.summary().items():
+                shown = f"{value:.3f}" if isinstance(value, float) else value
+                print(f"{key:<28}{shown}")
+    finally:
+        service.close()
+    return 1 if failures else 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    import json
+
+    req: dict = {"op": args.type}
+    if args.type in ("range", "count"):
+        if not args.workload:
+            raise SystemExit("--workload is required for range/count queries")
+        req["workload"] = args.workload
+    elif args.type == "histogram":
+        req.update(grid=args.grid, normalize=args.normalize)
+    elif args.type in ("knn", "similarity"):
+        if not args.ids:
+            raise SystemExit("--ids is required for knn/similarity queries")
+        req["ids"] = args.ids
+        if args.type == "knn":
+            req.update(k=args.k, eps=args.eps)
+        else:
+            if args.delta is None:
+                raise SystemExit("--delta is required for similarity queries")
+            req["delta"] = args.delta
+    service = _make_service(args)
+    try:
+        try:
+            print(json.dumps(_serve_request(service, req)))
+        except Exception as exc:
+            # Same contract as `serve`: failures become a JSON error line
+            # and a nonzero exit, not a raw traceback.
+            print(json.dumps({"error": f"{type(exc).__name__}: {exc}"}))
+            return 1
+    finally:
+        service.close()
+    return 0
+
+
+def _add_service_arguments(p: argparse.ArgumentParser) -> None:
+    from repro.service import EXECUTORS, PARTITIONERS
+
+    p.add_argument("--db", required=True, help="database to serve (.npz/.csv)")
+    p.add_argument("--shards", type=int, default=4, help="number of shards K")
+    p.add_argument("--partitioner", default="hash", choices=list(PARTITIONERS))
+    p.add_argument("--executor", default="serial", choices=list(EXECUTORS),
+                   help='"process" fans out to one worker process per shard')
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -222,6 +387,40 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--out", required=True, help="output JSON path")
     p.set_defaults(func=_cmd_workload)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the sharded query service over a JSONL request file",
+        description="Serve a database through the sharded QueryService. "
+        "Each line of --requests is a JSON object: "
+        '{"op": "range"|"count", "boxes": [[xmin,xmax,ymin,ymax,tmin,tmax], '
+        '...]} or {"op": "range", "workload": "w.json"}; '
+        '{"op": "histogram", "grid": 32}; '
+        '{"op": "knn", "ids": [0, 1], "k": 3, "eps": 2000.0}; '
+        '{"op": "similarity", "ids": [0], "delta": 5.0}; '
+        '{"op": "ingest", "db": "more.npz"} streams another database in.',
+    )
+    _add_service_arguments(p)
+    p.add_argument("--requests", help="JSONL request file (one request per line)")
+    p.add_argument("--out", help="write JSONL responses here instead of stdout")
+    p.add_argument("--stats", action="store_true",
+                   help="print latency/cache statistics after serving")
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser("query", help="one-shot sharded query against a database")
+    _add_service_arguments(p)
+    p.add_argument("--type", required=True,
+                   choices=["range", "count", "histogram", "knn", "similarity"])
+    p.add_argument("--workload", help="workload JSON (range/count)")
+    p.add_argument("--grid", type=int, default=32, help="histogram resolution")
+    p.add_argument("--normalize", action="store_true",
+                   help="normalize the histogram to a distribution")
+    p.add_argument("--ids", type=int, nargs="*",
+                   help="query trajectory ids (knn/similarity)")
+    p.add_argument("-k", "--k", type=int, default=3, help="kNN result size")
+    p.add_argument("--eps", type=float, default=2000.0, help="EDR threshold")
+    p.add_argument("--delta", type=float, help="similarity distance threshold")
+    p.set_defaults(func=_cmd_query)
 
     return parser
 

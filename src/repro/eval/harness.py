@@ -28,7 +28,7 @@ from repro.queries.clustering import TraclusConfig, traclus_cluster
 from repro.queries.engine import QueryEngine
 from repro.queries.knn import knn_query_batch
 from repro.queries.metrics import clustering_f1, f1_score
-from repro.queries.similarity import similarity_query
+from repro.queries.similarity import similarity_query_batch
 from repro.queries.t2vec import T2VecEmbedder
 from repro.workloads.generators import RangeQueryWorkload
 
@@ -122,14 +122,19 @@ class QueryAccuracyEvaluator:
         )
 
         # --- similarity queries --------------------------------------------
+        # Batched through the shared engine: every candidate is interpolated
+        # once over the union of all queries' checkpoints instead of once
+        # per (query, candidate) pair — this was the last per-query scan in
+        # the harness hot loop.
         n_sim = min(cfg.n_similarity_queries, len(db))
         self._sim_query_ids = [
             int(i) for i in rng.choice(len(db), size=n_sim, replace=False)
         ]
-        self._sim_truth = [
-            similarity_query(db, db[qid], self.similarity_delta)
-            for qid in self._sim_query_ids
-        ]
+        self._sim_truth = similarity_query_batch(
+            db,
+            [db[qid] for qid in self._sim_query_ids],
+            self.similarity_delta,
+        )
 
         # --- clustering ------------------------------------------------------
         n_cluster = min(cfg.clustering_subset, len(db))
@@ -167,41 +172,70 @@ class QueryAccuracyEvaluator:
         self,
         simplified: TrajectoryDatabase,
         tasks: tuple[str, ...] = ALL_TASKS,
+        service=None,
     ) -> dict[str, float]:
         """Mean F1 per task of ``simplified`` against the original's truth.
 
         kNN and similarity queries keep using the *original* query
         trajectories (queries arrive from outside; only the database is
         simplified), matching the paper's setup.
+
+        ``service`` optionally supplies a
+        :class:`repro.service.QueryService` *serving the simplified
+        database*: the range, kNN-EDR, and similarity tasks are then
+        answered by the sharded service instead of the local engine. The
+        service's merges are exact, so scores are identical either way
+        (property-tested); this exists to evaluate the serving layer
+        end-to-end. The t2vec kNN task (whose embedder lives in this
+        process) and clustering always run locally.
         """
         if len(simplified) != len(self.db):
             raise ValueError("simplified database must match the original's size")
+        if service is not None and service.manager.n_trajectories != len(simplified):
+            raise ValueError(
+                "service must be built over the simplified database "
+                f"({service.manager.n_trajectories} served vs "
+                f"{len(simplified)} simplified trajectories)"
+            )
         scores: dict[str, float] = {}
         for task in tasks:
             if task == "range":
                 # The shared engine memoizes per (database, workload):
                 # scoring the same simplified database again — e.g. in
                 # evaluate_extended — reuses these results.
-                results = QueryEngine.for_database(simplified).evaluate(
-                    self.workload
-                )
+                if service is not None:
+                    results = service.range(self.workload).result_sets
+                else:
+                    results = QueryEngine.for_database(simplified).evaluate(
+                        self.workload
+                    )
                 scores[task] = float(
                     np.mean(
                         [f1_score(t, r) for t, r in zip(self._range_truth, results)]
                     )
                 )
             elif task == "knn_edr":
-                scores[task] = self._score_knn(simplified, "edr")
+                scores[task] = self._score_knn(simplified, "edr", service)
             elif task == "knn_t2vec":
                 scores[task] = self._score_knn(simplified, "t2vec")
             elif task == "similarity":
-                f1s = []
-                for qid, truth in zip(self._sim_query_ids, self._sim_truth):
-                    result = similarity_query(
-                        simplified, self.db[qid], self.similarity_delta
+                sim_queries = [self.db[qid] for qid in self._sim_query_ids]
+                if service is not None:
+                    results = service.similarity(
+                        sim_queries, self.similarity_delta
+                    ).result_sets
+                else:
+                    results = similarity_query_batch(
+                        simplified, sim_queries, self.similarity_delta
                     )
-                    f1s.append(f1_score(truth, result))
-                scores[task] = float(np.mean(f1s))
+                scores[task] = float(
+                    np.mean(
+                        [
+                            f1_score(t, r)
+                            for t, r in zip(self._sim_truth, results)
+                        ]
+                    )
+                )
             elif task == "clustering":
                 subset = simplified.subset(self._cluster_ids)
                 predicted = traclus_cluster(subset, self.traclus_config).clusters
@@ -268,18 +302,28 @@ class QueryAccuracyEvaluator:
             "heatmap": heatmap_f1(self.db, simplified),
         }
 
-    def _score_knn(self, simplified: TrajectoryDatabase, measure: str) -> float:
+    def _score_knn(
+        self, simplified: TrajectoryDatabase, measure: str, service=None
+    ) -> float:
         """Mean kNN F1 over the suite, batched through the shared engine."""
         truths = self._knn_edr_truth if measure == "edr" else self._knn_t2vec_truth
-        results = knn_query_batch(
-            simplified,
-            [self.db[qid] for qid in self._knn_query_ids],
-            self.config.k,
-            self._knn_windows,
-            measure,
-            eps=self.edr_eps,
-            embedder=self.embedder,
-        )
+        if service is not None and measure == "edr":
+            results = service.knn(
+                [self.db[qid] for qid in self._knn_query_ids],
+                self.config.k,
+                self._knn_windows,
+                eps=self.edr_eps,
+            ).neighbors
+        else:
+            results = knn_query_batch(
+                simplified,
+                [self.db[qid] for qid in self._knn_query_ids],
+                self.config.k,
+                self._knn_windows,
+                measure,
+                eps=self.edr_eps,
+                embedder=self.embedder,
+            )
         f1s = [
             f1_score(set(truth), set(result))
             for truth, result in zip(truths, results)

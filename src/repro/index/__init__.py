@@ -13,7 +13,7 @@
 from repro.index.common import CubeNode, CubeTree
 from repro.index.octree import Octree, OctreeNode
 from repro.index.kdtree import KDTree
-from repro.index.grid import GridIndex
+from repro.index.grid import GridIndex, adaptive_resolution
 from repro.index.rtree import RTree
 from repro.index.temporal import TemporalIndex
 
@@ -26,6 +26,7 @@ __all__ = [
     "OctreeNode",
     "KDTree",
     "GridIndex",
+    "adaptive_resolution",
     "RTree",
     "TemporalIndex",
     "TREE_INDEXES",

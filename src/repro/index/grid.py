@@ -30,6 +30,46 @@ def grid_geometry(
     return origin, spans / np.array(resolution, dtype=float)
 
 
+def adaptive_resolution(
+    extent: BoundingBox,
+    boxes,
+    max_cells: int = 1 << 18,
+    max_cells_per_axis: int = 1024,
+) -> tuple[int, int, int]:
+    """Grid resolution matched to a workload's box-extent distribution.
+
+    Picks, per axis, a cell size close to the workload's *median* query-box
+    extent, so a typical query overlaps a small constant number of cells:
+    much finer and the (queries x cells) overlap matrices grow without
+    pruning more points; much coarser and every query drags in whole-extent
+    candidate sets. Per-axis counts are clamped to
+    ``[1, max_cells_per_axis]`` and the total cell count to ``max_cells``
+    (halving the largest axes first). Results of grid-backed queries are
+    identical at ANY resolution — candidates are always verified against
+    actual points — so this tunes pruning cost only, never answers.
+
+    ``boxes`` may be a :class:`~repro.workloads.RangeQueryWorkload`, range
+    queries, or bare :class:`BoundingBox` objects. An empty workload falls
+    back to the default ``(32, 32, 16)``.
+    """
+    if max_cells < 1 or max_cells_per_axis < 1:
+        raise ValueError("max_cells and max_cells_per_axis must be >= 1")
+    bare = [q.box if hasattr(q, "box") else q for q in boxes]
+    if not bare:
+        return (32, 32, 16)
+    spans = np.array(extent.spans, dtype=float)
+    spans[spans <= 0] = 1.0  # matches grid_geometry's zero-span handling
+    extents = np.array(
+        [[b.xmax - b.xmin, b.ymax - b.ymin, b.tmax - b.tmin] for b in bare],
+        dtype=float,
+    )
+    cell = np.maximum(np.median(extents, axis=0), spans * 1e-9)
+    res = np.clip(np.ceil(spans / cell), 1, max_cells_per_axis).astype(np.int64)
+    while res.prod() > max_cells:
+        res[np.argmax(res)] = max(res.max() // 2, 1)
+    return (int(res[0]), int(res[1]), int(res[2]))
+
+
 class GridIndex:
     """Uniform grid over (x, y, t) mapping cells to trajectory ids.
 
@@ -62,6 +102,18 @@ class GridIndex:
         # vectorized comparison instead of enumerating the cell range.
         self._cell_keys = np.array(list(self._cells), dtype=int).reshape(-1, 3)
         self._cell_sets = list(self._cells.values())
+
+    @classmethod
+    def adaptive(cls, database: TrajectoryDatabase, workload, **kwargs) -> "GridIndex":
+        """A grid whose cell size follows the workload's box extents.
+
+        Candidate supersets (and therefore query answers) are unchanged by
+        the resolution choice; see :func:`adaptive_resolution`.
+        """
+        return cls(
+            database,
+            adaptive_resolution(database.bounding_box, workload, **kwargs),
+        )
 
     def cells_of(self, points: np.ndarray) -> np.ndarray:
         """``(n, 3)`` integer cell coordinates for each point (clipped in-range)."""

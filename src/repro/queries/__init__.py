@@ -19,7 +19,7 @@ from repro.queries.engine import IncrementalWorkloadView, QueryEngine
 from repro.queries.edr import edr_distance, edr_distances_one_to_many
 from repro.queries.t2vec import T2VecEmbedder
 from repro.queries.knn import knn_query, knn_query_batch
-from repro.queries.similarity import similarity_query
+from repro.queries.similarity import similarity_query, similarity_query_batch
 from repro.queries.join import distance_join
 from repro.queries.clustering import traclus_cluster, TraclusConfig
 from repro.queries.aggregate import (
@@ -52,6 +52,7 @@ __all__ = [
     "knn_query",
     "knn_query_batch",
     "similarity_query",
+    "similarity_query_batch",
     "distance_join",
     "traclus_cluster",
     "TraclusConfig",

@@ -90,6 +90,42 @@ def density_histogram(
     return engine.histogram(grid, box, normalize)
 
 
+def spatial_bin_counts(
+    xy: np.ndarray,
+    grid: int,
+    box: BoundingBox,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Bin ``(n, 2)`` spatial points into a ``(grid, grid)`` count raster.
+
+    The canonical binning arithmetic of the density heatmap (truncation
+    toward zero; the closing edge folds into the last cell; points outside
+    the box's spatial extent are ignored). Shared by the reference scan and
+    the sharded service's pending-delta rasterization so per-shard partial
+    histograms sum to exactly the single-database raster. ``out``
+    optionally supplies an accumulator to add into (and return) instead of
+    allocating a fresh raster per call.
+    """
+    if grid < 1:
+        raise ValueError("grid must be >= 1")
+    xy = np.asarray(xy, dtype=float)
+    sx = max(box.xmax - box.xmin, 1e-12)
+    sy = max(box.ymax - box.ymin, 1e-12)
+    hist = np.zeros((grid, grid)) if out is None else out
+    inside = (
+        (xy[:, 0] >= box.xmin)
+        & (xy[:, 0] <= box.xmax)
+        & (xy[:, 1] >= box.ymin)
+        & (xy[:, 1] <= box.ymax)
+    )
+    pts = xy[inside]
+    if len(pts):
+        ix = np.minimum(((pts[:, 0] - box.xmin) / sx * grid).astype(int), grid - 1)
+        iy = np.minimum(((pts[:, 1] - box.ymin) / sy * grid).astype(int), grid - 1)
+        np.add.at(hist, (ix, iy), 1.0)
+    return hist
+
+
 def density_histogram_scan(
     db: TrajectoryDatabase,
     grid: int = 32,
@@ -100,23 +136,9 @@ def density_histogram_scan(
     if grid < 1:
         raise ValueError("grid must be >= 1")
     box = box or db.bounding_box
-    sx = max(box.xmax - box.xmin, 1e-12)
-    sy = max(box.ymax - box.ymin, 1e-12)
     hist = np.zeros((grid, grid))
     for traj in db:
-        xy = traj.xy
-        inside = (
-            (xy[:, 0] >= box.xmin)
-            & (xy[:, 0] <= box.xmax)
-            & (xy[:, 1] >= box.ymin)
-            & (xy[:, 1] <= box.ymax)
-        )
-        pts = xy[inside]
-        if len(pts) == 0:
-            continue
-        ix = np.minimum(((pts[:, 0] - box.xmin) / sx * grid).astype(int), grid - 1)
-        iy = np.minimum(((pts[:, 1] - box.ymin) / sy * grid).astype(int), grid - 1)
-        np.add.at(hist, (ix, iy), 1.0)
+        spatial_bin_counts(traj.xy, grid, box, out=hist)
     if normalize:
         total = hist.sum()
         if total > 0:

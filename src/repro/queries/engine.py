@@ -33,6 +33,13 @@ layout the engine offers four batched execution paths:
   excluded up front. The filter is exact — kNN comparability depends only
   on the temporal axis, so pruning whole time-slab cell ranges loses
   nothing.
+* **Similarity workloads** (:meth:`~QueryEngine.similarity`) — batched
+  synchronized-distance threshold queries: every candidate trajectory is
+  interpolated once over the union of all queries' checkpoint instants (the
+  per-query reference interpolates once per (query, candidate) pair), then
+  the continuous predicate is evaluated as one broadcasted comparison per
+  query. :func:`repro.queries.similarity.similarity_query_batch` and the
+  evaluation harness route through this.
 * **Incremental updates** (:meth:`~QueryEngine.incremental_view`) — a live
   per-query result-set view maintained under single-point insertions
   (``notify_insert``), with episode resets served from the engine's memo.
@@ -75,6 +82,18 @@ _ENGINES: "WeakKeyDictionary[TrajectoryDatabase, QueryEngine]" = WeakKeyDictiona
 #: worst-case (whole-extent) boxes without throttling typical selective
 #: workloads, which fit in a single pass.
 _ROW_BUDGET = 1 << 19
+
+
+def array_digest(arr: np.ndarray) -> bytes:
+    """16-byte blake2b digest of an array's raw bytes.
+
+    The shared cache-key idiom: the engine memo keys simplified-state rows
+    and similarity query points with it, and the service request layer
+    (:mod:`repro.service.requests`) keys query trajectories the same way,
+    so the two cache layers can never silently disagree on what identifies
+    a query.
+    """
+    return hashlib.blake2b(arr.tobytes(), digest_size=16).digest()
 
 
 def _workload_bounds(queries: Iterable) -> tuple[np.ndarray, np.ndarray]:
@@ -158,6 +177,11 @@ class QueryEngine:
         self._cell_x = (unique_ids // (ny * nt)).astype(np.int16)
         self._cell_y = ((unique_ids // nt) % ny).astype(np.int16)
         self._cell_t = (unique_ids % nt).astype(np.int16)
+        # Original-order coordinate columns, rebuilt lazily for execution
+        # paths that need per-trajectory sequences (similarity interpolation).
+        self._orig_cols: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+        #: Instance-scoped executor-hook overrides (shadow the class registry).
+        self._local_hooks: dict = {}
         self._max_cached = max_cached_results
         # One LRU for every execution path; values are immutable canonical
         # payloads (tuples of frozensets for result sets, read-only arrays
@@ -186,6 +210,55 @@ class QueryEngine:
             engine = cls(db, **kwargs)
             _ENGINES[db] = engine
         return engine
+
+    # ------------------------------------------------------------ executor hooks
+    #: Class-level registry of named execution hooks: kind -> fn(engine,
+    #: **params). This gives batched execution paths a *name-addressable*
+    #: surface: the sharded service's shard runtimes run their base-tier
+    #: work through :meth:`execute` instead of hard-coding engine method
+    #: calls. To swap or instrument a hook for ONE engine (e.g. one
+    #: service's shards) use :meth:`register_local_executor` — mutating the
+    #: class registry changes dispatch for every engine in the process.
+    #: Serving a NEW query kind across shards still needs its shard-side
+    #: pending handling and service-side merge rule in addition to a hook
+    #: here — the registry replaces only the engine dispatch.
+    _executor_hooks: dict = {}
+
+    @classmethod
+    def register_executor(cls, kind: str, fn) -> None:
+        """Register (or replace) the PROCESS-WIDE execution hook for ``kind``.
+
+        ``fn`` is called as ``fn(engine, **params)`` and must be a pure
+        function of the engine's database state and its parameters (results
+        may be cached by the engine or by consumers keyed on those).
+        Affects every engine; prefer :meth:`register_local_executor` for
+        instance-scoped instrumentation.
+        """
+        cls._executor_hooks[str(kind)] = fn
+
+    def register_local_executor(self, kind: str, fn) -> None:
+        """Override the hook for ``kind`` on THIS engine only.
+
+        Instance overrides shadow the class registry in :meth:`execute`,
+        scoping instrumentation or replacement to the engine being
+        instrumented instead of the whole process.
+        """
+        self._local_hooks[str(kind)] = fn
+
+    @classmethod
+    def executor_kinds(cls) -> tuple[str, ...]:
+        """The process-wide registered execution-hook names."""
+        return tuple(sorted(cls._executor_hooks))
+
+    def execute(self, kind: str, **params):
+        """Dispatch ``kind`` to this engine's local hook, then the registry."""
+        fn = self._local_hooks.get(kind) or self._executor_hooks.get(kind)
+        if fn is None:
+            raise KeyError(
+                f"no executor hook registered for {kind!r}; "
+                f"known kinds: {self.executor_kinds()}"
+            )
+        return fn(self, **params)
 
     # ---------------------------------------------------------------- execution
     def evaluate(self, workload: "RangeQueryWorkload | Iterable") -> list[set[int]]:
@@ -220,8 +293,7 @@ class QueryEngine:
         lo, hi = _workload_bounds(workload)
         # Rows can be as large as the database; key on a fixed-size digest
         # instead of the raw bytes so the LRU holds no point-scale payloads.
-        digest = hashlib.blake2b(rows.tobytes(), digest_size=16).digest()
-        key = ("state", lo.tobytes(), hi.tobytes(), digest)
+        key = ("state", lo.tobytes(), hi.tobytes(), array_digest(rows))
         cached = self._cache_get(key)
         if cached is not None:
             return [set(s) for s in cached]
@@ -368,6 +440,143 @@ class QueryEngine:
             arr.setflags(write=False)
         self._cache_put(key, tuple(results))
         return [c.copy() for c in results]
+
+    # ---------------------------------------------------------------- similarity
+    def similarity(
+        self,
+        queries: Iterable,
+        delta: float,
+        time_windows: "Iterable[tuple[float, float] | None] | None" = None,
+        n_checkpoints: int = 32,
+    ) -> list[set[int]]:
+        """Result sets of synchronized-distance queries on the database.
+
+        Identical to ``[similarity_query(db, q, delta, w) for q, w in
+        zip(queries, time_windows)]`` (the property-tested reference in
+        :mod:`repro.queries.similarity`) but batched: each candidate
+        trajectory's positions are interpolated ONCE over the union of all
+        queries' checkpoint instants, then every (query, candidate)
+        predicate is one broadcasted comparison over the precomputed
+        position matrix. Query trajectories are external objects (they need
+        not live in the database); results are memoized on the query
+        point sets, windows, ``delta``, and ``n_checkpoints``.
+        """
+        from repro.queries.similarity import query_checkpoints, resolve_time_windows
+
+        if delta < 0:
+            raise ValueError("delta must be non-negative")
+        queries = list(queries)
+        windows = resolve_time_windows(queries, time_windows)
+        if any(te < ts for ts, te in windows):
+            raise ValueError("empty time window")
+        if not queries:
+            return []
+        key = (
+            "similarity",
+            float(delta),
+            int(n_checkpoints),
+            tuple(
+                (array_digest(q.points), w) for q, w in zip(queries, windows)
+            ),
+        )
+        cached = self._cache_get(key)
+        if cached is not None:
+            return [set(s) for s in cached]
+
+        ox, oy, ot = self._original_columns()
+        offsets = self._offsets
+        # Per-trajectory lifespans straight off the original-order column.
+        t_starts = ot[offsets[:-1]]
+        t_ends = ot[offsets[1:] - 1]
+
+        # Per-query checkpoints / query positions / query lifespan masks,
+        # computed exactly as the reference does.
+        cp_list: list[np.ndarray] = []
+        qpos_list: list[np.ndarray | None] = []
+        alive_list: list[np.ndarray | None] = []
+        cand_masks: list[np.ndarray | None] = []
+        for q, (ts, te) in zip(queries, windows):
+            cps = query_checkpoints(q, ts, te, n_checkpoints)
+            cp_list.append(cps)
+            if len(cps) == 0:
+                qpos_list.append(None)
+                alive_list.append(None)
+                cand_masks.append(None)
+                continue
+            qpos_list.append(q.positions_at(cps))
+            alive_list.append((cps >= q.times[0]) & (cps <= q.times[-1]))
+            # Lifespan-overlap candidate filter, matching the reference scan.
+            cand_masks.append((t_ends >= ts) & (t_starts <= te))
+
+        results: list[set[int]] = [set() for _ in queries]
+        union_mask = np.zeros(self._n_traj, dtype=bool)
+        for mask in cand_masks:
+            if mask is not None:
+                union_mask |= mask
+        cand_ids = np.flatnonzero(union_mask)
+        if len(cand_ids) == 0:
+            self._cache_put(key, tuple(frozenset(s) for s in results))
+            return results
+
+        # ONE interpolation pass per candidate over the union grid of all
+        # checkpoint instants (np.interp is pointwise, so values at each
+        # instant equal the reference's per-query interpolation). The
+        # candidate axis is chunked so the (chunk, grid, 2) position buffer
+        # stays bounded however many candidates and checkpoints the batch
+        # accumulates.
+        grid = np.unique(np.concatenate([c for c in cp_list if len(c)]))
+        grid_idx = [
+            np.searchsorted(grid, cps) if len(cps) else None  # exact: grid ⊇ cps
+            for cps in cp_list
+        ]
+        chunk = max(1, _ROW_BUDGET // max(len(grid), 1))
+        for start in range(0, len(cand_ids), chunk):
+            ids_chunk = cand_ids[start : start + chunk]
+            pos = np.empty((len(ids_chunk), len(grid), 2))
+            for row, tid in enumerate(ids_chunk):
+                s, e = offsets[tid], offsets[tid + 1]
+                pos[row, :, 0] = np.interp(grid, ot[s:e], ox[s:e])
+                pos[row, :, 1] = np.interp(grid, ot[s:e], oy[s:e])
+            for qi, (cps, qpos, alive, cmask) in enumerate(
+                zip(cp_list, qpos_list, alive_list, cand_masks)
+            ):
+                if cmask is None:
+                    continue
+                in_chunk = np.flatnonzero(cmask[ids_chunk])
+                if len(in_chunk) == 0:
+                    continue
+                ids = ids_chunk[in_chunk]
+                # (candidates, checkpoints) comparability and gap tests in
+                # one broadcasted pass; a candidate matches when it shares
+                # at least one comparable instant and never exceeds delta
+                # at any of them.
+                comparable = (
+                    alive[None, :]
+                    & (cps[None, :] >= t_starts[ids][:, None])
+                    & (cps[None, :] <= t_ends[ids][:, None])
+                )
+                gaps = np.linalg.norm(
+                    pos[np.ix_(in_chunk, grid_idx[qi])] - qpos[None, :, :],
+                    axis=2,
+                )
+                ok = (gaps <= delta) | ~comparable
+                match = comparable.any(axis=1) & ok.all(axis=1)
+                results[qi].update(int(t) for t in ids[match])
+        self._cache_put(key, tuple(frozenset(s) for s in results))
+        return results
+
+    def _original_columns(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Coordinate columns in original database row order (cached)."""
+        if self._orig_cols is None:
+            n = len(self._px)
+            ox = np.empty(n)
+            oy = np.empty(n)
+            ot = np.empty(n)
+            ox[self._order] = self._px
+            oy[self._order] = self._py
+            ot[self._order] = self._pt
+            self._orig_cols = (ox, oy, ot)
+        return self._orig_cols
 
     # -------------------------------------------------------- point memberships
     def point_memberships(self, boxes: Iterable) -> tuple[np.ndarray, np.ndarray]:
@@ -554,6 +763,28 @@ class QueryEngine:
     def clear_cache(self) -> None:
         """Drop all memoized results (hit/miss counters are kept)."""
         self._cache.clear()
+
+
+# Built-in execution hooks: the batched paths the sharded service's runtimes
+# dispatch by name (repro.service.runtime uses exactly these kinds).
+QueryEngine.register_executor(
+    "range", lambda engine, *, boxes: engine.evaluate(boxes)
+)
+QueryEngine.register_executor(
+    "count", lambda engine, *, boxes: engine.count(boxes)
+)
+QueryEngine.register_executor(
+    "histogram",
+    lambda engine, *, grid=32, box=None, normalize=False: engine.histogram(
+        grid, box, normalize
+    ),
+)
+QueryEngine.register_executor(
+    "similarity",
+    lambda engine, *, queries, delta, time_windows=None, n_checkpoints=32: (
+        engine.similarity(queries, delta, time_windows, n_checkpoints)
+    ),
+)
 
 
 class IncrementalWorkloadView:

@@ -46,6 +46,21 @@ def _resolve_measure(
     raise ValueError(f"unknown measure {measure!r}")
 
 
+def top_k_pairs(
+    pairs: list[tuple[float, int]], k: int
+) -> list[tuple[float, int]]:
+    """The ``k`` nearest finite ``(distance, id)`` pairs, sorted in place.
+
+    The canonical ranking step of every pair-returning kNN path: sort by
+    ``(distance, id)``, truncate to ``k``, drop non-finite (incomparable)
+    tails. The sharded service's per-shard and post-merge truncations both
+    run through this, so the bit-parity of the k-way merge cannot be broken
+    by one site changing the tie-break or finiteness rule.
+    """
+    pairs.sort()
+    return [p for p in pairs[:k] if np.isfinite(p[0])]
+
+
 def _top_k_comparable(distances: list[tuple[float, int]], k: int) -> list[int]:
     """The ``k`` nearest *comparable* ids from (distance, id) pairs.
 
@@ -143,7 +158,8 @@ def knn_query_batch(
     eps: float = 2000.0,
     embedder: T2VecEmbedder | None = None,
     engine=None,
-) -> list[list[int]]:
+    return_pairs: bool = False,
+) -> list[list[int]] | list[list[tuple[float, int]]]:
     """Batched :func:`knn_query` over many query trajectories.
 
     Produces results identical to
@@ -168,20 +184,23 @@ def knn_query_batch(
     optionally supplies a private :class:`QueryEngine`; by default the
     database's shared engine is used, so repeated scoring of the same
     database state hits its candidate memo.
+
+    With ``return_pairs=True`` each per-query result is the sorted list of
+    ``(distance, traj_id)`` pairs behind the ranking (finite distances only,
+    truncated to ``k``) instead of the bare id list. The sharded query
+    service merges per-shard rankings exactly with these pairs: any global
+    top-``k`` neighbour ranks within the top-``k`` of its own shard, so a
+    k-way merge of per-shard pairs by ``(distance, id)`` reproduces the
+    single-database result bit for bit.
     """
     from repro.queries.engine import QueryEngine
 
     if k < 1:
         raise ValueError("k must be >= 1")
     theta = _resolve_measure(measure, eps, embedder)
-    if time_windows is None:
-        time_windows = [None] * len(queries)
-    if len(time_windows) != len(queries):
-        raise ValueError("queries and time_windows must have the same length")
-    windows = [
-        w if w is not None else (float(q.times[0]), float(q.times[-1]))
-        for q, w in zip(queries, time_windows)
-    ]
+    from repro.queries.similarity import resolve_time_windows
+
+    windows = resolve_time_windows(queries, time_windows)
     if not queries:
         return []
     if engine is None:
@@ -213,11 +232,14 @@ def knn_query_batch(
             [theta(qw, r) for r in rs]
             for qw, rs in zip(query_windows, restrictions)
         ]
-    results: list[list[int]] = []
+    results: list = []
     for qw, cand, dists in zip(query_windows, candidates, per_query):
         if qw is None:
             results.append([])
             continue
         pairs = [(float(d), int(tid)) for d, tid in zip(dists, cand)]
-        results.append(_top_k_comparable(pairs, k))
+        if return_pairs:
+            results.append(top_k_pairs(pairs, k))
+        else:
+            results.append(_top_k_comparable(pairs, k))
     return results

@@ -28,6 +28,75 @@ from repro.data.database import TrajectoryDatabase
 from repro.data.trajectory import Trajectory
 
 
+def resolve_time_windows(
+    queries: list[Trajectory],
+    time_windows,
+) -> list[tuple[float, float]]:
+    """Per-query ``(ts, te)`` windows, ``None`` resolved to the query's span.
+
+    The single defaulting rule shared by every batched path (kNN and
+    similarity, engine and sharded-service alike): windows feed cache keys
+    and comparability masks, so one drifting copy of this expression would
+    silently break shard/single-engine bit-parity.
+    """
+    if time_windows is None:
+        time_windows = [None] * len(queries)
+    else:
+        time_windows = list(time_windows)
+    if len(time_windows) != len(queries):
+        raise ValueError("queries and time_windows must have the same length")
+    return [
+        (float(w[0]), float(w[1]))
+        if w is not None
+        else (float(q.times[0]), float(q.times[-1]))
+        for q, w in zip(queries, time_windows)
+    ]
+
+
+def query_checkpoints(
+    query: Trajectory, ts: float, te: float, n_checkpoints: int
+) -> np.ndarray:
+    """The evaluation instants of a similarity query over ``[ts, te]``.
+
+    Evenly spaced instants plus the query's own sample times inside the
+    window, deduplicated and sorted. Shared by the per-query reference, the
+    batched engine path (:meth:`repro.queries.engine.QueryEngine.similarity`)
+    and the sharded service's pending-delta scan, so all three evaluate the
+    continuous predicate at exactly the same instants.
+    """
+    return np.union1d(
+        np.linspace(ts, te, n_checkpoints),
+        query.times[(query.times >= ts) & (query.times <= te)],
+    )
+
+
+def candidate_matches(
+    candidate: Trajectory,
+    checkpoints: np.ndarray,
+    query_positions: np.ndarray,
+    query_alive: np.ndarray,
+    delta: float,
+) -> bool:
+    """Whether ``candidate`` satisfies the predicate at every comparable instant.
+
+    ``query_positions`` and ``query_alive`` are the query's interpolated
+    positions and lifespan mask over ``checkpoints``. The factored-out
+    per-candidate core of :func:`similarity_query`, reused verbatim by the
+    sharded service for trajectories not yet merged into a shard's engine.
+    """
+    comparable = (
+        query_alive
+        & (checkpoints >= candidate.times[0])
+        & (checkpoints <= candidate.times[-1])
+    )
+    if not comparable.any():
+        # No instant inside the window where both trajectories exist.
+        return False
+    positions = candidate.positions_at(checkpoints[comparable])
+    gaps = np.linalg.norm(positions - query_positions[comparable], axis=1)
+    return bool((gaps <= delta).all())
+
+
 def similarity_query(
     db: TrajectoryDatabase,
     query: Trajectory,
@@ -68,10 +137,7 @@ def similarity_query(
     ts, te = time_window
     if te < ts:
         raise ValueError("empty time window")
-    checkpoints = np.union1d(
-        np.linspace(ts, te, n_checkpoints),
-        query.times[(query.times >= ts) & (query.times <= te)],
-    )
+    checkpoints = query_checkpoints(query, ts, te, n_checkpoints)
     if len(checkpoints) == 0:
         return set()
     query_positions = query.positions_at(checkpoints)
@@ -84,18 +150,35 @@ def similarity_query(
     # The query itself only exists on its own lifespan; checkpoints outside
     # it would compare candidates against a clamped (parked) query endpoint.
     query_alive = (checkpoints >= query.times[0]) & (checkpoints <= query.times[-1])
-    result: set[int] = set()
-    for traj in candidates:
-        comparable = (
-            query_alive
-            & (checkpoints >= traj.times[0])
-            & (checkpoints <= traj.times[-1])
-        )
-        if not comparable.any():
-            # No instant inside the window where both trajectories exist.
-            continue
-        positions = traj.positions_at(checkpoints[comparable])
-        gaps = np.linalg.norm(positions - query_positions[comparable], axis=1)
-        if bool((gaps <= delta).all()):
-            result.add(traj.traj_id)
-    return result
+    return {
+        traj.traj_id
+        for traj in candidates
+        if candidate_matches(traj, checkpoints, query_positions, query_alive, delta)
+    }
+
+
+def similarity_query_batch(
+    db: TrajectoryDatabase,
+    queries: list[Trajectory],
+    delta: float,
+    time_windows: list[tuple[float, float] | None] | None = None,
+    n_checkpoints: int = 32,
+    engine=None,
+) -> list[set[int]]:
+    """Batched :func:`similarity_query` over many query trajectories.
+
+    Identical to ``[similarity_query(db, q, delta, w) for q, w in
+    zip(queries, time_windows)]`` but executed through the shared batch
+    engine (:meth:`repro.queries.engine.QueryEngine.similarity`): every
+    candidate trajectory is interpolated ONCE over the union of all queries'
+    checkpoint instants instead of once per (query, candidate) pair — the
+    last per-query scan in the evaluation harness's hot loop. ``engine``
+    optionally supplies a private :class:`QueryEngine`; by default the
+    database's shared engine is used, so repeated scoring of the same
+    database state hits its memo.
+    """
+    from repro.queries.engine import QueryEngine
+
+    if engine is None:
+        engine = QueryEngine.for_database(db)
+    return engine.similarity(queries, delta, time_windows, n_checkpoints)

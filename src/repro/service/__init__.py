@@ -1,0 +1,88 @@
+"""The sharded online query service (serving layer over the batch engine).
+
+Layering (see ``ARCHITECTURE.md`` at the repository root)::
+
+    data (TrajectoryDatabase) -> index/engine (CSR + QueryEngine)
+        -> service (shards + executors + request layer)
+
+* :mod:`~repro.service.sharding` — :class:`ShardManager`: partitions the
+  database into K shards (hash round-robin or spatial slabs), assigns
+  global trajectory ids, routes streamed ingests, tracks the shard epoch;
+* :mod:`~repro.service.runtime` — :class:`ShardRuntime`: per-shard
+  execution, a compacted base :class:`~repro.queries.engine.QueryEngine`
+  plus a streamed pending tier (ingest without rebuild);
+* :mod:`~repro.service.executors` — scatter/gather over shards, serial
+  reference and one-worker-process-per-shard implementations;
+* :mod:`~repro.service.requests` — the typed request/response API;
+* :mod:`~repro.service.service` — :class:`QueryService`: caching, stats,
+  ingestion, and the exact k-way/union/sum merges.
+
+Quickstart::
+
+    from repro import QueryService, synthetic_database
+
+    db = synthetic_database("geolife", n_trajectories=100, seed=7)
+    with QueryService(db, n_shards=4, executor="process") as service:
+        hot = service.range(workload)            # == QueryEngine results
+        service.ingest(more_trajectories)        # streamed, no rebuild
+        counts = service.count(boxes).counts
+"""
+
+from repro.service.executors import (
+    EXECUTORS,
+    ProcessShardExecutor,
+    SerialShardExecutor,
+    ShardExecutionError,
+    make_executor,
+)
+from repro.service.requests import (
+    REQUEST_TYPES,
+    CountRequest,
+    CountResponse,
+    HistogramRequest,
+    HistogramResponse,
+    KnnRequest,
+    KnnResponse,
+    RangeRequest,
+    RangeResponse,
+    Response,
+    SimilarityRequest,
+    SimilarityResponse,
+)
+from repro.service.runtime import ShardRuntime
+from repro.service.service import QueryService, ServiceStats
+from repro.service.sharding import (
+    PARTITIONERS,
+    HashPartitioner,
+    Shard,
+    ShardManager,
+    SpatialPartitioner,
+)
+
+__all__ = [
+    "QueryService",
+    "ServiceStats",
+    "ShardManager",
+    "Shard",
+    "ShardRuntime",
+    "HashPartitioner",
+    "SpatialPartitioner",
+    "SerialShardExecutor",
+    "ProcessShardExecutor",
+    "ShardExecutionError",
+    "make_executor",
+    "EXECUTORS",
+    "PARTITIONERS",
+    "RangeRequest",
+    "CountRequest",
+    "HistogramRequest",
+    "KnnRequest",
+    "SimilarityRequest",
+    "Response",
+    "RangeResponse",
+    "CountResponse",
+    "HistogramResponse",
+    "KnnResponse",
+    "SimilarityResponse",
+    "REQUEST_TYPES",
+]

@@ -1,0 +1,262 @@
+"""Scatter/gather executors fanning service operations across shards.
+
+Two interchangeable implementations of one small contract:
+
+* ``broadcast(op, payload)`` — run one operation on every shard, returning
+  the per-shard results in shard order;
+* ``ingest(routed)``        — deliver routed ``{shard: batch}`` deltas;
+* ``close()``               — release workers (idempotent).
+
+:class:`SerialShardExecutor` is the in-process reference: shards execute
+one after another, so it adds no parallelism but also no serialization
+cost — and it is the oracle the process executor is tested against.
+
+:class:`ProcessShardExecutor` starts one long-lived worker process per
+shard. Each worker materializes its :class:`~repro.service.runtime.ShardRuntime`
+once from the pickled shard snapshot and keeps it warm across requests
+(CSR layout, engine memo, pending tier), communicating over a dedicated
+pipe. A broadcast writes all requests before reading any reply, so shards
+genuinely overlap; ingest messages target only the shards that received
+rows. Workers die with the executor (daemon processes + explicit stop).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Iterable
+
+from repro.service.runtime import ShardRuntime
+from repro.service.sharding import Shard
+
+EXECUTORS = ("serial", "process")
+
+
+class ShardExecutionError(RuntimeError):
+    """A shard worker failed to execute an operation."""
+
+
+class SerialShardExecutor:
+    """In-process reference executor: shards run sequentially."""
+
+    name = "serial"
+
+    def __init__(self, shards: Iterable[Shard], **runtime_kwargs) -> None:
+        self.runtimes = [ShardRuntime(s, **runtime_kwargs) for s in shards]
+
+    def broadcast(self, op: str, payload: dict) -> list:
+        return [runtime.execute(op, payload) for runtime in self.runtimes]
+
+    def ingest(self, routed: dict[int, list]) -> None:
+        for shard_idx, batch in routed.items():
+            self.runtimes[shard_idx].ingest(batch)
+
+    def close(self) -> None:  # nothing to release
+        pass
+
+    def __enter__(self) -> "SerialShardExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _shard_worker_main(conn, shard: Shard, runtime_kwargs: dict) -> None:
+    """Worker-process loop: build the runtime once, serve ops until stopped."""
+    runtime = ShardRuntime(shard, **runtime_kwargs)
+    try:
+        while True:
+            try:
+                op, payload = conn.recv()
+            except (EOFError, KeyboardInterrupt):
+                break
+            if op == "stop":
+                break
+            try:
+                if op == "ingest":
+                    runtime.ingest(payload)
+                    conn.send(("ok", None))
+                else:
+                    conn.send(("ok", runtime.execute(op, payload)))
+            except Exception as exc:  # surface shard-side failures to the parent
+                conn.send(("error", f"{type(exc).__name__}: {exc}"))
+    finally:
+        conn.close()
+
+
+class ProcessShardExecutor:
+    """One worker process per shard, scatter/gather over pipes.
+
+    ``mp_context`` selects the multiprocessing start method; the default
+    prefers ``fork`` (workers inherit the parent's modules instantly) and
+    falls back to the platform default where fork is unavailable.
+    """
+
+    name = "process"
+
+    def __init__(
+        self,
+        shards: Iterable[Shard],
+        mp_context: str | None = None,
+        **runtime_kwargs,
+    ) -> None:
+        if mp_context is None:
+            methods = multiprocessing.get_all_start_methods()
+            mp_context = "fork" if "fork" in methods else methods[0]
+        ctx = multiprocessing.get_context(mp_context)
+        self._conns = []
+        self._procs = []
+        self._closed = False
+        self._broken = False
+        try:
+            for shard in shards:
+                parent_conn, child_conn = ctx.Pipe()
+                proc = ctx.Process(
+                    target=_shard_worker_main,
+                    args=(child_conn, shard, runtime_kwargs),
+                    daemon=True,
+                    name=f"repro-shard-{shard.index}",
+                )
+                proc.start()
+                child_conn.close()
+                self._conns.append(parent_conn)
+                self._procs.append(proc)
+        except Exception:
+            self.close()
+            raise
+
+    @property
+    def n_workers(self) -> int:
+        return len(self._procs)
+
+    def worker_pids(self) -> list[int]:
+        return [p.pid for p in self._procs if p.pid is not None]
+
+    def _scatter_gather(self, messages: dict[int, tuple]) -> list:
+        """Send ``{shard: message}``, then collect one reply per shard sent.
+
+        Sends to every target are attempted even when an earlier one hits a
+        dead worker, and every successfully-messaged pipe is drained even
+        when an early shard reports an error — an unsent request would make
+        the later gather read a stale reply, and an unread reply left in a
+        pipe would be mistaken for the answer to the *next* request. All
+        failures (send and execution) surface as one
+        :class:`ShardExecutionError` after the drain.
+        """
+        from multiprocessing.reduction import ForkingPickler
+
+        errors: list[str] = []
+        sent: list[int] = []
+        # Pickle each distinct message object once: a broadcast hands every
+        # shard the SAME payload object, so K sends cost one serialization
+        # instead of K (send_bytes of a pre-pickled buffer is wire-identical
+        # to Connection.send).
+        pickled: dict[int, bytes] = {}
+        for shard_idx in sorted(messages):
+            message = messages[shard_idx]
+            try:
+                buf = pickled.get(id(message))
+                if buf is None:
+                    buf = bytes(ForkingPickler.dumps(message))
+                    pickled[id(message)] = buf
+                self._conns[shard_idx].send_bytes(buf)
+                sent.append(shard_idx)
+            except Exception as exc:
+                # Dead worker (BrokenPipeError/OSError) or an unpicklable
+                # payload (e.g. a lambda measure): Connection.send pickles
+                # before writing any bytes, so a failed send leaves the
+                # pipe clean and the error is reportable per shard.
+                errors.append(
+                    f"shard {shard_idx}: send failed "
+                    f"({type(exc).__name__}: {exc})"
+                )
+        replies = {}
+        for shard_idx in sent:
+            try:
+                replies[shard_idx] = self._conns[shard_idx].recv()
+            except EOFError:
+                replies[shard_idx] = ("error", "worker died mid-request")
+            except BaseException:
+                # Interrupted mid-gather (KeyboardInterrupt, a damaged fd,
+                # an unpicklable reply): later shards' replies are still
+                # queued in their pipes and would be misread as the answers
+                # to the NEXT request — poison the executor before
+                # propagating.
+                self._broken = True
+                raise
+        errors.extend(
+            f"shard {idx}: {value}"
+            for idx, (status, value) in replies.items()
+            if status != "ok"
+        )
+        if errors:
+            raise ShardExecutionError("; ".join(errors))
+        return [replies[idx][1] for idx in sorted(replies)]
+
+    def _check_usable(self) -> None:
+        if self._closed:
+            raise ShardExecutionError("executor is closed")
+        if self._broken:
+            raise ShardExecutionError(
+                "executor was interrupted mid-gather; worker pipes may hold "
+                "stale replies — rebuild the service"
+            )
+
+    def broadcast(self, op: str, payload: dict) -> list:
+        self._check_usable()
+        # Scatter every request before gathering any reply: all shard
+        # workers compute concurrently while the parent waits. One shared
+        # message object, so _scatter_gather's pickle-once cache applies.
+        message = (op, payload)
+        return self._scatter_gather(
+            {idx: message for idx in range(len(self._conns))}
+        )
+
+    def ingest(self, routed: dict[int, list]) -> None:
+        self._check_usable()
+        self._scatter_gather(
+            {idx: ("ingest", batch) for idx, batch in routed.items()}
+        )
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            try:
+                conn.send(("stop", None))
+            except (BrokenPipeError, OSError):
+                pass
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover - stuck worker safety net
+                proc.terminate()
+                proc.join(timeout=1.0)
+
+    def __enter__(self) -> "ProcessShardExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # best-effort cleanup if close() was missed
+        try:
+            self.close()
+        except Exception:  # pragma: no cover
+            pass
+
+
+def make_executor(kind, shards: Iterable[Shard], **kwargs):
+    """Build an executor from a name (``"serial"``/``"process"``) or class."""
+    if kind == "serial":
+        kwargs.pop("mp_context", None)
+        return SerialShardExecutor(shards, **kwargs)
+    if kind == "process":
+        return ProcessShardExecutor(shards, **kwargs)
+    if callable(kind):
+        return kind(shards, **kwargs)
+    raise ValueError(f"unknown executor {kind!r}; choose from {EXECUTORS}")

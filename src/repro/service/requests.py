@@ -1,0 +1,236 @@
+"""Typed request/response messages of the query service.
+
+Requests are small frozen dataclasses describing one batched operation;
+each knows its scatter ``kind`` (which shard-runtime operation serves it),
+how to build the scatter ``payload``, and a canonical ``cache_key`` — a
+tuple of primitives over the query *values* (box bounds, query-point
+digests, scalars), so two requests built from distinct but equal objects
+hit the same cache line. The service keys its LRU on
+``(cache_key, shard epoch)``: results can only change when the epoch does,
+so ingestion invalidates by construction rather than by explicit flush.
+
+Responses carry the merged result plus serving metadata (epoch, latency,
+whether the result came from the cache).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.data.bbox import BoundingBox
+from repro.data.trajectory import Trajectory
+from repro.queries.engine import array_digest
+
+
+def _boxes_of(queries) -> tuple[BoundingBox, ...]:
+    """Normalize a workload / RangeQuery list / BoundingBox list to boxes."""
+    return tuple(q.box if hasattr(q, "box") else q for q in queries)
+
+
+def _bounds_key(boxes: tuple[BoundingBox, ...]) -> bytes:
+    if not boxes:
+        return b""
+    lo = np.array([[b.xmin, b.ymin, b.tmin] for b in boxes])
+    hi = np.array([[b.xmax, b.ymax, b.tmax] for b in boxes])
+    return lo.tobytes() + hi.tobytes()
+
+def _queries_key(
+    queries: tuple[Trajectory, ...],
+    windows,
+) -> tuple:
+    digests = tuple(array_digest(q.points) for q in queries)
+    if windows is None:
+        return (digests, None)
+    # Deep-convert: windows commonly arrive as lists (e.g. JSON-decoded),
+    # which are unhashable and would crash the cache lookup.
+    return (
+        digests,
+        tuple(
+            None if w is None else (float(w[0]), float(w[1])) for w in windows
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class RangeRequest:
+    """Evaluate a range-query workload: one trajectory-id set per box."""
+
+    boxes: tuple[BoundingBox, ...]
+    kind = "range"
+
+    @classmethod
+    def from_workload(cls, workload) -> "RangeRequest":
+        return cls(_boxes_of(workload))
+
+    def payload(self, service) -> dict:
+        return {"boxes": list(self.boxes)}
+
+    def cache_key(self) -> tuple:
+        return ("range", _bounds_key(self.boxes))
+
+
+@dataclass(frozen=True)
+class CountRequest:
+    """Per-box point counts (the count aggregate)."""
+
+    boxes: tuple[BoundingBox, ...]
+    kind = "count"
+
+    @classmethod
+    def from_workload(cls, workload) -> "CountRequest":
+        return cls(_boxes_of(workload))
+
+    def payload(self, service) -> dict:
+        return {"boxes": list(self.boxes)}
+
+    def cache_key(self) -> tuple:
+        return ("count", _bounds_key(self.boxes))
+
+
+@dataclass(frozen=True)
+class HistogramRequest:
+    """The spatial density heatmap over ``box`` (service extent when None)."""
+
+    grid: int = 32
+    box: BoundingBox | None = None
+    normalize: bool = False
+    kind = "histogram"
+
+    def payload(self, service) -> dict:
+        # Resolve the default region HERE, against the live global extent:
+        # each shard must rasterize over the same box or partial rasters
+        # would not sum to the single-database histogram.
+        box = self.box if self.box is not None else service.manager.extent()
+        return {"grid": int(self.grid), "box": box}
+
+    def cache_key(self) -> tuple:
+        box = self.box
+        bounds = None if box is None else _bounds_key((box,))
+        return ("histogram", int(self.grid), bounds, bool(self.normalize))
+
+
+@dataclass(frozen=True)
+class KnnRequest:
+    """k nearest trajectories per query, under EDR or a custom callable.
+
+    ``measure="t2vec"`` is rejected up front: the learned embedder is a
+    fitted in-process object the service has no plumbing to distribute to
+    shard workers (evaluate t2vec kNN through
+    :func:`repro.queries.knn.knn_query_batch` directly).
+    """
+
+    queries: tuple[Trajectory, ...]
+    k: int
+    time_windows: tuple[tuple[float, float] | None, ...] | None = None
+    measure: "str | Callable" = "edr"
+    eps: float = 2000.0
+    kind = "knn"
+
+    def __post_init__(self) -> None:
+        if self.measure == "t2vec":
+            raise ValueError(
+                "the sharded service cannot serve measure='t2vec' (no "
+                "embedder distribution); use 'edr' or a picklable callable"
+            )
+
+    def payload(self, service) -> dict:
+        return {
+            "queries": list(self.queries),
+            "k": int(self.k),
+            "time_windows": None
+            if self.time_windows is None
+            else list(self.time_windows),
+            "measure": self.measure,
+            "eps": float(self.eps),
+        }
+
+    def cache_key(self) -> tuple | None:
+        if not isinstance(self.measure, str):
+            return None  # opaque callables are not cacheable
+        return (
+            "knn",
+            _queries_key(self.queries, self.time_windows),
+            int(self.k),
+            self.measure,
+            float(self.eps),
+        )
+
+
+@dataclass(frozen=True)
+class SimilarityRequest:
+    """Synchronized-distance threshold matches per query trajectory."""
+
+    queries: tuple[Trajectory, ...]
+    delta: float
+    time_windows: tuple[tuple[float, float] | None, ...] | None = None
+    n_checkpoints: int = 32
+    kind = "similarity"
+
+    def payload(self, service) -> dict:
+        return {
+            "queries": list(self.queries),
+            "delta": float(self.delta),
+            "time_windows": None
+            if self.time_windows is None
+            else list(self.time_windows),
+            "n_checkpoints": int(self.n_checkpoints),
+        }
+
+    def cache_key(self) -> tuple:
+        return (
+            "similarity",
+            _queries_key(self.queries, self.time_windows),
+            float(self.delta),
+            int(self.n_checkpoints),
+        )
+
+
+REQUEST_TYPES = (
+    RangeRequest,
+    CountRequest,
+    HistogramRequest,
+    KnnRequest,
+    SimilarityRequest,
+)
+
+
+@dataclass(frozen=True, kw_only=True)
+class Response:
+    """Serving metadata shared by every response type."""
+
+    kind: str
+    epoch: int
+    latency_s: float
+    cached: bool
+    n_shards: int
+
+
+@dataclass(frozen=True, kw_only=True)
+class RangeResponse(Response):
+    result_sets: list[set[int]] = field(compare=False)
+
+
+@dataclass(frozen=True, kw_only=True)
+class CountResponse(Response):
+    counts: np.ndarray = field(compare=False)
+
+
+@dataclass(frozen=True, kw_only=True)
+class HistogramResponse(Response):
+    histogram: np.ndarray = field(compare=False)
+
+
+@dataclass(frozen=True, kw_only=True)
+class KnnResponse(Response):
+    #: Per query: neighbour ids, most similar first (may be shorter than k).
+    neighbors: list[list[int]] = field(compare=False)
+    #: Per query: the (distance, id) pairs behind the ranking.
+    pairs: list[list[tuple[float, int]]] = field(compare=False)
+
+
+@dataclass(frozen=True, kw_only=True)
+class SimilarityResponse(Response):
+    result_sets: list[set[int]] = field(compare=False)

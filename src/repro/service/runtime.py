@@ -1,0 +1,338 @@
+"""Per-shard query execution: a base engine plus a streamed pending delta.
+
+A :class:`ShardRuntime` owns one shard's data and answers every service
+query kind in *global*-id space. Execution is two-tier, LSM-style:
+
+* the **base** tier is an immutable :class:`~repro.data.TrajectoryDatabase`
+  over the shard's compacted trajectories with its own columnar
+  :class:`~repro.queries.engine.QueryEngine` (CSR layout + memo), built
+  lazily on first query;
+* the **pending** tier holds trajectories streamed in since the last
+  compaction. Queries answer over ``base U pending``: the base part runs
+  through the engine's registered executor hooks, the pending part through
+  the exact per-trajectory reference predicates — so an ingest is ``O(batch)``
+  (list append + cache drop), never a CSR rebuild.
+
+When the pending tier outgrows ``compact_threshold`` of the base (or
+``min_compact_points``), :meth:`compact` folds it into a fresh base engine —
+one rebuild amortized over many ingests.
+
+Every result is bit-identical to evaluating the same query on a fresh
+single-database engine over the shard's trajectories: the pending paths
+reuse the same reference arithmetic the engine is property-tested against
+(:func:`~repro.queries.similarity.candidate_matches`,
+:func:`~repro.queries.aggregate.spatial_bin_counts`, the EDR batch DP).
+
+Runtimes are executor-side objects: the serial executor keeps them
+in-process, the process executor builds one inside each shard worker from
+the pickled :class:`~repro.service.sharding.Shard` snapshot.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.bbox import BoundingBox
+from repro.data.database import TrajectoryDatabase
+from repro.data.trajectory import Trajectory
+from repro.queries.aggregate import spatial_bin_counts
+from repro.queries.edr import edr_distances_pairs
+from repro.queries.engine import QueryEngine
+from repro.queries.knn import (
+    _resolve_measure,
+    _window_restriction,
+    knn_query_batch,
+    top_k_pairs,
+)
+from repro.queries.similarity import (
+    candidate_matches,
+    query_checkpoints,
+    resolve_time_windows,
+)
+from repro.service.sharding import Shard
+
+
+class ShardRuntime:
+    """Executes service queries over one shard (base engine + pending delta).
+
+    Parameters
+    ----------
+    shard:
+        Membership snapshot; copied, so later manager-side bookkeeping does
+        not leak into the runtime (deltas arrive only via :meth:`ingest`).
+    resolution:
+        Grid resolution of the base engine's CSR layout.
+    compact_threshold:
+        Compact when pending points exceed this fraction of base points.
+    min_compact_points:
+        ... but never before the pending tier holds this many points.
+    """
+
+    def __init__(
+        self,
+        shard: Shard,
+        resolution: tuple[int, int, int] = (32, 32, 16),
+        compact_threshold: float = 0.5,
+        min_compact_points: int = 2048,
+    ) -> None:
+        self.index = shard.index
+        self.resolution = resolution
+        self.compact_threshold = float(compact_threshold)
+        self.min_compact_points = int(min_compact_points)
+        self._base: list[Trajectory] = list(shard.trajectories)
+        self._base_gids = np.asarray(shard.global_ids, dtype=np.int64)
+        self._base_points = sum(len(t) for t in self._base)
+        self._pending: list[tuple[int, Trajectory]] = []
+        self._pending_points = 0
+        self._db: TrajectoryDatabase | None = None
+        self._engine: QueryEngine | None = None
+        self._pending_matrix: np.ndarray | None = None
+        self._pending_owner_gids: np.ndarray | None = None
+        self.compactions = 0
+
+    # ------------------------------------------------------------------- tiers
+    @property
+    def engine(self) -> QueryEngine | None:
+        """The base tier's engine (None while the base is empty)."""
+        if self._engine is None and self._base:
+            self._db = TrajectoryDatabase(self._base)
+            self._engine = QueryEngine(self._db, resolution=self.resolution)
+        return self._engine
+
+    @property
+    def n_base(self) -> int:
+        return len(self._base)
+
+    @property
+    def n_pending(self) -> int:
+        return len(self._pending)
+
+    def info(self) -> dict:
+        """Shard-tier sizes (for service describe / stats output)."""
+        return {
+            "index": self.index,
+            "base_trajectories": len(self._base),
+            "pending_trajectories": len(self._pending),
+            "points": self._base_points + self._pending_points,
+            "compactions": self.compactions,
+        }
+
+    def ingest(self, batch: list[tuple[int, Trajectory]]) -> None:
+        """Append a routed batch to the pending tier (auto-compacting)."""
+        self._pending.extend(batch)
+        self._pending_points += sum(len(t) for _, t in batch)
+        self._pending_matrix = None
+        self._pending_owner_gids = None
+        if self._pending_points >= max(
+            self.min_compact_points, self.compact_threshold * self._base_points
+        ):
+            self.compact()
+
+    def compact(self) -> None:
+        """Fold the pending tier into a fresh base engine."""
+        if not self._pending:
+            return
+        self._base.extend(t for _, t in self._pending)
+        self._base_gids = np.concatenate(
+            [self._base_gids, np.array([g for g, _ in self._pending], dtype=np.int64)]
+        )
+        self._base_points += self._pending_points
+        self._pending = []
+        self._pending_points = 0
+        self._pending_matrix = None
+        self._pending_owner_gids = None
+        self._db = None
+        self._engine = None
+        self.compactions += 1
+
+    def _pending_columns(self) -> tuple[np.ndarray, np.ndarray]:
+        """Stacked pending points and the owning global id per row."""
+        if self._pending_matrix is None:
+            if self._pending:
+                self._pending_matrix = np.concatenate(
+                    [t.points for _, t in self._pending]
+                )
+                self._pending_owner_gids = np.repeat(
+                    np.array([g for g, _ in self._pending], dtype=np.int64),
+                    [len(t) for _, t in self._pending],
+                )
+            else:
+                self._pending_matrix = np.empty((0, 3))
+                self._pending_owner_gids = np.empty(0, dtype=np.int64)
+        return self._pending_matrix, self._pending_owner_gids
+
+    def _to_global(self, local_sets: list[set[int]]) -> list[set[int]]:
+        gids = self._base_gids
+        return [{int(gids[t]) for t in s} for s in local_sets]
+
+    # ------------------------------------------------------------------ queries
+    def execute(self, op: str, payload: dict):
+        """Dispatch one scatter/gather operation (the executor wire API)."""
+        try:
+            fn = getattr(self, "op_" + op)
+        except AttributeError:
+            raise KeyError(f"shard runtime has no operation {op!r}") from None
+        return fn(**payload)
+
+    def op_range(self, boxes: list[BoundingBox]) -> list[set[int]]:
+        """Per-box matching global ids (the shard's share of a range workload)."""
+        engine = self.engine
+        if engine is not None:
+            results = self._to_global(engine.execute("range", boxes=boxes))
+        else:
+            results = [set() for _ in boxes]
+        if self._pending:
+            points, owners = self._pending_columns()
+            for qi, box in enumerate(boxes):
+                mask = box.contains_points(points)
+                if mask.any():
+                    results[qi].update(int(g) for g in np.unique(owners[mask]))
+        return results
+
+    def op_count(self, boxes: list[BoundingBox]) -> np.ndarray:
+        """Per-box point counts over ``base U pending`` (int64, exact)."""
+        engine = self.engine
+        counts = (
+            engine.execute("count", boxes=boxes)
+            if engine is not None
+            else np.zeros(len(boxes), dtype=np.int64)
+        )
+        if self._pending:
+            points, _ = self._pending_columns()
+            counts = counts + np.array(
+                [int(box.contains_points(points).sum()) for box in boxes],
+                dtype=np.int64,
+            )
+        return counts
+
+    def op_histogram(self, grid: int, box: BoundingBox) -> np.ndarray:
+        """The shard's raw (unnormalized) partial density raster over ``box``.
+
+        Partial rasters are integer-valued, so the service-side sum over
+        shards is bit-identical to one single-database binning pass.
+        """
+        engine = self.engine
+        hist = (
+            engine.execute("histogram", grid=grid, box=box, normalize=False)
+            if engine is not None
+            else np.zeros((grid, grid))
+        )
+        if self._pending:
+            points, _ = self._pending_columns()
+            hist = hist + spatial_bin_counts(points[:, :2], grid, box)
+        return hist
+
+    def op_knn(
+        self,
+        queries: list[Trajectory],
+        k: int,
+        time_windows: list[tuple[float, float] | None] | None,
+        measure="edr",
+        eps: float = 2000.0,
+    ) -> list[list[tuple[float, int]]]:
+        """Per-query top-``k`` ``(distance, global_id)`` pairs of this shard.
+
+        Finite distances only, sorted by ``(distance, global id)``. Any
+        global top-``k`` neighbour ranks within the top-``k`` of its own
+        shard, so the service's k-way merge of these pairs reproduces the
+        single-database ranking exactly.
+        """
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        windows = resolve_time_windows(queries, time_windows)
+        merged: list[list[tuple[float, int]]] = [[] for _ in queries]
+        engine = self.engine
+        if engine is not None and queries:
+            base_pairs = knn_query_batch(
+                self._db,
+                queries,
+                k,
+                windows,
+                measure,
+                eps=eps,
+                engine=engine,
+                return_pairs=True,
+            )
+            gids = self._base_gids
+            for qi, pairs in enumerate(base_pairs):
+                merged[qi].extend((d, int(gids[tid])) for d, tid in pairs)
+        if self._pending and queries:
+            self._knn_pending(merged, queries, windows, measure, eps)
+        return [top_k_pairs(pairs, k) for pairs in merged]
+
+    def _knn_pending(self, merged, queries, windows, measure, eps) -> None:
+        """Score pending trajectories against every non-degenerate query."""
+        query_windows = [
+            _window_restriction(q, ts, te) for q, (ts, te) in zip(queries, windows)
+        ]
+        flat_q: list[Trajectory] = []
+        flat_c: list[Trajectory] = []
+        flat_at: list[tuple[int, int]] = []  # (query index, candidate gid)
+        for qi, (qw, (ts, te)) in enumerate(zip(query_windows, windows)):
+            if qw is None:
+                continue
+            for gid, traj in self._pending:
+                restricted = _window_restriction(traj, ts, te)
+                if restricted is None:
+                    continue
+                flat_q.append(qw)
+                flat_c.append(restricted)
+                flat_at.append((qi, gid))
+        if not flat_at:
+            return
+        if measure == "edr":
+            # Same batched DP as the engine's base path (exactly equal to
+            # the per-pair reference, see repro.queries.edr).
+            distances = edr_distances_pairs(flat_q, flat_c, eps)
+        else:
+            theta = _resolve_measure(measure, eps, None)
+            distances = [theta(a, b) for a, b in zip(flat_q, flat_c)]
+        for (qi, gid), d in zip(flat_at, distances):
+            merged[qi].append((float(d), int(gid)))
+
+    def op_similarity(
+        self,
+        queries: list[Trajectory],
+        delta: float,
+        time_windows: list[tuple[float, float] | None] | None = None,
+        n_checkpoints: int = 32,
+    ) -> list[set[int]]:
+        """Per-query matching global ids under the synchronized-distance test."""
+        engine = self.engine
+        if engine is not None:
+            results = self._to_global(
+                engine.execute(
+                    "similarity",
+                    queries=queries,
+                    delta=delta,
+                    time_windows=time_windows,
+                    n_checkpoints=n_checkpoints,
+                )
+            )
+        else:
+            results = [set() for _ in queries]
+        if not self._pending:
+            return results
+        windows = resolve_time_windows(queries, time_windows)
+        for qi, (q, (ts, te)) in enumerate(zip(queries, windows)):
+            checkpoints = query_checkpoints(q, ts, te, n_checkpoints)
+            if len(checkpoints) == 0:
+                continue
+            query_positions = q.positions_at(checkpoints)
+            query_alive = (checkpoints >= q.times[0]) & (checkpoints <= q.times[-1])
+            for gid, traj in self._pending:
+                if traj.times[-1] < ts or traj.times[0] > te:
+                    continue
+                if candidate_matches(
+                    traj, checkpoints, query_positions, query_alive, delta
+                ):
+                    results[qi].add(int(gid))
+        return results
+
+    def op_info(self) -> dict:
+        return self.info()
+
+    def op_clear_cache(self) -> None:
+        """Drop the base engine's memo (benchmark fairness / memory release)."""
+        if self._engine is not None:
+            self._engine.clear_cache()

@@ -1,0 +1,381 @@
+"""The online serving layer: :class:`QueryService`.
+
+One service object owns a :class:`~repro.service.sharding.ShardManager`
+(membership, routing, epoch), a scatter/gather executor (serial or
+per-shard worker processes), a per-``(request, shard-epoch)`` LRU result
+cache, and latency/throughput counters. Typed requests
+(:mod:`repro.service.requests`) go in; typed responses with serving
+metadata come out.
+
+Merge semantics (all exact — the service is property-tested bit-identical
+to a fresh single-database :class:`~repro.queries.engine.QueryEngine`):
+
+* **range / similarity** — shards hold disjoint trajectory sets, so the
+  per-query union of shard result sets is the global result set;
+* **count / histogram** — integer-valued partials summed over shards equal
+  the one-pass global tally; normalization happens once, after the merge;
+* **kNN** — each shard returns its top-``k`` ``(distance, global id)``
+  pairs; any global top-``k`` neighbour ranks within the top-``k`` of its
+  own shard, so a k-way merge ordered by ``(distance, id)`` — the same
+  total order the single-database path sorts by — reproduces the global
+  ranking exactly.
+
+Streaming ingestion (:meth:`QueryService.ingest`) routes trajectory
+batches through the manager's partitioner to the shard runtimes' pending
+tiers (no CSR rebuild; shards auto-compact when the delta outgrows the
+base) and bumps the shard epoch, which invalidates the result cache by
+construction.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.database import TrajectoryDatabase
+from repro.data.trajectory import Trajectory
+from repro.service.executors import EXECUTORS, make_executor
+from repro.service.requests import (
+    CountRequest,
+    CountResponse,
+    HistogramRequest,
+    HistogramResponse,
+    KnnRequest,
+    KnnResponse,
+    RangeRequest,
+    RangeResponse,
+    SimilarityRequest,
+    SimilarityResponse,
+)
+from repro.service.sharding import ShardManager
+
+
+@dataclass
+class ServiceStats:
+    """Latency / throughput / cache counters of one service instance."""
+
+    requests: dict[str, int] = field(default_factory=dict)
+    cache_hits: dict[str, int] = field(default_factory=dict)
+    total_latency_s: dict[str, float] = field(default_factory=dict)
+    max_latency_s: dict[str, float] = field(default_factory=dict)
+    ingest_batches: int = 0
+    ingest_trajectories: int = 0
+    ingest_points: int = 0
+
+    def record(self, kind: str, latency_s: float, cached: bool) -> None:
+        self.requests[kind] = self.requests.get(kind, 0) + 1
+        if cached:
+            self.cache_hits[kind] = self.cache_hits.get(kind, 0) + 1
+        self.total_latency_s[kind] = self.total_latency_s.get(kind, 0.0) + latency_s
+        self.max_latency_s[kind] = max(self.max_latency_s.get(kind, 0.0), latency_s)
+
+    def record_ingest(self, trajectories: list[Trajectory]) -> None:
+        self.ingest_batches += 1
+        self.ingest_trajectories += len(trajectories)
+        self.ingest_points += sum(len(t) for t in trajectories)
+
+    @property
+    def n_requests(self) -> int:
+        return sum(self.requests.values())
+
+    @property
+    def n_cache_hits(self) -> int:
+        return sum(self.cache_hits.values())
+
+    def summary(self) -> dict[str, float | int]:
+        """A flat report: per-kind counts, hit rates, and mean latencies."""
+        out: dict[str, float | int] = {
+            "requests": self.n_requests,
+            "cache_hits": self.n_cache_hits,
+            "ingest_batches": self.ingest_batches,
+            "ingest_trajectories": self.ingest_trajectories,
+            "ingest_points": self.ingest_points,
+        }
+        for kind in sorted(self.requests):
+            n = self.requests[kind]
+            out[f"{kind}_requests"] = n
+            out[f"{kind}_cache_hits"] = self.cache_hits.get(kind, 0)
+            out[f"{kind}_mean_latency_ms"] = 1000.0 * self.total_latency_s[kind] / n
+            out[f"{kind}_max_latency_ms"] = 1000.0 * self.max_latency_s[kind]
+        return out
+
+
+class QueryService:
+    """Sharded online query service over a trajectory database.
+
+    Parameters
+    ----------
+    db:
+        Database to serve (partitioned at construction). Alternatively pass
+        a prebuilt ``manager``.
+    n_shards, partitioner:
+        Shard count and partition strategy (``"hash"`` or ``"spatial"``),
+        forwarded to :meth:`ShardManager.create`.
+    executor:
+        ``"serial"`` (in-process reference), ``"process"`` (one worker
+        process per shard), or an executor factory.
+    resolution:
+        Per-shard engine grid resolution.
+    cache_size:
+        LRU entries of whole-request results, keyed on
+        ``(request cache key, shard epoch)``.
+    compact_threshold, min_compact_points:
+        Pending-tier compaction policy of the shard runtimes.
+    mp_context:
+        Multiprocessing start method for the process executor.
+    """
+
+    def __init__(
+        self,
+        db: TrajectoryDatabase | None = None,
+        *,
+        manager: ShardManager | None = None,
+        n_shards: int = 4,
+        partitioner: str = "hash",
+        executor: str = "serial",
+        resolution: tuple[int, int, int] = (32, 32, 16),
+        cache_size: int = 64,
+        compact_threshold: float = 0.5,
+        min_compact_points: int = 2048,
+        mp_context: str | None = None,
+    ) -> None:
+        if (db is None) == (manager is None):
+            raise ValueError("pass exactly one of db or manager")
+        if manager is None:
+            manager = ShardManager.create(db, n_shards, partitioner)
+        self.manager = manager
+        self.executor_name = executor if isinstance(executor, str) else "custom"
+        self._executor = make_executor(
+            executor,
+            manager.snapshots(),
+            resolution=resolution,
+            compact_threshold=compact_threshold,
+            min_compact_points=min_compact_points,
+            **({"mp_context": mp_context} if executor == "process" else {}),
+        )
+        self._cache: OrderedDict[tuple, object] = OrderedDict()
+        self._cache_size = int(cache_size)
+        self.stats = ServiceStats()
+        self._closed = False
+        self._failed = False
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("service is closed")
+        if self._failed:
+            raise RuntimeError(
+                "service is in a failed state (a shard delivery failed "
+                "partway; manager and shard runtimes may disagree) — "
+                "rebuild the service from its manager's database"
+            )
+
+    # ----------------------------------------------------------------- requests
+    def execute(self, request):
+        """Serve one typed request: cache lookup, shard fan-out, exact merge."""
+        self._check_open()
+        start = time.perf_counter()
+        epoch = self.manager.epoch
+        request_key = request.cache_key()
+        key = None if request_key is None else (request_key, epoch)
+        payload = None
+        if key is not None and key in self._cache:
+            self._cache.move_to_end(key)
+            payload = self._cache[key]
+            cached = True
+        else:
+            shard_results = self._executor.broadcast(
+                request.kind, request.payload(self)
+            )
+            payload = self._merge(request, shard_results)
+            cached = False
+            if key is not None:
+                self._cache[key] = payload
+                while len(self._cache) > self._cache_size:
+                    self._cache.popitem(last=False)
+        latency = time.perf_counter() - start
+        self.stats.record(request.kind, latency, cached)
+        return self._response(request, payload, epoch, latency, cached)
+
+    def _merge(self, request, shard_results):
+        """Combine per-shard partials into the canonical (immutable) payload."""
+        kind = request.kind
+        if kind in ("range", "similarity"):
+            n_queries = len(shard_results[0]) if shard_results else 0
+            merged = [set() for _ in range(n_queries)]
+            for shard_sets in shard_results:
+                for qi, ids in enumerate(shard_sets):
+                    merged[qi] |= ids
+            return tuple(frozenset(s) for s in merged)
+        if kind == "count":
+            total = np.sum(shard_results, axis=0, dtype=np.int64)
+            total = np.asarray(total, dtype=np.int64)
+            total.setflags(write=False)
+            return total
+        if kind == "histogram":
+            hist = np.sum(shard_results, axis=0)
+            hist = np.asarray(hist, dtype=float)
+            if request.normalize:
+                # Normalize once, after the merge — identical arithmetic to
+                # the single-engine path (sum then one division).
+                total = hist.sum()
+                if total > 0:
+                    hist = hist / total
+            hist.setflags(write=False)
+            return hist
+        if kind == "knn":
+            from repro.queries.knn import top_k_pairs
+
+            n_queries = len(request.queries)
+            merged_pairs = []
+            for qi in range(n_queries):
+                pairs = [
+                    pair for shard_pairs in shard_results for pair in shard_pairs[qi]
+                ]
+                merged_pairs.append(tuple(top_k_pairs(pairs, request.k)))
+            return tuple(merged_pairs)
+        raise ValueError(f"unknown request kind {kind!r}")
+
+    def _response(self, request, payload, epoch, latency, cached):
+        meta = {
+            "kind": request.kind,
+            "epoch": epoch,
+            "latency_s": latency,
+            "cached": cached,
+            "n_shards": self.manager.n_shards,
+        }
+        if request.kind == "range":
+            return RangeResponse(result_sets=[set(s) for s in payload], **meta)
+        if request.kind == "similarity":
+            return SimilarityResponse(result_sets=[set(s) for s in payload], **meta)
+        if request.kind == "count":
+            return CountResponse(counts=payload.copy(), **meta)
+        if request.kind == "histogram":
+            return HistogramResponse(histogram=payload.copy(), **meta)
+        return KnnResponse(
+            neighbors=[[tid for _, tid in pairs] for pairs in payload],
+            pairs=[list(pairs) for pairs in payload],
+            **meta,
+        )
+
+    # -------------------------------------------------------------- convenience
+    def range(self, workload) -> RangeResponse:
+        """Evaluate a range workload (a workload object or box iterable)."""
+        return self.execute(RangeRequest.from_workload(workload))
+
+    def count(self, boxes) -> CountResponse:
+        return self.execute(CountRequest.from_workload(boxes))
+
+    def histogram(
+        self, grid: int = 32, box=None, normalize: bool = False
+    ) -> HistogramResponse:
+        return self.execute(HistogramRequest(grid, box, normalize))
+
+    def knn(
+        self,
+        queries,
+        k: int,
+        time_windows=None,
+        measure="edr",
+        eps: float = 2000.0,
+    ) -> KnnResponse:
+        return self.execute(
+            KnnRequest(
+                tuple(queries),
+                k,
+                None if time_windows is None else tuple(time_windows),
+                measure,
+                eps,
+            )
+        )
+
+    def similarity(
+        self, queries, delta: float, time_windows=None, n_checkpoints: int = 32
+    ) -> SimilarityResponse:
+        return self.execute(
+            SimilarityRequest(
+                tuple(queries),
+                delta,
+                None if time_windows is None else tuple(time_windows),
+                n_checkpoints,
+            )
+        )
+
+    # ------------------------------------------------------------------- ingest
+    def ingest(self, trajectories) -> int:
+        """Stream a batch of trajectories into the service.
+
+        Routes each trajectory to its shard (pending tier — no engine
+        rebuild) and bumps the shard epoch, so cached results from earlier
+        epochs can no longer be served. Returns the number ingested.
+
+        Delivery is transactional from the manager's point of view: ids and
+        membership commit only after every target shard accepted its rows,
+        so a failed delivery leaves queries consistent. If delivery fails
+        *partway* (some shard runtimes applied rows the manager never
+        committed), runtimes and manager can no longer agree — the service
+        then latches into a failed state and refuses further work instead
+        of silently serving from diverged shards.
+        """
+        self._check_open()
+        batch = list(trajectories)
+        if not batch:
+            return 0
+        routed = self.manager.plan_ingest(batch)
+        try:
+            self._executor.ingest(routed)
+        except Exception:
+            # The executor may have applied the batch on a subset of shards
+            # before failing; results would silently omit or double-count
+            # rows, so stop serving.
+            self._failed = True
+            raise
+        self.manager.commit_ingest(routed)
+        self.stats.record_ingest(batch)
+        return len(batch)
+
+    # ---------------------------------------------------------------- lifecycle
+    def describe(self) -> dict:
+        """Shard layout and counters (CLI ``repro serve`` banner)."""
+        info = {
+            "n_shards": self.manager.n_shards,
+            "executor": self.executor_name,
+            "partitioner": self.manager.partitioner.name,
+            "epoch": self.manager.epoch,
+            "trajectories": self.manager.n_trajectories,
+            "points": self.manager.total_points,
+        }
+        try:
+            info["shards"] = self._executor.broadcast("info", {})
+        except Exception as exc:
+            # Layout is still useful when workers are gone, but a broken
+            # executor must stay visible, not be silently omitted.
+            info["shards_error"] = f"{type(exc).__name__}: {exc}"
+        return info
+
+    def database(self) -> TrajectoryDatabase:
+        """The served database materialized in global-id order (reference)."""
+        return self.manager.database()
+
+    def clear_cache(self, deep: bool = False) -> None:
+        """Drop the request LRU; ``deep`` also clears every shard engine memo."""
+        self._cache.clear()
+        if deep:
+            self._executor.broadcast("clear_cache", {})
+
+    def close(self) -> None:
+        """Release executor workers (idempotent; serial executors no-op)."""
+        if not self._closed:
+            self._closed = True
+            self._executor.close()
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+__all__ = ["QueryService", "ServiceStats", "EXECUTORS"]

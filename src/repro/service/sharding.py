@@ -1,0 +1,208 @@
+"""Shard partitioning and membership management.
+
+A :class:`ShardManager` splits a :class:`~repro.data.TrajectoryDatabase`
+into ``K`` shards, each owning a disjoint subset of the trajectories. The
+manager lives in the serving process and is the source of truth for
+membership: it assigns global trajectory ids, routes streamed-in
+trajectories to shards via a deterministic :class:`Partitioner`, and tracks
+the *shard epoch* — a counter bumped on every ingest batch that the request
+layer uses to key its result cache (results can only change when the epoch
+does).
+
+Shard *execution* state (the per-shard CSR point matrix and
+:class:`~repro.queries.engine.QueryEngine`) lives in
+:class:`~repro.service.runtime.ShardRuntime` objects, which may run in the
+serving process (serial executor) or in per-shard worker processes
+(process executor) — see :mod:`repro.service.executors`. The
+:class:`Shard` snapshots exchanged between manager and runtimes are plain
+picklable containers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.data.bbox import BoundingBox
+from repro.data.database import TrajectoryDatabase
+from repro.data.partition import (  # re-exported: the rules are data-layer
+    PARTITIONERS,
+    HashPartitioner,
+    SpatialPartitioner,
+    make_partitioner,
+)
+from repro.data.trajectory import Trajectory
+
+
+@dataclass
+class Shard:
+    """A picklable snapshot of one shard's membership.
+
+    ``trajectories[i]`` holds global id ``global_ids[i]``; the list is
+    ordered by global id (ascending), which both partitioners and the
+    append-only ingest path preserve.
+    """
+
+    index: int
+    trajectories: list[Trajectory] = field(default_factory=list)
+    global_ids: list[int] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.trajectories)
+
+
+class ShardManager:
+    """Partitions a database into shards and routes streamed ingests.
+
+    Build one with :meth:`create`; hand :meth:`snapshots` to a
+    scatter/gather executor. All query execution goes through executors —
+    the manager only owns membership, the global extent, and the epoch.
+    """
+
+    def __init__(
+        self,
+        shards: list[Shard],
+        partitioner: HashPartitioner | SpatialPartitioner,
+    ) -> None:
+        self.shards = shards
+        self.partitioner = partitioner
+        self.epoch = 0
+        self._next_global_id = sum(len(s) for s in shards)
+        self._extent: BoundingBox | None = None
+        #: gid -> (shard index, position in shard) for O(1) lookups.
+        self._locations: dict[int, tuple[int, int]] = {}
+        for shard in shards:
+            for pos, (gid, traj) in enumerate(
+                zip(shard.global_ids, shard.trajectories)
+            ):
+                self._locations[gid] = (shard.index, pos)
+                box = traj.bounding_box
+                self._extent = box if self._extent is None else self._extent.union(box)
+
+    @classmethod
+    def create(
+        cls,
+        db: TrajectoryDatabase,
+        n_shards: int = 4,
+        partitioner: str = "hash",
+    ) -> "ShardManager":
+        """Partition ``db`` into ``n_shards`` shards.
+
+        Global ids are the database's trajectory ids; each shard's member
+        list is ordered by global id. Shards may start empty (``n_shards``
+        larger than the database) — streaming ingests fill them later.
+        """
+        part = make_partitioner(partitioner, db, n_shards)
+        # Initial membership runs through the SAME assign() rule that routes
+        # streamed ingests, so the two can never disagree.
+        # (TrajectoryDatabase.partition_ids mirrors these rules as a bulk
+        # view; tests pin the equivalence.)
+        shards = [Shard(index=s) for s in range(n_shards)]
+        for gid, traj in enumerate(db):
+            shard = shards[part.assign(gid, traj)]
+            shard.trajectories.append(traj)
+            shard.global_ids.append(gid)
+        return cls(shards, part)
+
+    # ------------------------------------------------------------------ queries
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def n_trajectories(self) -> int:
+        return self._next_global_id
+
+    @property
+    def total_points(self) -> int:
+        return sum(len(t) for s in self.shards for t in s.trajectories)
+
+    def extent(self) -> BoundingBox:
+        """The union bounding box of every trajectory across all shards.
+
+        Bit-identical to ``self.database().bounding_box`` (same min/max
+        reduction), and the default raster region of histogram requests.
+        """
+        if self._extent is None:
+            raise ValueError("the service holds no trajectories yet")
+        return self._extent
+
+    def database(self) -> TrajectoryDatabase:
+        """Materialize all shards back into one database, in global-id order.
+
+        The reference view the service is property-tested against: queries
+        on the sharded service must equal a fresh single-engine evaluation
+        of this database.
+        """
+        merged: list[Trajectory | None] = [None] * self._next_global_id
+        for shard in self.shards:
+            for gid, traj in zip(shard.global_ids, shard.trajectories):
+                merged[gid] = traj
+        if any(t is None for t in merged):
+            raise RuntimeError("shard membership lost trajectories")
+        return TrajectoryDatabase(merged)  # type: ignore[arg-type]
+
+    def snapshots(self) -> list[Shard]:
+        """The current shard snapshots (for executor initialization)."""
+        return self.shards
+
+    def trajectory(self, global_id: int) -> Trajectory:
+        """The trajectory holding ``global_id`` (ingested ones included)."""
+        try:
+            shard_idx, pos = self._locations[global_id]
+        except KeyError:
+            raise KeyError(f"no trajectory with global id {global_id}") from None
+        return self.shards[shard_idx].trajectories[pos]
+
+    # ------------------------------------------------------------------- ingest
+    def plan_ingest(
+        self, trajectories: list[Trajectory]
+    ) -> dict[int, list[tuple[int, Trajectory]]]:
+        """Assign global ids and route a batch — WITHOUT committing it.
+
+        Returns ``{shard_index: [(global_id, trajectory), ...]}``. No
+        manager state changes: the caller delivers the routed batches to
+        the shard runtimes first and calls :meth:`commit_ingest` only once
+        delivery succeeded, so a failed delivery leaves the manager's view
+        of the world (ids, membership, extent, epoch) untouched.
+        """
+        routed: dict[int, list[tuple[int, Trajectory]]] = {}
+        next_gid = self._next_global_id
+        for traj in trajectories:
+            if not isinstance(traj, Trajectory):
+                raise TypeError(f"can only ingest Trajectory objects, got {traj!r}")
+            shard_idx = self.partitioner.assign(next_gid, traj)
+            routed.setdefault(shard_idx, []).append((next_gid, traj))
+            next_gid += 1
+        return routed
+
+    def commit_ingest(
+        self, routed: dict[int, list[tuple[int, Trajectory]]]
+    ) -> None:
+        """Apply a delivered :meth:`plan_ingest` batch and bump the epoch."""
+        if not routed:
+            return
+        for shard_idx, batch in routed.items():
+            shard = self.shards[shard_idx]
+            for gid, traj in batch:
+                shard.trajectories.append(traj)
+                shard.global_ids.append(gid)
+                self._locations[gid] = (shard_idx, len(shard.trajectories) - 1)
+                box = traj.bounding_box
+                self._extent = (
+                    box if self._extent is None else self._extent.union(box)
+                )
+        self._next_global_id += sum(len(b) for b in routed.values())
+        self.epoch += 1
+
+    def ingest(
+        self, trajectories: list[Trajectory]
+    ) -> dict[int, list[tuple[int, Trajectory]]]:
+        """Route AND commit a batch in one step (no shard-runtime delivery).
+
+        Convenience for manager-only use; :class:`~repro.service.service.QueryService`
+        instead plans, delivers to the executor, then commits, so a failed
+        delivery cannot desynchronize the manager from the runtimes.
+        """
+        routed = self.plan_ingest(trajectories)
+        self.commit_ingest(routed)
+        return routed

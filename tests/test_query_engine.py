@@ -462,3 +462,177 @@ class TestIncrementalEvaluatorAudit:
             env, cube, point, budget, greedy=True, exact_final_diff=True
         )
         assert audited.final_diff == pytest.approx(env.diff())
+
+
+class TestBatchedSimilarity:
+    """QueryEngine.similarity vs the per-query similarity_query reference."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 150), n_queries=st.integers(1, 4))
+    def test_matches_reference_on_random_databases(self, seed, n_queries):
+        from repro.data.stats import spatial_scale
+        from repro.queries.similarity import similarity_query
+
+        db = random_db(seed, n_trajectories=7)
+        rng = np.random.default_rng(seed)
+        delta = float(rng.uniform(0.05, 0.4)) * spatial_scale(db)
+        qids = rng.choice(len(db), size=n_queries, replace=False)
+        queries = [db[int(q)] for q in qids]
+        windows = []
+        for qi, q in enumerate(queries):
+            t0, t1 = float(q.times[0]), float(q.times[-1])
+            choice = (seed + qi) % 3
+            if choice == 0:
+                windows.append(None)  # query's own span
+            elif choice == 1:
+                quarter = 0.25 * (t1 - t0)
+                windows.append((t0 + quarter, t1 - quarter))
+            else:
+                windows.append((t0 - 10.0, t1 + 10.0))  # beyond the lifespan
+        reference = [
+            similarity_query(db, q, delta, w) for q, w in zip(queries, windows)
+        ]
+        engine = QueryEngine(db)
+        assert engine.similarity(queries, delta, windows) == reference
+        # memoized second pass returns equal, independent sets
+        again = engine.similarity(queries, delta, windows)
+        assert again == reference
+        again[0].add(10**9)
+        assert engine.similarity(queries, delta, windows) == reference
+
+    def test_similarity_query_batch_routes_through_shared_engine(self, small_db):
+        from repro.queries import similarity_query_batch
+        from repro.queries.similarity import similarity_query
+
+        queries = [small_db[0], small_db[3]]
+        results = similarity_query_batch(small_db, queries, 5.0)
+        assert results == [similarity_query(small_db, q, 5.0) for q in queries]
+
+    def test_external_query_trajectory(self, small_db):
+        from repro.queries.similarity import similarity_query
+
+        external = make_trajectory(n=12, seed=777)
+        engine = QueryEngine(small_db)
+        assert engine.similarity([external], 10.0) == [
+            similarity_query(small_db, external, 10.0)
+        ]
+
+    def test_negative_delta_raises(self, small_db):
+        with pytest.raises(ValueError, match="non-negative"):
+            QueryEngine(small_db).similarity([small_db[0]], -1.0)
+
+    def test_empty_queries(self, small_db):
+        assert QueryEngine(small_db).similarity([], 1.0) == []
+
+
+class TestKnnReturnPairs:
+    def test_pairs_are_sorted_finite_and_consistent_with_ids(self, small_db):
+        queries = [small_db[1], small_db[4]]
+        ids = knn_query_batch(small_db, queries, 3)
+        pairs = knn_query_batch(small_db, queries, 3, return_pairs=True)
+        for id_list, pair_list in zip(ids, pairs):
+            assert [tid for _, tid in pair_list] == id_list
+            distances = [d for d, _ in pair_list]
+            assert distances == sorted(distances)
+            assert all(np.isfinite(d) for d in distances)
+
+
+class TestAdaptiveResolution:
+    """Cell size follows the workload's box extents; answers never change."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 150))
+    def test_candidates_unchanged_under_adaptive_resolution(self, seed):
+        from repro.index import GridIndex, adaptive_resolution
+        from repro.queries.range_query import range_query
+
+        db = random_db(seed, n_trajectories=6)
+        workload = RangeQueryWorkload.from_data_distribution(db, 6, seed=seed)
+        resolution = adaptive_resolution(db.bounding_box, workload)
+        assert all(1 <= r <= 1024 for r in resolution)
+        reference = [range_query(db, q) for q in workload]
+        # the adaptive grid's verified candidates give identical answers
+        grid = GridIndex.adaptive(db, workload)
+        assert grid.resolution == resolution
+        assert [range_query(db, q, grid) for q in workload] == reference
+        # and the engine at the adaptive resolution agrees exactly
+        engine = QueryEngine(db, resolution=resolution)
+        assert engine.evaluate(workload) == reference
+
+    def test_cell_size_tracks_median_box_extent(self, chengdu_db):
+        from repro.index import adaptive_resolution
+
+        narrow = RangeQueryWorkload.from_data_distribution(
+            chengdu_db, 10, spatial_extent=1.0, temporal_extent=10.0, seed=0
+        )
+        wide = RangeQueryWorkload.from_data_distribution(
+            chengdu_db, 10, spatial_extent=1000.0, temporal_extent=10000.0, seed=0
+        )
+        fine = adaptive_resolution(chengdu_db.bounding_box, narrow)
+        coarse = adaptive_resolution(chengdu_db.bounding_box, wide)
+        assert fine[0] > coarse[0] and fine[1] > coarse[1]
+
+    def test_empty_workload_falls_back_to_default(self, small_db):
+        from repro.index import adaptive_resolution
+
+        assert adaptive_resolution(small_db.bounding_box, []) == (32, 32, 16)
+
+    def test_total_cell_budget_is_respected(self, small_db):
+        from repro.index import adaptive_resolution
+
+        tiny_boxes = RangeQueryWorkload.from_data_distribution(
+            small_db, 5, spatial_extent=1e-6, temporal_extent=1e-6, seed=1
+        )
+        resolution = adaptive_resolution(
+            small_db.bounding_box, tiny_boxes, max_cells=4096
+        )
+        assert int(np.prod(resolution)) <= 4096
+
+
+class TestExecutorHooks:
+    def test_builtin_kinds_are_registered(self):
+        kinds = QueryEngine.executor_kinds()
+        for kind in ("range", "count", "histogram", "similarity"):
+            assert kind in kinds
+
+    def test_execute_dispatches_to_bound_methods(self, small_db, small_workload):
+        engine = QueryEngine(small_db)
+        assert engine.execute(
+            "range", boxes=small_workload.boxes
+        ) == engine.evaluate(small_workload)
+        assert np.array_equal(
+            engine.execute("count", boxes=small_workload.boxes),
+            engine.count(small_workload.boxes),
+        )
+
+    def test_unknown_kind_raises_with_known_kinds(self, small_db):
+        with pytest.raises(KeyError, match="no executor hook"):
+            QueryEngine(small_db).execute("teleport")
+
+    def test_custom_hook_is_callable_and_replaceable(self, small_db):
+        try:
+            QueryEngine.register_executor(
+                "total_points", lambda engine, **_: len(engine._px)
+            )
+            engine = QueryEngine(small_db)
+            assert engine.execute("total_points") == small_db.total_points
+        finally:
+            QueryEngine._executor_hooks.pop("total_points", None)
+
+    def test_local_hook_shadows_registry_for_one_engine_only(self, small_db):
+        instrumented = QueryEngine(small_db)
+        plain = QueryEngine(small_db)
+        calls = []
+
+        def counting_count(engine, *, boxes):
+            calls.append(len(list(boxes)))
+            return engine.count(boxes)
+
+        instrumented.register_local_executor("count", counting_count)
+        box = small_db.bounding_box
+        assert instrumented.execute("count", boxes=[box]) == plain.execute(
+            "count", boxes=[box]
+        )
+        assert calls == [1]  # only the instrumented engine routed through it
+        plain.execute("count", boxes=[box])
+        assert calls == [1]

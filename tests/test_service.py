@@ -1,0 +1,471 @@
+"""Tests for the sharded query service subsystem (:mod:`repro.service`).
+
+The service's contract is *bit-identical* results to a fresh single-engine
+evaluation of the same database state, for every request kind, shard
+count, partitioner, and executor — sharding and process fan-out are pure
+execution concerns and must never change an answer.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data import Trajectory, TrajectoryDatabase, synthetic_database
+from repro.data.stats import spatial_scale
+from repro.eval.harness import QueryAccuracyEvaluator
+from repro.queries import QueryEngine, knn_query_batch, similarity_query_batch
+from repro.service import (
+    HashPartitioner,
+    KnnRequest,
+    ProcessShardExecutor,
+    QueryService,
+    RangeRequest,
+    SerialShardExecutor,
+    Shard,
+    ShardExecutionError,
+    ShardManager,
+    ShardRuntime,
+    SpatialPartitioner,
+    make_executor,
+)
+from repro.workloads import RangeQueryWorkload
+from tests.conftest import make_trajectory
+
+
+def service_db(n: int = 20, seed: int = 5) -> TrajectoryDatabase:
+    return synthetic_database(
+        "geolife", n_trajectories=n, points_scale=0.05, seed=seed
+    )
+
+
+def knn_suite(db, n_queries=4, seed=1):
+    """Query trajectories + central windows, as the harness builds them."""
+    rng = np.random.default_rng(seed)
+    qids = [int(i) for i in rng.choice(len(db), size=n_queries, replace=False)]
+    queries = [db[q] for q in qids]
+    windows = [QueryAccuracyEvaluator._central_window(q) for q in queries]
+    return queries, windows
+
+
+@pytest.fixture(scope="module")
+def served_db():
+    return service_db()
+
+
+@pytest.fixture(scope="module")
+def served_workload(served_db):
+    return RangeQueryWorkload.from_data_distribution(served_db, 20, seed=3)
+
+
+class TestPartitioning:
+    def test_hash_partition_is_exhaustive_and_disjoint(self, small_db):
+        parts = small_db.partition_ids(3, "hash")
+        ids = np.concatenate(parts)
+        assert sorted(ids.tolist()) == list(range(len(small_db)))
+
+    def test_spatial_partition_is_exhaustive_and_disjoint(self, small_db):
+        parts = small_db.partition_ids(3, "spatial")
+        ids = np.concatenate(parts)
+        assert sorted(ids.tolist()) == list(range(len(small_db)))
+
+    def test_spatial_partition_slabs_by_centroid(self, small_db):
+        parts = small_db.partition_ids(2, "spatial")
+        x = small_db.centroids()[:, 0]
+        assert max(x[parts[0]]) <= min(x[parts[1]]) or len(parts[0]) == 0
+
+    def test_unknown_strategy_raises(self, small_db):
+        with pytest.raises(ValueError, match="unknown partition strategy"):
+            small_db.partition_ids(2, "zorder")
+
+    def test_more_shards_than_trajectories_gives_empty_shards(self, small_db):
+        manager = ShardManager.create(small_db, n_shards=len(small_db) + 4)
+        assert manager.n_shards == len(small_db) + 4
+        assert sum(len(s) for s in manager.shards) == len(small_db)
+        assert any(len(s) == 0 for s in manager.shards)
+
+    def test_partitioners_route_new_ids_deterministically(self, small_db):
+        hashp = HashPartitioner(3)
+        traj = make_trajectory(n=6, seed=77)
+        assert hashp.assign(7, traj) == 7 % 3
+        spatial = SpatialPartitioner.from_database(small_db, 3)
+        assert spatial.assign(99, traj) == spatial.assign(100, traj)
+
+    def test_centroids_match_per_trajectory_means(self, small_db):
+        centroids = small_db.centroids()
+        for tid, traj in enumerate(small_db):
+            assert np.allclose(centroids[tid], traj.xy.mean(axis=0))
+
+    @pytest.mark.parametrize("strategy", ["hash", "spatial"])
+    def test_manager_membership_equals_partition_ids(self, small_db, strategy):
+        """create()'s assign()-driven split mirrors the bulk database view."""
+        manager = ShardManager.create(small_db, 3, partitioner=strategy)
+        bulk = small_db.partition_ids(3, strategy)
+        assert [s.global_ids for s in manager.shards] == [
+            g.tolist() for g in bulk
+        ]
+
+
+class TestShardManager:
+    def test_database_roundtrip_preserves_global_order(self, small_db):
+        manager = ShardManager.create(small_db, n_shards=3, partitioner="hash")
+        rebuilt = manager.database()
+        assert len(rebuilt) == len(small_db)
+        for tid in range(len(small_db)):
+            assert np.array_equal(rebuilt[tid].points, small_db[tid].points)
+
+    def test_extent_matches_database_bounding_box(self, small_db):
+        manager = ShardManager.create(small_db, n_shards=3)
+        assert manager.extent() == small_db.bounding_box
+
+    def test_ingest_assigns_sequential_ids_and_bumps_epoch(self, small_db):
+        manager = ShardManager.create(small_db, n_shards=2)
+        assert manager.epoch == 0
+        batch = [make_trajectory(n=5, seed=900 + i) for i in range(3)]
+        routed = manager.ingest(batch)
+        assert manager.epoch == 1
+        gids = sorted(g for pairs in routed.values() for g, _ in pairs)
+        assert gids == [len(small_db), len(small_db) + 1, len(small_db) + 2]
+        # reference materialization equals extended()
+        reference = small_db.extended(batch)
+        rebuilt = manager.database()
+        for tid in range(len(reference)):
+            assert np.array_equal(rebuilt[tid].points, reference[tid].points)
+        assert manager.extent() == reference.bounding_box
+
+    def test_ingest_rejects_non_trajectories(self, small_db):
+        manager = ShardManager.create(small_db, n_shards=2)
+        with pytest.raises(TypeError):
+            manager.ingest([np.zeros((3, 3))])
+
+    def test_trajectory_lookup(self, small_db):
+        manager = ShardManager.create(small_db, n_shards=3)
+        assert np.array_equal(manager.trajectory(5).points, small_db[5].points)
+        with pytest.raises(KeyError):
+            manager.trajectory(999)
+
+
+@pytest.mark.parametrize("executor", ["serial", "process"])
+@pytest.mark.parametrize("partitioner", ["hash", "spatial"])
+class TestServiceParity:
+    """Acceptance: K >= 2 sharded results == single-engine results, bitwise."""
+
+    def test_all_request_kinds_match_single_engine(
+        self, served_db, served_workload, executor, partitioner
+    ):
+        engine = QueryEngine(served_db)
+        eps = 0.10 * spatial_scale(served_db)
+        delta = 0.15 * spatial_scale(served_db)
+        queries, windows = knn_suite(served_db)
+        ref_range = engine.evaluate(served_workload)
+        ref_count = engine.count(served_workload.boxes)
+        ref_hist = engine.histogram(16)
+        ref_hist_norm = engine.histogram(16, normalize=True)
+        ref_knn = knn_query_batch(served_db, queries, 3, windows, "edr", eps=eps)
+        ref_sim = similarity_query_batch(served_db, queries, delta)
+        with QueryService(
+            served_db, n_shards=3, partitioner=partitioner, executor=executor
+        ) as service:
+            assert service.range(served_workload).result_sets == ref_range
+            counts = service.count(served_workload.boxes).counts
+            assert counts.dtype == np.int64
+            assert np.array_equal(counts, ref_count)
+            assert np.array_equal(service.histogram(16).histogram, ref_hist)
+            assert np.array_equal(
+                service.histogram(16, normalize=True).histogram, ref_hist_norm
+            )
+            assert service.knn(queries, 3, windows, eps=eps).neighbors == ref_knn
+            assert service.similarity(queries, delta).result_sets == ref_sim
+
+    def test_ingest_matches_fresh_engine_on_final_state(
+        self, served_db, served_workload, executor, partitioner
+    ):
+        extra = [make_trajectory(n=8, seed=500 + i) for i in range(6)]
+        final = served_db.extended(extra)
+        engine = QueryEngine(final)
+        eps = 0.10 * spatial_scale(served_db)
+        queries, windows = knn_suite(served_db)
+        with QueryService(
+            served_db, n_shards=3, partitioner=partitioner, executor=executor
+        ) as service:
+            assert service.ingest(extra) == len(extra)
+            assert service.range(served_workload).result_sets == engine.evaluate(
+                served_workload
+            )
+            assert np.array_equal(
+                service.count(served_workload.boxes).counts,
+                engine.count(served_workload.boxes),
+            )
+            # default histogram box follows the *current* (grown) extent
+            assert np.array_equal(
+                service.histogram(12).histogram, engine.histogram(12)
+            )
+            assert (
+                service.knn(queries, 3, windows, eps=eps).neighbors
+                == knn_query_batch(final, queries, 3, windows, "edr", eps=eps)
+            )
+
+
+class TestServiceCacheAndStats:
+    def test_repeat_request_hits_cache(self, served_db, served_workload):
+        with QueryService(served_db, n_shards=2) as service:
+            first = service.range(served_workload)
+            second = service.range(served_workload)
+            assert not first.cached and second.cached
+            assert second.result_sets == first.result_sets
+            assert service.stats.cache_hits.get("range") == 1
+
+    def test_equal_requests_share_a_cache_line(self, served_db, served_workload):
+        with QueryService(served_db, n_shards=2) as service:
+            service.execute(RangeRequest.from_workload(served_workload))
+            # a fresh request object over the same boxes must hit
+            response = service.execute(
+                RangeRequest.from_workload(list(served_workload.boxes))
+            )
+            assert response.cached
+
+    def test_ingest_invalidates_cache_via_epoch(self, served_db, served_workload):
+        with QueryService(served_db, n_shards=2) as service:
+            service.range(served_workload)
+            service.ingest([make_trajectory(n=5, seed=321)])
+            refreshed = service.range(served_workload)
+            assert not refreshed.cached
+            assert refreshed.epoch == 1
+
+    def test_list_shaped_time_windows_are_served_and_cached(self, served_db):
+        """JSON-decoded windows arrive as lists; they must not crash the key."""
+        queries, windows = knn_suite(served_db, n_queries=2)
+        as_lists = [list(w) for w in windows]
+        with QueryService(served_db, n_shards=2) as service:
+            first = service.knn(queries, 2, as_lists)
+            again = service.knn(queries, 2, tuple(windows))
+            assert again.cached  # tuple- and list-shaped windows share a key
+            assert again.neighbors == first.neighbors
+            sim = service.similarity(queries, 1.0, as_lists)
+            assert service.similarity(queries, 1.0, windows).cached
+            assert sim.result_sets is not None
+
+    def test_callable_measure_is_not_cached(self, served_db):
+        queries, windows = knn_suite(served_db, n_queries=2)
+        request = KnnRequest(
+            tuple(queries), 2, tuple(windows), measure=lambda a, b: 1.0
+        )
+        assert request.cache_key() is None
+        with QueryService(served_db, n_shards=2) as service:
+            first = service.execute(request)
+            second = service.execute(request)
+            assert not first.cached and not second.cached
+
+    def test_stats_summary_counts_latency(self, served_db, served_workload):
+        with QueryService(served_db, n_shards=2) as service:
+            service.range(served_workload)
+            service.range(served_workload)
+            service.histogram(8)
+            summary = service.stats.summary()
+            assert summary["requests"] == 3
+            assert summary["range_requests"] == 2
+            assert summary["range_cache_hits"] == 1
+            assert summary["range_mean_latency_ms"] >= 0.0
+            assert summary["histogram_requests"] == 1
+
+    def test_describe_reports_shard_layout(self, served_db):
+        with QueryService(served_db, n_shards=3) as service:
+            info = service.describe()
+            assert info["n_shards"] == 3
+            assert info["trajectories"] == len(served_db)
+            assert len(info["shards"]) == 3
+            assert sum(s["base_trajectories"] for s in info["shards"]) == len(
+                served_db
+            )
+
+    def test_closed_service_refuses_requests(self, served_db, served_workload):
+        service = QueryService(served_db, n_shards=2)
+        service.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            service.range(served_workload)
+
+    def test_failed_delivery_leaves_manager_uncommitted(
+        self, served_db, served_workload
+    ):
+        """A dead worker at ingest must not desynchronize the manager."""
+        with QueryService(served_db, n_shards=2, executor="process") as service:
+            baseline = service.range(served_workload).result_sets
+            for proc in service._executor._procs:
+                proc.terminate()
+                proc.join()
+            with pytest.raises(ShardExecutionError):
+                service.ingest([make_trajectory(n=5, seed=1)])
+            # nothing committed: same epoch, same membership...
+            assert service.manager.epoch == 0
+            assert service.manager.n_trajectories == len(served_db)
+            # ...and the service refuses to keep serving from diverged shards
+            with pytest.raises(RuntimeError, match="failed state"):
+                service.range(served_workload)
+            # the manager's database still rebuilds the consistent state
+            rebuilt = service.manager.database()
+            from repro.queries import QueryEngine
+
+            assert QueryEngine(rebuilt).evaluate(served_workload) == baseline
+
+
+class TestShardRuntimeTiers:
+    def test_small_ingest_keeps_base_engine(self, served_db, served_workload):
+        """Streaming ingest must not rebuild the CSR layout per batch."""
+        with QueryService(
+            served_db, n_shards=2, min_compact_points=10**9
+        ) as service:
+            service.range(served_workload)  # builds base engines
+            runtimes = service._executor.runtimes
+            engines = [r.engine for r in runtimes]
+            service.ingest([make_trajectory(n=6, seed=41 + i) for i in range(4)])
+            assert [r.engine for r in runtimes] == engines  # same objects
+            assert sum(r.n_pending for r in runtimes) == 4
+            final = service.database()
+            assert service.range(served_workload).result_sets == QueryEngine(
+                final
+            ).evaluate(served_workload)
+
+    def test_compaction_folds_pending_and_preserves_results(
+        self, served_db, served_workload
+    ):
+        with QueryService(
+            served_db, n_shards=2, min_compact_points=1, compact_threshold=0.0
+        ) as service:
+            service.ingest([make_trajectory(n=6, seed=51 + i) for i in range(4)])
+            runtimes = service._executor.runtimes
+            assert all(r.n_pending == 0 for r in runtimes)
+            assert sum(r.compactions for r in runtimes) >= 1
+            final = service.database()
+            assert service.range(served_workload).result_sets == QueryEngine(
+                final
+            ).evaluate(served_workload)
+
+    def test_empty_shard_answers_every_kind(self):
+        runtime = ShardRuntime(Shard(index=0))
+        db = service_db(6)
+        workload = RangeQueryWorkload.from_data_distribution(db, 4, seed=0)
+        queries, windows = knn_suite(db, n_queries=2)
+        assert runtime.op_range(workload.boxes) == [set()] * 4
+        assert runtime.op_count(workload.boxes).tolist() == [0] * 4
+        assert runtime.op_histogram(8, db.bounding_box).sum() == 0
+        assert runtime.op_knn(queries, 2, windows) == [[], []]
+        assert runtime.op_similarity(queries, 1.0) == [set(), set()]
+
+    def test_ingest_into_initially_empty_shard(self, served_workload, served_db):
+        runtime = ShardRuntime(Shard(index=0), min_compact_points=10**9)
+        batch = [(gid, served_db[gid]) for gid in range(len(served_db))]
+        runtime.ingest(batch)
+        engine = QueryEngine(served_db)
+        assert runtime.op_range(served_workload.boxes) == engine.evaluate(
+            served_workload
+        )
+
+
+class TestExecutors:
+    def test_make_executor_rejects_unknown_kind(self, small_db):
+        manager = ShardManager.create(small_db, 2)
+        with pytest.raises(ValueError, match="unknown executor"):
+            make_executor("threads", manager.snapshots())
+
+    def test_process_executor_runs_one_worker_per_shard(self, served_db):
+        manager = ShardManager.create(served_db, 3)
+        with ProcessShardExecutor(manager.snapshots()) as executor:
+            assert executor.n_workers == 3
+            pids = executor.worker_pids()
+            assert len(set(pids)) == 3
+            infos = executor.broadcast("info", {})
+            assert sum(i["base_trajectories"] for i in infos) == len(served_db)
+
+    def test_process_executor_propagates_shard_errors(self, served_db):
+        manager = ShardManager.create(served_db, 2)
+        with ProcessShardExecutor(manager.snapshots()) as executor:
+            with pytest.raises(ShardExecutionError, match="shard 0"):
+                executor.broadcast("no_such_op", {})
+            # the worker survives an error and keeps serving
+            assert len(executor.broadcast("info", {})) == 2
+
+    def test_dead_worker_surfaces_as_shard_execution_error(self, served_db):
+        """A killed worker must not leak BrokenPipeError or stale replies."""
+        manager = ShardManager.create(served_db, 2)
+        with ProcessShardExecutor(manager.snapshots()) as executor:
+            executor._procs[0].terminate()
+            executor._procs[0].join()
+            with pytest.raises(ShardExecutionError, match="shard 0"):
+                executor.broadcast("info", {})
+            # repeatable: no stale reply from the earlier failed round
+            with pytest.raises(ShardExecutionError, match="shard 0"):
+                executor.broadcast("info", {})
+            # targeted ingest to the live shard alone still works
+            executor.ingest({1: [(len(served_db), make_trajectory(n=4, seed=2))]})
+            with pytest.raises(ShardExecutionError):
+                executor.broadcast("info", {})
+
+    def test_process_executor_close_is_idempotent(self, served_db):
+        manager = ShardManager.create(served_db, 2)
+        executor = ProcessShardExecutor(manager.snapshots())
+        executor.close()
+        executor.close()
+        with pytest.raises(ShardExecutionError, match="closed"):
+            executor.broadcast("info", {})
+
+    def test_serial_executor_matches_runtime_directly(self, served_db):
+        manager = ShardManager.create(served_db, 2)
+        executor = SerialShardExecutor(manager.snapshots())
+        boxes = RangeQueryWorkload.from_data_distribution(served_db, 5, seed=9).boxes
+        partials = executor.broadcast("range", {"boxes": boxes})
+        assert len(partials) == 2
+        merged = [set() for _ in boxes]
+        for shard_sets in partials:
+            for qi, ids in enumerate(shard_sets):
+                merged[qi] |= ids
+        assert merged == QueryEngine(served_db).evaluate(boxes)
+
+
+class TestServiceBackedEvaluation:
+    def test_harness_scores_identical_through_service(self, served_db):
+        from repro.baselines import get_baseline, simplify_database
+
+        evaluator = QueryAccuracyEvaluator(served_db)
+        simplified = simplify_database(
+            served_db, 0.4, get_baseline("Top-Down(E,SED)")
+        )
+        tasks = ("range", "knn_edr", "similarity")
+        direct = evaluator.evaluate(simplified, tasks)
+        with QueryService(simplified, n_shards=3) as service:
+            via_service = evaluator.evaluate(simplified, tasks, service=service)
+        assert via_service == direct
+
+    def test_harness_rejects_mismatched_service(self, served_db):
+        evaluator = QueryAccuracyEvaluator(served_db)
+        wrong = service_db(6, seed=123)
+        with QueryService(wrong, n_shards=2) as service:
+            with pytest.raises(ValueError, match="service"):
+                evaluator.evaluate(served_db, ("range",), service=service)
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    seed=st.integers(0, 100),
+    n_shards=st.integers(2, 5),
+    partitioner=st.sampled_from(["hash", "spatial"]),
+)
+def test_property_sharded_range_equals_engine(seed, n_shards, partitioner):
+    db = TrajectoryDatabase(
+        [make_trajectory(n=4 + (seed + i) % 8, seed=seed + i) for i in range(9)]
+    )
+    workload = RangeQueryWorkload.from_data_distribution(db, 8, seed=seed)
+    with QueryService(
+        db, n_shards=n_shards, partitioner=partitioner
+    ) as service:
+        assert service.range(workload).result_sets == QueryEngine(db).evaluate(
+            workload
+        )
+        assert np.array_equal(
+            service.count(workload.boxes).counts,
+            QueryEngine(db).count(workload.boxes),
+        )
+
+
+def test_t2vec_measure_rejected_at_request_construction():
+    db = service_db(6)
+    with pytest.raises(ValueError, match="t2vec"):
+        KnnRequest((db[0],), 2, measure="t2vec")
