@@ -9,7 +9,10 @@ It provides:
 * the four classical simplification error measures SED / PED / DAD / SAD
   (:mod:`repro.errors`),
 * spatio-temporal indexes — octree, kd-tree, grid, STR R-tree, temporal
-  interval index (:mod:`repro.index`),
+  interval index — unified behind the pluggable
+  :class:`~repro.index.backend.IndexBackend` candidate-pruning protocol
+  (:mod:`repro.index`), with a cost-based planner picking a backend per
+  workload (:func:`~repro.queries.planner.plan_workload`),
 * range / kNN / similarity / clustering query operators together with the
   F1-based quality measures used by the paper (:mod:`repro.queries`),
 * a vectorized batch :class:`~repro.queries.engine.QueryEngine` evaluating
@@ -55,10 +58,20 @@ from repro.index import (
     RTree,
     TemporalIndex,
     adaptive_resolution,
+    IndexBackend,
+    GridBackend,
+    OctreeBackend,
+    KDTreeBackend,
+    RTreeBackend,
+    TemporalBackend,
+    BACKENDS,
+    make_backend,
 )
 from repro.queries import (
     RangeQuery,
     QueryEngine,
+    WorkloadPlan,
+    plan_workload,
     range_query,
     knn_query,
     knn_query_batch,
@@ -100,8 +113,18 @@ __all__ = [
     "adaptive_resolution",
     "RTree",
     "TemporalIndex",
+    "IndexBackend",
+    "GridBackend",
+    "OctreeBackend",
+    "KDTreeBackend",
+    "RTreeBackend",
+    "TemporalBackend",
+    "BACKENDS",
+    "make_backend",
     "RangeQuery",
     "QueryEngine",
+    "WorkloadPlan",
+    "plan_workload",
     "range_query",
     "knn_query",
     "knn_query_batch",

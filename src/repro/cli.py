@@ -218,6 +218,7 @@ def _make_service(args):
         n_shards=args.shards,
         partitioner=args.partitioner,
         executor=args.executor,
+        index=args.index,
     )
 
 
@@ -231,7 +232,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(
             f"serving {info['trajectories']} trajectories / {info['points']} "
             f"points across {info['n_shards']} shards "
-            f"({info['partitioner']} partitioning, {info['executor']} executor)"
+            f"({info['partitioner']} partitioning, {info['executor']} executor, "
+            f"{info['index']} index)"
         )
         failures = 0
         if args.requests:
@@ -316,6 +318,11 @@ def _add_service_arguments(p: argparse.ArgumentParser) -> None:
     p.add_argument("--partitioner", default="hash", choices=list(PARTITIONERS))
     p.add_argument("--executor", default="serial", choices=list(EXECUTORS),
                    help='"process" fans out to one worker process per shard')
+    p.add_argument("--index", default="grid",
+                   choices=["grid", "octree", "kdtree", "rtree", "auto"],
+                   help="per-shard index backend; 'auto' lets the cost-based "
+                   "planner pick per workload (answers are identical either "
+                   "way — this tunes pruning cost only)")
 
 
 def build_parser() -> argparse.ArgumentParser:

@@ -8,14 +8,32 @@
   an alternative range-query accelerator;
 * :class:`TemporalIndex` — sorted-lifespan interval index pruning the
   time-window tests of kNN / similarity queries.
+
+All five are interchangeable behind the :class:`IndexBackend` protocol
+(:mod:`repro.index.backend`): one adapter per index turns it into a
+batched candidate generator + distance lower bound for the query engine,
+and :func:`make_backend` resolves names from the :data:`BACKENDS`
+registry. Backend choice tunes pruning cost only — answers are always
+verified against actual points.
 """
 
 from repro.index.common import CubeNode, CubeTree
 from repro.index.octree import Octree, OctreeNode
 from repro.index.kdtree import KDTree
-from repro.index.grid import GridIndex, adaptive_resolution
+from repro.index.grid import GridIndex, adaptive_resolution, FALLBACK_RESOLUTION
 from repro.index.rtree import RTree
 from repro.index.temporal import TemporalIndex
+from repro.index.backend import (
+    BACKENDS,
+    GridBackend,
+    IndexBackend,
+    KDTreeBackend,
+    OctreeBackend,
+    RTreeBackend,
+    TemporalBackend,
+    chebyshev_gap,
+    make_backend,
+)
 
 TREE_INDEXES = {"octree": Octree, "kdtree": KDTree}
 
@@ -27,7 +45,17 @@ __all__ = [
     "KDTree",
     "GridIndex",
     "adaptive_resolution",
+    "FALLBACK_RESOLUTION",
     "RTree",
     "TemporalIndex",
     "TREE_INDEXES",
+    "IndexBackend",
+    "GridBackend",
+    "OctreeBackend",
+    "KDTreeBackend",
+    "RTreeBackend",
+    "TemporalBackend",
+    "BACKENDS",
+    "make_backend",
+    "chebyshev_gap",
 ]

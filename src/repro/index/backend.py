@@ -1,0 +1,333 @@
+"""Pluggable candidate-pruning backends behind one protocol.
+
+Every index in :mod:`repro.index` does the same job for the batch query
+engine: given a query box, name a *superset* of the trajectories that could
+match, cheaply. Answers are always verified against actual points, so the
+choice of index can only change pruning **cost**, never results — which is
+exactly what makes the backends interchangeable behind one protocol.
+
+:class:`IndexBackend` is that protocol. A backend is built from a
+:class:`~repro.data.TrajectoryDatabase` and offers:
+
+* :meth:`~IndexBackend.candidate_ids` — vectorized candidate generation for
+  a whole batch of boxes at once (the unit of work of
+  :class:`~repro.queries.engine.QueryEngine`), returning one sorted
+  trajectory-id array per box, each a superset of the exact range-query
+  answer;
+* :meth:`~IndexBackend.distance_lower_bound` — an admissible Chebyshev
+  (L-infinity) spatial lower bound from the indexed data to a query box,
+  used by the sharded service to skip shards that provably cannot beat a
+  kNN candidate under EDR (whose match test is per-dimension:
+  ``|dx| <= eps and |dy| <= eps``).
+
+Five adapters cover the repo's indexes:
+
+==================  =======================================================
+backend             pruning structure
+==================  =======================================================
+``grid``            uniform-cell buckets (:class:`~repro.index.grid.GridIndex`);
+                    the engine's CSR fast path adopts its geometry directly
+``octree``          midpoint-split cube tree (:class:`~repro.index.octree.Octree`)
+``kdtree``          median-split cube tree (:class:`~repro.index.kdtree.KDTree`)
+``rtree``           STR-packed trajectory MBRs (:class:`~repro.index.rtree.RTree`)
+``temporal``        sorted-lifespan intervals (:class:`~repro.index.temporal.TemporalIndex`);
+                    prunes on the time axis only
+==================  =======================================================
+
+Underlying index structures are built lazily on first use, so handing a
+backend to an engine costs nothing until a query actually needs pruning
+(the grid backend in particular is usually consumed only for its geometry).
+"""
+
+from __future__ import annotations
+
+from weakref import ref
+
+import numpy as np
+
+from repro.data.bbox import BoundingBox
+from repro.data.database import TrajectoryDatabase
+from repro.index.grid import GridIndex, grid_geometry
+from repro.index.kdtree import KDTree
+from repro.index.octree import Octree
+from repro.index.rtree import RTree
+from repro.index.temporal import TemporalIndex
+
+
+def chebyshev_gap(extent: BoundingBox, box: BoundingBox) -> float:
+    """Minimal L-infinity *spatial* distance between two boxes (0 if they
+    overlap in x and y), or ``inf`` when their time ranges are disjoint.
+
+    This is the shared geometric primitive behind every
+    :meth:`IndexBackend.distance_lower_bound` and the service's shard-level
+    kNN pruning: no point inside ``extent`` can be within Chebyshev
+    distance ``g`` of any point inside ``box`` when the returned gap
+    exceeds ``g``. The temporal disjointness case returns ``inf`` because a
+    time-windowed query cannot touch the indexed data at all — there is no
+    candidate, not merely a distant one.
+    """
+    if extent.tmax < box.tmin or extent.tmin > box.tmax:
+        return float("inf")
+    gap_x = max(extent.xmin - box.xmax, box.xmin - extent.xmax, 0.0)
+    gap_y = max(extent.ymin - box.ymax, box.ymin - extent.ymax, 0.0)
+    return float(max(gap_x, gap_y))
+
+
+def boxes_from_bounds(lo: np.ndarray, hi: np.ndarray) -> list[BoundingBox]:
+    """Rehydrate ``(Q, 3)`` lower/upper bound matrices into boxes."""
+    return [
+        BoundingBox(l[0], h[0], l[1], h[1], l[2], h[2])
+        for l, h in zip(np.asarray(lo, dtype=float), np.asarray(hi, dtype=float))
+    ]
+
+
+class IndexBackend:
+    """Candidate-pruning protocol every index backend implements.
+
+    Subclasses fill in :meth:`_candidates_one` (single-box candidate set)
+    and may override :meth:`candidate_ids` when a genuinely batched
+    implementation exists. The contract, property-tested across all
+    backends (``tests/test_index_backends.py``):
+
+    * every trajectory with at least one point inside a box appears in
+      that box's candidate array (superset / completeness);
+    * candidate arrays are sorted ``int64`` ids, without duplicates;
+    * :meth:`distance_lower_bound` never exceeds the true minimal
+      Chebyshev distance from indexed points to the box (admissibility).
+    """
+
+    #: Registry name ("grid", "octree", ...); set by subclasses.
+    name: str = "?"
+
+    def __init__(self, database: TrajectoryDatabase) -> None:
+        if len(database) == 0:
+            raise ValueError("cannot index an empty database")
+        # Weak, like QueryEngine's database reference: engines cache
+        # themselves in a process-wide WeakKeyDictionary keyed on the
+        # database, and an engine's backend strongly referencing that
+        # database would pin the entry forever. Holds only until the lazy
+        # index structure is built — the underlying index classes keep a
+        # strong `database` attribute — which the default engine path never
+        # triggers (a GridBackend driving an engine is consumed for its
+        # geometry alone, so `QueryEngine.for_database` stays leak-free).
+        self._db_ref = ref(database)
+        self.extent = database.bounding_box
+
+    @property
+    def database(self) -> TrajectoryDatabase:
+        """The indexed database (raises once it has been garbage-collected)."""
+        db = self._db_ref()
+        if db is None:
+            raise ReferenceError(
+                "the backend's database has been garbage-collected before "
+                "its index structure was built"
+            )
+        return db
+
+    # ----------------------------------------------------------- candidates
+    def _candidates_one(self, box: BoundingBox) -> "set[int] | np.ndarray":
+        raise NotImplementedError
+
+    def candidate_ids(self, lo: np.ndarray, hi: np.ndarray) -> list[np.ndarray]:
+        """Per-box sorted candidate trajectory ids for a batch of boxes.
+
+        ``lo`` / ``hi`` are ``(Q, 3)`` bound matrices (the engine's
+        workload currency). Each returned array is a superset of the ids
+        of trajectories with a point inside the corresponding closed box.
+        """
+        out = []
+        for box in boxes_from_bounds(lo, hi):
+            cand = self._candidates_one(box)
+            arr = np.fromiter(cand, dtype=np.int64, count=len(cand))
+            arr.sort()
+            out.append(arr)
+        return out
+
+    def candidate_trajectories(self, box: BoundingBox) -> set[int]:
+        """Single-box convenience wrapper (GridIndex/RTree-compatible)."""
+        return {int(t) for t in self._candidates_one(box)}
+
+    # ---------------------------------------------------------- kNN pruning
+    def distance_lower_bound(self, box: BoundingBox) -> float:
+        """Admissible Chebyshev spatial lower bound from indexed points to
+        ``box`` (``inf`` when the time ranges cannot overlap).
+
+        The default bounds via the whole indexed extent; structure-aware
+        backends may tighten it, but must never over-estimate.
+        """
+        return chebyshev_gap(self.extent, box)
+
+
+class GridBackend(IndexBackend):
+    """Uniform-grid backend; the engine's CSR layout adopts its geometry.
+
+    Wraps an existing :class:`GridIndex` or just a resolution. The index
+    structure itself is built lazily — when a :class:`GridBackend` drives a
+    :class:`~repro.queries.engine.QueryEngine`, the engine runs its own CSR
+    sweep over the same cell geometry and never needs the bucket index.
+    """
+
+    name = "grid"
+
+    def __init__(
+        self,
+        database: TrajectoryDatabase,
+        resolution: tuple[int, int, int] = (32, 32, 16),
+        grid: GridIndex | None = None,
+    ) -> None:
+        super().__init__(database)
+        if grid is None and any(r < 1 for r in resolution):
+            # Same contract as GridIndex; also guards grid_geometry's
+            # span/resolution division below.
+            raise ValueError("resolution must be positive along every axis")
+        if grid is not None:
+            self._grid: GridIndex | None = grid
+            self.resolution = grid.resolution
+            self.origin, self.cell_size = grid._origin, grid._cell_size
+        else:
+            self._grid = None
+            self.resolution = resolution
+            self.origin, self.cell_size = grid_geometry(self.extent, resolution)
+
+    @property
+    def grid(self) -> GridIndex:
+        if self._grid is None:
+            self._grid = GridIndex(self.database, self.resolution)
+        return self._grid
+
+    def _candidates_one(self, box: BoundingBox) -> set[int]:
+        return self.grid.candidate_trajectories(box)
+
+
+class _CubeTreeBackend(IndexBackend):
+    """Shared octree/kd-tree adapter: collect owners of intersecting cubes."""
+
+    tree_cls: type
+
+    def __init__(
+        self,
+        database: TrajectoryDatabase,
+        max_depth: int = 8,
+        leaf_capacity: int = 32,
+        tree=None,
+    ) -> None:
+        super().__init__(database)
+        self._tree = tree
+        self._max_depth = max_depth
+        self._leaf_capacity = leaf_capacity
+
+    @property
+    def tree(self):
+        if self._tree is None:
+            self._tree = self.tree_cls(
+                self.database,
+                max_depth=self._max_depth,
+                leaf_capacity=self._leaf_capacity,
+            )
+        return self._tree
+
+    def _candidates_one(self, box: BoundingBox) -> set[int]:
+        result: set[int] = set()
+        stack = [self.tree.root]
+        while stack:
+            node = stack.pop()
+            if not node.box.intersects(box):
+                continue
+            if node.is_leaf:
+                result.update(tid for tid, _ in node.entries)
+            else:
+                stack.extend(c for c in node.children if c is not None)
+        return result
+
+
+class OctreeBackend(_CubeTreeBackend):
+    """Midpoint-split cube-tree backend."""
+
+    name = "octree"
+    tree_cls = Octree
+
+
+class KDTreeBackend(_CubeTreeBackend):
+    """Median-split cube-tree backend (adapts to data skew)."""
+
+    name = "kdtree"
+    tree_cls = KDTree
+
+
+class RTreeBackend(IndexBackend):
+    """STR R-tree backend over per-trajectory bounding boxes."""
+
+    name = "rtree"
+
+    def __init__(self, database: TrajectoryDatabase, fanout: int = 16) -> None:
+        super().__init__(database)
+        self._fanout = fanout
+        self._rtree: RTree | None = None
+
+    @property
+    def rtree(self) -> RTree:
+        if self._rtree is None:
+            self._rtree = RTree(self.database, fanout=self._fanout)
+        return self._rtree
+
+    def _candidates_one(self, box: BoundingBox) -> set[int]:
+        return self.rtree.candidate_trajectories(box)
+
+
+class TemporalBackend(IndexBackend):
+    """Sorted-lifespan backend: prunes on the time axis only.
+
+    Candidates are the trajectories whose lifespan overlaps a box's time
+    range — a valid superset (any point inside the box has a timestamp
+    inside the trajectory's lifespan AND inside the box's time range), and
+    the right shape for workloads of whole-extent temporal slabs, where
+    spatial pruning cannot discard anything anyway.
+    """
+
+    name = "temporal"
+
+    def __init__(self, database: TrajectoryDatabase) -> None:
+        super().__init__(database)
+        self._index: TemporalIndex | None = None
+
+    @property
+    def index(self) -> TemporalIndex:
+        if self._index is None:
+            self._index = TemporalIndex(self.database)
+        return self._index
+
+    def _candidates_one(self, box: BoundingBox) -> set[int]:
+        return self.index.overlapping(box.tmin, box.tmax)
+
+
+#: Name -> adapter class, the registry the planner and the service's
+#: ``index=`` knobs resolve through.
+BACKENDS: dict[str, type[IndexBackend]] = {
+    cls.name: cls
+    for cls in (GridBackend, OctreeBackend, KDTreeBackend, RTreeBackend, TemporalBackend)
+}
+
+
+def validate_backend_name(name: str, allow_auto: bool = False) -> str:
+    """``name`` if it is a known backend (or ``"auto"`` where allowed).
+
+    The single validation point for every ``index=`` / ``backend=`` knob
+    (engine planner, shard runtimes, the service, the CLI), so the set of
+    accepted names and the error message can never drift apart.
+    """
+    if name in BACKENDS or (allow_auto and name == "auto"):
+        return name
+    choices = sorted(BACKENDS) + (["auto"] if allow_auto else [])
+    raise ValueError(f"unknown index backend {name!r}; choose from {choices}")
+
+
+def make_backend(
+    name: str, database: TrajectoryDatabase, **kwargs
+) -> IndexBackend:
+    """Build the named backend over ``database``.
+
+    ``kwargs`` are forwarded to the adapter; unknown names raise with the
+    known choices (``"auto"`` is resolved one level up, by
+    :func:`repro.queries.planner.plan_workload`, which needs a workload).
+    """
+    return BACKENDS[validate_backend_name(name)](database, **kwargs)

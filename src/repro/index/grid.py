@@ -30,11 +30,17 @@ def grid_geometry(
     return origin, spans / np.array(resolution, dtype=float)
 
 
+#: Resolution used when a workload gives no usable extent signal (empty
+#: workloads, and per axis when every box is zero-extent there).
+FALLBACK_RESOLUTION = (32, 32, 16)
+
+
 def adaptive_resolution(
     extent: BoundingBox,
     boxes,
     max_cells: int = 1 << 18,
     max_cells_per_axis: int = 1024,
+    fallback: tuple[int, int, int] = FALLBACK_RESOLUTION,
 ) -> tuple[int, int, int]:
     """Grid resolution matched to a workload's box-extent distribution.
 
@@ -49,22 +55,36 @@ def adaptive_resolution(
     actual points — so this tunes pruning cost only, never answers.
 
     ``boxes`` may be a :class:`~repro.workloads.RangeQueryWorkload`, range
-    queries, or bare :class:`BoundingBox` objects. An empty workload falls
-    back to the default ``(32, 32, 16)``.
+    queries, or bare :class:`BoundingBox` objects. Degenerate workloads
+    carry no extent signal and use the explicit ``fallback`` resolution
+    instead of an arbitrary blow-up: an empty workload falls back on every
+    axis, and an axis whose *median* box extent is zero (all boxes
+    degenerate there — e.g. a workload of pure point probes, or a single
+    zero-extent query) falls back on that axis alone. Callers — the
+    cost-based planner in particular — may therefore call this
+    unconditionally, whatever the workload looks like.
     """
     if max_cells < 1 or max_cells_per_axis < 1:
         raise ValueError("max_cells and max_cells_per_axis must be >= 1")
+    if any(f < 1 for f in fallback):
+        raise ValueError("fallback resolution must be positive on every axis")
+    fb = np.clip(np.asarray(fallback, dtype=np.int64), 1, max_cells_per_axis)
     bare = [q.box if hasattr(q, "box") else q for q in boxes]
-    if not bare:
-        return (32, 32, 16)
     spans = np.array(extent.spans, dtype=float)
     spans[spans <= 0] = 1.0  # matches grid_geometry's zero-span handling
-    extents = np.array(
-        [[b.xmax - b.xmin, b.ymax - b.ymin, b.tmax - b.tmin] for b in bare],
-        dtype=float,
-    )
-    cell = np.maximum(np.median(extents, axis=0), spans * 1e-9)
-    res = np.clip(np.ceil(spans / cell), 1, max_cells_per_axis).astype(np.int64)
+    if not bare:
+        res = fb.copy()
+    else:
+        extents = np.array(
+            [[b.xmax - b.xmin, b.ymax - b.ymin, b.tmax - b.tmin] for b in bare],
+            dtype=float,
+        )
+        cell = np.median(extents, axis=0)
+        usable = cell > 0
+        res = fb.copy()
+        res[usable] = np.clip(
+            np.ceil(spans[usable] / cell[usable]), 1, max_cells_per_axis
+        ).astype(np.int64)
     while res.prod() > max_cells:
         res[np.argmax(res)] = max(res.max() // 2, 1)
     return (int(res[0]), int(res[1]), int(res[2]))

@@ -52,6 +52,16 @@ query parameters and (for simplified-state evaluation) the kept-row
 fingerprint, so re-scoring the same database state against the same
 workload is a dictionary lookup.
 
+Candidate pruning is **pluggable**: the engine consumes candidates through
+the :class:`~repro.index.backend.IndexBackend` protocol. The default
+:class:`~repro.index.backend.GridBackend` keeps the CSR fast path above
+(the engine adopts its cell geometry and sweeps its own layout); any other
+backend — octree, kd-tree, R-tree, temporal — feeds per-box candidate
+trajectory ids into the same chunked exact-verification sweep, so results
+are bit-identical whichever backend prunes (only cost changes). The
+cost-based planner (:func:`repro.queries.planner.plan_workload`) picks a
+backend per workload from box-extent statistics.
+
 The per-query functions remain the reference implementations the engine is
 property-tested against (``tests/test_query_engine.py``).
 """
@@ -67,7 +77,8 @@ import numpy as np
 
 from repro.data.bbox import BoundingBox
 from repro.data.database import TrajectoryDatabase
-from repro.index.grid import GridIndex, grid_geometry
+from repro.index.backend import GridBackend, IndexBackend
+from repro.index.grid import GridIndex
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (workloads -> queries)
     from repro.data.simplification import SimplificationState
@@ -117,9 +128,16 @@ class QueryEngine:
         Optional :class:`GridIndex` whose cell geometry the engine adopts
         (results are identical either way; this only aligns pruning cells).
     resolution:
-        Grid resolution when no index is supplied.
+        Grid resolution when neither an index nor a backend is supplied.
     max_cached_results:
         Number of whole-workload result lists kept in the LRU memo.
+    backend:
+        Optional :class:`~repro.index.backend.IndexBackend` built over
+        ``db``. A :class:`~repro.index.backend.GridBackend` (the default)
+        engages the CSR fast path; any other backend routes candidate
+        generation through :meth:`IndexBackend.candidate_ids` with the
+        same exact per-point verification, so results never depend on the
+        choice — only pruning cost does. Mutually exclusive with ``grid``.
     """
 
     def __init__(
@@ -128,6 +146,7 @@ class QueryEngine:
         grid: GridIndex | None = None,
         resolution: tuple[int, int, int] = (32, 32, 16),
         max_cached_results: int = 16,
+        backend: IndexBackend | None = None,
     ) -> None:
         # Only a weak reference to the database: the engine snapshots all
         # data it needs, and a strong reference would pin every database in
@@ -137,46 +156,73 @@ class QueryEngine:
         self._n_traj = len(db)
         self._offsets = db.point_offsets()
         self._extent = db.bounding_box
-        self.resolution = grid.resolution if grid is not None else resolution
-        if min(self.resolution) < 1 or max(self.resolution) >= 2**15:
-            # Cell coordinates are stored as int16; larger axes would wrap
-            # silently and drop results.
-            raise ValueError(
-                f"resolution axes must be in [1, {2**15 - 1}], "
-                f"got {self.resolution}"
-            )
-        if grid is not None:
-            self._origin, self._cell_size = grid._origin, grid._cell_size
-        else:
-            self._origin, self._cell_size = grid_geometry(self._extent, resolution)
+        if backend is not None and grid is not None:
+            raise ValueError("pass either grid or backend, not both")
+        if backend is None:
+            if grid is None and (
+                min(resolution) < 1 or max(resolution) >= 2**15
+            ):
+                # Reject before any geometry is computed (the int16 cell
+                # check below would fire only after GridBackend divides by
+                # the resolution).
+                raise ValueError(
+                    f"resolution axes must be in [1, {2**15 - 1}], "
+                    f"got {tuple(resolution)}"
+                )
+            backend = GridBackend(db, resolution=resolution, grid=grid)
+        elif backend.database is not db:
+            # Candidate completeness is only guaranteed for the database the
+            # backend indexed; a lookalike would silently drop results.
+            raise ValueError("backend was built over a different database")
+        self.backend = backend
+        self._grid_mode = isinstance(backend, GridBackend)
         points = db.point_matrix()
         owners = db.point_ownership()
-        # CSR layout: points sorted by composite cell id; each occupied cell
-        # owns a contiguous row range of the sorted columns. Coordinates are
-        # stored column-contiguous so the hot path runs on 1-D takes and
-        # comparisons instead of (rows, 3) fancy indexing.
-        nx, ny, nt = self.resolution
-        cells = np.clip(
-            np.floor((points - self._origin) / self._cell_size).astype(np.int64),
-            0,
-            np.array(self.resolution) - 1,
-        )
-        cell_ids = (cells[:, 0] * ny + cells[:, 1]) * nt + cells[:, 2]
-        self._order = np.argsort(cell_ids, kind="stable")
+        if self._grid_mode:
+            self.resolution = backend.resolution
+            if min(self.resolution) < 1 or max(self.resolution) >= 2**15:
+                # Cell coordinates are stored as int16; larger axes would
+                # wrap silently and drop results.
+                raise ValueError(
+                    f"resolution axes must be in [1, {2**15 - 1}], "
+                    f"got {self.resolution}"
+                )
+            self._origin, self._cell_size = backend.origin, backend.cell_size
+            # CSR layout: points sorted by composite cell id; each occupied
+            # cell owns a contiguous row range of the sorted columns.
+            # Coordinates are stored column-contiguous so the hot path runs
+            # on 1-D takes and comparisons instead of (rows, 3) fancy
+            # indexing.
+            nx, ny, nt = self.resolution
+            cells = np.clip(
+                np.floor((points - self._origin) / self._cell_size).astype(np.int64),
+                0,
+                np.array(self.resolution) - 1,
+            )
+            cell_ids = (cells[:, 0] * ny + cells[:, 1]) * nt + cells[:, 2]
+            self._order = np.argsort(cell_ids, kind="stable")
+            sorted_ids = cell_ids[self._order]
+            unique_ids, starts = np.unique(sorted_ids, return_index=True)
+            self._cell_starts = starts.astype(np.int32)
+            self._cell_counts = np.diff(
+                np.append(starts, len(points))
+            ).astype(np.int32)
+            # Per-axis coordinates of each occupied cell, for the overlap
+            # test (int16: resolutions are far below 2**15 cells per axis).
+            self._cell_x = (unique_ids // (ny * nt)).astype(np.int16)
+            self._cell_y = ((unique_ids // nt) % ny).astype(np.int16)
+            self._cell_t = (unique_ids % nt).astype(np.int16)
+        else:
+            # Generic backends address candidates by trajectory id; keeping
+            # the columns in original (trajectory-major) order makes each
+            # candidate one contiguous row range via the offsets array.
+            self.resolution = resolution
+            self._order = np.arange(len(points), dtype=np.int64)
         sorted_points = points[self._order]
         self._px = np.ascontiguousarray(sorted_points[:, 0])
         self._py = np.ascontiguousarray(sorted_points[:, 1])
         self._pt = np.ascontiguousarray(sorted_points[:, 2])
         self._owners = owners[self._order].astype(np.int32)
-        sorted_ids = cell_ids[self._order]
-        unique_ids, starts = np.unique(sorted_ids, return_index=True)
-        self._cell_starts = starts.astype(np.int32)
-        self._cell_counts = np.diff(np.append(starts, len(points))).astype(np.int32)
-        # Per-axis coordinates of each occupied cell, for the overlap test
-        # (int16: resolutions are far below 2**15 cells per axis).
-        self._cell_x = (unique_ids // (ny * nt)).astype(np.int16)
-        self._cell_y = ((unique_ids // nt) % ny).astype(np.int16)
-        self._cell_t = (unique_ids % nt).astype(np.int16)
         # Original-order coordinate columns, rebuilt lazily for execution
         # paths that need per-trajectory sequences (similarity interpolation).
         self._orig_cols: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
@@ -633,20 +679,36 @@ class QueryEngine:
 
         Yields ``(rows, row_query, inside)`` per pass: ``rows`` index the
         sorted point columns, ``row_query`` is the query index owning each
-        row, and ``inside`` the exact box-containment mask. Each point
-        belongs to exactly one cell, so a (query, row) pair is yielded at
-        most once across all passes.
+        row, and ``inside`` the exact box-containment mask. Candidates come
+        from the engine's backend — the CSR cell sweep for the grid
+        backend, per-box trajectory-id sets through
+        :meth:`IndexBackend.candidate_ids` otherwise. Either way a
+        (query, row) pair is yielded at most once across all passes (each
+        point lives in exactly one cell / one trajectory row range).
         """
-        n_queries = len(lo)
-        if n_queries == 0:
-            return
+        if self._grid_mode:
+            yield from self._candidate_passes_grid(lo, hi)
+        else:
+            yield from self._candidate_passes_backend(lo, hi)
+
+    def _alive_boxes(self, lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
+        """Mask of boxes intersecting the database extent.
+
+        Boxes disjoint from the extent have empty results; excluding them
+        up front also keeps the grid path's clipped cell ranges from
+        snapping out-of-extent boxes onto border cells.
+        """
         extent = self._extent
         extent_lo = np.array([extent.xmin, extent.ymin, extent.tmin])
         extent_hi = np.array([extent.xmax, extent.ymax, extent.tmax])
-        # Boxes disjoint from the extent have empty results; excluding them
-        # here also keeps the clipped cell ranges below from snapping
-        # out-of-extent boxes onto border cells.
-        alive = ~((hi < extent_lo).any(axis=1) | (lo > extent_hi).any(axis=1))
+        return ~((hi < extent_lo).any(axis=1) | (lo > extent_hi).any(axis=1))
+
+    def _candidate_passes_grid(self, lo: np.ndarray, hi: np.ndarray):
+        """CSR fast path: one (queries x occupied-cells) overlap matrix."""
+        n_queries = len(lo)
+        if n_queries == 0:
+            return
+        alive = self._alive_boxes(lo, hi)
         res = np.array(self.resolution) - 1
         lo_cells = np.clip(
             np.floor((lo - self._origin) / self._cell_size).astype(np.int64), 0, res
@@ -669,7 +731,64 @@ class QueryEngine:
             return
         q_idx = (flat // overlap.shape[1]).astype(np.int32)
         c_idx = flat % overlap.shape[1]
-        lengths = self._cell_counts[c_idx]
+        yield from self._expand_pairs(
+            q_idx, self._cell_starts[c_idx], self._cell_counts[c_idx], lo, hi
+        )
+
+    def _candidate_passes_backend(self, lo: np.ndarray, hi: np.ndarray):
+        """Generic path: backend candidate ids -> contiguous row ranges.
+
+        The columns are in original (trajectory-major) order here, so each
+        candidate trajectory is one ``offsets[tid] .. offsets[tid + 1]``
+        range — the same (starts, lengths) currency as the CSR cells, fed
+        through the same budgeted expansion and exact containment test.
+        """
+        n_queries = len(lo)
+        if n_queries == 0:
+            return
+        # Only alive boxes reach the backend: each candidate lookup is a
+        # per-box structure traversal, not worth paying for boxes disjoint
+        # from the extent (which have empty results by definition).
+        alive_idx = np.flatnonzero(self._alive_boxes(lo, hi))
+        if len(alive_idx) == 0:
+            return
+        candidates = self.backend.candidate_ids(lo[alive_idx], hi[alive_idx])
+        offsets = self._offsets
+        q_parts: list[np.ndarray] = []
+        start_parts: list[np.ndarray] = []
+        length_parts: list[np.ndarray] = []
+        for qi, ids in zip(alive_idx, candidates):
+            if len(ids) == 0:
+                continue
+            ids = np.asarray(ids, dtype=np.int64)
+            q_parts.append(np.full(len(ids), qi, dtype=np.int32))
+            start_parts.append(offsets[ids])
+            length_parts.append(offsets[ids + 1] - offsets[ids])
+        if not q_parts:
+            return
+        yield from self._expand_pairs(
+            np.concatenate(q_parts),
+            np.concatenate(start_parts),
+            np.concatenate(length_parts),
+            lo,
+            hi,
+        )
+
+    def _expand_pairs(
+        self,
+        q_idx: np.ndarray,
+        starts: np.ndarray,
+        lengths: np.ndarray,
+        lo: np.ndarray,
+        hi: np.ndarray,
+    ):
+        """Expand (query, candidate-range) pairs into verified row passes.
+
+        ``starts[i]``/``lengths[i]`` describe a contiguous run of candidate
+        rows for query ``q_idx[i]`` (a CSR cell or a whole trajectory).
+        Runs are expanded "multi-arange" style in passes of at most
+        ~``_ROW_BUDGET`` rows, each with the exact containment test.
+        """
         pair_ends = np.cumsum(lengths, dtype=np.int64)
         # Column-contiguous per-axis bounds for the 1-D takes below.
         qlo = [np.ascontiguousarray(lo[:, a]) for a in range(3)]
@@ -677,8 +796,6 @@ class QueryEngine:
         axes = (self._px, self._py, self._pt)
         pair_start = 0
         while pair_start < len(q_idx):
-            # Expand (query, cell) pairs into candidate rows ("multi-arange"
-            # over the CSR ranges), at most ~_ROW_BUDGET rows per pass.
             done = pair_ends[pair_start - 1] if pair_start else 0
             pair_stop = int(
                 np.searchsorted(pair_ends, done + _ROW_BUDGET, side="left") + 1
@@ -687,12 +804,10 @@ class QueryEngine:
             sub_lengths = lengths[pairs]
             sub_ends = np.cumsum(sub_lengths, dtype=np.int64)
             total = int(sub_ends[-1])
-            # rows = for each pair, cell_start + 0..length-1, flattened: one
+            # rows = for each pair, start + 0..length-1, flattened: one
             # repeat of the rebased starts plus a single arange.
-            base = self._cell_starts[c_idx[pairs]] - (sub_ends - sub_lengths).astype(
-                np.int32
-            )
-            rows = np.repeat(base, sub_lengths) + np.arange(total, dtype=np.int32)
+            base = starts[pairs].astype(np.int64) - (sub_ends - sub_lengths)
+            rows = np.repeat(base, sub_lengths) + np.arange(total, dtype=np.int64)
             row_query = np.repeat(q_idx[pairs], sub_lengths)
             inside: np.ndarray | None = None
             for axis, alo, ahi in zip(axes, qlo, qhi):

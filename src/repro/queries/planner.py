@@ -1,0 +1,222 @@
+"""Cost-based planning: pick an index backend for a workload.
+
+Backend choice never changes answers — every
+:class:`~repro.index.backend.IndexBackend` hands the engine a verified
+superset of candidates — so picking one is a pure *cost* decision, and the
+right choice depends on the workload's shape:
+
+* small boxes on all axes → the adaptive **grid** (a typical query touches
+  a handful of cells);
+* whole-extent spatial slabs with narrow time windows → the **temporal**
+  interval index (spatial pruning cannot discard anything anyway);
+* wildly varying trajectory extents with selective boxes → the **R-tree**
+  (a trajectory appears once, not in every overlapped cell);
+* skewed point mass → the **kd-tree** (median splits balance the leaves);
+  the **octree** is its midpoint-split sibling.
+
+:func:`plan_workload` estimates, per backend, the expected number of
+candidate points the engine would verify per query — the dominant term of
+every batched pass — plus a structure-traversal overhead, from the same
+box-extent statistics :func:`~repro.index.grid.adaptive_resolution` uses
+(median per-axis box extent against the database extent, mean trajectory
+extent, point/trajectory counts). The estimates are relative units for
+*ranking*, not wall-clock predictions; ``benchmarks/bench_planner.py``
+compares them against measured pruning work.
+
+The chosen grid resolution is always :func:`adaptive_resolution`'s, which
+handles degenerate workloads (empty, or all boxes zero-extent along an
+axis) with an explicit fallback — the planner calls it unconditionally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.bbox import BoundingBox
+from repro.data.database import TrajectoryDatabase
+from repro.index.backend import (
+    IndexBackend,
+    make_backend,
+    validate_backend_name,
+)
+from repro.index.grid import adaptive_resolution, grid_geometry
+
+#: Traversal costs in units of one vectorized point verification. Grid
+#: cells are tested inside one broadcasted (queries x cells) matrix, so a
+#: cell costs a fraction of a point comparison; tree nodes, R-tree entries,
+#: and temporal candidates are visited in Python, roughly two orders of
+#: magnitude more per element.
+_VEC_NODE_COST = 0.25
+_PY_NODE_COST = 60.0
+
+#: Backends the planner ranks, in tie-break order (first wins ties).
+PLANNER_BACKENDS = ("grid", "octree", "kdtree", "rtree", "temporal")
+
+
+@dataclass(frozen=True)
+class WorkloadPlan:
+    """The planner's decision for one (database, workload) pair.
+
+    ``costs`` maps every considered backend to its estimated per-query
+    pruning cost (relative units); ``name`` is the winner (or the explicit
+    override) and ``backend`` the built adapter, ready to hand to
+    :class:`~repro.queries.engine.QueryEngine`.
+    """
+
+    name: str
+    backend: IndexBackend
+    costs: dict[str, float] = field(compare=False)
+    resolution: tuple[int, int, int]
+    chosen_by: str = "auto"  # "auto" (argmin cost) or "override"
+
+
+def _workload_extents(boxes) -> np.ndarray:
+    """``(Q, 3)`` per-axis extents of a workload's boxes."""
+    bare = [q.box if hasattr(q, "box") else q for q in boxes]
+    if not bare:
+        return np.zeros((0, 3))
+    return np.array(
+        [[b.xmax - b.xmin, b.ymax - b.ymin, b.tmax - b.tmin] for b in bare],
+        dtype=float,
+    )
+
+
+def _mean_trajectory_spans(db: TrajectoryDatabase) -> np.ndarray:
+    """Mean per-axis bounding-box span of the database's trajectories."""
+    spans = np.array(
+        [
+            [b.xmax - b.xmin, b.ymax - b.ymin, b.tmax - b.tmin]
+            for b in (t.bounding_box for t in db)
+        ],
+        dtype=float,
+    )
+    return spans.mean(axis=0)
+
+
+def estimate_backend_costs(
+    db: TrajectoryDatabase,
+    workload,
+    max_cells: int = 1 << 18,
+) -> tuple[dict[str, float], tuple[int, int, int]]:
+    """Per-backend pruning-cost estimates and the adaptive grid resolution.
+
+    The shared model: a backend's cost per query is (expected candidate
+    points the engine verifies) + (structure elements touched) x a per-
+    element traversal cost — ``_VEC_NODE_COST`` for grid cells (tested
+    inside one broadcasted overlap matrix), ``_PY_NODE_COST`` for
+    Python-traversed tree nodes / MBR entries / interval candidates — under
+    a uniform-overlap approximation: for an axis where the query extent is
+    ``e``, a structure element of span ``s`` overlaps with probability
+    ``min(1, (e + s) / S)`` against the database span ``S``. Estimates rank
+    backends; they are not latency predictions.
+    """
+    extent = db.bounding_box
+    spans = np.array(extent.spans, dtype=float)
+    spans[spans <= 0] = 1.0
+    n_points = float(db.total_points)
+    n_traj = float(len(db))
+    extents = _workload_extents(workload)
+    e = (
+        np.minimum(np.median(extents, axis=0), spans)
+        if len(extents)
+        else np.zeros(3)
+    )
+    traj_spans = np.minimum(_mean_trajectory_spans(db), spans)
+
+    def overlap_frac(element_spans: np.ndarray) -> np.ndarray:
+        return np.minimum(1.0, (e + element_spans) / spans)
+
+    costs: dict[str, float] = {}
+
+    # Grid: cells sized to the workload by adaptive_resolution.
+    resolution = adaptive_resolution(extent, workload, max_cells=max_cells)
+    _, cell = grid_geometry(extent, resolution)
+    cells_touched = float(np.prod(np.floor(e / cell) + 1.0))
+    costs["grid"] = float(
+        n_points * np.prod(overlap_frac(cell)) + _VEC_NODE_COST * cells_touched
+    )
+
+    # Cube trees: leaves halve every axis per level until leaf_capacity.
+    leaf_capacity = 32.0
+    depth = 1 + max(
+        0.0, np.ceil(np.log(max(n_points / leaf_capacity, 1.0)) / np.log(8.0))
+    )
+    depth = min(depth, 8.0)  # CubeTree's default max_depth
+    leaf = spans / (2.0 ** (depth - 1))
+    leaves_touched = float(np.prod(np.floor(e / leaf) + 1.0))
+    tree_cost = float(
+        n_points * np.prod(overlap_frac(leaf)) + _PY_NODE_COST * leaves_touched
+    )
+    # The kd-tree's median splits track the point mass, so its *realized*
+    # leaf spans are data-adapted; with only aggregate statistics the
+    # estimate is the octree's. Ties resolve to the octree (listed first).
+    costs["octree"] = tree_cost
+    costs["kdtree"] = tree_cost
+
+    # R-tree: one MBR per trajectory; candidates are whole trajectories,
+    # and every visited leaf tests each of its entries in Python.
+    cand_traj = n_traj * float(np.prod(overlap_frac(traj_spans)))
+    mean_traj_points = n_points / max(n_traj, 1.0)
+    costs["rtree"] = float(
+        cand_traj * mean_traj_points
+        + _PY_NODE_COST * (16.0 + 2.0 * cand_traj)
+    )
+
+    # Temporal: lifespan overlap on the time axis only — spatially the
+    # whole database is a candidate; each surviving lifespan becomes a
+    # Python-level set member.
+    frac_t = min(1.0, (e[2] + traj_spans[2]) / spans[2])
+    cand_t = n_traj * frac_t
+    costs["temporal"] = float(
+        cand_t * mean_traj_points
+        + _PY_NODE_COST * (max(np.log2(max(n_traj, 2.0)), 1.0) + cand_t)
+    )
+    return costs, resolution
+
+
+def plan_workload(
+    db: TrajectoryDatabase,
+    workload,
+    index: str = "auto",
+    max_cells: int = 1 << 18,
+    **backend_kwargs,
+) -> WorkloadPlan:
+    """Choose (or honor an override for) the backend of a workload.
+
+    ``index="auto"`` picks the cheapest estimate; any backend name from
+    :data:`repro.index.backend.BACKENDS` forces that backend while still
+    reporting every estimate. The grid backend — chosen or forced — gets
+    :func:`adaptive_resolution`'s workload-matched resolution; pass
+    ``resolution=`` through ``backend_kwargs`` to pin it instead.
+    ``workload`` may be a :class:`~repro.workloads.RangeQueryWorkload`,
+    range queries, bare boxes, or empty (degenerate workloads plan to the
+    grid fallback).
+    """
+    validate_backend_name(index, allow_auto=True)
+    costs, resolution = estimate_backend_costs(db, workload, max_cells=max_cells)
+    if index == "auto":
+        name = min(PLANNER_BACKENDS, key=lambda n: costs[n])
+        chosen_by = "auto"
+    else:
+        name = index
+        chosen_by = "override"
+    if name == "grid":
+        backend_kwargs.setdefault("resolution", resolution)
+    backend = make_backend(name, db, **backend_kwargs)
+    return WorkloadPlan(
+        name=name,
+        backend=backend,
+        costs=costs,
+        resolution=resolution,
+        chosen_by=chosen_by,
+    )
+
+
+__all__ = [
+    "WorkloadPlan",
+    "PLANNER_BACKENDS",
+    "estimate_backend_costs",
+    "plan_workload",
+]

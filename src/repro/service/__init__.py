@@ -50,7 +50,11 @@ from repro.service.requests import (
     SimilarityResponse,
 )
 from repro.service.runtime import ShardRuntime
-from repro.service.service import QueryService, ServiceStats
+from repro.service.service import (
+    QueryService,
+    ServiceStats,
+    knn_shard_lower_bound,
+)
 from repro.service.sharding import (
     PARTITIONERS,
     HashPartitioner,
@@ -62,6 +66,7 @@ from repro.service.sharding import (
 __all__ = [
     "QueryService",
     "ServiceStats",
+    "knn_shard_lower_bound",
     "ShardManager",
     "Shard",
     "ShardRuntime",

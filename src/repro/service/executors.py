@@ -4,6 +4,9 @@ Two interchangeable implementations of one small contract:
 
 * ``broadcast(op, payload)`` — run one operation on every shard, returning
   the per-shard results in shard order;
+* ``run_on(shard_indices, op, payload)`` — run one operation on a *subset*
+  of shards only, returning ``{shard: result}`` (the primitive behind the
+  service's kNN shard skipping: pruned shards are simply never messaged);
 * ``ingest(routed)``        — deliver routed ``{shard: batch}`` deltas;
 * ``close()``               — release workers (idempotent).
 
@@ -45,6 +48,13 @@ class SerialShardExecutor:
 
     def broadcast(self, op: str, payload: dict) -> list:
         return [runtime.execute(op, payload) for runtime in self.runtimes]
+
+    def run_on(self, shard_indices, op: str, payload: dict) -> dict[int, object]:
+        """Run ``op`` on the given shards only; ``{shard: result}``."""
+        return {
+            int(i): self.runtimes[int(i)].execute(op, payload)
+            for i in shard_indices
+        }
 
     def ingest(self, routed: dict[int, list]) -> None:
         for shard_idx, batch in routed.items():
@@ -210,6 +220,19 @@ class ProcessShardExecutor:
         return self._scatter_gather(
             {idx: message for idx in range(len(self._conns))}
         )
+
+    def run_on(self, shard_indices, op: str, payload: dict) -> dict[int, object]:
+        """Run ``op`` on the given shards only; ``{shard: result}``.
+
+        Same scatter-all-then-gather overlap as :meth:`broadcast`, but
+        pruned shards are never messaged at all — their workers stay free
+        for other requests.
+        """
+        self._check_usable()
+        indices = sorted({int(i) for i in shard_indices})
+        message = (op, payload)
+        results = self._scatter_gather({idx: message for idx in indices})
+        return dict(zip(indices, results))
 
     def ingest(self, routed: dict[int, list]) -> None:
         self._check_usable()

@@ -35,7 +35,9 @@ import numpy as np
 from repro.data.bbox import BoundingBox
 from repro.data.database import TrajectoryDatabase
 from repro.data.trajectory import Trajectory
+from repro.index.backend import make_backend, validate_backend_name
 from repro.queries.aggregate import spatial_bin_counts
+from repro.queries.planner import plan_workload
 from repro.queries.edr import edr_distances_pairs
 from repro.queries.engine import QueryEngine
 from repro.queries.knn import (
@@ -61,11 +63,17 @@ class ShardRuntime:
         Membership snapshot; copied, so later manager-side bookkeeping does
         not leak into the runtime (deltas arrive only via :meth:`ingest`).
     resolution:
-        Grid resolution of the base engine's CSR layout.
+        Grid resolution of the base engine's CSR layout (grid backend only).
     compact_threshold:
         Compact when pending points exceed this fraction of base points.
     min_compact_points:
         ... but never before the pending tier holds this many points.
+    backend:
+        Index backend of the base engine: a name from
+        :data:`repro.index.backend.BACKENDS` or ``"auto"``, which defers to
+        the cost-based planner on the first boxed workload this runtime
+        executes (falling back to the grid if a box-free operation arrives
+        first). Backend choice never changes results — only pruning cost.
     """
 
     def __init__(
@@ -74,9 +82,14 @@ class ShardRuntime:
         resolution: tuple[int, int, int] = (32, 32, 16),
         compact_threshold: float = 0.5,
         min_compact_points: int = 2048,
+        backend: str = "grid",
     ) -> None:
+        validate_backend_name(backend, allow_auto=True)
         self.index = shard.index
         self.resolution = resolution
+        self.backend_spec = backend
+        #: Resolved backend name (None until the base engine is built).
+        self.backend_name: str | None = None
         self.compact_threshold = float(compact_threshold)
         self.min_compact_points = int(min_compact_points)
         self._base: list[Trajectory] = list(shard.trajectories)
@@ -94,9 +107,33 @@ class ShardRuntime:
     @property
     def engine(self) -> QueryEngine | None:
         """The base tier's engine (None while the base is empty)."""
+        return self._engine_for(None)
+
+    def _engine_for(self, boxes) -> QueryEngine | None:
+        """The base engine, built on first use.
+
+        ``boxes`` (a boxed workload, or None for box-free operations) only
+        matters on the call that actually builds the engine, and only under
+        ``backend="auto"``: the planner estimates per-backend pruning cost
+        for that first workload and the choice then sticks until the next
+        compaction rebuild. Results are identical whichever backend ends up
+        chosen.
+        """
         if self._engine is None and self._base:
             self._db = TrajectoryDatabase(self._base)
-            self._engine = QueryEngine(self._db, resolution=self.resolution)
+            spec = self.backend_spec
+            if spec == "auto":
+                plan = plan_workload(self._db, boxes if boxes is not None else [])
+                self.backend_name = plan.name
+                self._engine = QueryEngine(self._db, backend=plan.backend)
+            elif spec == "grid":
+                self.backend_name = "grid"
+                self._engine = QueryEngine(self._db, resolution=self.resolution)
+            else:
+                self.backend_name = spec
+                self._engine = QueryEngine(
+                    self._db, backend=make_backend(spec, self._db)
+                )
         return self._engine
 
     @property
@@ -115,7 +152,25 @@ class ShardRuntime:
             "pending_trajectories": len(self._pending),
             "points": self._base_points + self._pending_points,
             "compactions": self.compactions,
+            "backend": self.backend_name or self.backend_spec,
         }
+
+    def extent(self) -> BoundingBox | None:
+        """Union bounding box of the shard's trajectories (base U pending).
+
+        None while the shard is empty. Equal to the manager's
+        per-shard extent (:meth:`ShardManager.shard_extents`) — both union
+        the same member boxes — which is what makes service-side kNN shard
+        skipping sound without a runtime round-trip.
+        """
+        extent: BoundingBox | None = None
+        for traj in self._base:
+            box = traj.bounding_box
+            extent = box if extent is None else extent.union(box)
+        for _, traj in self._pending:
+            box = traj.bounding_box
+            extent = box if extent is None else extent.union(box)
+        return extent
 
     def ingest(self, batch: list[tuple[int, Trajectory]]) -> None:
         """Append a routed batch to the pending tier (auto-compacting)."""
@@ -143,6 +198,7 @@ class ShardRuntime:
         self._pending_owner_gids = None
         self._db = None
         self._engine = None
+        self.backend_name = None  # "auto" re-plans on the rebuilt base
         self.compactions += 1
 
     def _pending_columns(self) -> tuple[np.ndarray, np.ndarray]:
@@ -176,7 +232,7 @@ class ShardRuntime:
 
     def op_range(self, boxes: list[BoundingBox]) -> list[set[int]]:
         """Per-box matching global ids (the shard's share of a range workload)."""
-        engine = self.engine
+        engine = self._engine_for(boxes)
         if engine is not None:
             results = self._to_global(engine.execute("range", boxes=boxes))
         else:
@@ -191,7 +247,7 @@ class ShardRuntime:
 
     def op_count(self, boxes: list[BoundingBox]) -> np.ndarray:
         """Per-box point counts over ``base U pending`` (int64, exact)."""
-        engine = self.engine
+        engine = self._engine_for(boxes)
         counts = (
             engine.execute("count", boxes=boxes)
             if engine is not None
@@ -331,6 +387,9 @@ class ShardRuntime:
 
     def op_info(self) -> dict:
         return self.info()
+
+    def op_extent(self) -> BoundingBox | None:
+        return self.extent()
 
     def op_clear_cache(self) -> None:
         """Drop the base engine's memo (benchmark fairness / memory release)."""

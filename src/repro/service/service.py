@@ -20,6 +20,18 @@ to a fresh single-database :class:`~repro.queries.engine.QueryEngine`):
   total order the single-database path sorts by — reproduces the global
   ranking exactly.
 
+The kNN scatter additionally **skips shards** that provably cannot change
+the answer, using per-shard extents and an admissible distance lower bound
+(:func:`knn_shard_lower_bound`): a shard temporally disjoint from a
+query's window has no comparable candidate at all, and under EDR a shard
+whose Chebyshev spatial gap to the query window exceeds ``eps`` can only
+produce distances ``>= len(query window)``. The serial executor visits
+shards best-bound-first and skips once the running k-th distance beats a
+shard's bound *strictly* (ties could still displace on id); the process
+executor dispatches the un-boundable shards concurrently, then prunes the
+deferred ones against the gathered k-th distance before a second wave.
+Skipped-shard counts surface in :attr:`QueryService.stats`.
+
 Streaming ingestion (:meth:`QueryService.ingest`) routes trajectory
 batches through the manager's partitioner to the shard runtimes' pending
 tiers (no CSR rebuild; shards auto-compact when the delta outgrows the
@@ -35,8 +47,10 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.data.bbox import BoundingBox
 from repro.data.database import TrajectoryDatabase
 from repro.data.trajectory import Trajectory
+from repro.index.backend import chebyshev_gap, validate_backend_name
 from repro.service.executors import EXECUTORS, make_executor
 from repro.service.requests import (
     CountRequest,
@@ -53,6 +67,42 @@ from repro.service.requests import (
 from repro.service.sharding import ShardManager
 
 
+def knn_shard_lower_bound(
+    shard_extent: BoundingBox | None,
+    window_box: BoundingBox,
+    n_window: int,
+    eps: float,
+    edr: bool,
+) -> float:
+    """Admissible lower bound on one shard's kNN distances for one query.
+
+    ``window_box`` is the bounding box of the query's window restriction
+    widened to the full time window ``[ts, te]``; ``n_window`` its point
+    count. The bound never exceeds any distance the shard could actually
+    return, which is what makes skipping exact:
+
+    * ``inf`` when the shard is empty or its extent is temporally disjoint
+      from the window — then no shard trajectory has a point inside the
+      window, so none has a usable (>= 2 point) window restriction and the
+      shard's result is empty regardless of the measure;
+    * under EDR (whose match test is per-dimension,
+      ``|dx| <= eps and |dy| <= eps``), ``n_window`` when the Chebyshev
+      spatial gap between the shard extent and the window box exceeds
+      ``eps`` — no (query point, shard point) pair can then match, and an
+      EDR alignment without a single match costs ``max(n, m) >= n_window``
+      edits;
+    * ``0`` otherwise (the shard may hold arbitrarily close candidates).
+    """
+    if shard_extent is None:
+        return float("inf")
+    gap = chebyshev_gap(shard_extent, window_box)
+    if np.isinf(gap):
+        return float("inf")
+    if edr and gap > eps:
+        return float(n_window)
+    return 0.0
+
+
 @dataclass
 class ServiceStats:
     """Latency / throughput / cache counters of one service instance."""
@@ -64,6 +114,14 @@ class ServiceStats:
     ingest_batches: int = 0
     ingest_trajectories: int = 0
     ingest_points: int = 0
+    #: kNN scatter fan-out accounting: shard executions actually dispatched
+    #: vs. shards skipped via the distance lower bound.
+    knn_shards_dispatched: int = 0
+    knn_shards_skipped: int = 0
+
+    def record_knn_scatter(self, dispatched: int, skipped: int) -> None:
+        self.knn_shards_dispatched += dispatched
+        self.knn_shards_skipped += skipped
 
     def record(self, kind: str, latency_s: float, cached: bool) -> None:
         self.requests[kind] = self.requests.get(kind, 0) + 1
@@ -93,6 +151,8 @@ class ServiceStats:
             "ingest_batches": self.ingest_batches,
             "ingest_trajectories": self.ingest_trajectories,
             "ingest_points": self.ingest_points,
+            "knn_shards_dispatched": self.knn_shards_dispatched,
+            "knn_shards_skipped": self.knn_shards_skipped,
         }
         for kind in sorted(self.requests):
             n = self.requests[kind]
@@ -124,6 +184,11 @@ class QueryService:
         ``(request cache key, shard epoch)``.
     compact_threshold, min_compact_points:
         Pending-tier compaction policy of the shard runtimes.
+    index:
+        Index backend of the per-shard engines: a name from
+        :data:`repro.index.backend.BACKENDS`, or ``"auto"`` to let each
+        runtime's cost-based planner choose on its first boxed workload.
+        Backend choice never changes results, only pruning cost.
     mp_context:
         Multiprocessing start method for the process executor.
     """
@@ -140,13 +205,16 @@ class QueryService:
         cache_size: int = 64,
         compact_threshold: float = 0.5,
         min_compact_points: int = 2048,
+        index: str = "grid",
         mp_context: str | None = None,
     ) -> None:
         if (db is None) == (manager is None):
             raise ValueError("pass exactly one of db or manager")
+        validate_backend_name(index, allow_auto=True)
         if manager is None:
             manager = ShardManager.create(db, n_shards, partitioner)
         self.manager = manager
+        self.index = index
         self.executor_name = executor if isinstance(executor, str) else "custom"
         self._executor = make_executor(
             executor,
@@ -154,6 +222,7 @@ class QueryService:
             resolution=resolution,
             compact_threshold=compact_threshold,
             min_compact_points=min_compact_points,
+            backend=index,
             **({"mp_context": mp_context} if executor == "process" else {}),
         )
         self._cache: OrderedDict[tuple, object] = OrderedDict()
@@ -186,9 +255,12 @@ class QueryService:
             payload = self._cache[key]
             cached = True
         else:
-            shard_results = self._executor.broadcast(
-                request.kind, request.payload(self)
-            )
+            if request.kind == "knn":
+                shard_results = self._scatter_knn(request)
+            else:
+                shard_results = self._executor.broadcast(
+                    request.kind, request.payload(self)
+                )
             payload = self._merge(request, shard_results)
             cached = False
             if key is not None:
@@ -198,6 +270,166 @@ class QueryService:
         latency = time.perf_counter() - start
         self.stats.record(request.kind, latency, cached)
         return self._response(request, payload, epoch, latency, cached)
+
+    # ------------------------------------------------------------- kNN scatter
+    def _knn_shard_bounds(self, request) -> "list[list[float]] | None":
+        """Per-shard, per-query distance lower bounds, or None to disable.
+
+        Returns ``bounds[shard][query]`` built from the manager's per-shard
+        extents and each query's window-restriction box via
+        :func:`knn_shard_lower_bound`. Any failure to compute bounds (e.g.
+        malformed windows) disables pruning rather than changing how such
+        requests fail: the plain broadcast then reproduces the unpruned
+        error behavior exactly.
+        """
+        from repro.queries.knn import _window_restriction
+        from repro.queries.similarity import resolve_time_windows
+
+        try:
+            queries = list(request.queries)
+            windows = resolve_time_windows(queries, request.time_windows)
+            edr = request.measure == "edr"
+            infos: list[tuple[BoundingBox, int] | None] = []
+            for q, (ts, te) in zip(queries, windows):
+                qw = _window_restriction(q, float(ts), float(te))
+                if qw is None:
+                    # Degenerate query: every shard returns [] for it, so it
+                    # never blocks a skip.
+                    infos.append(None)
+                    continue
+                box = BoundingBox.from_points(qw.points)
+                infos.append(
+                    (
+                        # Widen to the full window: shard candidacy needs
+                        # points anywhere in [ts, te], not only where the
+                        # query's own samples sit.
+                        BoundingBox(
+                            box.xmin, box.xmax, box.ymin, box.ymax,
+                            float(ts), float(te),
+                        ),
+                        len(qw),
+                    )
+                )
+            return [
+                [
+                    float("inf")
+                    if info is None
+                    else knn_shard_lower_bound(
+                        extent, info[0], info[1], float(request.eps), edr
+                    )
+                    for info in infos
+                ]
+                for extent in self.manager.shard_extents()
+            ]
+        except Exception:
+            return None
+
+    @staticmethod
+    def _knn_skippable(
+        shard_bounds: list[float], merged: list[list], k: int
+    ) -> bool:
+        """True when a shard provably cannot change any query's top-k.
+
+        ``merged`` holds the running per-query top-k ``(distance, id)``
+        pairs over the shards dispatched so far. A shard is skippable for a
+        query when its bound is ``inf`` (no comparable candidate exists
+        there), or when k results are already held and the bound STRICTLY
+        exceeds the running k-th distance — a tie could still displace the
+        k-th neighbour through the ``(distance, id)`` order. The running
+        k-th distance only decreases as more shards merge in, so a skip
+        decided against it remains valid against the final one.
+        """
+        for lb, pairs in zip(shard_bounds, merged):
+            if np.isinf(lb):
+                continue
+            if len(pairs) < k or lb <= pairs[k - 1][0]:
+                return False
+        return True
+
+    def _scatter_knn(self, request) -> list:
+        """Fan a kNN request out, skipping provably irrelevant shards.
+
+        Returns per-shard partial results in shard order (empty partials
+        for skipped shards), so :meth:`_merge` applies unchanged — skipped
+        shards' true pairs all rank strictly after the merged k-th
+        neighbour, making the merge bit-identical to a full broadcast.
+        """
+        n_shards = self.manager.n_shards
+        payload = request.payload(self)
+        bounds = self._knn_shard_bounds(request)
+        if (
+            bounds is None
+            or n_shards <= 1
+            or int(request.k) < 1  # let shards raise their documented error
+            or not hasattr(self._executor, "run_on")
+        ):
+            results = self._executor.broadcast("knn", payload)
+            self.stats.record_knn_scatter(len(results), 0)
+            return results
+        n_queries = len(request.queries)
+        k = int(request.k)
+        shard_results: list = [None] * n_shards
+        merged: list[list] = [[] for _ in range(n_queries)]
+        dispatched = skipped = 0
+
+        from repro.queries.knn import top_k_pairs
+
+        def absorb(shard_idx: int, result) -> None:
+            shard_results[shard_idx] = result
+            for qi, pairs in enumerate(result):
+                if pairs:
+                    merged[qi] = top_k_pairs(
+                        merged[qi] + [tuple(p) for p in pairs], k
+                    )
+
+        if self.executor_name == "serial":
+            # Best-bound-first: visiting likely-close shards early drives
+            # the running k-th distance down before far shards are tested.
+            order = sorted(
+                range(n_shards), key=lambda s: min(bounds[s], default=0.0)
+            )
+            for s in order:
+                if self._knn_skippable(bounds[s], merged, k):
+                    skipped += 1
+                    shard_results[s] = [[] for _ in range(n_queries)]
+                else:
+                    absorb(s, self._executor.run_on([s], "knn", payload)[s])
+                    dispatched += 1
+        else:
+            # Concurrent executor: one wave for the shards no bound can
+            # ever exclude, then prune the deferred ones against the
+            # gathered k-th distances before a (concurrent) second wave.
+            wave1: list[int] = []
+            deferred: list[int] = []
+            for s in range(n_shards):
+                if all(np.isinf(b) for b in bounds[s]):
+                    skipped += 1
+                    shard_results[s] = [[] for _ in range(n_queries)]
+                elif any(b == 0.0 for b in bounds[s]):
+                    wave1.append(s)
+                else:
+                    deferred.append(s)
+            if wave1:
+                for s, result in self._executor.run_on(
+                    wave1, "knn", payload
+                ).items():
+                    absorb(s, result)
+                dispatched += len(wave1)
+            wave2: list[int] = []
+            for s in deferred:
+                if self._knn_skippable(bounds[s], merged, k):
+                    skipped += 1
+                    shard_results[s] = [[] for _ in range(n_queries)]
+                else:
+                    wave2.append(s)
+            if wave2:
+                for s, result in self._executor.run_on(
+                    wave2, "knn", payload
+                ).items():
+                    absorb(s, result)
+                dispatched += len(wave2)
+        self.stats.record_knn_scatter(dispatched, skipped)
+        return shard_results
 
     def _merge(self, request, shard_results):
         """Combine per-shard partials into the canonical (immutable) payload."""
@@ -343,6 +575,7 @@ class QueryService:
             "n_shards": self.manager.n_shards,
             "executor": self.executor_name,
             "partitioner": self.manager.partitioner.name,
+            "index": self.index,
             "epoch": self.manager.epoch,
             "trajectories": self.manager.n_trajectories,
             "points": self.manager.total_points,
@@ -378,4 +611,9 @@ class QueryService:
         self.close()
 
 
-__all__ = ["QueryService", "ServiceStats", "EXECUTORS"]
+__all__ = [
+    "QueryService",
+    "ServiceStats",
+    "EXECUTORS",
+    "knn_shard_lower_bound",
+]

@@ -68,6 +68,12 @@ class ShardManager:
         self.epoch = 0
         self._next_global_id = sum(len(s) for s in shards)
         self._extent: BoundingBox | None = None
+        #: Per-shard union bounding boxes (None while a shard is empty),
+        #: maintained alongside membership so the request layer can bound
+        #: kNN distances per shard without a runtime round-trip. Matches
+        #: each ShardRuntime.extent() by construction: both union the same
+        #: trajectory boxes.
+        self._shard_extents: list[BoundingBox | None] = [None] * len(shards)
         #: gid -> (shard index, position in shard) for O(1) lookups.
         self._locations: dict[int, tuple[int, int]] = {}
         for shard in shards:
@@ -75,8 +81,7 @@ class ShardManager:
                 zip(shard.global_ids, shard.trajectories)
             ):
                 self._locations[gid] = (shard.index, pos)
-                box = traj.bounding_box
-                self._extent = box if self._extent is None else self._extent.union(box)
+                self._grow_extents(shard.index, traj.bounding_box)
 
     @classmethod
     def create(
@@ -116,6 +121,13 @@ class ShardManager:
     def total_points(self) -> int:
         return sum(len(t) for s in self.shards for t in s.trajectories)
 
+    def _grow_extents(self, shard_idx: int, box: BoundingBox) -> None:
+        self._extent = box if self._extent is None else self._extent.union(box)
+        current = self._shard_extents[shard_idx]
+        self._shard_extents[shard_idx] = (
+            box if current is None else current.union(box)
+        )
+
     def extent(self) -> BoundingBox:
         """The union bounding box of every trajectory across all shards.
 
@@ -125,6 +137,16 @@ class ShardManager:
         if self._extent is None:
             raise ValueError("the service holds no trajectories yet")
         return self._extent
+
+    def shard_extents(self) -> list[BoundingBox | None]:
+        """Per-shard union bounding boxes (None for empty shards).
+
+        Equal to each runtime's :meth:`~repro.service.runtime.ShardRuntime.extent`
+        — both union the same member trajectories — but available in the
+        serving process without a shard round-trip, which is what lets the
+        kNN scatter prune shards *before* dispatching to them.
+        """
+        return list(self._shard_extents)
 
     def database(self) -> TrajectoryDatabase:
         """Materialize all shards back into one database, in global-id order.
@@ -187,10 +209,7 @@ class ShardManager:
                 shard.trajectories.append(traj)
                 shard.global_ids.append(gid)
                 self._locations[gid] = (shard_idx, len(shard.trajectories) - 1)
-                box = traj.bounding_box
-                self._extent = (
-                    box if self._extent is None else self._extent.union(box)
-                )
+                self._grow_extents(shard_idx, traj.bounding_box)
         self._next_global_id += sum(len(b) for b in routed.values())
         self.epoch += 1
 

@@ -4,14 +4,16 @@ Boxes are closed on every face: a point exactly on ``xmax`` / ``ymax`` /
 ``tmax`` is inside. These tests pin that convention consistently across
 :meth:`BoundingBox.contains_points`, :func:`range_query` (naive, grid, and
 engine paths), :class:`GridIndex` candidate pruning, and
-:func:`density_histogram` binning.
+:func:`density_histogram` binning — and, for every pluggable index backend,
+that candidate sets stay supersets of the exact answer on boundary boxes
+and the engine's final results never depend on the backend.
 """
 
 import numpy as np
 import pytest
 
 from repro.data import BoundingBox, Trajectory, TrajectoryDatabase
-from repro.index import GridIndex
+from repro.index import BACKENDS, GridIndex
 from repro.queries import QueryEngine, RangeQuery, density_histogram, range_query
 from repro.workloads import RangeQueryWorkload
 
@@ -108,6 +110,78 @@ class TestOutOfExtentQueries:
         naive = [range_query(edge_db, q) for q in workload]
         assert engine_results == naive
         assert engine_results[1] == set()
+
+
+def random_db(seed: int, n_traj: int = 6) -> TrajectoryDatabase:
+    rng = np.random.default_rng(seed)
+    trajs = []
+    for i in range(n_traj):
+        n = int(rng.integers(2, 12))
+        xy = rng.uniform(0.0, 50.0, size=(n, 2))
+        t = np.sort(rng.uniform(0.0, 20.0, size=n)) + np.arange(n) * 1e-3
+        trajs.append(Trajectory(np.column_stack([xy, t]), traj_id=i))
+    return TrajectoryDatabase(trajs)
+
+
+def tricky_boxes(db: TrajectoryDatabase, seed: int) -> list[BoundingBox]:
+    """Random boxes plus the adversarial shapes of this module: boxes whose
+    faces pass exactly through data points, extent-corner straddlers,
+    fully disjoint boxes, and zero-extent point probes."""
+    rng = np.random.default_rng(seed)
+    ext = db.bounding_box
+    boxes = []
+    for _ in range(6):
+        lo = rng.uniform([ext.xmin, ext.ymin, ext.tmin], [ext.xmax, ext.ymax, ext.tmax])
+        hi = lo + rng.uniform(0.0, 15.0, size=3)
+        boxes.append(BoundingBox(lo[0], hi[0], lo[1], hi[1], lo[2], hi[2]))
+    p = db[0].points[-1]  # max faces exactly on a data point
+    boxes.append(BoundingBox(p[0] - 1.0, p[0], p[1] - 1.0, p[1], p[2] - 1.0, p[2]))
+    boxes.append(BoundingBox(p[0], p[0], p[1], p[1], p[2], p[2]))  # zero-extent hit
+    boxes.append(  # straddles the extent's max corner
+        BoundingBox(ext.xmax - 1.0, ext.xmax + 5.0, ext.ymax - 1.0,
+                    ext.ymax + 5.0, ext.tmax - 1.0, ext.tmax + 5.0)
+    )
+    boxes.append(  # fully disjoint from the extent
+        BoundingBox(ext.xmax + 10.0, ext.xmax + 20.0, ext.ymax + 10.0,
+                    ext.ymax + 20.0, ext.tmax + 10.0, ext.tmax + 20.0)
+    )
+    return boxes
+
+
+class TestCrossIndexCandidateCompleteness:
+    """Every backend's candidates form a superset of the exact answer, and
+    the engine's verified results are identical across all five backends."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("name", sorted(BACKENDS))
+    def test_candidates_superset_of_exact_answer(self, seed, name):
+        db = random_db(seed)
+        boxes = tricky_boxes(db, seed + 100)
+        backend = BACKENDS[name](db)
+        lo = np.array([[b.xmin, b.ymin, b.tmin] for b in boxes])
+        hi = np.array([[b.xmax, b.ymax, b.tmax] for b in boxes])
+        candidate_lists = backend.candidate_ids(lo, hi)
+        for box, cand in zip(boxes, candidate_lists):
+            exact = range_query(db, RangeQuery(box))
+            assert exact <= set(int(t) for t in cand), (name, box)
+            # sorted unique int64 ids — the protocol's output contract
+            assert cand.dtype == np.int64
+            assert np.all(np.diff(cand) > 0)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_engine_results_identical_across_backends(self, seed):
+        db = random_db(seed)
+        boxes = tricky_boxes(db, seed + 200)
+        naive = [range_query(db, RangeQuery(b)) for b in boxes]
+        counts = None
+        for name in sorted(BACKENDS):
+            engine = QueryEngine(db, backend=BACKENDS[name](db))
+            assert engine.evaluate(boxes) == naive, name
+            c = engine.count(boxes)
+            if counts is None:
+                counts = c
+            else:
+                assert np.array_equal(c, counts), name
 
 
 class TestDegenerateKnnQuery:

@@ -223,6 +223,58 @@ class TestQuery:
         sim_out = json.loads(capsys.readouterr().out.strip().splitlines()[-1])
         assert "results" in sim_out
 
+    @pytest.mark.parametrize("index", ["grid", "octree", "kdtree", "rtree", "auto"])
+    def test_index_backend_round_trip(self, db_file, tmp_path, capsys, index):
+        """--index changes only pruning cost: every backend answers alike."""
+        workload_path = tmp_path / "w.json"
+        main(
+            [
+                "workload", "--db", str(db_file), "-n", "6",
+                "--seed", "4", "--out", str(workload_path),
+            ]
+        )
+        capsys.readouterr()
+        code = main(
+            [
+                "query", "--db", str(db_file), "--shards", "3",
+                "--type", "range", "--workload", str(workload_path),
+                "--index", index,
+            ]
+        )
+        assert code == 0
+        response = json.loads(capsys.readouterr().out.strip().splitlines()[-1])
+        from repro.queries import QueryEngine
+        from repro.workloads import RangeQueryWorkload
+
+        db = load_database(db_file)
+        expected = QueryEngine(db).evaluate(RangeQueryWorkload.load(workload_path))
+        assert [set(ids) for ids in response["results"]] == expected
+
+    def test_serve_accepts_index_backend(self, db_file, tmp_path, capsys):
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text(
+            json.dumps({"op": "knn", "ids": [0], "k": 2, "eps": 50.0})
+        )
+        code = main(
+            [
+                "serve", "--db", str(db_file), "--index", "kdtree",
+                "--requests", str(requests), "--stats",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "kdtree index" in out
+        assert "knn_shards_dispatched" in out
+
+    def test_unknown_index_backend_exits(self, db_file):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "query", "--db", str(db_file), "--type", "histogram",
+                    "--index", "btree",
+                ]
+            )
+
     def test_missing_required_params_exit(self, db_file):
         with pytest.raises(SystemExit):
             main(["query", "--db", str(db_file), "--type", "range"])

@@ -1,0 +1,205 @@
+"""Property tests of the pluggable IndexBackend protocol.
+
+Three layers of guarantees:
+
+* protocol conformance — every backend builds from a database, yields
+  sorted unique candidate-id arrays that are supersets of the exact
+  answer, and bounds distances admissibly;
+* engine parity — the full batched query suite (range, state evaluation,
+  count, histogram, kNN candidates, similarity, point memberships) is
+  bit-identical through every backend;
+* the distance lower bound's geometry (Chebyshev gap, temporal
+  disjointness) matches a brute-force computation over the actual points.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import BoundingBox, Trajectory, TrajectoryDatabase
+from repro.index import (
+    BACKENDS,
+    GridBackend,
+    GridIndex,
+    IndexBackend,
+    chebyshev_gap,
+    make_backend,
+)
+from repro.queries import QueryEngine
+from repro.workloads import RangeQueryWorkload
+
+
+def random_db(seed: int, n_traj: int = 8) -> TrajectoryDatabase:
+    rng = np.random.default_rng(seed)
+    trajs = []
+    for i in range(n_traj):
+        n = int(rng.integers(2, 15))
+        xy = rng.uniform(0.0, 100.0, size=(n, 2))
+        t = np.sort(rng.uniform(0.0, 40.0, size=n)) + np.arange(n) * 1e-3
+        trajs.append(Trajectory(np.column_stack([xy, t]), traj_id=i))
+    return TrajectoryDatabase(trajs)
+
+
+def bounds_of(boxes):
+    lo = np.array([[b.xmin, b.ymin, b.tmin] for b in boxes])
+    hi = np.array([[b.xmax, b.ymax, b.tmax] for b in boxes])
+    return lo, hi
+
+
+@pytest.fixture(scope="module")
+def db() -> TrajectoryDatabase:
+    return random_db(7)
+
+
+@pytest.fixture(scope="module")
+def workload(db) -> RangeQueryWorkload:
+    return RangeQueryWorkload.generate("data", db, 15, seed=3)
+
+
+class TestProtocolConformance:
+    @pytest.mark.parametrize("name", sorted(BACKENDS))
+    def test_registry_round_trip(self, db, name):
+        backend = make_backend(name, db)
+        assert isinstance(backend, IndexBackend)
+        assert backend.name == name
+        assert backend.database is db
+        assert backend.extent == db.bounding_box
+
+    def test_make_backend_rejects_unknown_names(self, db):
+        with pytest.raises(ValueError, match="unknown index backend"):
+            make_backend("btree", db)
+
+    def test_empty_database_rejected(self):
+        # TrajectoryDatabase itself refuses to be empty; the backend guard
+        # is the defensive backstop for database-like subclasses.
+        with pytest.raises(ValueError, match="at least one trajectory"):
+            GridBackend(TrajectoryDatabase([]))
+
+    @pytest.mark.parametrize("name", sorted(BACKENDS))
+    def test_candidate_trajectories_single_box(self, db, name):
+        backend = make_backend(name, db)
+        box = db[0].bounding_box
+        cand = backend.candidate_trajectories(box)
+        assert 0 in cand  # a trajectory is a candidate of its own bbox
+
+    def test_grid_backend_adopts_existing_index_geometry(self, db):
+        grid = GridIndex(db, resolution=(8, 8, 4))
+        backend = GridBackend(db, grid=grid)
+        assert backend.resolution == (8, 8, 4)
+        assert np.array_equal(backend.origin, grid._origin)
+        engine = QueryEngine(db, backend=backend)
+        assert engine.resolution == (8, 8, 4)
+
+    def test_engine_rejects_backend_of_other_database(self, db):
+        other = random_db(8)
+        with pytest.raises(ValueError, match="different database"):
+            QueryEngine(db, backend=GridBackend(other))
+
+    def test_engine_rejects_grid_and_backend_together(self, db):
+        with pytest.raises(ValueError, match="not both"):
+            QueryEngine(db, grid=GridIndex(db), backend=GridBackend(db))
+
+
+class TestEngineParityAcrossBackends:
+    """The whole batched suite is bit-identical through every backend."""
+
+    def test_range_and_state_evaluation(self, db, workload):
+        from repro.data.simplification import SimplificationState
+
+        reference = QueryEngine(db)
+        expected = reference.evaluate(workload)
+        state = SimplificationState(db)
+        expected_state = reference.evaluate_state(workload, state)
+        for name in sorted(BACKENDS):
+            engine = QueryEngine(db, backend=make_backend(name, db))
+            assert engine.evaluate(workload) == expected, name
+            assert engine.evaluate_state(workload, state) == expected_state, name
+
+    def test_aggregates_and_histogram(self, db, workload):
+        reference = QueryEngine(db)
+        counts = reference.count(workload.boxes)
+        hist = reference.histogram(grid=8)
+        for name in sorted(BACKENDS):
+            engine = QueryEngine(db, backend=make_backend(name, db))
+            assert np.array_equal(engine.count(workload.boxes), counts), name
+            assert np.array_equal(engine.histogram(grid=8), hist), name
+
+    def test_knn_candidates_and_similarity(self, db):
+        windows = [
+            (float(db[i].times[0]), float(db[i].times[-1])) for i in (0, 2, 5)
+        ]
+        queries = [db[0], db[2]]
+        reference = QueryEngine(db)
+        knn = reference.knn_candidates(windows)
+        sim = reference.similarity(queries, delta=25.0)
+        for name in sorted(BACKENDS):
+            engine = QueryEngine(db, backend=make_backend(name, db))
+            got = engine.knn_candidates(windows)
+            assert all(np.array_equal(a, b) for a, b in zip(got, knn)), name
+            assert engine.similarity(queries, delta=25.0) == sim, name
+
+    def test_point_memberships(self, db, workload):
+        reference = QueryEngine(db)
+        rows, boxes_idx = reference.point_memberships(workload.boxes)
+        for name in sorted(BACKENDS):
+            engine = QueryEngine(db, backend=make_backend(name, db))
+            r, b = engine.point_memberships(workload.boxes)
+            assert np.array_equal(r, rows), name
+            assert np.array_equal(b, boxes_idx), name
+
+    def test_incremental_view_reset(self, db, workload):
+        from repro.data.simplification import SimplificationState
+
+        state = SimplificationState(db)
+        reference = QueryEngine(db).incremental_view(workload)
+        reference.reset(state)
+        for name in sorted(BACKENDS):
+            view = QueryEngine(
+                db, backend=make_backend(name, db)
+            ).incremental_view(workload)
+            view.reset(state)
+            assert view.result_sets == reference.result_sets, name
+
+
+class TestDistanceLowerBound:
+    def test_zero_when_boxes_overlap(self, db):
+        backend = make_backend("grid", db)
+        assert backend.distance_lower_bound(db.bounding_box) == 0.0
+
+    def test_infinite_when_temporally_disjoint(self, db):
+        ext = db.bounding_box
+        far = BoundingBox(
+            ext.xmin, ext.xmax, ext.ymin, ext.ymax,
+            ext.tmax + 10.0, ext.tmax + 20.0,
+        )
+        for name in sorted(BACKENDS):
+            assert np.isinf(make_backend(name, db).distance_lower_bound(far)), name
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_admissible_against_brute_force(self, seed):
+        """The bound never exceeds the true min Chebyshev point distance."""
+        db = random_db(seed, n_traj=5)
+        rng = np.random.default_rng(seed + 50)
+        points = db.point_matrix()
+        for _ in range(10):
+            lo = rng.uniform(-50.0, 150.0, size=3)
+            hi = lo + rng.uniform(0.0, 60.0, size=3)
+            box = BoundingBox(lo[0], hi[0], lo[1], hi[1], lo[2], hi[2])
+            in_window = (points[:, 2] >= box.tmin) & (points[:, 2] <= box.tmax)
+            if not in_window.any():
+                continue  # inf bound is trivially admissible
+            dx = np.maximum(
+                np.maximum(box.xmin - points[:, 0], points[:, 0] - box.xmax), 0.0
+            )
+            dy = np.maximum(
+                np.maximum(box.ymin - points[:, 1], points[:, 1] - box.ymax), 0.0
+            )
+            true_min = float(np.maximum(dx, dy)[in_window].min())
+            for name in sorted(BACKENDS):
+                bound = make_backend(name, db).distance_lower_bound(box)
+                assert bound <= true_min + 1e-9, (name, bound, true_min)
+
+    def test_chebyshev_gap_matches_axis_arithmetic(self):
+        a = BoundingBox(0.0, 1.0, 0.0, 1.0, 0.0, 1.0)
+        b = BoundingBox(4.0, 5.0, 2.0, 3.0, 0.5, 2.0)
+        assert chebyshev_gap(a, b) == 3.0  # max(x gap 3, y gap 1)
+        assert chebyshev_gap(a, BoundingBox(0.5, 2.0, 0.5, 2.0, 0.0, 1.0)) == 0.0

@@ -1,0 +1,152 @@
+"""Tests of the cost-based backend planner and adaptive-resolution fallbacks.
+
+The planner's contract: whatever backend it picks (or is forced to), engine
+answers are identical — only the cost estimates differ — and it must accept
+ANY workload, including the degenerate ones `adaptive_resolution` used to
+blow up on (all boxes zero-extent, a single query, an empty workload).
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import BoundingBox, Trajectory, TrajectoryDatabase
+from repro.index import (
+    BACKENDS,
+    FALLBACK_RESOLUTION,
+    GridBackend,
+    GridIndex,
+    adaptive_resolution,
+)
+from repro.queries import QueryEngine, plan_workload
+from repro.queries.planner import PLANNER_BACKENDS, estimate_backend_costs
+from repro.workloads import RangeQueryWorkload
+
+
+def small_db(seed: int = 1, n_traj: int = 8) -> TrajectoryDatabase:
+    rng = np.random.default_rng(seed)
+    trajs = []
+    for i in range(n_traj):
+        n = int(rng.integers(3, 12))
+        xy = rng.uniform(0.0, 80.0, size=(n, 2))
+        t = np.sort(rng.uniform(0.0, 30.0, size=n)) + np.arange(n) * 1e-3
+        trajs.append(Trajectory(np.column_stack([xy, t]), traj_id=i))
+    return TrajectoryDatabase(trajs)
+
+
+class TestAdaptiveResolutionDegenerateWorkloads:
+    """Regression: degenerate workloads get the explicit fallback, not an
+    arbitrary clamp-and-halve blow-up."""
+
+    def test_all_zero_extent_boxes_fall_back(self):
+        db = small_db()
+        probes = [BoundingBox(5.0, 5.0, 5.0, 5.0, 2.0, 2.0)] * 10
+        assert adaptive_resolution(db.bounding_box, probes) == FALLBACK_RESOLUTION
+
+    def test_single_zero_extent_query_falls_back(self):
+        db = small_db()
+        probe = [BoundingBox(1.0, 1.0, 2.0, 2.0, 3.0, 3.0)]
+        assert adaptive_resolution(db.bounding_box, probe) == FALLBACK_RESOLUTION
+
+    def test_empty_workload_falls_back(self):
+        db = small_db()
+        assert adaptive_resolution(db.bounding_box, []) == FALLBACK_RESOLUTION
+
+    def test_per_axis_fallback_mixes_with_real_extents(self):
+        """Only the degenerate axes fall back; healthy axes still adapt."""
+        db = small_db()
+        ext = db.bounding_box
+        # x spans half the extent; y and t are zero-extent on every box.
+        boxes = [
+            BoundingBox(ext.xmin, ext.xmin + 0.5 * (ext.xmax - ext.xmin),
+                        3.0, 3.0, 4.0, 4.0)
+            for _ in range(5)
+        ]
+        res = adaptive_resolution(ext, boxes)
+        assert res[0] == 2  # ceil(span / (span/2))
+        assert res[1] == FALLBACK_RESOLUTION[1]
+        assert res[2] == FALLBACK_RESOLUTION[2]
+
+    def test_custom_fallback_respected_and_validated(self):
+        db = small_db()
+        assert adaptive_resolution(
+            db.bounding_box, [], fallback=(4, 4, 2)
+        ) == (4, 4, 2)
+        with pytest.raises(ValueError, match="fallback"):
+            adaptive_resolution(db.bounding_box, [], fallback=(0, 4, 2))
+
+    def test_grid_adaptive_accepts_degenerate_workload(self):
+        db = small_db()
+        probes = [BoundingBox(5.0, 5.0, 5.0, 5.0, 2.0, 2.0)]
+        grid = GridIndex.adaptive(db, probes)
+        assert grid.resolution == FALLBACK_RESOLUTION
+
+    def test_answers_invariant_under_fallback_resolution(self):
+        db = small_db()
+        p = db[0].points[1]
+        probe = BoundingBox(p[0], p[0], p[1], p[1], p[2], p[2])
+        engine = QueryEngine(db, grid=GridIndex.adaptive(db, [probe]))
+        from repro.queries import RangeQuery, range_query
+
+        assert engine.evaluate([probe]) == [range_query(db, RangeQuery(probe))]
+
+
+class TestPlanner:
+    def test_auto_picks_a_known_backend(self):
+        db = small_db()
+        workload = RangeQueryWorkload.generate("data", db, 12, seed=2)
+        plan = plan_workload(db, workload)
+        assert plan.chosen_by == "auto"
+        assert plan.name in PLANNER_BACKENDS
+        assert plan.backend.name == plan.name
+        assert set(plan.costs) == set(PLANNER_BACKENDS)
+        assert all(c >= 0.0 for c in plan.costs.values())
+        # auto = argmin of the estimates
+        assert plan.costs[plan.name] == min(plan.costs.values())
+
+    @pytest.mark.parametrize("name", sorted(BACKENDS))
+    def test_override_forces_backend(self, name):
+        db = small_db()
+        workload = RangeQueryWorkload.generate("data", db, 12, seed=2)
+        plan = plan_workload(db, workload, index=name)
+        assert plan.chosen_by == "override"
+        assert plan.name == name
+        assert isinstance(plan.backend, BACKENDS[name])
+
+    def test_unknown_override_rejected(self):
+        db = small_db()
+        with pytest.raises(ValueError, match="unknown index backend"):
+            plan_workload(db, [], index="btree")
+
+    def test_grid_plan_uses_adaptive_resolution(self):
+        db = small_db()
+        workload = RangeQueryWorkload.generate("data", db, 12, seed=2)
+        plan = plan_workload(db, workload, index="grid")
+        assert isinstance(plan.backend, GridBackend)
+        assert plan.backend.resolution == adaptive_resolution(
+            db.bounding_box, workload
+        )
+
+    def test_degenerate_workloads_plan_without_error(self):
+        db = small_db()
+        for degenerate in ([], [BoundingBox(1.0, 1.0, 2.0, 2.0, 3.0, 3.0)]):
+            plan = plan_workload(db, degenerate)
+            assert plan.name in PLANNER_BACKENDS
+            assert plan.resolution == FALLBACK_RESOLUTION
+
+    def test_costs_independent_of_choice(self):
+        db = small_db()
+        workload = RangeQueryWorkload.generate("data", db, 12, seed=2)
+        costs, resolution = estimate_backend_costs(db, workload)
+        for name in PLANNER_BACKENDS:
+            plan = plan_workload(db, workload, index=name)
+            assert plan.costs == costs
+            assert plan.resolution == resolution
+
+    def test_planned_backends_answer_identically(self):
+        db = small_db()
+        workload = RangeQueryWorkload.generate("data", db, 12, seed=2)
+        expected = QueryEngine(db).evaluate(workload)
+        for name in PLANNER_BACKENDS:
+            plan = plan_workload(db, workload, index=name)
+            engine = QueryEngine(db, backend=plan.backend)
+            assert engine.evaluate(workload) == expected, name
