@@ -1,0 +1,248 @@
+"""The unified client API: transport parity, round-trip cost, concurrency.
+
+One typed ``Client`` surface serves three transports — in-process
+(`LocalClient`), sharded (`ServiceClient`), socket (`RemoteClient`) — and
+the contract is that transport choice changes latency, never answers. So
+this benchmark asserts **parity first** (all five query kinds, before and
+after a streamed ingest batch), then reports what each hop costs:
+
+* per-kind round-trip latency: engine dispatch only (local), plus shard
+  scatter/merge (service), plus JSON framing and a TCP round trip
+  (socket);
+* socket throughput at N concurrent clients against one asyncio server —
+  each client checks every response id echo (nothing dropped or
+  reordered) and validates results against the serving epoch stamped in
+  each response while ingest batches interleave, and the run must end in
+  a clean graceful shutdown.
+
+Run standalone::
+
+    python benchmarks/bench_client.py            # default scale
+    python benchmarks/bench_client.py --smoke    # tiny CI smoke run
+    python benchmarks/bench_client.py --clients 16
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import threading
+import time
+
+import numpy as np
+
+from repro.client import LocalClient, RemoteClient, ServiceClient
+from repro.data import synthetic_database
+from repro.data.stats import spatial_scale
+from repro.data.trajectory import Trajectory
+from repro.eval.harness import QueryAccuracyEvaluator
+from repro.service import QueryService
+from repro.service.server import serve_in_thread
+from repro.workloads import RangeQueryWorkload
+
+DEFAULT_TRAJECTORIES = 150
+DEFAULT_QUERIES = 60
+DEFAULT_CLIENTS = 8
+DEFAULT_REQUESTS_PER_CLIENT = 12
+
+
+def _setup(n_trajectories: int, n_queries: int, seed: int = 7):
+    db = synthetic_database(
+        "geolife", n_trajectories=n_trajectories, points_scale=0.08, seed=seed
+    )
+    workload = RangeQueryWorkload.from_data_distribution(db, n_queries, seed=seed)
+    rng = np.random.default_rng(seed)
+    qids = [int(i) for i in rng.choice(len(db), size=4, replace=False)]
+    queries = [db[q] for q in qids]
+    windows = [QueryAccuracyEvaluator._central_window(q) for q in queries]
+    eps = 0.10 * spatial_scale(db)
+    delta = 0.15 * spatial_scale(db)
+    return db, workload, queries, windows, eps, delta
+
+
+def _ingest_batch(db, n: int, seed: int = 0) -> list[Trajectory]:
+    rng = np.random.default_rng(seed)
+    batch = []
+    for _ in range(n):
+        base = db[int(rng.integers(len(db)))].points
+        shift = rng.uniform(-40.0, 40.0, size=2)
+        batch.append(Trajectory(base + np.array([shift[0], shift[1], 0.0])))
+    return batch
+
+
+def _answers(client, workload, queries, windows, eps, delta):
+    return (
+        client.range(workload).result_sets,
+        client.count(workload.boxes).counts,
+        client.histogram(24).histogram,
+        client.knn(queries, 3, windows, eps=eps).pairs,
+        client.similarity(queries, delta).result_sets,
+    )
+
+
+def assert_parity(clients: dict, workload, queries, windows, eps, delta) -> None:
+    """All clients must answer all five kinds identically (the contract)."""
+    kinds = ("range", "count", "histogram", "knn", "similarity")
+    reference = None
+    for name, client in clients.items():
+        answers = _answers(client, workload, queries, windows, eps, delta)
+        if reference is None:
+            reference = answers
+            continue
+        for kind, got, want in zip(kinds, answers, reference):
+            same = (
+                np.array_equal(got, want)
+                if isinstance(want, np.ndarray)
+                else got == want
+            )
+            assert same, f"{kind} diverged on the {name} transport"
+
+
+def run_parity_and_latency(args) -> None:
+    db, workload, queries, windows, eps, delta = _setup(
+        args.trajectories, args.queries
+    )
+    service = QueryService(db, n_shards=args.shards)
+    handle = serve_in_thread(
+        QueryService(db, n_shards=args.shards), close_service=True
+    )
+    clients = {
+        "local": LocalClient(db),
+        "service": ServiceClient(service, own_service=True),
+        "socket": RemoteClient(handle.host, handle.port),
+    }
+    try:
+        assert_parity(clients, workload, queries, windows, eps, delta)
+        batch = _ingest_batch(db, max(3, args.trajectories // 20))
+        epochs = {name: c.ingest(batch).epoch for name, c in clients.items()}
+        assert len(set(epochs.values())) == 1, f"epochs diverged: {epochs}"
+        assert_parity(clients, workload, queries, windows, eps, delta)
+        print(
+            "parity: all five kinds bit-identical across local / service / "
+            "socket, before and after ingest"
+        )
+
+        print(f"\n{'kind':<12}" + "".join(f"{n:>12}" for n in clients))
+        per_kind = {
+            "range": lambda c: c.range(workload),
+            "count": lambda c: c.count(workload.boxes),
+            "histogram": lambda c: c.histogram(24),
+            "knn": lambda c: c.knn(queries, 3, windows, eps=eps),
+            "similarity": lambda c: c.similarity(queries, delta),
+        }
+        for kind, call in per_kind.items():
+            row = f"{kind:<12}"
+            for client in clients.values():
+                best = float("inf")
+                for _ in range(args.repeats):
+                    # Cold-path timing: identical requests would otherwise
+                    # serve from the (request, epoch) LRU after the first hit.
+                    if hasattr(client, "service"):
+                        client.service.clear_cache(deep=True)
+                    elif isinstance(client, LocalClient):
+                        client._cache.clear()
+                    start = time.perf_counter()
+                    call(client)
+                    best = min(best, time.perf_counter() - start)
+                row += f"{1000.0 * best:>10.2f}ms"
+            print(row)
+        print("(socket cache persists server-side; its column includes one "
+              "warm LRU hit per repeat plus framing + TCP round trip)")
+    finally:
+        for client in clients.values():
+            client.close()
+        handle.stop()
+
+
+def run_concurrency(args) -> dict:
+    """N concurrent socket clients, mixed queries + interleaved ingest."""
+    db, workload, queries, windows, eps, delta = _setup(
+        args.trajectories, args.queries
+    )
+    handle = serve_in_thread(
+        QueryService(db, n_shards=args.shards), close_service=True
+    )
+    # Per-epoch expected range results: a response stamped with epoch e must
+    # match the reference database state after e ingest batches.
+    batch = _ingest_batch(db, max(3, args.trajectories // 30), seed=1)
+    reference = LocalClient(db)
+    expected = {0: reference.range(workload).result_sets}
+    reference.ingest(batch)
+    expected[1] = reference.range(workload).result_sets
+
+    boxes = list(workload.boxes)
+    errors: list[str] = []
+
+    def _client_loop(client_idx: int) -> None:
+        try:
+            with RemoteClient(handle.host, handle.port) as client:
+                for i in range(args.requests_per_client):
+                    mode = (client_idx + i) % 3
+                    if mode == 0:
+                        response = client.range(workload)
+                        want = expected[response.epoch]
+                        if response.result_sets != want:
+                            errors.append(
+                                f"client {client_idx}: range mismatch at "
+                                f"epoch {response.epoch}"
+                            )
+                    elif mode == 1:
+                        client.count(boxes[: max(4, len(boxes) // 4)])
+                    else:
+                        client.knn(queries, 3, windows, eps=eps)
+        except Exception as exc:  # surface, don't hang the join
+            errors.append(f"client {client_idx}: {type(exc).__name__}: {exc}")
+
+    threads = [
+        threading.Thread(target=_client_loop, args=(i,))
+        for i in range(args.clients)
+    ]
+    start = time.perf_counter()
+    for t in threads:
+        t.start()
+    # One ingest lands mid-flight from the orchestrating thread: responses
+    # before it must match epoch 0, responses after it epoch 1.
+    with RemoteClient(handle.host, handle.port) as ingest_client:
+        result = ingest_client.ingest(batch)
+        assert result.epoch == 1
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - start
+    handle.stop()  # graceful: must not raise, thread must join
+
+    assert not errors, "concurrent clients failed:\n" + "\n".join(errors)
+    total = args.clients * args.requests_per_client + 1
+    print(
+        f"\nconcurrency: {args.clients} clients x "
+        f"{args.requests_per_client} requests + 1 interleaved ingest = "
+        f"{total} frames in {elapsed:.2f}s "
+        f"({total / elapsed:.0f} req/s aggregate), zero dropped or "
+        f"misordered responses, clean shutdown"
+    )
+    return {"clients": args.clients, "elapsed_s": elapsed, "requests": total}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny sizes for the CI smoke run")
+    parser.add_argument("--trajectories", type=int, default=DEFAULT_TRAJECTORIES)
+    parser.add_argument("--queries", type=int, default=DEFAULT_QUERIES)
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--clients", type=int, default=DEFAULT_CLIENTS)
+    parser.add_argument("--requests-per-client", type=int,
+                        default=DEFAULT_REQUESTS_PER_CLIENT)
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.trajectories = min(args.trajectories, 60)
+        args.queries = min(args.queries, 20)
+        args.repeats = 1
+        args.requests_per_client = min(args.requests_per_client, 6)
+    run_parity_and_latency(args)
+    run_concurrency(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,6 +32,7 @@ import numpy as np
 from repro.data import BoundingBox, Trajectory, TrajectoryDatabase, synthetic_database
 from repro.queries import QueryEngine, knn_query_batch, plan_workload
 from repro.queries.planner import PLANNER_BACKENDS
+from repro.client import ServiceClient
 from repro.service import QueryService
 from repro.workloads import RangeQueryWorkload
 
@@ -150,7 +151,7 @@ def run_knn_skip(
                 db, n_shards=shards, partitioner="spatial", executor=executor
             ) as service:
                 start = time.perf_counter()
-                response = service.knn(queries, k, eps=eps)
+                response = ServiceClient(service).knn(queries, k, eps=eps)
                 elapsed = time.perf_counter() - start
                 got = [
                     [(float(d), int(t)) for d, t in pairs]

@@ -36,6 +36,7 @@ from repro.data.stats import spatial_scale
 from repro.eval.harness import QueryAccuracyEvaluator
 from repro.queries.engine import QueryEngine
 from repro.queries.knn import knn_query_batch
+from repro.client import ServiceClient
 from repro.service import QueryService
 from repro.workloads import RangeQueryWorkload
 
@@ -103,13 +104,13 @@ def _request_mix(
             ),
             engine.similarity(queries, delta),
         )
-    service = service_or_engine
+    client = ServiceClient(service_or_engine)
     return (
-        service.range(workload).result_sets,
-        service.count(workload.boxes).counts,
-        service.histogram(32).histogram,
-        service.knn(queries, 3, windows, eps=eps).neighbors,
-        service.similarity(queries, delta).result_sets,
+        client.range(workload).result_sets,
+        client.count(workload.boxes).counts,
+        client.histogram(32).histogram,
+        client.knn(queries, 3, windows, eps=eps).neighbors,
+        client.similarity(queries, delta).result_sets,
     )
 
 

@@ -14,7 +14,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import QueryEngine, RL4QDTS, synthetic_database
+from repro import LocalClient, RL4QDTS, synthetic_database
 from repro.baselines import get_baseline, simplify_database
 from repro.core import RL4QDTSConfig
 from repro.data import dataset_statistics
@@ -70,16 +70,18 @@ def main() -> None:
     for task in rl_scores:
         print(f"{task:<14}{rl_scores[task]:>10.3f}{bu_scores[task]:>20.3f}")
 
-    # 5. Ad-hoc workload analytics run through the batch QueryEngine: one
-    #    engine per database evaluates a whole workload in vectorized passes
-    #    (and memoizes results), instead of looping query by query. This is
-    #    the same path the trainer and evaluator use internally.
+    # 5. Ad-hoc workload analytics run through the unified client API: a
+    #    LocalClient rides each database's shared batch QueryEngine
+    #    (vectorized passes + memoization — the same path the trainer and
+    #    evaluator use internally), and the identical code serves sharded
+    #    (ServiceClient) or over a socket (RemoteClient) unchanged.
     workload = RangeQueryWorkload.from_data_distribution(db, 200, seed=3)
-    truth = QueryEngine.for_database(db).evaluate(workload)
-    approx = QueryEngine.for_database(simplified).evaluate(workload)
+    with LocalClient(db) as original, LocalClient(simplified) as approx_client:
+        truth = original.range(workload).result_sets
+        approx = approx_client.range(workload).result_sets
     kept = sum(len(t & a) for t, a in zip(truth, approx))
     total = sum(len(t) for t in truth)
-    print(f"\nbatch engine: 200 ad-hoc queries, "
+    print(f"\nclient API: 200 ad-hoc queries, "
           f"{kept}/{total} original result entries preserved")
 
     # 6. Models persist to a single .npz file.

@@ -27,20 +27,30 @@ It provides:
 * the paper's 25 error-driven baselines with "E" and "W" adaptations
   (:mod:`repro.baselines`),
 * the evaluation harness regenerating every table and figure
-  (:mod:`repro.eval`), and
+  (:mod:`repro.eval`),
 * the sharded online query service — K-shard scatter/gather over per-shard
   engines (serial or one worker process per shard), streaming ingestion
   without rebuilds, and a typed request layer with caching and stats
-  (:mod:`repro.service`).
+  (:mod:`repro.service`) — plus an asyncio socket front-end
+  (:mod:`repro.service.server`, ``repro serve --listen``), and
+* the unified query client API (:mod:`repro.client`): one typed
+  :class:`~repro.client.Client` surface with three property-tested
+  bit-identical transports — :class:`~repro.client.LocalClient` (one
+  engine), :class:`~repro.client.ServiceClient` (sharded service), and
+  :class:`~repro.client.RemoteClient` (socket).
 
 Quickstart::
 
-    from repro import synthetic_database, RL4QDTS, RangeQueryWorkload
+    from repro import LocalClient, RangeQueryWorkload, RL4QDTS, synthetic_database
 
     db = synthetic_database("geolife", n_trajectories=50, seed=7)
     workload = RangeQueryWorkload.from_data_distribution(db, n_queries=40, seed=7)
     simplifier = RL4QDTS.train(db, workload, budget_ratio=0.05, seed=7)
     simplified = simplifier.simplify(db, budget_ratio=0.05)
+
+    with LocalClient(simplified) as client:      # the unified query surface:
+        hits = client.range(workload).result_sets   # swap in ServiceClient /
+        counts = client.count(workload.boxes).counts  # RemoteClient unchanged
 """
 
 from repro.data import (
@@ -83,6 +93,14 @@ from repro.queries import (
 from repro.workloads import RangeQueryWorkload
 from repro.core import RL4QDTS, RL4QDTSConfig
 from repro.service import QueryService, ShardManager
+from repro.client import (
+    Client,
+    IngestResult,
+    LocalClient,
+    RemoteClient,
+    RequestError,
+    ServiceClient,
+)
 from repro.baselines import (
     top_down,
     bottom_up,
@@ -134,6 +152,12 @@ __all__ = [
     "f1_score",
     "QueryService",
     "ShardManager",
+    "Client",
+    "IngestResult",
+    "LocalClient",
+    "ServiceClient",
+    "RemoteClient",
+    "RequestError",
     "RangeQueryWorkload",
     "RL4QDTS",
     "RL4QDTSConfig",

@@ -15,8 +15,11 @@ code:
 * ``serve``     — run the sharded query service over a JSONL request file
   (range / count / histogram / kNN / similarity requests plus streaming
   ``ingest`` of additional database files), printing responses and
-  latency/cache statistics
+  latency/cache statistics — or, with ``--listen HOST:PORT``, as an
+  asyncio TCP server speaking the length-prefixed JSON frame protocol
 * ``query``     — one-shot sharded query against a database
+* ``client``    — one-shot query against a running ``serve --listen``
+  server through :class:`repro.client.RemoteClient`
 
 Example::
 
@@ -168,17 +171,22 @@ def _request_boxes(req: dict):
     return [BoundingBox(*bounds) for bounds in req["boxes"]]
 
 
-def _serve_request(service, req: dict) -> dict:
-    """Execute one JSONL request against a QueryService; JSON-safe response."""
+def _serve_request(client, req: dict, lookup) -> dict:
+    """Execute one JSONL request through a Client; JSON-safe response.
+
+    ``client`` is any :class:`repro.client.Client` (the sharded service for
+    ``repro serve``/``repro query``, a socket client for ``repro client``);
+    ``lookup(i)`` resolves a query-trajectory id for knn/similarity ops.
+    """
     op = req["op"]
     if op == "range":
-        response = service.range(_request_boxes(req))
+        response = client.range(_request_boxes(req))
         body = {"results": [sorted(s) for s in response.result_sets]}
     elif op == "count":
-        response = service.count(_request_boxes(req))
+        response = client.count(_request_boxes(req))
         body = {"counts": response.counts.tolist()}
     elif op == "histogram":
-        response = service.histogram(
+        response = client.histogram(
             grid=int(req.get("grid", 32)), normalize=bool(req.get("normalize", False))
         )
         body = {
@@ -186,18 +194,18 @@ def _serve_request(service, req: dict) -> dict:
             "total": float(response.histogram.sum()),
         }
     elif op == "knn":
-        queries = [service.manager.trajectory(int(i)) for i in req["ids"]]
-        response = service.knn(
+        queries = [lookup(int(i)) for i in req["ids"]]
+        response = client.knn(
             queries, int(req.get("k", 3)), eps=float(req.get("eps", 2000.0))
         )
         body = {"neighbors": response.neighbors}
     elif op == "similarity":
-        queries = [service.manager.trajectory(int(i)) for i in req["ids"]]
-        response = service.similarity(queries, float(req["delta"]))
+        queries = [lookup(int(i)) for i in req["ids"]]
+        response = client.similarity(queries, float(req["delta"]))
         body = {"results": [sorted(s) for s in response.result_sets]}
     elif op == "ingest":
-        added = service.ingest(list(load_database(req["db"])))
-        return {"op": op, "added": added, "epoch": service.manager.epoch}
+        result = client.ingest(list(load_database(req["db"])))
+        return {"op": op, "added": result.added, "epoch": result.epoch}
     else:
         raise ValueError(f"unknown request op {op!r}")
     return {
@@ -222,11 +230,47 @@ def _make_service(args):
     )
 
 
+def _parse_hostport(value: str) -> tuple[str, int]:
+    host, _, port = value.rpartition(":")
+    if not host or not port.isdigit():
+        raise SystemExit(f"expected HOST:PORT, got {value!r}")
+    return host, int(port)
+
+
+def _serve_listen(args, service) -> int:
+    """The asyncio socket front-end of ``repro serve --listen``."""
+    import asyncio
+
+    from repro.service.server import QueryServer
+
+    host, port = _parse_hostport(args.listen)
+
+    async def _run() -> None:
+        server = QueryServer(service, host, port)
+        await server.start()
+        # The parseable "listening on" line is the startup contract scripts
+        # and tests wait for (port 0 resolves to an OS-assigned port).
+        print(f"listening on {server.host}:{server.port}", flush=True)
+        try:
+            await server.serve_forever()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("shutting down", flush=True)
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import json
     from pathlib import Path
 
+    from repro.client import ServiceClient
+
     service = _make_service(args)
+    client = ServiceClient(service)
     try:
         info = service.describe()
         print(
@@ -236,7 +280,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"{info['index']} index)"
         )
         failures = 0
-        if args.requests:
+        if args.listen:
+            _serve_listen(args, service)
+        elif args.requests:
             # Responses stream out as they are produced, and a failing
             # request yields an error response line instead of discarding
             # the work already done on earlier lines.
@@ -248,7 +294,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     if not line or line.startswith("#"):
                         continue
                     try:
-                        response = _serve_request(service, json.loads(line))
+                        response = _serve_request(
+                            client, json.loads(line), service.manager.trajectory
+                        )
                     except Exception as exc:
                         failures += 1
                         response = {
@@ -296,10 +344,18 @@ def _cmd_query(args: argparse.Namespace) -> int:
             if args.delta is None:
                 raise SystemExit("--delta is required for similarity queries")
             req["delta"] = args.delta
+    from repro.client import ServiceClient
+
     service = _make_service(args)
     try:
         try:
-            print(json.dumps(_serve_request(service, req)))
+            print(
+                json.dumps(
+                    _serve_request(
+                        ServiceClient(service), req, service.manager.trajectory
+                    )
+                )
+            )
         except Exception as exc:
             # Same contract as `serve`: failures become a JSON error line
             # and a nonzero exit, not a raw traceback.
@@ -307,6 +363,60 @@ def _cmd_query(args: argparse.Namespace) -> int:
             return 1
     finally:
         service.close()
+    return 0
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    """One-shot query against a running ``repro serve --listen`` server."""
+    import json
+
+    from repro.client import RemoteClient
+
+    req: dict = {"op": args.type}
+    if args.type in ("range", "count"):
+        if not args.workload:
+            raise SystemExit("--workload is required for range/count queries")
+        req["workload"] = args.workload
+    elif args.type == "histogram":
+        req.update(grid=args.grid, normalize=args.normalize)
+    elif args.type in ("knn", "similarity"):
+        if not args.ids:
+            raise SystemExit("--ids is required for knn/similarity queries")
+        if not args.query_db:
+            raise SystemExit(
+                "--query-db is required for knn/similarity queries: query "
+                "trajectories travel with the request, so --ids index into "
+                "this local database file"
+            )
+        req["ids"] = args.ids
+        if args.type == "knn":
+            req.update(k=args.k, eps=args.eps)
+        else:
+            if args.delta is None:
+                raise SystemExit("--delta is required for similarity queries")
+            req["delta"] = args.delta
+    elif args.type == "ingest":
+        if not args.ingest:
+            raise SystemExit("--ingest is required for the ingest op")
+        req["db"] = args.ingest
+
+    lookup = None
+    if args.type in ("knn", "similarity"):
+        query_db = load_database(args.query_db)
+        lookup = query_db.__getitem__
+    host, port = _parse_hostport(args.connect)
+    client = RemoteClient(host, port, timeout=args.timeout)
+    try:
+        if args.type == "describe":
+            print(json.dumps(client.describe()))
+            return 0
+        try:
+            print(json.dumps(_serve_request(client, req, lookup)))
+        except Exception as exc:
+            print(json.dumps({"error": f"{type(exc).__name__}: {exc}"}))
+            return 1
+    finally:
+        client.close()
     return 0
 
 
@@ -409,10 +519,45 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_service_arguments(p)
     p.add_argument("--requests", help="JSONL request file (one request per line)")
+    p.add_argument("--listen", metavar="HOST:PORT",
+                   help="run the asyncio socket front-end instead of a JSONL "
+                   "file: length-prefixed JSON frames, version handshake, "
+                   "concurrent clients (port 0 picks a free port; Ctrl-C "
+                   "shuts down gracefully). Query with `repro client` or "
+                   "repro.client.RemoteClient.")
     p.add_argument("--out", help="write JSONL responses here instead of stdout")
     p.add_argument("--stats", action="store_true",
                    help="print latency/cache statistics after serving")
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "client",
+        help="one-shot query against a running `repro serve --listen` server",
+        description="Connect to a socket server and run one query through "
+        "the unified client API. Query trajectories for knn/similarity are "
+        "read from --query-db and travel with the request.",
+    )
+    p.add_argument("--connect", required=True, metavar="HOST:PORT",
+                   help="server address printed by `repro serve --listen`")
+    p.add_argument("--type", required=True,
+                   choices=["range", "count", "histogram", "knn",
+                            "similarity", "ingest", "describe"])
+    p.add_argument("--workload", help="workload JSON (range/count)")
+    p.add_argument("--grid", type=int, default=32, help="histogram resolution")
+    p.add_argument("--normalize", action="store_true",
+                   help="normalize the histogram to a distribution")
+    p.add_argument("--query-db",
+                   help="local database file supplying --ids query "
+                   "trajectories (knn/similarity)")
+    p.add_argument("--ids", type=int, nargs="*",
+                   help="query trajectory ids into --query-db (knn/similarity)")
+    p.add_argument("-k", "--k", type=int, default=3, help="kNN result size")
+    p.add_argument("--eps", type=float, default=2000.0, help="EDR threshold")
+    p.add_argument("--delta", type=float, help="similarity distance threshold")
+    p.add_argument("--ingest", help="database file to stream in (type=ingest)")
+    p.add_argument("--timeout", type=float, default=60.0,
+                   help="socket timeout in seconds")
+    p.set_defaults(func=_cmd_client)
 
     p = sub.add_parser("query", help="one-shot sharded query against a database")
     _add_service_arguments(p)

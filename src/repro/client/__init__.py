@@ -1,0 +1,55 @@
+"""The unified query client API: one typed surface, three transports.
+
+Every query workload in the repository — the evaluation harness, the CLI,
+benchmarks, examples — speaks to a database through the same
+:class:`Client` protocol over the canonical wire schema
+(:mod:`repro.service.requests`):
+
+* :class:`LocalClient` — a :class:`~repro.queries.engine.QueryEngine`
+  over one in-process database (the single-machine reference);
+* :class:`ServiceClient` — a sharded
+  :class:`~repro.service.service.QueryService` with scatter/gather
+  executors and streaming ingest;
+* :class:`RemoteClient` — a synchronous facade over the asyncio socket
+  front-end (:mod:`repro.service.server`, ``repro serve --listen``).
+
+The three are property-tested **bit-identical** for all five query kinds
+(range, count, histogram, kNN, similarity) under interleaved ingest —
+switching transports changes latency, never answers.
+
+Quickstart::
+
+    from repro import LocalClient, synthetic_database
+    from repro.service.server import serve_in_thread
+    from repro.client import RemoteClient, ServiceClient
+
+    db = synthetic_database("geolife", n_trajectories=100, seed=7)
+    with LocalClient(db) as client:                 # in-process
+        hits = client.range(workload).result_sets
+
+    with ServiceClient.for_database(db, n_shards=4) as client:  # sharded
+        client.ingest(more_trajectories)
+        counts = client.count(boxes).counts
+
+    handle = serve_in_thread(QueryService(db), port=0)          # networked
+    with RemoteClient(handle.host, handle.port) as client:
+        neighbors = client.knn(queries, k=3).neighbors
+    handle.stop()
+"""
+
+from repro.client.base import Client, IngestResult
+from repro.client.local import LocalClient
+from repro.client.remote import RemoteClient, ServerError
+from repro.client.service import ServiceClient
+from repro.service.requests import PROTOCOL_VERSION, RequestError
+
+__all__ = [
+    "Client",
+    "IngestResult",
+    "LocalClient",
+    "ServiceClient",
+    "RemoteClient",
+    "ServerError",
+    "RequestError",
+    "PROTOCOL_VERSION",
+]

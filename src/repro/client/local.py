@@ -1,0 +1,171 @@
+""":class:`LocalClient` — the Client protocol over one in-process engine.
+
+The reference transport: requests dispatch straight onto the database's
+shared :class:`~repro.queries.engine.QueryEngine` (so repeated scoring of
+the same database state hits the engine memo that the training and
+evaluation paths already share). Semantics mirror the sharded service
+exactly — the same ``(cache key, epoch)`` result LRU, the same canonical
+payload forms, the same response metadata — which is what makes the
+three-transport parity property testable bit for bit.
+
+Ingest materializes ``db.extended(batch)`` and bumps the epoch: the
+documented reference behavior that the sharded service's streaming path
+is property-tested against.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterable
+
+import numpy as np
+
+from repro.client.base import Client, IngestResult
+from repro.data.database import TrajectoryDatabase
+from repro.data.trajectory import Trajectory
+from repro.queries.engine import QueryEngine
+from repro.queries.knn import knn_query_batch
+from repro.service.requests import Response, serve_cached
+from repro.service.service import ServiceStats
+
+
+class LocalClient(Client):
+    """Typed query client over a single in-process database.
+
+    Parameters
+    ----------
+    db:
+        The served database.
+    resolution, index:
+        Engine grid resolution / index backend name, applied when this
+        client creates the database's shared engine (an engine that already
+        exists is reused unchanged).
+    cache_size:
+        LRU entries of whole-request results, keyed on
+        ``(request cache key, epoch)`` — the service's cache semantics.
+    """
+
+    transport = "local"
+
+    def __init__(
+        self,
+        db: TrajectoryDatabase,
+        *,
+        resolution: tuple[int, int, int] = (32, 32, 16),
+        index: str = "grid",
+        cache_size: int = 64,
+    ) -> None:
+        self._resolution = resolution
+        self._index = index
+        self._db = db
+        self._engine = self._build_engine(db)
+        self._epoch = 0
+        self._cache: OrderedDict[tuple, object] = OrderedDict()
+        self._cache_size = int(cache_size)
+        self.stats = ServiceStats()
+        self._closed = False
+
+    def _build_engine(self, db: TrajectoryDatabase) -> QueryEngine:
+        # Backend choice never changes answers, only pruning cost — so when
+        # the database already has a shared engine, it is reused unchanged.
+        if self._index == "grid":
+            return QueryEngine.for_database(db, resolution=self._resolution)
+        from repro.index.backend import make_backend
+
+        return QueryEngine.for_database(db, backend=make_backend(self._index, db))
+
+    # ---------------------------------------------------------------- protocol
+    @property
+    def database(self) -> TrajectoryDatabase:
+        """The currently served database state (grows with ingest)."""
+        return self._db
+
+    @property
+    def epoch(self) -> int:
+        return self._epoch
+
+    def execute(self, request) -> Response:
+        if self._closed:
+            raise RuntimeError("client is closed")
+        # The same serving loop as QueryService.execute (serve_cached), so
+        # cache/epoch/stats semantics cannot drift between transports.
+        return serve_cached(
+            request,
+            epoch=self._epoch,
+            n_shards=1,
+            cache=self._cache,
+            cache_size=self._cache_size,
+            stats=self.stats,
+            dispatch=self._dispatch,
+        )
+
+    def _dispatch(self, request):
+        """Run one request on the engine, in canonical payload form."""
+        kind = request.kind
+        if kind == "range":
+            results = self._engine.evaluate(list(request.boxes))
+            return tuple(frozenset(s) for s in results)
+        if kind == "count":
+            counts = np.asarray(self._engine.count(request.boxes), dtype=np.int64)
+            counts.setflags(write=False)
+            return counts
+        if kind == "histogram":
+            hist = np.asarray(
+                self._engine.histogram(
+                    grid=request.grid, box=request.box, normalize=request.normalize
+                ),
+                dtype=float,
+            )
+            hist.setflags(write=False)
+            return hist
+        if kind == "knn":
+            pairs = knn_query_batch(
+                self._db,
+                list(request.queries),
+                request.k,
+                None if request.time_windows is None else list(request.time_windows),
+                request.measure,
+                eps=request.eps,
+                engine=self._engine,
+                return_pairs=True,
+            )
+            return tuple(tuple(tuple(p) for p in query_pairs) for query_pairs in pairs)
+        if kind == "similarity":
+            results = self._engine.similarity(
+                list(request.queries),
+                request.delta,
+                None if request.time_windows is None else list(request.time_windows),
+                n_checkpoints=request.n_checkpoints,
+            )
+            return tuple(frozenset(s) for s in results)
+        raise ValueError(f"unknown request kind {kind!r}")
+
+    def ingest(self, trajectories: Iterable[Trajectory]) -> IngestResult:
+        if self._closed:
+            raise RuntimeError("client is closed")
+        batch = list(trajectories)
+        if not batch:
+            return IngestResult(added=0, epoch=self._epoch)
+        for t in batch:
+            if not isinstance(t, Trajectory):
+                raise TypeError(f"expected Trajectory, got {type(t).__name__}")
+        self._db = self._db.extended(batch)
+        self._engine = self._build_engine(self._db)
+        self._epoch += 1
+        self.stats.record_ingest(batch)
+        return IngestResult(added=len(batch), epoch=self._epoch)
+
+    def describe(self) -> dict:
+        return {
+            "transport": self.transport,
+            "n_shards": 1,
+            "executor": "local",
+            "index": self._index,
+            "epoch": self._epoch,
+            "trajectories": len(self._db),
+            "points": self._db.total_points,
+        }
+
+    def close(self) -> None:
+        self._closed = True
+        self._cache.clear()

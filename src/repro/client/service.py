@@ -1,0 +1,54 @@
+""":class:`ServiceClient` — the Client protocol over a sharded QueryService.
+
+A thin adapter: requests go straight to
+:meth:`~repro.service.service.QueryService.execute` (caching, stats, and
+the exact shard merges live in the service), ingest routes through the
+manager's transactional streaming path. The client can either wrap an
+existing service (``ServiceClient(service)``) or own one built from a
+database (``ServiceClient.for_database(db, n_shards=4, ...)``), in which
+case ``close()`` also releases the service's executor workers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.client.base import Client, IngestResult
+from repro.data.database import TrajectoryDatabase
+from repro.data.trajectory import Trajectory
+from repro.service.requests import Response
+from repro.service.service import QueryService
+
+
+class ServiceClient(Client):
+    """Typed query client over a (possibly multi-process) sharded service."""
+
+    transport = "service"
+
+    def __init__(self, service: QueryService, *, own_service: bool = False) -> None:
+        self.service = service
+        self._own_service = bool(own_service)
+
+    @classmethod
+    def for_database(cls, db: TrajectoryDatabase, **service_kwargs) -> "ServiceClient":
+        """Build (and own) a :class:`QueryService` over ``db``."""
+        return cls(QueryService(db, **service_kwargs), own_service=True)
+
+    # ---------------------------------------------------------------- protocol
+    @property
+    def epoch(self) -> int:
+        return self.service.manager.epoch
+
+    def execute(self, request) -> Response:
+        return self.service.execute(request)
+
+    def ingest(self, trajectories: Iterable[Trajectory]) -> IngestResult:
+        added = self.service.ingest(trajectories)
+        return IngestResult(added=added, epoch=self.service.manager.epoch)
+
+    def describe(self) -> dict:
+        return {"transport": self.transport, **self.service.describe()}
+
+    def close(self) -> None:
+        if self._own_service:
+            self.service.close()

@@ -173,6 +173,7 @@ class QueryAccuracyEvaluator:
         simplified: TrajectoryDatabase,
         tasks: tuple[str, ...] = ALL_TASKS,
         service=None,
+        client=None,
     ) -> dict[str, float]:
         """Mean F1 per task of ``simplified`` against the original's truth.
 
@@ -180,54 +181,66 @@ class QueryAccuracyEvaluator:
         trajectories (queries arrive from outside; only the database is
         simplified), matching the paper's setup.
 
-        ``service`` optionally supplies a
-        :class:`repro.service.QueryService` *serving the simplified
-        database*: the range, kNN-EDR, and similarity tasks are then
-        answered by the sharded service instead of the local engine. The
-        service's merges are exact, so scores are identical either way
-        (property-tested); this exists to evaluate the serving layer
-        end-to-end. The t2vec kNN task (whose embedder lives in this
-        process) and clustering always run locally.
+        ``client`` optionally supplies any :class:`repro.client.Client`
+        *serving the simplified database* — local, sharded, or remote over
+        a socket: the range, kNN-EDR, and similarity tasks are then
+        answered through it. With no client, a
+        :class:`~repro.client.LocalClient` over ``simplified`` is used, so
+        every transport runs the same code path; all transports are
+        property-tested bit-identical, so scores never depend on the
+        choice. The t2vec kNN task (whose embedder lives in this process)
+        and clustering always run locally.
+
+        ``service`` (a :class:`repro.service.QueryService`) is the
+        deprecated spelling of ``client=ServiceClient(service)``.
         """
+        from repro.client import LocalClient, ServiceClient
+
         if len(simplified) != len(self.db):
             raise ValueError("simplified database must match the original's size")
-        if service is not None and service.manager.n_trajectories != len(simplified):
+        if service is not None:
+            from repro.service._deprecation import warn_once
+
+            if client is not None:
+                raise ValueError("pass either client or service, not both")
+            warn_once(
+                "QueryAccuracyEvaluator.evaluate(service=)",
+                "evaluate(service=...) is deprecated; pass "
+                "client=repro.client.ServiceClient(service) instead",
+            )
+            client = ServiceClient(service)
+        if client is not None and client.describe()["trajectories"] != len(
+            simplified
+        ):
             raise ValueError(
-                "service must be built over the simplified database "
-                f"({service.manager.n_trajectories} served vs "
+                "the client/service must be built over the simplified "
+                f"database ({client.describe()['trajectories']} served vs "
                 f"{len(simplified)} simplified trajectories)"
             )
+        if client is None:
+            # The local client rides the database's SHARED engine, which
+            # memoizes per (database, workload): scoring the same
+            # simplified database again — e.g. in evaluate_extended —
+            # reuses these results.
+            client = LocalClient(simplified)
         scores: dict[str, float] = {}
         for task in tasks:
             if task == "range":
-                # The shared engine memoizes per (database, workload):
-                # scoring the same simplified database again — e.g. in
-                # evaluate_extended — reuses these results.
-                if service is not None:
-                    results = service.range(self.workload).result_sets
-                else:
-                    results = QueryEngine.for_database(simplified).evaluate(
-                        self.workload
-                    )
+                results = client.range(self.workload).result_sets
                 scores[task] = float(
                     np.mean(
                         [f1_score(t, r) for t, r in zip(self._range_truth, results)]
                     )
                 )
             elif task == "knn_edr":
-                scores[task] = self._score_knn(simplified, "edr", service)
+                scores[task] = self._score_knn(simplified, "edr", client)
             elif task == "knn_t2vec":
                 scores[task] = self._score_knn(simplified, "t2vec")
             elif task == "similarity":
                 sim_queries = [self.db[qid] for qid in self._sim_query_ids]
-                if service is not None:
-                    results = service.similarity(
-                        sim_queries, self.similarity_delta
-                    ).result_sets
-                else:
-                    results = similarity_query_batch(
-                        simplified, sim_queries, self.similarity_delta
-                    )
+                results = client.similarity(
+                    sim_queries, self.similarity_delta
+                ).result_sets
                 scores[task] = float(
                     np.mean(
                         [
@@ -303,12 +316,16 @@ class QueryAccuracyEvaluator:
         }
 
     def _score_knn(
-        self, simplified: TrajectoryDatabase, measure: str, service=None
+        self, simplified: TrajectoryDatabase, measure: str, client=None
     ) -> float:
         """Mean kNN F1 over the suite, batched through the shared engine."""
         truths = self._knn_edr_truth if measure == "edr" else self._knn_t2vec_truth
-        if service is not None and measure == "edr":
-            results = service.knn(
+        if not self._knn_query_ids:
+            # An empty suite is vacuous perfect agreement; don't put an
+            # empty request on the wire (the schema rejects zero queries).
+            return 1.0
+        if client is not None and measure == "edr":
+            results = client.knn(
                 [self.db[qid] for qid in self._knn_query_ids],
                 self.config.k,
                 self._knn_windows,

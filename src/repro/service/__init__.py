@@ -13,19 +13,25 @@ Layering (see ``ARCHITECTURE.md`` at the repository root)::
   plus a streamed pending tier (ingest without rebuild);
 * :mod:`~repro.service.executors` — scatter/gather over shards, serial
   reference and one-worker-process-per-shard implementations;
-* :mod:`~repro.service.requests` — the typed request/response API;
+* :mod:`~repro.service.requests` — the typed request/response API, which
+  doubles as the canonical versioned wire schema (``to_json``/``from_json``
+  codecs, :class:`RequestError` decode-time validation);
 * :mod:`~repro.service.service` — :class:`QueryService`: caching, stats,
-  ingestion, and the exact k-way/union/sum merges.
+  ingestion, and the exact k-way/union/sum merges;
+* :mod:`~repro.service.server` — the asyncio TCP front-end
+  (length-prefixed JSON frames, version handshake, concurrent clients,
+  graceful shutdown) behind ``repro serve --listen``.
 
-Quickstart::
+Quickstart (the unified client API — :mod:`repro.client`)::
 
-    from repro import QueryService, synthetic_database
+    from repro import QueryService, ServiceClient, synthetic_database
 
     db = synthetic_database("geolife", n_trajectories=100, seed=7)
-    with QueryService(db, n_shards=4, executor="process") as service:
-        hot = service.range(workload)            # == QueryEngine results
-        service.ingest(more_trajectories)        # streamed, no rebuild
-        counts = service.count(boxes).counts
+    service = QueryService(db, n_shards=4, executor="process")
+    with ServiceClient(service, own_service=True) as client:
+        hot = client.range(workload)             # == LocalClient results
+        client.ingest(more_trajectories)         # streamed, no rebuild
+        counts = client.count(boxes).counts
 """
 
 from repro.service.executors import (
@@ -36,6 +42,7 @@ from repro.service.executors import (
     make_executor,
 )
 from repro.service.requests import (
+    PROTOCOL_VERSION,
     REQUEST_TYPES,
     CountRequest,
     CountResponse,
@@ -45,11 +52,18 @@ from repro.service.requests import (
     KnnResponse,
     RangeRequest,
     RangeResponse,
+    RequestError,
     Response,
     SimilarityRequest,
     SimilarityResponse,
+    build_response,
+    request_from_json,
+    request_to_json,
+    response_from_json,
+    response_to_json,
 )
 from repro.service.runtime import ShardRuntime
+from repro.service.server import QueryServer, ServerHandle, serve_in_thread
 from repro.service.service import (
     QueryService,
     ServiceStats,
@@ -90,4 +104,14 @@ __all__ = [
     "KnnResponse",
     "SimilarityResponse",
     "REQUEST_TYPES",
+    "PROTOCOL_VERSION",
+    "RequestError",
+    "build_response",
+    "request_to_json",
+    "request_from_json",
+    "response_to_json",
+    "response_from_json",
+    "QueryServer",
+    "ServerHandle",
+    "serve_in_thread",
 ]

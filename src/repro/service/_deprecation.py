@@ -1,0 +1,26 @@
+"""Warn-once bookkeeping for deprecated entry points.
+
+The old kwargs-style surfaces (``QueryService.range/knn/...``, the
+harness's ``service=`` parameter) keep working through the unified
+:mod:`repro.client` API, but each warns exactly once per process so logs
+flag the migration without drowning batch workloads in repeats.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+_FIRED: set[str] = set()
+
+
+def warn_once(entry_point: str, message: str, *, stacklevel: int = 3) -> None:
+    """Emit ``DeprecationWarning`` the first time ``entry_point`` is hit."""
+    if entry_point in _FIRED:
+        return
+    _FIRED.add(entry_point)
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel)
+
+
+def reset_fired() -> None:
+    """Forget which warnings fired (test hook)."""
+    _FIRED.clear()

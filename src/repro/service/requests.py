@@ -1,4 +1,4 @@
-"""Typed request/response messages of the query service.
+"""Typed request/response messages — the canonical, versioned wire schema.
 
 Requests are small frozen dataclasses describing one batched operation;
 each knows its scatter ``kind`` (which shard-runtime operation serves it),
@@ -11,10 +11,24 @@ so ingestion invalidates by construction rather than by explicit flush.
 
 Responses carry the merged result plus serving metadata (epoch, latency,
 whether the result came from the cache).
+
+Every request and response additionally implements ``to_json()`` /
+``from_json()``: a JSON-object encoding carrying ``"v"``
+(:data:`PROTOCOL_VERSION`) and ``"kind"``, with ndarray payloads as nested
+lists (Python's float repr round-trips doubles exactly, so decoding is
+bit-identical) and :class:`~repro.data.trajectory.Trajectory` payloads as
+``{"id", "points"}`` objects. Decoding *validates*: malformed input —
+unknown kinds, bad box bounds, non-numeric windows, unsupported versions —
+raises the typed :class:`RequestError` with a clear message instead of
+surfacing as an ``AttributeError``/``KeyError`` deep inside the scatter
+path. This schema is what every transport speaks: the asyncio socket
+front-end (:mod:`repro.service.server`) frames exactly these objects, and
+the client facades (:mod:`repro.client`) build them.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -23,6 +37,136 @@ import numpy as np
 from repro.data.bbox import BoundingBox
 from repro.data.trajectory import Trajectory
 from repro.queries.engine import array_digest
+
+#: Version tag of the wire schema. Bumped on any incompatible change to the
+#: request/response JSON layout; the socket handshake rejects mismatches.
+PROTOCOL_VERSION = 1
+
+
+class RequestError(ValueError):
+    """A malformed or unsupported wire message, detected at decode time.
+
+    Raised by every ``from_json`` codec (and by ``to_json`` for values that
+    cannot travel, e.g. callable kNN measures) so transports can answer
+    with a structured error frame instead of dropping the connection or
+    failing deep inside the scatter path.
+    """
+
+
+def _fail(message: str) -> "RequestError":
+    return RequestError(message)
+
+
+def _number(value, what: str, *, finite: bool = True) -> float:
+    """Decode one JSON number; bools and non-numerics are rejected."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise _fail(f"{what} must be a number, got {value!r}")
+    out = float(value)
+    if finite and not np.isfinite(out):
+        raise _fail(f"{what} must be finite, got {value!r}")
+    return out
+
+
+def _integer(value, what: str, *, minimum: int | None = None) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise _fail(f"{what} must be an integer, got {value!r}")
+    if minimum is not None and value < minimum:
+        raise _fail(f"{what} must be >= {minimum}, got {value}")
+    return int(value)
+
+
+def box_to_json(box: BoundingBox) -> list[float]:
+    """``[xmin, xmax, ymin, ymax, tmin, tmax]`` (the CLI's box layout)."""
+    return [box.xmin, box.xmax, box.ymin, box.ymax, box.tmin, box.tmax]
+
+
+def box_from_json(obj) -> BoundingBox:
+    if not isinstance(obj, (list, tuple)) or len(obj) != 6:
+        raise _fail(
+            "a box must be a 6-element array "
+            f"[xmin, xmax, ymin, ymax, tmin, tmax], got {obj!r}"
+        )
+    bounds = [_number(v, f"box bound {i}") for i, v in enumerate(obj)]
+    try:
+        return BoundingBox(*bounds)
+    except ValueError as exc:  # degenerate (min > max) bounds
+        raise _fail(f"bad box bounds: {exc}") from None
+
+
+def trajectory_to_json(trajectory: Trajectory) -> dict:
+    return {
+        "id": int(trajectory.traj_id),
+        "points": trajectory.points.tolist(),
+    }
+
+
+def trajectory_from_json(obj) -> Trajectory:
+    if not isinstance(obj, dict) or "points" not in obj:
+        raise _fail(f"a trajectory must be an object with 'points', got {obj!r}")
+    points = obj["points"]
+    if not isinstance(points, list) or not all(
+        isinstance(p, (list, tuple))
+        and len(p) == 3
+        and not any(isinstance(v, (bool, str, type(None))) for v in p)
+        for p in points
+    ):
+        raise _fail("trajectory points must be an array of [x, y, t] rows")
+    traj_id = obj.get("id", -1)
+    try:
+        return Trajectory(np.asarray(points, dtype=float), traj_id=int(traj_id))
+    except (TypeError, ValueError) as exc:
+        raise _fail(f"bad trajectory: {exc}") from None
+
+
+def _windows_to_json(windows) -> list | None:
+    if windows is None:
+        return None
+    return [None if w is None else [float(w[0]), float(w[1])] for w in windows]
+
+
+def _windows_from_json(obj, n_queries: int):
+    if obj is None:
+        return None
+    if not isinstance(obj, list):
+        raise _fail(f"time_windows must be an array or null, got {obj!r}")
+    if len(obj) != n_queries:
+        raise _fail(
+            f"time_windows has {len(obj)} entries for {n_queries} queries"
+        )
+    windows = []
+    for i, w in enumerate(obj):
+        if w is None:
+            windows.append(None)
+            continue
+        if not isinstance(w, (list, tuple)) or len(w) != 2:
+            raise _fail(f"time window {i} must be [ts, te] or null, got {w!r}")
+        windows.append(
+            (_number(w[0], f"time window {i} start"),
+             _number(w[1], f"time window {i} end"))
+        )
+    return tuple(windows)
+
+
+def _queries_from_json(obj) -> tuple[Trajectory, ...]:
+    if not isinstance(obj, list) or not obj:
+        raise _fail(f"queries must be a non-empty array, got {obj!r}")
+    return tuple(trajectory_from_json(q) for q in obj)
+
+
+def _boxes_from_json(obj: dict) -> tuple[BoundingBox, ...]:
+    boxes = obj.get("boxes")
+    if not isinstance(boxes, list):
+        raise _fail(f"'boxes' must be an array of boxes, got {boxes!r}")
+    return tuple(box_from_json(b) for b in boxes)
+
+
+def _check_version(obj) -> None:
+    version = obj.get("v")
+    if version != PROTOCOL_VERSION:
+        raise _fail(
+            f"unsupported protocol version {version!r} "
+            f"(this build speaks version {PROTOCOL_VERSION})"
+        )
 
 
 def _boxes_of(queries) -> tuple[BoundingBox, ...]:
@@ -71,6 +215,17 @@ class RangeRequest:
     def cache_key(self) -> tuple:
         return ("range", _bounds_key(self.boxes))
 
+    def to_json(self) -> dict:
+        return {
+            "v": PROTOCOL_VERSION,
+            "kind": self.kind,
+            "boxes": [box_to_json(b) for b in self.boxes],
+        }
+
+    @classmethod
+    def from_json(cls, obj: dict) -> "RangeRequest":
+        return cls(_boxes_from_json(obj))
+
 
 @dataclass(frozen=True)
 class CountRequest:
@@ -88,6 +243,17 @@ class CountRequest:
 
     def cache_key(self) -> tuple:
         return ("count", _bounds_key(self.boxes))
+
+    def to_json(self) -> dict:
+        return {
+            "v": PROTOCOL_VERSION,
+            "kind": self.kind,
+            "boxes": [box_to_json(b) for b in self.boxes],
+        }
+
+    @classmethod
+    def from_json(cls, obj: dict) -> "CountRequest":
+        return cls(_boxes_from_json(obj))
 
 
 @dataclass(frozen=True)
@@ -110,6 +276,28 @@ class HistogramRequest:
         box = self.box
         bounds = None if box is None else _bounds_key((box,))
         return ("histogram", int(self.grid), bounds, bool(self.normalize))
+
+    def to_json(self) -> dict:
+        return {
+            "v": PROTOCOL_VERSION,
+            "kind": self.kind,
+            "grid": int(self.grid),
+            "box": None if self.box is None else box_to_json(self.box),
+            "normalize": bool(self.normalize),
+        }
+
+    @classmethod
+    def from_json(cls, obj: dict) -> "HistogramRequest":
+        grid = _integer(obj.get("grid", 32), "grid", minimum=1)
+        box = obj.get("box")
+        normalize = obj.get("normalize", False)
+        if not isinstance(normalize, bool):
+            raise _fail(f"normalize must be a boolean, got {normalize!r}")
+        return cls(
+            grid=grid,
+            box=None if box is None else box_from_json(box),
+            normalize=normalize,
+        )
 
 
 @dataclass(frozen=True)
@@ -158,6 +346,43 @@ class KnnRequest:
             float(self.eps),
         )
 
+    def to_json(self) -> dict:
+        if not isinstance(self.measure, str):
+            raise RequestError(
+                "callable kNN measures are in-process objects and cannot be "
+                "wire-encoded; use measure='edr' over the network"
+            )
+        return {
+            "v": PROTOCOL_VERSION,
+            "kind": self.kind,
+            "queries": [trajectory_to_json(q) for q in self.queries],
+            "k": int(self.k),
+            "time_windows": _windows_to_json(self.time_windows),
+            "measure": self.measure,
+            "eps": float(self.eps),
+        }
+
+    @classmethod
+    def from_json(cls, obj: dict) -> "KnnRequest":
+        queries = _queries_from_json(obj.get("queries"))
+        measure = obj.get("measure", "edr")
+        if not isinstance(measure, str):
+            raise _fail(f"measure must be a string on the wire, got {measure!r}")
+        try:
+            return cls(
+                queries=queries,
+                k=_integer(obj.get("k"), "k", minimum=1),
+                time_windows=_windows_from_json(
+                    obj.get("time_windows"), len(queries)
+                ),
+                measure=measure,
+                eps=_number(obj.get("eps", 2000.0), "eps"),
+            )
+        except RequestError:
+            raise
+        except ValueError as exc:  # e.g. the t2vec rejection in __post_init__
+            raise _fail(str(exc)) from None
+
 
 @dataclass(frozen=True)
 class SimilarityRequest:
@@ -187,6 +412,33 @@ class SimilarityRequest:
             int(self.n_checkpoints),
         )
 
+    def to_json(self) -> dict:
+        return {
+            "v": PROTOCOL_VERSION,
+            "kind": self.kind,
+            "queries": [trajectory_to_json(q) for q in self.queries],
+            "delta": float(self.delta),
+            "time_windows": _windows_to_json(self.time_windows),
+            "n_checkpoints": int(self.n_checkpoints),
+        }
+
+    @classmethod
+    def from_json(cls, obj: dict) -> "SimilarityRequest":
+        queries = _queries_from_json(obj.get("queries"))
+        delta = _number(obj.get("delta"), "delta")
+        if delta < 0:
+            raise _fail(f"delta must be non-negative, got {delta}")
+        return cls(
+            queries=queries,
+            delta=delta,
+            time_windows=_windows_from_json(
+                obj.get("time_windows"), len(queries)
+            ),
+            n_checkpoints=_integer(
+                obj.get("n_checkpoints", 32), "n_checkpoints", minimum=1
+            ),
+        )
+
 
 REQUEST_TYPES = (
     RangeRequest,
@@ -195,6 +447,34 @@ REQUEST_TYPES = (
     KnnRequest,
     SimilarityRequest,
 )
+
+#: ``kind`` -> request class, the wire-decode dispatch table.
+REQUEST_KINDS = {cls.kind: cls for cls in REQUEST_TYPES}
+
+
+def request_to_json(request) -> dict:
+    """Encode any typed request to its wire JSON object."""
+    return request.to_json()
+
+
+def request_from_json(obj):
+    """Decode (and validate) a wire JSON object into a typed request.
+
+    Raises :class:`RequestError` on anything malformed: a non-object,
+    an unsupported ``"v"``, an unknown ``"kind"``, bad box bounds,
+    non-numeric windows, and so on.
+    """
+    if not isinstance(obj, dict):
+        raise _fail(f"a request must be a JSON object, got {obj!r}")
+    _check_version(obj)
+    kind = obj.get("kind")
+    cls = REQUEST_KINDS.get(kind)
+    if cls is None:
+        raise _fail(
+            f"unknown request kind {kind!r}; "
+            f"expected one of {sorted(REQUEST_KINDS)}"
+        )
+    return cls.from_json(obj)
 
 
 @dataclass(frozen=True, kw_only=True)
@@ -207,20 +487,42 @@ class Response:
     cached: bool
     n_shards: int
 
+    def _meta_json(self) -> dict:
+        return {
+            "v": PROTOCOL_VERSION,
+            "kind": self.kind,
+            "epoch": int(self.epoch),
+            "latency_s": float(self.latency_s),
+            "cached": bool(self.cached),
+            "n_shards": int(self.n_shards),
+        }
+
 
 @dataclass(frozen=True, kw_only=True)
 class RangeResponse(Response):
     result_sets: list[set[int]] = field(compare=False)
+
+    def to_json(self) -> dict:
+        return {
+            **self._meta_json(),
+            "result_sets": [sorted(int(i) for i in s) for s in self.result_sets],
+        }
 
 
 @dataclass(frozen=True, kw_only=True)
 class CountResponse(Response):
     counts: np.ndarray = field(compare=False)
 
+    def to_json(self) -> dict:
+        return {**self._meta_json(), "counts": self.counts.tolist()}
+
 
 @dataclass(frozen=True, kw_only=True)
 class HistogramResponse(Response):
     histogram: np.ndarray = field(compare=False)
+
+    def to_json(self) -> dict:
+        return {**self._meta_json(), "histogram": self.histogram.tolist()}
 
 
 @dataclass(frozen=True, kw_only=True)
@@ -230,7 +532,157 @@ class KnnResponse(Response):
     #: Per query: the (distance, id) pairs behind the ranking.
     pairs: list[list[tuple[float, int]]] = field(compare=False)
 
+    def to_json(self) -> dict:
+        # Neighbors are derived from the pairs on decode; only pairs travel.
+        return {
+            **self._meta_json(),
+            "pairs": [
+                [[float(d), int(i)] for d, i in pairs] for pairs in self.pairs
+            ],
+        }
+
 
 @dataclass(frozen=True, kw_only=True)
 class SimilarityResponse(Response):
     result_sets: list[set[int]] = field(compare=False)
+
+    def to_json(self) -> dict:
+        return {
+            **self._meta_json(),
+            "result_sets": [sorted(int(i) for i in s) for s in self.result_sets],
+        }
+
+
+def response_to_json(response) -> dict:
+    """Encode any typed response to its wire JSON object."""
+    return response.to_json()
+
+
+def response_from_json(obj):
+    """Decode a wire JSON object back into its typed response.
+
+    The numeric payloads round-trip bit-identically: JSON carries the exact
+    shortest repr of each double, counts decode back to int64, and kNN
+    neighbour lists are re-derived from the (distance, id) pairs — the same
+    derivation the serving side uses.
+    """
+    if not isinstance(obj, dict):
+        raise _fail(f"a response must be a JSON object, got {obj!r}")
+    _check_version(obj)
+    kind = obj.get("kind")
+    if kind not in REQUEST_KINDS:
+        raise _fail(f"unknown response kind {kind!r}")
+    try:
+        meta = {
+            "kind": kind,
+            "epoch": int(obj["epoch"]),
+            "latency_s": float(obj["latency_s"]),
+            "cached": bool(obj["cached"]),
+            "n_shards": int(obj["n_shards"]),
+        }
+        if kind in ("range", "similarity"):
+            cls = RangeResponse if kind == "range" else SimilarityResponse
+            return cls(
+                result_sets=[set(int(i) for i in s) for s in obj["result_sets"]],
+                **meta,
+            )
+        if kind == "count":
+            return CountResponse(
+                counts=np.asarray(obj["counts"], dtype=np.int64), **meta
+            )
+        if kind == "histogram":
+            return HistogramResponse(
+                histogram=np.asarray(obj["histogram"], dtype=float), **meta
+            )
+        pairs = [
+            [(float(d), int(i)) for d, i in query_pairs]
+            for query_pairs in obj["pairs"]
+        ]
+        return KnnResponse(
+            neighbors=[[tid for _, tid in query_pairs] for query_pairs in pairs],
+            pairs=pairs,
+            **meta,
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise _fail(f"malformed {kind!r} response: {exc!r}") from None
+
+
+def build_response(
+    request, payload, *, epoch: int, latency_s: float, cached: bool, n_shards: int
+):
+    """Materialize the typed response for ``request`` from a canonical payload.
+
+    The canonical payload forms are what :class:`QueryService`'s merge (and
+    :class:`repro.client.LocalClient`'s engine dispatch) produce: tuples of
+    frozensets for range/similarity, read-only arrays for count/histogram,
+    and tuples of ``(distance, id)`` pair tuples for kNN. Payloads are
+    copied into mutable containers here so cached entries stay immutable.
+    """
+    meta = {
+        "kind": request.kind,
+        "epoch": epoch,
+        "latency_s": latency_s,
+        "cached": cached,
+        "n_shards": n_shards,
+    }
+    if request.kind == "range":
+        return RangeResponse(result_sets=[set(s) for s in payload], **meta)
+    if request.kind == "similarity":
+        return SimilarityResponse(result_sets=[set(s) for s in payload], **meta)
+    if request.kind == "count":
+        return CountResponse(counts=payload.copy(), **meta)
+    if request.kind == "histogram":
+        return HistogramResponse(histogram=payload.copy(), **meta)
+    return KnnResponse(
+        neighbors=[[tid for _, tid in pairs] for pairs in payload],
+        pairs=[list(pairs) for pairs in payload],
+        **meta,
+    )
+
+
+def serve_cached(
+    request,
+    *,
+    epoch: int,
+    n_shards: int,
+    cache,
+    cache_size: int,
+    stats,
+    dispatch,
+):
+    """The shared serving loop: cache lookup, dispatch, stats, response.
+
+    Both :class:`~repro.service.service.QueryService` and
+    :class:`~repro.client.local.LocalClient` serve requests through this
+    one code path so their cache/epoch/stats semantics cannot drift (the
+    three-transport parity tests depend on them being identical): results
+    are memoized in ``cache`` (an ``OrderedDict`` LRU holding immutable
+    canonical payloads) under ``(request.cache_key(), epoch)``, requests
+    with no cache key are executed uncached and recorded as uncacheable
+    rather than as misses, and ``dispatch(request)`` supplies the
+    transport-specific execution (engine calls / shard scatter + merge).
+    """
+    start = time.perf_counter()
+    request_key = request.cache_key()
+    key = None if request_key is None else (request_key, epoch)
+    if key is not None and key in cache:
+        cache.move_to_end(key)
+        payload = cache[key]
+        cached = True
+    else:
+        payload = dispatch(request)
+        cached = False
+        if key is not None:
+            cache[key] = payload
+            while len(cache) > cache_size:
+                cache.popitem(last=False)
+    latency = time.perf_counter() - start
+    stats.record(request.kind, latency, cached, cacheable=request_key is not None)
+    return build_response(
+        request,
+        payload,
+        epoch=epoch,
+        latency_s=latency,
+        cached=cached,
+        n_shards=n_shards,
+    )

@@ -1,0 +1,393 @@
+"""Asyncio TCP front-end for the sharded query service.
+
+Wire protocol (spoken by :class:`repro.client.RemoteClient`):
+
+* **Framing** — every message is one length-prefixed JSON frame: a 4-byte
+  big-endian unsigned length followed by that many bytes of UTF-8 JSON.
+  Frames above :data:`MAX_FRAME_BYTES` are refused (the connection closes;
+  an unbounded length prefix would let one client exhaust memory).
+* **Handshake** — the client's first frame must be
+  ``{"type": "hello", "version": PROTOCOL_VERSION}``; the server answers
+  with its own hello carrying serving metadata. A version mismatch is
+  answered with a structured error frame and the connection closes — no
+  query traffic crosses an incompatible schema.
+* **Requests** — ``{"type": "request", "id": n, "request": {...}}`` with
+  the request body in the canonical wire schema
+  (:mod:`repro.service.requests`). The reply echoes ``id``
+  (``{"type": "response", "id": n, "response": {...}}``), so clients can
+  assert nothing was dropped or reordered. ``{"type": "ingest", "id": n,
+  "trajectories": [...]}`` streams a batch in; ``{"type": "describe"}``
+  returns serving metadata; ``{"type": "bye"}`` closes cleanly.
+* **Errors** — malformed frames and invalid requests raise
+  :class:`~repro.service.requests.RequestError` *at decode time* and are
+  answered with ``{"type": "error", "id": n, "error": {"type", "message"}}``
+  — the connection survives, and one client's garbage never disturbs
+  another's stream.
+
+Concurrency: each connection is one asyncio task, but query execution is
+**off-loop** — requests run on a single worker thread
+(`run_in_executor`), so the event loop keeps accepting connections and
+reading frames while a query computes, and service access stays
+serialized (``QueryService`` is not thread-safe). Per-connection replies
+are inherently ordered because a handler awaits each request before
+reading the next frame.
+
+Shutdown is graceful: :meth:`QueryServer.stop` stops accepting, cancels
+the open connection handlers, drains the worker thread, and wakes
+:meth:`QueryServer.serve_forever`. :func:`serve_in_thread` packages all
+of that for tests, benchmarks, and examples that need a loopback server
+next to synchronous client code.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+import threading
+
+from repro.service.requests import (
+    PROTOCOL_VERSION,
+    RequestError,
+    request_from_json,
+    response_to_json,
+    trajectory_from_json,
+)
+
+#: Length-prefix header: 4-byte big-endian unsigned frame length.
+FRAME_HEADER = struct.Struct(">I")
+
+#: Hard per-frame cap (64 MiB): framing stays sane even against garbage.
+MAX_FRAME_BYTES = 64 << 20
+
+
+def encode_frame(obj) -> bytes:
+    """One wire frame: length prefix + compact JSON."""
+    data = json.dumps(obj, separators=(",", ":")).encode("utf-8")
+    if len(data) > MAX_FRAME_BYTES:
+        raise ValueError(f"frame of {len(data)} bytes exceeds MAX_FRAME_BYTES")
+    return FRAME_HEADER.pack(len(data)) + data
+
+
+class _ConnectionClosed(Exception):
+    """Internal: the peer went away (clean EOF or mid-frame cut)."""
+
+
+async def _read_frame_bytes(reader: asyncio.StreamReader) -> bytes:
+    try:
+        header = await reader.readexactly(FRAME_HEADER.size)
+        (length,) = FRAME_HEADER.unpack(header)
+        if length > MAX_FRAME_BYTES:
+            raise RequestError(
+                f"frame of {length} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"
+            )
+        return await reader.readexactly(length)
+    except (asyncio.IncompleteReadError, ConnectionResetError):
+        raise _ConnectionClosed from None
+
+
+class QueryServer:
+    """Asyncio TCP server wrapping one :class:`QueryService`.
+
+    The server borrows the service: callers that build a service for a
+    server are expected to close it after :meth:`stop` (the CLI and
+    :func:`serve_in_thread` do).
+    """
+
+    def __init__(self, service, host: str = "127.0.0.1", port: int = 0) -> None:
+        self._service = service
+        self._host = host
+        self._port = port
+        self._server: asyncio.AbstractServer | None = None
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._stopped: asyncio.Event | None = None
+        self._pool = None
+        #: Served/error frame counters, for banners and the CI smoke.
+        self.frames_served = 0
+        self.error_frames = 0
+
+    # ---------------------------------------------------------------- lifecycle
+    async def start(self) -> None:
+        """Bind and start accepting connections (idempotent-free: call once)."""
+        import concurrent.futures
+
+        # One worker thread: queries run off-loop (the event loop stays
+        # responsive) while QueryService access stays serialized — the
+        # service's LRU/stats/executor are not thread-safe.
+        self._pool = concurrent.futures.ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serve"
+        )
+        self._stopped = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self._host, self._port
+        )
+
+    @property
+    def host(self) -> str:
+        return self._server.sockets[0].getsockname()[0]
+
+    @property
+    def port(self) -> int:
+        return self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        """Block until :meth:`stop` completes."""
+        await self._stopped.wait()
+
+    async def stop(self) -> None:
+        """Graceful shutdown: stop accepting, close connections, drain."""
+        if self._stopped is None or self._stopped.is_set():
+            return
+        self._server.close()
+        await self._server.wait_closed()
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        self._pool.shutdown(wait=True)
+        self._stopped.set()
+
+    # -------------------------------------------------------------- connections
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
+        try:
+            if await self._handshake(reader, writer):
+                await self._serve_frames(reader, writer)
+        except (_ConnectionClosed, ConnectionResetError, BrokenPipeError):
+            pass  # peer vanished; nothing to answer
+        finally:
+            self._conn_tasks.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _send(self, writer: asyncio.StreamWriter, obj) -> None:
+        writer.write(encode_frame(obj))
+        await writer.drain()
+
+    async def _send_error(
+        self, writer: asyncio.StreamWriter, exc: Exception, rid
+    ) -> None:
+        self.error_frames += 1
+        await self._send(
+            writer,
+            {
+                "type": "error",
+                "id": rid,
+                "error": {"type": type(exc).__name__, "message": str(exc)},
+            },
+        )
+
+    async def _handshake(self, reader, writer) -> bool:
+        """Exchange hellos; False (after an error frame) on any mismatch."""
+        try:
+            frame = json.loads(await _read_frame_bytes(reader))
+        except (json.JSONDecodeError, UnicodeDecodeError, RequestError) as exc:
+            await self._send_error(writer, RequestError(f"bad handshake: {exc}"), None)
+            return False
+        if not isinstance(frame, dict) or frame.get("type") != "hello":
+            await self._send_error(
+                writer,
+                RequestError("the first frame must be a 'hello' handshake"),
+                None,
+            )
+            return False
+        if frame.get("version") != PROTOCOL_VERSION:
+            await self._send_error(
+                writer,
+                RequestError(
+                    f"unsupported protocol version {frame.get('version')!r} "
+                    f"(server speaks {PROTOCOL_VERSION})"
+                ),
+                None,
+            )
+            return False
+        manager = self._service.manager
+        await self._send(
+            writer,
+            {
+                "type": "hello",
+                "version": PROTOCOL_VERSION,
+                "server": {
+                    "n_shards": manager.n_shards,
+                    "executor": self._service.executor_name,
+                    "partitioner": manager.partitioner.name,
+                    "index": self._service.index,
+                    "epoch": manager.epoch,
+                    "trajectories": manager.n_trajectories,
+                    "points": manager.total_points,
+                },
+            },
+        )
+        return True
+
+    async def _serve_frames(self, reader, writer) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            try:
+                raw = await _read_frame_bytes(reader)
+            except RequestError as exc:
+                # A framing violation (oversize length prefix): the stream
+                # can no longer be trusted, so answer and close.
+                await self._send_error(writer, exc, None)
+                return
+            rid = None
+            try:
+                try:
+                    frame = json.loads(raw)
+                except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+                    raise RequestError(f"malformed JSON frame: {exc}") from None
+                if not isinstance(frame, dict):
+                    raise RequestError("a frame must be a JSON object")
+                rid = frame.get("id")
+                ftype = frame.get("type")
+                if ftype == "bye":
+                    await self._send(writer, {"type": "bye"})
+                    return
+                if ftype == "request":
+                    request = request_from_json(frame.get("request"))
+                    response = await loop.run_in_executor(
+                        self._pool, self._service.execute, request
+                    )
+                    body = response_to_json(response)
+                elif ftype == "ingest":
+                    batch = frame.get("trajectories")
+                    if not isinstance(batch, list):
+                        raise RequestError(
+                            "'trajectories' must be an array of trajectories"
+                        )
+                    trajectories = [trajectory_from_json(t) for t in batch]
+                    added = await loop.run_in_executor(
+                        self._pool, self._service.ingest, trajectories
+                    )
+                    body = {
+                        "v": PROTOCOL_VERSION,
+                        "kind": "ingest",
+                        "added": added,
+                        "epoch": self._service.manager.epoch,
+                    }
+                elif ftype == "describe":
+                    info = await loop.run_in_executor(
+                        self._pool, self._service.describe
+                    )
+                    body = {"v": PROTOCOL_VERSION, "kind": "describe", "info": info}
+                else:
+                    raise RequestError(f"unknown frame type {ftype!r}")
+                # Encode INSIDE the guarded region: an unencodable result
+                # (e.g. a response above the frame cap) must also become an
+                # error frame, not a dropped connection.
+                out = encode_frame({"type": "response", "id": rid, "response": body})
+            except RequestError as exc:
+                await self._send_error(writer, exc, rid)
+                continue
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:
+                # Per-connection isolation: an execution failure becomes a
+                # structured error frame, never a dropped connection.
+                await self._send_error(writer, exc, rid)
+                continue
+            self.frames_served += 1
+            writer.write(out)
+            await writer.drain()
+
+
+class ServerHandle:
+    """A running loopback server on a background thread (see
+    :func:`serve_in_thread`)."""
+
+    def __init__(self, thread, loop, server, service, close_service) -> None:
+        self._thread = thread
+        self._loop = loop
+        self.server = server
+        self.service = service
+        self._close_service = close_service
+
+    @property
+    def host(self) -> str:
+        return self.server.host
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return (self.host, self.port)
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Gracefully stop the server and join its thread (idempotent)."""
+        if self._thread.is_alive():
+            future = asyncio.run_coroutine_threadsafe(
+                self.server.stop(), self._loop
+            )
+            future.result(timeout=timeout)
+            self._thread.join(timeout=timeout)
+            if self._thread.is_alive():
+                raise RuntimeError("server thread did not stop in time")
+        if self._close_service:
+            self.service.close()
+            self._close_service = False
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+def serve_in_thread(
+    service,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    close_service: bool = False,
+) -> ServerHandle:
+    """Start a :class:`QueryServer` on a dedicated event-loop thread.
+
+    Returns once the server is listening (``handle.port`` resolves the
+    OS-assigned port when ``port=0``). ``close_service=True`` also closes
+    the wrapped service on :meth:`ServerHandle.stop`.
+    """
+    started = threading.Event()
+    holder: dict = {}
+
+    def _run() -> None:
+        async def _main() -> None:
+            server = QueryServer(service, host, port)
+            try:
+                await server.start()
+            except Exception as exc:  # e.g. port in use
+                holder["error"] = exc
+                started.set()
+                return
+            holder["server"] = server
+            holder["loop"] = asyncio.get_running_loop()
+            started.set()
+            await server.serve_forever()
+
+        asyncio.run(_main())
+
+    thread = threading.Thread(target=_run, name="repro-server", daemon=True)
+    thread.start()
+    started.wait()
+    if "error" in holder:
+        raise holder["error"]
+    return ServerHandle(
+        thread, holder["loop"], holder["server"], service, close_service
+    )
+
+
+__all__ = [
+    "QueryServer",
+    "ServerHandle",
+    "serve_in_thread",
+    "encode_frame",
+    "FRAME_HEADER",
+    "MAX_FRAME_BYTES",
+]

@@ -41,7 +41,6 @@ construction.
 
 from __future__ import annotations
 
-import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
@@ -51,6 +50,7 @@ from repro.data.bbox import BoundingBox
 from repro.data.database import TrajectoryDatabase
 from repro.data.trajectory import Trajectory
 from repro.index.backend import chebyshev_gap, validate_backend_name
+from repro.service._deprecation import warn_once
 from repro.service.executors import EXECUTORS, make_executor
 from repro.service.requests import (
     CountRequest,
@@ -63,6 +63,7 @@ from repro.service.requests import (
     RangeResponse,
     SimilarityRequest,
     SimilarityResponse,
+    serve_cached,
 )
 from repro.service.sharding import ShardManager
 
@@ -109,6 +110,10 @@ class ServiceStats:
 
     requests: dict[str, int] = field(default_factory=dict)
     cache_hits: dict[str, int] = field(default_factory=dict)
+    #: Requests with no cache key at all (e.g. callable-measure kNN): they
+    #: can never hit, so counting them as misses would understate the hit
+    #: rate of the cacheable traffic.
+    uncacheable: dict[str, int] = field(default_factory=dict)
     total_latency_s: dict[str, float] = field(default_factory=dict)
     max_latency_s: dict[str, float] = field(default_factory=dict)
     ingest_batches: int = 0
@@ -123,10 +128,14 @@ class ServiceStats:
         self.knn_shards_dispatched += dispatched
         self.knn_shards_skipped += skipped
 
-    def record(self, kind: str, latency_s: float, cached: bool) -> None:
+    def record(
+        self, kind: str, latency_s: float, cached: bool, cacheable: bool = True
+    ) -> None:
         self.requests[kind] = self.requests.get(kind, 0) + 1
         if cached:
             self.cache_hits[kind] = self.cache_hits.get(kind, 0) + 1
+        elif not cacheable:
+            self.uncacheable[kind] = self.uncacheable.get(kind, 0) + 1
         self.total_latency_s[kind] = self.total_latency_s.get(kind, 0.0) + latency_s
         self.max_latency_s[kind] = max(self.max_latency_s.get(kind, 0.0), latency_s)
 
@@ -143,6 +152,22 @@ class ServiceStats:
     def n_cache_hits(self) -> int:
         return sum(self.cache_hits.values())
 
+    @property
+    def n_uncacheable(self) -> int:
+        return sum(self.uncacheable.values())
+
+    def cache_misses(self, kind: str) -> int:
+        """True misses of ``kind``: lookups that could have hit but did not.
+
+        Uncacheable requests (no cache key) are excluded — they never enter
+        the LRU, so counting them as misses would be wrong.
+        """
+        return (
+            self.requests.get(kind, 0)
+            - self.cache_hits.get(kind, 0)
+            - self.uncacheable.get(kind, 0)
+        )
+
     def summary(self) -> dict[str, float | int]:
         """A flat report: per-kind counts, hit rates, and mean latencies."""
         out: dict[str, float | int] = {
@@ -153,11 +178,13 @@ class ServiceStats:
             "ingest_points": self.ingest_points,
             "knn_shards_dispatched": self.knn_shards_dispatched,
             "knn_shards_skipped": self.knn_shards_skipped,
+            "uncacheable_requests": self.n_uncacheable,
         }
         for kind in sorted(self.requests):
             n = self.requests[kind]
             out[f"{kind}_requests"] = n
             out[f"{kind}_cache_hits"] = self.cache_hits.get(kind, 0)
+            out[f"{kind}_cache_misses"] = self.cache_misses(kind)
             out[f"{kind}_mean_latency_ms"] = 1000.0 * self.total_latency_s[kind] / n
             out[f"{kind}_max_latency_ms"] = 1000.0 * self.max_latency_s[kind]
         return out
@@ -245,31 +272,25 @@ class QueryService:
     def execute(self, request):
         """Serve one typed request: cache lookup, shard fan-out, exact merge."""
         self._check_open()
-        start = time.perf_counter()
-        epoch = self.manager.epoch
-        request_key = request.cache_key()
-        key = None if request_key is None else (request_key, epoch)
-        payload = None
-        if key is not None and key in self._cache:
-            self._cache.move_to_end(key)
-            payload = self._cache[key]
-            cached = True
+        return serve_cached(
+            request,
+            epoch=self.manager.epoch,
+            n_shards=self.manager.n_shards,
+            cache=self._cache,
+            cache_size=self._cache_size,
+            stats=self.stats,
+            dispatch=self._dispatch,
+        )
+
+    def _dispatch(self, request):
+        """Scatter one request across the shards and merge exactly."""
+        if request.kind == "knn":
+            shard_results = self._scatter_knn(request)
         else:
-            if request.kind == "knn":
-                shard_results = self._scatter_knn(request)
-            else:
-                shard_results = self._executor.broadcast(
-                    request.kind, request.payload(self)
-                )
-            payload = self._merge(request, shard_results)
-            cached = False
-            if key is not None:
-                self._cache[key] = payload
-                while len(self._cache) > self._cache_size:
-                    self._cache.popitem(last=False)
-        latency = time.perf_counter() - start
-        self.stats.record(request.kind, latency, cached)
-        return self._response(request, payload, epoch, latency, cached)
+            shard_results = self._executor.broadcast(
+                request.kind, request.payload(self)
+            )
+        return self._merge(request, shard_results)
 
     # ------------------------------------------------------------- kNN scatter
     def _knn_shard_bounds(self, request) -> "list[list[float]] | None":
@@ -470,39 +491,34 @@ class QueryService:
             return tuple(merged_pairs)
         raise ValueError(f"unknown request kind {kind!r}")
 
-    def _response(self, request, payload, epoch, latency, cached):
-        meta = {
-            "kind": request.kind,
-            "epoch": epoch,
-            "latency_s": latency,
-            "cached": cached,
-            "n_shards": self.manager.n_shards,
-        }
-        if request.kind == "range":
-            return RangeResponse(result_sets=[set(s) for s in payload], **meta)
-        if request.kind == "similarity":
-            return SimilarityResponse(result_sets=[set(s) for s in payload], **meta)
-        if request.kind == "count":
-            return CountResponse(counts=payload.copy(), **meta)
-        if request.kind == "histogram":
-            return HistogramResponse(histogram=payload.copy(), **meta)
-        return KnnResponse(
-            neighbors=[[tid for _, tid in pairs] for pairs in payload],
-            pairs=[list(pairs) for pairs in payload],
-            **meta,
+    # ------------------------------------------------- deprecated convenience
+    # The kwargs-style helpers predate the unified client API; each keeps
+    # working but warns once per process. New code should build typed
+    # requests (or use a repro.client.Client, which carries the same
+    # convenience surface over every transport).
+    def _warn_helper(self, name: str) -> None:
+        warn_once(
+            f"QueryService.{name}",
+            f"QueryService.{name}() is deprecated; use the unified client "
+            f"API instead: repro.client.ServiceClient(service).{name}(...) "
+            f"or QueryService.execute(<typed request>)",
         )
 
-    # -------------------------------------------------------------- convenience
     def range(self, workload) -> RangeResponse:
-        """Evaluate a range workload (a workload object or box iterable)."""
+        """Deprecated: use :class:`repro.client.ServiceClient` / ``execute``."""
+        self._warn_helper("range")
         return self.execute(RangeRequest.from_workload(workload))
 
     def count(self, boxes) -> CountResponse:
+        """Deprecated: use :class:`repro.client.ServiceClient` / ``execute``."""
+        self._warn_helper("count")
         return self.execute(CountRequest.from_workload(boxes))
 
     def histogram(
         self, grid: int = 32, box=None, normalize: bool = False
     ) -> HistogramResponse:
+        """Deprecated: use :class:`repro.client.ServiceClient` / ``execute``."""
+        self._warn_helper("histogram")
         return self.execute(HistogramRequest(grid, box, normalize))
 
     def knn(
@@ -513,6 +529,8 @@ class QueryService:
         measure="edr",
         eps: float = 2000.0,
     ) -> KnnResponse:
+        """Deprecated: use :class:`repro.client.ServiceClient` / ``execute``."""
+        self._warn_helper("knn")
         return self.execute(
             KnnRequest(
                 tuple(queries),
@@ -526,6 +544,8 @@ class QueryService:
     def similarity(
         self, queries, delta: float, time_windows=None, n_checkpoints: int = 32
     ) -> SimilarityResponse:
+        """Deprecated: use :class:`repro.client.ServiceClient` / ``execute``."""
+        self._warn_helper("similarity")
         return self.execute(
             SimilarityRequest(
                 tuple(queries),

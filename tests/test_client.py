@@ -1,0 +1,573 @@
+"""Tests for the unified client API (:mod:`repro.client`) and wire schema.
+
+Covers the canonical codecs (``to_json``/``from_json`` for every request
+and response, decode-time :class:`RequestError` validation), the
+:class:`LocalClient` / :class:`ServiceClient` transports (bit-identical,
+same cache/epoch semantics), the cache-stat accounting of uncacheable
+requests, the epoch-keyed histogram invalidation after extent-growing
+ingest, and the once-per-entry-point deprecation shims. The socket
+transport has its own suite in ``tests/test_server.py``.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.client import (
+    Client,
+    IngestResult,
+    LocalClient,
+    RequestError,
+    ServiceClient,
+)
+from repro.data import Trajectory, TrajectoryDatabase, synthetic_database
+from repro.eval.harness import QueryAccuracyEvaluator
+from repro.queries import QueryEngine, knn_query_batch
+from repro.service import (
+    PROTOCOL_VERSION,
+    CountRequest,
+    HistogramRequest,
+    KnnRequest,
+    QueryService,
+    RangeRequest,
+    SimilarityRequest,
+    request_from_json,
+    request_to_json,
+    response_from_json,
+    response_to_json,
+)
+from repro.service._deprecation import reset_fired
+from repro.service.requests import box_from_json, trajectory_from_json
+from repro.workloads import RangeQueryWorkload
+from tests.conftest import make_trajectory
+
+
+def client_db(n: int = 18, seed: int = 5) -> TrajectoryDatabase:
+    return synthetic_database(
+        "geolife", n_trajectories=n, points_scale=0.05, seed=seed
+    )
+
+
+def shifted_batch(db, n: int = 4, seed: int = 0, shift=(30.0, -20.0)):
+    """Ingestable trajectories derived from (but outside) the database."""
+    rng = np.random.default_rng(seed)
+    out = []
+    for _ in range(n):
+        base = db[int(rng.integers(len(db)))].points
+        out.append(Trajectory(base + np.array([shift[0], shift[1], 0.0])))
+    return out
+
+
+@pytest.fixture(scope="module")
+def cdb():
+    return client_db()
+
+
+@pytest.fixture(scope="module")
+def cworkload(cdb):
+    return RangeQueryWorkload.from_data_distribution(cdb, 15, seed=3)
+
+
+def knn_suite(db, n=3, seed=1):
+    rng = np.random.default_rng(seed)
+    qids = [int(i) for i in rng.choice(len(db), size=n, replace=False)]
+    queries = [db[q] for q in qids]
+    windows = [QueryAccuracyEvaluator._central_window(q) for q in queries]
+    return queries, windows
+
+
+# --------------------------------------------------------------------- codecs
+class TestRequestCodecs:
+    def test_range_round_trip(self, cworkload):
+        request = RangeRequest.from_workload(cworkload)
+        assert request_from_json(request_to_json(request)) == request
+
+    def test_count_round_trip(self, cworkload):
+        request = CountRequest.from_workload(cworkload.boxes)
+        assert request_from_json(request_to_json(request)) == request
+
+    def test_histogram_round_trip(self, cdb):
+        request = HistogramRequest(17, cdb.bounding_box, normalize=True)
+        assert request_from_json(request_to_json(request)) == request
+        assert request_from_json(HistogramRequest().to_json()) == HistogramRequest()
+
+    def test_knn_round_trip(self, cdb):
+        queries, windows = knn_suite(cdb)
+        request = KnnRequest(tuple(queries), 3, tuple(windows), "edr", 123.25)
+        decoded = request_from_json(request_to_json(request))
+        assert decoded == request
+        # Point payloads are bit-identical through JSON.
+        for mine, theirs in zip(request.queries, decoded.queries):
+            assert np.array_equal(mine.points, theirs.points)
+
+    def test_similarity_round_trip(self, cdb):
+        queries, windows = knn_suite(cdb)
+        request = SimilarityRequest(tuple(queries), 55.5, (None,) * len(queries), 16)
+        assert request_from_json(request_to_json(request)) == request
+
+    def test_box_codec_is_bit_exact(self):
+        rng = np.random.default_rng(0)
+        lo = rng.uniform(-1e7, 1e7, size=3)
+        hi = lo + rng.uniform(0.0, 1e3, size=3)
+        from repro.data.bbox import BoundingBox
+        from repro.service.requests import box_to_json
+
+        box = BoundingBox(lo[0], hi[0], lo[1], hi[1], lo[2], hi[2])
+        import json
+
+        assert box_from_json(json.loads(json.dumps(box_to_json(box)))) == box
+
+
+class TestRequestValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(RequestError, match="unknown request kind"):
+            request_from_json({"v": PROTOCOL_VERSION, "kind": "teleport"})
+
+    def test_version_mismatch(self):
+        with pytest.raises(RequestError, match="protocol version"):
+            request_from_json({"v": 999, "kind": "range", "boxes": []})
+        with pytest.raises(RequestError, match="protocol version"):
+            request_from_json({"kind": "range", "boxes": []})
+
+    def test_non_object_request(self):
+        with pytest.raises(RequestError, match="JSON object"):
+            request_from_json(["range"])
+
+    def test_bad_box_bounds(self):
+        req = {
+            "v": PROTOCOL_VERSION,
+            "kind": "range",
+            "boxes": [[5.0, 1.0, 0.0, 1.0, 0.0, 1.0]],  # xmin > xmax
+        }
+        with pytest.raises(RequestError, match="bad box bounds"):
+            request_from_json(req)
+
+    def test_non_numeric_box_entry(self):
+        req = {
+            "v": PROTOCOL_VERSION,
+            "kind": "count",
+            "boxes": [[0.0, "ten", 0.0, 1.0, 0.0, 1.0]],
+        }
+        with pytest.raises(RequestError, match="must be a number"):
+            request_from_json(req)
+
+    def test_wrong_box_arity(self):
+        with pytest.raises(RequestError, match="6-element"):
+            box_from_json([0.0, 1.0, 2.0])
+
+    def test_non_numeric_window(self, cdb):
+        queries, _ = knn_suite(cdb, n=1)
+        obj = KnnRequest(tuple(queries), 2).to_json()
+        obj["time_windows"] = [["soon", "later"]]
+        with pytest.raises(RequestError, match="must be a number"):
+            request_from_json(obj)
+
+    def test_window_count_mismatch(self, cdb):
+        queries, windows = knn_suite(cdb, n=2)
+        obj = KnnRequest(tuple(queries), 2, tuple(windows)).to_json()
+        obj["time_windows"] = obj["time_windows"][:1]
+        with pytest.raises(RequestError, match="entries for"):
+            request_from_json(obj)
+
+    def test_bad_k_and_grid_and_delta(self, cdb):
+        queries, _ = knn_suite(cdb, n=1)
+        obj = KnnRequest(tuple(queries), 2).to_json()
+        obj["k"] = 0
+        with pytest.raises(RequestError, match="k must be >= 1"):
+            request_from_json(obj)
+        obj["k"] = 2.5
+        with pytest.raises(RequestError, match="k must be an integer"):
+            request_from_json(obj)
+        with pytest.raises(RequestError, match="grid must be >= 1"):
+            request_from_json(
+                {"v": PROTOCOL_VERSION, "kind": "histogram", "grid": 0}
+            )
+        sim = SimilarityRequest(tuple(queries), 5.0).to_json()
+        sim["delta"] = -1.0
+        with pytest.raises(RequestError, match="delta must be non-negative"):
+            request_from_json(sim)
+
+    def test_t2vec_rejected_with_request_error(self, cdb):
+        queries, _ = knn_suite(cdb, n=1)
+        obj = KnnRequest(tuple(queries), 2).to_json()
+        obj["measure"] = "t2vec"
+        with pytest.raises(RequestError, match="t2vec"):
+            request_from_json(obj)
+
+    def test_callable_measure_not_wire_encodable(self, cdb):
+        queries, _ = knn_suite(cdb, n=1)
+        request = KnnRequest(tuple(queries), 2, measure=lambda a, b: 0.0)
+        with pytest.raises(RequestError, match="wire"):
+            request.to_json()
+
+    def test_bad_trajectory_payloads(self):
+        with pytest.raises(RequestError, match="points"):
+            trajectory_from_json({"id": 1})
+        with pytest.raises(RequestError, match=r"\[x, y, t\]"):
+            trajectory_from_json({"points": [[0.0, 0.0], [1.0, 1.0]]})
+        with pytest.raises(RequestError, match="bad trajectory"):
+            trajectory_from_json({"points": [[0.0, 0.0, 1.0], [1.0, 1.0, 0.5]]})
+
+    def test_empty_query_list_rejected(self):
+        with pytest.raises(RequestError, match="non-empty"):
+            request_from_json(
+                {"v": PROTOCOL_VERSION, "kind": "knn", "queries": [], "k": 1}
+            )
+
+
+class TestResponseCodecs:
+    @pytest.fixture(scope="class")
+    def local(self, cdb):
+        return LocalClient(cdb)
+
+    def test_range_and_similarity_round_trip(self, local, cworkload, cdb):
+        queries, _ = knn_suite(cdb)
+        for response in (
+            local.range(cworkload),
+            local.similarity(queries, 40.0),
+        ):
+            decoded = response_from_json(response_to_json(response))
+            assert decoded.result_sets == response.result_sets
+            assert decoded.epoch == response.epoch
+            assert decoded.cached == response.cached
+            assert decoded.n_shards == response.n_shards
+
+    def test_count_round_trip_preserves_dtype(self, local, cworkload):
+        response = local.count(cworkload.boxes)
+        decoded = response_from_json(response_to_json(response))
+        assert decoded.counts.dtype == np.int64
+        assert np.array_equal(decoded.counts, response.counts)
+
+    def test_histogram_round_trip_is_bit_exact(self, local):
+        response = local.histogram(9, normalize=True)
+        decoded = response_from_json(response_to_json(response))
+        assert decoded.histogram.shape == (9, 9)
+        # Exact equality, not allclose: doubles survive JSON verbatim.
+        assert np.array_equal(decoded.histogram, response.histogram)
+
+    def test_knn_round_trip_rederives_neighbors(self, local, cdb):
+        queries, windows = knn_suite(cdb)
+        response = local.knn(queries, 3, windows, eps=200.0)
+        decoded = response_from_json(response_to_json(response))
+        assert decoded.neighbors == response.neighbors
+        assert decoded.pairs == [
+            [tuple(p) for p in pairs] for pairs in response.pairs
+        ]
+
+    def test_malformed_response_raises(self):
+        with pytest.raises(RequestError, match="unknown response kind"):
+            response_from_json({"v": PROTOCOL_VERSION, "kind": "nope"})
+        with pytest.raises(RequestError, match="malformed"):
+            response_from_json({"v": PROTOCOL_VERSION, "kind": "count"})
+
+
+# ------------------------------------------------------------------- clients
+class TestLocalClient:
+    def test_matches_engine_on_every_kind(self, cdb, cworkload):
+        client = LocalClient(cdb)
+        engine = QueryEngine.for_database(cdb)
+        queries, windows = knn_suite(cdb)
+        assert client.range(cworkload).result_sets == engine.evaluate(cworkload)
+        assert np.array_equal(
+            client.count(cworkload.boxes).counts, engine.count(cworkload.boxes)
+        )
+        assert np.array_equal(
+            client.histogram(12).histogram, engine.histogram(12)
+        )
+        assert client.knn(queries, 3, windows, eps=150.0).neighbors == (
+            knn_query_batch(cdb, queries, 3, windows, "edr", eps=150.0)
+        )
+        assert client.similarity(queries, 60.0).result_sets == (
+            engine.similarity(queries, 60.0)
+        )
+
+    def test_repeat_request_is_cached_and_ingest_invalidates(self, cworkload):
+        db = client_db(12, seed=9)
+        client = LocalClient(db)
+        first = client.range(cworkload)
+        again = client.range(cworkload)
+        assert not first.cached and again.cached
+        assert again.result_sets == first.result_sets
+
+        batch = shifted_batch(db, 3, seed=2)
+        result = client.ingest(batch)
+        assert result == IngestResult(added=3, epoch=1)
+        post = client.range(cworkload)
+        assert not post.cached and post.epoch == 1
+        fresh = QueryEngine.for_database(db.extended(batch)).evaluate(cworkload)
+        assert post.result_sets == fresh
+
+    def test_empty_ingest_keeps_epoch(self, cdb):
+        client = LocalClient(cdb)
+        assert client.ingest([]) == IngestResult(added=0, epoch=0)
+
+    def test_ingest_rejects_non_trajectories(self, cdb):
+        client = LocalClient(cdb)
+        with pytest.raises(TypeError, match="Trajectory"):
+            client.ingest([np.zeros((3, 3))])
+
+    def test_describe_and_close(self, cdb):
+        client = LocalClient(cdb)
+        info = client.describe()
+        assert info["trajectories"] == len(cdb)
+        assert info["n_shards"] == 1 and info["epoch"] == 0
+        client.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            client.range([cdb.bounding_box])
+
+    def test_uncacheable_callable_measure_stats(self, cdb):
+        client = LocalClient(cdb)
+        queries, windows = knn_suite(cdb, n=2)
+
+        def measure(a, b):
+            return abs(len(a) - len(b))
+
+        for _ in range(2):
+            response = client.knn(queries, 2, windows, measure=measure)
+            assert not response.cached
+        assert len(client._cache) == 0
+        assert client.stats.requests["knn"] == 2
+        assert client.stats.cache_hits.get("knn", 0) == 0
+        assert client.stats.uncacheable["knn"] == 2
+        assert client.stats.cache_misses("knn") == 0
+
+
+class TestServiceClientParity:
+    @pytest.mark.parametrize("partitioner", ["hash", "spatial"])
+    def test_all_kinds_match_local_under_interleaved_ingest(
+        self, partitioner, cworkload
+    ):
+        db = client_db(16, seed=21)
+        queries, windows = knn_suite(db)
+        local = LocalClient(db)
+        service = ServiceClient.for_database(
+            db, n_shards=3, partitioner=partitioner
+        )
+        with local, service:
+            for round_no in range(3):
+                assert (
+                    service.range(cworkload).result_sets
+                    == local.range(cworkload).result_sets
+                )
+                assert np.array_equal(
+                    service.count(cworkload.boxes).counts,
+                    local.count(cworkload.boxes).counts,
+                )
+                assert np.array_equal(
+                    service.histogram(10).histogram,
+                    local.histogram(10).histogram,
+                )
+                assert (
+                    service.knn(queries, 3, windows, eps=180.0).pairs
+                    == local.knn(queries, 3, windows, eps=180.0).pairs
+                )
+                assert (
+                    service.similarity(queries, 70.0).result_sets
+                    == local.similarity(queries, 70.0).result_sets
+                )
+                batch = shifted_batch(db, 2, seed=round_no)
+                assert service.ingest(batch) == local.ingest(batch)
+
+    def test_execute_accepts_decoded_wire_requests(self, cdb, cworkload):
+        """A request that traveled through JSON serves identically."""
+        request = RangeRequest.from_workload(cworkload)
+        decoded = request_from_json(request_to_json(request))
+        with ServiceClient.for_database(cdb, n_shards=2) as client:
+            assert (
+                client.execute(decoded).result_sets
+                == client.execute(request).result_sets
+            )
+
+    def test_context_manager_owns_service(self, cdb):
+        client = ServiceClient.for_database(cdb, n_shards=2)
+        service = client.service
+        with client:
+            pass
+        with pytest.raises(RuntimeError, match="closed"):
+            service.execute(HistogramRequest())
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 50), n_shards=st.integers(1, 4))
+def test_property_local_service_bit_identical(seed, n_shards):
+    db = client_db(10, seed=seed)
+    workload = RangeQueryWorkload.from_data_distribution(db, 8, seed=seed)
+    queries, windows = knn_suite(db, n=2, seed=seed)
+    with LocalClient(db) as local, ServiceClient.for_database(
+        db, n_shards=n_shards
+    ) as service:
+        assert local.range(workload).result_sets == service.range(workload).result_sets
+        assert local.knn(queries, 2, windows, eps=250.0).pairs == (
+            service.knn(queries, 2, windows, eps=250.0).pairs
+        )
+        batch = shifted_batch(db, 2, seed=seed)
+        local.ingest(batch)
+        service.ingest(batch)
+        assert local.range(workload).result_sets == service.range(workload).result_sets
+
+
+# --------------------------------------------------------------- satellites
+class TestUncacheableAccounting:
+    """Satellite: callable-measure kNN is neither cached nor miscounted."""
+
+    def test_service_never_caches_callable_measures(self, cdb):
+        queries, windows = knn_suite(cdb, n=2)
+
+        def measure(a, b):
+            return abs(len(a) - len(b))
+
+        with QueryService(cdb, n_shards=2) as service:
+            request = KnnRequest(tuple(queries), 2, tuple(windows), measure)
+            first = service.execute(request)
+            second = service.execute(request)
+            assert not first.cached and not second.cached
+            assert first.neighbors == second.neighbors
+            assert len(service._cache) == 0
+            stats = service.stats
+            assert stats.requests["knn"] == 2
+            assert stats.cache_hits.get("knn", 0) == 0
+            # The regression: these are NOT misses — nothing was looked up.
+            assert stats.uncacheable["knn"] == 2
+            assert stats.cache_misses("knn") == 0
+            summary = stats.summary()
+            assert summary["uncacheable_requests"] == 2
+            assert summary["knn_cache_misses"] == 0
+
+    def test_cacheable_requests_still_count_misses(self, cdb, cworkload):
+        with QueryService(cdb, n_shards=2) as service:
+            request = RangeRequest.from_workload(cworkload)
+            service.execute(request)
+            service.execute(request)
+            stats = service.stats
+            assert stats.cache_misses("range") == 1
+            assert stats.cache_hits["range"] == 1
+            assert stats.n_uncacheable == 0
+
+
+class TestHistogramEpochInvalidation:
+    """Satellite: box=None histograms re-resolve after extent-growing ingest."""
+
+    def test_default_box_histogram_tracks_live_extent(self):
+        db = client_db(10, seed=33)
+        with QueryService(db, n_shards=2) as service:
+            request = HistogramRequest(grid=8)  # box=None: live extent
+            before = service.execute(request)
+            assert service.execute(request).cached  # same epoch: cache hit
+
+            # Grow the extent: shifted copies land outside the old box.
+            batch = shifted_batch(db, 3, seed=4, shift=(500.0, 400.0))
+            service.ingest(batch)
+            extended = db.extended(batch)
+            assert extended.bounding_box != db.bounding_box
+
+            after = service.execute(request)
+            # The cache key carries no bounds, but the epoch moved: the
+            # stale raster over the old extent must NOT be served.
+            assert not after.cached
+            fresh = QueryEngine.for_database(extended).histogram(8)
+            assert np.array_equal(after.histogram, fresh)
+            assert not np.array_equal(after.histogram, before.histogram)
+
+    def test_local_client_matches_service_after_growth(self):
+        db = client_db(10, seed=34)
+        batch = shifted_batch(db, 3, seed=5, shift=(450.0, -380.0))
+        with LocalClient(db) as local, ServiceClient.for_database(
+            db, n_shards=3, partitioner="spatial"
+        ) as service:
+            local.ingest(batch)
+            service.ingest(batch)
+            assert np.array_equal(
+                local.histogram(8).histogram, service.histogram(8).histogram
+            )
+
+
+class TestDeprecationShims:
+    """Satellite: old entry points keep working, warning exactly once."""
+
+    def _count_warnings(self, fn, n_calls: int = 2) -> list:
+        reset_fired()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            for _ in range(n_calls):
+                fn()
+        return [w for w in caught if issubclass(w.category, DeprecationWarning)]
+
+    @pytest.mark.parametrize(
+        "helper", ["range", "count", "histogram", "knn", "similarity"]
+    )
+    def test_service_helpers_warn_once_each(self, helper, cdb, cworkload):
+        queries, windows = knn_suite(cdb, n=2)
+        with QueryService(cdb, n_shards=2) as service:
+            calls = {
+                "range": lambda: service.range(cworkload),
+                "count": lambda: service.count(cworkload.boxes),
+                "histogram": lambda: service.histogram(8),
+                "knn": lambda: service.knn(queries, 2, windows),
+                "similarity": lambda: service.similarity(queries, 50.0),
+            }
+            fired = self._count_warnings(calls[helper])
+            assert len(fired) == 1
+            assert f"QueryService.{helper}()" in str(fired[0].message)
+
+    def test_helpers_still_answer_correctly(self, cdb, cworkload):
+        reset_fired()
+        with QueryService(cdb, n_shards=2) as service, warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            assert service.range(cworkload).result_sets == (
+                service.execute(RangeRequest.from_workload(cworkload)).result_sets
+            )
+
+    def test_harness_service_kwarg_warns_once_and_scores_identically(self):
+        db = client_db(12, seed=8)
+        evaluator = QueryAccuracyEvaluator(db)
+        with QueryService(db, n_shards=2) as service:
+            fired = self._count_warnings(
+                lambda: evaluator.evaluate(db, ("range",), service=service)
+            )
+            assert len(fired) == 1
+            assert "client=" in str(fired[0].message)
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DeprecationWarning)
+                via_service = evaluator.evaluate(db, ("range",), service=service)
+            assert via_service == evaluator.evaluate(db, ("range",))
+
+    def test_harness_rejects_client_and_service_together(self, cdb):
+        evaluator = QueryAccuracyEvaluator(cdb)
+        with QueryService(cdb, n_shards=2) as service, warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            with pytest.raises(ValueError, match="not both"):
+                evaluator.evaluate(
+                    cdb, ("range",), service=service, client=LocalClient(cdb)
+                )
+
+    def test_harness_accepts_any_client(self):
+        db = client_db(12, seed=8)
+        evaluator = QueryAccuracyEvaluator(db)
+        baseline = evaluator.evaluate(db, ("range", "knn_edr", "similarity"))
+        with ServiceClient.for_database(db, n_shards=3) as client:
+            assert evaluator.evaluate(
+                db, ("range", "knn_edr", "similarity"), client=client
+            ) == baseline
+
+
+def test_client_protocol_is_abstract():
+    client = Client()
+    for method in (
+        lambda: client.execute(HistogramRequest()),
+        lambda: client.ingest([]),
+        lambda: client.describe(),
+        lambda: client.close(),
+    ):
+        with pytest.raises(NotImplementedError):
+            method()
+
+
+def test_make_trajectory_helper_roundtrip():
+    """The conftest helper survives the wire codec (used by server tests)."""
+    from repro.service.requests import trajectory_to_json
+
+    trajectory = make_trajectory(n=7, seed=3, traj_id=9)
+    decoded = trajectory_from_json(trajectory_to_json(trajectory))
+    assert decoded == trajectory

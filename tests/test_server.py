@@ -1,0 +1,524 @@
+"""Tests for the asyncio socket front-end and the three-transport parity.
+
+The acceptance contract of the unified client API: all five query kinds
+are bit-identical across :class:`LocalClient` / :class:`ServiceClient` /
+:class:`RemoteClient`, across executors and partitioners, under
+interleaved ingest — and the server sustains concurrent clients with
+zero dropped or misordered responses, answers garbage with structured
+error frames (the connection survives), and shuts down gracefully.
+"""
+
+import json
+import socket
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.client import LocalClient, RemoteClient, RequestError, ServiceClient
+from repro.data import Trajectory, TrajectoryDatabase, synthetic_database
+from repro.eval.harness import QueryAccuracyEvaluator
+from repro.service import (
+    PROTOCOL_VERSION,
+    QueryService,
+    serve_in_thread,
+)
+from repro.service.server import FRAME_HEADER, encode_frame
+from repro.workloads import RangeQueryWorkload
+
+
+def server_db(n: int = 16, seed: int = 5) -> TrajectoryDatabase:
+    return synthetic_database(
+        "geolife", n_trajectories=n, points_scale=0.05, seed=seed
+    )
+
+
+def knn_suite(db, n=3, seed=1):
+    rng = np.random.default_rng(seed)
+    qids = [int(i) for i in rng.choice(len(db), size=n, replace=False)]
+    queries = [db[q] for q in qids]
+    windows = [QueryAccuracyEvaluator._central_window(q) for q in queries]
+    return queries, windows
+
+
+def shifted_batch(db, n: int = 3, seed: int = 0, shift=(35.0, -25.0)):
+    rng = np.random.default_rng(seed)
+    return [
+        Trajectory(
+            db[int(rng.integers(len(db)))].points
+            + np.array([shift[0], shift[1], 0.0])
+        )
+        for _ in range(n)
+    ]
+
+
+@pytest.fixture()
+def loopback():
+    """A fresh loopback server over a 16-trajectory database."""
+    db = server_db()
+    handle = serve_in_thread(QueryService(db, n_shards=3), close_service=True)
+    try:
+        yield db, handle
+    finally:
+        handle.stop()
+
+
+class _RawConnection:
+    """A bare socket speaking frames, for protocol-violation tests."""
+
+    def __init__(self, host, port):
+        self.sock = socket.create_connection((host, port), timeout=10.0)
+
+    def send_frame(self, obj) -> None:
+        self.sock.sendall(encode_frame(obj))
+
+    def send_bytes(self, data: bytes) -> None:
+        self.sock.sendall(data)
+
+    def read_frame(self):
+        header = self._recv_exact(FRAME_HEADER.size)
+        if header is None:
+            return None
+        (length,) = FRAME_HEADER.unpack(header)
+        return json.loads(self._recv_exact(length))
+
+    def _recv_exact(self, n):
+        buf = bytearray()
+        while len(buf) < n:
+            chunk = self.sock.recv(n - len(buf))
+            if not chunk:
+                return None if not buf else pytest.fail("truncated frame")
+            buf += chunk
+        return bytes(buf)
+
+    def hello(self, version=PROTOCOL_VERSION):
+        self.send_frame({"type": "hello", "version": version})
+        return self.read_frame()
+
+    def close(self):
+        self.sock.close()
+
+
+# ------------------------------------------------------------------ handshake
+class TestHandshake:
+    def test_hello_carries_serving_metadata(self, loopback):
+        db, handle = loopback
+        with RemoteClient(handle.host, handle.port) as client:
+            info = client.server_info
+            assert info["trajectories"] == len(db)
+            assert info["n_shards"] == 3
+            assert info["epoch"] == 0
+
+    def test_version_mismatch_gets_error_frame_and_close(self, loopback):
+        _, handle = loopback
+        raw = _RawConnection(handle.host, handle.port)
+        reply = raw.hello(version=999)
+        assert reply["type"] == "error"
+        assert reply["error"]["type"] == "RequestError"
+        assert "version" in reply["error"]["message"]
+        assert raw.read_frame() is None  # server closed the connection
+        raw.close()
+
+    def test_first_frame_must_be_hello(self, loopback):
+        _, handle = loopback
+        raw = _RawConnection(handle.host, handle.port)
+        raw.send_frame({"type": "describe", "id": 0})
+        reply = raw.read_frame()
+        assert reply["type"] == "error"
+        assert "hello" in reply["error"]["message"]
+        raw.close()
+
+    def test_remote_client_rejects_bad_address(self):
+        with pytest.raises(ValueError, match="HOST:PORT"):
+            RemoteClient.connect("nonsense")
+
+
+# ------------------------------------------------------------ error isolation
+class TestErrorFrames:
+    def test_malformed_json_answered_then_connection_survives(self, loopback):
+        db, handle = loopback
+        raw = _RawConnection(handle.host, handle.port)
+        assert raw.hello()["type"] == "hello"
+        raw.send_bytes(FRAME_HEADER.pack(9) + b"not json!")
+        reply = raw.read_frame()
+        assert reply["type"] == "error"
+        assert "JSON" in reply["error"]["message"]
+        # The same connection still serves valid traffic afterwards.
+        raw.send_frame(
+            {
+                "type": "request",
+                "id": 7,
+                "request": {"v": PROTOCOL_VERSION, "kind": "histogram", "grid": 4},
+            }
+        )
+        reply = raw.read_frame()
+        assert reply["type"] == "response" and reply["id"] == 7
+        assert np.sum(reply["response"]["histogram"]) == db.total_points
+        raw.close()
+
+    def test_bad_request_is_a_structured_error_not_a_drop(self, loopback):
+        _, handle = loopback
+        raw = _RawConnection(handle.host, handle.port)
+        raw.hello()
+        raw.send_frame(
+            {
+                "type": "request",
+                "id": 1,
+                "request": {
+                    "v": PROTOCOL_VERSION,
+                    "kind": "range",
+                    "boxes": [[9.0, 1.0, 0.0, 1.0, 0.0, 1.0]],
+                },
+            }
+        )
+        reply = raw.read_frame()
+        assert reply == {
+            "type": "error",
+            "id": 1,
+            "error": {
+                "type": "RequestError",
+                "message": reply["error"]["message"],
+            },
+        }
+        assert "bad box bounds" in reply["error"]["message"]
+        # Unknown kind and unknown frame type behave the same way.
+        raw.send_frame(
+            {
+                "type": "request",
+                "id": 2,
+                "request": {"v": PROTOCOL_VERSION, "kind": "teleport"},
+            }
+        )
+        assert "unknown request kind" in raw.read_frame()["error"]["message"]
+        raw.send_frame({"type": "warp", "id": 3})
+        assert "unknown frame type" in raw.read_frame()["error"]["message"]
+        raw.close()
+
+    def test_remote_client_raises_request_error_from_server(self, loopback):
+        db, handle = loopback
+        queries, _ = knn_suite(db, n=1)
+        with RemoteClient(handle.host, handle.port) as client:
+            obj = {
+                "v": PROTOCOL_VERSION,
+                "kind": "knn",
+                "queries": [{"id": 0, "points": queries[0].points.tolist()}],
+                "k": 2,
+                "measure": "t2vec",  # decode-time rejection server-side
+            }
+            with pytest.raises(RequestError, match="t2vec"):
+                client._round_trip({"type": "request", "request": obj})
+            # The connection survives the rejected request.
+            assert client.histogram(4).histogram.sum() == db.total_points
+
+    def test_execution_error_keeps_connection_alive(self, loopback):
+        db, handle = loopback
+        queries, _ = knn_suite(db, n=1)
+        from repro.client import ServerError
+
+        with RemoteClient(handle.host, handle.port) as client:
+            # Well-formed on the wire, rejected at execution time (te < ts
+            # passes decode; the engine raises): must arrive as a non-
+            # RequestError error frame, not a dropped connection.
+            obj = {
+                "v": PROTOCOL_VERSION,
+                "kind": "similarity",
+                "queries": [{"id": 0, "points": queries[0].points.tolist()}],
+                "delta": 5.0,
+                "time_windows": [[10.0, 5.0]],
+            }
+            with pytest.raises(ServerError, match="empty time window"):
+                client._round_trip({"type": "request", "request": obj})
+            assert client.histogram(4).histogram.sum() == db.total_points
+
+    def test_ingest_frame_validation(self, loopback):
+        _, handle = loopback
+        raw = _RawConnection(handle.host, handle.port)
+        raw.hello()
+        raw.send_frame({"type": "ingest", "id": 4, "trajectories": "nope"})
+        assert "array" in raw.read_frame()["error"]["message"]
+        raw.close()
+
+
+# -------------------------------------------------------------- transport parity
+EXECUTORS_TO_TEST = ["serial", "process"]
+PARTITIONERS_TO_TEST = ["hash", "spatial"]
+
+
+class TestThreeTransportParity:
+    """The acceptance criterion: bit-identical across all three clients,
+    both executors, both partitioners, under interleaved ingest."""
+
+    @pytest.mark.parametrize("executor", EXECUTORS_TO_TEST)
+    @pytest.mark.parametrize("partitioner", PARTITIONERS_TO_TEST)
+    def test_all_five_kinds_with_interleaved_ingest(self, executor, partitioner):
+        db = server_db(14, seed=11)
+        workload = RangeQueryWorkload.from_data_distribution(db, 10, seed=3)
+        queries, windows = knn_suite(db, n=2, seed=2)
+        eps, delta = 200.0, 80.0
+
+        handle = serve_in_thread(
+            QueryService(db, n_shards=3, partitioner=partitioner, executor=executor),
+            close_service=True,
+        )
+        local = LocalClient(db)
+        service = ServiceClient.for_database(
+            db, n_shards=3, partitioner=partitioner, executor=executor
+        )
+        remote = RemoteClient(handle.host, handle.port)
+        clients = {"local": local, "service": service, "remote": remote}
+        try:
+            for round_no in range(2):
+                answers = {
+                    name: (
+                        c.range(workload).result_sets,
+                        c.count(workload.boxes).counts,
+                        c.histogram(8).histogram,
+                        c.knn(queries, 2, windows, eps=eps).pairs,
+                        c.similarity(queries, delta).result_sets,
+                    )
+                    for name, c in clients.items()
+                }
+                reference = answers["local"]
+                for name, got in answers.items():
+                    assert got[0] == reference[0], f"range diverged ({name})"
+                    assert np.array_equal(got[1], reference[1]), (
+                        f"count diverged ({name})"
+                    )
+                    assert np.array_equal(got[2], reference[2]), (
+                        f"histogram diverged ({name})"
+                    )
+                    assert got[3] == reference[3], f"kNN diverged ({name})"
+                    assert got[4] == reference[4], f"similarity diverged ({name})"
+                batch = shifted_batch(db, 2, seed=round_no)
+                epochs = {n: c.ingest(batch).epoch for n, c in clients.items()}
+                assert len(set(epochs.values())) == 1, epochs
+        finally:
+            for c in clients.values():
+                c.close()
+            handle.stop()
+
+    @settings(max_examples=5, deadline=None)
+    @given(seed=st.integers(0, 40))
+    def test_property_remote_equals_local(self, seed):
+        db = server_db(10, seed=seed)
+        workload = RangeQueryWorkload.from_data_distribution(db, 6, seed=seed)
+        queries, windows = knn_suite(db, n=2, seed=seed)
+        handle = serve_in_thread(
+            QueryService(db, n_shards=2), close_service=True
+        )
+        try:
+            with LocalClient(db) as local, RemoteClient(
+                handle.host, handle.port
+            ) as remote:
+                assert (
+                    remote.range(workload).result_sets
+                    == local.range(workload).result_sets
+                )
+                assert remote.knn(queries, 2, windows, eps=300.0).pairs == (
+                    local.knn(queries, 2, windows, eps=300.0).pairs
+                )
+                batch = shifted_batch(db, 2, seed=seed)
+                local.ingest(batch)
+                remote.ingest(batch)
+                assert (
+                    remote.similarity(queries, 90.0).result_sets
+                    == local.similarity(queries, 90.0).result_sets
+                )
+        finally:
+            handle.stop()
+
+    def test_harness_scores_identical_through_remote(self, loopback):
+        db, handle = loopback
+        evaluator = QueryAccuracyEvaluator(db)
+        tasks = ("range", "knn_edr", "similarity")
+        with RemoteClient(handle.host, handle.port) as client:
+            assert evaluator.evaluate(db, tasks, client=client) == (
+                evaluator.evaluate(db, tasks)
+            )
+
+
+# ---------------------------------------------------------------- concurrency
+class TestConcurrentClients:
+    def test_eight_clients_no_drops_no_misorder(self, loopback):
+        db, handle = loopback
+        workload = RangeQueryWorkload.from_data_distribution(db, 8, seed=3)
+        queries, windows = knn_suite(db, n=2)
+        with LocalClient(db) as local:
+            want_range = local.range(workload).result_sets
+            want_pairs = local.knn(queries, 2, windows, eps=250.0).pairs
+        errors: list[str] = []
+
+        def loop(idx: int) -> None:
+            try:
+                # RemoteClient verifies every response id echo internally:
+                # any dropped or reordered reply raises.
+                with RemoteClient(handle.host, handle.port) as client:
+                    for i in range(6):
+                        if (idx + i) % 2 == 0:
+                            got = client.range(workload).result_sets
+                            if got != want_range:
+                                errors.append(f"client {idx}: range mismatch")
+                        else:
+                            got = client.knn(queries, 2, windows, eps=250.0).pairs
+                            if got != want_pairs:
+                                errors.append(f"client {idx}: knn mismatch")
+            except Exception as exc:
+                errors.append(f"client {idx}: {type(exc).__name__}: {exc}")
+
+        threads = [threading.Thread(target=loop, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not any(t.is_alive() for t in threads), "client threads hung"
+        assert not errors, "\n".join(errors)
+
+    def test_shared_client_is_thread_safe(self, loopback):
+        db, handle = loopback
+        boxes = [db.bounding_box]
+        errors: list[str] = []
+        with RemoteClient(handle.host, handle.port) as client:
+            def loop() -> None:
+                try:
+                    for _ in range(5):
+                        client.count(boxes)
+                except Exception as exc:
+                    errors.append(f"{type(exc).__name__}: {exc}")
+
+            threads = [threading.Thread(target=loop) for _ in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=30)
+        assert not errors, "\n".join(errors)
+
+
+# ------------------------------------------------------------------- shutdown
+class TestShutdown:
+    def test_graceful_stop_refuses_new_connections(self):
+        db = server_db(8, seed=40)
+        handle = serve_in_thread(QueryService(db, n_shards=2), close_service=True)
+        with RemoteClient(handle.host, handle.port) as client:
+            client.histogram(4)
+        address = (handle.host, handle.port)
+        handle.stop()
+        handle.stop()  # idempotent
+        with pytest.raises(OSError):
+            socket.create_connection(address, timeout=2.0)
+
+    def test_stop_closes_owned_service(self):
+        db = server_db(8, seed=41)
+        service = QueryService(db, n_shards=2)
+        handle = serve_in_thread(service, close_service=True)
+        handle.stop()
+        with pytest.raises(RuntimeError, match="closed"):
+            from repro.service import HistogramRequest
+
+            service.execute(HistogramRequest())
+
+    def test_client_close_is_idempotent_and_sends_bye(self, loopback):
+        _, handle = loopback
+        client = RemoteClient(handle.host, handle.port)
+        client.histogram(4)
+        client.close()
+        client.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            client.histogram(4)
+
+
+# ------------------------------------------------------------------------ CLI
+class TestServeListenCLI:
+    def test_serve_listen_roundtrip_and_sigint(self, tmp_path):
+        import os
+        import signal
+        import subprocess
+        import sys
+        import time
+
+        from repro.data import save_database
+
+        db = server_db(10, seed=50)
+        db_path = tmp_path / "db.npz"
+        save_database(db, db_path)
+        workload = RangeQueryWorkload.from_data_distribution(db, 5, seed=1)
+        workload_path = tmp_path / "wl.json"
+        workload.save(workload_path)
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+        env["PYTHONUNBUFFERED"] = "1"
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--db", str(db_path), "--shards", "2",
+                "--listen", "127.0.0.1:0",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+        )
+        try:
+            address = None
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                line = proc.stdout.readline()
+                if line.startswith("listening on "):
+                    address = line.split()[-1].strip()
+                    break
+            assert address, "server never printed its listen address"
+
+            # One-shot `repro client` commands against the live server.
+            out = subprocess.run(
+                [
+                    sys.executable, "-m", "repro", "client",
+                    "--connect", address, "--type", "describe",
+                ],
+                capture_output=True, text=True, env=env, timeout=60,
+            )
+            assert out.returncode == 0
+            assert json.loads(out.stdout)["trajectories"] == len(db)
+
+            out = subprocess.run(
+                [
+                    sys.executable, "-m", "repro", "client",
+                    "--connect", address, "--type", "range",
+                    "--workload", str(workload_path),
+                ],
+                capture_output=True, text=True, env=env, timeout=60,
+            )
+            assert out.returncode == 0
+            body = json.loads(out.stdout)
+            with LocalClient(db) as local:
+                want = [sorted(s) for s in local.range(workload).result_sets]
+            assert body["results"] == want
+
+            out = subprocess.run(
+                [
+                    sys.executable, "-m", "repro", "client",
+                    "--connect", address, "--type", "knn",
+                    "--query-db", str(db_path), "--ids", "0", "1",
+                    "-k", "2", "--eps", "250.0",
+                ],
+                capture_output=True, text=True, env=env, timeout=60,
+            )
+            assert out.returncode == 0
+            assert len(json.loads(out.stdout)["neighbors"]) == 2
+
+            proc.send_signal(signal.SIGINT)
+            assert proc.wait(timeout=30) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
+
+    def test_client_requires_query_db_for_knn(self, loopback):
+        from repro.cli import main
+
+        _, handle = loopback
+        with pytest.raises(SystemExit, match="query-db"):
+            main([
+                "client", "--connect", f"{handle.host}:{handle.port}",
+                "--type", "knn", "--ids", "0",
+            ])
