@@ -102,9 +102,10 @@ def run_parity_and_latency(args) -> None:
     db, workload, queries, windows, eps, delta = _setup(
         args.trajectories, args.queries
     )
-    service = QueryService(db, n_shards=args.shards)
+    service = QueryService(db, n_shards=args.shards, store=args.store)
     handle = serve_in_thread(
-        QueryService(db, n_shards=args.shards), close_service=True
+        QueryService(db, n_shards=args.shards, store=args.store),
+        close_service=True,
     )
     clients = {
         "local": LocalClient(db),
@@ -160,7 +161,8 @@ def run_concurrency(args) -> dict:
         args.trajectories, args.queries
     )
     handle = serve_in_thread(
-        QueryService(db, n_shards=args.shards), close_service=True
+        QueryService(db, n_shards=args.shards, store=args.store),
+        close_service=True,
     )
     # Per-epoch expected range results: a response stamped with epoch e must
     # match the reference database state after e ingest batches.
@@ -229,6 +231,9 @@ def main(argv=None) -> int:
     parser.add_argument("--trajectories", type=int, default=DEFAULT_TRAJECTORIES)
     parser.add_argument("--queries", type=int, default=DEFAULT_QUERIES)
     parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--store", default="heap", choices=["heap", "shm"],
+                        help="array-store provider backing every service "
+                        "in the run (parity must hold either way)")
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument("--clients", type=int, default=DEFAULT_CLIENTS)
     parser.add_argument("--requests-per-client", type=int,

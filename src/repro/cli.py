@@ -227,6 +227,7 @@ def _make_service(args):
         partitioner=args.partitioner,
         executor=args.executor,
         index=args.index,
+        store=args.store,
     )
 
 
@@ -277,7 +278,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"serving {info['trajectories']} trajectories / {info['points']} "
             f"points across {info['n_shards']} shards "
             f"({info['partitioner']} partitioning, {info['executor']} executor, "
-            f"{info['index']} index)"
+            f"{info['index']} index, {info['store']} store)"
         )
         failures = 0
         if args.listen:
@@ -421,6 +422,7 @@ def _cmd_client(args: argparse.Namespace) -> int:
 
 
 def _add_service_arguments(p: argparse.ArgumentParser) -> None:
+    from repro.data.store import STORES
     from repro.service import EXECUTORS, PARTITIONERS
 
     p.add_argument("--db", required=True, help="database to serve (.npz/.csv)")
@@ -433,6 +435,11 @@ def _add_service_arguments(p: argparse.ArgumentParser) -> None:
                    help="per-shard index backend; 'auto' lets the cost-based "
                    "planner pick per workload (answers are identical either "
                    "way — this tunes pruning cost only)")
+    p.add_argument("--store", default="heap", choices=list(STORES),
+                   help='"shm" publishes shard base tiers as named '
+                   "shared-memory segments that process-executor workers "
+                   "map zero-copy instead of unpickling (answers are "
+                   "identical either way — this tunes memory layout only)")
 
 
 def build_parser() -> argparse.ArgumentParser:

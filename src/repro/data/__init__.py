@@ -3,6 +3,15 @@
 from repro.data.bbox import BoundingBox
 from repro.data.trajectory import Trajectory
 from repro.data.database import TrajectoryDatabase
+from repro.data.store import (
+    STORES,
+    ArrayHandle,
+    HeapStore,
+    SharedMemoryStore,
+    StoreError,
+    make_store,
+    shared_memory_available,
+)
 from repro.data.simplification import SimplificationState
 from repro.data.stats import DatasetStatistics, dataset_statistics
 from repro.data.synthetic import (
@@ -37,6 +46,13 @@ __all__ = [
     "BoundingBox",
     "Trajectory",
     "TrajectoryDatabase",
+    "STORES",
+    "ArrayHandle",
+    "HeapStore",
+    "SharedMemoryStore",
+    "StoreError",
+    "make_store",
+    "shared_memory_available",
     "SimplificationState",
     "DatasetStatistics",
     "dataset_statistics",

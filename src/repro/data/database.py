@@ -30,10 +30,11 @@ class TrajectoryDatabase:
         "_total_points",
         "_point_matrix",
         "_point_offsets",
+        "_store",
         "__weakref__",
     )
 
-    def __init__(self, trajectories: Iterable[Trajectory]) -> None:
+    def __init__(self, trajectories: Iterable[Trajectory], store=None) -> None:
         self.trajectories: list[Trajectory] = [
             Trajectory(t.points, traj_id=i) if t.traj_id != i else t
             for i, t in enumerate(trajectories)
@@ -44,6 +45,50 @@ class TrajectoryDatabase:
         self._total_points: int | None = None
         self._point_matrix: np.ndarray | None = None
         self._point_offsets: np.ndarray | None = None
+        # Array-store provider (repro.data.store) the columnar
+        # materialization is placed into; None keeps today's plain heap
+        # arrays with zero indirection.
+        self._store = store
+
+    @classmethod
+    def from_columnar(
+        cls, matrix: np.ndarray, offsets: np.ndarray
+    ) -> "TrajectoryDatabase":
+        """Rebuild a database as zero-copy views into a CSR layout.
+
+        ``matrix`` is the ``(N, 3)`` point matrix and ``offsets`` the
+        ``(M + 1,)`` row offsets, exactly as produced by
+        :meth:`point_matrix`/:meth:`point_offsets` (possibly mapped from a
+        shared-memory segment). Trajectory ``i`` becomes a view of rows
+        ``offsets[i]:offsets[i + 1]`` — no point data is copied, and the
+        columnar caches are pre-populated so downstream consumers
+        (:class:`~repro.queries.engine.QueryEngine`) never re-concatenate.
+        """
+        matrix = np.asarray(matrix, dtype=np.float64)
+        offsets = np.asarray(offsets, dtype=np.int64)
+        if matrix.ndim != 2 or matrix.shape[1] != 3:
+            raise ValueError(f"expected an (N, 3) matrix, got shape {matrix.shape}")
+        if offsets.ndim != 1 or len(offsets) < 2 or offsets[0] != 0:
+            raise ValueError("offsets must be (M + 1,) with offsets[0] == 0")
+        if offsets[-1] != len(matrix) or np.any(np.diff(offsets) < 2):
+            raise ValueError("offsets do not describe valid trajectories")
+        if matrix.flags.writeable:
+            matrix = matrix.view()
+            matrix.setflags(write=False)
+        if offsets.flags.writeable:
+            offsets = offsets.view()
+            offsets.setflags(write=False)
+        db = cls.__new__(cls)
+        db.trajectories = [
+            Trajectory._wrap(matrix[s:e], traj_id=i)
+            for i, (s, e) in enumerate(zip(offsets[:-1], offsets[1:]))
+        ]
+        db._bbox = None
+        db._total_points = int(offsets[-1])
+        db._point_matrix = matrix
+        db._point_offsets = offsets
+        db._store = None
+        return db
 
     # ------------------------------------------------------------------ basics
     def __len__(self) -> int:
@@ -103,7 +148,10 @@ class TrajectoryDatabase:
         """
         if self._point_matrix is None:
             flat = np.concatenate([t.points for t in self.trajectories], axis=0)
-            flat.setflags(write=False)
+            if self._store is not None:
+                flat = self._store.put(flat, label="matrix").resolve()
+            else:
+                flat.setflags(write=False)
             self._point_matrix = flat
         return self._point_matrix
 
@@ -120,7 +168,10 @@ class TrajectoryDatabase:
             )
             offsets = np.zeros(len(self.trajectories) + 1, dtype=np.int64)
             np.cumsum(counts, out=offsets[1:])
-            offsets.setflags(write=False)
+            if self._store is not None:
+                offsets = self._store.put(offsets, label="offsets").resolve()
+            else:
+                offsets.setflags(write=False)
             self._point_offsets = offsets
         return self._point_offsets
 

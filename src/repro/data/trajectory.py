@@ -45,6 +45,21 @@ class Trajectory:
         self.traj_id = int(traj_id)
         self._bbox: BoundingBox | None = None
 
+    @classmethod
+    def _wrap(cls, points: np.ndarray, traj_id: int = -1) -> "Trajectory":
+        """Wrap an already-validated, C-contiguous, read-only ``(n, 3)`` view.
+
+        Used by the columnar data plane to rebuild trajectories as zero-copy
+        views into a mapped point matrix without re-running (or re-paying
+        for) per-point validation. The caller vouches that ``points`` came
+        out of a previously validated trajectory.
+        """
+        traj = object.__new__(cls)
+        traj.points = points
+        traj.traj_id = int(traj_id)
+        traj._bbox = None
+        return traj
+
     # ------------------------------------------------------------------ basics
     def __len__(self) -> int:
         return len(self.points)

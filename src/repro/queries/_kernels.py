@@ -1,0 +1,253 @@
+"""Optional compiled fast path for the three hottest query kernels.
+
+The engine's hot loops — the batched EDR dynamic program, the CSR range
+sweep (candidate-run expansion + containment test), and the similarity
+query's lifespan interpolation — all read the stable flat columnar layout
+(``TrajectoryDatabase.point_matrix()``/``point_offsets()``), which makes
+them mechanical to compile. This module holds numba implementations of
+the three, selected **at import time**:
+
+* if numba is importable (and ``REPRO_KERNELS`` is not ``numpy``), the
+  compiled kernels are active;
+* otherwise the module degrades to a pure-numpy stance: every dispatch
+  function returns ``None`` and the call sites in
+  :mod:`repro.queries.edr` / :mod:`repro.queries.engine` fall through to
+  their vectorized numpy paths. numba is never a dependency.
+
+``REPRO_KERNELS`` can force ``numpy`` (skip the import entirely), request
+``numba`` (raise if unavailable — for CI jobs that must not silently
+degrade), or stay ``auto``. :func:`set_backend` flips the choice at
+runtime so property tests can run the same query matrix under every
+available backend and assert bit-identical results.
+
+Bit-identity is a hard requirement, not an aspiration: the compiled EDR
+recurrence is integer-valued (so the classic per-pair DP equals the
+vectorized prefix-minimum formulation exactly), the range sweep is pure
+comparisons, and the interpolation kernel calls ``np.interp`` itself
+(numba's implementation mirrors numpy's) — no fastmath anywhere.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+__all__ = [
+    "KERNELS_ENV",
+    "HAVE_NUMBA",
+    "KERNEL_BACKENDS",
+    "active_backend",
+    "set_backend",
+    "edr_pairs",
+    "expand_rows",
+    "interp_chunk",
+]
+
+KERNELS_ENV = "REPRO_KERNELS"
+
+_requested = os.environ.get(KERNELS_ENV, "auto").strip().lower() or "auto"
+if _requested not in ("auto", "numpy", "numba"):
+    raise ImportError(
+        f"{KERNELS_ENV} must be 'auto', 'numpy', or 'numba'; got {_requested!r}"
+    )
+
+numba = None
+HAVE_NUMBA = False
+if _requested != "numpy":
+    try:
+        import numba  # type: ignore[no-redef]
+
+        HAVE_NUMBA = True
+    except ImportError:
+        if _requested == "numba":
+            raise ImportError(
+                f"{KERNELS_ENV}=numba but numba is not importable; install "
+                "numba or drop the override"
+            ) from None
+
+#: Backends the current interpreter can actually run.
+KERNEL_BACKENDS = ("numpy", "numba") if HAVE_NUMBA else ("numpy",)
+
+_backend = "numba" if HAVE_NUMBA else "numpy"
+
+
+def active_backend() -> str:
+    """The backend currently answering kernel dispatches."""
+    return _backend
+
+
+def set_backend(name: str | None) -> str:
+    """Select the kernel backend; ``None``/``"auto"`` restores the default.
+
+    Raises :class:`ValueError` when asked for a backend this interpreter
+    cannot provide — tests parametrize over :data:`KERNEL_BACKENDS` to
+    stay within what is available.
+    """
+    global _backend
+    if name is None or name == "auto":
+        _backend = "numba" if HAVE_NUMBA else "numpy"
+    elif name == "numpy":
+        _backend = "numpy"
+    elif name == "numba":
+        if not HAVE_NUMBA:
+            raise ValueError("numba backend requested but numba is not importable")
+        _backend = "numba"
+    else:
+        raise ValueError(f"unknown kernel backend {name!r}")
+    return _backend
+
+
+# ---------------------------------------------------------------------------
+# Kernel implementations (nopython-compatible; jitted only when numba exists)
+# ---------------------------------------------------------------------------
+
+def _edr_pairs_impl(ax, ay, bx, by, n_lens, m_lens, eps):
+    """Classic per-pair rolling EDR DP over padded coordinate rows.
+
+    Only the first ``n_lens[p]``/``m_lens[p]`` entries of pair ``p`` are
+    read, so the callers' padding sentinels never enter the arithmetic.
+    EDR is integer-valued, which makes this recurrence exactly equal to
+    the vectorized prefix-minimum formulation in ``edr_distances_pairs``.
+    """
+    n_pairs = ax.shape[0]
+    m_max = bx.shape[1]
+    out = np.empty(n_pairs)
+    prev = np.empty(m_max + 1)
+    curr = np.empty(m_max + 1)
+    for p in range(n_pairs):
+        n = n_lens[p]
+        m = m_lens[p]
+        if n == 0:
+            out[p] = m
+            continue
+        if m == 0:
+            out[p] = n
+            continue
+        for j in range(m + 1):
+            prev[j] = j
+        for i in range(1, n + 1):
+            curr[0] = i
+            axi = ax[p, i - 1]
+            ayi = ay[p, i - 1]
+            for j in range(1, m + 1):
+                dx = axi - bx[p, j - 1]
+                if dx < 0.0:
+                    dx = -dx
+                dy = ayi - by[p, j - 1]
+                if dy < 0.0:
+                    dy = -dy
+                cost = 0.0 if (dx <= eps and dy <= eps) else 1.0
+                best = prev[j - 1] + cost
+                down = prev[j] + 1.0
+                if down < best:
+                    best = down
+                left = curr[j - 1] + 1.0
+                if left < best:
+                    best = left
+                curr[j] = best
+            prev, curr = curr, prev
+        out[p] = prev[m]
+    return out
+
+
+def _expand_rows_impl(starts, lengths, q_idx, px, py, pt,
+                      lox, loy, lot, hix, hiy, hit):
+    """Fused CSR range sweep: run expansion + per-axis containment test.
+
+    One pass replaces the numpy path's repeat/arange/take/compare chain;
+    the comparisons are identical, so ``inside`` is bit-equal.
+    """
+    n_pairs = len(starts)
+    total = 0
+    for k in range(n_pairs):
+        total += lengths[k]
+    rows = np.empty(total, np.int64)
+    row_query = np.empty(total, np.int64)
+    inside = np.empty(total, np.bool_)
+    pos = 0
+    for k in range(n_pairs):
+        q = q_idx[k]
+        s = starts[k]
+        lx = lox[q]
+        hx = hix[q]
+        ly = loy[q]
+        hy = hiy[q]
+        lt = lot[q]
+        ht = hit[q]
+        for off in range(lengths[k]):
+            r = s + off
+            x = px[r]
+            y = py[r]
+            t = pt[r]
+            rows[pos] = r
+            row_query[pos] = q
+            inside[pos] = (
+                x >= lx and x <= hx
+                and y >= ly and y <= hy
+                and t >= lt and t <= ht
+            )
+            pos += 1
+    return rows, row_query, inside
+
+
+def _interp_chunk_impl(grid, ot, ox, oy, offsets, ids):
+    """Lifespan interpolation for a chunk of candidate trajectories.
+
+    ``np.interp`` inside the loop is numba's own implementation of the
+    same clamped linear interpolation the numpy path uses per candidate.
+    """
+    pos = np.empty((len(ids), len(grid), 2))
+    for r in range(len(ids)):
+        tid = ids[r]
+        s = offsets[tid]
+        e = offsets[tid + 1]
+        pos[r, :, 0] = np.interp(grid, ot[s:e], ox[s:e])
+        pos[r, :, 1] = np.interp(grid, ot[s:e], oy[s:e])
+    return pos
+
+
+if HAVE_NUMBA:
+    _edr_pairs_jit = numba.njit(cache=True)(_edr_pairs_impl)
+    _expand_rows_jit = numba.njit(cache=True)(_expand_rows_impl)
+    _interp_chunk_jit = numba.njit(cache=True)(_interp_chunk_impl)
+else:
+    _edr_pairs_jit = None
+    _expand_rows_jit = None
+    _interp_chunk_jit = None
+
+
+# ---------------------------------------------------------------------------
+# Dispatchers: None under the numpy backend (callers fall through)
+# ---------------------------------------------------------------------------
+
+def edr_pairs(ax, ay, bx, by, n_lens, m_lens, eps):
+    """Compiled batched EDR distances, or ``None`` under numpy."""
+    if _backend != "numba":
+        return None
+    return _edr_pairs_jit(ax, ay, bx, by, n_lens, m_lens, float(eps))
+
+
+def expand_rows(starts, lengths, q_idx, px, py, pt, lo_cols, hi_cols):
+    """Compiled CSR range sweep pass, or ``None`` under numpy."""
+    if _backend != "numba":
+        return None
+    return _expand_rows_jit(
+        np.ascontiguousarray(starts, dtype=np.int64),
+        np.ascontiguousarray(lengths, dtype=np.int64),
+        np.ascontiguousarray(q_idx, dtype=np.int64),
+        px, py, pt,
+        lo_cols[0], lo_cols[1], lo_cols[2],
+        hi_cols[0], hi_cols[1], hi_cols[2],
+    )
+
+
+def interp_chunk(grid, ot, ox, oy, offsets, ids):
+    """Compiled lifespan interpolation chunk, or ``None`` under numpy."""
+    if _backend != "numba":
+        return None
+    return _interp_chunk_jit(
+        grid, ot, ox, oy,
+        np.ascontiguousarray(offsets, dtype=np.int64),
+        np.ascontiguousarray(ids, dtype=np.int64),
+    )

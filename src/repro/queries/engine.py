@@ -79,6 +79,7 @@ from repro.data.bbox import BoundingBox
 from repro.data.database import TrajectoryDatabase
 from repro.index.backend import GridBackend, IndexBackend
 from repro.index.grid import GridIndex
+from repro.queries import _kernels
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (workloads -> queries)
     from repro.data.simplification import SimplificationState
@@ -578,11 +579,15 @@ class QueryEngine:
         chunk = max(1, _ROW_BUDGET // max(len(grid), 1))
         for start in range(0, len(cand_ids), chunk):
             ids_chunk = cand_ids[start : start + chunk]
-            pos = np.empty((len(ids_chunk), len(grid), 2))
-            for row, tid in enumerate(ids_chunk):
-                s, e = offsets[tid], offsets[tid + 1]
-                pos[row, :, 0] = np.interp(grid, ot[s:e], ox[s:e])
-                pos[row, :, 1] = np.interp(grid, ot[s:e], oy[s:e])
+            # Compiled fast path: same per-candidate np.interp, fused loop
+            # (None when the numpy backend is on).
+            pos = _kernels.interp_chunk(grid, ot, ox, oy, offsets, ids_chunk)
+            if pos is None:
+                pos = np.empty((len(ids_chunk), len(grid), 2))
+                for row, tid in enumerate(ids_chunk):
+                    s, e = offsets[tid], offsets[tid + 1]
+                    pos[row, :, 0] = np.interp(grid, ot[s:e], ox[s:e])
+                    pos[row, :, 1] = np.interp(grid, ot[s:e], oy[s:e])
             for qi, (cps, qpos, alive, cmask) in enumerate(
                 zip(cp_list, qpos_list, alive_list, cand_masks)
             ):
@@ -802,6 +807,16 @@ class QueryEngine:
             )
             pairs = slice(pair_start, min(pair_stop, len(q_idx)))
             sub_lengths = lengths[pairs]
+            # Compiled fast path: one fused expansion + containment pass
+            # (identical comparisons; None when the numpy backend is on).
+            expanded = _kernels.expand_rows(
+                starts[pairs], sub_lengths, q_idx[pairs],
+                self._px, self._py, self._pt, qlo, qhi,
+            )
+            if expanded is not None:
+                yield expanded
+                pair_start = pairs.stop
+                continue
             sub_ends = np.cumsum(sub_lengths, dtype=np.int64)
             total = int(sub_ends[-1])
             # rows = for each pair, start + 0..length-1, flattened: one

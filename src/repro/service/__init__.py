@@ -74,6 +74,7 @@ from repro.service.sharding import (
     HashPartitioner,
     Shard,
     ShardManager,
+    ShardSnapshot,
     SpatialPartitioner,
 )
 
@@ -83,6 +84,7 @@ __all__ = [
     "knn_shard_lower_bound",
     "ShardManager",
     "Shard",
+    "ShardSnapshot",
     "ShardRuntime",
     "HashPartitioner",
     "SpatialPartitioner",

@@ -16,20 +16,30 @@ cost — and it is the oracle the process executor is tested against.
 
 :class:`ProcessShardExecutor` starts one long-lived worker process per
 shard. Each worker materializes its :class:`~repro.service.runtime.ShardRuntime`
-once from the pickled shard snapshot and keeps it warm across requests
-(CSR layout, engine memo, pending tier), communicating over a dedicated
-pipe. A broadcast writes all requests before reading any reply, so shards
+once from the shard snapshot — for a columnar
+:class:`~repro.service.sharding.ShardSnapshot` backed by the
+shared-memory store this *maps* the base tier instead of unpickling it —
+and keeps it warm across requests (CSR layout, engine memo, pending
+tier), communicating over a dedicated pipe. Messages travel as pickle-5
+frames with numpy payloads shipped out-of-band (see the codec below). A
+broadcast writes all requests before reading any reply, so shards
 genuinely overlap; ingest messages target only the shards that received
 rows. Workers die with the executor (daemon processes + explicit stop).
 """
 
 from __future__ import annotations
 
+import io
 import multiprocessing
+import os
+import pickle
+import struct
 from typing import Iterable
 
+import numpy as np
+
 from repro.service.runtime import ShardRuntime
-from repro.service.sharding import Shard
+from repro.service.sharding import Shard, ShardSnapshot
 
 EXECUTORS = ("serial", "process")
 
@@ -38,30 +48,116 @@ class ShardExecutionError(RuntimeError):
     """A shard worker failed to execute an operation."""
 
 
+# ---------------------------------------------------------------------------
+# Pipe message codec: pickle-5 with numpy payloads as raw out-of-band frames
+# ---------------------------------------------------------------------------
+#
+# ``Connection.send`` pickles numpy arrays *in-band*: the array bytes are
+# copied into the pickle stream on send and copied again out of it on load.
+# The codec below pickles every message at protocol 5 with a reducer that
+# turns large contiguous arrays into ``PickleBuffer`` references, then ships
+# each buffer as its own raw pipe frame — the send side writes straight from
+# the array's memory, and the load side wraps the received frame with
+# ``np.frombuffer`` (no second copy). Message layout on the wire:
+#
+#     frame 0:   4-byte big-endian buffer count || pickle bytes
+#     frame 1..: one raw frame per out-of-band array buffer
+#
+# Serialization completes before any frame is written, so an unpicklable
+# payload still leaves the pipe clean (same property Connection.send had).
+
+#: Arrays at or below this many bytes stay in-band: a dedicated pipe frame
+#: costs more than it saves for tiny arrays.
+_INLINE_LIMIT = 2048
+
+
+def _restore_array(buffer, dtype: str, shape: tuple) -> np.ndarray:
+    """Rebuild an out-of-band array (read-only, zero-copy over the frame)."""
+    return np.frombuffer(buffer, dtype=dtype).reshape(shape)
+
+
+class _FramePickler(pickle.Pickler):
+    def reducer_override(self, obj):
+        if (
+            type(obj) is np.ndarray
+            and obj.dtype.kind in "biufc"
+            and obj.flags.c_contiguous
+            and obj.nbytes > _INLINE_LIMIT
+        ):
+            return (
+                _restore_array,
+                (pickle.PickleBuffer(obj), obj.dtype.str, obj.shape),
+            )
+        return NotImplemented
+
+
+def _dump_message(message) -> list:
+    """Serialize one message into its list of pipe frames."""
+    buffers: list[pickle.PickleBuffer] = []
+    head = io.BytesIO()
+    _FramePickler(head, protocol=5, buffer_callback=buffers.append).dump(message)
+    frames: list = [struct.pack(">I", len(buffers)) + head.getvalue()]
+    frames.extend(buf.raw() for buf in buffers)
+    return frames
+
+
+def _send_frames(conn, frames) -> None:
+    for frame in frames:
+        conn.send_bytes(frame)
+
+
+def _send_message(conn, message) -> None:
+    _send_frames(conn, _dump_message(message))
+
+
+def _recv_message(conn):
+    head = conn.recv_bytes()
+    (n_buffers,) = struct.unpack_from(">I", head)
+    buffers = [conn.recv_bytes() for _ in range(n_buffers)]
+    return pickle.loads(memoryview(head)[4:], buffers=buffers)
+
+
 class SerialShardExecutor:
     """In-process reference executor: shards run sequentially."""
 
     name = "serial"
 
-    def __init__(self, shards: Iterable[Shard], **runtime_kwargs) -> None:
+    def __init__(
+        self, shards: Iterable[Shard | ShardSnapshot], **runtime_kwargs
+    ) -> None:
+        self._closed = False
         self.runtimes = [ShardRuntime(s, **runtime_kwargs) for s in shards]
 
+    def _check_usable(self) -> None:
+        # Same use-after-close contract as ProcessShardExecutor: a closed
+        # executor must never silently answer (transport-swap tests would
+        # otherwise pass through it).
+        if self._closed:
+            raise ShardExecutionError("executor is closed")
+
     def broadcast(self, op: str, payload: dict) -> list:
+        self._check_usable()
         return [runtime.execute(op, payload) for runtime in self.runtimes]
 
     def run_on(self, shard_indices, op: str, payload: dict) -> dict[int, object]:
         """Run ``op`` on the given shards only; ``{shard: result}``."""
+        self._check_usable()
         return {
             int(i): self.runtimes[int(i)].execute(op, payload)
             for i in shard_indices
         }
 
     def ingest(self, routed: dict[int, list]) -> None:
+        self._check_usable()
         for shard_idx, batch in routed.items():
             self.runtimes[shard_idx].ingest(batch)
 
-    def close(self) -> None:  # nothing to release
-        pass
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for runtime in self.runtimes:
+            runtime.close()
 
     def __enter__(self) -> "SerialShardExecutor":
         return self
@@ -70,13 +166,20 @@ class SerialShardExecutor:
         self.close()
 
 
-def _shard_worker_main(conn, shard: Shard, runtime_kwargs: dict) -> None:
-    """Worker-process loop: build the runtime once, serve ops until stopped."""
+def _shard_worker_main(conn, shard: Shard | ShardSnapshot, runtime_kwargs: dict) -> None:
+    """Worker-process loop: build the runtime once, serve ops until stopped.
+
+    With a :class:`~repro.service.sharding.ShardSnapshot` the runtime
+    construction *maps* the shard's base tier from its shared segments —
+    the worker never unpickles point data at startup. The ``finally`` runs
+    :meth:`ShardRuntime.close` so worker-published compaction segments are
+    unlinked on every orderly exit path (stop message, EOF, exception).
+    """
     runtime = ShardRuntime(shard, **runtime_kwargs)
     try:
         while True:
             try:
-                op, payload = conn.recv()
+                op, payload = _recv_message(conn)
             except (EOFError, KeyboardInterrupt):
                 break
             if op == "stop":
@@ -84,31 +187,39 @@ def _shard_worker_main(conn, shard: Shard, runtime_kwargs: dict) -> None:
             try:
                 if op == "ingest":
                     runtime.ingest(payload)
-                    conn.send(("ok", None))
+                    _send_message(conn, ("ok", None))
                 else:
-                    conn.send(("ok", runtime.execute(op, payload)))
+                    _send_message(conn, ("ok", runtime.execute(op, payload)))
             except Exception as exc:  # surface shard-side failures to the parent
-                conn.send(("error", f"{type(exc).__name__}: {exc}"))
+                _send_message(conn, ("error", f"{type(exc).__name__}: {exc}"))
     finally:
-        conn.close()
+        try:
+            runtime.close()
+        finally:
+            conn.close()
 
 
 class ProcessShardExecutor:
     """One worker process per shard, scatter/gather over pipes.
 
     ``mp_context`` selects the multiprocessing start method; the default
-    prefers ``fork`` (workers inherit the parent's modules instantly) and
-    falls back to the platform default where fork is unavailable.
+    honours the ``REPRO_MP_CONTEXT`` environment variable (CI runs the
+    service suite under ``spawn``, which fork would otherwise mask
+    pickling and shm-lifecycle bugs from), then prefers ``fork`` (workers
+    inherit the parent's modules instantly) and falls back to the platform
+    default where fork is unavailable.
     """
 
     name = "process"
 
     def __init__(
         self,
-        shards: Iterable[Shard],
+        shards: Iterable[Shard | ShardSnapshot],
         mp_context: str | None = None,
         **runtime_kwargs,
     ) -> None:
+        if mp_context is None:
+            mp_context = os.environ.get("REPRO_MP_CONTEXT") or None
         if mp_context is None:
             methods = multiprocessing.get_all_start_methods()
             mp_context = "fork" if "fork" in methods else methods[0]
@@ -152,28 +263,27 @@ class ProcessShardExecutor:
         failures (send and execution) surface as one
         :class:`ShardExecutionError` after the drain.
         """
-        from multiprocessing.reduction import ForkingPickler
-
         errors: list[str] = []
         sent: list[int] = []
-        # Pickle each distinct message object once: a broadcast hands every
-        # shard the SAME payload object, so K sends cost one serialization
-        # instead of K (send_bytes of a pre-pickled buffer is wire-identical
-        # to Connection.send).
-        pickled: dict[int, bytes] = {}
+        # Serialize each distinct message object once: a broadcast hands
+        # every shard the SAME payload object, so K sends cost one
+        # serialization instead of K. Numpy payloads travel as raw
+        # out-of-band frames (see the codec above), written straight from
+        # the arrays' memory.
+        framed: dict[int, list] = {}
         for shard_idx in sorted(messages):
             message = messages[shard_idx]
             try:
-                buf = pickled.get(id(message))
-                if buf is None:
-                    buf = bytes(ForkingPickler.dumps(message))
-                    pickled[id(message)] = buf
-                self._conns[shard_idx].send_bytes(buf)
+                frames = framed.get(id(message))
+                if frames is None:
+                    frames = _dump_message(message)
+                    framed[id(message)] = frames
+                _send_frames(self._conns[shard_idx], frames)
                 sent.append(shard_idx)
             except Exception as exc:
                 # Dead worker (BrokenPipeError/OSError) or an unpicklable
-                # payload (e.g. a lambda measure): Connection.send pickles
-                # before writing any bytes, so a failed send leaves the
+                # payload (e.g. a lambda measure): serialization completes
+                # before any frame is written, so a failed send leaves the
                 # pipe clean and the error is reportable per shard.
                 errors.append(
                     f"shard {shard_idx}: send failed "
@@ -182,7 +292,7 @@ class ProcessShardExecutor:
         replies = {}
         for shard_idx in sent:
             try:
-                replies[shard_idx] = self._conns[shard_idx].recv()
+                replies[shard_idx] = _recv_message(self._conns[shard_idx])
             except EOFError:
                 replies[shard_idx] = ("error", "worker died mid-request")
             except BaseException:
@@ -246,7 +356,7 @@ class ProcessShardExecutor:
         self._closed = True
         for conn in self._conns:
             try:
-                conn.send(("stop", None))
+                _send_message(conn, ("stop", None))
             except (BrokenPipeError, OSError):
                 pass
         for conn in self._conns:
@@ -273,7 +383,7 @@ class ProcessShardExecutor:
             pass
 
 
-def make_executor(kind, shards: Iterable[Shard], **kwargs):
+def make_executor(kind, shards: Iterable[Shard | ShardSnapshot], **kwargs):
     """Build an executor from a name (``"serial"``/``"process"``) or class."""
     if kind == "serial":
         kwargs.pop("mp_context", None)

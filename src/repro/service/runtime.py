@@ -34,6 +34,7 @@ import numpy as np
 
 from repro.data.bbox import BoundingBox
 from repro.data.database import TrajectoryDatabase
+from repro.data.store import derive_store
 from repro.data.trajectory import Trajectory
 from repro.index.backend import make_backend, validate_backend_name
 from repro.queries.aggregate import spatial_bin_counts
@@ -51,7 +52,7 @@ from repro.queries.similarity import (
     query_checkpoints,
     resolve_time_windows,
 )
-from repro.service.sharding import Shard
+from repro.service.sharding import Shard, ShardSnapshot
 
 
 class ShardRuntime:
@@ -78,11 +79,12 @@ class ShardRuntime:
 
     def __init__(
         self,
-        shard: Shard,
+        shard: Shard | ShardSnapshot,
         resolution: tuple[int, int, int] = (32, 32, 16),
         compact_threshold: float = 0.5,
         min_compact_points: int = 2048,
         backend: str = "grid",
+        store=None,
     ) -> None:
         validate_backend_name(backend, allow_auto=True)
         self.index = shard.index
@@ -92,7 +94,32 @@ class ShardRuntime:
         self.backend_name: str | None = None
         self.compact_threshold = float(compact_threshold)
         self.min_compact_points = int(min_compact_points)
-        self._base: list[Trajectory] = list(shard.trajectories)
+        #: Columnar-backed base database (views into the mapped/columnar
+        #: matrix); None when the base was built from trajectory objects.
+        self._base_db: TrajectoryDatabase | None = None
+        #: Snapshot handles this runtime attached (released, never unlinked
+        #: — the exporting store owns those segments).
+        self._attached: list = []
+        #: Handles this runtime published itself (compacted epochs; owned,
+        #: unlinked when superseded or on close).
+        self._published: list = []
+        if isinstance(shard, ShardSnapshot):
+            matrix = shard.matrix.resolve()
+            offsets = shard.offsets.resolve()
+            self._attached = [shard.matrix, shard.offsets]
+            if len(offsets) > 1:
+                self._base_db = TrajectoryDatabase.from_columnar(matrix, offsets)
+                self._base = list(self._base_db.trajectories)
+            else:
+                self._base = []
+            store_spec = store if store is not None else shard.store_spec
+        else:
+            self._base = list(shard.trajectories)
+            store_spec = store if store is not None else "heap"
+        # The runtime's own provider: compacted base tiers republish
+        # through it (same segment family as the snapshot under shm).
+        self._store = derive_store(store_spec, tag=f"w{shard.index}")
+        self._owns_store = self._store is not store_spec
         self._base_gids = np.asarray(shard.global_ids, dtype=np.int64)
         self._base_points = sum(len(t) for t in self._base)
         self._pending: list[tuple[int, Trajectory]] = []
@@ -102,6 +129,7 @@ class ShardRuntime:
         self._pending_matrix: np.ndarray | None = None
         self._pending_owner_gids: np.ndarray | None = None
         self.compactions = 0
+        self._closed = False
 
     # ------------------------------------------------------------------- tiers
     @property
@@ -120,7 +148,11 @@ class ShardRuntime:
         chosen.
         """
         if self._engine is None and self._base:
-            self._db = TrajectoryDatabase(self._base)
+            self._db = (
+                self._base_db
+                if self._base_db is not None
+                else TrajectoryDatabase(self._base)
+            )
             spec = self.backend_spec
             if spec == "auto":
                 plan = plan_workload(self._db, boxes if boxes is not None else [])
@@ -184,7 +216,14 @@ class ShardRuntime:
             self.compact()
 
     def compact(self) -> None:
-        """Fold the pending tier into a fresh base engine."""
+        """Fold the pending tier into a fresh base engine.
+
+        The merged base is re-materialized through the runtime's store
+        provider: under a shared-memory store the new CSR is *republished*
+        as a fresh segment tagged with the next compaction epoch and the
+        previous epoch's runtime-owned segment is unlinked. Pending tiers
+        never touch the store — they stay heap-local until folded here.
+        """
         if not self._pending:
             return
         self._base.extend(t for _, t in self._pending)
@@ -200,6 +239,55 @@ class ShardRuntime:
         self._engine = None
         self.backend_name = None  # "auto" re-plans on the rebuilt base
         self.compactions += 1
+        self._republish_base()
+
+    def _republish_base(self) -> None:
+        """Materialize the merged base through the store, epoch-tagged."""
+        staged = TrajectoryDatabase(self._base)
+        epoch = self.compactions
+        matrix_handle = self._store.put(staged.point_matrix(), label=f"e{epoch}m")
+        offsets_handle = self._store.put(staged.point_offsets(), label=f"e{epoch}o")
+        base_db = TrajectoryDatabase.from_columnar(
+            matrix_handle.resolve(), offsets_handle.resolve()
+        )
+        # Swap in the republished views, then retire the previous epoch:
+        # attached snapshot handles are released (their store owns them),
+        # runtime-published ones are unlinked outright.
+        self._base_db = base_db
+        self._base = list(base_db.trajectories)
+        for handle in self._attached:
+            handle.release()
+        self._attached = []
+        for handle in self._published:
+            self._store.drop(handle)
+            handle.release()
+        self._published = [matrix_handle, offsets_handle]
+
+    def close(self) -> None:
+        """Release mapped segments and unlink runtime-published ones.
+
+        Idempotent. Called by executors on shutdown (the worker main loop
+        runs it in a ``finally``); after close the runtime holds no data.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._engine = None
+        self._db = None
+        self._base_db = None
+        self._base = []
+        self._pending = []
+        self._pending_matrix = None
+        self._pending_owner_gids = None
+        for handle in self._published:
+            self._store.drop(handle)
+            handle.release()
+        self._published = []
+        for handle in self._attached:
+            handle.release()
+        self._attached = []
+        if self._owns_store:
+            self._store.close()
 
     def _pending_columns(self) -> tuple[np.ndarray, np.ndarray]:
         """Stacked pending points and the owning global id per row."""

@@ -48,6 +48,7 @@ import numpy as np
 
 from repro.data.bbox import BoundingBox
 from repro.data.database import TrajectoryDatabase
+from repro.data.store import make_store
 from repro.data.trajectory import Trajectory
 from repro.index.backend import chebyshev_gap, validate_backend_name
 from repro.service._deprecation import warn_once
@@ -218,6 +219,13 @@ class QueryService:
         Backend choice never changes results, only pruning cost.
     mp_context:
         Multiprocessing start method for the process executor.
+    store:
+        Array-store provider for the shard base tiers: ``"heap"``
+        (private copies; default) or ``"shm"`` (named shared-memory
+        segments that process-executor workers map zero-copy instead of
+        unpickling). Also accepts a store instance, in which case the
+        caller keeps ownership and must close it after the service.
+        Store choice never changes results, only memory layout.
     """
 
     def __init__(
@@ -234,6 +242,7 @@ class QueryService:
         min_compact_points: int = 2048,
         index: str = "grid",
         mp_context: str | None = None,
+        store: str = "heap",
     ) -> None:
         if (db is None) == (manager is None):
             raise ValueError("pass exactly one of db or manager")
@@ -243,15 +252,23 @@ class QueryService:
         self.manager = manager
         self.index = index
         self.executor_name = executor if isinstance(executor, str) else "custom"
-        self._executor = make_executor(
-            executor,
-            manager.snapshots(),
-            resolution=resolution,
-            compact_threshold=compact_threshold,
-            min_compact_points=min_compact_points,
-            backend=index,
-            **({"mp_context": mp_context} if executor == "process" else {}),
-        )
+        self._store = make_store(store)
+        self._owns_store = self._store is not store
+        self.store_name = self._store.spec()[0]
+        try:
+            self._executor = make_executor(
+                executor,
+                manager.export_snapshots(self._store),
+                resolution=resolution,
+                compact_threshold=compact_threshold,
+                min_compact_points=min_compact_points,
+                backend=index,
+                **({"mp_context": mp_context} if executor == "process" else {}),
+            )
+        except BaseException:
+            if self._owns_store:
+                self._store.close()
+            raise
         self._cache: OrderedDict[tuple, object] = OrderedDict()
         self._cache_size = int(cache_size)
         self.stats = ServiceStats()
@@ -594,6 +611,7 @@ class QueryService:
         info = {
             "n_shards": self.manager.n_shards,
             "executor": self.executor_name,
+            "store": self.store_name,
             "partitioner": self.manager.partitioner.name,
             "index": self.index,
             "epoch": self.manager.epoch,
@@ -619,10 +637,20 @@ class QueryService:
             self._executor.broadcast("clear_cache", {})
 
     def close(self) -> None:
-        """Release executor workers (idempotent; serial executors no-op)."""
+        """Release executor workers, then the snapshot store (idempotent).
+
+        Order matters: the store must outlive the executor so that shard
+        runtimes can detach their mapped segments before the family owner
+        unlinks them (the owner's close also sweeps any segments orphaned
+        by killed workers).
+        """
         if not self._closed:
             self._closed = True
-            self._executor.close()
+            try:
+                self._executor.close()
+            finally:
+                if self._owns_store:
+                    self._store.close()
 
     def __enter__(self) -> "QueryService":
         return self

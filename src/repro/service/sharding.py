@@ -22,6 +22,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.data.bbox import BoundingBox
 from repro.data.database import TrajectoryDatabase
 from repro.data.partition import (  # re-exported: the rules are data-layer
@@ -48,6 +50,36 @@ class Shard:
 
     def __len__(self) -> int:
         return len(self.trajectories)
+
+
+@dataclass
+class ShardSnapshot:
+    """A columnar shard snapshot: membership as array-store handles.
+
+    Exported by :meth:`ShardManager.export_snapshots`. Instead of a list of
+    trajectory objects it carries the shard's CSR layout — the ``(N, 3)``
+    point matrix and ``(M + 1,)`` row offsets — as
+    :class:`~repro.data.store.ArrayHandle` references into whichever store
+    produced it. Under the heap store, pickling a snapshot copies the
+    arrays (the old behaviour, minus per-object overhead); under the
+    shared-memory store the pickle is a few hundred bytes of segment names
+    and the receiving process *maps* the base tier instead of unpickling
+    it.
+
+    ``store_spec`` is the exporting store's picklable ``spec()``; shard
+    runtimes derive their own store from it so that compacted tiers
+    republish into the same segment family (and are therefore covered by
+    the owning store's close/atexit sweep).
+    """
+
+    index: int
+    global_ids: np.ndarray
+    matrix: object  # ArrayHandle for the (N, 3) float64 point matrix
+    offsets: object  # ArrayHandle for the (M + 1,) int64 row offsets
+    store_spec: tuple = ("heap", None)
+
+    def __len__(self) -> int:
+        return len(self.global_ids)
 
 
 class ShardManager:
@@ -166,6 +198,44 @@ class ShardManager:
     def snapshots(self) -> list[Shard]:
         """The current shard snapshots (for executor initialization)."""
         return self.shards
+
+    def export_snapshots(self, store) -> list[ShardSnapshot]:
+        """Freeze every shard's membership into columnar store handles.
+
+        Each shard's member points are concatenated once into its CSR
+        layout and placed into ``store``
+        (:class:`~repro.data.store.HeapStore` or
+        :class:`~repro.data.store.SharedMemoryStore`); the returned
+        snapshots are what executors ship to shard runtimes. The caller
+        owns ``store`` and must keep it open for as long as any executor
+        built from these snapshots is alive.
+        """
+        exported = []
+        for shard in self.shards:
+            if shard.trajectories:
+                matrix = np.concatenate(
+                    [t.points for t in shard.trajectories], axis=0
+                )
+                counts = np.fromiter(
+                    (len(t) for t in shard.trajectories),
+                    dtype=np.int64,
+                    count=len(shard.trajectories),
+                )
+                offsets = np.zeros(len(shard.trajectories) + 1, dtype=np.int64)
+                np.cumsum(counts, out=offsets[1:])
+            else:
+                matrix = np.empty((0, 3), dtype=np.float64)
+                offsets = np.zeros(1, dtype=np.int64)
+            exported.append(
+                ShardSnapshot(
+                    index=shard.index,
+                    global_ids=np.asarray(shard.global_ids, dtype=np.int64),
+                    matrix=store.put(matrix, label=f"s{shard.index}m"),
+                    offsets=store.put(offsets, label=f"s{shard.index}o"),
+                    store_spec=store.spec(),
+                )
+            )
+        return exported
 
     def trajectory(self, global_id: int) -> Trajectory:
         """The trajectory holding ``global_id`` (ingested ones included)."""

@@ -7,11 +7,35 @@ scales.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.data import Trajectory, TrajectoryDatabase, synthetic_database
 from repro.workloads import RangeQueryWorkload
+
+
+def repro_shm_segments() -> list[str]:
+    """Names of live ``repro_*`` shared-memory segments (POSIX only)."""
+    try:
+        return sorted(f for f in os.listdir("/dev/shm") if f.startswith("repro_"))
+    except FileNotFoundError:  # non-POSIX or shm-less container
+        return []
+
+
+@pytest.fixture(scope="session", autouse=True)
+def no_shm_leaks():
+    """Fail the run if any test leaks a ``repro_*`` shared-memory segment.
+
+    Runs once around the whole session: every store/service/executor test
+    is expected to unlink its segments on close (including exception paths
+    and killed workers — the family owner's sweep covers those).
+    """
+    before = repro_shm_segments()
+    yield
+    leaked = [name for name in repro_shm_segments() if name not in before]
+    assert not leaked, f"leaked shared-memory segments: {leaked}"
 
 
 def make_trajectory(n: int = 10, seed: int = 0, traj_id: int = 0) -> Trajectory:

@@ -1,0 +1,188 @@
+"""End-to-end property tests of the zero-copy data plane.
+
+Three contracts:
+
+* **Bit-identity** — every query kind returns the same answer under every
+  combination of {heap, shm} store x {serial, process} executor x
+  available kernel backend, with ingest batches interleaved between
+  queries.  The fresh single-engine evaluation is the common reference,
+  so any two cells of the matrix are transitively identical.
+* **Worker death** — killing one process-executor worker mid-service
+  surfaces as a single :class:`ShardExecutionError` naming exactly that
+  shard; surviving shards keep answering (their pipes are drained clean).
+* **Re-attach** — a rebuilt executor maps the *same* shared segments the
+  first one did; nothing is re-snapshotted (the `/dev/shm` family is
+  unchanged), which is the zero-copy restart the store layer exists for.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+
+import pytest
+
+from repro.data.stats import spatial_scale
+from repro.data.store import SharedMemoryStore, shared_memory_available
+from repro.queries import _kernels
+from repro.service import QueryService, ShardExecutionError, ShardManager
+from repro.service.executors import ProcessShardExecutor
+from repro.workloads import RangeQueryWorkload
+from tests.conftest import make_trajectory
+from tests.test_service import knn_suite
+from tests.test_service_streaming import assert_state_parity, initial_db
+
+needs_shm = pytest.mark.skipif(
+    not shared_memory_available(), reason="no shared memory on this platform"
+)
+
+
+@pytest.fixture(params=_kernels.KERNEL_BACKENDS)
+def kernel_backend(request):
+    """Force one kernel backend for the duration of a test."""
+    _kernels.set_backend(request.param)
+    yield request.param
+    _kernels.set_backend(None)
+
+
+# ---------------------------------------------------------------------------
+# Bit-identity across the full data-plane matrix
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("store", ["heap", "shm"])
+@pytest.mark.parametrize("executor", ["serial", "process"])
+def test_query_matrix_bit_identical_under_interleaved_ingest(
+    store, executor, kernel_backend
+):
+    """{heap,shm} x {serial,process} x backends == fresh engine, always."""
+    if store == "shm" and not shared_memory_available():
+        pytest.skip("no shared memory on this platform")
+    seed = 17
+    db = initial_db(seed, n=9)
+    workload = RangeQueryWorkload.from_data_distribution(db, 6, seed=seed)
+    queries, windows = knn_suite(db, n_queries=2, seed=seed)
+    eps = 0.10 * spatial_scale(db)
+    delta = 0.15 * spatial_scale(db)
+    current = db
+    next_seed = 9000
+    with QueryService(
+        db,
+        n_shards=3,
+        executor=executor,
+        store=store,
+        # tiny compaction bound: the second round republishes the base
+        # tier (a new epoch segment under shm), the first stays pending
+        min_compact_points=24,
+        compact_threshold=0.1,
+    ) as service:
+        assert service.describe()["store"] == store
+        assert_state_parity(
+            service, current, workload, queries, windows, eps, delta
+        )
+        for batch_size in (2, 3):
+            batch = [
+                make_trajectory(n=6, seed=next_seed + i)
+                for i in range(batch_size)
+            ]
+            next_seed += batch_size
+            service.ingest(batch)
+            current = current.extended(batch)
+            assert_state_parity(
+                service, current, workload, queries, windows, eps, delta
+            )
+
+
+# ---------------------------------------------------------------------------
+# Worker death (satellite: one error, named shard, clean survivors)
+# ---------------------------------------------------------------------------
+
+@needs_shm
+class TestWorkerDeath:
+    def test_single_error_names_dead_shard_and_survivors_stay_clean(self):
+        db = initial_db(3, n=10)
+        with QueryService(
+            db, n_shards=3, executor="process", store="shm"
+        ) as service:
+            executor = service._executor
+            victim = 1
+            os.kill(executor.worker_pids()[victim], signal.SIGKILL)
+            executor._procs[victim].join(timeout=5.0)
+            with pytest.raises(ShardExecutionError) as excinfo:
+                executor.broadcast("info", {})
+            message = str(excinfo.value)
+            assert "shard 1" in message
+            assert "shard 0" not in message and "shard 2" not in message
+            # Survivors' pipes were drained clean: they answer the next
+            # request with fresh replies, not leftovers of the failed one.
+            replies = executor.run_on([0, 2], "info", {})
+            assert sorted(replies) == [0, 2]
+            assert all(r["index"] in (0, 2) for r in replies.values())
+
+    def test_service_close_reclaims_killed_workers_segments(self):
+        db = initial_db(5, n=10)
+        service = QueryService(
+            db,
+            n_shards=2,
+            executor="process",
+            store="shm",
+            # compact on the first ingest so each worker republishes its
+            # base into a worker-owned epoch segment...
+            min_compact_points=1,
+            compact_threshold=0.0,
+        )
+        try:
+            service.ingest([make_trajectory(n=6, seed=777)])
+            prefix = service._store.prefix
+            family = [
+                f for f in os.listdir("/dev/shm") if f.startswith(prefix)
+            ]
+            # base (2 shards x matrix+offsets) + republished epochs
+            assert len(family) > 4
+            # ...then SIGKILL every worker: their epoch segments are
+            # orphaned (no close() ran in the children).
+            for pid in service._executor.worker_pids():
+                os.kill(pid, signal.SIGKILL)
+            for proc in service._executor._procs:
+                proc.join(timeout=5.0)
+        finally:
+            service.close()
+        # The family owner's close swept the orphans with everything else.
+        assert not [
+            f for f in os.listdir("/dev/shm") if f.startswith(prefix)
+        ]
+
+
+# ---------------------------------------------------------------------------
+# Re-attach without re-snapshotting
+# ---------------------------------------------------------------------------
+
+@needs_shm
+def test_rebuilt_executor_reattaches_same_segments():
+    db = initial_db(7, n=9)
+    manager = ShardManager.create(db, 3, "hash")
+    with SharedMemoryStore() as store:
+        snapshots = manager.export_snapshots(store)
+        base_segments = sorted(
+            f for f in os.listdir("/dev/shm") if f.startswith(store.prefix)
+        )
+        assert len(base_segments) == 6  # 3 shards x (matrix, offsets)
+
+        first = ProcessShardExecutor(snapshots)
+        os.kill(first.worker_pids()[0], signal.SIGKILL)
+        first._procs[0].join(timeout=5.0)
+        with pytest.raises(ShardExecutionError):
+            first.broadcast("info", {})
+        first.close()
+
+        # Rebuild from the SAME snapshot handles: workers re-map the
+        # existing segments; nothing is copied or re-exported.
+        second = ProcessShardExecutor(snapshots)
+        try:
+            infos = second.broadcast("info", {})
+            assert sum(i["base_trajectories"] for i in infos) == len(db)
+        finally:
+            second.close()
+        after = sorted(
+            f for f in os.listdir("/dev/shm") if f.startswith(store.prefix)
+        )
+        assert after == base_segments

@@ -1,0 +1,212 @@
+"""Unit tests for the optional compiled kernel layer.
+
+The ``_impl`` functions in :mod:`repro.queries._kernels` are plain
+Python (numba jits them only when importable), so their bit-identity
+against the vectorized numpy references is testable on every
+interpreter — with numba present the jitted versions run the very same
+source. Dispatch behavior (``None`` under the numpy backend, so call
+sites fall through) and backend selection are covered separately; the
+full engine-level matrix lives in ``tests/test_data_plane.py``.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.queries import _kernels
+from repro.queries.edr import edr_distance, edr_distances_pairs
+
+PAD = 1e18  # sentinel that can never satisfy the EDR match test
+
+
+# ---------------------------------------------------------------------------
+# Backend selection & dispatch
+# ---------------------------------------------------------------------------
+
+def test_kernel_backends_reflect_numba_availability():
+    if _kernels.HAVE_NUMBA:
+        assert _kernels.KERNEL_BACKENDS == ("numpy", "numba")
+    else:
+        assert _kernels.KERNEL_BACKENDS == ("numpy",)
+    assert _kernels.active_backend() in _kernels.KERNEL_BACKENDS
+
+
+def test_set_backend_roundtrip_and_validation():
+    default = _kernels.active_backend()
+    try:
+        assert _kernels.set_backend("numpy") == "numpy"
+        assert _kernels.active_backend() == "numpy"
+        with pytest.raises(ValueError):
+            _kernels.set_backend("cuda")
+        if not _kernels.HAVE_NUMBA:
+            with pytest.raises(ValueError):
+                _kernels.set_backend("numba")
+        assert _kernels.set_backend("auto") == default
+        assert _kernels.set_backend(None) == default
+    finally:
+        _kernels.set_backend(None)
+
+
+def test_dispatchers_return_none_under_numpy_backend():
+    _kernels.set_backend("numpy")
+    try:
+        ax = np.zeros((1, 2))
+        assert _kernels.edr_pairs(ax, ax, ax, ax, [2], [2], 0.5) is None
+        assert _kernels.expand_rows(
+            np.zeros(1, np.int64), np.ones(1, np.int64), np.zeros(1, np.int64),
+            np.zeros(1), np.zeros(1), np.zeros(1),
+            (np.zeros(1),) * 3, (np.ones(1),) * 3,
+        ) is None
+        assert _kernels.interp_chunk(
+            np.linspace(0, 1, 3), np.arange(2.0), np.arange(2.0),
+            np.arange(2.0), np.array([0, 2], np.int64),
+            np.zeros(1, np.int64),
+        ) is None
+    finally:
+        _kernels.set_backend(None)
+
+
+def test_env_override_validated_at_import():
+    """A bogus REPRO_KERNELS fails fast; numpy forces the fallback stance."""
+    code = "import repro.queries._kernels"
+    bogus = subprocess.run(
+        [sys.executable, "-c", code],
+        env={"PYTHONPATH": "src", "REPRO_KERNELS": "bogus", "PATH": "/usr/bin"},
+        capture_output=True, text=True, cwd=".",
+    )
+    assert bogus.returncode != 0
+    assert "REPRO_KERNELS" in bogus.stderr
+    forced = subprocess.run(
+        [sys.executable, "-c",
+         "from repro.queries import _kernels; "
+         "assert not _kernels.HAVE_NUMBA; "
+         "assert _kernels.active_backend() == 'numpy'"],
+        env={"PYTHONPATH": "src", "REPRO_KERNELS": "numpy", "PATH": "/usr/bin"},
+        capture_output=True, text=True, cwd=".",
+    )
+    assert forced.returncode == 0, forced.stderr
+
+
+@pytest.mark.skipif(_kernels.HAVE_NUMBA, reason="numba is importable here")
+def test_forcing_numba_without_numba_raises_at_import():
+    proc = subprocess.run(
+        [sys.executable, "-c", "import repro.queries._kernels"],
+        env={"PYTHONPATH": "src", "REPRO_KERNELS": "numba", "PATH": "/usr/bin"},
+        capture_output=True, text=True, cwd=".",
+    )
+    assert proc.returncode != 0
+    assert "numba" in proc.stderr
+
+
+# ---------------------------------------------------------------------------
+# Implementation bit-identity vs the vectorized references
+# ---------------------------------------------------------------------------
+
+def _padded_pairs(rng, n_pairs, eps):
+    """Random variable-length xy pairs padded the way edr.py pads them."""
+    n_lens = rng.integers(0, 7, size=n_pairs)
+    m_lens = rng.integers(0, 7, size=n_pairs)
+    n_max, m_max = max(int(n_lens.max()), 1), max(int(m_lens.max()), 1)
+    ax = np.full((n_pairs, n_max), PAD)
+    ay = np.full((n_pairs, n_max), PAD)
+    bx = np.full((n_pairs, m_max), -PAD)
+    by = np.full((n_pairs, m_max), -PAD)
+    a_list, b_list = [], []
+    for p in range(n_pairs):
+        n, m = int(n_lens[p]), int(m_lens[p])
+        a = rng.uniform(0, 3 * eps, size=(n, 2))
+        b = rng.uniform(0, 3 * eps, size=(m, 2))
+        ax[p, :n], ay[p, :n] = a[:, 0], a[:, 1]
+        bx[p, :m], by[p, :m] = b[:, 0], b[:, 1]
+        a_list.append(a)
+        b_list.append(b)
+    return ax, ay, bx, by, n_lens, m_lens, a_list, b_list
+
+
+def test_edr_pairs_impl_matches_reference_including_empty_sides():
+    rng = np.random.default_rng(42)
+    eps = 0.8
+    ax, ay, bx, by, n_lens, m_lens, a_list, b_list = _padded_pairs(rng, 25, eps)
+    got = _kernels._edr_pairs_impl(ax, ay, bx, by, n_lens, m_lens, eps)
+    expected = np.array(
+        [edr_distance(a, b, eps) for a, b in zip(a_list, b_list)]
+    )
+    np.testing.assert_array_equal(got, expected)
+    # ...and the batched vectorized formulation agrees too (transitivity).
+    nonempty = [(a, b) for a, b in zip(a_list, b_list)]
+    np.testing.assert_array_equal(
+        edr_distances_pairs([a for a, _ in nonempty],
+                            [b for _, b in nonempty], eps),
+        expected,
+    )
+
+
+def test_expand_rows_impl_matches_numpy_sweep():
+    rng = np.random.default_rng(7)
+    n_points, n_pairs, n_queries = 60, 9, 4
+    px, py = rng.uniform(0, 10, n_points), rng.uniform(0, 10, n_points)
+    pt = np.sort(rng.uniform(0, 100, n_points))
+    starts = rng.integers(0, n_points - 8, n_pairs).astype(np.int64)
+    lengths = rng.integers(0, 8, n_pairs).astype(np.int64)
+    q_idx = rng.integers(0, n_queries, n_pairs).astype(np.int64)
+    lo = rng.uniform(0, 5, (n_queries, 3))
+    hi = lo + rng.uniform(0, 6, (n_queries, 3))
+    lo[:, 2] *= 20
+    hi[:, 2] *= 20
+    rows, row_query, inside = _kernels._expand_rows_impl(
+        starts, lengths, q_idx, px, py, pt,
+        lo[:, 0], lo[:, 1], lo[:, 2], hi[:, 0], hi[:, 1], hi[:, 2],
+    )
+    # Reference: the repeat/arange expansion + vectorized containment the
+    # numpy path in QueryEngine._expand_pairs performs.
+    exp_rows = np.concatenate(
+        [np.arange(s, s + ln) for s, ln in zip(starts, lengths)]
+    ).astype(np.int64) if lengths.sum() else np.empty(0, np.int64)
+    exp_query = np.repeat(q_idx, lengths)
+    x, y, t = px[exp_rows], py[exp_rows], pt[exp_rows]
+    ql, qh = lo[exp_query], hi[exp_query]
+    exp_inside = (
+        (x >= ql[:, 0]) & (x <= qh[:, 0])
+        & (y >= ql[:, 1]) & (y <= qh[:, 1])
+        & (t >= ql[:, 2]) & (t <= qh[:, 2])
+    )
+    np.testing.assert_array_equal(rows, exp_rows)
+    np.testing.assert_array_equal(row_query, exp_query)
+    np.testing.assert_array_equal(inside, exp_inside)
+
+
+def test_interp_chunk_impl_matches_per_row_interp():
+    rng = np.random.default_rng(3)
+    offsets = np.array([0, 4, 9, 11], np.int64)
+    total = int(offsets[-1])
+    ot = np.sort(rng.uniform(0, 50, total))
+    ox, oy = rng.normal(size=total), rng.normal(size=total)
+    grid = np.linspace(-5, 55, 13)
+    ids = np.array([2, 0, 1], np.int64)
+    got = _kernels._interp_chunk_impl(grid, ot, ox, oy, offsets, ids)
+    expected = np.empty((len(ids), len(grid), 2))
+    for row, tid in enumerate(ids):
+        s, e = offsets[tid], offsets[tid + 1]
+        expected[row, :, 0] = np.interp(grid, ot[s:e], ox[s:e])
+        expected[row, :, 1] = np.interp(grid, ot[s:e], oy[s:e])
+    np.testing.assert_array_equal(got, expected)
+
+
+@pytest.mark.skipif(not _kernels.HAVE_NUMBA, reason="numba not importable")
+def test_jitted_dispatch_equals_numpy_path():
+    rng = np.random.default_rng(11)
+    eps = 0.8
+    ax, ay, bx, by, n_lens, m_lens, a_list, b_list = _padded_pairs(rng, 12, eps)
+    _kernels.set_backend("numba")
+    try:
+        got = _kernels.edr_pairs(ax, ay, bx, by, n_lens, m_lens, eps)
+    finally:
+        _kernels.set_backend(None)
+    assert got is not None
+    np.testing.assert_array_equal(
+        got, np.array([edr_distance(a, b, eps) for a, b in zip(a_list, b_list)])
+    )

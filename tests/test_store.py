@@ -1,0 +1,243 @@
+"""Unit tests for the pluggable array-store providers (repro.data.store)."""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.data.store import (
+    SEGMENT_PREFIX,
+    STORES,
+    HeapArrayHandle,
+    HeapStore,
+    SharedArrayHandle,
+    SharedMemoryStore,
+    StoreError,
+    _attachments,
+    derive_store,
+    make_store,
+    shared_memory_available,
+    sweep_segments,
+)
+
+pytestmark = pytest.mark.skipif(
+    not shared_memory_available(), reason="no shared memory on this platform"
+)
+
+
+def shm_entries(prefix: str) -> list[str]:
+    return sorted(f for f in os.listdir("/dev/shm") if f.startswith(prefix))
+
+
+# ---------------------------------------------------------------------------
+# HeapStore
+# ---------------------------------------------------------------------------
+
+class TestHeapStore:
+    def test_put_resolve_round_trip(self):
+        store = HeapStore()
+        arr = np.arange(12, dtype=np.float64).reshape(4, 3)
+        handle = store.put(arr, label="matrix")
+        out = handle.resolve()
+        np.testing.assert_array_equal(out, arr)
+        assert out.dtype == arr.dtype
+
+    def test_resolved_view_is_read_only(self):
+        handle = HeapStore().put(np.arange(5.0))
+        out = handle.resolve()
+        assert not out.flags.writeable
+        with pytest.raises(ValueError):
+            out[0] = 99.0
+
+    def test_put_does_not_freeze_callers_array(self):
+        arr = np.arange(6.0)
+        HeapStore().put(arr)
+        arr[0] = -1.0  # caller's array stays writable
+
+    def test_handle_pickles_by_value(self):
+        handle = HeapStore().put(np.arange(4.0))
+        clone = pickle.loads(pickle.dumps(handle))
+        np.testing.assert_array_equal(clone.resolve(), np.arange(4.0))
+
+    def test_spec_and_lifecycle_are_no_ops(self):
+        store = HeapStore()
+        assert store.spec() == ("heap", None)
+        assert not store.closed
+        handle = store.put(np.arange(3.0))
+        store.drop(handle)
+        store.close()
+        np.testing.assert_array_equal(handle.resolve(), np.arange(3.0))
+
+
+# ---------------------------------------------------------------------------
+# SharedMemoryStore
+# ---------------------------------------------------------------------------
+
+class TestSharedMemoryStore:
+    def test_put_resolve_round_trip_bit_identical(self):
+        with SharedMemoryStore() as store:
+            arr = np.random.default_rng(0).random((100, 3))
+            out = store.put(arr, label="m").resolve()
+            np.testing.assert_array_equal(out, arr)
+            assert out.dtype == arr.dtype
+            assert not out.flags.writeable
+
+    def test_segment_names_carry_prefix_and_label(self):
+        with SharedMemoryStore() as store:
+            handle = store.put(np.arange(4.0), label="s0m")
+            assert handle.name.startswith(store.prefix)
+            assert handle.name.endswith(".s0m")
+            assert shm_entries(store.prefix) == [handle.name]
+
+    def test_prefix_must_be_in_family(self):
+        with pytest.raises(StoreError):
+            SharedMemoryStore(prefix="evil_name")
+
+    def test_handle_pickles_by_name_not_bytes(self):
+        with SharedMemoryStore() as store:
+            arr = np.random.default_rng(1).random((2048, 3))
+            handle = store.put(arr)
+            payload = pickle.dumps(handle)
+            # The whole point: the pickle is a descriptor, not the bytes.
+            assert len(payload) < 512
+            clone = pickle.loads(payload)
+            try:
+                np.testing.assert_array_equal(clone.resolve(), arr)
+            finally:
+                clone.release()
+
+    def test_attach_is_refcounted(self):
+        with SharedMemoryStore() as store:
+            handle = store.put(np.arange(8.0))
+            a = pickle.loads(pickle.dumps(handle))
+            b = pickle.loads(pickle.dumps(handle))
+            a.resolve()
+            b.resolve()
+            assert _attachments[handle.name].refcount == 2
+            a.release()
+            assert _attachments[handle.name].refcount == 1
+            b.release()
+            assert handle.name not in _attachments
+
+    def test_release_is_idempotent_and_never_unlinks(self):
+        with SharedMemoryStore() as store:
+            handle = store.put(np.arange(8.0))
+            clone = pickle.loads(pickle.dumps(handle))
+            clone.resolve()
+            clone.release()
+            clone.release()
+            # Segment still exists: only the owner unlinks.
+            np.testing.assert_array_equal(
+                pickle.loads(pickle.dumps(handle)).resolve(), np.arange(8.0)
+            )
+
+    def test_close_unlinks_owned_segments(self):
+        store = SharedMemoryStore()
+        store.put(np.arange(4.0), label="a")
+        store.put(np.arange(6.0), label="b")
+        assert len(shm_entries(store.prefix)) == 2
+        store.close()
+        assert store.closed
+        assert shm_entries(store.prefix) == []
+        store.close()  # idempotent
+
+    def test_put_after_close_raises(self):
+        store = SharedMemoryStore()
+        store.close()
+        with pytest.raises(StoreError):
+            store.put(np.arange(3.0))
+
+    def test_resolve_after_owner_close_raises(self):
+        store = SharedMemoryStore()
+        handle = store.put(np.arange(4.0))
+        clone = pickle.loads(pickle.dumps(handle))
+        store.close()
+        with pytest.raises(StoreError):
+            clone.resolve()
+
+    def test_drop_unlinks_one_segment(self):
+        with SharedMemoryStore() as store:
+            keep = store.put(np.arange(4.0), label="keep")
+            gone = store.put(np.arange(4.0), label="gone")
+            store.drop(gone)
+            assert shm_entries(store.prefix) == [keep.name]
+            store.drop(gone)  # idempotent
+
+    def test_empty_array_round_trip(self):
+        with SharedMemoryStore() as store:
+            out = store.put(np.empty((0, 3))).resolve()
+            assert out.shape == (0, 3)
+
+    def test_close_sweeps_orphans_in_family(self):
+        """Segments published by derived stores (dead workers) get swept."""
+        store = SharedMemoryStore()
+        worker = store.derive("w0deadbeef")
+        orphan = worker.put(np.arange(16.0), label="e1m")
+        # Simulate a SIGTERM'd worker: its store never runs close().
+        worker._finalizer.detach()
+        worker._owned.clear()
+        assert shm_entries(store.prefix) == [orphan.name]
+        store.close()
+        assert shm_entries(store.prefix) == []
+
+    def test_finalizer_cleans_up_on_gc(self):
+        store = SharedMemoryStore()
+        prefix = store.prefix
+        store.put(np.arange(4.0))
+        del store
+        import gc
+
+        gc.collect()
+        assert shm_entries(prefix) == []
+
+
+# ---------------------------------------------------------------------------
+# sweep_segments / factories
+# ---------------------------------------------------------------------------
+
+def test_sweep_refuses_foreign_prefixes():
+    assert sweep_segments("") == []
+    assert sweep_segments("psm_something") == []
+
+
+def test_make_store_accepts_all_spellings():
+    assert isinstance(make_store("heap"), HeapStore)
+    assert isinstance(make_store(None), HeapStore)
+    assert isinstance(make_store(("heap", None)), HeapStore)
+    with make_store("shm") as shm_store:
+        assert isinstance(shm_store, SharedMemoryStore)
+        # An instance passes through untouched.
+        assert make_store(shm_store) is shm_store
+        # A (kind, prefix) spec reopens the same family.
+        rebuilt = make_store(shm_store.spec())
+        assert rebuilt.prefix == shm_store.prefix
+        rebuilt._finalizer.detach()  # same family: owner's close covers it
+    with pytest.raises(StoreError):
+        make_store("mmap")
+    with pytest.raises(StoreError):
+        make_store(("shm",))
+
+
+def test_derive_store_gets_unique_subprefix():
+    with SharedMemoryStore() as family:
+        a = derive_store(family.spec(), tag="w0")
+        b = derive_store(family.spec(), tag="w0")
+        assert a.prefix.startswith(family.prefix + "_w0")
+        assert a.prefix != b.prefix
+        a.close()
+        b.close()
+
+
+def test_derive_store_heap_and_instance_passthrough():
+    assert isinstance(derive_store("heap"), HeapStore)
+    assert isinstance(derive_store(None), HeapStore)
+    store = HeapStore()
+    assert derive_store(store) is store
+
+
+def test_stores_tuple_matches_prefix_constant():
+    assert STORES == ("heap", "shm")
+    assert SEGMENT_PREFIX.startswith("repro")
