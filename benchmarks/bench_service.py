@@ -153,6 +153,7 @@ def run_scaling(
     )
 
     results: dict[str, float] = {}
+    counters: dict[str, dict] = {}
     results["single engine"] = _best_of(
         lambda: _request_mix(
             engine, workload, queries, windows, eps, delta, single=True
@@ -189,6 +190,18 @@ def run_scaling(
                     repeats,
                     setup=lambda: _clear_caches(service, single=False),
                 )
+                summary = service.stats.summary()
+                counters[f"{executor} K={k}"] = {
+                    key: summary[key]
+                    for key in ("compactions", "points_dropped", "bytes_base")
+                }
+    print("\ncompaction counters (exact policy; see bench_compaction.py for "
+          "the simplifying-policy frontier)")
+    for name, c in counters.items():
+        print(
+            f"{name:<16} compactions={c['compactions']} "
+            f"points_dropped={c['points_dropped']} bytes_base={c['bytes_base']}"
+        )
     return results
 
 

@@ -92,7 +92,15 @@ from repro.queries import (
 )
 from repro.workloads import RangeQueryWorkload
 from repro.core import RL4QDTS, RL4QDTSConfig
-from repro.service import QueryService, ShardManager
+from repro.service import (
+    CompactionPolicy,
+    CompactionResult,
+    ExactCompaction,
+    QueryService,
+    ShardManager,
+    SimplifyingCompaction,
+    make_compaction,
+)
 from repro.client import (
     Client,
     IngestResult,
@@ -151,6 +159,11 @@ __all__ = [
     "traclus_cluster",
     "f1_score",
     "QueryService",
+    "CompactionPolicy",
+    "CompactionResult",
+    "ExactCompaction",
+    "SimplifyingCompaction",
+    "make_compaction",
     "ShardManager",
     "Client",
     "IngestResult",

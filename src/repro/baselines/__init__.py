@@ -19,9 +19,15 @@ from repro.baselines.span_search import span_search
 from repro.baselines.rlts import RLTSPolicy, rlts_simplify, rlts_simplify_database
 from repro.baselines.registry import (
     BaselineSpec,
+    GreedySimplifier,
+    RLSimplifier,
+    SIMPLIFIERS,
+    Simplifier,
+    UniformSimplifier,
     all_baselines,
     simplify_database,
     get_baseline,
+    make_simplifier,
 )
 from repro.baselines.skyline import skyline
 from repro.baselines.online import squish, dead_reckoning, squish_database
@@ -56,6 +62,12 @@ __all__ = [
     "all_baselines",
     "simplify_database",
     "get_baseline",
+    "Simplifier",
+    "SIMPLIFIERS",
+    "UniformSimplifier",
+    "GreedySimplifier",
+    "RLSimplifier",
+    "make_simplifier",
     "skyline",
     "squish",
     "dead_reckoning",

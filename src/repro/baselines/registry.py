@@ -5,13 +5,21 @@ adaptation). The "E" adaptation simplifies every trajectory separately with
 the proportional budget ``max(2, round(r * |T|))``; the "W" adaptation pools
 the whole database (Section V-A). Span-Search exists only as "(E, DAD)",
 giving 3 algorithms x 4 measures x 2 adaptations + 1 = 25 baselines.
+
+The module also hosts the :class:`Simplifier` adapter — one keep-indices
+interface over RL4QDTS, uniform down-sampling, and greedy QDTS — which is
+what plugs any of the three into the serving layer's
+:class:`~repro.service.compaction.SimplifyingCompaction`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.baselines.bottomup import bottom_up, bottom_up_database
+from repro.baselines.greedy_qdts import greedy_qdts_ratio
 from repro.baselines.rlts import (
     RLTSPolicy,
     rlts_simplify,
@@ -19,8 +27,10 @@ from repro.baselines.rlts import (
 )
 from repro.baselines.span_search import span_search
 from repro.baselines.topdown import top_down, top_down_database
+from repro.baselines.uniform import uniform_simplify
 from repro.data.database import TrajectoryDatabase
 from repro.errors.measures import MEASURES
+from repro.errors.segment import _recover_indices
 
 _ALGORITHMS = ("topdown", "bottomup", "rlts")
 _DISPLAY = {
@@ -126,4 +136,164 @@ def simplify_database(
         raise AssertionError("Span-Search has no 'W' adaptation")
     return TrajectoryDatabase(
         [t.subsample(kept[t.traj_id]) for t in db.trajectories]
+    )
+
+
+# ---------------------------------------------------------------------------
+# The Simplifier adapter: one keep-indices interface over the simplifiers
+# the serving layer's SimplifyingCompaction can host.
+# ---------------------------------------------------------------------------
+
+
+class Simplifier:
+    """One interface over the database simplifiers the service can host.
+
+    :meth:`keep_indices` returns the kept point indices per trajectory
+    (always including both endpoints — every simplifier here preserves
+    the >= 2-points-per-trajectory invariant the columnar layout
+    requires). Instances must be picklable: compaction policies carry
+    them into process-executor workers.
+    """
+
+    name: str = "abstract"
+
+    def keep_indices(
+        self, db: TrajectoryDatabase, ratio: float
+    ) -> list[list[int]]:
+        raise NotImplementedError
+
+    def simplify(self, db: TrajectoryDatabase, ratio: float) -> TrajectoryDatabase:
+        """Materialize the simplified database at ``ratio``."""
+        return TrajectoryDatabase(
+            [
+                t.subsample(kept)
+                for t, kept in zip(db.trajectories, self.keep_indices(db, ratio))
+            ]
+        )
+
+
+def _recovered_indices(
+    original: TrajectoryDatabase, simplified: TrajectoryDatabase
+) -> list[list[int]]:
+    """Kept indices of a database-valued simplifier's output (timestamp map)."""
+    return [
+        _recover_indices(orig, simp)
+        for orig, simp in zip(original.trajectories, simplified.trajectories)
+    ]
+
+
+class UniformSimplifier(Simplifier):
+    """Systematic per-trajectory down-sampling (:mod:`repro.baselines.uniform`)."""
+
+    name = "uniform"
+
+    def keep_indices(self, db, ratio):
+        if not 0.0 < ratio <= 1.0:
+            raise ValueError(f"compression ratio must be in (0, 1], got {ratio}")
+        return [
+            uniform_simplify(t, max(2, int(ratio * len(t))))
+            for t in db.trajectories
+        ]
+
+
+class GreedySimplifier(Simplifier):
+    """Greedy query-coverage simplification (:mod:`repro.baselines.greedy_qdts`).
+
+    The driving range workload is generated from the database itself
+    (data distribution) at call time, so the adapter stays stateless and
+    picklable; ``n_queries``/``seed`` pin the workload for determinism.
+    """
+
+    name = "greedy"
+
+    def __init__(self, n_queries: int = 32, seed: int = 0) -> None:
+        self.n_queries = int(n_queries)
+        self.seed = int(seed)
+
+    def keep_indices(self, db, ratio):
+        from repro.workloads.generators import RangeQueryWorkload
+
+        workload = RangeQueryWorkload.generate(
+            "data", db, self.n_queries, seed=self.seed
+        )
+        simplified = greedy_qdts_ratio(
+            db, ratio, workload, np.random.default_rng(self.seed)
+        )
+        return _recovered_indices(db, simplified)
+
+
+class RLSimplifier(Simplifier):
+    """The paper's RL4QDTS policy as a service-side simplifier.
+
+    ``model`` is an :class:`~repro.core.rl4qdts.RL4QDTS` instance or a
+    path to a model saved with :meth:`RL4QDTS.save`; with neither, a
+    fresh (untrained) policy is built on first use. A path-built
+    simplifier pickles as the path alone and re-loads lazily on the
+    worker side, so trained policies load at service construction without
+    shipping agent parameters through the executor pipe.
+    """
+
+    name = "rl"
+
+    def __init__(self, model=None, seed: int = 0) -> None:
+        self.seed = int(seed)
+        self._path = None
+        self._model = None
+        if isinstance(model, (str, bytes)) or hasattr(model, "__fspath__"):
+            self._path = model
+        elif model is not None:
+            self._model = model
+
+    def _resolve(self):
+        if self._model is None:
+            from repro.core.rl4qdts import RL4QDTS
+
+            self._model = (
+                RL4QDTS.load(self._path) if self._path is not None else RL4QDTS()
+            )
+        return self._model
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        if state["_path"] is not None:
+            state["_model"] = None  # reload from the path on the far side
+        return state
+
+    def keep_indices(self, db, ratio):
+        simplified = self._resolve().simplify(
+            db, budget_ratio=ratio, seed=self.seed
+        )
+        return _recovered_indices(db, simplified)
+
+
+#: Simplifier adapters by service-facing name.
+SIMPLIFIERS = {
+    "uniform": UniformSimplifier,
+    "greedy": GreedySimplifier,
+    "rl": RLSimplifier,
+}
+
+
+def make_simplifier(spec, *, model=None, **kwargs) -> Simplifier:
+    """Build a :class:`Simplifier` from a name or pass an instance through.
+
+    ``model`` only applies to ``"rl"`` (a trained :class:`RL4QDTS` or a
+    saved ``.npz`` path); extra kwargs go to the adapter's constructor.
+    """
+    if isinstance(spec, Simplifier):
+        return spec
+    if isinstance(spec, str):
+        try:
+            cls = SIMPLIFIERS[spec]
+        except KeyError:
+            raise ValueError(
+                f"unknown simplifier {spec!r}; choose from {sorted(SIMPLIFIERS)}"
+            ) from None
+        if cls is RLSimplifier:
+            return cls(model=model, **kwargs)
+        if model is not None:
+            raise ValueError(f"simplifier {spec!r} takes no model")
+        return cls(**kwargs)
+    raise ValueError(
+        f"unknown simplifier {spec!r}; choose from {sorted(SIMPLIFIERS)}"
     )

@@ -218,9 +218,14 @@ def _serve_request(client, req: dict, lookup) -> dict:
 
 
 def _make_service(args):
-    from repro.service import QueryService
+    from repro.service import QueryService, make_compaction
 
     db = load_database(args.db)
+    compaction = make_compaction(
+        getattr(args, "compaction", "exact"),
+        error_budget=getattr(args, "error_budget", None),
+        model=getattr(args, "compaction_model", None),
+    )
     return QueryService(
         db,
         n_shards=args.shards,
@@ -228,6 +233,7 @@ def _make_service(args):
         executor=args.executor,
         index=args.index,
         store=args.store,
+        compaction=compaction,
     )
 
 
@@ -274,11 +280,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     client = ServiceClient(service)
     try:
         info = service.describe()
+        compaction = info.get("compaction", {"policy": "exact"})
+        budget = compaction.get("error_budget")
         print(
             f"serving {info['trajectories']} trajectories / {info['points']} "
             f"points across {info['n_shards']} shards "
             f"({info['partitioner']} partitioning, {info['executor']} executor, "
-            f"{info['index']} index, {info['store']} store)"
+            f"{info['index']} index, {info['store']} store, "
+            f"{compaction['policy']} compaction"
+            + (f", error budget {budget}" if budget is not None else "")
+            + ")"
         )
         failures = 0
         if args.listen:
@@ -423,7 +434,7 @@ def _cmd_client(args: argparse.Namespace) -> int:
 
 def _add_service_arguments(p: argparse.ArgumentParser) -> None:
     from repro.data.store import STORES
-    from repro.service import EXECUTORS, PARTITIONERS
+    from repro.service import COMPACTION_POLICIES, EXECUTORS, PARTITIONERS
 
     p.add_argument("--db", required=True, help="database to serve (.npz/.csv)")
     p.add_argument("--shards", type=int, default=4, help="number of shards K")
@@ -440,6 +451,19 @@ def _add_service_arguments(p: argparse.ArgumentParser) -> None:
                    "shared-memory segments that process-executor workers "
                    "map zero-copy instead of unpickling (answers are "
                    "identical either way — this tunes memory layout only)")
+    p.add_argument("--compaction", default="exact",
+                   choices=list(COMPACTION_POLICIES),
+                   help="base-rebuild policy of the shard runtimes: 'exact' "
+                   "keeps answers bit-identical; 'uniform'/'greedy'/'rl' "
+                   "simplify cold base tiers on every compaction (answers "
+                   "become approximate within --error-budget)")
+    p.add_argument("--error-budget", type=float, default=None,
+                   help="per-trajectory error bound (SED) each simplifying "
+                   "compaction pass must respect; omit to accept the "
+                   "simplifier's ratio-driven proposal as-is")
+    p.add_argument("--compaction-model",
+                   help="trained RL4QDTS model (.npz) to load for "
+                   "--compaction rl (omit for an untrained policy)")
 
 
 def build_parser() -> argparse.ArgumentParser:

@@ -164,6 +164,9 @@ class LocalClient(Client):
             "epoch": self._epoch,
             "trajectories": len(self._db),
             "points": self._db.total_points,
+            # The local transport has no storage engine to compact: it is
+            # always exact (same key shape as the sharded describe()).
+            "compaction": {"policy": "exact"},
         }
 
     def close(self) -> None:

@@ -11,6 +11,10 @@ Layering (see ``ARCHITECTURE.md`` at the repository root)::
 * :mod:`~repro.service.runtime` — :class:`ShardRuntime`: per-shard
   execution, a compacted base :class:`~repro.queries.engine.QueryEngine`
   plus a streamed pending tier (ingest without rebuild);
+* :mod:`~repro.service.compaction` — pluggable base-rebuild policies:
+  :class:`ExactCompaction` (bit-identical default) and
+  :class:`SimplifyingCompaction` (the paper's simplifiers as the storage
+  engine, under a per-trajectory error budget);
 * :mod:`~repro.service.executors` — scatter/gather over shards, serial
   reference and one-worker-process-per-shard implementations;
 * :mod:`~repro.service.requests` — the typed request/response API, which
@@ -34,6 +38,14 @@ Quickstart (the unified client API — :mod:`repro.client`)::
         counts = client.count(boxes).counts
 """
 
+from repro.service.compaction import (
+    COMPACTION_POLICIES,
+    CompactionPolicy,
+    CompactionResult,
+    ExactCompaction,
+    SimplifyingCompaction,
+    make_compaction,
+)
 from repro.service.executors import (
     EXECUTORS,
     ProcessShardExecutor,
@@ -94,6 +106,12 @@ __all__ = [
     "make_executor",
     "EXECUTORS",
     "PARTITIONERS",
+    "CompactionPolicy",
+    "CompactionResult",
+    "ExactCompaction",
+    "SimplifyingCompaction",
+    "make_compaction",
+    "COMPACTION_POLICIES",
     "RangeRequest",
     "CountRequest",
     "HistogramRequest",

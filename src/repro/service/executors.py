@@ -7,7 +7,9 @@ Two interchangeable implementations of one small contract:
 * ``run_on(shard_indices, op, payload)`` — run one operation on a *subset*
   of shards only, returning ``{shard: result}`` (the primitive behind the
   service's kNN shard skipping: pruned shards are simply never messaged);
-* ``ingest(routed)``        — deliver routed ``{shard: batch}`` deltas;
+* ``ingest(routed)``        — deliver routed ``{shard: batch}`` deltas,
+  returning each messaged shard's drained compaction counters (in shard
+  order) so the service's stats see policy passes triggered worker-side;
 * ``close()``               — release workers (idempotent).
 
 :class:`SerialShardExecutor` is the in-process reference: shards execute
@@ -147,10 +149,12 @@ class SerialShardExecutor:
             for i in shard_indices
         }
 
-    def ingest(self, routed: dict[int, list]) -> None:
+    def ingest(self, routed: dict[int, list]) -> list:
         self._check_usable()
-        for shard_idx, batch in routed.items():
-            self.runtimes[shard_idx].ingest(batch)
+        return [
+            self.runtimes[shard_idx].ingest(routed[shard_idx])
+            for shard_idx in sorted(routed)
+        ]
 
     def close(self) -> None:
         if self._closed:
@@ -186,8 +190,7 @@ def _shard_worker_main(conn, shard: Shard | ShardSnapshot, runtime_kwargs: dict)
                 break
             try:
                 if op == "ingest":
-                    runtime.ingest(payload)
-                    _send_message(conn, ("ok", None))
+                    _send_message(conn, ("ok", runtime.ingest(payload)))
                 else:
                     _send_message(conn, ("ok", runtime.execute(op, payload)))
             except Exception as exc:  # surface shard-side failures to the parent
@@ -344,9 +347,9 @@ class ProcessShardExecutor:
         results = self._scatter_gather({idx: message for idx in indices})
         return dict(zip(indices, results))
 
-    def ingest(self, routed: dict[int, list]) -> None:
+    def ingest(self, routed: dict[int, list]) -> list:
         self._check_usable()
-        self._scatter_gather(
+        return self._scatter_gather(
             {idx: ("ingest", batch) for idx, batch in routed.items()}
         )
 

@@ -15,7 +15,13 @@ query kind in *global*-id space. Execution is two-tier, LSM-style:
 
 When the pending tier outgrows ``compact_threshold`` of the base (or
 ``min_compact_points``), :meth:`compact` folds it into a fresh base engine —
-one rebuild amortized over many ingests.
+one rebuild amortized over many ingests. *What* the rebuilt base contains
+is delegated to a pluggable :class:`~repro.service.compaction.CompactionPolicy`:
+the default :class:`~repro.service.compaction.ExactCompaction` republishes
+the merged tier unchanged (bit-identical answers), while a
+:class:`~repro.service.compaction.SimplifyingCompaction` routes the cold
+base through one of the paper's simplifiers under an error budget — the
+hot pending tier always stays exact.
 
 Every result is bit-identical to evaluating the same query on a fresh
 single-database engine over the shard's trajectories: the pending paths
@@ -52,6 +58,8 @@ from repro.queries.similarity import (
     query_checkpoints,
     resolve_time_windows,
 )
+from repro.service._deprecation import warn_once
+from repro.service.compaction import CompactionResult, make_compaction
 from repro.service.sharding import Shard, ShardSnapshot
 
 
@@ -75,6 +83,12 @@ class ShardRuntime:
         the cost-based planner on the first boxed workload this runtime
         executes (falling back to the grid if a box-free operation arrives
         first). Backend choice never changes results — only pruning cost.
+    compaction:
+        Base-rebuild policy: a :class:`~repro.service.compaction.CompactionPolicy`,
+        a name from :data:`~repro.service.compaction.COMPACTION_POLICIES`,
+        or ``None`` for the exact default. A non-exact policy also runs
+        once at construction — the shard's initial base is already a cold
+        tier — publishing the simplified epoch-0 segments.
     """
 
     def __init__(
@@ -85,6 +99,7 @@ class ShardRuntime:
         min_compact_points: int = 2048,
         backend: str = "grid",
         store=None,
+        compaction=None,
     ) -> None:
         validate_backend_name(backend, allow_auto=True)
         self.index = shard.index
@@ -130,6 +145,16 @@ class ShardRuntime:
         self._pending_owner_gids: np.ndarray | None = None
         self.compactions = 0
         self._closed = False
+        self.compaction = make_compaction(compaction)
+        #: Last policy pass (None until the first rebuild under this policy).
+        self.last_compaction: CompactionResult | None = None
+        #: Counter dicts of policy passes not yet drained by the service.
+        self._compaction_log: list[dict] = []
+        if not self.compaction.is_exact and self._base:
+            # The initial base is already a cold tier: run the policy once
+            # and publish the simplified epoch-0 segments. Exact policies
+            # skip this, preserving the zero-copy snapshot mapping.
+            self.rebuild_base()
 
     # ------------------------------------------------------------------- tiers
     @property
@@ -185,7 +210,14 @@ class ShardRuntime:
             "points": self._base_points + self._pending_points,
             "compactions": self.compactions,
             "backend": self.backend_name or self.backend_spec,
+            "compaction": self.compaction.name,
         }
+
+    def take_compactions(self) -> list[dict]:
+        """Drain the per-pass compaction counters accumulated since the
+        last drain (the service absorbs them into its stats)."""
+        log, self._compaction_log = self._compaction_log, []
+        return log
 
     def extent(self) -> BoundingBox | None:
         """Union bounding box of the shard's trajectories (base U pending).
@@ -204,8 +236,13 @@ class ShardRuntime:
             extent = box if extent is None else extent.union(box)
         return extent
 
-    def ingest(self, batch: list[tuple[int, Trajectory]]) -> None:
-        """Append a routed batch to the pending tier (auto-compacting)."""
+    def ingest(self, batch: list[tuple[int, Trajectory]]) -> list[dict]:
+        """Append a routed batch to the pending tier (auto-compacting).
+
+        Returns the compaction counters of any policy passes this ingest
+        triggered (usually empty), so executors can carry them back to
+        the service's stats without an extra round-trip.
+        """
         self._pending.extend(batch)
         self._pending_points += sum(len(t) for _, t in batch)
         self._pending_matrix = None
@@ -214,15 +251,22 @@ class ShardRuntime:
             self.min_compact_points, self.compact_threshold * self._base_points
         ):
             self.compact()
+        return self.take_compactions()
 
     def compact(self) -> None:
         """Fold the pending tier into a fresh base engine.
 
-        The merged base is re-materialized through the runtime's store
-        provider: under a shared-memory store the new CSR is *republished*
-        as a fresh segment tagged with the next compaction epoch and the
-        previous epoch's runtime-owned segment is unlinked. Pending tiers
-        never touch the store — they stay heap-local until folded here.
+        An empty pending tier makes this a **no-op**: no policy pass, no
+        new epoch, no segment churn (regression-tested — a spurious
+        republish would unlink and re-create identical shm segments).
+
+        The merged base runs through the compaction policy and is then
+        re-materialized through the runtime's store provider: under a
+        shared-memory store the new CSR is *republished* as a fresh
+        segment tagged with the next compaction epoch and the previous
+        epoch's runtime-owned segment is unlinked. Pending tiers never
+        touch the store or the policy — they stay heap-local and exact
+        until folded here.
         """
         if not self._pending:
             return
@@ -230,23 +274,35 @@ class ShardRuntime:
         self._base_gids = np.concatenate(
             [self._base_gids, np.array([g for g, _ in self._pending], dtype=np.int64)]
         )
-        self._base_points += self._pending_points
         self._pending = []
         self._pending_points = 0
         self._pending_matrix = None
         self._pending_owner_gids = None
+        self.compactions += 1
+        self.rebuild_base()
+
+    def rebuild_base(self) -> None:
+        """Run the compaction policy over the staged base and republish.
+
+        The policy decides what the new base *contains*
+        (:class:`~repro.service.compaction.ExactCompaction` keeps the
+        staged arrays untouched); this method owns the mechanics —
+        store puts tagged with the current epoch, columnar re-view, and
+        retiring the superseded epoch's handles.
+        """
+        staged = TrajectoryDatabase(self._base)
+        result = self.compaction.compact(staged)
+        self.last_compaction = result
+        self._compaction_log.append(result.counters())
+        published = result.database
         self._db = None
         self._engine = None
         self.backend_name = None  # "auto" re-plans on the rebuilt base
-        self.compactions += 1
-        self._republish_base()
-
-    def _republish_base(self) -> None:
-        """Materialize the merged base through the store, epoch-tagged."""
-        staged = TrajectoryDatabase(self._base)
         epoch = self.compactions
-        matrix_handle = self._store.put(staged.point_matrix(), label=f"e{epoch}m")
-        offsets_handle = self._store.put(staged.point_offsets(), label=f"e{epoch}o")
+        matrix_handle = self._store.put(published.point_matrix(), label=f"e{epoch}m")
+        offsets_handle = self._store.put(
+            published.point_offsets(), label=f"e{epoch}o"
+        )
         base_db = TrajectoryDatabase.from_columnar(
             matrix_handle.resolve(), offsets_handle.resolve()
         )
@@ -255,6 +311,7 @@ class ShardRuntime:
         # runtime-published ones are unlinked outright.
         self._base_db = base_db
         self._base = list(base_db.trajectories)
+        self._base_points = base_db.total_points
         for handle in self._attached:
             handle.release()
         self._attached = []
@@ -262,6 +319,16 @@ class ShardRuntime:
             self._store.drop(handle)
             handle.release()
         self._published = [matrix_handle, offsets_handle]
+
+    def _republish_base(self) -> None:
+        """Deprecated spelling of :meth:`rebuild_base` (pre-policy name)."""
+        warn_once(
+            "ShardRuntime._republish_base",
+            "ShardRuntime._republish_base() was renamed; use "
+            "ShardRuntime.rebuild_base(), which runs the compaction policy "
+            "before republishing",
+        )
+        self.rebuild_base()
 
     def close(self) -> None:
         """Release mapped segments and unlink runtime-published ones.
@@ -475,6 +542,9 @@ class ShardRuntime:
 
     def op_info(self) -> dict:
         return self.info()
+
+    def op_take_compactions(self) -> list[dict]:
+        return self.take_compactions()
 
     def op_extent(self) -> BoundingBox | None:
         return self.extent()

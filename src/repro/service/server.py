@@ -208,6 +208,7 @@ class QueryServer:
             )
             return False
         manager = self._service.manager
+        compaction = getattr(self._service, "compaction", None)
         await self._send(
             writer,
             {
@@ -221,6 +222,9 @@ class QueryServer:
                     "epoch": manager.epoch,
                     "trajectories": manager.n_trajectories,
                     "points": manager.total_points,
+                    # Additive in PROTOCOL_VERSION 1: clients that predate
+                    # compaction policies simply ignore the key.
+                    "compaction": None if compaction is None else compaction.spec(),
                 },
             },
         )

@@ -52,6 +52,7 @@ from repro.data.store import make_store
 from repro.data.trajectory import Trajectory
 from repro.index.backend import chebyshev_gap, validate_backend_name
 from repro.service._deprecation import warn_once
+from repro.service.compaction import make_compaction
 from repro.service.executors import EXECUTORS, make_executor
 from repro.service.requests import (
     CountRequest,
@@ -124,10 +125,37 @@ class ServiceStats:
     #: vs. shards skipped via the distance lower bound.
     knn_shards_dispatched: int = 0
     knn_shards_skipped: int = 0
+    #: Compaction accounting, absorbed from the shard runtimes' drained
+    #: policy passes: pass count, points the policy dropped, and the base
+    #: tiers' bytes before/after the latest passes (summed over shards).
+    compactions: int = 0
+    points_dropped: int = 0
+    bytes_base_before: int = 0
+    bytes_base_after: int = 0
+    compaction_latency_s: float = 0.0
+    max_compaction_latency_s: float = 0.0
+
+    @property
+    def bytes_base(self) -> int:
+        """Current (post-policy) byte size of the absorbed base rebuilds."""
+        return self.bytes_base_after
 
     def record_knn_scatter(self, dispatched: int, skipped: int) -> None:
         self.knn_shards_dispatched += dispatched
         self.knn_shards_skipped += skipped
+
+    def record_compaction(self, counters: dict) -> None:
+        """Absorb one shard-side policy pass (a ``CompactionResult.counters()``
+        dict drained through the executor)."""
+        self.compactions += 1
+        self.points_dropped += int(counters.get("points_dropped", 0))
+        self.bytes_base_before += int(counters.get("bytes_before", 0))
+        self.bytes_base_after += int(counters.get("bytes_after", 0))
+        elapsed = float(counters.get("elapsed_s", 0.0))
+        self.compaction_latency_s += elapsed
+        self.max_compaction_latency_s = max(
+            self.max_compaction_latency_s, elapsed
+        )
 
     def record(
         self, kind: str, latency_s: float, cached: bool, cacheable: bool = True
@@ -180,7 +208,18 @@ class ServiceStats:
             "knn_shards_dispatched": self.knn_shards_dispatched,
             "knn_shards_skipped": self.knn_shards_skipped,
             "uncacheable_requests": self.n_uncacheable,
+            "compactions": self.compactions,
+            "points_dropped": self.points_dropped,
+            "bytes_base": self.bytes_base,
         }
+        if self.compactions:
+            out["bytes_base_before"] = self.bytes_base_before
+            out["compaction_mean_latency_ms"] = (
+                1000.0 * self.compaction_latency_s / self.compactions
+            )
+            out["compaction_max_latency_ms"] = (
+                1000.0 * self.max_compaction_latency_s
+            )
         for kind in sorted(self.requests):
             n = self.requests[kind]
             out[f"{kind}_requests"] = n
@@ -226,6 +265,18 @@ class QueryService:
         unpickling). Also accepts a store instance, in which case the
         caller keeps ownership and must close it after the service.
         Store choice never changes results, only memory layout.
+    compaction:
+        Base-rebuild policy of the shard runtimes: ``"exact"`` (default;
+        bit-identical answers), one of ``"uniform"``/``"greedy"``/``"rl"``
+        (the cold base tiers run through that simplifier on every rebuild
+        — answers become approximate within the error budget), or a
+        prebuilt :class:`~repro.service.compaction.CompactionPolicy`
+        instance (e.g. carrying a trained RL4QDTS model loaded via
+        :func:`~repro.service.compaction.make_compaction`).
+    error_budget:
+        Per-trajectory, per-pass error bound for a named simplifying
+        policy (see :mod:`repro.service.compaction`); ignored for
+        ``"exact"`` and for policy instances (which carry their own).
     """
 
     def __init__(
@@ -243,6 +294,8 @@ class QueryService:
         index: str = "grid",
         mp_context: str | None = None,
         store: str = "heap",
+        compaction="exact",
+        error_budget: float | None = None,
     ) -> None:
         if (db is None) == (manager is None):
             raise ValueError("pass exactly one of db or manager")
@@ -252,6 +305,7 @@ class QueryService:
         self.manager = manager
         self.index = index
         self.executor_name = executor if isinstance(executor, str) else "custom"
+        self.compaction = make_compaction(compaction, error_budget=error_budget)
         self._store = make_store(store)
         self._owns_store = self._store is not store
         self.store_name = self._store.spec()[0]
@@ -263,6 +317,7 @@ class QueryService:
                 compact_threshold=compact_threshold,
                 min_compact_points=min_compact_points,
                 backend=index,
+                compaction=self.compaction,
                 **({"mp_context": mp_context} if executor == "process" else {}),
             )
         except BaseException:
@@ -274,6 +329,13 @@ class QueryService:
         self.stats = ServiceStats()
         self._closed = False
         self._failed = False
+        if not self.compaction.is_exact:
+            # A simplifying policy already ran once per shard at runtime
+            # construction (the initial base is a cold tier); absorb those
+            # passes so stats start consistent with the published tiers.
+            self._absorb_compactions(
+                self._executor.broadcast("take_compactions", {})
+            )
 
     def _check_open(self) -> None:
         if self._closed:
@@ -594,7 +656,7 @@ class QueryService:
             return 0
         routed = self.manager.plan_ingest(batch)
         try:
-            self._executor.ingest(routed)
+            drained = self._executor.ingest(routed)
         except Exception:
             # The executor may have applied the batch on a subset of shards
             # before failing; results would silently omit or double-count
@@ -603,7 +665,14 @@ class QueryService:
             raise
         self.manager.commit_ingest(routed)
         self.stats.record_ingest(batch)
+        self._absorb_compactions(drained)
         return len(batch)
+
+    def _absorb_compactions(self, per_shard: "list | None") -> None:
+        """Fold shard-side compaction counter dicts into the stats."""
+        for counters_list in per_shard or []:
+            for counters in counters_list or []:
+                self.stats.record_compaction(counters)
 
     # ---------------------------------------------------------------- lifecycle
     def describe(self) -> dict:
@@ -617,6 +686,7 @@ class QueryService:
             "epoch": self.manager.epoch,
             "trajectories": self.manager.n_trajectories,
             "points": self.manager.total_points,
+            "compaction": self.compaction.spec(),
         }
         try:
             info["shards"] = self._executor.broadcast("info", {})

@@ -141,6 +141,26 @@ class TestPersistence:
         model.save(path)
         assert RL4QDTS.load(path).use_agent_cube is False
 
+    def test_saved_model_drives_identical_service_masks(
+        self, trained_model, geolife_db, tmp_path
+    ):
+        """A path-loaded policy keeps the exact points the live model keeps.
+
+        This is the contract the serving layer relies on: a trained policy
+        saved to disk and handed to ``--compaction rl --compaction-model``
+        (an :class:`RLSimplifier` built from the path) must propose the
+        same kept indices as the in-memory model, on a fixed seed.
+        """
+        from repro.baselines.registry import RLSimplifier
+
+        path = tmp_path / "model.npz"
+        trained_model.save(path)
+        live = RLSimplifier(model=trained_model, seed=5)
+        from_disk = RLSimplifier(model=str(path), seed=5)
+        assert live.keep_indices(geolife_db, 0.08) == from_disk.keep_indices(
+            geolife_db, 0.08
+        )
+
     def test_save_load_preserves_dqn_config(self, tmp_path):
         config = RL4QDTSConfig(dqn=DQNConfig(hidden=13, lr=0.123))
         model = RL4QDTS(config)
