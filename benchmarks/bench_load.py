@@ -1,0 +1,432 @@
+"""Seeded open-loop load harness against a live ``repro serve --listen``.
+
+Drives the socket server the way a latency benchmark must be driven: the
+request schedule is generated *up front* from one seed (so two runs with
+the same seed replay the identical workload — the schedule digest printed
+and stored proves it), and requests are dispatched **open-loop** at a
+target QPS: slot ``i`` fires at ``t0 + i/qps`` whether or not earlier
+requests have returned, so a slow server accumulates queueing delay in
+the measured latency instead of silently throttling the offered load
+(closed-loop harnesses hide exactly the tail this repo's histograms are
+built to expose).
+
+The mix is Zipf-skewed twice over, mirroring the paper's skewed-workload
+study: range-query centres come from
+:meth:`repro.workloads.RangeQueryWorkload.from_zipf`, and *which* pooled
+query a slot replays is itself Zipf-distributed — popular queries repeat,
+so the server's ``(request, epoch)`` LRU sees a realistic hit rate.
+Streamed ingest batches interleave at ``--ingest-ratio``, bumping the
+epoch mid-run the way a live service would.
+
+Latencies are recorded client-side into the same log-bucketed
+:class:`repro.obs.metrics.Histogram` the server uses, and every run is
+appended to ``BENCH_load.json`` with full provenance (seed, config,
+schedule digest, python/numpy versions) plus the server's own metrics
+report fetched over the wire ``metrics`` op — so a regression can be
+traced to a config change, a code change, or neither.
+
+Run standalone::
+
+    python benchmarks/bench_load.py --qps 50 --seed 7
+    python benchmarks/bench_load.py --smoke --out BENCH_load_smoke.json
+    python benchmarks/bench_load.py --validate BENCH_load_smoke.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import numpy as np
+
+from repro.client import RemoteClient
+from repro.data import save_database, synthetic_database
+from repro.data.stats import spatial_scale
+from repro.data.trajectory import Trajectory
+from repro.obs.metrics import Histogram
+from repro.obs.provenance import build_provenance, load_runs, log_run, validate_run
+from repro.workloads import RangeQueryWorkload
+
+DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_load.json"
+
+#: Offered mix over the five query kinds (Zipf-ish: rank^-1 over the kinds
+#: ordered by how often an analytics dashboard issues them).
+KIND_WEIGHTS = {
+    "range": 1.0,
+    "count": 1.0 / 2.0,
+    "histogram": 1.0 / 3.0,
+    "knn": 1.0 / 4.0,
+    "similarity": 1.0 / 5.0,
+}
+
+POOL_SIZE = 24  # distinct queries per kind; slots replay Zipf-ranked entries
+
+
+# --------------------------------------------------------------- the schedule
+def _zipf_pick(rng: np.random.Generator, n: int, a: float) -> int:
+    """One Zipf(``a``)-distributed index into a pool of ``n`` entries."""
+    ranks = np.arange(1, n + 1, dtype=float)
+    probs = ranks**-a
+    return int(rng.choice(n, p=probs / probs.sum()))
+
+
+def build_schedule(db, args) -> tuple[list[dict], dict, str]:
+    """The full deterministic request schedule and its provenance digest.
+
+    Returns ``(schedule, pools, digest)``: ``schedule`` is one JSON-safe
+    entry per slot (op + pool index, or an ingest batch seed), ``pools``
+    holds the concrete query payloads each entry references, and
+    ``digest`` is the sha256 of the canonical JSON of both — identical
+    seeds therefore prove themselves identical across runs and machines.
+    """
+    rng = np.random.default_rng(args.seed)
+    pool_n = min(POOL_SIZE, args.requests)
+    range_pool = RangeQueryWorkload.from_zipf(
+        db, pool_n, a=args.zipf_a, seed=args.seed
+    )
+    boxes = [
+        [b.xmin, b.xmax, b.ymin, b.ymax, b.tmin, b.tmax]
+        for b in range_pool.boxes
+    ]
+    traj_ids = [
+        int(i) for i in rng.choice(len(db), size=min(4, len(db)), replace=False)
+    ]
+    pools = {
+        "boxes": boxes,
+        "traj_ids": traj_ids,
+        "grids": [16, 24, 32],
+        "eps": round(0.10 * spatial_scale(db), 9),
+        "delta": round(0.15 * spatial_scale(db), 9),
+    }
+
+    kinds = list(KIND_WEIGHTS)
+    weights = np.array([KIND_WEIGHTS[k] for k in kinds], dtype=float)
+    weights /= weights.sum()
+    schedule: list[dict] = []
+    for slot in range(args.requests):
+        if args.ingest_ratio > 0 and rng.random() < args.ingest_ratio:
+            schedule.append(
+                {"op": "ingest", "batch_seed": int(args.seed + 1000 + slot)}
+            )
+            continue
+        kind = kinds[int(rng.choice(len(kinds), p=weights))]
+        entry: dict = {"op": kind}
+        if kind in ("range", "count"):
+            entry["pool"] = _zipf_pick(rng, len(boxes), args.zipf_a)
+        elif kind == "histogram":
+            entry["grid"] = pools["grids"][_zipf_pick(rng, 3, args.zipf_a)]
+        elif kind in ("knn", "similarity"):
+            entry["ids"] = traj_ids[: 1 + int(rng.integers(len(traj_ids)))]
+        schedule.append(entry)
+
+    canonical = json.dumps({"pools": pools, "schedule": schedule}, sort_keys=True)
+    digest = hashlib.sha256(canonical.encode()).hexdigest()
+    return schedule, pools, digest
+
+
+def _ingest_batch(db, batch_seed: int, n: int = 3) -> list[Trajectory]:
+    """A small deterministic batch of jittered copies of existing tracks."""
+    rng = np.random.default_rng(batch_seed)
+    batch = []
+    for _ in range(n):
+        base = db[int(rng.integers(len(db)))].points
+        shift = rng.uniform(-40.0, 40.0, size=2)
+        batch.append(Trajectory(base + np.array([shift[0], shift[1], 0.0])))
+    return batch
+
+
+# ----------------------------------------------------------------- the server
+def launch_server(db_path: Path, args, env: dict) -> tuple[subprocess.Popen, str]:
+    """Start ``repro serve --listen 127.0.0.1:0``; return (proc, address)."""
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--db", str(db_path),
+            "--shards", str(args.shards),
+            "--partitioner", args.partitioner,
+            "--executor", args.executor,
+            "--index", args.index,
+            "--store", args.store,
+            "--listen", "127.0.0.1:0",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    address = None
+    deadline = time.monotonic() + 90
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line and proc.poll() is not None:
+            break
+        if line.startswith("listening on "):
+            address = line.split()[-1].strip()
+            break
+    if not address:
+        proc.kill()
+        raise RuntimeError("server never printed its listen address")
+    # Keep draining stdout so the server can never block on a full pipe.
+    threading.Thread(
+        target=lambda: [None for _ in proc.stdout], daemon=True
+    ).start()
+    return proc, address
+
+
+def stop_server(proc: subprocess.Popen) -> int:
+    proc.send_signal(signal.SIGINT)
+    try:
+        return proc.wait(timeout=60)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        return proc.wait()
+
+
+# ------------------------------------------------------------------- the run
+def _issue(client: RemoteClient, entry: dict, pools: dict, db) -> None:
+    from repro.data.bbox import BoundingBox
+
+    op = entry["op"]
+    if op == "ingest":
+        client.ingest(_ingest_batch(db, entry["batch_seed"]))
+    elif op == "range":
+        client.range([BoundingBox(*pools["boxes"][entry["pool"]])])
+    elif op == "count":
+        client.count([BoundingBox(*pools["boxes"][entry["pool"]])])
+    elif op == "histogram":
+        client.histogram(entry["grid"])
+    elif op == "knn":
+        client.knn([db[i] for i in entry["ids"]], 3, eps=pools["eps"])
+    elif op == "similarity":
+        client.similarity([db[i] for i in entry["ids"]], pools["delta"])
+    else:
+        raise ValueError(f"unknown scheduled op {op!r}")
+
+
+def run_load(args) -> dict:
+    """Generate, serve, drive, measure; return the provenance run record."""
+    db = synthetic_database(
+        "geolife",
+        n_trajectories=args.trajectories,
+        points_scale=0.08,
+        seed=args.seed,
+    )
+    schedule, pools, digest = build_schedule(db, args)
+    print(f"schedule: {len(schedule)} slots, digest {digest[:16]}...")
+
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    env["PYTHONUNBUFFERED"] = "1"
+
+    overall = Histogram()
+    per_kind: dict[str, Histogram] = {}
+    samples: list[float] = []
+    errors: list[str] = []
+    record_lock = threading.Lock()
+
+    with tempfile.TemporaryDirectory(prefix="bench_load_") as tmp:
+        db_path = Path(tmp) / "db.npz"
+        save_database(db, db_path)
+        proc, address = launch_server(db_path, args, env)
+        try:
+            host, _, port = address.rpartition(":")
+            clients = [
+                RemoteClient(host, int(port)) for _ in range(args.clients)
+            ]
+
+            def _fire(slot: int, entry: dict) -> None:
+                client = clients[slot % len(clients)]
+                start = time.perf_counter()
+                try:
+                    _issue(client, entry, pools, db)
+                except Exception as exc:
+                    with record_lock:
+                        errors.append(f"slot {slot} {entry['op']}: {exc}")
+                    return
+                elapsed = time.perf_counter() - start
+                with record_lock:
+                    overall.record(elapsed)
+                    per_kind.setdefault(entry["op"], Histogram()).record(elapsed)
+                    samples.append(elapsed)
+
+            # Open-loop: slot i is *offered* at t0 + i/qps regardless of
+            # completions; the pool only bounds client-side concurrency.
+            pool = ThreadPoolExecutor(max_workers=args.clients)
+            t0 = time.perf_counter()
+            futures = []
+            for slot, entry in enumerate(schedule):
+                wait = t0 + slot / args.qps - time.perf_counter()
+                if wait > 0:
+                    time.sleep(wait)
+                futures.append(pool.submit(_fire, slot, entry))
+            for f in futures:
+                f.result()
+            elapsed = time.perf_counter() - t0
+            pool.shutdown()
+
+            server_metrics = clients[0].metrics()
+            for client in clients:
+                client.close()
+        finally:
+            code = stop_server(proc)
+    if code != 0:
+        errors.append(f"server exited with code {code}")
+
+    # Self-check: bucketed quantiles must sit within one bucket width of
+    # the exact sample quantiles (the histogram's accuracy contract).
+    arr = np.sort(np.asarray(samples))
+    for q in (0.5, 0.95, 0.99):
+        exact = float(np.quantile(arr, q, method="inverted_cdf"))
+        approx = overall.quantile(q)
+        idx = overall.bucket_index(exact)
+        width = overall.upper_edge(idx) - overall.lower_edge(idx)
+        assert abs(approx - exact) <= max(width, 1e-12), (
+            f"p{int(q * 100)} drifted: bucketed {approx} vs exact {exact}"
+        )
+
+    completed = overall.count
+    run = {
+        "config": {
+            "seed": args.seed,
+            "qps": args.qps,
+            "requests": args.requests,
+            "clients": args.clients,
+            "ingest_ratio": args.ingest_ratio,
+            "zipf_a": args.zipf_a,
+            "trajectories": args.trajectories,
+            "shards": args.shards,
+            "partitioner": args.partitioner,
+            "executor": args.executor,
+            "index": args.index,
+            "store": args.store,
+            "provenance": build_provenance(),
+            "workload_digest": digest,
+        },
+        "latency": {
+            "p50_ms": 1000.0 * overall.quantile(0.5),
+            "p95_ms": 1000.0 * overall.quantile(0.95),
+            "p99_ms": 1000.0 * overall.quantile(0.99),
+            "mean_ms": 1000.0 * overall.sum / max(completed, 1),
+            "max_ms": 1000.0 * overall.max,
+            "histogram": overall.to_json(),
+            "per_kind": {k: h.to_json() for k, h in sorted(per_kind.items())},
+        },
+        "throughput_qps": completed / elapsed if elapsed > 0 else 0.0,
+        "offered_qps": args.qps,
+        "completed": completed,
+        "errors": errors,
+        "server_metrics": server_metrics,
+    }
+    problems = validate_run(run)
+    assert not problems, f"run record failed validation: {problems}"
+    return run
+
+
+def print_summary(run: dict) -> None:
+    latency = run["latency"]
+    summary = run["server_metrics"].get("summary", {})
+    print(
+        f"completed {run['completed']}/{run['config']['requests']} at "
+        f"{run['throughput_qps']:.1f} qps (offered {run['offered_qps']}): "
+        f"p50 {latency['p50_ms']:.2f}ms  p95 {latency['p95_ms']:.2f}ms  "
+        f"p99 {latency['p99_ms']:.2f}ms"
+    )
+    hits = sum(v for k, v in summary.items() if k.endswith("_cache_hits"))
+    misses = sum(v for k, v in summary.items() if k.endswith("_cache_misses"))
+    if hits + misses:
+        print(
+            f"server cache: {hits} hits / {misses} misses "
+            f"({hits / (hits + misses):.1%} hit rate), "
+            f"knn shards skipped: {summary.get('knn_shards_skipped', 0)}"
+        )
+    if run["errors"]:
+        print(f"errors ({len(run['errors'])}):")
+        for line in run["errors"]:
+            print(f"  {line}")
+
+
+def validate_file(path: Path) -> int:
+    """``--validate``: schema-check every stored run; exit nonzero on drift."""
+    payload = json.loads(path.read_text())
+    problems: list[str] = []
+    if payload.get("benchmark") != "bench_load":
+        problems.append(f"benchmark is {payload.get('benchmark')!r}")
+    runs = load_runs(path)
+    if not runs:
+        problems.append("no runs recorded")
+    for i, run in enumerate(runs):
+        for issue in validate_run(run):
+            problems.append(f"run {i}: {issue}")
+        try:
+            hist = Histogram.from_json(run["latency"]["histogram"])
+            for q, key in ((0.5, "p50_ms"), (0.95, "p95_ms"), (0.99, "p99_ms")):
+                stored = run["latency"][key]
+                derived = 1000.0 * hist.quantile(q)
+                if not np.isclose(stored, derived, rtol=1e-9, atol=1e-9):
+                    problems.append(
+                        f"run {i}: {key} {stored} != histogram-derived {derived}"
+                    )
+        except Exception as exc:
+            problems.append(f"run {i}: histogram unreadable: {exc}")
+    if problems:
+        for line in problems:
+            print(f"INVALID: {line}")
+        return 1
+    print(f"{path}: {len(runs)} run(s), schema valid, quantiles consistent")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--qps", type=float, default=50.0,
+                        help="offered load (open-loop slot rate)")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="single seed for database, pools, and schedule")
+    parser.add_argument("--requests", type=int, default=200,
+                        help="total schedule slots (queries + ingests)")
+    parser.add_argument("--clients", type=int, default=4,
+                        help="concurrent socket connections")
+    parser.add_argument("--ingest-ratio", type=float, default=0.05,
+                        help="fraction of slots that stream an ingest batch")
+    parser.add_argument("--zipf-a", type=float, default=1.5,
+                        help="skew of both query centres and pool popularity")
+    parser.add_argument("--trajectories", type=int, default=120)
+    parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument("--partitioner", default="hash")
+    parser.add_argument("--executor", default="serial")
+    parser.add_argument("--index", default="grid")
+    parser.add_argument("--store", default="heap")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny sizes for the CI smoke run")
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
+                        help="provenance log to append the run to")
+    parser.add_argument("--validate", type=Path, metavar="FILE",
+                        help="validate an existing provenance log and exit")
+    args = parser.parse_args(argv)
+    if args.validate:
+        return validate_file(args.validate)
+    if args.smoke:
+        args.qps = min(args.qps, 20.0)
+        args.requests = min(args.requests, 30)
+        args.trajectories = min(args.trajectories, 40)
+        args.clients = min(args.clients, 2)
+    run = run_load(args)
+    log_run(args.out, "bench_load", run)
+    print_summary(run)
+    print(f"appended run to {args.out}")
+    return 1 if run["errors"] else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

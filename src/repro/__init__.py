@@ -32,12 +32,16 @@ It provides:
   engines (serial or one worker process per shard), streaming ingestion
   without rebuilds, and a typed request layer with caching and stats
   (:mod:`repro.service`) — plus an asyncio socket front-end
-  (:mod:`repro.service.server`, ``repro serve --listen``), and
+  (:mod:`repro.service.server`, ``repro serve --listen``),
 * the unified query client API (:mod:`repro.client`): one typed
   :class:`~repro.client.Client` surface with three property-tested
   bit-identical transports — :class:`~repro.client.LocalClient` (one
   engine), :class:`~repro.client.ServiceClient` (sharded service), and
-  :class:`~repro.client.RemoteClient` (socket).
+  :class:`~repro.client.RemoteClient` (socket), and
+* end-to-end observability (:mod:`repro.obs`): mergeable log-bucketed
+  latency histograms behind every serving stat, request tracing across
+  the wire, and run provenance for the seeded open-loop load harness
+  (``benchmarks/bench_load.py``).
 
 Quickstart::
 
@@ -109,6 +113,12 @@ from repro.client import (
     RequestError,
     ServiceClient,
 )
+from repro.obs import (
+    Histogram,
+    MetricsRegistry,
+    Tracer,
+    mint_trace_id,
+)
 from repro.baselines import (
     top_down,
     bottom_up,
@@ -169,6 +179,10 @@ __all__ = [
     "IngestResult",
     "LocalClient",
     "ServiceClient",
+    "Histogram",
+    "MetricsRegistry",
+    "Tracer",
+    "mint_trace_id",
     "RemoteClient",
     "RequestError",
     "RangeQueryWorkload",

@@ -247,10 +247,30 @@ def _parse_hostport(value: str) -> tuple[str, int]:
 def _serve_listen(args, service) -> int:
     """The asyncio socket front-end of ``repro serve --listen``."""
     import asyncio
+    import json
 
     from repro.service.server import QueryServer
 
     host, port = _parse_hostport(args.listen)
+    interval = float(getattr(args, "metrics_interval", 0.0) or 0.0)
+    metrics_out = getattr(args, "metrics_out", None)
+
+    async def _metrics_logger(server: QueryServer) -> None:
+        """Append one metrics-snapshot JSON line every ``interval`` seconds."""
+        sink = open(metrics_out, "a") if metrics_out else None
+        try:
+            while True:
+                await asyncio.sleep(interval)
+                report = await server.metrics_snapshot()
+                line = json.dumps(report, sort_keys=True)
+                if sink is not None:
+                    sink.write(line + "\n")
+                    sink.flush()
+                else:
+                    print(line, flush=True)
+        finally:
+            if sink is not None:
+                sink.close()
 
     async def _run() -> None:
         server = QueryServer(service, host, port)
@@ -258,9 +278,18 @@ def _serve_listen(args, service) -> int:
         # The parseable "listening on" line is the startup contract scripts
         # and tests wait for (port 0 resolves to an OS-assigned port).
         print(f"listening on {server.host}:{server.port}", flush=True)
+        logger = (
+            asyncio.create_task(_metrics_logger(server)) if interval > 0 else None
+        )
         try:
             await server.serve_forever()
         finally:
+            if logger is not None:
+                logger.cancel()
+                try:
+                    await logger
+                except asyncio.CancelledError:
+                    pass
             await server.stop()
 
     try:
@@ -422,6 +451,9 @@ def _cmd_client(args: argparse.Namespace) -> int:
         if args.type == "describe":
             print(json.dumps(client.describe()))
             return 0
+        if args.type == "metrics":
+            print(json.dumps(client.metrics(), sort_keys=True))
+            return 0
         try:
             print(json.dumps(_serve_request(client, req, lookup)))
         except Exception as exc:
@@ -559,6 +591,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", help="write JSONL responses here instead of stdout")
     p.add_argument("--stats", action="store_true",
                    help="print latency/cache statistics after serving")
+    p.add_argument("--metrics-interval", type=float, default=0.0, metavar="N",
+                   help="with --listen: emit a JSON metrics snapshot every N "
+                   "seconds (counters, latency histograms, cache/skip rates)")
+    p.add_argument("--metrics-out",
+                   help="append periodic metrics snapshots to this JSONL file "
+                   "instead of stdout (requires --metrics-interval)")
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
@@ -572,7 +610,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="server address printed by `repro serve --listen`")
     p.add_argument("--type", required=True,
                    choices=["range", "count", "histogram", "knn",
-                            "similarity", "ingest", "describe"])
+                            "similarity", "ingest", "describe", "metrics"])
     p.add_argument("--workload", help="workload JSON (range/count)")
     p.add_argument("--grid", type=int, default=32, help="histogram resolution")
     p.add_argument("--normalize", action="store_true",

@@ -55,9 +55,26 @@ class Client:
     #: Transport name, for banners and benchmarks.
     transport = "abstract"
 
+    #: Trace id of the most recent :meth:`execute` call. Every transport
+    #: mints one per request (or forwards the caller's), so any response
+    #: can be correlated with the serving side's exported spans.
+    last_trace_id: str | None = None
+
     # ------------------------------------------------------------- core surface
-    def execute(self, request) -> Response:
-        """Serve one typed request from :mod:`repro.service.requests`."""
+    def execute(self, request, *, trace_id: str | None = None) -> Response:
+        """Serve one typed request from :mod:`repro.service.requests`.
+
+        ``trace_id`` propagates to the serving side's span buffer; when
+        omitted the transport mints one (see :attr:`last_trace_id`).
+        """
+        raise NotImplementedError
+
+    def metrics(self) -> dict:
+        """The serving side's metrics report (summary + latency histograms).
+
+        Shape matches :meth:`repro.service.service.QueryService.metrics_report`;
+        over the socket transport this is the wire ``metrics`` op.
+        """
         raise NotImplementedError
 
     def ingest(self, trajectories: Iterable[Trajectory]) -> IngestResult:

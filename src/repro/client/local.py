@@ -23,6 +23,7 @@ import numpy as np
 from repro.client.base import Client, IngestResult
 from repro.data.database import TrajectoryDatabase
 from repro.data.trajectory import Trajectory
+from repro.obs.tracing import Tracer, mint_trace_id
 from repro.queries.engine import QueryEngine
 from repro.queries.knn import knn_query_batch
 from repro.service.requests import Response, serve_cached
@@ -63,6 +64,7 @@ class LocalClient(Client):
         self._cache: OrderedDict[tuple, object] = OrderedDict()
         self._cache_size = int(cache_size)
         self.stats = ServiceStats()
+        self.tracer = Tracer()
         self._closed = False
 
     def _build_engine(self, db: TrajectoryDatabase) -> QueryEngine:
@@ -84,9 +86,10 @@ class LocalClient(Client):
     def epoch(self) -> int:
         return self._epoch
 
-    def execute(self, request) -> Response:
+    def execute(self, request, *, trace_id: str | None = None) -> Response:
         if self._closed:
             raise RuntimeError("client is closed")
+        self.last_trace_id = trace_id if trace_id is not None else mint_trace_id()
         # The same serving loop as QueryService.execute (serve_cached), so
         # cache/epoch/stats semantics cannot drift between transports.
         return serve_cached(
@@ -97,7 +100,24 @@ class LocalClient(Client):
             cache_size=self._cache_size,
             stats=self.stats,
             dispatch=self._dispatch,
+            tracer=self.tracer,
+            trace_id=self.last_trace_id,
         )
+
+    def metrics(self) -> dict:
+        """Summary + latency histograms of this client's serving loop
+        (shape-compatible with the sharded service's report)."""
+        return {
+            "summary": self.stats.summary(),
+            "histograms": self.stats.histograms(),
+            "epoch": self._epoch,
+            "n_shards": 1,
+            "executor": "local",
+            "trace": {
+                "buffered_spans": len(self.tracer),
+                "recorded_spans": self.tracer.recorded,
+            },
+        }
 
     def _dispatch(self, request):
         """Run one request on the engine, in canonical payload form."""

@@ -22,6 +22,7 @@ from typing import Iterable
 
 from repro.client.base import Client, IngestResult
 from repro.data.trajectory import Trajectory
+from repro.obs.tracing import mint_trace_id
 from repro.service.requests import (
     PROTOCOL_VERSION,
     RequestError,
@@ -128,17 +129,36 @@ class RemoteClient(Client):
         return reply["response"]
 
     # ---------------------------------------------------------------- protocol
-    def execute(self, request) -> Response:
+    def execute(self, request, *, trace_id: str | None = None) -> Response:
+        """Serve one typed request over the socket.
+
+        A trace id (minted here unless the caller supplies one) travels in
+        the frame's ``"trace"`` key; the server propagates it through its
+        span buffer, so this exact id appears verbatim in the server-side
+        ``QueryService.trace_export()`` output.
+        """
+        self.last_trace_id = trace_id if trace_id is not None else mint_trace_id()
         body = self._round_trip(
-            {"type": "request", "request": request_to_json(request)}
+            {
+                "type": "request",
+                "request": request_to_json(request),
+                "trace": self.last_trace_id,
+            }
         )
         return response_from_json(body)
 
-    def ingest(self, trajectories: Iterable[Trajectory]) -> IngestResult:
+    def ingest(
+        self,
+        trajectories: Iterable[Trajectory],
+        *,
+        trace_id: str | None = None,
+    ) -> IngestResult:
+        self.last_trace_id = trace_id if trace_id is not None else mint_trace_id()
         body = self._round_trip(
             {
                 "type": "ingest",
                 "trajectories": [trajectory_to_json(t) for t in trajectories],
+                "trace": self.last_trace_id,
             }
         )
         return IngestResult(added=int(body["added"]), epoch=int(body["epoch"]))
@@ -146,6 +166,11 @@ class RemoteClient(Client):
     def describe(self) -> dict:
         body = self._round_trip({"type": "describe"})
         return {"transport": self.transport, **body["info"]}
+
+    def metrics(self) -> dict:
+        """The live server's metrics report (the wire ``metrics`` op)."""
+        body = self._round_trip({"type": "metrics"})
+        return body["metrics"]
 
     def close(self) -> None:
         """Send a best-effort goodbye and close the socket (idempotent)."""

@@ -16,6 +16,7 @@ from typing import Iterable
 from repro.client.base import Client, IngestResult
 from repro.data.database import TrajectoryDatabase
 from repro.data.trajectory import Trajectory
+from repro.obs.tracing import mint_trace_id
 from repro.service.requests import Response
 from repro.service.service import QueryService
 
@@ -39,12 +40,16 @@ class ServiceClient(Client):
     def epoch(self) -> int:
         return self.service.manager.epoch
 
-    def execute(self, request) -> Response:
-        return self.service.execute(request)
+    def execute(self, request, *, trace_id: str | None = None) -> Response:
+        self.last_trace_id = trace_id if trace_id is not None else mint_trace_id()
+        return self.service.execute(request, trace_id=self.last_trace_id)
 
     def ingest(self, trajectories: Iterable[Trajectory]) -> IngestResult:
         added = self.service.ingest(trajectories)
         return IngestResult(added=added, epoch=self.service.manager.epoch)
+
+    def metrics(self) -> dict:
+        return self.service.metrics_report()
 
     def describe(self) -> dict:
         return {"transport": self.transport, **self.service.describe()}

@@ -256,8 +256,24 @@ class HeapStore:
     kind = "heap"
     prefix = None
 
+    def __init__(self) -> None:
+        self._puts = 0
+        self._bytes_put = 0
+
     def put(self, array: np.ndarray, label: str = "") -> HeapArrayHandle:
-        return HeapArrayHandle(array)
+        handle = HeapArrayHandle(array)
+        self._puts += 1
+        self._bytes_put += handle.resolve().nbytes
+        return handle
+
+    def stats(self) -> dict:
+        """Placement counters (the ``metrics`` report's ``store`` section).
+
+        Heap arrays die with their last reference, so only cumulative put
+        traffic is observable — there is no resident-segment count to
+        report, unlike :meth:`SharedMemoryStore.stats`.
+        """
+        return {"kind": self.kind, "puts": self._puts, "bytes_put": self._bytes_put}
 
     def spec(self) -> tuple[str, None]:
         """Picklable description from which :func:`make_store` rebuilds."""
@@ -324,6 +340,8 @@ class SharedMemoryStore:
         self.prefix = prefix
         self._owned: dict[str, object] = {}
         self._counter = 0
+        self._puts = 0
+        self._bytes_put = 0
         self._closed = False
         self._finalizer = weakref.finalize(
             self, _cleanup_store, self._owned, self.prefix
@@ -349,7 +367,19 @@ class SharedMemoryStore:
             dest[...] = arr
             del dest
         self._owned[name] = shm
+        self._puts += 1
+        self._bytes_put += arr.nbytes
         return SharedArrayHandle(name, arr.shape, arr.dtype)
+
+    def stats(self) -> dict:
+        """Resident segments + cumulative put traffic (``metrics`` report)."""
+        return {
+            "kind": self.kind,
+            "puts": self._puts,
+            "bytes_put": self._bytes_put,
+            "segments": len(self._owned),
+            "segment_bytes": sum(shm.size for shm in self._owned.values()),
+        }
 
     def spec(self) -> tuple[str, str]:
         return ("shm", self.prefix)

@@ -1,0 +1,42 @@
+"""Observability: metrics, tracing, and benchmark-run provenance.
+
+Three small, dependency-free layers the serving stack reports through:
+
+* :mod:`~repro.obs.metrics` — :class:`MetricsRegistry` of counters,
+  gauges, and mergeable log-bucketed latency :class:`Histogram`\\ s
+  (p50/p95/p99 derived from fixed buckets; per-shard registries shipped
+  across process/wire boundaries as JSON snapshots and folded together);
+* :mod:`~repro.obs.tracing` — :class:`Tracer` ring buffer of
+  :class:`Span`\\ s keyed by a trace id minted in the client and carried
+  on the wire, exportable as JSONL;
+* :mod:`~repro.obs.provenance` — the append-only ``BENCH_*.json`` run
+  log shared by the benchmarks (full config + interpreter provenance per
+  run, schema validation, run-to-run comparison).
+"""
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.provenance import (
+    build_provenance,
+    compare_runs,
+    latest_run,
+    load_runs,
+    log_run,
+    validate_run,
+)
+from repro.obs.tracing import Span, Tracer, mint_trace_id
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "mint_trace_id",
+    "build_provenance",
+    "log_run",
+    "load_runs",
+    "latest_run",
+    "compare_runs",
+    "validate_run",
+]

@@ -1,0 +1,139 @@
+"""Benchmark run provenance: append-only BENCH_*.json run logs.
+
+Every benchmark in ``benchmarks/`` persists its measurements to a
+``BENCH_<name>.json`` file shaped as::
+
+    {"schema": 1, "benchmark": "<name>", "runs": [run, run, ...]}
+
+where each *run* carries the full configuration that produced it
+(seed, workload shape, interpreter/platform provenance) next to the
+measurements — so any number in a PR message can be traced back to the
+exact invocation that produced it, and CI can gate on regressions
+against the stored trajectory. This module centralises the append /
+load / compare plumbing so each benchmark only builds its run dict.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+from datetime import datetime, timezone
+
+__all__ = [
+    "build_provenance",
+    "log_run",
+    "load_runs",
+    "latest_run",
+    "compare_runs",
+    "validate_run",
+]
+
+SCHEMA_VERSION = 1
+
+
+def build_provenance() -> dict:
+    """Interpreter/platform facts that travel inside every run's config."""
+    import numpy as np
+
+    return {
+        "python": sys.version.split()[0],
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+    }
+
+
+def log_run(path: str, benchmark: str, run: dict) -> dict:
+    """Append one run to ``path``, creating the file if needed.
+
+    Returns the full document written. Refuses to append to a file whose
+    ``benchmark`` name differs — run logs are per-benchmark, not shared.
+    """
+    doc = {"schema": SCHEMA_VERSION, "benchmark": benchmark, "runs": []}
+    if os.path.exists(path):
+        with open(path) as fh:
+            existing = json.load(fh)
+        if existing.get("benchmark") not in (None, benchmark):
+            raise ValueError(
+                f"{path} holds runs for benchmark "
+                f"{existing.get('benchmark')!r}, not {benchmark!r}"
+            )
+        doc["runs"] = list(existing.get("runs", []))
+    doc["runs"].append(run)
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return doc
+
+
+def load_runs(path: str) -> list[dict]:
+    """All runs recorded in ``path`` (empty list if the file is absent)."""
+    if not os.path.exists(path):
+        return []
+    with open(path) as fh:
+        doc = json.load(fh)
+    return list(doc.get("runs", []))
+
+
+def latest_run(path: str) -> dict | None:
+    runs = load_runs(path)
+    return runs[-1] if runs else None
+
+
+def compare_runs(base: dict, new: dict, keys: list[str]) -> dict:
+    """Relative deltas ``(new - base) / base`` for dotted metric keys.
+
+    A key like ``"latency.p95_ms"`` drills into nested dicts. Missing or
+    non-numeric values, and zero baselines, yield ``None`` for that key.
+    """
+
+    def dig(run: dict, dotted: str):
+        node = run
+        for part in dotted.split("."):
+            if not isinstance(node, dict) or part not in node:
+                return None
+            node = node[part]
+        return node if isinstance(node, (int, float)) else None
+
+    deltas: dict[str, float | None] = {}
+    for key in keys:
+        b, n = dig(base, key), dig(new, key)
+        deltas[key] = None if b in (None, 0) or n is None else (n - b) / b
+    return deltas
+
+
+def validate_run(run: dict) -> list[str]:
+    """Schema problems with a load-harness run dict (empty list == valid)."""
+    problems: list[str] = []
+    if not isinstance(run, dict):
+        return ["run is not an object"]
+    config = run.get("config")
+    if not isinstance(config, dict):
+        problems.append("missing config object")
+    else:
+        for key in ("seed", "qps", "provenance", "workload_digest"):
+            if key not in config:
+                problems.append(f"config missing {key!r}")
+        prov = config.get("provenance")
+        if isinstance(prov, dict):
+            for key in ("python", "numpy", "platform", "timestamp"):
+                if key not in prov:
+                    problems.append(f"provenance missing {key!r}")
+        elif prov is not None:
+            problems.append("provenance is not an object")
+    latency = run.get("latency")
+    if not isinstance(latency, dict):
+        problems.append("missing latency object")
+    else:
+        for key in ("p50_ms", "p95_ms", "p99_ms", "histogram"):
+            if key not in latency:
+                problems.append(f"latency missing {key!r}")
+    if "throughput_qps" not in run:
+        problems.append("missing throughput_qps")
+    if not isinstance(run.get("server_metrics"), dict):
+        problems.append("missing server_metrics object")
+    return problems

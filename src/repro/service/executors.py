@@ -36,6 +36,7 @@ import multiprocessing
 import os
 import pickle
 import struct
+import time
 from typing import Iterable
 
 import numpy as np
@@ -112,17 +113,32 @@ def _send_message(conn, message) -> None:
     _send_frames(conn, _dump_message(message))
 
 
-def _recv_message(conn):
+def _recv_frames(conn) -> tuple[bytes, list[bytes]]:
+    """Read one message's raw frames (head + out-of-band buffers)."""
     head = conn.recv_bytes()
     (n_buffers,) = struct.unpack_from(">I", head)
     buffers = [conn.recv_bytes() for _ in range(n_buffers)]
+    return head, buffers
+
+
+def _load_message(head: bytes, buffers: list[bytes]):
     return pickle.loads(memoryview(head)[4:], buffers=buffers)
+
+
+def _recv_message(conn):
+    head, buffers = _recv_frames(conn)
+    return _load_message(head, buffers)
 
 
 class SerialShardExecutor:
     """In-process reference executor: shards run sequentially."""
 
     name = "serial"
+    #: Ambient ``(tracer, trace_id)`` set by the service around scatter
+    #: calls (None when the current request is untraced). An attribute
+    #: rather than a per-call argument so executor implementations that
+    #: predate tracing — including custom ones — keep working unchanged.
+    trace_context = None
 
     def __init__(
         self, shards: Iterable[Shard | ShardSnapshot], **runtime_kwargs
@@ -137,15 +153,34 @@ class SerialShardExecutor:
         if self._closed:
             raise ShardExecutionError("executor is closed")
 
+    def _execute_traced(self, shard_idx: int, op: str, payload: dict):
+        ctx = self.trace_context
+        if not ctx or ctx[1] is None:
+            return self.runtimes[shard_idx].execute(op, payload)
+        tracer, trace_id = ctx
+        start = time.perf_counter()
+        result = self.runtimes[shard_idx].execute(op, payload)
+        tracer.record(
+            trace_id,
+            "shard_exec",
+            time.perf_counter() - start,
+            shard=shard_idx,
+            op=op,
+        )
+        return result
+
     def broadcast(self, op: str, payload: dict) -> list:
         self._check_usable()
-        return [runtime.execute(op, payload) for runtime in self.runtimes]
+        return [
+            self._execute_traced(i, op, payload)
+            for i in range(len(self.runtimes))
+        ]
 
     def run_on(self, shard_indices, op: str, payload: dict) -> dict[int, object]:
         """Run ``op`` on the given shards only; ``{shard: result}``."""
         self._check_usable()
         return {
-            int(i): self.runtimes[int(i)].execute(op, payload)
+            int(i): self._execute_traced(int(i), op, payload)
             for i in shard_indices
         }
 
@@ -214,6 +249,8 @@ class ProcessShardExecutor:
     """
 
     name = "process"
+    #: Ambient ``(tracer, trace_id)`` — see :attr:`SerialShardExecutor.trace_context`.
+    trace_context = None
 
     def __init__(
         self,
@@ -231,6 +268,12 @@ class ProcessShardExecutor:
         self._procs = []
         self._closed = False
         self._broken = False
+        # Parent-side pipe accounting (scatter/gather traffic only; the
+        # stop handshake at close is not counted).
+        self._bytes_sent = 0
+        self._bytes_received = 0
+        self._messages_sent = 0
+        self._messages_received = 0
         try:
             for shard in shards:
                 parent_conn, child_conn = ctx.Pipe()
@@ -254,6 +297,17 @@ class ProcessShardExecutor:
 
     def worker_pids(self) -> list[int]:
         return [p.pid for p in self._procs if p.pid is not None]
+
+    def transport_stats(self) -> dict:
+        """Parent-side pipe traffic counters (the ``metrics`` report's
+        ``transport`` section)."""
+        return {
+            "n_workers": self.n_workers,
+            "pipe_bytes_sent": self._bytes_sent,
+            "pipe_bytes_received": self._bytes_received,
+            "messages_sent": self._messages_sent,
+            "messages_received": self._messages_received,
+        }
 
     def _scatter_gather(self, messages: dict[int, tuple]) -> list:
         """Send ``{shard: message}``, then collect one reply per shard sent.
@@ -282,6 +336,8 @@ class ProcessShardExecutor:
                     frames = _dump_message(message)
                     framed[id(message)] = frames
                 _send_frames(self._conns[shard_idx], frames)
+                self._bytes_sent += sum(len(f) for f in frames)
+                self._messages_sent += 1
                 sent.append(shard_idx)
             except Exception as exc:
                 # Dead worker (BrokenPipeError/OSError) or an unpicklable
@@ -292,10 +348,18 @@ class ProcessShardExecutor:
                     f"shard {shard_idx}: send failed "
                     f"({type(exc).__name__}: {exc})"
                 )
+        ctx = self.trace_context
+        tracer, trace_id = ctx if ctx else (None, None)
+        gather_start = time.perf_counter()
         replies = {}
         for shard_idx in sent:
             try:
-                replies[shard_idx] = _recv_message(self._conns[shard_idx])
+                head, buffers = _recv_frames(self._conns[shard_idx])
+                self._bytes_received += len(head) + sum(
+                    len(b) for b in buffers
+                )
+                self._messages_received += 1
+                replies[shard_idx] = _load_message(head, buffers)
             except EOFError:
                 replies[shard_idx] = ("error", "worker died mid-request")
             except BaseException:
@@ -306,6 +370,18 @@ class ProcessShardExecutor:
                 # propagating.
                 self._broken = True
                 raise
+            if tracer is not None:
+                # Per-shard gather wait: time from gather start until this
+                # shard's reply was fully read (workers overlap, so waits
+                # are cumulative along the gather order, not per-shard
+                # compute times).
+                tracer.record(
+                    trace_id,
+                    "shard_gather",
+                    time.perf_counter() - gather_start,
+                    shard=shard_idx,
+                    op=messages[shard_idx][0],
+                )
         errors.extend(
             f"shard {idx}: {value}"
             for idx, (status, value) in replies.items()

@@ -486,9 +486,14 @@ class Response:
     latency_s: float
     cached: bool
     n_shards: int
+    #: The request's trace id (minted in the client or accepted from the
+    #: wire); echoes back so callers can correlate responses with exported
+    #: spans. Excluded from equality — two transports serving the same
+    #: request produce equal responses regardless of trace ids.
+    trace_id: str | None = field(default=None, compare=False)
 
     def _meta_json(self) -> dict:
-        return {
+        out = {
             "v": PROTOCOL_VERSION,
             "kind": self.kind,
             "epoch": int(self.epoch),
@@ -496,6 +501,9 @@ class Response:
             "cached": bool(self.cached),
             "n_shards": int(self.n_shards),
         }
+        if self.trace_id is not None:
+            out["trace"] = str(self.trace_id)
+        return out
 
 
 @dataclass(frozen=True, kw_only=True)
@@ -572,6 +580,9 @@ def response_from_json(obj):
     kind = obj.get("kind")
     if kind not in REQUEST_KINDS:
         raise _fail(f"unknown response kind {kind!r}")
+    trace_id = obj.get("trace")
+    if trace_id is not None and not isinstance(trace_id, str):
+        raise _fail(f"trace must be a string or absent, got {trace_id!r}")
     try:
         meta = {
             "kind": kind,
@@ -579,6 +590,7 @@ def response_from_json(obj):
             "latency_s": float(obj["latency_s"]),
             "cached": bool(obj["cached"]),
             "n_shards": int(obj["n_shards"]),
+            "trace_id": trace_id,
         }
         if kind in ("range", "similarity"):
             cls = RangeResponse if kind == "range" else SimilarityResponse
@@ -608,7 +620,14 @@ def response_from_json(obj):
 
 
 def build_response(
-    request, payload, *, epoch: int, latency_s: float, cached: bool, n_shards: int
+    request,
+    payload,
+    *,
+    epoch: int,
+    latency_s: float,
+    cached: bool,
+    n_shards: int,
+    trace_id: str | None = None,
 ):
     """Materialize the typed response for ``request`` from a canonical payload.
 
@@ -624,6 +643,7 @@ def build_response(
         "latency_s": latency_s,
         "cached": cached,
         "n_shards": n_shards,
+        "trace_id": trace_id,
     }
     if request.kind == "range":
         return RangeResponse(result_sets=[set(s) for s in payload], **meta)
@@ -649,6 +669,8 @@ def serve_cached(
     cache_size: int,
     stats,
     dispatch,
+    tracer=None,
+    trace_id: str | None = None,
 ):
     """The shared serving loop: cache lookup, dispatch, stats, response.
 
@@ -661,11 +683,25 @@ def serve_cached(
     with no cache key are executed uncached and recorded as uncacheable
     rather than as misses, and ``dispatch(request)`` supplies the
     transport-specific execution (engine calls / shard scatter + merge).
+
+    When a ``tracer`` (:class:`repro.obs.tracing.Tracer`) and ``trace_id``
+    are supplied, ``cache_lookup`` and ``request`` spans are emitted; span
+    emission never changes the cache/stats/latency arithmetic.
     """
     start = time.perf_counter()
     request_key = request.cache_key()
     key = None if request_key is None else (request_key, epoch)
-    if key is not None and key in cache:
+    hit = key is not None and key in cache
+    if tracer is not None:
+        tracer.record(
+            trace_id,
+            "cache_lookup",
+            time.perf_counter() - start,
+            kind=request.kind,
+            hit=hit,
+            cacheable=key is not None,
+        )
+    if hit:
         cache.move_to_end(key)
         payload = cache[key]
         cached = True
@@ -677,6 +713,10 @@ def serve_cached(
             while len(cache) > cache_size:
                 cache.popitem(last=False)
     latency = time.perf_counter() - start
+    if tracer is not None:
+        tracer.record(
+            trace_id, "request", latency, kind=request.kind, cached=cached
+        )
     stats.record(request.kind, latency, cached, cacheable=request_key is not None)
     return build_response(
         request,
@@ -685,4 +725,5 @@ def serve_cached(
         latency_s=latency,
         cached=cached,
         n_shards=n_shards,
+        trace_id=trace_id,
     )

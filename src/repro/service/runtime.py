@@ -36,6 +36,8 @@ the pickled :class:`~repro.service.sharding.Shard` snapshot.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.data.bbox import BoundingBox
@@ -43,6 +45,7 @@ from repro.data.database import TrajectoryDatabase
 from repro.data.store import derive_store
 from repro.data.trajectory import Trajectory
 from repro.index.backend import make_backend, validate_backend_name
+from repro.obs.metrics import MetricsRegistry
 from repro.queries.aggregate import spatial_bin_counts
 from repro.queries.planner import plan_workload
 from repro.queries.edr import edr_distances_pairs
@@ -144,6 +147,11 @@ class ShardRuntime:
         self._pending_matrix: np.ndarray | None = None
         self._pending_owner_gids: np.ndarray | None = None
         self.compactions = 0
+        #: Shard-local instrumentation: per-op latency histograms
+        #: (``op.range``, ``op.ingest``, ...) and counters, shipped to the
+        #: service as a JSON snapshot via the ``metrics`` scatter op and
+        #: merged across shards there.
+        self.metrics = MetricsRegistry()
         self._closed = False
         self.compaction = make_compaction(compaction)
         #: Last policy pass (None until the first rebuild under this policy).
@@ -243,14 +251,19 @@ class ShardRuntime:
         triggered (usually empty), so executors can carry them back to
         the service's stats without an extra round-trip.
         """
+        start = time.perf_counter()
+        batch_points = sum(len(t) for _, t in batch)
         self._pending.extend(batch)
-        self._pending_points += sum(len(t) for _, t in batch)
+        self._pending_points += batch_points
         self._pending_matrix = None
         self._pending_owner_gids = None
         if self._pending_points >= max(
             self.min_compact_points, self.compact_threshold * self._base_points
         ):
             self.compact()
+        self.metrics.histogram("op.ingest").record(time.perf_counter() - start)
+        self.metrics.counter("ingest.trajectories").inc(len(batch))
+        self.metrics.counter("ingest.points").inc(batch_points)
         return self.take_compactions()
 
     def compact(self) -> None:
@@ -293,7 +306,15 @@ class ShardRuntime:
         staged = TrajectoryDatabase(self._base)
         result = self.compaction.compact(staged)
         self.last_compaction = result
-        self._compaction_log.append(result.counters())
+        counters = result.counters()
+        self._compaction_log.append(counters)
+        self.metrics.counter("compaction.passes").inc()
+        self.metrics.counter("compaction.points_dropped").inc(
+            int(counters.get("points_dropped", 0))
+        )
+        self.metrics.histogram("op.compact").record(
+            float(counters.get("elapsed_s", 0.0))
+        )
         published = result.database
         self._db = None
         self._engine = None
@@ -376,6 +397,11 @@ class ShardRuntime:
         gids = self._base_gids
         return [{int(gids[t]) for t in s} for s in local_sets]
 
+    #: Scatter ops whose shard-side wall time is recorded into the shard
+    #: registry's ``op.<name>`` histogram (query kinds; bookkeeping ops
+    #: like info/metrics are not timed).
+    TIMED_OPS = frozenset({"range", "count", "histogram", "knn", "similarity"})
+
     # ------------------------------------------------------------------ queries
     def execute(self, op: str, payload: dict):
         """Dispatch one scatter/gather operation (the executor wire API)."""
@@ -383,6 +409,13 @@ class ShardRuntime:
             fn = getattr(self, "op_" + op)
         except AttributeError:
             raise KeyError(f"shard runtime has no operation {op!r}") from None
+        if op in self.TIMED_OPS:
+            start = time.perf_counter()
+            result = fn(**payload)
+            self.metrics.histogram("op." + op).record(
+                time.perf_counter() - start
+            )
+            return result
         return fn(**payload)
 
     def op_range(self, boxes: list[BoundingBox]) -> list[set[int]]:
@@ -542,6 +575,10 @@ class ShardRuntime:
 
     def op_info(self) -> dict:
         return self.info()
+
+    def op_metrics(self) -> dict:
+        """This shard's registry snapshot (merged service-side over shards)."""
+        return self.metrics.snapshot()
 
     def op_take_compactions(self) -> list[dict]:
         return self.take_compactions()

@@ -45,6 +45,7 @@ import asyncio
 import json
 import struct
 import threading
+import time
 
 from repro.service.requests import (
     PROTOCOL_VERSION,
@@ -166,6 +167,40 @@ class QueryServer:
             except (ConnectionResetError, BrokenPipeError):
                 pass
 
+    # ------------------------------------------------------- worker-thread ops
+    def _traced_execute(self, request, trace_id, submitted_at: float):
+        """Run one request on the worker thread, first recording the time
+        the frame spent queued behind earlier work (the ``queue`` span)."""
+        tracer = getattr(self._service, "tracer", None)
+        if tracer is not None:
+            tracer.record(
+                trace_id,
+                "queue",
+                time.perf_counter() - submitted_at,
+                kind=request.kind,
+            )
+        if trace_id is None:
+            return self._service.execute(request)
+        return self._service.execute(request, trace_id=trace_id)
+
+    def _traced_ingest(self, trajectories, trace_id):
+        if trace_id is None:
+            return self._service.ingest(trajectories)
+        return self._service.ingest(trajectories, trace_id=trace_id)
+
+    def _metrics_body(self) -> dict:
+        return self._service.metrics_report()
+
+    async def metrics_snapshot(self) -> dict:
+        """The service's metrics report, produced on the worker thread.
+
+        For in-loop callers (the CLI's ``--metrics-interval`` logger):
+        service access must stay serialized with request execution, so the
+        snapshot queues behind in-flight queries like any other frame.
+        """
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self._pool, self._metrics_body)
+
     async def _send(self, writer: asyncio.StreamWriter, obj) -> None:
         writer.write(encode_frame(obj))
         await writer.drain()
@@ -253,10 +288,19 @@ class QueryServer:
                 if ftype == "bye":
                     await self._send(writer, {"type": "bye"})
                     return
+                trace_id = frame.get("trace")
+                if trace_id is not None and not isinstance(trace_id, str):
+                    raise RequestError(
+                        f"trace must be a string or absent, got {trace_id!r}"
+                    )
                 if ftype == "request":
                     request = request_from_json(frame.get("request"))
                     response = await loop.run_in_executor(
-                        self._pool, self._service.execute, request
+                        self._pool,
+                        self._traced_execute,
+                        request,
+                        trace_id,
+                        time.perf_counter(),
                     )
                     body = response_to_json(response)
                 elif ftype == "ingest":
@@ -267,7 +311,10 @@ class QueryServer:
                         )
                     trajectories = [trajectory_from_json(t) for t in batch]
                     added = await loop.run_in_executor(
-                        self._pool, self._service.ingest, trajectories
+                        self._pool,
+                        self._traced_ingest,
+                        trajectories,
+                        trace_id,
                     )
                     body = {
                         "v": PROTOCOL_VERSION,
@@ -280,6 +327,15 @@ class QueryServer:
                         self._pool, self._service.describe
                     )
                     body = {"v": PROTOCOL_VERSION, "kind": "describe", "info": info}
+                elif ftype == "metrics":
+                    report = await loop.run_in_executor(
+                        self._pool, self._metrics_body
+                    )
+                    body = {
+                        "v": PROTOCOL_VERSION,
+                        "kind": "metrics",
+                        "metrics": report,
+                    }
                 else:
                     raise RequestError(f"unknown frame type {ftype!r}")
                 # Encode INSIDE the guarded region: an unencodable result

@@ -41,6 +41,7 @@ construction.
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
@@ -51,6 +52,8 @@ from repro.data.database import TrajectoryDatabase
 from repro.data.store import make_store
 from repro.data.trajectory import Trajectory
 from repro.index.backend import chebyshev_gap, validate_backend_name
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.tracing import Tracer
 from repro.service._deprecation import warn_once
 from repro.service.compaction import make_compaction
 from repro.service.executors import EXECUTORS, make_executor
@@ -108,7 +111,17 @@ def knn_shard_lower_bound(
 
 @dataclass
 class ServiceStats:
-    """Latency / throughput / cache counters of one service instance."""
+    """Latency / throughput / cache counters of one service instance.
+
+    Latency is held as one mergeable log-bucketed
+    :class:`~repro.obs.metrics.Histogram` per request kind (plus one for
+    compaction passes), so p50/p95/p99 come straight from the buckets.
+    The histograms also track the exact running sum and max in record
+    order, which keeps the long-standing ``summary()`` mean/max keys
+    bit-identical to the plain accumulators they replaced; the old
+    ``total_latency_s`` / ``max_latency_s`` attribute surface remains
+    available as read-only views.
+    """
 
     requests: dict[str, int] = field(default_factory=dict)
     cache_hits: dict[str, int] = field(default_factory=dict)
@@ -116,8 +129,8 @@ class ServiceStats:
     #: can never hit, so counting them as misses would understate the hit
     #: rate of the cacheable traffic.
     uncacheable: dict[str, int] = field(default_factory=dict)
-    total_latency_s: dict[str, float] = field(default_factory=dict)
-    max_latency_s: dict[str, float] = field(default_factory=dict)
+    #: Per-kind serving-latency distributions (seconds).
+    latency: dict[str, Histogram] = field(default_factory=dict)
     ingest_batches: int = 0
     ingest_trajectories: int = 0
     ingest_points: int = 0
@@ -132,13 +145,36 @@ class ServiceStats:
     points_dropped: int = 0
     bytes_base_before: int = 0
     bytes_base_after: int = 0
-    compaction_latency_s: float = 0.0
-    max_compaction_latency_s: float = 0.0
+    #: Distribution of shard-side policy-pass wall times (seconds).
+    compaction_latency: Histogram = field(default_factory=Histogram)
 
     @property
     def bytes_base(self) -> int:
         """Current (post-policy) byte size of the absorbed base rebuilds."""
         return self.bytes_base_after
+
+    # Read-only views matching the pre-histogram attribute surface.
+    @property
+    def total_latency_s(self) -> dict[str, float]:
+        return {kind: h.sum for kind, h in self.latency.items()}
+
+    @property
+    def max_latency_s(self) -> dict[str, float]:
+        return {kind: h.max for kind, h in self.latency.items()}
+
+    @property
+    def compaction_latency_s(self) -> float:
+        return self.compaction_latency.sum
+
+    @property
+    def max_compaction_latency_s(self) -> float:
+        return self.compaction_latency.max
+
+    def latency_histogram(self, kind: str) -> Histogram:
+        hist = self.latency.get(kind)
+        if hist is None:
+            hist = self.latency[kind] = Histogram()
+        return hist
 
     def record_knn_scatter(self, dispatched: int, skipped: int) -> None:
         self.knn_shards_dispatched += dispatched
@@ -151,11 +187,7 @@ class ServiceStats:
         self.points_dropped += int(counters.get("points_dropped", 0))
         self.bytes_base_before += int(counters.get("bytes_before", 0))
         self.bytes_base_after += int(counters.get("bytes_after", 0))
-        elapsed = float(counters.get("elapsed_s", 0.0))
-        self.compaction_latency_s += elapsed
-        self.max_compaction_latency_s = max(
-            self.max_compaction_latency_s, elapsed
-        )
+        self.compaction_latency.record(float(counters.get("elapsed_s", 0.0)))
 
     def record(
         self, kind: str, latency_s: float, cached: bool, cacheable: bool = True
@@ -165,8 +197,7 @@ class ServiceStats:
             self.cache_hits[kind] = self.cache_hits.get(kind, 0) + 1
         elif not cacheable:
             self.uncacheable[kind] = self.uncacheable.get(kind, 0) + 1
-        self.total_latency_s[kind] = self.total_latency_s.get(kind, 0.0) + latency_s
-        self.max_latency_s[kind] = max(self.max_latency_s.get(kind, 0.0), latency_s)
+        self.latency_histogram(kind).record(latency_s)
 
     def record_ingest(self, trajectories: list[Trajectory]) -> None:
         self.ingest_batches += 1
@@ -198,7 +229,12 @@ class ServiceStats:
         )
 
     def summary(self) -> dict[str, float | int]:
-        """A flat report: per-kind counts, hit rates, and mean latencies."""
+        """A flat report: per-kind counts, hit rates, and latency stats.
+
+        All pre-histogram keys keep their exact former values (means and
+        maxes come from the histograms' exact sum/max accumulators); the
+        per-kind ``*_p50/p95/p99_latency_ms`` keys are bucket-derived.
+        """
         out: dict[str, float | int] = {
             "requests": self.n_requests,
             "cache_hits": self.n_cache_hits,
@@ -215,18 +251,35 @@ class ServiceStats:
         if self.compactions:
             out["bytes_base_before"] = self.bytes_base_before
             out["compaction_mean_latency_ms"] = (
-                1000.0 * self.compaction_latency_s / self.compactions
+                1000.0 * self.compaction_latency.sum / self.compactions
             )
             out["compaction_max_latency_ms"] = (
-                1000.0 * self.max_compaction_latency_s
+                1000.0 * self.compaction_latency.max
+            )
+            out["compaction_p95_latency_ms"] = (
+                1000.0 * self.compaction_latency.quantile(0.95)
             )
         for kind in sorted(self.requests):
             n = self.requests[kind]
+            hist = self.latency_histogram(kind)
             out[f"{kind}_requests"] = n
             out[f"{kind}_cache_hits"] = self.cache_hits.get(kind, 0)
             out[f"{kind}_cache_misses"] = self.cache_misses(kind)
-            out[f"{kind}_mean_latency_ms"] = 1000.0 * self.total_latency_s[kind] / n
-            out[f"{kind}_max_latency_ms"] = 1000.0 * self.max_latency_s[kind]
+            out[f"{kind}_mean_latency_ms"] = 1000.0 * hist.sum / n
+            out[f"{kind}_max_latency_ms"] = 1000.0 * hist.max
+            out[f"{kind}_p50_latency_ms"] = 1000.0 * hist.quantile(0.50)
+            out[f"{kind}_p95_latency_ms"] = 1000.0 * hist.quantile(0.95)
+            out[f"{kind}_p99_latency_ms"] = 1000.0 * hist.quantile(0.99)
+        return out
+
+    def histograms(self) -> dict[str, dict]:
+        """JSON-safe encodings of every latency histogram (per request
+        kind, plus ``"compaction"`` once any pass has been absorbed)."""
+        out = {
+            kind: hist.to_json() for kind, hist in sorted(self.latency.items())
+        }
+        if self.compactions:
+            out["compaction"] = self.compaction_latency.to_json()
         return out
 
 
@@ -296,6 +349,7 @@ class QueryService:
         store: str = "heap",
         compaction="exact",
         error_budget: float | None = None,
+        trace_capacity: int = 4096,
     ) -> None:
         if (db is None) == (manager is None):
             raise ValueError("pass exactly one of db or manager")
@@ -304,6 +358,7 @@ class QueryService:
             manager = ShardManager.create(db, n_shards, partitioner)
         self.manager = manager
         self.index = index
+        self.tracer = Tracer(trace_capacity)
         self.executor_name = executor if isinstance(executor, str) else "custom"
         self.compaction = make_compaction(compaction, error_budget=error_budget)
         self._store = make_store(store)
@@ -348,8 +403,14 @@ class QueryService:
             )
 
     # ----------------------------------------------------------------- requests
-    def execute(self, request):
-        """Serve one typed request: cache lookup, shard fan-out, exact merge."""
+    def execute(self, request, *, trace_id: str | None = None):
+        """Serve one typed request: cache lookup, shard fan-out, exact merge.
+
+        ``trace_id`` (minted in a client or accepted from the wire) turns
+        on span emission for this request: cache lookup, kNN planning,
+        per-shard execution, and merge land in :attr:`tracer`. Untraced
+        requests (``None``) serve identically with no spans recorded.
+        """
         self._check_open()
         return serve_cached(
             request,
@@ -358,18 +419,28 @@ class QueryService:
             cache=self._cache,
             cache_size=self._cache_size,
             stats=self.stats,
-            dispatch=self._dispatch,
+            dispatch=lambda req: self._dispatch(req, trace_id),
+            tracer=self.tracer,
+            trace_id=trace_id,
         )
 
-    def _dispatch(self, request):
+    def _dispatch(self, request, trace_id: str | None = None):
         """Scatter one request across the shards and merge exactly."""
-        if request.kind == "knn":
-            shard_results = self._scatter_knn(request)
-        else:
-            shard_results = self._executor.broadcast(
-                request.kind, request.payload(self)
-            )
-        return self._merge(request, shard_results)
+        # Executors pick the ambient trace context up from this attribute
+        # (set here rather than passed per-call so custom executors that
+        # predate tracing keep working unchanged).
+        self._executor.trace_context = (self.tracer, trace_id)
+        try:
+            if request.kind == "knn":
+                shard_results = self._scatter_knn(request, trace_id)
+            else:
+                shard_results = self._executor.broadcast(
+                    request.kind, request.payload(self)
+                )
+        finally:
+            self._executor.trace_context = None
+        with self.tracer.span(trace_id, "merge", kind=request.kind):
+            return self._merge(request, shard_results)
 
     # ------------------------------------------------------------- kNN scatter
     def _knn_shard_bounds(self, request) -> "list[list[float]] | None":
@@ -446,7 +517,7 @@ class QueryService:
                 return False
         return True
 
-    def _scatter_knn(self, request) -> list:
+    def _scatter_knn(self, request, trace_id: str | None = None) -> list:
         """Fan a kNN request out, skipping provably irrelevant shards.
 
         Returns per-shard partial results in shard order (empty partials
@@ -456,13 +527,19 @@ class QueryService:
         """
         n_shards = self.manager.n_shards
         payload = request.payload(self)
+        plan_start = time.perf_counter()
         bounds = self._knn_shard_bounds(request)
+        plan_s = time.perf_counter() - plan_start
         if (
             bounds is None
             or n_shards <= 1
             or int(request.k) < 1  # let shards raise their documented error
             or not hasattr(self._executor, "run_on")
         ):
+            self.tracer.record(
+                trace_id, "plan", plan_s, kind="knn",
+                bounded=False, dispatched=n_shards, skipped=0,
+            )
             results = self._executor.broadcast("knn", payload)
             self.stats.record_knn_scatter(len(results), 0)
             return results
@@ -529,6 +606,10 @@ class QueryService:
                     absorb(s, result)
                 dispatched += len(wave2)
         self.stats.record_knn_scatter(dispatched, skipped)
+        self.tracer.record(
+            trace_id, "plan", plan_s, kind="knn",
+            bounded=True, dispatched=dispatched, skipped=skipped,
+        )
         return shard_results
 
     def _merge(self, request, shard_results):
@@ -635,7 +716,7 @@ class QueryService:
         )
 
     # ------------------------------------------------------------------- ingest
-    def ingest(self, trajectories) -> int:
+    def ingest(self, trajectories, *, trace_id: str | None = None) -> int:
         """Stream a batch of trajectories into the service.
 
         Routes each trajectory to its shard (pending tier — no engine
@@ -654,25 +735,93 @@ class QueryService:
         batch = list(trajectories)
         if not batch:
             return 0
-        routed = self.manager.plan_ingest(batch)
-        try:
-            drained = self._executor.ingest(routed)
-        except Exception:
-            # The executor may have applied the batch on a subset of shards
-            # before failing; results would silently omit or double-count
-            # rows, so stop serving.
-            self._failed = True
-            raise
-        self.manager.commit_ingest(routed)
-        self.stats.record_ingest(batch)
-        self._absorb_compactions(drained)
+        with self.tracer.span(trace_id, "ingest", batch=len(batch)):
+            routed = self.manager.plan_ingest(batch)
+            try:
+                drained = self._executor.ingest(routed)
+            except Exception:
+                # The executor may have applied the batch on a subset of
+                # shards before failing; results would silently omit or
+                # double-count rows, so stop serving.
+                self._failed = True
+                raise
+            self.manager.commit_ingest(routed)
+            self.stats.record_ingest(batch)
+            self._absorb_compactions(drained, trace_id=trace_id)
         return len(batch)
 
-    def _absorb_compactions(self, per_shard: "list | None") -> None:
-        """Fold shard-side compaction counter dicts into the stats."""
-        for counters_list in per_shard or []:
+    def _absorb_compactions(
+        self, per_shard: "list | None", trace_id: str | None = None
+    ) -> None:
+        """Fold shard-side compaction counter dicts into the stats (and,
+        when tracing, emit one ``compaction_pass`` span per pass with the
+        shard-measured wall time)."""
+        for shard_idx, counters_list in enumerate(per_shard or []):
             for counters in counters_list or []:
                 self.stats.record_compaction(counters)
+                self.tracer.record(
+                    trace_id,
+                    "compaction_pass",
+                    float(counters.get("elapsed_s", 0.0)),
+                    shard=shard_idx,
+                    points_dropped=int(counters.get("points_dropped", 0)),
+                    bytes_after=int(counters.get("bytes_after", 0)),
+                )
+
+    # ------------------------------------------------------------ observability
+    def metrics_report(self, include_shards: bool = True) -> dict:
+        """One JSON-safe snapshot of everything this service can measure.
+
+        The report the wire ``metrics`` op (and ``repro serve
+        --metrics-interval``) ships::
+
+            {
+              "summary":    ServiceStats.summary() (bit-identical),
+              "histograms": per-kind latency histograms (bucket encodings),
+              "store":      array-store counters (segments/bytes for shm),
+              "transport":  executor pipe accounting (process executor),
+              "shards":     merged per-shard runtime registries
+                            (op.* histograms folded over shards),
+              "trace":      ring-buffer occupancy,
+              "epoch", "n_shards", "executor"
+            }
+
+        ``include_shards=False`` skips the shard broadcast (one scatter
+        round-trip) for cheap periodic snapshots.
+        """
+        self._check_open()
+        report: dict = {
+            "summary": self.stats.summary(),
+            "histograms": self.stats.histograms(),
+            "epoch": self.manager.epoch,
+            "n_shards": self.manager.n_shards,
+            "executor": self.executor_name,
+            "trace": {
+                "buffered_spans": len(self.tracer),
+                "recorded_spans": self.tracer.recorded,
+            },
+        }
+        store_stats = getattr(self._store, "stats", None)
+        if callable(store_stats):
+            report["store"] = store_stats()
+        transport_stats = getattr(self._executor, "transport_stats", None)
+        if callable(transport_stats):
+            report["transport"] = transport_stats()
+        if include_shards:
+            try:
+                merged = MetricsRegistry()
+                for snapshot in self._executor.broadcast("metrics", {}):
+                    merged.merge_snapshot(snapshot)
+                report["shards"] = merged.snapshot()
+            except Exception as exc:
+                # A broken executor must stay visible in the report, not
+                # take the whole snapshot down with it.
+                report["shards_error"] = f"{type(exc).__name__}: {exc}"
+        return report
+
+    def trace_export(self, trace_id: str | None = None) -> str:
+        """The buffered spans as JSONL (optionally for one trace id)."""
+        return self.tracer.export_jsonl(trace_id)
 
     # ---------------------------------------------------------------- lifecycle
     def describe(self) -> dict:

@@ -1,0 +1,131 @@
+"""The open-loop load harness: determinism, provenance, stored quantiles.
+
+The harness's whole value is replayability: the same ``--seed`` must
+offer the byte-identical request schedule (proved by the sha256 digest
+stored with every run), and every appended run must carry enough
+provenance that a latency regression can be attributed. The end-to-end
+test actually drives a subprocess ``repro serve --listen`` server twice
+and checks both appended records, including that the stored p50/p95/p99
+are exactly the quantiles derivable from the stored histogram buckets.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+import numpy as np
+import pytest
+
+from benchmarks import bench_load
+from repro.data import synthetic_database
+from repro.obs.metrics import Histogram
+from repro.obs.provenance import load_runs, validate_run
+
+
+def harness_args(**overrides) -> argparse.Namespace:
+    base = dict(
+        qps=40.0, seed=7, requests=20, clients=2, ingest_ratio=0.1,
+        zipf_a=1.5, trajectories=16, shards=2, partitioner="hash",
+        executor="serial", index="grid", store="heap",
+    )
+    base.update(overrides)
+    return argparse.Namespace(**base)
+
+
+def small_db(args):
+    return synthetic_database(
+        "geolife",
+        n_trajectories=args.trajectories,
+        points_scale=0.08,
+        seed=args.seed,
+    )
+
+
+class TestSchedule:
+    def test_same_seed_same_schedule_and_digest(self):
+        args = harness_args()
+        db = small_db(args)
+        s1, p1, d1 = bench_load.build_schedule(db, args)
+        s2, p2, d2 = bench_load.build_schedule(db, args)
+        assert s1 == s2
+        assert p1 == p2
+        assert d1 == d2
+
+    def test_different_seed_different_digest(self):
+        a1 = harness_args(seed=7)
+        a2 = harness_args(seed=8)
+        _, _, d1 = bench_load.build_schedule(small_db(a1), a1)
+        _, _, d2 = bench_load.build_schedule(small_db(a2), a2)
+        assert d1 != d2
+
+    def test_schedule_shape(self):
+        args = harness_args(requests=60, ingest_ratio=0.2)
+        schedule, pools, digest = bench_load.build_schedule(small_db(args), args)
+        assert len(schedule) == 60
+        assert len(digest) == 64
+        ops = {entry["op"] for entry in schedule}
+        assert "ingest" in ops  # 20% of 60 slots: overwhelmingly likely
+        assert ops <= {"range", "count", "histogram", "knn",
+                       "similarity", "ingest"}
+        assert json.dumps({"pools": pools, "schedule": schedule})  # JSON-safe
+
+    def test_zero_ingest_ratio_schedules_no_ingest(self):
+        args = harness_args(requests=40, ingest_ratio=0.0)
+        schedule, _, _ = bench_load.build_schedule(small_db(args), args)
+        assert all(entry["op"] != "ingest" for entry in schedule)
+
+
+class TestEndToEnd:
+    @pytest.fixture(scope="class")
+    def two_runs(self, tmp_path_factory):
+        """Drive the live-server harness twice into one provenance log."""
+        out = tmp_path_factory.mktemp("bench") / "BENCH_load.json"
+        argv = [
+            "--qps", "40", "--seed", "7", "--requests", "12",
+            "--trajectories", "16", "--clients", "2",
+            "--ingest-ratio", "0.1", "--out", str(out),
+        ]
+        assert bench_load.main(argv) == 0
+        assert bench_load.main(argv) == 0
+        return out
+
+    def test_two_runs_appended_with_identical_digest(self, two_runs):
+        runs = load_runs(two_runs)
+        assert len(runs) == 2
+        digests = [r["config"]["workload_digest"] for r in runs]
+        assert digests[0] == digests[1]  # identical workload sequence
+        for run in runs:
+            assert validate_run(run) == []
+            assert run["completed"] == 12
+            assert run["errors"] == []
+            assert run["throughput_qps"] > 0
+            assert run["config"]["provenance"]["python"]
+
+    def test_stored_quantiles_derive_from_stored_buckets(self, two_runs):
+        for run in load_runs(two_runs):
+            hist = Histogram.from_json(run["latency"]["histogram"])
+            assert hist.count == run["completed"]
+            for q, key in ((0.5, "p50_ms"), (0.95, "p95_ms"), (0.99, "p99_ms")):
+                assert run["latency"][key] == pytest.approx(
+                    1000.0 * hist.quantile(q), rel=1e-12
+                )
+
+    def test_server_metrics_recorded_with_run(self, two_runs):
+        run = load_runs(two_runs)[-1]
+        summary = run["server_metrics"]["summary"]
+        assert summary["requests"] > 0
+        assert "histograms" in run["server_metrics"]
+        # Per-kind client-side histograms cover every op that completed.
+        per_kind_total = sum(
+            h["count"] for h in run["latency"]["per_kind"].values()
+        )
+        assert per_kind_total == run["completed"]
+
+    def test_validate_mode_accepts_the_log(self, two_runs, capsys):
+        assert bench_load.validate_file(two_runs) == 0
+        broken = json.loads(two_runs.read_text())
+        broken["runs"][0]["latency"]["p50_ms"] += 1.0
+        bad = two_runs.parent / "broken.json"
+        bad.write_text(json.dumps(broken))
+        assert bench_load.validate_file(bad) == 1
