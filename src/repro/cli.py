@@ -273,7 +273,14 @@ def _serve_listen(args, service) -> int:
                 sink.close()
 
     async def _run() -> None:
-        server = QueryServer(service, host, port)
+        server = QueryServer(
+            service,
+            host,
+            port,
+            workers=getattr(args, "workers", None),
+            max_inflight=getattr(args, "max_inflight", None),
+            auth_token=getattr(args, "auth_token", None),
+        )
         await server.start()
         # The parseable "listening on" line is the startup contract scripts
         # and tests wait for (port 0 resolves to an OS-assigned port).
@@ -446,7 +453,9 @@ def _cmd_client(args: argparse.Namespace) -> int:
         query_db = load_database(args.query_db)
         lookup = query_db.__getitem__
     host, port = _parse_hostport(args.connect)
-    client = RemoteClient(host, port, timeout=args.timeout)
+    client = RemoteClient(
+        host, port, timeout=args.timeout, auth_token=args.auth_token
+    )
     try:
         if args.type == "describe":
             print(json.dumps(client.describe()))
@@ -597,6 +606,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metrics-out",
                    help="append periodic metrics snapshots to this JSONL file "
                    "instead of stdout (requires --metrics-interval)")
+    p.add_argument("--workers", type=int, default=None, metavar="N",
+                   help="with --listen: worker threads executing independent "
+                   "requests concurrently (default: cpu count, capped at 8; "
+                   "1 restores fully serialized execution). Ingest always "
+                   "serializes behind the epoch write lock, so answers are "
+                   "identical at any worker count")
+    p.add_argument("--max-inflight", type=int, default=None, metavar="N",
+                   help="with --listen: bound on admitted-but-unanswered "
+                   "frames across all connections (default 4x --workers); "
+                   "frames over the bound get a typed 'Overloaded' error "
+                   "frame instead of queueing without limit")
+    p.add_argument("--auth-token",
+                   help="with --listen: require this token in every client "
+                   "handshake (clients pass --auth-token / auth_token=...)")
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
@@ -626,6 +649,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--ingest", help="database file to stream in (type=ingest)")
     p.add_argument("--timeout", type=float, default=60.0,
                    help="socket timeout in seconds")
+    p.add_argument("--auth-token",
+                   help="handshake token for servers started with "
+                   "`repro serve --listen --auth-token`")
     p.set_defaults(func=_cmd_client)
 
     p = sub.add_parser("query", help="one-shot sharded query against a database")

@@ -11,7 +11,10 @@ benchmarks, examples — speaks to a database through the same
   :class:`~repro.service.service.QueryService` with scatter/gather
   executors and streaming ingest;
 * :class:`RemoteClient` — a synchronous facade over the asyncio socket
-  front-end (:mod:`repro.service.server`, ``repro serve --listen``).
+  front-end (:mod:`repro.service.server`, ``repro serve --listen``);
+* :class:`AsyncRemoteClient` — the pipelined asyncio core under
+  :class:`RemoteClient`: connection pooling, in-flight pipelining with a
+  backpressure cap, retry-with-backoff (see :mod:`repro.client.aio`).
 
 The three are property-tested **bit-identical** for all five query kinds
 (range, count, histogram, kNN, similarity) under interleaved ingest —
@@ -37,6 +40,7 @@ Quickstart::
     handle.stop()
 """
 
+from repro.client.aio import AsyncRemoteClient, OverloadedError
 from repro.client.base import Client, IngestResult
 from repro.client.local import LocalClient
 from repro.client.remote import RemoteClient, ServerError
@@ -49,7 +53,9 @@ __all__ = [
     "LocalClient",
     "ServiceClient",
     "RemoteClient",
+    "AsyncRemoteClient",
     "ServerError",
+    "OverloadedError",
     "RequestError",
     "PROTOCOL_VERSION",
 ]

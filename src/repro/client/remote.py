@@ -1,41 +1,44 @@
 """:class:`RemoteClient` — a synchronous facade over the socket front-end.
 
-Speaks the length-prefixed JSON frame protocol of
-:mod:`repro.service.server` over one blocking TCP connection: a version
-handshake at connect time, then strictly request/reply. Requests carry a
-monotonically increasing ``id`` that the server echoes; a mismatched echo
-raises — the client *proves* nothing was dropped or reordered rather than
-assuming it. Server-side failures arrive as structured error frames and
-re-raise here as :class:`~repro.service.requests.RequestError` (the
-request was malformed or unsupported) or :class:`ServerError` (the server
-failed executing it). The client is thread-safe: a lock serializes the
-frame round-trip, so concurrent benchmark threads can share a connection
-or open one each.
+The wire code lives exactly once, in
+:class:`repro.client.aio.AsyncRemoteClient`; this class runs one on a
+private event-loop thread and blocks on each call with
+``asyncio.run_coroutine_threadsafe``. Requests carry a monotonically
+increasing ``id`` that the server echoes; a mismatched echo raises — the
+client *proves* nothing was dropped or reordered rather than assuming
+it. Server-side failures arrive as structured error frames and re-raise
+here as :class:`~repro.service.requests.RequestError` (the request was
+malformed or unsupported), :class:`OverloadedError` (the server's
+admission control refused it and the retry budget ran out), or
+:class:`ServerError` (the server failed executing it). The client is
+thread-safe: ``run_coroutine_threadsafe`` serializes nothing but is safe
+from any thread, and the async core keys every reply by id.
+
+The facade's pipeline depth is its caller's concurrency: each blocking
+call occupies one slot of the async core's ``max_inflight`` window, so
+one thread gets the historical strict request/reply behaviour while many
+threads sharing one client genuinely pipeline over its pooled
+connections.
 """
 
 from __future__ import annotations
 
-import json
-import socket
+import asyncio
 import threading
 from typing import Iterable
 
+from repro.client.aio import AsyncRemoteClient, OverloadedError, ServerError
 from repro.client.base import Client, IngestResult
 from repro.data.trajectory import Trajectory
 from repro.obs.tracing import mint_trace_id
 from repro.service.requests import (
-    PROTOCOL_VERSION,
-    RequestError,
     Response,
     request_to_json,
     response_from_json,
     trajectory_to_json,
 )
-from repro.service.server import FRAME_HEADER, MAX_FRAME_BYTES, encode_frame
 
-
-class ServerError(RuntimeError):
-    """The server answered with an error frame for a well-formed request."""
+__all__ = ["RemoteClient", "ServerError", "OverloadedError"]
 
 
 class RemoteClient(Client):
@@ -48,85 +51,86 @@ class RemoteClient(Client):
         :func:`repro.service.server.serve_in_thread` and the
         ``repro serve --listen`` CLI).
     timeout:
-        Socket timeout in seconds for connect and each reply.
+        Seconds to wait for connect and for each reply.
+    auth_token:
+        Handshake token for servers started with ``--auth-token``.
+    connections, max_inflight, retries:
+        Forwarded to the async core (useful when many threads share one
+        client); the single-threaded defaults reproduce the historical
+        one-connection strict request/reply behaviour.
     """
 
     transport = "remote"
 
-    def __init__(self, host: str, port: int, *, timeout: float = 60.0) -> None:
-        self._lock = threading.Lock()
-        self._next_id = 0
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: float = 60.0,
+        auth_token: str | None = None,
+        connections: int = 1,
+        max_inflight: int = 32,
+        retries: int = 2,
+    ) -> None:
         self._closed = False
-        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, name="repro-client", daemon=True
+        )
+        self._thread.start()
         try:
-            self._sock.sendall(
-                encode_frame({"type": "hello", "version": PROTOCOL_VERSION})
+            self._aclient: AsyncRemoteClient = self._call(
+                AsyncRemoteClient.open(
+                    host,
+                    port,
+                    timeout=timeout,
+                    auth_token=auth_token,
+                    connections=connections,
+                    max_inflight=max_inflight,
+                    retries=retries,
+                )
             )
-            hello = self._read_frame()
-            if hello.get("type") == "error":
-                raise RequestError(hello["error"]["message"])
-            if hello.get("type") != "hello" or hello.get("version") != PROTOCOL_VERSION:
-                raise ServerError(f"unexpected handshake reply: {hello!r}")
-            #: Serving metadata from the handshake (shard layout, epoch, ...).
-            self.server_info: dict = hello.get("server", {})
         except BaseException:
-            self._sock.close()
             self._closed = True
+            self._stop_loop()
             raise
+        #: Serving metadata from the handshake (shard layout, epoch, ...).
+        self.server_info: dict = self._aclient.server_info
 
     @classmethod
-    def connect(cls, address: str, *, timeout: float = 60.0) -> "RemoteClient":
+    def connect(cls, address: str, **kwargs) -> "RemoteClient":
         """Connect to a ``HOST:PORT`` string (the CLI's ``--connect`` form)."""
         host, _, port = address.rpartition(":")
         if not host or not port.isdigit():
             raise ValueError(f"expected HOST:PORT, got {address!r}")
-        return cls(host, int(port), timeout=timeout)
+        return cls(host, int(port), **kwargs)
+
+    # ------------------------------------------------------------ loop plumbing
+    def _call(self, coro):
+        """Run one coroutine on the client loop, blocking for its result."""
+        return asyncio.run_coroutine_threadsafe(coro, self._loop).result()
+
+    def _stop_loop(self) -> None:
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=10.0)
+        if not self._thread.is_alive():
+            self._loop.close()
 
     # ----------------------------------------------------------------- framing
-    def _recv_exact(self, n: int) -> bytes:
-        buf = bytearray()
-        while len(buf) < n:
-            chunk = self._sock.recv(n - len(buf))
-            if not chunk:
-                raise ConnectionError("server closed the connection")
-            buf += chunk
-        return bytes(buf)
-
-    def _read_frame(self) -> dict:
-        (length,) = FRAME_HEADER.unpack(self._recv_exact(FRAME_HEADER.size))
-        if length > MAX_FRAME_BYTES:
-            raise ServerError(f"oversized frame announced ({length} bytes)")
-        return json.loads(self._recv_exact(length))
-
     def _round_trip(self, frame: dict) -> dict:
-        """Send one frame, return the matching reply body (id-checked)."""
+        """Send one frame, return the matching reply body (id-checked).
+
+        Ingest frames keep their no-retry-on-reset contract; everything
+        else is idempotent (see :mod:`repro.client.aio`).
+        """
         if self._closed:
             raise RuntimeError("client is closed")
-        with self._lock:
-            rid = self._next_id
-            self._next_id += 1
-            frame = {**frame, "id": rid}
-            self._sock.sendall(encode_frame(frame))
-            reply = self._read_frame()
-        if reply.get("type") == "error":
-            # An error frame for a DIFFERENT id is a stale reply (e.g. after
-            # a timeout), not this request's verdict — fail loudly instead
-            # of blaming a well-formed request. Framing-level errors carry
-            # id None and are accepted as ours.
-            if reply.get("id") not in (None, rid):
-                raise ServerError(
-                    f"response out of order: sent id {rid}, got {reply!r}"
-                )
-            error = reply.get("error", {})
-            message = error.get("message", "unknown server error")
-            if error.get("type") == "RequestError":
-                raise RequestError(message)
-            raise ServerError(f"{error.get('type', 'Error')}: {message}")
-        if reply.get("type") != "response" or reply.get("id") != rid:
-            raise ServerError(
-                f"response out of order: sent id {rid}, got {reply!r}"
+        return self._call(
+            self._aclient._round_trip(
+                frame, idempotent=frame.get("type") != "ingest"
             )
-        return reply["response"]
+        )
 
     # ---------------------------------------------------------------- protocol
     def execute(self, request, *, trace_id: str | None = None) -> Response:
@@ -173,15 +177,13 @@ class RemoteClient(Client):
         return body["metrics"]
 
     def close(self) -> None:
-        """Send a best-effort goodbye and close the socket (idempotent)."""
+        """Send best-effort goodbyes and stop the loop thread (idempotent)."""
         if self._closed:
             return
         self._closed = True
         try:
-            with self._lock:
-                self._sock.sendall(encode_frame({"type": "bye"}))
-                self._read_frame()  # the server's bye ack
-        except OSError:
+            self._call(self._aclient.close())
+        except Exception:
             pass
         finally:
-            self._sock.close()
+            self._stop_loop()

@@ -36,6 +36,7 @@ import multiprocessing
 import os
 import pickle
 import struct
+import threading
 import time
 from typing import Iterable
 
@@ -130,21 +131,57 @@ def _recv_message(conn):
     return _load_message(head, buffers)
 
 
+class _TraceContextProperty:
+    """Thread-local ``trace_context`` descriptor shared by both executors.
+
+    The service sets the ambient ``(tracer, trace_id)`` around each scatter
+    call. With the server's worker pool, many requests run through ONE
+    executor concurrently, so the context must be per-thread: a plain
+    attribute would let request A's trace id label request B's shard spans.
+    Kept as an attribute-shaped API (get/set ``executor.trace_context``)
+    so executor implementations that predate tracing — including custom
+    ones — keep working unchanged.
+    """
+
+    def __set_name__(self, owner, name):
+        self._slot = f"_{name}_local"
+
+    def _local(self, instance) -> threading.local:
+        local = instance.__dict__.get(self._slot)
+        if local is None:
+            local = threading.local()
+            instance.__dict__[self._slot] = local
+        return local
+
+    def __get__(self, instance, owner=None):
+        if instance is None:
+            return self
+        return getattr(self._local(instance), "ctx", None)
+
+    def __set__(self, instance, value):
+        self._local(instance).ctx = value
+
+
 class SerialShardExecutor:
-    """In-process reference executor: shards run sequentially."""
+    """In-process reference executor: shards run sequentially.
+
+    Thread safety: each shard runtime is guarded by its own lock, so
+    concurrent requests from the server's worker pool serialize *per
+    shard* while still overlapping across shards (and overlapping all
+    pure-python bookkeeping). Single-threaded callers never contend.
+    """
 
     name = "serial"
-    #: Ambient ``(tracer, trace_id)`` set by the service around scatter
-    #: calls (None when the current request is untraced). An attribute
-    #: rather than a per-call argument so executor implementations that
-    #: predate tracing — including custom ones — keep working unchanged.
-    trace_context = None
+    #: Ambient per-thread ``(tracer, trace_id)`` set by the service around
+    #: scatter calls (None when the current request is untraced).
+    trace_context = _TraceContextProperty()
 
     def __init__(
         self, shards: Iterable[Shard | ShardSnapshot], **runtime_kwargs
     ) -> None:
         self._closed = False
         self.runtimes = [ShardRuntime(s, **runtime_kwargs) for s in shards]
+        self._locks = [threading.Lock() for _ in self.runtimes]
 
     def _check_usable(self) -> None:
         # Same use-after-close contract as ProcessShardExecutor: a closed
@@ -156,10 +193,12 @@ class SerialShardExecutor:
     def _execute_traced(self, shard_idx: int, op: str, payload: dict):
         ctx = self.trace_context
         if not ctx or ctx[1] is None:
-            return self.runtimes[shard_idx].execute(op, payload)
+            with self._locks[shard_idx]:
+                return self.runtimes[shard_idx].execute(op, payload)
         tracer, trace_id = ctx
         start = time.perf_counter()
-        result = self.runtimes[shard_idx].execute(op, payload)
+        with self._locks[shard_idx]:
+            result = self.runtimes[shard_idx].execute(op, payload)
         tracer.record(
             trace_id,
             "shard_exec",
@@ -184,10 +223,14 @@ class SerialShardExecutor:
             for i in shard_indices
         }
 
+    def _ingest_one(self, shard_idx: int, batch) -> object:
+        with self._locks[shard_idx]:
+            return self.runtimes[shard_idx].ingest(batch)
+
     def ingest(self, routed: dict[int, list]) -> list:
         self._check_usable()
         return [
-            self.runtimes[shard_idx].ingest(routed[shard_idx])
+            self._ingest_one(shard_idx, routed[shard_idx])
             for shard_idx in sorted(routed)
         ]
 
@@ -195,8 +238,9 @@ class SerialShardExecutor:
         if self._closed:
             return
         self._closed = True
-        for runtime in self.runtimes:
-            runtime.close()
+        for shard_idx, runtime in enumerate(self.runtimes):
+            with self._locks[shard_idx]:
+                runtime.close()
 
     def __enter__(self) -> "SerialShardExecutor":
         return self
@@ -249,8 +293,9 @@ class ProcessShardExecutor:
     """
 
     name = "process"
-    #: Ambient ``(tracer, trace_id)`` — see :attr:`SerialShardExecutor.trace_context`.
-    trace_context = None
+    #: Ambient per-thread ``(tracer, trace_id)`` — see
+    #: :attr:`SerialShardExecutor.trace_context`.
+    trace_context = _TraceContextProperty()
 
     def __init__(
         self,
@@ -265,6 +310,8 @@ class ProcessShardExecutor:
             mp_context = "fork" if "fork" in methods else methods[0]
         ctx = multiprocessing.get_context(mp_context)
         self._conns = []
+        self._locks: list[threading.Lock] = []
+        self._stats_lock = threading.Lock()
         self._procs = []
         self._closed = False
         self._broken = False
@@ -286,6 +333,7 @@ class ProcessShardExecutor:
                 proc.start()
                 child_conn.close()
                 self._conns.append(parent_conn)
+                self._locks.append(threading.Lock())
                 self._procs.append(proc)
         except Exception:
             self.close()
@@ -301,13 +349,14 @@ class ProcessShardExecutor:
     def transport_stats(self) -> dict:
         """Parent-side pipe traffic counters (the ``metrics`` report's
         ``transport`` section)."""
-        return {
-            "n_workers": self.n_workers,
-            "pipe_bytes_sent": self._bytes_sent,
-            "pipe_bytes_received": self._bytes_received,
-            "messages_sent": self._messages_sent,
-            "messages_received": self._messages_received,
-        }
+        with self._stats_lock:
+            return {
+                "n_workers": self.n_workers,
+                "pipe_bytes_sent": self._bytes_sent,
+                "pipe_bytes_received": self._bytes_received,
+                "messages_sent": self._messages_sent,
+                "messages_received": self._messages_received,
+            }
 
     def _scatter_gather(self, messages: dict[int, tuple]) -> list:
         """Send ``{shard: message}``, then collect one reply per shard sent.
@@ -319,7 +368,25 @@ class ProcessShardExecutor:
         pipe would be mistaken for the answer to the *next* request. All
         failures (send and execution) surface as one
         :class:`ShardExecutionError` after the drain.
+
+        Thread safety: the locks of every *target* shard's pipe are held
+        in ascending shard order for the whole scatter+gather (ascending
+        everywhere ⇒ no lock-order deadlock between concurrent requests).
+        Two requests touching disjoint shard sets — the common case once
+        the planner prunes kNN fan-out — run fully in parallel; requests
+        sharing a shard serialize on it, which is exactly the pipe's
+        one-outstanding-request protocol.
         """
+        targets = sorted(messages)
+        for shard_idx in targets:
+            self._locks[shard_idx].acquire()
+        try:
+            return self._scatter_gather_locked(messages)
+        finally:
+            for shard_idx in targets:
+                self._locks[shard_idx].release()
+
+    def _scatter_gather_locked(self, messages: dict[int, tuple]) -> list:
         errors: list[str] = []
         sent: list[int] = []
         # Serialize each distinct message object once: a broadcast hands
@@ -336,8 +403,9 @@ class ProcessShardExecutor:
                     frames = _dump_message(message)
                     framed[id(message)] = frames
                 _send_frames(self._conns[shard_idx], frames)
-                self._bytes_sent += sum(len(f) for f in frames)
-                self._messages_sent += 1
+                with self._stats_lock:
+                    self._bytes_sent += sum(len(f) for f in frames)
+                    self._messages_sent += 1
                 sent.append(shard_idx)
             except Exception as exc:
                 # Dead worker (BrokenPipeError/OSError) or an unpicklable
@@ -355,10 +423,11 @@ class ProcessShardExecutor:
         for shard_idx in sent:
             try:
                 head, buffers = _recv_frames(self._conns[shard_idx])
-                self._bytes_received += len(head) + sum(
-                    len(b) for b in buffers
-                )
-                self._messages_received += 1
+                with self._stats_lock:
+                    self._bytes_received += len(head) + sum(
+                        len(b) for b in buffers
+                    )
+                    self._messages_received += 1
                 replies[shard_idx] = _load_message(head, buffers)
             except EOFError:
                 replies[shard_idx] = ("error", "worker died mid-request")
@@ -433,16 +502,18 @@ class ProcessShardExecutor:
         if self._closed:
             return
         self._closed = True
-        for conn in self._conns:
-            try:
-                _send_message(conn, ("stop", None))
-            except (BrokenPipeError, OSError):
-                pass
-        for conn in self._conns:
-            try:
-                conn.close()
-            except OSError:
-                pass
+        for lock, conn in zip(self._locks, self._conns):
+            with lock:
+                try:
+                    _send_message(conn, ("stop", None))
+                except (BrokenPipeError, OSError):
+                    pass
+        for lock, conn in zip(self._locks, self._conns):
+            with lock:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
         for proc in self._procs:
             proc.join(timeout=5.0)
             if proc.is_alive():  # pragma: no cover - stuck worker safety net

@@ -671,6 +671,7 @@ def serve_cached(
     dispatch,
     tracer=None,
     trace_id: str | None = None,
+    cache_lock=None,
 ):
     """The shared serving loop: cache lookup, dispatch, stats, response.
 
@@ -687,11 +688,29 @@ def serve_cached(
     When a ``tracer`` (:class:`repro.obs.tracing.Tracer`) and ``trace_id``
     are supplied, ``cache_lookup`` and ``request`` spans are emitted; span
     emission never changes the cache/stats/latency arithmetic.
+
+    ``cache_lock`` (a ``threading.Lock``) guards the LRU's lookup and
+    store when many worker threads serve concurrently; cached payloads
+    are immutable, so only the ``OrderedDict`` bookkeeping needs the
+    lock, never the dispatch itself. Two threads racing the same cold key
+    both dispatch and store the identical immutable payload — wasted work
+    at worst, never a wrong answer. ``None`` (the single-threaded
+    transports) keeps the historical lock-free path.
     """
     start = time.perf_counter()
     request_key = request.cache_key()
     key = None if request_key is None else (request_key, epoch)
-    hit = key is not None and key in cache
+    if key is not None and cache_lock is not None:
+        with cache_lock:
+            hit = key in cache
+            if hit:
+                cache.move_to_end(key)
+                payload = cache[key]
+    else:
+        hit = key is not None and key in cache
+        if hit:
+            cache.move_to_end(key)
+            payload = cache[key]
     if tracer is not None:
         tracer.record(
             trace_id,
@@ -702,16 +721,20 @@ def serve_cached(
             cacheable=key is not None,
         )
     if hit:
-        cache.move_to_end(key)
-        payload = cache[key]
         cached = True
     else:
         payload = dispatch(request)
         cached = False
         if key is not None:
-            cache[key] = payload
-            while len(cache) > cache_size:
-                cache.popitem(last=False)
+            if cache_lock is not None:
+                with cache_lock:
+                    cache[key] = payload
+                    while len(cache) > cache_size:
+                        cache.popitem(last=False)
+            else:
+                cache[key] = payload
+                while len(cache) > cache_size:
+                    cache.popitem(last=False)
     latency = time.perf_counter() - start
     if tracer is not None:
         tracer.record(

@@ -1,6 +1,7 @@
 """Asyncio TCP front-end for the sharded query service.
 
-Wire protocol (spoken by :class:`repro.client.RemoteClient`):
+Wire protocol (spoken by :class:`repro.client.RemoteClient` /
+:class:`repro.client.AsyncRemoteClient`):
 
 * **Framing** — every message is one length-prefixed JSON frame: a 4-byte
   big-endian unsigned length followed by that many bytes of UTF-8 JSON.
@@ -10,30 +11,44 @@ Wire protocol (spoken by :class:`repro.client.RemoteClient`):
   ``{"type": "hello", "version": PROTOCOL_VERSION}``; the server answers
   with its own hello carrying serving metadata. A version mismatch is
   answered with a structured error frame and the connection closes — no
-  query traffic crosses an incompatible schema.
+  query traffic crosses an incompatible schema. A server started with an
+  ``auth_token`` additionally requires ``"token": <token>`` in the
+  client hello; a missing or wrong token is answered with an
+  ``AuthError`` error frame and the connection closes.
 * **Requests** — ``{"type": "request", "id": n, "request": {...}}`` with
   the request body in the canonical wire schema
   (:mod:`repro.service.requests`). The reply echoes ``id``
-  (``{"type": "response", "id": n, "response": {...}}``), so clients can
-  assert nothing was dropped or reordered. ``{"type": "ingest", "id": n,
-  "trajectories": [...]}`` streams a batch in; ``{"type": "describe"}``
-  returns serving metadata; ``{"type": "bye"}`` closes cleanly.
+  (``{"type": "response", "id": n, "response": {...}}``). **Responses are
+  matched by id, not by order**: independent requests execute on a worker
+  pool and complete out of order, so a pipelining client must key its
+  in-flight table on the echoed id (the sync client pipeline depth is 1,
+  which degenerates to the old in-order behaviour). ``{"type": "ingest",
+  "id": n, "trajectories": [...]}`` streams a batch in; ``{"type":
+  "describe"}`` returns serving metadata; ``{"type": "bye"}`` closes
+  cleanly after in-flight work drains.
 * **Errors** — malformed frames and invalid requests raise
   :class:`~repro.service.requests.RequestError` *at decode time* and are
   answered with ``{"type": "error", "id": n, "error": {"type", "message"}}``
   — the connection survives, and one client's garbage never disturbs
   another's stream.
+* **Backpressure** — the server admits at most ``max_inflight`` decoded
+  frames into the worker pool at once. A frame arriving above the bound
+  is answered *immediately* with a typed ``{"error": {"type":
+  "Overloaded"}}`` frame — it never executes, so retrying it is safe for
+  every operation including ingest.
 
-Concurrency: each connection is one asyncio task, but query execution is
-**off-loop** — requests run on a single worker thread
-(`run_in_executor`), so the event loop keeps accepting connections and
-reading frames while a query computes, and service access stays
-serialized (``QueryService`` is not thread-safe). Per-connection replies
-are inherently ordered because a handler awaits each request before
-reading the next frame.
+Concurrency: each connection is one asyncio task reading frames; every
+admitted frame becomes its own loop task that off-loads execution to a
+sized worker pool (``workers`` threads), so independent requests from one
+pipelined connection — or from many connections — run concurrently.
+Correctness under that pool lives in the service layer: queries share the
+epoch lock's read side, ingest takes its write side (see
+:class:`~repro.service._sync.RWLock`). Writes of completed responses are
+serialized per connection by an :class:`asyncio.Lock` — interleaving two
+multi-``write()`` frame sends on one socket would corrupt the stream.
 
 Shutdown is graceful: :meth:`QueryServer.stop` stops accepting, cancels
-the open connection handlers, drains the worker thread, and wakes
+the open connection handlers, drains the worker pool, and wakes
 :meth:`QueryServer.serve_forever`. :func:`serve_in_thread` packages all
 of that for tests, benchmarks, and examples that need a loopback server
 next to synchronous client code.
@@ -43,10 +58,12 @@ from __future__ import annotations
 
 import asyncio
 import json
+import os
 import struct
 import threading
 import time
 
+from repro.obs.metrics import MetricsRegistry
 from repro.service.requests import (
     PROTOCOL_VERSION,
     RequestError,
@@ -70,8 +87,18 @@ def encode_frame(obj) -> bytes:
     return FRAME_HEADER.pack(len(data)) + data
 
 
+def default_workers() -> int:
+    """Default worker-pool size: the machine's cores, capped at 8."""
+    return max(1, min(8, os.cpu_count() or 4))
+
+
 class _ConnectionClosed(Exception):
     """Internal: the peer went away (clean EOF or mid-frame cut)."""
+
+
+class _Overloaded(Exception):
+    """Internal: admission control refused a frame (maps to the typed
+    ``Overloaded`` error frame; the request never executed)."""
 
 
 async def _read_frame_bytes(reader: asyncio.StreamReader) -> bytes:
@@ -93,30 +120,71 @@ class QueryServer:
     The server borrows the service: callers that build a service for a
     server are expected to close it after :meth:`stop` (the CLI and
     :func:`serve_in_thread` do).
+
+    Parameters
+    ----------
+    workers:
+        Worker-pool threads executing admitted frames concurrently
+        (default :func:`default_workers`). ``workers=1`` restores fully
+        serialized execution.
+    max_inflight:
+        Bound on decoded-but-unanswered frames across all connections
+        (default ``4 * workers``). Frames above the bound are refused
+        with a typed ``Overloaded`` error before execution.
+    auth_token:
+        When set, client hellos must carry the same token.
     """
 
-    def __init__(self, service, host: str = "127.0.0.1", port: int = 0) -> None:
+    def __init__(
+        self,
+        service,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        workers: int | None = None,
+        max_inflight: int | None = None,
+        auth_token: str | None = None,
+    ) -> None:
         self._service = service
         self._host = host
         self._port = port
+        self.workers = default_workers() if workers is None else max(1, int(workers))
+        self.max_inflight = (
+            4 * self.workers if max_inflight is None else max(1, int(max_inflight))
+        )
+        self._auth_token = auth_token
         self._server: asyncio.AbstractServer | None = None
         self._conn_tasks: set[asyncio.Task] = set()
         self._stopped: asyncio.Event | None = None
         self._pool = None
-        #: Served/error frame counters, for banners and the CI smoke.
+        #: Decoded frames admitted to the pool and not yet answered
+        #: (loop-thread only; admission control compares it to
+        #: ``max_inflight``).
+        self._inflight = 0
+        #: Served/error/refused frame counters, for banners and CI smokes.
         self.frames_served = 0
         self.error_frames = 0
+        self.overloaded_frames = 0
+        #: Server-side registry surfaced as the ``server`` section of the
+        #: wire ``metrics`` report: per-worker-thread execution histograms
+        #: plus admission counters. Guarded by ``_registry_lock`` (worker
+        #: threads record into it concurrently).
+        self.registry = MetricsRegistry()
+        self._registry_lock = threading.Lock()
+        self._worker_handles: dict = {}
 
     # ---------------------------------------------------------------- lifecycle
     async def start(self) -> None:
         """Bind and start accepting connections (idempotent-free: call once)."""
         import concurrent.futures
 
-        # One worker thread: queries run off-loop (the event loop stays
-        # responsive) while QueryService access stays serialized — the
-        # service's LRU/stats/executor are not thread-safe.
+        # Execution runs off-loop on a sized pool: the event loop keeps
+        # accepting connections and reading frames while queries compute,
+        # and independent requests overlap. The QueryService's own locks
+        # (epoch RWLock, cache lock, stats lock, per-shard locks) carry
+        # the correctness invariants under this pool.
         self._pool = concurrent.futures.ThreadPoolExecutor(
-            max_workers=1, thread_name_prefix="repro-serve"
+            max_workers=self.workers, thread_name_prefix="repro-serve"
         )
         self._stopped = asyncio.Event()
         self._server = await asyncio.start_server(
@@ -154,12 +222,21 @@ class QueryServer:
     ) -> None:
         task = asyncio.current_task()
         self._conn_tasks.add(task)
+        # Response frames complete out of order on one socket, and a frame
+        # send is write()+drain(): without per-connection serialization two
+        # completing requests could interleave their bytes mid-frame.
+        write_lock = asyncio.Lock()
+        pending: set[asyncio.Task] = set()
         try:
-            if await self._handshake(reader, writer):
-                await self._serve_frames(reader, writer)
+            if await self._handshake(reader, writer, write_lock):
+                await self._serve_frames(reader, writer, write_lock, pending)
         except (_ConnectionClosed, ConnectionResetError, BrokenPipeError):
             pass  # peer vanished; nothing to answer
         finally:
+            for t in pending:
+                t.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
             self._conn_tasks.discard(task)
             writer.close()
             try:
@@ -168,68 +245,124 @@ class QueryServer:
                 pass
 
     # ------------------------------------------------------- worker-thread ops
+    def _record_worker(self, op: str, exec_s: float) -> None:
+        """Per-worker-thread execution histogram (``server`` metrics section).
+
+        Instrument handles are memoized per ``(thread, op)`` — the name
+        formatting and registry lookups would otherwise run on every
+        request of a hot serving loop. The unlocked dict probe is safe:
+        a racing first-record for the same key resolves to the same
+        registry-owned instruments, so the last cache write is identical.
+        """
+        worker = threading.current_thread().name
+        key = (worker, op)
+        handles = self._worker_handles.get(key)
+        if handles is None:
+            with self._registry_lock:
+                handles = (
+                    self.registry.histogram(f"worker.{worker}.exec_s"),
+                    self.registry.counter(f"worker.{worker}.{op}"),
+                )
+            self._worker_handles[key] = handles
+        hist, counter = handles
+        with self._registry_lock:
+            hist.record(exec_s)
+            counter.inc()
+
     def _traced_execute(self, request, trace_id, submitted_at: float):
-        """Run one request on the worker thread, first recording the time
-        the frame spent queued behind earlier work (the ``queue`` span)."""
+        """Run one request on a worker thread, first recording the time the
+        frame spent queued between decode and pickup (``queue`` span +
+        the stats queue-wait histogram)."""
+        wait_s = time.perf_counter() - submitted_at
+        stats = getattr(self._service, "stats", None)
+        if stats is not None:
+            stats.record_queue_wait(wait_s)
         tracer = getattr(self._service, "tracer", None)
         if tracer is not None:
-            tracer.record(
-                trace_id,
-                "queue",
-                time.perf_counter() - submitted_at,
-                kind=request.kind,
-            )
-        if trace_id is None:
-            return self._service.execute(request)
-        return self._service.execute(request, trace_id=trace_id)
+            tracer.record(trace_id, "queue", wait_s, kind=request.kind)
+        start = time.perf_counter()
+        try:
+            if trace_id is None:
+                return self._service.execute(request)
+            return self._service.execute(request, trace_id=trace_id)
+        finally:
+            self._record_worker(request.kind, time.perf_counter() - start)
 
-    def _traced_ingest(self, trajectories, trace_id):
-        if trace_id is None:
-            return self._service.ingest(trajectories)
-        return self._service.ingest(trajectories, trace_id=trace_id)
+    def _traced_ingest(self, trajectories, trace_id, submitted_at: float):
+        stats = getattr(self._service, "stats", None)
+        if stats is not None:
+            stats.record_queue_wait(time.perf_counter() - submitted_at)
+        start = time.perf_counter()
+        try:
+            if trace_id is None:
+                return self._service.ingest(trajectories)
+            return self._service.ingest(trajectories, trace_id=trace_id)
+        finally:
+            self._record_worker("ingest", time.perf_counter() - start)
 
     def _metrics_body(self) -> dict:
-        return self._service.metrics_report()
+        report = self._service.metrics_report()
+        with self._registry_lock:
+            server_section = self.registry.snapshot()
+        server_section["workers"] = self.workers
+        server_section["max_inflight"] = self.max_inflight
+        server_section["frames_served"] = self.frames_served
+        server_section["error_frames"] = self.error_frames
+        server_section["overloaded_frames"] = self.overloaded_frames
+        report["server"] = server_section
+        return report
 
     async def metrics_snapshot(self) -> dict:
-        """The service's metrics report, produced on the worker thread.
+        """The service's metrics report, produced on a worker thread.
 
         For in-loop callers (the CLI's ``--metrics-interval`` logger):
-        service access must stay serialized with request execution, so the
-        snapshot queues behind in-flight queries like any other frame.
+        the snapshot takes the epoch read lock like any query, so it never
+        observes a half-applied ingest.
         """
         loop = asyncio.get_running_loop()
         return await loop.run_in_executor(self._pool, self._metrics_body)
 
-    async def _send(self, writer: asyncio.StreamWriter, obj) -> None:
-        writer.write(encode_frame(obj))
-        await writer.drain()
+    async def _send(
+        self, writer: asyncio.StreamWriter, obj, lock: asyncio.Lock
+    ) -> None:
+        async with lock:
+            writer.write(encode_frame(obj))
+            await writer.drain()
 
     async def _send_error(
-        self, writer: asyncio.StreamWriter, exc: Exception, rid
+        self, writer: asyncio.StreamWriter, exc: Exception, rid, lock: asyncio.Lock
     ) -> None:
+        if isinstance(exc, _Overloaded):
+            error_type = "Overloaded"
+            self.overloaded_frames += 1
+        else:
+            error_type = type(exc).__name__
         self.error_frames += 1
         await self._send(
             writer,
             {
                 "type": "error",
                 "id": rid,
-                "error": {"type": type(exc).__name__, "message": str(exc)},
+                "error": {"type": error_type, "message": str(exc)},
             },
+            lock,
         )
 
-    async def _handshake(self, reader, writer) -> bool:
+    async def _handshake(self, reader, writer, write_lock: asyncio.Lock) -> bool:
         """Exchange hellos; False (after an error frame) on any mismatch."""
         try:
             frame = json.loads(await _read_frame_bytes(reader))
         except (json.JSONDecodeError, UnicodeDecodeError, RequestError) as exc:
-            await self._send_error(writer, RequestError(f"bad handshake: {exc}"), None)
+            await self._send_error(
+                writer, RequestError(f"bad handshake: {exc}"), None, write_lock
+            )
             return False
         if not isinstance(frame, dict) or frame.get("type") != "hello":
             await self._send_error(
                 writer,
                 RequestError("the first frame must be a 'hello' handshake"),
                 None,
+                write_lock,
             )
             return False
         if frame.get("version") != PROTOCOL_VERSION:
@@ -240,6 +373,25 @@ class QueryServer:
                     f"(server speaks {PROTOCOL_VERSION})"
                 ),
                 None,
+                write_lock,
+            )
+            return False
+        if self._auth_token is not None and frame.get("token") != self._auth_token:
+            # A distinct error type: clients must not retry an auth
+            # failure the way they retry transient resets. The message
+            # never echoes the expected token.
+            self.error_frames += 1
+            await self._send(
+                writer,
+                {
+                    "type": "error",
+                    "id": None,
+                    "error": {
+                        "type": "AuthError",
+                        "message": "missing or invalid auth token",
+                    },
+                },
+                write_lock,
             )
             return False
         manager = self._service.manager
@@ -260,12 +412,75 @@ class QueryServer:
                     # Additive in PROTOCOL_VERSION 1: clients that predate
                     # compaction policies simply ignore the key.
                     "compaction": None if compaction is None else compaction.spec(),
+                    # Additive: the serving concurrency contract.
+                    "workers": self.workers,
+                    "max_inflight": self.max_inflight,
                 },
             },
+            write_lock,
         )
         return True
 
-    async def _serve_frames(self, reader, writer) -> None:
+    def _admit(self) -> None:
+        """Admission control (loop thread): count one in-flight frame or
+        refuse with :class:`_Overloaded` — refused frames never execute."""
+        if self._inflight >= self.max_inflight:
+            raise _Overloaded(
+                f"server at max_inflight={self.max_inflight}; "
+                "retry after in-flight requests drain"
+            )
+        self._inflight += 1
+        stats = getattr(self._service, "stats", None)
+        if stats is not None:
+            stats.record_queue_depth(self._inflight)
+
+    async def _run_admitted(
+        self,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        rid,
+        thunk,
+        build_body,
+    ) -> None:
+        """One admitted frame: execute off-loop, answer by id, release the
+        admission slot. Runs as its own loop task so the connection's
+        reader keeps decoding frames while this one computes."""
+        try:
+            try:
+                result = await thunk()
+                # Encode INSIDE the guarded region: an unencodable result
+                # (e.g. a response above the frame cap) must also become an
+                # error frame, not a dropped connection.
+                out = encode_frame(
+                    {"type": "response", "id": rid, "response": build_body(result)}
+                )
+            except asyncio.CancelledError:
+                raise
+            except RequestError as exc:
+                await self._send_error(writer, exc, rid, write_lock)
+                return
+            except Exception as exc:
+                # Per-connection isolation: an execution failure becomes a
+                # structured error frame, never a dropped connection.
+                await self._send_error(writer, exc, rid, write_lock)
+                return
+            try:
+                async with write_lock:
+                    writer.write(out)
+                    await writer.drain()
+                self.frames_served += 1
+            except (ConnectionResetError, BrokenPipeError):
+                pass  # peer vanished mid-answer
+        finally:
+            self._inflight -= 1
+
+    async def _serve_frames(
+        self,
+        reader,
+        writer,
+        write_lock: asyncio.Lock,
+        pending: set[asyncio.Task],
+    ) -> None:
         loop = asyncio.get_running_loop()
         while True:
             try:
@@ -273,7 +488,7 @@ class QueryServer:
             except RequestError as exc:
                 # A framing violation (oversize length prefix): the stream
                 # can no longer be trusted, so answer and close.
-                await self._send_error(writer, exc, None)
+                await self._send_error(writer, exc, None, write_lock)
                 return
             rid = None
             try:
@@ -286,23 +501,28 @@ class QueryServer:
                 rid = frame.get("id")
                 ftype = frame.get("type")
                 if ftype == "bye":
-                    await self._send(writer, {"type": "bye"})
+                    # Drain in-flight work first: every admitted request's
+                    # response (or error) is delivered before the goodbye.
+                    if pending:
+                        await asyncio.gather(*pending, return_exceptions=True)
+                    await self._send(writer, {"type": "bye"}, write_lock)
                     return
                 trace_id = frame.get("trace")
                 if trace_id is not None and not isinstance(trace_id, str):
                     raise RequestError(
                         f"trace must be a string or absent, got {trace_id!r}"
                     )
+                submitted_at = time.perf_counter()
                 if ftype == "request":
                     request = request_from_json(frame.get("request"))
-                    response = await loop.run_in_executor(
-                        self._pool,
-                        self._traced_execute,
-                        request,
-                        trace_id,
-                        time.perf_counter(),
-                    )
-                    body = response_to_json(response)
+                    self._admit()
+
+                    def thunk(request=request, trace_id=trace_id, t0=submitted_at):
+                        return loop.run_in_executor(
+                            self._pool, self._traced_execute, request, trace_id, t0
+                        )
+
+                    build_body = response_to_json
                 elif ftype == "ingest":
                     batch = frame.get("trajectories")
                     if not isinstance(batch, list):
@@ -310,51 +530,67 @@ class QueryServer:
                             "'trajectories' must be an array of trajectories"
                         )
                     trajectories = [trajectory_from_json(t) for t in batch]
-                    added = await loop.run_in_executor(
-                        self._pool,
-                        self._traced_ingest,
-                        trajectories,
-                        trace_id,
-                    )
-                    body = {
-                        "v": PROTOCOL_VERSION,
-                        "kind": "ingest",
-                        "added": added,
-                        "epoch": self._service.manager.epoch,
-                    }
+                    self._admit()
+
+                    def thunk(
+                        trajectories=trajectories,
+                        trace_id=trace_id,
+                        t0=submitted_at,
+                    ):
+                        return loop.run_in_executor(
+                            self._pool,
+                            self._traced_ingest,
+                            trajectories,
+                            trace_id,
+                            t0,
+                        )
+
+                    def build_body(added):
+                        return {
+                            "v": PROTOCOL_VERSION,
+                            "kind": "ingest",
+                            "added": added,
+                            "epoch": self._service.manager.epoch,
+                        }
+
                 elif ftype == "describe":
-                    info = await loop.run_in_executor(
-                        self._pool, self._service.describe
-                    )
-                    body = {"v": PROTOCOL_VERSION, "kind": "describe", "info": info}
+                    self._admit()
+
+                    def thunk():
+                        return loop.run_in_executor(
+                            self._pool, self._service.describe
+                        )
+
+                    def build_body(info):
+                        return {
+                            "v": PROTOCOL_VERSION,
+                            "kind": "describe",
+                            "info": info,
+                        }
+
                 elif ftype == "metrics":
-                    report = await loop.run_in_executor(
-                        self._pool, self._metrics_body
-                    )
-                    body = {
-                        "v": PROTOCOL_VERSION,
-                        "kind": "metrics",
-                        "metrics": report,
-                    }
+                    self._admit()
+
+                    def thunk():
+                        return loop.run_in_executor(self._pool, self._metrics_body)
+
+                    def build_body(report):
+                        return {
+                            "v": PROTOCOL_VERSION,
+                            "kind": "metrics",
+                            "metrics": report,
+                        }
+
                 else:
                     raise RequestError(f"unknown frame type {ftype!r}")
-                # Encode INSIDE the guarded region: an unencodable result
-                # (e.g. a response above the frame cap) must also become an
-                # error frame, not a dropped connection.
-                out = encode_frame({"type": "response", "id": rid, "response": body})
-            except RequestError as exc:
-                await self._send_error(writer, exc, rid)
+            except (RequestError, _Overloaded) as exc:
+                await self._send_error(writer, exc, rid, write_lock)
                 continue
-            except asyncio.CancelledError:
-                raise
-            except Exception as exc:
-                # Per-connection isolation: an execution failure becomes a
-                # structured error frame, never a dropped connection.
-                await self._send_error(writer, exc, rid)
-                continue
-            self.frames_served += 1
-            writer.write(out)
-            await writer.drain()
+            task = asyncio.ensure_future(
+                self._run_admitted(writer, write_lock, rid, thunk, build_body)
+            )
+            pending.add(task)
+            task.add_done_callback(pending.discard)
 
 
 class ServerHandle:
@@ -407,19 +643,30 @@ def serve_in_thread(
     port: int = 0,
     *,
     close_service: bool = False,
+    workers: int | None = None,
+    max_inflight: int | None = None,
+    auth_token: str | None = None,
 ) -> ServerHandle:
     """Start a :class:`QueryServer` on a dedicated event-loop thread.
 
     Returns once the server is listening (``handle.port`` resolves the
     OS-assigned port when ``port=0``). ``close_service=True`` also closes
-    the wrapped service on :meth:`ServerHandle.stop`.
+    the wrapped service on :meth:`ServerHandle.stop`. ``workers``,
+    ``max_inflight``, and ``auth_token`` forward to :class:`QueryServer`.
     """
     started = threading.Event()
     holder: dict = {}
 
     def _run() -> None:
         async def _main() -> None:
-            server = QueryServer(service, host, port)
+            server = QueryServer(
+                service,
+                host,
+                port,
+                workers=workers,
+                max_inflight=max_inflight,
+                auth_token=auth_token,
+            )
             try:
                 await server.start()
             except Exception as exc:  # e.g. port in use
@@ -448,6 +695,7 @@ __all__ = [
     "ServerHandle",
     "serve_in_thread",
     "encode_frame",
+    "default_workers",
     "FRAME_HEADER",
     "MAX_FRAME_BYTES",
 ]

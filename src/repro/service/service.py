@@ -41,6 +41,7 @@ construction.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -55,6 +56,7 @@ from repro.index.backend import chebyshev_gap, validate_backend_name
 from repro.obs.metrics import Histogram, MetricsRegistry
 from repro.obs.tracing import Tracer
 from repro.service._deprecation import warn_once
+from repro.service._sync import RWLock
 from repro.service.compaction import make_compaction
 from repro.service.executors import EXECUTORS, make_executor
 from repro.service.requests import (
@@ -121,6 +123,17 @@ class ServiceStats:
     bit-identical to the plain accumulators they replaced; the old
     ``total_latency_s`` / ``max_latency_s`` attribute surface remains
     available as read-only views.
+
+    All mutating methods and :meth:`summary` are serialized behind one
+    internal re-entrant lock: the server's worker pool records from many
+    threads concurrently, and an unguarded histogram ``+=`` would lose
+    counts. Single-threaded users (``LocalClient``) pay one uncontended
+    lock acquire per record.
+
+    The queue instruments make overload visible: ``queue_depth_hwm`` is
+    the high-water mark of concurrently admitted server requests, and
+    ``queue_wait`` the distribution of time each request spent queued
+    between frame decode and worker-thread pickup.
     """
 
     requests: dict[str, int] = field(default_factory=dict)
@@ -147,6 +160,16 @@ class ServiceStats:
     bytes_base_after: int = 0
     #: Distribution of shard-side policy-pass wall times (seconds).
     compaction_latency: Histogram = field(default_factory=Histogram)
+    #: High-water mark of concurrently admitted (in-flight) server
+    #: requests, recorded by the socket front-end's admission control.
+    queue_depth_hwm: int = 0
+    #: Distribution of per-request queue waits (seconds): frame decode to
+    #: worker-thread pickup. Empty unless a concurrent server records it.
+    queue_wait: Histogram = field(default_factory=Histogram)
+    #: Serializes every record/summary against the server's worker pool.
+    _lock: threading.RLock = field(
+        default_factory=threading.RLock, repr=False, compare=False
+    )
 
     @property
     def bytes_base(self) -> int:
@@ -177,32 +200,47 @@ class ServiceStats:
         return hist
 
     def record_knn_scatter(self, dispatched: int, skipped: int) -> None:
-        self.knn_shards_dispatched += dispatched
-        self.knn_shards_skipped += skipped
+        with self._lock:
+            self.knn_shards_dispatched += dispatched
+            self.knn_shards_skipped += skipped
 
     def record_compaction(self, counters: dict) -> None:
         """Absorb one shard-side policy pass (a ``CompactionResult.counters()``
         dict drained through the executor)."""
-        self.compactions += 1
-        self.points_dropped += int(counters.get("points_dropped", 0))
-        self.bytes_base_before += int(counters.get("bytes_before", 0))
-        self.bytes_base_after += int(counters.get("bytes_after", 0))
-        self.compaction_latency.record(float(counters.get("elapsed_s", 0.0)))
+        with self._lock:
+            self.compactions += 1
+            self.points_dropped += int(counters.get("points_dropped", 0))
+            self.bytes_base_before += int(counters.get("bytes_before", 0))
+            self.bytes_base_after += int(counters.get("bytes_after", 0))
+            self.compaction_latency.record(float(counters.get("elapsed_s", 0.0)))
 
     def record(
         self, kind: str, latency_s: float, cached: bool, cacheable: bool = True
     ) -> None:
-        self.requests[kind] = self.requests.get(kind, 0) + 1
-        if cached:
-            self.cache_hits[kind] = self.cache_hits.get(kind, 0) + 1
-        elif not cacheable:
-            self.uncacheable[kind] = self.uncacheable.get(kind, 0) + 1
-        self.latency_histogram(kind).record(latency_s)
+        with self._lock:
+            self.requests[kind] = self.requests.get(kind, 0) + 1
+            if cached:
+                self.cache_hits[kind] = self.cache_hits.get(kind, 0) + 1
+            elif not cacheable:
+                self.uncacheable[kind] = self.uncacheable.get(kind, 0) + 1
+            self.latency_histogram(kind).record(latency_s)
 
     def record_ingest(self, trajectories: list[Trajectory]) -> None:
-        self.ingest_batches += 1
-        self.ingest_trajectories += len(trajectories)
-        self.ingest_points += sum(len(t) for t in trajectories)
+        with self._lock:
+            self.ingest_batches += 1
+            self.ingest_trajectories += len(trajectories)
+            self.ingest_points += sum(len(t) for t in trajectories)
+
+    def record_queue_depth(self, depth: int) -> None:
+        """Track the admission-time in-flight depth (high-water mark)."""
+        with self._lock:
+            if depth > self.queue_depth_hwm:
+                self.queue_depth_hwm = depth
+
+    def record_queue_wait(self, wait_s: float) -> None:
+        """One request's decode-to-worker-pickup wait (seconds)."""
+        with self._lock:
+            self.queue_wait.record(wait_s)
 
     @property
     def n_requests(self) -> int:
@@ -234,7 +272,13 @@ class ServiceStats:
         All pre-histogram keys keep their exact former values (means and
         maxes come from the histograms' exact sum/max accumulators); the
         per-kind ``*_p50/p95/p99_latency_ms`` keys are bucket-derived.
+        The queue instruments appear only once something recorded them, so
+        single-threaded transports keep their historical key set.
         """
+        with self._lock:
+            return self._summary_locked()
+
+    def _summary_locked(self) -> dict[str, float | int]:
         out: dict[str, float | int] = {
             "requests": self.n_requests,
             "cache_hits": self.n_cache_hits,
@@ -259,6 +303,12 @@ class ServiceStats:
             out["compaction_p95_latency_ms"] = (
                 1000.0 * self.compaction_latency.quantile(0.95)
             )
+        if self.queue_wait.count or self.queue_depth_hwm:
+            out["queue_depth_hwm"] = self.queue_depth_hwm
+            out["queue_wait_p50_ms"] = 1000.0 * self.queue_wait.quantile(0.50)
+            out["queue_wait_p95_ms"] = 1000.0 * self.queue_wait.quantile(0.95)
+            out["queue_wait_p99_ms"] = 1000.0 * self.queue_wait.quantile(0.99)
+            out["queue_wait_max_ms"] = 1000.0 * self.queue_wait.max
         for kind in sorted(self.requests):
             n = self.requests[kind]
             hist = self.latency_histogram(kind)
@@ -274,13 +324,18 @@ class ServiceStats:
 
     def histograms(self) -> dict[str, dict]:
         """JSON-safe encodings of every latency histogram (per request
-        kind, plus ``"compaction"`` once any pass has been absorbed)."""
-        out = {
-            kind: hist.to_json() for kind, hist in sorted(self.latency.items())
-        }
-        if self.compactions:
-            out["compaction"] = self.compaction_latency.to_json()
-        return out
+        kind, plus ``"compaction"`` once any pass has been absorbed and
+        ``"queue_wait"`` once the server's admission control records)."""
+        with self._lock:
+            out = {
+                kind: hist.to_json()
+                for kind, hist in sorted(self.latency.items())
+            }
+            if self.compactions:
+                out["compaction"] = self.compaction_latency.to_json()
+            if self.queue_wait.count:
+                out["queue_wait"] = self.queue_wait.to_json()
+            return out
 
 
 class QueryService:
@@ -384,6 +439,14 @@ class QueryService:
         self.stats = ServiceStats()
         self._closed = False
         self._failed = False
+        # The concurrency contract (see ARCHITECTURE.md "Concurrency
+        # model"): any number of queries execute concurrently under the
+        # epoch lock's read side; ingest — the only epoch bump — takes the
+        # write side exclusively, so reads of a given epoch never
+        # interleave with the write that produces the next one. The cache
+        # lock guards the (not thread-safe) OrderedDict LRU only.
+        self._epoch_lock = RWLock()
+        self._cache_lock = threading.Lock()
         if not self.compaction.is_exact:
             # A simplifying policy already ran once per shard at runtime
             # construction (the initial base is a cold tier); absorb those
@@ -412,17 +475,19 @@ class QueryService:
         requests (``None``) serve identically with no spans recorded.
         """
         self._check_open()
-        return serve_cached(
-            request,
-            epoch=self.manager.epoch,
-            n_shards=self.manager.n_shards,
-            cache=self._cache,
-            cache_size=self._cache_size,
-            stats=self.stats,
-            dispatch=lambda req: self._dispatch(req, trace_id),
-            tracer=self.tracer,
-            trace_id=trace_id,
-        )
+        with self._epoch_lock.read():
+            return serve_cached(
+                request,
+                epoch=self.manager.epoch,
+                n_shards=self.manager.n_shards,
+                cache=self._cache,
+                cache_size=self._cache_size,
+                stats=self.stats,
+                dispatch=lambda req: self._dispatch(req, trace_id),
+                tracer=self.tracer,
+                trace_id=trace_id,
+                cache_lock=self._cache_lock,
+            )
 
     def _dispatch(self, request, trace_id: str | None = None):
         """Scatter one request across the shards and merge exactly."""
@@ -730,11 +795,19 @@ class QueryService:
         committed), runtimes and manager can no longer agree — the service
         then latches into a failed state and refuses further work instead
         of silently serving from diverged shards.
+
+        Ingest holds the epoch **write** lock: no query executes while
+        shard state changes and the epoch bumps, so concurrent readers
+        always observe a consistent ``(epoch, shard state)`` pair.
         """
         self._check_open()
         batch = list(trajectories)
         if not batch:
             return 0
+        with self._epoch_lock.write():
+            return self._ingest_locked(batch, trace_id)
+
+    def _ingest_locked(self, batch: list, trace_id: str | None) -> int:
         with self.tracer.span(trace_id, "ingest", batch=len(batch)):
             routed = self.manager.plan_ingest(batch)
             try:
@@ -790,6 +863,10 @@ class QueryService:
         round-trip) for cheap periodic snapshots.
         """
         self._check_open()
+        with self._epoch_lock.read():
+            return self._metrics_report_locked(include_shards)
+
+    def _metrics_report_locked(self, include_shards: bool) -> dict:
         report: dict = {
             "summary": self.stats.summary(),
             "histograms": self.stats.histograms(),
@@ -826,6 +903,10 @@ class QueryService:
     # ---------------------------------------------------------------- lifecycle
     def describe(self) -> dict:
         """Shard layout and counters (CLI ``repro serve`` banner)."""
+        with self._epoch_lock.read():
+            return self._describe_locked()
+
+    def _describe_locked(self) -> dict:
         info = {
             "n_shards": self.manager.n_shards,
             "executor": self.executor_name,
@@ -851,9 +932,11 @@ class QueryService:
 
     def clear_cache(self, deep: bool = False) -> None:
         """Drop the request LRU; ``deep`` also clears every shard engine memo."""
-        self._cache.clear()
+        with self._cache_lock:
+            self._cache.clear()
         if deep:
-            self._executor.broadcast("clear_cache", {})
+            with self._epoch_lock.read():
+                self._executor.broadcast("clear_cache", {})
 
     def close(self) -> None:
         """Release executor workers, then the snapshot store (idempotent).
@@ -863,7 +946,13 @@ class QueryService:
         unlinks them (the owner's close also sweeps any segments orphaned
         by killed workers).
         """
-        if not self._closed:
+        if self._closed:
+            return
+        # Drain in-flight readers before tearing the executor down: the
+        # write side excludes every concurrent execute()/metrics call.
+        with self._epoch_lock.write():
+            if self._closed:
+                return
             self._closed = True
             try:
                 self._executor.close()

@@ -27,7 +27,9 @@ def harness_args(**overrides) -> argparse.Namespace:
     base = dict(
         qps=40.0, seed=7, requests=20, clients=2, ingest_ratio=0.1,
         zipf_a=1.5, trajectories=16, shards=2, partitioner="hash",
-        executor="serial", index="grid", store="heap",
+        executor="serial", index="grid", store="heap", workers=None,
+        server_max_inflight=None,
+        rate_profile="constant", rate_amplitude=0.6, rate_period=None,
     )
     base.update(overrides)
     return argparse.Namespace(**base)
@@ -74,6 +76,129 @@ class TestSchedule:
         args = harness_args(requests=40, ingest_ratio=0.0)
         schedule, _, _ = bench_load.build_schedule(small_db(args), args)
         assert all(entry["op"] != "ingest" for entry in schedule)
+
+
+class TestRateProfile:
+    def test_constant_offsets_are_the_qps_grid(self):
+        args = harness_args(qps=40.0, requests=8)
+        offsets = bench_load.arrival_offsets(args, 8)
+        assert offsets == [i / 40.0 for i in range(8)]
+
+    def test_diurnal_offsets_deterministic_and_increasing(self):
+        args = harness_args(rate_profile="diurnal", requests=50)
+        o1 = bench_load.arrival_offsets(args, 50)
+        o2 = bench_load.arrival_offsets(args, 50)
+        assert o1 == o2
+        assert all(b > a for a, b in zip(o1, o1[1:]))
+
+    def test_diurnal_actually_modulates_the_gaps(self):
+        args = harness_args(rate_profile="diurnal", rate_amplitude=0.6,
+                            qps=40.0, requests=60)
+        gaps = np.diff(bench_load.arrival_offsets(args, 60))
+        # Peak rate ~ qps*(1+A), trough ~ qps*(1-A): the gap spread must
+        # reflect that, not collapse to the constant 1/qps grid.
+        assert gaps.min() < 1.0 / (40.0 * 1.3)
+        assert gaps.max() > 1.0 / (40.0 * 0.7)
+
+    def test_extreme_amplitude_is_clamped(self):
+        args = harness_args(rate_profile="diurnal", rate_amplitude=5.0,
+                            requests=40)
+        offsets = bench_load.arrival_offsets(args, 40)
+        assert all(b > a for a, b in zip(offsets, offsets[1:]))
+        assert np.isfinite(offsets).all()
+
+    def test_rate_profile_enters_the_digest(self):
+        constant = harness_args()
+        diurnal = harness_args(rate_profile="diurnal")
+        db = small_db(constant)
+        s1, _, d1 = bench_load.build_schedule(db, constant)
+        s2, _, d2 = bench_load.build_schedule(db, diurnal)
+        assert s1 == s2      # the slot sequence itself is rate-agnostic...
+        assert d1 != d2      # ...but the digest covers the arrival process
+
+    def test_unknown_profile_raises(self):
+        args = harness_args(rate_profile="square-wave")
+        with pytest.raises(ValueError, match="square-wave"):
+            bench_load.arrival_offsets(args, 4)
+
+
+def _fake_run(mode="open-loop", throughput=100.0, scaling=3.0, **config):
+    base = {
+        "mode": mode, "seed": 7, "qps": 40.0, "requests": 20,
+        "clients": 2, "workers": None, "ingest_ratio": 0.1, "zipf_a": 1.5,
+        "trajectories": 16, "shards": 2, "partitioner": "hash",
+        "executor": "serial", "index": "grid", "store": "heap",
+        "max_inflight": None, "rate_profile": "constant", "rate_amplitude": 0.6,
+        "rate_period": None, "workload_digest": "d" * 64,
+    }
+    base.update(config)
+    run = {"config": base, "throughput_qps": throughput}
+    if mode == "sweep":
+        run["sweep"] = {"scaling_vs_single": scaling}
+    return run
+
+
+class TestGate:
+    def _log(self, path, *runs):
+        for run in runs:
+            bench_load.log_run(path, "bench_load", run)
+        return path
+
+    def test_gate_passes_on_equal_runs(self, tmp_path):
+        base = self._log(tmp_path / "base.json", _fake_run())
+        new = self._log(tmp_path / "new.json", _fake_run())
+        assert bench_load.gate_files(new, base, 0.30) == 0
+
+    def test_gate_fails_on_throughput_regression(self, tmp_path):
+        base = self._log(tmp_path / "base.json", _fake_run(throughput=100.0))
+        new = self._log(tmp_path / "new.json", _fake_run(throughput=60.0))
+        assert bench_load.gate_files(new, base, 0.30) == 1
+
+    def test_gate_tolerates_drop_within_threshold(self, tmp_path):
+        base = self._log(tmp_path / "base.json", _fake_run(throughput=100.0))
+        new = self._log(tmp_path / "new.json", _fake_run(throughput=80.0))
+        assert bench_load.gate_files(new, base, 0.30) == 0
+
+    def test_sweep_runs_gate_on_scaling_not_qps(self, tmp_path):
+        # Absolute qps halves (slower machine) but scaling holds: pass.
+        base = self._log(
+            tmp_path / "base.json",
+            _fake_run(mode="sweep", throughput=1000.0, scaling=3.0),
+        )
+        new = self._log(
+            tmp_path / "new.json",
+            _fake_run(mode="sweep", throughput=500.0, scaling=2.9),
+        )
+        assert bench_load.gate_files(new, base, 0.30) == 0
+        # Scaling collapse fails even with identical absolute qps.
+        collapsed = self._log(
+            tmp_path / "collapsed.json",
+            _fake_run(mode="sweep", throughput=1000.0, scaling=1.1),
+        )
+        assert bench_load.gate_files(collapsed, base, 0.30) == 1
+
+    def test_gate_matches_last_baseline_with_same_profile(self, tmp_path):
+        base = self._log(
+            tmp_path / "base.json",
+            _fake_run(throughput=500.0),     # stale fast run
+            _fake_run(throughput=100.0),     # latest baseline wins
+            _fake_run(throughput=900.0, seed=8),  # different profile
+        )
+        new = self._log(tmp_path / "new.json", _fake_run(throughput=90.0))
+        assert bench_load.gate_files(new, base, 0.30) == 0
+
+    def test_gate_fails_without_matching_baseline(self, tmp_path):
+        base = self._log(tmp_path / "base.json", _fake_run(seed=8))
+        new = self._log(tmp_path / "new.json", _fake_run(seed=7))
+        assert bench_load.gate_files(new, base, 0.30) == 1
+
+    def test_digest_mismatch_warns_but_compares(self, tmp_path, capsys):
+        base = self._log(tmp_path / "base.json", _fake_run())
+        new = self._log(
+            tmp_path / "new.json", _fake_run(workload_digest="e" * 64)
+        )
+        assert bench_load.gate_files(new, base, 0.30) == 0
+        assert "digest differs" in capsys.readouterr().out
 
 
 class TestEndToEnd:

@@ -267,6 +267,48 @@ class TestServiceCacheAndStats:
             assert summary["range_mean_latency_ms"] >= 0.0
             assert summary["histogram_requests"] == 1
 
+    def test_queue_instruments_absent_until_recorded(self, served_db):
+        """Single-threaded transports never record queue stats, so their
+        summary keeps the exact historical key set."""
+        with QueryService(served_db, n_shards=2) as service:
+            service.histogram(8)
+            summary = service.stats.summary()
+            assert "queue_depth_hwm" not in summary
+            assert "queue_wait_p99_ms" not in summary
+            assert "queue_wait" not in service.stats.histograms()
+
+    def test_queue_depth_hwm_and_wait_quantiles(self, served_db):
+        with QueryService(served_db, n_shards=2) as service:
+            stats = service.stats
+            for depth in (1, 3, 2, 3, 1):
+                stats.record_queue_depth(depth)
+            rng = np.random.default_rng(11)
+            waits = rng.uniform(1e-4, 0.2, size=200)
+            for wait in waits:
+                stats.record_queue_wait(float(wait))
+            summary = stats.summary()
+            assert summary["queue_depth_hwm"] == 3
+            assert summary["queue_wait_max_ms"] == pytest.approx(
+                1000.0 * waits.max()
+            )
+            # The histogram's accuracy contract: each reported quantile
+            # sits within one bucket width of the exact sample quantile.
+            hist = stats.queue_wait
+            exact_sorted = np.sort(waits)
+            for q, key in (
+                (0.50, "queue_wait_p50_ms"),
+                (0.95, "queue_wait_p95_ms"),
+                (0.99, "queue_wait_p99_ms"),
+            ):
+                exact = float(
+                    np.quantile(exact_sorted, q, method="inverted_cdf")
+                )
+                approx = summary[key] / 1000.0
+                idx = hist.bucket_index(exact)
+                width = hist.upper_edge(idx) - hist.lower_edge(idx)
+                assert abs(approx - exact) <= width
+            assert "queue_wait" in stats.histograms()
+
     def test_describe_reports_shard_layout(self, served_db):
         with QueryService(served_db, n_shards=3) as service:
             info = service.describe()
