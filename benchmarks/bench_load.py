@@ -237,6 +237,10 @@ def launch_server(db_path: Path, args, env: dict) -> tuple[subprocess.Popen, str
         argv += ["--workers", str(args.workers)]
     if getattr(args, "server_max_inflight", None) is not None:
         argv += ["--max-inflight", str(args.server_max_inflight)]
+    if getattr(args, "replicas", 1) != 1:
+        argv += ["--replicas", str(args.replicas)]
+    if getattr(args, "watchdog_interval", None):
+        argv += ["--watchdog-interval", str(args.watchdog_interval)]
     proc = subprocess.Popen(
         argv,
         stdout=subprocess.PIPE,
@@ -261,6 +265,30 @@ def launch_server(db_path: Path, args, env: dict) -> tuple[subprocess.Popen, str
         target=lambda: [None for _ in proc.stdout], daemon=True
     ).start()
     return proc, address
+
+
+def server_replica_pids(server_pid: int) -> list[int]:
+    """Pids of the server's shard worker children (chaos-injection targets).
+
+    Workers are direct children of the serve process; multiprocessing's
+    resource tracker (also a child) is filtered out by its cmdline.
+    """
+    try:
+        out = subprocess.run(
+            ["ps", "-o", "pid=,args=", "--ppid", str(server_pid)],
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout
+    except (OSError, subprocess.CalledProcessError):
+        return []
+    pids = []
+    for line in out.splitlines():
+        fields = line.strip().split(None, 1)
+        if len(fields) != 2 or "tracker" in fields[1]:
+            continue
+        pids.append(int(fields[0]))
+    return pids
 
 
 def stop_server(proc: subprocess.Popen) -> int:
@@ -289,6 +317,12 @@ def _base_config(args, digest: str) -> dict:
         "store": args.store,
         "workers": args.workers,
         "max_inflight": getattr(args, "server_max_inflight", None),
+        # None (not 1) for the unreplicated default, so runs recorded
+        # before replication existed keep matching this profile.
+        "replicas": getattr(args, "replicas", 1)
+        if getattr(args, "replicas", 1) != 1
+        else None,
+        "chaos": getattr(args, "chaos", None),
         "rate_profile": args.rate_profile,
         "rate_amplitude": args.rate_amplitude,
         "rate_period": args.rate_period,
@@ -391,6 +425,19 @@ def run_load(args) -> dict:
                     per_kind.setdefault(entry["op"], Histogram()).record(elapsed)
                     samples.append(elapsed)
 
+            chaos = None
+            if args.chaos == "kill-replica":
+                targets = server_replica_pids(proc.pid)
+                if not targets:
+                    raise RuntimeError(
+                        "chaos: found no shard worker children to kill"
+                    )
+                chaos = {
+                    "mode": "kill-replica",
+                    "victim_pid": targets[0],
+                    "kill_slot": max(1, len(schedule) // 3),
+                }
+
             # Open-loop: slot i is *offered* at t0 + offsets[i] regardless
             # of completions; the pool only bounds client-side concurrency.
             pool = ThreadPoolExecutor(max_workers=args.clients)
@@ -400,6 +447,10 @@ def run_load(args) -> dict:
                 wait = t0 + offsets[slot] - time.perf_counter()
                 if wait > 0:
                     time.sleep(wait)
+                if chaos is not None and slot == chaos["kill_slot"]:
+                    # SIGKILL one replica mid-workload: with --replicas 2
+                    # failover + the watchdog must absorb it completely.
+                    os.kill(chaos["victim_pid"], signal.SIGKILL)
                 futures.append(pool.submit(_fire, slot, entry))
             for f in futures:
                 f.result()
@@ -444,6 +495,9 @@ def run_load(args) -> dict:
         "errors": errors,
         "server_metrics": server_metrics,
     }
+    if chaos is not None:
+        chaos["failed_requests"] = len(errors)
+        run["chaos"] = chaos
     problems = validate_run(run)
     assert not problems, f"run record failed validation: {problems}"
     return run
@@ -655,6 +709,17 @@ def print_summary(run: dict) -> None:
             f"p50 {latency['p50_ms']:.2f}ms  p95 {latency['p95_ms']:.2f}ms  "
             f"p99 {latency['p99_ms']:.2f}ms"
         )
+    chaos = run.get("chaos")
+    if chaos:
+        replication = run["server_metrics"].get("replication", {})
+        counters = replication.get("counters", {}).get("counters", {})
+        print(
+            f"chaos [{chaos['mode']}]: killed pid {chaos['victim_pid']} at "
+            f"slot {chaos['kill_slot']}, {chaos['failed_requests']} failed "
+            f"requests, {replication.get('replicas_live', '?')}/"
+            f"{replication.get('replicas_total', '?')} replicas live, "
+            f"restarts={counters.get('replication.restarts', 0)}"
+        )
     summary = run["server_metrics"].get("summary", {})
     hits = sum(v for k, v in summary.items() if k.endswith("_cache_hits"))
     misses = sum(v for k, v in summary.items() if k.endswith("_cache_misses"))
@@ -714,6 +779,7 @@ PROFILE_KEYS = (
     "mode", "seed", "qps", "requests", "clients", "pipeline", "sweep_levels",
     "workers", "max_inflight", "ingest_ratio", "zipf_a", "trajectories",
     "shards", "partitioner", "executor", "index", "store",
+    "replicas", "chaos",
     "rate_profile", "rate_amplitude", "rate_period",
 )
 
@@ -837,6 +903,18 @@ def main(argv=None) -> int:
     parser.add_argument("--sweep-levels", default="1,2,4,8",
                         help="sweep: comma-separated client counts (a 1-"
                         "client pipeline-1 baseline always runs first)")
+    parser.add_argument("--replicas", type=int, default=1,
+                        help="server replicas per shard (--replicas of "
+                        "repro serve; needs --executor process)")
+    parser.add_argument("--watchdog-interval", type=float, default=None,
+                        help="server watchdog poll interval in seconds "
+                        "(--watchdog-interval of repro serve)")
+    parser.add_argument("--chaos", choices=["kill-replica"], default=None,
+                        help="inject a fault mid-run: 'kill-replica' "
+                        "SIGKILLs one shard worker a third of the way "
+                        "through the schedule (forces a process executor "
+                        "with >= 2 replicas and a fast watchdog) and the "
+                        "run fails unless zero requests are lost")
     parser.add_argument("--smoke", action="store_true",
                         help="tiny sizes for the CI smoke run")
     parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
@@ -857,6 +935,13 @@ def main(argv=None) -> int:
         return validate_file(args.validate)
     if args.gate:
         return gate_files(args.gate, args.against, args.gate_threshold)
+    if args.chaos:
+        # Chaos needs something to fail over to: out-of-process workers,
+        # a live sibling replica, and a watchdog to put the victim back.
+        args.executor = "process"
+        args.replicas = max(args.replicas, 2)
+        if args.watchdog_interval is None:
+            args.watchdog_interval = 0.25
     if args.smoke:
         args.qps = min(args.qps, 20.0)
         args.requests = min(args.requests, 30 if not args.sweep else 48)

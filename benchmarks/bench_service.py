@@ -326,7 +326,114 @@ def run_data_plane(
     return rows
 
 
-def _persist(path: str, config: dict, scaling: dict, data_plane: list) -> None:
+# ---------------------------------------------------------------------------
+# Replication section: failover recovery, watchdog restart, reshard pauses
+# ---------------------------------------------------------------------------
+
+def run_replication(
+    n_trajectories: int,
+    n_queries: int,
+    repeats: int = 3,
+    seed: int = 7,
+) -> dict:
+    """Fault-tolerance latencies of the replicated process data plane.
+
+    * **failover_recovery** — SIGKILL one of a shard's two replicas, then
+      time the next query burst: the gap over the pre-kill burst is what
+      failover (detecting the dead pipe, retrying on the sibling) costs
+      the caller.
+    * **watchdog_restart** — `restart_dead()` wall time (snapshot attach +
+      ingest-log replay + readiness ping), plus the per-replica
+      `replication.restart_latency_s` histogram the executor records.
+    * **split/merge pause** — wall time of online `split_shard` /
+      `merge_shards`, the window during which the epoch write lock
+      excludes queries. Parity is asserted around every fault.
+    """
+    import signal as _signal
+
+    db = synthetic_database(
+        "geolife", n_trajectories=n_trajectories, points_scale=0.1, seed=seed
+    )
+    workload = RangeQueryWorkload.from_data_distribution(
+        db, n_queries, seed=seed
+    )
+    print(
+        f"\n=== Replication: {len(db)} trajectories, 2 shards x 2 replicas, "
+        f"{n_queries} range queries per burst ==="
+    )
+    row: dict = {"shards": 2, "replicas": 2}
+    with QueryService(
+        db,
+        n_shards=2,
+        executor="process",
+        partitioner="spatial",
+        replicas=2,
+    ) as service:
+        client = ServiceClient(service)
+        executor = service._executor
+
+        def burst():
+            service.clear_cache(deep=True)
+            start = time.perf_counter()
+            counts = client.count(workload.boxes).counts
+            return time.perf_counter() - start, counts
+
+        reference = burst()[1]
+        baseline_s = min(burst()[0] for _ in range(repeats))
+
+        failover, restart = [], []
+        for _ in range(repeats):
+            victim = executor.replica_sets[0].replicas[0]
+            os.kill(victim.proc.pid, _signal.SIGKILL)
+            victim.proc.join(timeout=10.0)
+            recovery_s, counts = burst()
+            assert np.array_equal(counts, reference), "failover changed answers"
+            failover.append(recovery_s)
+            start = time.perf_counter()
+            restarted = executor.restart_dead()
+            restart.append(time.perf_counter() - start)
+            assert restarted == 1
+
+        split, merge = [], []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            service.split_shard(0)
+            split.append(time.perf_counter() - start)
+            start = time.perf_counter()
+            service.merge_shards(0)
+            merge.append(time.perf_counter() - start)
+            _, counts = burst()
+            assert np.array_equal(counts, reference), "reshard changed answers"
+
+        stats = executor.replication_stats()
+        row.update(
+            query_burst_s=baseline_s,
+            failover_recovery_s=min(failover),
+            restart_s=min(restart),
+            split_pause_s=min(split),
+            merge_pause_s=min(merge),
+            counters=stats["counters"]["counters"],
+            restart_latency=stats["counters"]["histograms"].get(
+                "replication.restart_latency_s"
+            ),
+        )
+    print(
+        f"query burst {baseline_s * 1000:>8.2f}ms   "
+        f"failover recovery {row['failover_recovery_s'] * 1000:>8.2f}ms\n"
+        f"replica restart {row['restart_s'] * 1000:>8.2f}ms   "
+        f"split pause {row['split_pause_s'] * 1000:>8.2f}ms   "
+        f"merge pause {row['merge_pause_s'] * 1000:>8.2f}ms"
+    )
+    return row
+
+
+def _persist(
+    path: str,
+    config: dict,
+    scaling: dict,
+    data_plane: list,
+    replication: dict | None = None,
+) -> None:
     """Append this run to ``BENCH_service.json`` (config provenance kept)."""
     runs = []
     if os.path.exists(path):
@@ -336,7 +443,12 @@ def _persist(path: str, config: dict, scaling: dict, data_plane: list) -> None:
         except (OSError, ValueError):
             runs = []
     runs.append(
-        {"config": config, "scaling": scaling, "data_plane": data_plane}
+        {
+            "config": config,
+            "scaling": scaling,
+            "data_plane": data_plane,
+            **({"replication": replication} if replication else {}),
+        }
     )
     with open(path, "w") as fh:
         json.dump(
@@ -390,6 +502,10 @@ def main(argv: list[str] | None = None) -> int:
         help="scaling/parity section only",
     )
     parser.add_argument(
+        "--skip-replication", action="store_true",
+        help="skip the failover/restart/reshard latency section",
+    )
+    parser.add_argument(
         "--out", default=None,
         help="persist results as JSON (default: BENCH_service.json at the "
         "repo root for full runs; smoke runs persist only with an "
@@ -441,6 +557,12 @@ def main(argv: list[str] | None = None) -> int:
             repeats=repeats,
         )
 
+    replication: dict | None = None
+    if not args.skip_replication:
+        replication = run_replication(
+            n_trajectories, n_queries, repeats=repeats
+        )
+
     out = args.out
     if out is None and not args.smoke:
         out = os.path.join(
@@ -475,9 +597,19 @@ def main(argv: list[str] | None = None) -> int:
                     "mp_context": "spawn",
                     "rss_source": "resource.getrusage + /proc VmHWM",
                 },
+                "replication": None
+                if replication is None
+                else {
+                    "trajectories": n_trajectories,
+                    "queries": n_queries,
+                    "shards": 2,
+                    "replicas": 2,
+                    "repeats": repeats,
+                },
             },
             results,
             data_plane,
+            replication,
         )
     print("ok")
     return 0

@@ -226,6 +226,7 @@ def _make_service(args):
         error_budget=getattr(args, "error_budget", None),
         model=getattr(args, "compaction_model", None),
     )
+    watchdog_interval = getattr(args, "watchdog_interval", 0.0) or 0.0
     return QueryService(
         db,
         n_shards=args.shards,
@@ -234,6 +235,10 @@ def _make_service(args):
         index=args.index,
         store=args.store,
         compaction=compaction,
+        replicas=getattr(args, "replicas", 1),
+        rebalance_threshold=getattr(args, "rebalance_threshold", None),
+        watchdog_interval=watchdog_interval if watchdog_interval > 0 else None,
+        watchdog_deadline=getattr(args, "watchdog_deadline", 5.0),
     )
 
 
@@ -325,6 +330,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"{info['index']} index, {info['store']} store, "
             f"{compaction['policy']} compaction"
             + (f", error budget {budget}" if budget is not None else "")
+            + (
+                f", {info['replicas']} replicas/shard"
+                if info.get("replicas", 1) != 1
+                else ""
+            )
             + ")"
         )
         failures = 0
@@ -505,6 +515,22 @@ def _add_service_arguments(p: argparse.ArgumentParser) -> None:
     p.add_argument("--compaction-model",
                    help="trained RL4QDTS model (.npz) to load for "
                    "--compaction rl (omit for an untrained policy)")
+    p.add_argument("--replicas", type=int, default=1,
+                   help="worker processes per shard (process executor): "
+                   "queries fail over to a live sibling when a worker "
+                   "dies; ingest replicates to all (answers are identical "
+                   "either way — this buys fault tolerance)")
+    p.add_argument("--rebalance-threshold", type=float, default=None,
+                   help="enable online shard split/merge (spatial "
+                   "partitioner only): split the hottest shard above "
+                   "THRESHOLD x mean points, merge the coldest adjacent "
+                   "pair below mean / THRESHOLD; must be > 1")
+    p.add_argument("--watchdog-interval", type=float, default=0.0,
+                   help="seconds between watchdog liveness polls that "
+                   "restart dead/hung shard replicas (0 disables)")
+    p.add_argument("--watchdog-deadline", type=float, default=5.0,
+                   help="seconds a replica heartbeat may take before the "
+                   "watchdog declares it hung and restarts it")
 
 
 def build_parser() -> argparse.ArgumentParser:

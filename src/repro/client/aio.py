@@ -174,6 +174,13 @@ class AsyncRemoteClient:
         self.last_trace_id: str | None = None
         #: Serving metadata from the most recent handshake.
         self.server_info: dict = {}
+        #: Idempotent requests replayed after a mid-request connection
+        #: reset — the signature of a server-side failover/restart window
+        #: (a replicated server killing and replacing a worker drops
+        #: connections exactly like a transient overload sheds them, so
+        #: both are retried the same way). Ingest never increments this:
+        #: a reset mid-ingest stays fatal, the batch may have applied.
+        self.failover_retries = 0
 
     @classmethod
     async def open(cls, host: str, port: int, **kwargs) -> "AsyncRemoteClient":
@@ -309,6 +316,12 @@ class AsyncRemoteClient:
                     conn.inflight.pop(rid, None)
                     conn.dead = True
                     if idempotent and attempt < self._retries:
+                        # A reset mid-request is what a server-side
+                        # failover/restart window looks like from here;
+                        # treat it exactly like an Overloaded refusal
+                        # (same backoff, same budget) — but only for
+                        # idempotent operations, which cannot double-apply.
+                        self.failover_retries += 1
                         await asyncio.sleep(self._retry_backoff * (2**attempt))
                         attempt += 1
                         continue

@@ -187,6 +187,9 @@ class LocalClient(Client):
             # The local transport has no storage engine to compact: it is
             # always exact (same key shape as the sharded describe()).
             "compaction": {"policy": "exact"},
+            # One in-process engine == one replica (same key shape as the
+            # replicated sharded describe()).
+            "replicas": 1,
         }
 
     def close(self) -> None:

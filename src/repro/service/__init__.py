@@ -16,7 +16,12 @@ Layering (see ``ARCHITECTURE.md`` at the repository root)::
   :class:`SimplifyingCompaction` (the paper's simplifiers as the storage
   engine, under a per-trajectory error budget);
 * :mod:`~repro.service.executors` — scatter/gather over shards, serial
-  reference and one-worker-process-per-shard implementations;
+  reference and replica-set-of-worker-processes-per-shard implementations;
+* :mod:`~repro.service.replication` — :class:`ReplicaSet`: R workers per
+  shard sharing the shm base segments, query failover on worker death,
+  replicated ingest, restart-with-replay;
+* :mod:`~repro.service.watchdog` — :class:`Watchdog`: background
+  heartbeat/liveness monitor that restarts dead or hung replicas;
 * :mod:`~repro.service.requests` — the typed request/response API, which
   doubles as the canonical versioned wire schema (``to_json``/``from_json``
   codecs, :class:`RequestError` decode-time validation);
@@ -74,8 +79,10 @@ from repro.service.requests import (
     response_from_json,
     response_to_json,
 )
+from repro.service.replication import PipeStats, ReplicaSet
 from repro.service.runtime import ShardRuntime
 from repro.service.server import QueryServer, ServerHandle, serve_in_thread
+from repro.service.watchdog import Watchdog
 from repro.service.service import (
     QueryService,
     ServiceStats,
@@ -103,6 +110,9 @@ __all__ = [
     "SerialShardExecutor",
     "ProcessShardExecutor",
     "ShardExecutionError",
+    "ReplicaSet",
+    "PipeStats",
+    "Watchdog",
     "make_executor",
     "EXECUTORS",
     "PARTITIONERS",

@@ -12,123 +12,74 @@ Two interchangeable implementations of one small contract:
   order) so the service's stats see policy passes triggered worker-side;
 * ``close()``               — release workers (idempotent).
 
+Plus the fault-tolerance surface (both executors implement it; serial's
+is trivially healthy since its runtimes share the caller's process):
+``liveness()`` (non-blocking dead-shard probe), ``ping(deadline)``
+(heartbeat that retires hung workers), ``restart_dead()`` (respawn
+retired replicas from snapshot + replayed ingest log), ``reshard(...)``
+(online split/merge surgery on the worker topology), and
+``replication_stats()``.
+
 :class:`SerialShardExecutor` is the in-process reference: shards execute
 one after another, so it adds no parallelism but also no serialization
 cost — and it is the oracle the process executor is tested against.
 
-:class:`ProcessShardExecutor` starts one long-lived worker process per
-shard. Each worker materializes its :class:`~repro.service.runtime.ShardRuntime`
-once from the shard snapshot — for a columnar
+:class:`ProcessShardExecutor` runs a :class:`~repro.service.replication.ReplicaSet`
+of ``replicas`` long-lived worker processes per shard. Each worker
+materializes its :class:`~repro.service.runtime.ShardRuntime` once from
+the shard snapshot — for a columnar
 :class:`~repro.service.sharding.ShardSnapshot` backed by the
-shared-memory store this *maps* the base tier instead of unpickling it —
-and keeps it warm across requests (CSR layout, engine memo, pending
-tier), communicating over a dedicated pipe. Messages travel as pickle-5
-frames with numpy payloads shipped out-of-band (see the codec below). A
-broadcast writes all requests before reading any reply, so shards
-genuinely overlap; ingest messages target only the shards that received
-rows. Workers die with the executor (daemon processes + explicit stop).
+shared-memory store this *maps* the base tier instead of unpickling it,
+so R replicas share one copy of the base data — and keeps it warm across
+requests (CSR layout, engine memo, pending tier), communicating over a
+dedicated pipe. Messages travel as pickle-5 frames with numpy payloads
+shipped out-of-band (codec in :mod:`repro.service.replication`). A
+broadcast checks out one live replica per target shard and writes all
+requests before reading any reply, so shards genuinely overlap; a
+replica that dies mid-request is retired and the query retries on a live
+sibling (ingest instead fans out to every replica and is never retried —
+see the replication module docstring for the rules). Workers die with
+the executor (daemon processes + explicit stop).
 """
 
 from __future__ import annotations
 
-import io
+import itertools
 import multiprocessing
 import os
-import pickle
-import struct
 import threading
 import time
 from typing import Iterable
 
-import numpy as np
-
+from repro.obs.metrics import MetricsRegistry
+from repro.service.replication import (
+    _INLINE_LIMIT,  # noqa: F401  (historical home; tests import from here)
+    _FramePickler,  # noqa: F401
+    _dump_message,
+    _load_message,  # noqa: F401
+    _recv_frames,  # noqa: F401
+    _recv_message,  # noqa: F401
+    _restore_array,  # noqa: F401
+    _send_frames,  # noqa: F401
+    _send_message,  # noqa: F401
+    _shard_worker_main,  # noqa: F401
+    PipeStats,
+    ReplicaGone,
+    ReplicaSet,
+    ShardExecutionError,
+)
 from repro.service.runtime import ShardRuntime
 from repro.service.sharding import Shard, ShardSnapshot
 
 EXECUTORS = ("serial", "process")
 
-
-class ShardExecutionError(RuntimeError):
-    """A shard worker failed to execute an operation."""
-
-
-# ---------------------------------------------------------------------------
-# Pipe message codec: pickle-5 with numpy payloads as raw out-of-band frames
-# ---------------------------------------------------------------------------
-#
-# ``Connection.send`` pickles numpy arrays *in-band*: the array bytes are
-# copied into the pickle stream on send and copied again out of it on load.
-# The codec below pickles every message at protocol 5 with a reducer that
-# turns large contiguous arrays into ``PickleBuffer`` references, then ships
-# each buffer as its own raw pipe frame — the send side writes straight from
-# the array's memory, and the load side wraps the received frame with
-# ``np.frombuffer`` (no second copy). Message layout on the wire:
-#
-#     frame 0:   4-byte big-endian buffer count || pickle bytes
-#     frame 1..: one raw frame per out-of-band array buffer
-#
-# Serialization completes before any frame is written, so an unpicklable
-# payload still leaves the pipe clean (same property Connection.send had).
-
-#: Arrays at or below this many bytes stay in-band: a dedicated pipe frame
-#: costs more than it saves for tiny arrays.
-_INLINE_LIMIT = 2048
-
-
-def _restore_array(buffer, dtype: str, shape: tuple) -> np.ndarray:
-    """Rebuild an out-of-band array (read-only, zero-copy over the frame)."""
-    return np.frombuffer(buffer, dtype=dtype).reshape(shape)
-
-
-class _FramePickler(pickle.Pickler):
-    def reducer_override(self, obj):
-        if (
-            type(obj) is np.ndarray
-            and obj.dtype.kind in "biufc"
-            and obj.flags.c_contiguous
-            and obj.nbytes > _INLINE_LIMIT
-        ):
-            return (
-                _restore_array,
-                (pickle.PickleBuffer(obj), obj.dtype.str, obj.shape),
-            )
-        return NotImplemented
-
-
-def _dump_message(message) -> list:
-    """Serialize one message into its list of pipe frames."""
-    buffers: list[pickle.PickleBuffer] = []
-    head = io.BytesIO()
-    _FramePickler(head, protocol=5, buffer_callback=buffers.append).dump(message)
-    frames: list = [struct.pack(">I", len(buffers)) + head.getvalue()]
-    frames.extend(buf.raw() for buf in buffers)
-    return frames
-
-
-def _send_frames(conn, frames) -> None:
-    for frame in frames:
-        conn.send_bytes(frame)
-
-
-def _send_message(conn, message) -> None:
-    _send_frames(conn, _dump_message(message))
-
-
-def _recv_frames(conn) -> tuple[bytes, list[bytes]]:
-    """Read one message's raw frames (head + out-of-band buffers)."""
-    head = conn.recv_bytes()
-    (n_buffers,) = struct.unpack_from(">I", head)
-    buffers = [conn.recv_bytes() for _ in range(n_buffers)]
-    return head, buffers
-
-
-def _load_message(head: bytes, buffers: list[bytes]):
-    return pickle.loads(memoryview(head)[4:], buffers=buffers)
-
-
-def _recv_message(conn):
-    head, buffers = _recv_frames(conn)
-    return _load_message(head, buffers)
+__all__ = [
+    "EXECUTORS",
+    "ProcessShardExecutor",
+    "SerialShardExecutor",
+    "ShardExecutionError",
+    "make_executor",
+]
 
 
 class _TraceContextProperty:
@@ -165,6 +116,10 @@ class _TraceContextProperty:
 class SerialShardExecutor:
     """In-process reference executor: shards run sequentially.
 
+    ``replicas`` is accepted for interface parity with the process
+    executor but means nothing here — an in-process runtime cannot die
+    independently of the caller, so there is nothing to fail over to.
+
     Thread safety: each shard runtime is guarded by its own lock, so
     concurrent requests from the server's worker pool serialize *per
     shard* while still overlapping across shards (and overlapping all
@@ -177,10 +132,23 @@ class SerialShardExecutor:
     trace_context = _TraceContextProperty()
 
     def __init__(
-        self, shards: Iterable[Shard | ShardSnapshot], **runtime_kwargs
+        self,
+        shards: Iterable[Shard | ShardSnapshot],
+        replicas: int = 1,
+        **runtime_kwargs,
     ) -> None:
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
         self._closed = False
-        self.runtimes = [ShardRuntime(s, **runtime_kwargs) for s in shards]
+        self._runtime_kwargs = dict(runtime_kwargs)
+        # Store sub-family tags are allocated executor-wide, never reused:
+        # after an online reshard a new shard could otherwise adopt a
+        # renumbered survivor's tag and collide on epoch segment names.
+        self._tags = itertools.count()
+        self.runtimes = [
+            ShardRuntime(s, store_tag=f"w{next(self._tags)}", **runtime_kwargs)
+            for s in shards
+        ]
         self._locks = [threading.Lock() for _ in self.runtimes]
 
     def _check_usable(self) -> None:
@@ -234,6 +202,74 @@ class SerialShardExecutor:
             for shard_idx in sorted(routed)
         ]
 
+    # --------------------------------------------------- fault tolerance
+    def liveness(self) -> dict:
+        """Non-blocking health probe (in-process runtimes are always live)."""
+        n = len(self.runtimes)
+        return {
+            "alive": not self._closed,
+            "dead_shards": [],
+            "replicas_live": n,
+            "replicas_total": n,
+            "shards": [
+                {
+                    "shard": i,
+                    "replicas": 1,
+                    "live": 1,
+                    "pids": [os.getpid()],
+                    "dead_replicas": [],
+                }
+                for i in range(n)
+            ],
+        }
+
+    def ping(self, deadline: float) -> int:
+        """Heartbeat (no-op: nothing out-of-process can hang). Returns 0."""
+        self._check_usable()
+        return 0
+
+    def restart_dead(self) -> int:
+        """Nothing to restart in-process. Returns 0."""
+        self._check_usable()
+        return 0
+
+    def replication_stats(self) -> dict:
+        n = len(self.runtimes)
+        return {
+            "replicas_per_shard": 1,
+            "replicas_live": n,
+            "replicas_total": n,
+            "dead_shards": [],
+            "counters": {},
+        }
+
+    def reshard(self, start: int, n_removed: int, shards) -> None:
+        """Replace ``runtimes[start:start+n_removed]`` after a split/merge.
+
+        ``shards`` are the manager's replacement shards (already carrying
+        their post-surgery indices); survivors after the splice are
+        renumbered to their new positions. The caller (the service) holds
+        the epoch write lock, so no query runs concurrently.
+        """
+        self._check_usable()
+        if start < 0 or n_removed < 1 or start + n_removed > len(self.runtimes):
+            raise ValueError(
+                f"reshard range [{start}, {start + n_removed}) out of bounds "
+                f"for {len(self.runtimes)} shards"
+            )
+        fresh = [
+            ShardRuntime(s, store_tag=f"w{next(self._tags)}", **self._runtime_kwargs)
+            for s in shards
+        ]
+        old = self.runtimes[start : start + n_removed]
+        self.runtimes[start : start + n_removed] = fresh
+        self._locks[start : start + n_removed] = [threading.Lock() for _ in fresh]
+        for pos, runtime in enumerate(self.runtimes):
+            if runtime.index != pos:
+                runtime.op_set_index(pos)
+        for runtime in old:
+            runtime.close()
+
     def close(self) -> None:
         if self._closed:
             return
@@ -249,40 +285,13 @@ class SerialShardExecutor:
         self.close()
 
 
-def _shard_worker_main(conn, shard: Shard | ShardSnapshot, runtime_kwargs: dict) -> None:
-    """Worker-process loop: build the runtime once, serve ops until stopped.
-
-    With a :class:`~repro.service.sharding.ShardSnapshot` the runtime
-    construction *maps* the shard's base tier from its shared segments —
-    the worker never unpickles point data at startup. The ``finally`` runs
-    :meth:`ShardRuntime.close` so worker-published compaction segments are
-    unlinked on every orderly exit path (stop message, EOF, exception).
-    """
-    runtime = ShardRuntime(shard, **runtime_kwargs)
-    try:
-        while True:
-            try:
-                op, payload = _recv_message(conn)
-            except (EOFError, KeyboardInterrupt):
-                break
-            if op == "stop":
-                break
-            try:
-                if op == "ingest":
-                    _send_message(conn, ("ok", runtime.ingest(payload)))
-                else:
-                    _send_message(conn, ("ok", runtime.execute(op, payload)))
-            except Exception as exc:  # surface shard-side failures to the parent
-                _send_message(conn, ("error", f"{type(exc).__name__}: {exc}"))
-    finally:
-        try:
-            runtime.close()
-        finally:
-            conn.close()
-
-
 class ProcessShardExecutor:
-    """One worker process per shard, scatter/gather over pipes.
+    """A replica set of worker processes per shard, scatter/gather over pipes.
+
+    ``replicas`` sets R, the worker count per shard (default 1 — the
+    historical one-worker-per-shard topology). Queries fail over across
+    replicas; see :mod:`repro.service.replication` for the routing,
+    ingest-fan-out, and restart rules.
 
     ``mp_context`` selects the multiprocessing start method; the default
     honours the ``REPRO_MP_CONTEXT`` environment variable (CI runs the
@@ -301,43 +310,70 @@ class ProcessShardExecutor:
         self,
         shards: Iterable[Shard | ShardSnapshot],
         mp_context: str | None = None,
+        replicas: int = 1,
         **runtime_kwargs,
     ) -> None:
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
         if mp_context is None:
             mp_context = os.environ.get("REPRO_MP_CONTEXT") or None
         if mp_context is None:
             methods = multiprocessing.get_all_start_methods()
             mp_context = "fork" if "fork" in methods else methods[0]
-        ctx = multiprocessing.get_context(mp_context)
-        self._conns = []
-        self._locks: list[threading.Lock] = []
-        self._stats_lock = threading.Lock()
-        self._procs = []
+        self._ctx = multiprocessing.get_context(mp_context)
+        self._replicas = int(replicas)
+        self._runtime_kwargs = dict(runtime_kwargs)
         self._closed = False
-        self._broken = False
-        # Parent-side pipe accounting (scatter/gather traffic only; the
-        # stop handshake at close is not counted).
-        self._bytes_sent = 0
-        self._bytes_received = 0
-        self._messages_sent = 0
-        self._messages_received = 0
+        # Parent-side pipe accounting, shared across every replica set
+        # (scatter/gather traffic only; the stop handshake at close is
+        # not counted).
+        self._pipe_stats = PipeStats()
+        # Replication instruments (failovers/restarts/hung/latency) live in
+        # their own registry so they survive the service's per-shard merge
+        # untouched; Counter/Gauge are not thread-safe, hence the lock.
+        self._replication_registry = MetricsRegistry()
+        self._registry_lock = threading.Lock()
+        # Store sub-family tags are allocated executor-wide, never reused:
+        # two replicas of one shard — or a restarted replica racing its
+        # predecessor's still-resident segments, or a post-reshard shard
+        # adopting a renumbered survivor's old index — must never publish
+        # epoch segments under the same tag.
+        self._tags = itertools.count()
+        self._sets: list[ReplicaSet] = []
         try:
             for shard in shards:
-                parent_conn, child_conn = ctx.Pipe()
-                proc = ctx.Process(
-                    target=_shard_worker_main,
-                    args=(child_conn, shard, runtime_kwargs),
-                    daemon=True,
-                    name=f"repro-shard-{shard.index}",
-                )
-                proc.start()
-                child_conn.close()
-                self._conns.append(parent_conn)
-                self._locks.append(threading.Lock())
-                self._procs.append(proc)
+                self._sets.append(self._make_set(shard))
         except Exception:
             self.close()
             raise
+
+    def _make_set(self, shard: Shard | ShardSnapshot) -> ReplicaSet:
+        return ReplicaSet(
+            shard,
+            ctx=self._ctx,
+            runtime_kwargs=self._runtime_kwargs,
+            replicas=self._replicas,
+            pipe_stats=self._pipe_stats,
+            registry=self._replication_registry,
+            registry_lock=self._registry_lock,
+            next_tag=lambda: f"w{next(self._tags)}",
+        )
+
+    # ------------------------------------------------------------- topology
+    @property
+    def replica_sets(self) -> list[ReplicaSet]:
+        return list(self._sets)
+
+    @property
+    def _procs(self) -> list:
+        """Every worker process, grouped by shard then replica slot.
+
+        With ``replicas=1`` this is the historical one-process-per-shard
+        list (indexable by shard). Retired replicas stay at their slot
+        until :meth:`restart_dead` replaces them, so a just-killed worker
+        remains joinable here.
+        """
+        return [r.proc for s in self._sets for r in s.replicas]
 
     @property
     def n_workers(self) -> int:
@@ -349,95 +385,86 @@ class ProcessShardExecutor:
     def transport_stats(self) -> dict:
         """Parent-side pipe traffic counters (the ``metrics`` report's
         ``transport`` section)."""
-        with self._stats_lock:
-            return {
-                "n_workers": self.n_workers,
-                "pipe_bytes_sent": self._bytes_sent,
-                "pipe_bytes_received": self._bytes_received,
-                "messages_sent": self._messages_sent,
-                "messages_received": self._messages_received,
-            }
+        stats = self._pipe_stats.snapshot()
+        return {"n_workers": self.n_workers, **stats}
 
+    # -------------------------------------------------------------- scatter
     def _scatter_gather(self, messages: dict[int, tuple]) -> list:
         """Send ``{shard: message}``, then collect one reply per shard sent.
 
-        Sends to every target are attempted even when an earlier one hits a
-        dead worker, and every successfully-messaged pipe is drained even
-        when an early shard reports an error — an unsent request would make
-        the later gather read a stale reply, and an unread reply left in a
-        pipe would be mistaken for the answer to the *next* request. All
-        failures (send and execution) surface as one
+        Each target shard checks out ONE live replica (pipe lock held
+        until its reply is read). Sends to every target are attempted even
+        when an earlier one finds a dead shard, and every checked-out pipe
+        is drained even when an early shard reports an error — an unread
+        reply left in a pipe would be mistaken for the answer to the
+        *next* request. A replica that dies mid-request is retired and its
+        shard's request is retried on a live sibling — *after* the main
+        gather, when this thread holds no other pipe locks. All failures
+        (send, execution, exhausted replicas) surface as one
         :class:`ShardExecutionError` after the drain.
 
-        Thread safety: the locks of every *target* shard's pipe are held
-        in ascending shard order for the whole scatter+gather (ascending
-        everywhere ⇒ no lock-order deadlock between concurrent requests).
-        Two requests touching disjoint shard sets — the common case once
-        the planner prunes kNN fan-out — run fully in parallel; requests
-        sharing a shard serialize on it, which is exactly the pipe's
-        one-outstanding-request protocol.
+        Thread safety: checkouts happen in ascending shard order, one
+        replica lock per shard; every wait is therefore for a
+        greater-or-equal shard than anything held, so concurrent requests
+        cannot deadlock. Two requests touching disjoint shard sets — the
+        common case once the planner prunes kNN fan-out — run fully in
+        parallel; with R > 1, requests sharing a shard overlap across its
+        idle siblings too.
         """
-        targets = sorted(messages)
-        for shard_idx in targets:
-            self._locks[shard_idx].acquire()
-        try:
-            return self._scatter_gather_locked(messages)
-        finally:
-            for shard_idx in targets:
-                self._locks[shard_idx].release()
-
-    def _scatter_gather_locked(self, messages: dict[int, tuple]) -> list:
         errors: list[str] = []
-        sent: list[int] = []
         # Serialize each distinct message object once: a broadcast hands
         # every shard the SAME payload object, so K sends cost one
         # serialization instead of K. Numpy payloads travel as raw
-        # out-of-band frames (see the codec above), written straight from
-        # the arrays' memory.
-        framed: dict[int, list] = {}
+        # out-of-band frames (see the replication codec).
+        framed: dict[int, object] = {}
+        checked_out: list[tuple[int, ReplicaSet, object]] = []
         for shard_idx in sorted(messages):
             message = messages[shard_idx]
-            try:
-                frames = framed.get(id(message))
-                if frames is None:
-                    frames = _dump_message(message)
-                    framed[id(message)] = frames
-                _send_frames(self._conns[shard_idx], frames)
-                with self._stats_lock:
-                    self._bytes_sent += sum(len(f) for f in frames)
-                    self._messages_sent += 1
-                sent.append(shard_idx)
-            except Exception as exc:
-                # Dead worker (BrokenPipeError/OSError) or an unpicklable
-                # payload (e.g. a lambda measure): serialization completes
-                # before any frame is written, so a failed send leaves the
-                # pipe clean and the error is reportable per shard.
+            key = id(message)
+            if key not in framed:
+                try:
+                    framed[key] = _dump_message(message)
+                except Exception as exc:
+                    # An unpicklable payload (e.g. a lambda measure):
+                    # serialization completes before any frame is written,
+                    # so the failure is reportable per shard with every
+                    # pipe left clean.
+                    framed[key] = exc
+            frames = framed[key]
+            if isinstance(frames, Exception):
                 errors.append(
                     f"shard {shard_idx}: send failed "
-                    f"({type(exc).__name__}: {exc})"
+                    f"({type(frames).__name__}: {frames})"
                 )
+                continue
+            replica = self._sets[shard_idx].checkout_and_send(frames)
+            if replica is None:
+                errors.append(
+                    f"shard {shard_idx}: worker died mid-request and no "
+                    f"live replica remains"
+                )
+                continue
+            checked_out.append((shard_idx, self._sets[shard_idx], replica))
         ctx = self.trace_context
         tracer, trace_id = ctx if ctx else (None, None)
         gather_start = time.perf_counter()
-        replies = {}
-        for shard_idx in sent:
+        replies: dict[int, tuple] = {}
+        needs_retry: list[int] = []
+        while checked_out:
+            shard_idx, replica_set, replica = checked_out.pop(0)
             try:
-                head, buffers = _recv_frames(self._conns[shard_idx])
-                with self._stats_lock:
-                    self._bytes_received += len(head) + sum(
-                        len(b) for b in buffers
-                    )
-                    self._messages_received += 1
-                replies[shard_idx] = _load_message(head, buffers)
-            except EOFError:
-                replies[shard_idx] = ("error", "worker died mid-request")
+                replies[shard_idx] = replica_set.receive(replica)
+            except ReplicaGone:
+                needs_retry.append(shard_idx)
+                continue
             except BaseException:
                 # Interrupted mid-gather (KeyboardInterrupt, a damaged fd,
-                # an unpicklable reply): later shards' replies are still
-                # queued in their pipes and would be misread as the answers
-                # to the NEXT request — poison the executor before
-                # propagating.
-                self._broken = True
+                # an unpicklable reply): receive() already retired the
+                # replica it was reading; the remaining checkouts hold
+                # pipes with undrained replies — abandon them so their
+                # siblings (and restarts) keep the executor usable.
+                for _, later_set, later in checked_out:
+                    later_set.abandon(later)
                 raise
             if tracer is not None:
                 # Per-shard gather wait: time from gather start until this
@@ -451,6 +478,15 @@ class ProcessShardExecutor:
                     shard=shard_idx,
                     op=messages[shard_idx][0],
                 )
+        # Deferred failover: retry dead-mid-request shards on live
+        # siblings now that no other pipe lock is held.
+        for shard_idx in needs_retry:
+            try:
+                replies[shard_idx] = self._sets[shard_idx].request(
+                    framed[id(messages[shard_idx])]
+                )
+            except ShardExecutionError as exc:
+                errors.append(str(exc))
         errors.extend(
             f"shard {idx}: {value}"
             for idx, (status, value) in replies.items()
@@ -463,11 +499,6 @@ class ProcessShardExecutor:
     def _check_usable(self) -> None:
         if self._closed:
             raise ShardExecutionError("executor is closed")
-        if self._broken:
-            raise ShardExecutionError(
-                "executor was interrupted mid-gather; worker pipes may hold "
-                "stale replies — rebuild the service"
-            )
 
     def broadcast(self, op: str, payload: dict) -> list:
         self._check_usable()
@@ -476,7 +507,7 @@ class ProcessShardExecutor:
         # message object, so _scatter_gather's pickle-once cache applies.
         message = (op, payload)
         return self._scatter_gather(
-            {idx: message for idx in range(len(self._conns))}
+            {idx: message for idx in range(len(self._sets))}
         )
 
     def run_on(self, shard_indices, op: str, payload: dict) -> dict[int, object]:
@@ -492,33 +523,138 @@ class ProcessShardExecutor:
         results = self._scatter_gather({idx: message for idx in indices})
         return dict(zip(indices, results))
 
+    # --------------------------------------------------------------- ingest
     def ingest(self, routed: dict[int, list]) -> list:
+        """Deliver routed batches; every live replica of a target shard
+        gets its own copy (see :meth:`ReplicaSet.ingest_send` for why
+        ingest is replicated rather than failed over)."""
         self._check_usable()
-        return self._scatter_gather(
-            {idx: ("ingest", batch) for idx, batch in routed.items()}
+        order = sorted(routed)
+        framed = {
+            idx: _dump_message(("ingest", routed[idx])) for idx in order
+        }
+        sent: dict[int, list] = {}
+        results: list = []
+        errors: list[str] = []
+        try:
+            for idx in order:
+                sent[idx] = self._sets[idx].ingest_send(framed[idx], routed[idx])
+            for idx in order:
+                replicas = sent.pop(idx)
+                try:
+                    results.append(
+                        self._sets[idx].ingest_gather(replicas, routed[idx])
+                    )
+                except ShardExecutionError as exc:
+                    errors.append(str(exc))
+        except BaseException:
+            for idx, replicas in sent.items():
+                for replica in replicas:
+                    self._sets[idx].abandon(replica)
+            raise
+        if errors:
+            raise ShardExecutionError("; ".join(errors))
+        return results
+
+    # --------------------------------------------------- fault tolerance
+    def liveness(self) -> dict:
+        """Non-blocking health probe: no pipe traffic, just process state.
+
+        Names dead shards (every replica gone) immediately instead of
+        waiting for the next scatter to raise; replicas whose process
+        silently exited are retired here.
+        """
+        shards = [replica_set.liveness() for replica_set in self._sets]
+        dead_shards = [s["shard"] for s in shards if s["live"] == 0]
+        live = sum(s["live"] for s in shards)
+        total = sum(s["replicas"] for s in shards)
+        with self._registry_lock:
+            self._replication_registry.gauge("replication.replicas_live").set(
+                live
+            )
+        return {
+            "alive": not self._closed and not dead_shards,
+            "dead_shards": dead_shards,
+            "replicas_live": live,
+            "replicas_total": total,
+            "shards": shards,
+        }
+
+    def ping(self, deadline: float) -> int:
+        """Heartbeat every idle replica; retire any that miss ``deadline``
+        (hung-but-alive workers). Returns the number retired."""
+        self._check_usable()
+        return sum(
+            replica_set.ping(deadline) for replica_set in self._sets
         )
 
+    def restart_dead(self) -> int:
+        """Respawn every retired replica from its shard's snapshot plus the
+        replayed ingest log. Returns the number restarted."""
+        self._check_usable()
+        restarted = 0
+        for replica_set in self._sets:
+            restarted += replica_set.restart_dead()
+        if restarted:
+            self.liveness()  # refresh the replicas_live gauge
+        return restarted
+
+    def replication_stats(self) -> dict:
+        """Replica topology plus the replication instrument snapshot
+        (failovers / restarts / hung replicas / restart latency)."""
+        probe = self.liveness()
+        with self._registry_lock:
+            counters = self._replication_registry.snapshot()
+        return {
+            "replicas_per_shard": self._replicas,
+            "replicas_live": probe["replicas_live"],
+            "replicas_total": probe["replicas_total"],
+            "dead_shards": probe["dead_shards"],
+            "counters": counters,
+        }
+
+    def reshard(self, start: int, n_removed: int, shards) -> None:
+        """Replace the replica sets of ``[start, start+n_removed)`` after an
+        online split/merge.
+
+        Fresh sets spawn from the manager's replacement shards (exported at
+        the new epoch) before the old sets are torn down; survivors after
+        the splice are renumbered in place — their data, segments, and
+        engines are untouched, only the routing label moves. The caller
+        (the service) holds the epoch write lock, so no query or ingest
+        runs concurrently. Old sets' ingest logs die with them: the new
+        epoch's base segments already contain every committed batch.
+        """
+        self._check_usable()
+        if start < 0 or n_removed < 1 or start + n_removed > len(self._sets):
+            raise ValueError(
+                f"reshard range [{start}, {start + n_removed}) out of bounds "
+                f"for {len(self._sets)} shards"
+            )
+        fresh: list[ReplicaSet] = []
+        try:
+            for shard in shards:
+                fresh.append(self._make_set(shard))
+        except BaseException:
+            for replica_set in fresh:
+                replica_set.close()
+            raise
+        old = self._sets[start : start + n_removed]
+        self._sets[start : start + n_removed] = fresh
+        for pos, replica_set in enumerate(self._sets):
+            if replica_set.shard_index != pos:
+                replica_set.renumber(pos)
+        for replica_set in old:
+            replica_set.close()
+        self.liveness()  # refresh the replicas_live gauge
+
+    # ------------------------------------------------------------ lifecycle
     def close(self) -> None:
         if self._closed:
             return
         self._closed = True
-        for lock, conn in zip(self._locks, self._conns):
-            with lock:
-                try:
-                    _send_message(conn, ("stop", None))
-                except (BrokenPipeError, OSError):
-                    pass
-        for lock, conn in zip(self._locks, self._conns):
-            with lock:
-                try:
-                    conn.close()
-                except OSError:
-                    pass
-        for proc in self._procs:
-            proc.join(timeout=5.0)
-            if proc.is_alive():  # pragma: no cover - stuck worker safety net
-                proc.terminate()
-                proc.join(timeout=1.0)
+        for replica_set in self._sets:
+            replica_set.close()
 
     def __enter__(self) -> "ProcessShardExecutor":
         return self

@@ -1,0 +1,750 @@
+"""Per-shard replica groups: failover routing and restart-with-replay.
+
+This is the fault-tolerance core of the sharded service. A
+:class:`ReplicaSet` owns R worker processes for ONE shard, all built from
+the same :class:`~repro.service.sharding.ShardSnapshot` — under the
+shared-memory store every replica *maps* the shard's base segments
+zero-copy, so an extra replica costs pipes and pending-tier heap, not a
+second copy of the data. The set provides:
+
+* **query routing with failover** — each query checks out one live
+  replica (round-robin, preferring idle pipes); a worker that dies
+  mid-request is retired and the request retries on a live sibling.
+  Query operations are read-only, so a retry can never double-apply;
+* **replicated ingest, never retried** — an ingest batch is logged
+  parent-side and written to EVERY live replica under the set lock (one
+  global arrival order, so replicas compact identically). A replica that
+  fails its copy is retired — a sibling retry would have nothing to
+  repair, the sibling already holds its own copy;
+* **restart with replay** — a retired replica respawns from the shard's
+  original base snapshot plus the replayed ingest log, catching up on
+  batches that arrived mid-spawn before it rejoins the rotation. Spawn
+  and replay happen outside the set lock, so queries keep flowing to
+  live siblings during the restart window;
+* **liveness** — a non-blocking :meth:`~ReplicaSet.liveness` probe
+  (``Process.is_alive``, no pipe traffic) and a :meth:`~ReplicaSet.ping`
+  heartbeat with a deadline that catches hung-but-alive workers.
+
+Deadlock discipline: a request holds at most ONE replica pipe lock per
+shard and acquires shards in ascending order (the executor's scatter
+order); within a shard, siblings are tried one at a time, never held
+together — except by ingest, which holds the set lock first, and set
+locks are themselves acquired in ascending shard order. Every wait is
+therefore for a strictly greater (shard, resource) pair than anything
+held, so no cycle can form. Failover retries for shards that failed
+mid-gather are *deferred* until the main gather released every pipe.
+
+Failover/restart/liveness counters export through a shared
+:class:`~repro.obs.metrics.MetricsRegistry`
+(``replication.failovers``, ``replication.restarts``,
+``replication.restart_latency_s``, ``replication.replicas_live``,
+``replication.hung_replicas``), surfaced by the service's
+``metrics_report()`` replication section.
+
+The pipe codec (pickle-5 frames, large numpy arrays as raw out-of-band
+frames) and the worker main loop live here; ``executors.py`` re-exports
+them under their historical names.
+"""
+
+from __future__ import annotations
+
+import io
+import pickle
+import struct
+import threading
+import time
+from typing import Callable
+
+import numpy as np
+
+from repro.obs.metrics import MetricsRegistry
+from repro.service.runtime import ShardRuntime
+from repro.service.sharding import Shard, ShardSnapshot
+
+
+class ShardExecutionError(RuntimeError):
+    """A shard worker failed to execute an operation."""
+
+
+class ReplicaGone(Exception):
+    """Internal signal: the checked-out replica died mid-request.
+
+    Raised by :meth:`ReplicaSet.receive` after the replica has been
+    retired; callers fail the shard over to a sibling (queries) or drop
+    the replica's ack (ingest). Never escapes the executor layer.
+    """
+
+
+# ---------------------------------------------------------------------------
+# Pipe message codec: pickle-5 with numpy payloads as raw out-of-band frames
+# ---------------------------------------------------------------------------
+#
+# ``Connection.send`` pickles numpy arrays *in-band*: the array bytes are
+# copied into the pickle stream on send and copied again out of it on load.
+# The codec below pickles every message at protocol 5 with a reducer that
+# turns large contiguous arrays into ``PickleBuffer`` references, then ships
+# each buffer as its own raw pipe frame — the send side writes straight from
+# the array's memory, and the load side wraps the received frame with
+# ``np.frombuffer`` (no second copy). Message layout on the wire:
+#
+#     frame 0:   4-byte big-endian buffer count || pickle bytes
+#     frame 1..: one raw frame per out-of-band array buffer
+#
+# Serialization completes before any frame is written, so an unpicklable
+# payload still leaves the pipe clean (same property Connection.send had).
+
+#: Arrays at or below this many bytes stay in-band: a dedicated pipe frame
+#: costs more than it saves for tiny arrays.
+_INLINE_LIMIT = 2048
+
+
+def _restore_array(buffer, dtype: str, shape: tuple) -> np.ndarray:
+    """Rebuild an out-of-band array (read-only, zero-copy over the frame)."""
+    return np.frombuffer(buffer, dtype=dtype).reshape(shape)
+
+
+class _FramePickler(pickle.Pickler):
+    def reducer_override(self, obj):
+        if (
+            type(obj) is np.ndarray
+            and obj.dtype.kind in "biufc"
+            and obj.flags.c_contiguous
+            and obj.nbytes > _INLINE_LIMIT
+        ):
+            return (
+                _restore_array,
+                (pickle.PickleBuffer(obj), obj.dtype.str, obj.shape),
+            )
+        return NotImplemented
+
+
+def _dump_message(message) -> list:
+    """Serialize one message into its list of pipe frames."""
+    buffers: list[pickle.PickleBuffer] = []
+    head = io.BytesIO()
+    _FramePickler(head, protocol=5, buffer_callback=buffers.append).dump(message)
+    frames: list = [struct.pack(">I", len(buffers)) + head.getvalue()]
+    frames.extend(buf.raw() for buf in buffers)
+    return frames
+
+
+def _send_frames(conn, frames) -> None:
+    for frame in frames:
+        conn.send_bytes(frame)
+
+
+def _send_message(conn, message) -> None:
+    _send_frames(conn, _dump_message(message))
+
+
+def _recv_frames(conn) -> tuple[bytes, list[bytes]]:
+    """Read one message's raw frames (head + out-of-band buffers)."""
+    head = conn.recv_bytes()
+    (n_buffers,) = struct.unpack_from(">I", head)
+    buffers = [conn.recv_bytes() for _ in range(n_buffers)]
+    return head, buffers
+
+
+def _load_message(head: bytes, buffers: list[bytes]):
+    return pickle.loads(memoryview(head)[4:], buffers=buffers)
+
+
+def _recv_message(conn):
+    head, buffers = _recv_frames(conn)
+    return _load_message(head, buffers)
+
+
+def _shard_worker_main(
+    conn,
+    shard: Shard | ShardSnapshot,
+    runtime_kwargs: dict,
+    replay: list | None = None,
+) -> None:
+    """Worker-process loop: build the runtime once, serve ops until stopped.
+
+    With a :class:`~repro.service.sharding.ShardSnapshot` the runtime
+    construction *maps* the shard's base tier from its shared segments —
+    the worker never unpickles point data at startup. ``replay`` (a
+    restarted replica's logged ingest batches) is applied before the first
+    request is read off the pipe, so the pipe's FIFO order guarantees no
+    query ever observes a half-caught-up replica. The ``finally`` runs
+    :meth:`ShardRuntime.close` so worker-published compaction segments are
+    unlinked on every orderly exit path (stop message, EOF, exception).
+    """
+    runtime = ShardRuntime(shard, **runtime_kwargs)
+    try:
+        if replay:
+            runtime.replay(replay)
+        while True:
+            try:
+                op, payload = _recv_message(conn)
+            except (EOFError, KeyboardInterrupt):
+                break
+            if op == "stop":
+                break
+            try:
+                if op == "ingest":
+                    _send_message(conn, ("ok", runtime.ingest(payload)))
+                else:
+                    _send_message(conn, ("ok", runtime.execute(op, payload)))
+            except Exception as exc:  # surface shard-side failures to the parent
+                _send_message(conn, ("error", f"{type(exc).__name__}: {exc}"))
+    finally:
+        try:
+            runtime.close()
+        finally:
+            conn.close()
+
+
+class PipeStats:
+    """Thread-safe parent-side pipe traffic counters.
+
+    One instance is shared by every replica set of an executor so the
+    ``transport`` metrics section keeps meaning "this executor's pipe
+    traffic" regardless of replica count or failover routing.
+    """
+
+    __slots__ = (
+        "_lock",
+        "bytes_sent",
+        "bytes_received",
+        "messages_sent",
+        "messages_received",
+    )
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.messages_sent = 0
+        self.messages_received = 0
+
+    def count_sent(self, frames) -> None:
+        n = sum(len(f) for f in frames)
+        with self._lock:
+            self.bytes_sent += n
+            self.messages_sent += 1
+
+    def count_received(self, head, buffers) -> None:
+        n = len(head) + sum(len(b) for b in buffers)
+        with self._lock:
+            self.bytes_received += n
+            self.messages_received += 1
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "pipe_bytes_sent": self.bytes_sent,
+                "pipe_bytes_received": self.bytes_received,
+                "messages_sent": self.messages_sent,
+                "messages_received": self.messages_received,
+            }
+
+
+class _Replica:
+    """One worker process and its pipe.
+
+    ``lock`` serializes the pipe's one-outstanding-request protocol;
+    ``live`` flips to False exactly once (under the owning set's lock)
+    when the replica is retired — a retired replica's pipe is never
+    reused, which is what makes mid-request death recoverable without
+    stale-reply hazards.
+    """
+
+    __slots__ = ("proc", "conn", "lock", "live", "spawn_id")
+
+    def __init__(self, proc, conn, spawn_id: int) -> None:
+        self.proc = proc
+        self.conn = conn
+        self.lock = threading.Lock()
+        self.live = True
+        self.spawn_id = spawn_id
+
+
+class ReplicaSet:
+    """R replicated workers for one shard (see the module docstring).
+
+    Parameters
+    ----------
+    snapshot:
+        The shard's membership snapshot; every replica (including
+        restarts) is built from it, so it must stay resolvable for the
+        set's lifetime (the service keeps the exporting store open).
+    ctx:
+        Multiprocessing context workers spawn under.
+    runtime_kwargs:
+        Forwarded to each worker's :class:`~repro.service.runtime.ShardRuntime`.
+    replicas:
+        Worker count (R >= 1).
+    pipe_stats, registry, registry_lock:
+        Shared accounting: pipe traffic counters and the replication
+        metrics registry (with the lock guarding its not-thread-safe
+        instruments). Both optional for standalone use.
+    next_tag:
+        Allocator of store sub-family tags, one per spawn. Must yield
+        names unique across the owning executor's lifetime: two live
+        replicas (or a restart racing its predecessor's orphaned
+        segments) publishing under one tag would collide on epoch
+        segment names.
+    """
+
+    def __init__(
+        self,
+        snapshot: Shard | ShardSnapshot,
+        *,
+        ctx,
+        runtime_kwargs: dict,
+        replicas: int = 1,
+        pipe_stats: PipeStats | None = None,
+        registry: MetricsRegistry | None = None,
+        registry_lock: threading.Lock | None = None,
+        next_tag: Callable[[], str] | None = None,
+    ) -> None:
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.snapshot = snapshot
+        self.shard_index = snapshot.index
+        self._ctx = ctx
+        self._runtime_kwargs = dict(runtime_kwargs)
+        self._pipe_stats = pipe_stats if pipe_stats is not None else PipeStats()
+        self._registry = registry
+        self._registry_lock = registry_lock or threading.Lock()
+        self._spawned = 0
+        if next_tag is None:
+            next_tag = lambda: f"s{self.snapshot.index}r{self._spawned}"  # noqa: E731
+        self._next_tag = next_tag
+        #: Guards membership (``replicas``/``live`` flips), the ingest log,
+        #: and the round-robin cursor. RLock: retire() runs under ingest's
+        #: hold.
+        self._lock = threading.RLock()
+        #: Parent-side ingest replay log, in arrival order. Grows for the
+        #: set's lifetime (reset only when an online reshard replaces the
+        #: set); the batches alias the trajectories the manager already
+        #: holds, so the overhead is list structure, not point data.
+        self._log: list[list] = []
+        self._rr = 0
+        self._closed = False
+        self.replicas: list[_Replica] = []
+        try:
+            for _ in range(replicas):
+                self.replicas.append(self._spawn())
+        except Exception:
+            self.close()
+            raise
+
+    # ------------------------------------------------------------- plumbing
+    def _count(self, name: str, amount: int = 1) -> None:
+        if self._registry is None:
+            return
+        with self._registry_lock:
+            self._registry.counter(name).inc(amount)
+
+    def _record(self, name: str, value: float) -> None:
+        if self._registry is None:
+            return
+        with self._registry_lock:
+            self._registry.histogram(name).record(value)
+
+    def _spawn(self, replay: list | None = None) -> _Replica:
+        if self._closed:
+            raise ShardExecutionError("replica set is closed")
+        spawn_id = self._spawned
+        self._spawned += 1
+        kwargs = dict(self._runtime_kwargs)
+        kwargs["store_tag"] = self._next_tag()
+        parent_conn, child_conn = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=_shard_worker_main,
+            args=(child_conn, self.snapshot, kwargs, replay),
+            daemon=True,
+            name=f"repro-shard-{self.shard_index}-r{spawn_id}",
+        )
+        proc.start()
+        child_conn.close()
+        return _Replica(proc, parent_conn, spawn_id)
+
+    def live_replicas(self) -> list[_Replica]:
+        with self._lock:
+            return [r for r in self.replicas if r.live]
+
+    def retire(self, replica: _Replica) -> None:
+        """Mark a replica dead and reap it (idempotent, non-blocking).
+
+        The pipe is closed only if it can be claimed without waiting — a
+        request currently blocked on it will hit EOF and re-enter here;
+        the dropped ``_Replica`` object closes the fd on GC as a backstop.
+        The process is SIGKILLed: retire also serves the hung-worker path,
+        where a polite stop would never be read.
+        """
+        with self._lock:
+            if not replica.live:
+                return
+            replica.live = False
+        if replica.lock.acquire(blocking=False):
+            try:
+                replica.conn.close()
+            except OSError:
+                pass
+            finally:
+                replica.lock.release()
+        if replica.proc.is_alive():
+            replica.proc.kill()
+
+    # -------------------------------------------------------------- queries
+    def checkout_and_send(self, frames) -> _Replica | None:
+        """Pick a live replica, lock its pipe, and write one request.
+
+        Prefers an idle sibling (non-blocking probe in round-robin order)
+        before blocking on a busy one. A send that hits a dead pipe
+        retires the replica and fails over to the next; returns None once
+        no live replica remains. On success the replica's pipe lock is
+        HELD — the caller must follow with :meth:`receive` (or
+        :meth:`abandon` on an abort path).
+        """
+        while True:
+            with self._lock:
+                live = [r for r in self.replicas if r.live]
+                if not live:
+                    return None
+                start = self._rr % len(live)
+                self._rr += 1
+            rotation = live[start:] + live[:start]
+            replica = None
+            for candidate in rotation:
+                if candidate.lock.acquire(blocking=False):
+                    replica = candidate
+                    break
+            if replica is None:
+                replica = rotation[0]
+                replica.lock.acquire()
+            if not replica.live:  # retired while we waited for the pipe
+                replica.lock.release()
+                continue
+            try:
+                _send_frames(replica.conn, frames)
+                self._pipe_stats.count_sent(frames)
+                return replica
+            except (ConnectionError, EOFError, OSError):
+                replica.lock.release()
+                self.retire(replica)
+                self._count("replication.failovers")
+
+    def receive(self, replica: _Replica):
+        """Read one reply off a checked-out replica, releasing its pipe.
+
+        Raises :class:`ReplicaGone` (after retiring the replica and
+        counting the failover) when the worker died mid-request; any other
+        interruption mid-read also retires the replica — a half-read pipe
+        can never be trusted again — before propagating.
+        """
+        try:
+            head, buffers = _recv_frames(replica.conn)
+        except (ConnectionError, EOFError, OSError) as exc:
+            replica.lock.release()
+            self.retire(replica)
+            self._count("replication.failovers")
+            raise ReplicaGone(str(exc) or type(exc).__name__) from exc
+        except BaseException:
+            replica.lock.release()
+            self.retire(replica)
+            raise
+        replica.lock.release()
+        self._pipe_stats.count_received(head, buffers)
+        # The frames are fully off the pipe: a decode failure here leaves
+        # the replica clean and propagates as an ordinary error.
+        return _load_message(head, buffers)
+
+    def abandon(self, replica: _Replica) -> None:
+        """Abort a checkout whose reply will never be read (interrupted
+        gather): the un-drained pipe disqualifies the replica for good."""
+        replica.lock.release()
+        self.retire(replica)
+
+    def request(self, frames):
+        """One request with inline failover: send + gather, retrying on a
+        live sibling until one answers. Raises
+        :class:`ShardExecutionError` once no live replica remains."""
+        while True:
+            replica = self.checkout_and_send(frames)
+            if replica is None:
+                with self._lock:
+                    total = len(self.replicas)
+                raise ShardExecutionError(
+                    f"shard {self.shard_index}: worker died mid-request and "
+                    f"no live replica remains (all {total} dead)"
+                )
+            try:
+                return self.receive(replica)
+            except ReplicaGone:
+                continue
+
+    # --------------------------------------------------------------- ingest
+    def ingest_send(self, frames, batch) -> list[_Replica]:
+        """Log ``batch`` and write its ingest message to EVERY live replica.
+
+        Ingest is never retried on a sibling: siblings receive their own
+        copy right here, so a replica that fails its copy is simply
+        retired (its state is missing the batch and can only rejoin
+        through restart + replay). The set lock is held across the fan-out
+        so concurrent ingests land in one global order on every replica —
+        divergent orders would let replicas compact different tiers.
+        Returns the checked-out replicas (pipe locks held); gather with
+        :meth:`ingest_gather`.
+        """
+        with self._lock:
+            self._log.append(batch)
+            sent: list[_Replica] = []
+            for replica in [r for r in self.replicas if r.live]:
+                replica.lock.acquire()
+                if not replica.live:
+                    replica.lock.release()
+                    continue
+                try:
+                    _send_frames(replica.conn, frames)
+                    self._pipe_stats.count_sent(frames)
+                    sent.append(replica)
+                except (ConnectionError, EOFError, OSError):
+                    replica.lock.release()
+                    self.retire(replica)
+                    self._count("replication.failovers")
+            return sent
+
+    def ingest_gather(self, sent: list[_Replica], batch):
+        """Collect ingest acks; returns the FIRST successful reply value.
+
+        One ack stands in for the whole set: every replica runs identical
+        compaction passes, so absorbing more than one reply's drained
+        counters would multiply the service's compaction stats by R.
+        A replica that reports a worker-side error is retired — it may
+        have applied the batch partway and can no longer be trusted to
+        match its siblings. If NO replica acked, the logged batch is
+        rolled back (the manager will not commit it either) and a
+        :class:`ShardExecutionError` is raised.
+        """
+        reply = None
+        errors: list[str] = []
+        for pos, replica in enumerate(sent):
+            try:
+                status, value = self.receive(replica)
+            except ReplicaGone:
+                continue
+            except BaseException:
+                # receive() already retired ``replica``; the rest of the
+                # fan-out still holds pipe locks with undrained replies.
+                for later in sent[pos + 1 :]:
+                    self.abandon(later)
+                raise
+            if status == "ok":
+                if reply is None:
+                    reply = value
+            else:
+                errors.append(str(value))
+                self.retire(replica)
+                self._count("replication.failovers")
+        if reply is None:
+            with self._lock:
+                for i in range(len(self._log) - 1, -1, -1):
+                    if self._log[i] is batch:
+                        del self._log[i]
+                        break
+            detail = errors[0] if errors else "every replica died mid-ingest"
+            raise ShardExecutionError(f"shard {self.shard_index}: {detail}")
+        return reply
+
+    # -------------------------------------------------------------- restart
+    def restart_dead(self) -> int:
+        """Respawn every retired replica from snapshot + replayed log.
+
+        Spawn and replay run OUTSIDE the set lock — queries keep flowing
+        to live siblings during the window — then the lock is retaken to
+        catch up on batches ingested mid-spawn before the replica goes
+        live. Readiness is confirmed with a ping round-trip (the worker
+        answers only after its replay finished), so the recorded
+        ``restart_latency_s`` covers spawn + replay + first heartbeat.
+        Returns the number restarted.
+        """
+        restarted = 0
+        for slot in range(len(self.replicas)):
+            with self._lock:
+                if self._closed or slot >= len(self.replicas):
+                    break
+                replica = self.replicas[slot]
+                if replica.live:
+                    continue
+                caught_up = len(self._log)
+                replay = list(self._log)
+            start = time.perf_counter()
+            fresh = self._spawn(replay=replay)
+            try:
+                with fresh.lock:
+                    _send_message(fresh.conn, ("ping", {}))
+                    status, _ = _recv_message(fresh.conn)
+                if status != "ok":
+                    raise ShardExecutionError(
+                        f"shard {self.shard_index}: restarted worker failed "
+                        f"its readiness ping"
+                    )
+                with self._lock:
+                    # Catch up on ingests that landed while we spawned.
+                    while caught_up < len(self._log):
+                        with fresh.lock:
+                            _send_message(
+                                fresh.conn, ("ingest", self._log[caught_up])
+                            )
+                            status, _ = _recv_message(fresh.conn)
+                        if status != "ok":
+                            raise ShardExecutionError(
+                                f"shard {self.shard_index}: restarted worker "
+                                f"failed replay catch-up"
+                            )
+                        caught_up += 1
+                    if (
+                        self._closed
+                        or slot >= len(self.replicas)
+                        or self.replicas[slot] is not replica
+                    ):
+                        # The set was closed or resharded under us; the
+                        # fresh worker has no seat to take.
+                        raise ShardExecutionError(
+                            f"shard {self.shard_index}: replica set changed "
+                            f"during restart"
+                        )
+                    self.replicas[slot] = fresh
+            except BaseException:
+                fresh.proc.kill()
+                try:
+                    fresh.conn.close()
+                except OSError:
+                    pass
+                raise
+            restarted += 1
+            self._count("replication.restarts")
+            self._record(
+                "replication.restart_latency_s", time.perf_counter() - start
+            )
+        return restarted
+
+    # ------------------------------------------------------------- liveness
+    def liveness(self) -> dict:
+        """Non-blocking probe: replica states via ``Process.is_alive()``.
+
+        No pipe traffic. A replica whose process silently died is retired
+        right here — liveness names dead replicas immediately instead of
+        on the next scatter's EOF.
+        """
+        with self._lock:
+            replicas = list(self.replicas)
+        for replica in replicas:
+            if replica.live and not replica.proc.is_alive():
+                self.retire(replica)
+        live_pids = [r.proc.pid for r in replicas if r.live]
+        dead = [slot for slot, r in enumerate(replicas) if not r.live]
+        return {
+            "shard": self.shard_index,
+            "replicas": len(replicas),
+            "live": len(replicas) - len(dead),
+            "pids": live_pids,
+            "dead_replicas": dead,
+        }
+
+    def ping(self, deadline: float) -> int:
+        """Heartbeat idle live replicas; retire any that miss ``deadline``.
+
+        Catches hung-but-alive workers (``is_alive()`` true, serve loop
+        stuck). Replicas busy serving a request are skipped — a held pipe
+        lock proves the protocol is mid-flight, and racing the in-flight
+        reply would corrupt it. A replica that times out is retired even
+        though its pong may arrive later: the pipe now holds (or will
+        hold) a reply nobody waits for. Returns the number retired.
+        """
+        frames = _dump_message(("ping", {}))
+        hung = 0
+        for replica in self.live_replicas():
+            if not replica.lock.acquire(blocking=False):
+                continue
+            responsive = True
+            try:
+                if not replica.live:
+                    continue
+                try:
+                    _send_frames(replica.conn, frames)
+                    if replica.conn.poll(deadline):
+                        _recv_message(replica.conn)  # drain the pong
+                    else:
+                        responsive = False
+                except (ConnectionError, EOFError, OSError):
+                    responsive = False
+            finally:
+                replica.lock.release()
+            if not responsive:
+                self.retire(replica)
+                self._count("replication.hung_replicas")
+                hung += 1
+        return hung
+
+    # -------------------------------------------------------------- reshard
+    def renumber(self, new_index: int) -> None:
+        """Relabel this set and its workers after an online split/merge.
+
+        Shards after the surgery point keep their data but shift position
+        in the routing table; membership, segments, and engines are
+        untouched.
+        """
+        with self._lock:
+            self.shard_index = new_index
+            self.snapshot.index = new_index
+        frames = _dump_message(("set_index", {"index": int(new_index)}))
+        for replica in self.live_replicas():
+            replica.lock.acquire()
+            if not replica.live:
+                replica.lock.release()
+                continue
+            try:
+                _send_frames(replica.conn, frames)
+            except (ConnectionError, EOFError, OSError):
+                replica.lock.release()
+                self.retire(replica)
+                self._count("replication.failovers")
+                continue
+            try:
+                status, value = self.receive(replica)
+            except ReplicaGone:
+                continue
+            if status != "ok":
+                raise ShardExecutionError(
+                    f"shard {new_index}: renumber failed ({value})"
+                )
+
+    # ------------------------------------------------------------ lifecycle
+    def close(self) -> None:
+        """Stop every worker and drop the log (idempotent)."""
+        with self._lock:
+            self._closed = True
+            replicas, self.replicas = self.replicas, []
+            self._log = []
+        for replica in replicas:
+            if not replica.live:
+                continue
+            with replica.lock:
+                try:
+                    _send_message(replica.conn, ("stop", None))
+                except (ConnectionError, OSError):
+                    pass
+        for replica in replicas:
+            try:
+                replica.conn.close()
+            except OSError:
+                pass
+        for replica in replicas:
+            replica.proc.join(timeout=5.0)
+            if replica.proc.is_alive():  # pragma: no cover - stuck worker
+                replica.proc.terminate()
+                replica.proc.join(timeout=1.0)
+
+
+__all__ = [
+    "PipeStats",
+    "ReplicaGone",
+    "ReplicaSet",
+    "ShardExecutionError",
+]

@@ -36,6 +36,7 @@ the pickled :class:`~repro.service.sharding.Shard` snapshot.
 
 from __future__ import annotations
 
+import os
 import time
 
 import numpy as np
@@ -103,6 +104,7 @@ class ShardRuntime:
         backend: str = "grid",
         store=None,
         compaction=None,
+        store_tag: str | None = None,
     ) -> None:
         validate_backend_name(backend, allow_auto=True)
         self.index = shard.index
@@ -136,7 +138,11 @@ class ShardRuntime:
             store_spec = store if store is not None else "heap"
         # The runtime's own provider: compacted base tiers republish
         # through it (same segment family as the snapshot under shm).
-        self._store = derive_store(store_spec, tag=f"w{shard.index}")
+        # Replicated executors pass a per-spawn ``store_tag`` — two
+        # replicas of one shard (or a restarted replica whose predecessor's
+        # segments are still resident) must never publish into the same
+        # sub-family, or their epoch segment names would collide.
+        self._store = derive_store(store_spec, tag=store_tag or f"w{shard.index}")
         self._owns_store = self._store is not store_spec
         self._base_gids = np.asarray(shard.global_ids, dtype=np.int64)
         self._base_points = sum(len(t) for t in self._base)
@@ -265,6 +271,22 @@ class ShardRuntime:
         self.metrics.counter("ingest.trajectories").inc(len(batch))
         self.metrics.counter("ingest.points").inc(batch_points)
         return self.take_compactions()
+
+    def replay(self, batches: list[list[tuple[int, Trajectory]]]) -> None:
+        """Re-apply logged ingest batches (replica restart catch-up).
+
+        A restarted replica is built from the shard's *original* base
+        snapshot and must replay every batch ingested since, in arrival
+        order — compaction decisions are deterministic in that order, so
+        the replica converges on the same tiers its siblings hold. The
+        replayed passes' compaction counters are discarded: the service
+        already absorbed them from the replica that first acked each
+        batch, and draining them again would double-count.
+        """
+        for batch in batches:
+            self.ingest(batch)
+        self._compaction_log = []
+        self.metrics.counter("replay.batches").inc(len(batches))
 
     def compact(self) -> None:
         """Fold the pending tier into a fresh base engine.
@@ -590,3 +612,23 @@ class ShardRuntime:
         """Drop the base engine's memo (benchmark fairness / memory release)."""
         if self._engine is not None:
             self._engine.clear_cache()
+
+    def op_ping(self) -> dict:
+        """Liveness heartbeat: answers iff the worker's serve loop is
+        responsive (the watchdog's deadline probe — a hung worker whose
+        process is still alive never reaches this)."""
+        return {
+            "index": self.index,
+            "pid": os.getpid(),
+            "base_trajectories": len(self._base),
+            "pending_trajectories": len(self._pending),
+        }
+
+    def op_set_index(self, index: int) -> None:
+        """Renumber this runtime after an online shard split/merge.
+
+        Shards after the surgery point keep their data but shift position
+        in the routing table; only the label moves (membership, store
+        segments, and engine state are untouched).
+        """
+        self.index = int(index)

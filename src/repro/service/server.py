@@ -415,6 +415,9 @@ class QueryServer:
                     # Additive: the serving concurrency contract.
                     "workers": self.workers,
                     "max_inflight": self.max_inflight,
+                    # Additive: replica topology (PR 10); 1 for services
+                    # that predate replication.
+                    "replicas": getattr(self._service, "replicas", 1),
                 },
             },
             write_lock,

@@ -73,6 +73,7 @@ from repro.service.requests import (
     serve_cached,
 )
 from repro.service.sharding import ShardManager
+from repro.service.watchdog import Watchdog
 
 
 def knn_shard_lower_bound(
@@ -160,6 +161,12 @@ class ServiceStats:
     bytes_base_after: int = 0
     #: Distribution of shard-side policy-pass wall times (seconds).
     compaction_latency: Histogram = field(default_factory=Histogram)
+    #: Online rebalance accounting: shard splits/merges performed and the
+    #: distribution of reshard pause times (manager surgery + snapshot
+    #: export + executor worker swap, all under the epoch write lock).
+    splits: int = 0
+    merges: int = 0
+    rebalance_latency: Histogram = field(default_factory=Histogram)
     #: High-water mark of concurrently admitted (in-flight) server
     #: requests, recorded by the socket front-end's admission control.
     queue_depth_hwm: int = 0
@@ -213,6 +220,16 @@ class ServiceStats:
             self.bytes_base_before += int(counters.get("bytes_before", 0))
             self.bytes_base_after += int(counters.get("bytes_after", 0))
             self.compaction_latency.record(float(counters.get("elapsed_s", 0.0)))
+
+    def record_rebalance(self, action: str, elapsed_s: float) -> None:
+        """One online reshard: ``action`` is ``"split"`` or ``"merge"``,
+        ``elapsed_s`` the full pause (surgery to executor swap)."""
+        with self._lock:
+            if action == "split":
+                self.splits += 1
+            else:
+                self.merges += 1
+            self.rebalance_latency.record(elapsed_s)
 
     def record(
         self, kind: str, latency_s: float, cached: bool, cacheable: bool = True
@@ -303,6 +320,17 @@ class ServiceStats:
             out["compaction_p95_latency_ms"] = (
                 1000.0 * self.compaction_latency.quantile(0.95)
             )
+        if self.splits or self.merges:
+            out["shard_splits"] = self.splits
+            out["shard_merges"] = self.merges
+            out["rebalance_mean_latency_ms"] = (
+                1000.0
+                * self.rebalance_latency.sum
+                / self.rebalance_latency.count
+            )
+            out["rebalance_max_latency_ms"] = (
+                1000.0 * self.rebalance_latency.max
+            )
         if self.queue_wait.count or self.queue_depth_hwm:
             out["queue_depth_hwm"] = self.queue_depth_hwm
             out["queue_wait_p50_ms"] = 1000.0 * self.queue_wait.quantile(0.50)
@@ -333,6 +361,8 @@ class ServiceStats:
             }
             if self.compactions:
                 out["compaction"] = self.compaction_latency.to_json()
+            if self.rebalance_latency.count:
+                out["rebalance"] = self.rebalance_latency.to_json()
             if self.queue_wait.count:
                 out["queue_wait"] = self.queue_wait.to_json()
             return out
@@ -385,6 +415,24 @@ class QueryService:
         Per-trajectory, per-pass error bound for a named simplifying
         policy (see :mod:`repro.service.compaction`); ignored for
         ``"exact"`` and for policy instances (which carry their own).
+    replicas:
+        Worker processes per shard for the process executor (default 1).
+        With R > 1 each query routes to one live replica and fails over
+        to a sibling on worker death; ingest fans out to every replica.
+        See :mod:`repro.service.replication`.
+    rebalance_threshold:
+        Enable online shard rebalancing (spatial partitioner only): after
+        each ingest, a shard whose point count exceeds ``threshold x
+        mean`` splits at its median member centroid, and the coldest
+        adjacent pair whose combined count stays under ``mean /
+        threshold`` merges. Must be > 1; ``None`` (default) disables.
+    watchdog_interval:
+        Poll period in seconds of the background
+        :class:`~repro.service.watchdog.Watchdog` (heartbeat dead/hung
+        replicas and restart them from snapshot + replayed ingest log);
+        ``None`` (default) runs no watchdog.
+    watchdog_deadline:
+        Seconds a heartbeat may take before a replica counts as hung.
     """
 
     def __init__(
@@ -405,10 +453,18 @@ class QueryService:
         compaction="exact",
         error_budget: float | None = None,
         trace_capacity: int = 4096,
+        replicas: int = 1,
+        rebalance_threshold: float | None = None,
+        watchdog_interval: float | None = None,
+        watchdog_deadline: float = 5.0,
     ) -> None:
         if (db is None) == (manager is None):
             raise ValueError("pass exactly one of db or manager")
         validate_backend_name(index, allow_auto=True)
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        if rebalance_threshold is not None and rebalance_threshold <= 1.0:
+            raise ValueError("rebalance_threshold must be > 1")
         if manager is None:
             manager = ShardManager.create(db, n_shards, partitioner)
         self.manager = manager
@@ -416,6 +472,10 @@ class QueryService:
         self.tracer = Tracer(trace_capacity)
         self.executor_name = executor if isinstance(executor, str) else "custom"
         self.compaction = make_compaction(compaction, error_budget=error_budget)
+        self.replicas = int(replicas)
+        self.rebalance_threshold = (
+            None if rebalance_threshold is None else float(rebalance_threshold)
+        )
         self._store = make_store(store)
         self._owns_store = self._store is not store
         self.store_name = self._store.spec()[0]
@@ -429,6 +489,9 @@ class QueryService:
                 backend=index,
                 compaction=self.compaction,
                 **({"mp_context": mp_context} if executor == "process" else {}),
+                # Only threaded through when set: custom executor factories
+                # that predate replication keep working unchanged.
+                **({"replicas": self.replicas} if self.replicas != 1 else {}),
             )
         except BaseException:
             if self._owns_store:
@@ -454,6 +517,18 @@ class QueryService:
             self._absorb_compactions(
                 self._executor.broadcast("take_compactions", {})
             )
+        self._watchdog: Watchdog | None = None
+        if watchdog_interval is not None:
+            # Restarts run under the epoch READ lock: concurrent with
+            # queries (replica membership changes are internal to a
+            # set) but excluded from ingest and reshard surgery, whose
+            # write side must never race a replica's replay catch-up.
+            self._watchdog = Watchdog(
+                self._executor,
+                interval=watchdog_interval,
+                deadline=watchdog_deadline,
+                lock=self._epoch_lock.read,
+            ).start()
 
     def _check_open(self) -> None:
         if self._closed:
@@ -821,7 +896,89 @@ class QueryService:
             self.manager.commit_ingest(routed)
             self.stats.record_ingest(batch)
             self._absorb_compactions(drained, trace_id=trace_id)
+            if self.rebalance_threshold is not None:
+                self._maybe_rebalance_locked(trace_id)
         return len(batch)
+
+    # --------------------------------------------------------------- rebalance
+    def _maybe_rebalance_locked(self, trace_id: str | None = None) -> None:
+        """Rebalance while the manager reports skew (epoch write lock held).
+
+        At most a few plans per ingest: each split/merge changes the count
+        landscape, so the planner re-evaluates after every step; the cap
+        bounds the ingest's pause when a single batch creates deep skew
+        (the remainder is picked up by the next ingest).
+        """
+        if not hasattr(self._executor, "reshard"):
+            return
+        for _ in range(4):
+            plan = self.manager.plan_rebalance(self.rebalance_threshold)
+            if plan is None:
+                return
+            self._reshard_locked(*plan, trace_id=trace_id)
+
+    def _reshard_locked(
+        self, action: str, shard_idx: int, trace_id: str | None = None
+    ) -> None:
+        """One split/merge: manager surgery -> snapshot export -> executor
+        worker swap, atomically behind the epoch write lock.
+
+        The replacement shards' snapshots are exported under an
+        epoch-qualified label prefix so their segment names never collide
+        with the initial layout's (still resident in the same store
+        family; they are reclaimed when the store closes — the trade-off
+        is bounded residency for never blocking on old readers). Any
+        failure latches the service failed: executor topology and manager
+        routing can no longer be assumed to agree.
+        """
+        start = time.perf_counter()
+        try:
+            if action == "split":
+                replaced = self.manager.split_shard(shard_idx)
+                n_removed = 1
+            elif action == "merge":
+                replaced = self.manager.merge_shards(shard_idx)
+                n_removed = 2
+            else:
+                raise ValueError(f"unknown rebalance action {action!r}")
+            epoch = self.manager.epoch
+            snapshots = [
+                self.manager.export_snapshot(
+                    self._store, shard, label_prefix=f"e{epoch}s{shard.index}"
+                )
+                for shard in replaced
+            ]
+            self._executor.reshard(shard_idx, n_removed, snapshots)
+        except Exception:
+            self._failed = True
+            raise
+        elapsed = time.perf_counter() - start
+        self.stats.record_rebalance(action, elapsed)
+        self.tracer.record(
+            trace_id, "reshard", elapsed, action=action, shard=shard_idx
+        )
+
+    def split_shard(self, shard_idx: int) -> int:
+        """Split a hot shard online at its median member centroid.
+
+        Spatial partitioner only. Runs the full reshard protocol (manager
+        surgery, epoch bump, snapshot republish, executor worker swap)
+        behind the epoch write lock; queries before and after see
+        bit-identical results. Returns the new shard count.
+        """
+        self._check_open()
+        with self._epoch_lock.write():
+            self._reshard_locked("split", int(shard_idx))
+            return self.manager.n_shards
+
+    def merge_shards(self, shard_idx: int) -> int:
+        """Merge ``shard_idx`` with its right neighbour online (spatial
+        partitioner only; same protocol as :meth:`split_shard`). Returns
+        the new shard count."""
+        self._check_open()
+        with self._epoch_lock.write():
+            self._reshard_locked("merge", int(shard_idx))
+            return self.manager.n_shards
 
     def _absorb_compactions(
         self, per_shard: "list | None", trace_id: str | None = None
@@ -884,6 +1041,14 @@ class QueryService:
         transport_stats = getattr(self._executor, "transport_stats", None)
         if callable(transport_stats):
             report["transport"] = transport_stats()
+        replication_stats = getattr(self._executor, "replication_stats", None)
+        if callable(replication_stats):
+            try:
+                report["replication"] = replication_stats()
+            except Exception as exc:
+                report["replication_error"] = f"{type(exc).__name__}: {exc}"
+        if self._watchdog is not None:
+            report["watchdog"] = self._watchdog.stats()
         if include_shards:
             try:
                 merged = MetricsRegistry()
@@ -917,7 +1082,14 @@ class QueryService:
             "trajectories": self.manager.n_trajectories,
             "points": self.manager.total_points,
             "compaction": self.compaction.spec(),
+            "replicas": self.replicas,
         }
+        replication_stats = getattr(self._executor, "replication_stats", None)
+        if callable(replication_stats):
+            try:
+                info["replication"] = replication_stats()
+            except Exception as exc:
+                info["replication_error"] = f"{type(exc).__name__}: {exc}"
         try:
             info["shards"] = self._executor.broadcast("info", {})
         except Exception as exc:
@@ -925,6 +1097,11 @@ class QueryService:
             # executor must stay visible, not be silently omitted.
             info["shards_error"] = f"{type(exc).__name__}: {exc}"
         return info
+
+    @property
+    def watchdog(self) -> "Watchdog | None":
+        """The background liveness monitor (None unless enabled)."""
+        return self._watchdog
 
     def database(self) -> TrajectoryDatabase:
         """The served database materialized in global-id order (reference)."""
@@ -948,6 +1125,11 @@ class QueryService:
         """
         if self._closed:
             return
+        # Stop the watchdog before taking the write lock: its restart
+        # phase holds the read side, and a poll firing mid-teardown would
+        # try to resurrect workers the executor is stopping.
+        if self._watchdog is not None:
+            self._watchdog.stop()
         # Drain in-flight readers before tearing the executor down: the
         # write side excludes every concurrent execute()/metrics call.
         with self._epoch_lock.write():

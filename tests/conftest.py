@@ -29,8 +29,11 @@ def no_shm_leaks():
     """Fail the run if any test leaks a ``repro_*`` shared-memory segment.
 
     Runs once around the whole session: every store/service/executor test
-    is expected to unlink its segments on close (including exception paths
-    and killed workers — the family owner's sweep covers those).
+    is expected to unlink its segments on close (including exception
+    paths, killed workers, AND replicas the watchdog restarted — a
+    restarted worker publishes under a fresh store tag, so both its
+    predecessor's orphaned segments and its own must fall to the family
+    owner's close sweep).
     """
     before = repro_shm_segments()
     yield
